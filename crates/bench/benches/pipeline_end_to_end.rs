@@ -1,0 +1,74 @@
+//! Criterion benchmarks of the full evaluation pipeline (workload →
+//! timing → power → thermal → RAMP) and the oracular DRM search, at
+//! reduced simulation lengths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench_suite::qualified_model;
+use drm::{EvalParams, Evaluator, Oracle, Strategy};
+use sim_cpu::CoreConfig;
+use workload::App;
+
+fn tiny_params() -> EvalParams {
+    EvalParams {
+        warmup_instructions: 5_000,
+        measure_instructions: 20_000,
+        interval_instructions: 5_000,
+        seed: 3,
+        leakage_iterations: 2,
+        prewarm_bytes: 1 << 20,
+    }
+}
+
+fn bench_full_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluator");
+    group.sample_size(10);
+    let evaluator = Evaluator::ibm_65nm(tiny_params()).expect("params");
+    group.bench_function("full_stack_20k_insts", |b| {
+        b.iter(|| {
+            evaluator
+                .evaluate(App::Gzip, &CoreConfig::base())
+                .expect("evaluation")
+        })
+    });
+    group.finish();
+}
+
+fn bench_fit_scoring(c: &mut Criterion) {
+    let evaluator = Evaluator::ibm_65nm(tiny_params()).expect("params");
+    let ev = evaluator
+        .evaluate(App::Gzip, &CoreConfig::base())
+        .expect("evaluation");
+    let model = qualified_model(370.0, 0.4).expect("model");
+    c.bench_function("evaluator/fit_scoring", |b| {
+        b.iter(|| ev.application_fit(std::hint::black_box(&model)).total())
+    });
+}
+
+fn bench_oracle_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle");
+    group.sample_size(10);
+    let model = qualified_model(394.0, 0.4).expect("model");
+    group.bench_function("dvs_search_cached", |b| {
+        // One oracle reused: after the first iteration every evaluation is
+        // cached, so this measures the pure search/scoring cost.
+        let mut oracle = Oracle::new(Evaluator::ibm_65nm(tiny_params()).expect("params"));
+        oracle
+            .best(App::Twolf, Strategy::Dvs, &model, 0.5)
+            .expect("warm the cache");
+        b.iter(|| {
+            oracle
+                .best(App::Twolf, Strategy::Dvs, &model, 0.5)
+                .expect("search")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_full_evaluation,
+    bench_fit_scoring,
+    bench_oracle_search
+);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Ablation studies for the design choices called out in DESIGN.md.
+//!
+//! Each section removes or varies one modeling ingredient and reports its
+//! effect on the quantities the paper's conclusions rest on (IPC, power,
+//! temperature, FIT).
+
+use bench_suite::{eval_params, qualified_model};
+use drm::{EvalParams, Evaluator};
+use ramp::ReliabilityModel;
+use sim_common::Floorplan;
+use sim_cpu::CoreConfig;
+use sim_power::{PowerModel, PowerParams};
+use sim_thermal::{ThermalModel, ThermalParams};
+use workload::App;
+
+fn evaluator_with(
+    power: PowerParams,
+    thermal: ThermalParams,
+    params: EvalParams,
+) -> Evaluator {
+    Evaluator::new(
+        PowerModel::new(power, Floorplan::r10000_65nm()).expect("power params"),
+        ThermalModel::new(thermal, Floorplan::r10000_65nm()).expect("thermal params"),
+        params,
+    )
+    .expect("eval params")
+}
+
+fn report(label: &str, evaluator: &Evaluator, app: App, model: &ReliabilityModel) {
+    let ev = evaluator
+        .evaluate(app, &CoreConfig::base())
+        .expect("evaluation");
+    println!(
+        "  {label:34} IPC {:.2}  P {:5.1} W  Tmax {:.1} K  FIT {:6.0}",
+        ev.ipc,
+        ev.average_power().0,
+        ev.max_temperature().0,
+        ev.application_fit(model).total().value()
+    );
+}
+
+fn main() {
+    let params = eval_params();
+    let model = qualified_model(394.0, 0.48).expect("model");
+
+    println!("Ablation 1: clock-gating idle charge (Wattch models 10%)");
+    for idle in [0.0, 0.10, 0.25] {
+        let mut p = PowerParams::ibm_65nm();
+        p.idle_fraction = idle;
+        let e = evaluator_with(p, ThermalParams::hotspot_65nm(), params);
+        report(&format!("idle fraction {idle:.2}"), &e, App::Twolf, &model);
+    }
+    println!();
+
+    println!("Ablation 2: leakage/temperature feedback (fixed-point depth)");
+    for iters in [1, 2, 4] {
+        let e = evaluator_with(
+            PowerParams::ibm_65nm(),
+            ThermalParams::hotspot_65nm(),
+            EvalParams {
+                leakage_iterations: iters,
+                ..params
+            },
+        );
+        report(&format!("{iters} iteration(s)"), &e, App::MpgDec, &model);
+    }
+    println!();
+
+    println!("Ablation 3: cooling solution (sink-to-ambient resistance)");
+    for r in [0.6, 0.8, 1.0] {
+        let mut t = ThermalParams::hotspot_65nm();
+        t.r_sink_ambient = r;
+        let e = evaluator_with(PowerParams::ibm_65nm(), t, params);
+        report(&format!("R_convection {r:.1} K/W"), &e, App::MpgDec, &model);
+    }
+    println!();
+
+    println!("Ablation 4: FIT sampling granularity (SS3.6 time averaging)");
+    println!("  (MPGdec is frame-phased; coarse sampling hides the phases)");
+    for divisor in [1, 5, 20] {
+        let e = evaluator_with(
+            PowerParams::ibm_65nm(),
+            ThermalParams::hotspot_65nm(),
+            EvalParams {
+                interval_instructions: (params.measure_instructions / divisor).max(1),
+                ..params
+            },
+        );
+        report(&format!("{divisor} interval(s)"), &e, App::MpgDec, &model);
+    }
+    println!();
+
+    println!("Ablation 5: memory-level parallelism (L1D MSHRs; Table 1 has 12)");
+    let e = evaluator_with(
+        PowerParams::ibm_65nm(),
+        ThermalParams::hotspot_65nm(),
+        params,
+    );
+    for mshrs in [1, 4, 12] {
+        let mut cfg = CoreConfig::base();
+        cfg.mshrs = mshrs;
+        let ev = e.evaluate(App::Art, &cfg).expect("evaluation");
+        println!(
+            "  {:34} IPC {:.2}  P {:5.1} W",
+            format!("{mshrs} MSHR(s), art"),
+            ev.ipc,
+            ev.average_power().0
+        );
+    }
+    println!();
+
+    println!("Ablation 6: branch predictor capacity (Table 1 has 8192 counters)");
+    for counters in [512, 2048, 8192] {
+        let mut cfg = CoreConfig::base();
+        cfg.bpred.counters = counters;
+        let ev = e.evaluate(App::Gzip, &cfg).expect("evaluation");
+        println!(
+            "  {:34} IPC {:.2}",
+            format!("{counters} counters, gzip"),
+            ev.ipc
+        );
+    }
+    println!();
+
+    println!("Ablation 7: next-line prefetch (not in Table 1; default off)");
+    for (app, label) in [(App::Equake, "equake (streaming)"), (App::Twolf, "twolf (pointer-chasing)")] {
+        for prefetch in [false, true] {
+            let mut cfg = CoreConfig::base();
+            cfg.prefetch_next_line = prefetch;
+            let ev = e.evaluate(app, &cfg).expect("evaluation");
+            let fit = ev.application_fit(&model).total().value();
+            println!(
+                "  {:34} IPC {:.2}  P {:5.1} W  FIT {:6.0}",
+                format!("{label}, prefetch {}", if prefetch { "on" } else { "off" }),
+                ev.ipc,
+                ev.average_power().0,
+                fit
+            );
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Figure 3 reproduction: comparison of the three DRM adaptation
+//! strategies (Arch, DVS, ArchDVS) for bzip2 across qualification
+//! temperatures.
+//!
+//! Expected shape (paper §7.2): DVS and ArchDVS are nearly identical and
+//! far outperform Arch (which can never exceed 1.0 since it cannot change
+//! the frequency); at low `T_qual` the gap is largest.
+
+use bench_suite::{
+    make_oracle, qualified_model, suite_alpha_qual, DVS_STEP_GHZ, FIG34_SWEEP,
+};
+use drm::Strategy;
+use workload::App;
+
+fn main() {
+    let app = App::Bzip2;
+    let mut oracle = make_oracle().expect("oracle");
+    let alpha = suite_alpha_qual(&mut oracle).expect("alpha_qual");
+
+    println!("Figure 3: DRM adaptations for {app} (performance relative to base)");
+    println!("==================================================================");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10}",
+        "T_qual(K)", "(paper K)", "Arch", "DVS", "ArchDVS"
+    );
+    for (t_qual, paper_t) in FIG34_SWEEP {
+        let model = qualified_model(t_qual, alpha).expect("qualification");
+        let mut perfs = Vec::new();
+        for strategy in Strategy::ALL {
+            let choice = oracle
+                .best(app, strategy, &model, DVS_STEP_GHZ)
+                .expect("search");
+            perfs.push((choice.relative_performance, choice.feasible));
+        }
+        println!(
+            "{:>10.0} {:>10.0} {:>9.2}{} {:>9.2}{} {:>9.2}{}",
+            t_qual,
+            paper_t,
+            perfs[0].0,
+            if perfs[0].1 { ' ' } else { '!' },
+            perfs[1].0,
+            if perfs[1].1 { ' ' } else { '!' },
+            perfs[2].0,
+            if perfs[2].1 { ' ' } else { '!' },
+        );
+    }
+    println!();
+    println!("('!' marks points where no candidate of the strategy meets the");
+    println!("target; the minimum-FIT configuration is reported instead.)");
+}

@@ -1,0 +1,78 @@
+//! Robustness/sensitivity studies: how much do the reproduction's
+//! conclusions depend on (a) the qualification activity factor `α_qual`
+//! (§3.7 fixes it to the suite maximum), (b) the synthetic workload seed,
+//! and (c) the simulation length?
+
+use bench_suite::{eval_params, qualified_model, T_APP_ORIENTED};
+use drm::{EvalParams, Evaluator, Oracle, Strategy};
+use sim_cpu::CoreConfig;
+use workload::App;
+
+fn main() {
+    let params = eval_params();
+
+    println!("Sensitivity 1: qualification activity factor alpha_qual");
+    println!("(DRM DVS choice for two apps at T_qual = {T_APP_ORIENTED:.0})");
+    println!(
+        "{:>8} {:>14} {:>14}",
+        "alpha", "MPGdec", "twolf"
+    );
+    let mut oracle = Oracle::new(Evaluator::ibm_65nm(params).expect("evaluator"));
+    for alpha in [0.3, 0.48, 0.6, 0.8] {
+        let model = qualified_model(T_APP_ORIENTED, alpha).expect("model");
+        let mut cells = Vec::new();
+        for app in [App::MpgDec, App::Twolf] {
+            let c = oracle
+                .best(app, Strategy::Dvs, &model, 0.25)
+                .expect("search");
+            cells.push(format!(
+                "{:.2}GHz/{:.2}x",
+                c.dvs.frequency.to_ghz(),
+                c.relative_performance
+            ));
+        }
+        println!("{:>8.2} {:>14} {:>14}", alpha, cells[0], cells[1]);
+    }
+    println!("(a larger alpha_qual inflates the EM budget constants, buying");
+    println!("headroom for every app: the cost proxy is multi-dimensional)");
+    println!();
+
+    println!("Sensitivity 2: synthetic workload seed (base-config IPC)");
+    println!("{:>10} {:>8} {:>8} {:>8}", "app", "seed 1", "seed 2", "seed 3");
+    for app in [App::MpgDec, App::Bzip2, App::Art] {
+        let mut row = Vec::new();
+        for seed in [12_345u64, 777, 31_415] {
+            let e = Evaluator::ibm_65nm(EvalParams { seed, ..params }).expect("evaluator");
+            let ev = e.evaluate(app, &CoreConfig::base()).expect("evaluation");
+            row.push(ev.ipc);
+        }
+        println!(
+            "{:>10} {:>8.2} {:>8.2} {:>8.2}",
+            app.name(),
+            row[0],
+            row[1],
+            row[2]
+        );
+    }
+    println!("(seed-to-seed IPC spread bounds the statistical noise of the");
+    println!("synthetic-workload substitution)");
+    println!();
+
+    println!("Sensitivity 3: simulation length (bzip2 base IPC / power)");
+    for (label, factor) in [("0.5x", 1u64), ("1x", 2), ("2x", 4)] {
+        let p = EvalParams {
+            measure_instructions: params.measure_instructions * factor / 2,
+            ..params
+        };
+        let e = Evaluator::ibm_65nm(p).expect("evaluator");
+        let ev = e.evaluate(App::Bzip2, &CoreConfig::base()).expect("evaluation");
+        println!(
+            "  {:>4} ({:>7} insts): IPC {:.3}, P {:.1} W, Tmax {:.1} K",
+            label,
+            p.measure_instructions,
+            ev.ipc,
+            ev.average_power().0,
+            ev.max_temperature().0
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Table 1 reproduction: the base non-adaptive processor parameters.
+
+use sim_cpu::CoreConfig;
+
+fn main() {
+    let c = CoreConfig::base();
+    println!("Table 1: Base non-adaptive processor");
+    println!("====================================");
+    println!("Technology Parameters");
+    println!("  Process technology                     65 nm");
+    println!("  Vdd                                    {:.1} V", c.vdd.0);
+    println!(
+        "  Processor frequency                    {:.1} GHz",
+        c.frequency.to_ghz()
+    );
+    let plan = sim_common::Floorplan::r10000_65nm();
+    println!(
+        "  Processor core size (no L2)            {:.2} mm^2 ({:.1} mm x {:.1} mm)",
+        plan.total_area().0,
+        plan.die_width(),
+        plan.die_height()
+    );
+    println!("  Leakage power density at 383 K         0.5 W/mm^2");
+    println!("Base Processor Parameters");
+    println!("  Fetch/retire rate                      {} per cycle", c.fetch_width);
+    println!(
+        "  Functional units                       {} Int, {} FP, {} Add. gen.",
+        c.int_alus, c.fpus, c.addr_gens
+    );
+    println!("  Integer FU latencies                   1/7/12 add/multiply/divide");
+    println!("  FP FU latencies                        4 default, 12 div (not pipelined)");
+    println!(
+        "  Instruction window (reorder buffer)    {} entries",
+        c.window_size
+    );
+    println!(
+        "  Register file size                     {} integer and {} FP",
+        c.int_regs, c.fp_regs
+    );
+    println!("  Memory queue size                      {} entries", c.mem_queue);
+    println!(
+        "  Branch prediction                      2KB bimodal agree ({} counters), {} entry RAS",
+        c.bpred.counters, c.bpred.ras_entries
+    );
+    println!("Base Memory Hierarchy Parameters");
+    println!(
+        "  L1 (Data)                              {}KB, {}-way, {}B line, {} ports, {} MSHRs",
+        c.l1d.size_bytes / 1024,
+        c.l1d.assoc,
+        c.l1d.line_bytes,
+        c.l1d_ports,
+        c.mshrs
+    );
+    println!(
+        "  L1 (Instr)                             {}KB, {}-way associative",
+        c.l1i.size_bytes / 1024,
+        c.l1i.assoc
+    );
+    println!(
+        "  L2 (Unified)                           {}MB, {}-way, {}B line",
+        c.l2.size_bytes / (1024 * 1024),
+        c.l2.assoc,
+        c.l2.line_bytes
+    );
+    println!("Base Contentionless Memory Latencies");
+    println!(
+        "  L1 (Data) hit time (on-chip)           {} cycles",
+        c.l1_hit_cycles
+    );
+    println!(
+        "  L2 hit time (off-chip)                 {} cycles",
+        c.l2_hit_cycles()
+    );
+    println!(
+        "  Main memory (off-chip)                 {} cycles",
+        c.mem_cycles()
+    );
+}

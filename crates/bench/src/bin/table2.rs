@@ -1,0 +1,42 @@
+//! Table 2 reproduction: per-application IPC and base power
+//! (dynamic + leakage) on the base non-adaptive processor.
+
+use bench_suite::parallel_over_apps;
+use sim_cpu::CoreConfig;
+
+fn main() {
+    println!("Table 2: Workload description (measured on the base processor)");
+    println!("===============================================================");
+    println!(
+        "{:10} {:12} {:>6} {:>8}   {:>10} {:>12}",
+        "App", "Type", "IPC", "Power(W)", "paper IPC", "paper P(W)"
+    );
+    let rows = parallel_over_apps(|app, oracle| {
+        let ev = oracle
+            .evaluator()
+            .evaluate(app, &CoreConfig::base())?
+            .clone();
+        Ok((ev.ipc, ev.average_power().0))
+    });
+    for (app, (ipc, power)) in rows {
+        let class = if app.is_multimedia() {
+            "Multimedia"
+        } else if matches!(
+            app,
+            workload::App::Bzip2 | workload::App::Gzip | workload::App::Twolf
+        ) {
+            "SpecInt"
+        } else {
+            "SpecFP"
+        };
+        println!(
+            "{:10} {:12} {:>6.2} {:>8.1}   {:>10.1} {:>12.1}",
+            app.name(),
+            class,
+            ipc,
+            power,
+            app.paper_ipc(),
+            app.paper_power_watts()
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Minimal dependency-free argument parsing: `--key value` pairs and
+//! `--flag` booleans after a subcommand.
+
+use std::collections::HashMap;
+
+use sim_common::SimError;
+use workload::App;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    command: String,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] on malformed input (missing
+    /// subcommand, option without `--`, repeated keys).
+    pub fn parse(argv: &[String]) -> Result<Args, SimError> {
+        let mut iter = argv.iter().peekable();
+        let command = iter
+            .next()
+            .ok_or_else(|| SimError::invalid_config("missing subcommand; try `ramp help`"))?
+            .clone();
+        let mut options = HashMap::new();
+        let mut flags = Vec::new();
+        while let Some(token) = iter.next() {
+            let key = token
+                .strip_prefix("--")
+                .ok_or_else(|| {
+                    SimError::invalid_config(format!("expected an option, got `{token}`"))
+                })?
+                .to_owned();
+            // A following token that is not itself an option is this
+            // option's value; otherwise the option is a bare flag.
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = iter.next().expect("peeked").clone();
+                    if options.insert(key.clone(), value).is_some() {
+                        return Err(SimError::invalid_config(format!(
+                            "option --{key} given twice"
+                        )));
+                    }
+                }
+                _ => flags.push(key),
+            }
+        }
+        Ok(Args {
+            command,
+            options,
+            flags,
+        })
+    }
+
+    /// The subcommand.
+    pub fn command(&self) -> &str {
+        &self.command
+    }
+
+    /// True when `--name` was given without a value.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// An optional string option.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// A required string option.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when absent.
+    pub fn require(&self, name: &str) -> Result<&str, SimError> {
+        self.get(name)
+            .ok_or_else(|| SimError::invalid_config(format!("missing required option --{name}")))
+    }
+
+    /// A float option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when present but unparsable.
+    pub fn f64_or(&self, name: &str, default: f64) -> Result<f64, SimError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| {
+                SimError::invalid_config(format!("--{name} expects a number, got `{v}`"))
+            }),
+        }
+    }
+
+    /// An integer option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when present but unparsable.
+    pub fn u64_or(&self, name: &str, default: u64) -> Result<u64, SimError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| {
+                SimError::invalid_config(format!("--{name} expects an integer, got `{v}`"))
+            }),
+        }
+    }
+
+    /// The workload named by `--app` (required).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for an unknown name.
+    pub fn app(&self) -> Result<App, SimError> {
+        let name = self.require("app")?;
+        lookup_app(name)
+    }
+
+    /// Rejects options/flags outside `allowed` so typos fail loudly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] naming the unknown option.
+    pub fn expect_only(&self, allowed: &[&str]) -> Result<(), SimError> {
+        for key in self.options.keys().chain(self.flags.iter()) {
+            if !allowed.contains(&key.as_str()) {
+                return Err(SimError::invalid_config(format!(
+                    "unknown option --{key} for `{}` (allowed: {})",
+                    self.command,
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Case-insensitive application lookup.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for an unknown name.
+pub fn lookup_app(name: &str) -> Result<App, SimError> {
+    App::ALL
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            SimError::invalid_config(format!(
+                "unknown application `{name}` (known: {})",
+                App::ALL
+                    .iter()
+                    .map(|a| a.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, SimError> {
+        let v: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        Args::parse(&v)
+    }
+
+    #[test]
+    fn parses_options_and_flags() {
+        let a = parse(&["fit", "--app", "bzip2", "--tqual", "394", "--verbose"]).unwrap();
+        assert_eq!(a.command(), "fit");
+        assert_eq!(a.get("app"), Some("bzip2"));
+        assert_eq!(a.f64_or("tqual", 0.0).unwrap(), 394.0);
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn rejects_missing_subcommand_and_bad_tokens() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["fit", "app", "bzip2"]).is_err());
+        assert!(parse(&["fit", "--x", "1", "--x", "2"]).is_err());
+    }
+
+    #[test]
+    fn app_lookup_is_case_insensitive() {
+        assert_eq!(lookup_app("MPGDEC").unwrap(), App::MpgDec);
+        assert_eq!(lookup_app("twolf").unwrap(), App::Twolf);
+        assert!(lookup_app("doom").is_err());
+    }
+
+    #[test]
+    fn require_and_defaults() {
+        let a = parse(&["x", "--n", "5"]).unwrap();
+        assert_eq!(a.u64_or("n", 1).unwrap(), 5);
+        assert_eq!(a.u64_or("m", 7).unwrap(), 7);
+        assert!(a.require("missing").is_err());
+        assert!(a.f64_or("n", 0.0).is_ok());
+        let bad = parse(&["x", "--n", "abc"]).unwrap();
+        assert!(bad.u64_or("n", 1).is_err());
+    }
+
+    #[test]
+    fn expect_only_catches_typos() {
+        let a = parse(&["fit", "--app", "bzip2", "--tqaul", "394"]).unwrap();
+        assert!(a.expect_only(&["app", "tqual"]).is_err());
+        assert!(a.expect_only(&["app", "tqaul"]).is_ok());
+    }
+}

@@ -1,0 +1,332 @@
+//! Subcommand implementations.
+
+use drm::scaling::{required_qualification_temperature, scaling_study, TechnologyNode};
+use drm::{
+    intra_app_best, ArchPoint, ControllerParams, DvsPoint, EvalParams, Evaluator, Oracle,
+    ReactiveDrm, SensorParams, Strategy,
+};
+use ramp::{
+    FailureParams, Mechanism, QualificationPoint, ReliabilityModel, FIT_TARGET_STANDARD,
+};
+use sim_common::{Floorplan, Kelvin, SimError, Structure};
+use sim_cpu::CoreConfig;
+use workload::App;
+
+use crate::args::Args;
+
+/// Resolves the workload: `--profile <file>` (text format) wins over
+/// `--app <name>`.
+fn workload_from(args: &Args) -> Result<workload::AppProfile, SimError> {
+    if let Some(path) = args.get("profile") {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            SimError::invalid_config(format!("cannot read profile `{path}`: {e}"))
+        })?;
+        workload::profile_from_text(&text)
+    } else {
+        Ok(args.app()?.profile())
+    }
+}
+
+/// Prints the global help text.
+pub fn print_help() {
+    println!("ramp — lifetime reliability-aware microprocessor toolkit");
+    println!("(reproduction of Srinivasan et al., ISCA 2004)");
+    println!();
+    println!("USAGE: ramp <command> [--option value] [--flag]");
+    println!();
+    println!("COMMANDS");
+    println!("  list        the nine Table 2 workloads and the modeled structures");
+    println!("  evaluate    run a workload on a configuration: IPC, power, temperature");
+    println!("              --app <name> | --profile <file>  [--ghz G] [--window N]");
+    println!("              [--alus N] [--fpus N] [--prefetch] [--quick]");
+    println!("  fit         lifetime reliability of a run against a qualification");
+    println!("              --app <name> | --profile <file>  --tqual K [--alpha A]");
+    println!("              [--target FIT] [--ghz G]");
+    println!("  drm         oracular DRM choice for an application");
+    println!("              --app <name> --tqual K [--strategy arch|dvs|archdvs]");
+    println!("              [--step GHz] [--intra]");
+    println!("  dtm         DVS-for-DTM choice under a thermal limit");
+    println!("              --app <name> --tmax K [--step GHz]");
+    println!("  controller  reactive DRM run (optionally with a thermal limit");
+    println!("              and realistic sensors)");
+    println!("              --app <name> --tqual K [--tmax K] [--sensors] [--insts N]");
+    println!("  scaling     the same design across 90/65/45 nm");
+    println!("              --app <name> [--tqual K]");
+    println!();
+    println!("Add --quick to any simulation command for shorter runs.");
+}
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for unknown commands, bad options, or failures in
+/// the underlying pipeline.
+pub fn dispatch(args: &Args) -> Result<(), SimError> {
+    match args.command() {
+        "list" => {
+            args.expect_only(&[])?;
+            list()
+        }
+        "evaluate" => evaluate(args),
+        "fit" => fit(args),
+        "drm" => drm_cmd(args),
+        "dtm" => dtm_cmd(args),
+        "controller" => controller(args),
+        "scaling" => scaling(args),
+        other => Err(SimError::invalid_config(format!(
+            "unknown command `{other}`; try `ramp help`"
+        ))),
+    }
+}
+
+fn eval_params(args: &Args) -> EvalParams {
+    if args.flag("quick") {
+        EvalParams::quick()
+    } else {
+        EvalParams::standard()
+    }
+}
+
+fn config_from(args: &Args) -> Result<CoreConfig, SimError> {
+    let ghz = args.f64_or("ghz", 4.0)?;
+    let dvs = DvsPoint::at_ghz(ghz)?;
+    let window = args.u64_or("window", 128)? as u32;
+    let alus = args.u64_or("alus", 6)? as u32;
+    let fpus = args.u64_or("fpus", 4)? as u32;
+    let mut cfg = ArchPoint {
+        window,
+        alus,
+        fpus,
+    }
+    .apply(&CoreConfig::base(), dvs)?;
+    cfg.prefetch_next_line = args.flag("prefetch");
+    Ok(cfg)
+}
+
+fn model_from(args: &Args) -> Result<ReliabilityModel, SimError> {
+    let t_qual = args.f64_or("tqual", 394.0)?;
+    let alpha = args.f64_or("alpha", 0.48)?;
+    let target = args.f64_or("target", FIT_TARGET_STANDARD)?;
+    ReliabilityModel::qualify(
+        FailureParams::ramp_65nm(),
+        &QualificationPoint::at_temperature(Kelvin(t_qual), alpha),
+        &Floorplan::r10000_65nm().area_shares(),
+        target,
+    )
+}
+
+fn list() -> Result<(), SimError> {
+    println!("Workloads (Table 2):");
+    for app in App::ALL {
+        println!(
+            "  {:8}  {:11}  paper IPC {:.1}, paper power {:.1} W",
+            app.name(),
+            if app.is_multimedia() {
+                "multimedia"
+            } else {
+                "Spec2000"
+            },
+            app.paper_ipc(),
+            app.paper_power_watts()
+        );
+    }
+    println!();
+    println!("Modeled structures (floorplan areas):");
+    let plan = Floorplan::r10000_65nm();
+    for s in Structure::ALL {
+        println!("  {:12} {:5.2} mm^2", s.name(), plan.block(s).area().0);
+    }
+    Ok(())
+}
+
+fn evaluate(args: &Args) -> Result<(), SimError> {
+    args.expect_only(&[
+        "app", "profile", "ghz", "window", "alus", "fpus", "prefetch", "quick",
+    ])?;
+    let profile = workload_from(args)?;
+    let cfg = config_from(args)?;
+    let evaluator = Evaluator::ibm_65nm(eval_params(args))?;
+    let ev = evaluator.evaluate_profile(&profile, &cfg)?;
+    println!(
+        "{} on w{}/a{}/f{} @ {:.2} GHz / {:.3} V",
+        profile.name, cfg.window_size, cfg.int_alus, cfg.fpus, cfg.frequency.to_ghz(), cfg.vdd.0
+    );
+    println!("  IPC            {:.3}", ev.ipc);
+    println!("  performance    {:.2} BIPS", ev.bips);
+    println!("  average power  {:.1}", ev.average_power());
+    println!("  peak temp      {:.1}", ev.max_temperature());
+    println!("  heat sink      {:.1}", ev.sink_temperature);
+    Ok(())
+}
+
+fn fit(args: &Args) -> Result<(), SimError> {
+    args.expect_only(&[
+        "app", "profile", "tqual", "alpha", "target", "ghz", "window", "alus", "fpus",
+        "prefetch", "quick",
+    ])?;
+    let profile = workload_from(args)?;
+    let cfg = config_from(args)?;
+    let model = model_from(args)?;
+    let evaluator = Evaluator::ibm_65nm(eval_params(args))?;
+    let ev = evaluator.evaluate_profile(&profile, &cfg)?;
+    let fit = ev.application_fit(&model);
+    println!(
+        "{} vs T_qual {:.0} (target {:.0} FIT)",
+        profile.name,
+        model.qualification().temperature.0,
+        model.target_fit().value()
+    );
+    for m in Mechanism::ALL {
+        println!("  {:18} {:8.0} FIT", m.to_string(), fit.mechanism_total(m).value());
+    }
+    println!("  {:18} {:8.0} FIT", "total", fit.total().value());
+    println!("  MTTF               {}", fit.total().to_mttf());
+    println!(
+        "  verdict            {}",
+        if fit.meets(model.target_fit()) {
+            "meets the target"
+        } else {
+            "EXCEEDS the target (DRM would throttle)"
+        }
+    );
+    Ok(())
+}
+
+fn parse_strategy(args: &Args) -> Result<Strategy, SimError> {
+    match args.get("strategy").unwrap_or("archdvs") {
+        s if s.eq_ignore_ascii_case("arch") => Ok(Strategy::Arch),
+        s if s.eq_ignore_ascii_case("dvs") => Ok(Strategy::Dvs),
+        s if s.eq_ignore_ascii_case("archdvs") => Ok(Strategy::ArchDvs),
+        other => Err(SimError::invalid_config(format!(
+            "unknown strategy `{other}` (arch, dvs, archdvs)"
+        ))),
+    }
+}
+
+fn drm_cmd(args: &Args) -> Result<(), SimError> {
+    args.expect_only(&[
+        "app", "tqual", "alpha", "target", "strategy", "step", "quick", "intra",
+    ])?;
+    let app = args.app()?;
+    let model = model_from(args)?;
+    let strategy = parse_strategy(args)?;
+    let step = args.f64_or("step", 0.25)?;
+    let mut oracle = Oracle::new(Evaluator::ibm_65nm(eval_params(args))?);
+    if args.flag("intra") {
+        let choice = intra_app_best(&mut oracle, app, strategy, &model, step)?;
+        println!(
+            "{app} @ T_qual {:.0}: intra-application {strategy} schedule",
+            model.qualification().temperature.0
+        );
+        println!("  performance    {:.3}x base", choice.relative_performance);
+        println!("  FIT            {:.0}", choice.fit.value());
+        println!("  switches       {}", choice.switches);
+        println!("  feasible       {}", choice.feasible);
+    } else {
+        let choice = oracle.best(app, strategy, &model, step)?;
+        println!(
+            "{app} @ T_qual {:.0}: best {strategy} configuration",
+            model.qualification().temperature.0
+        );
+        println!(
+            "  configuration  {} @ {:.2} GHz / {:.3} V",
+            choice.arch,
+            choice.dvs.frequency.to_ghz(),
+            choice.dvs.vdd.0
+        );
+        println!("  performance    {:.3}x base", choice.relative_performance);
+        println!("  FIT            {:.0}", choice.fit.value());
+        println!("  feasible       {}", choice.feasible);
+    }
+    Ok(())
+}
+
+fn dtm_cmd(args: &Args) -> Result<(), SimError> {
+    args.expect_only(&["app", "tmax", "step", "quick"])?;
+    let app = args.app()?;
+    let t_max = Kelvin(args.f64_or("tmax", 380.0)?);
+    let step = args.f64_or("step", 0.25)?;
+    let mut oracle = Oracle::new(Evaluator::ibm_65nm(eval_params(args))?);
+    let choice = drm::dtm_best_dvs(&mut oracle, app, t_max, step)?;
+    println!("{app} under DTM with T_max {:.0}:", t_max.0);
+    println!(
+        "  frequency      {:.2} GHz / {:.3} V",
+        choice.dvs.frequency.to_ghz(),
+        choice.dvs.vdd.0
+    );
+    println!("  peak temp      {:.1}", choice.max_temperature);
+    println!("  feasible       {}", choice.feasible);
+    Ok(())
+}
+
+fn controller(args: &Args) -> Result<(), SimError> {
+    args.expect_only(&[
+        "app", "tqual", "alpha", "target", "tmax", "sensors", "insts", "epoch", "quick",
+    ])?;
+    let app = args.app()?;
+    let model = model_from(args)?;
+    let params = ControllerParams {
+        total_instructions: args.u64_or("insts", 600_000)?,
+        epoch_instructions: args.u64_or("epoch", 20_000)?,
+        thermal_limit: args.get("tmax").map(|_| ()).map_or(Ok(None), |()| {
+            args.f64_or("tmax", 385.0).map(|t| Some(Kelvin(t)))
+        })?,
+        sensors: if args.flag("sensors") {
+            Some(SensorParams::thermal_diode())
+        } else {
+            None
+        },
+        ..ControllerParams::quick()
+    };
+    let trace = ReactiveDrm::ibm_65nm(params)?.run(app, &model)?;
+    println!(
+        "{app} under reactive DRM (T_qual {:.0}{}{}):",
+        model.qualification().temperature.0,
+        params
+            .thermal_limit
+            .map(|t| format!(", T_max {:.0}", t.0))
+            .unwrap_or_default(),
+        if params.sensors.is_some() {
+            ", thermal-diode sensors"
+        } else {
+            ""
+        }
+    );
+    println!("  epochs         {}", trace.epochs.len());
+    println!("  mean frequency {:.2} GHz", trace.average_ghz());
+    println!("  DVS switches   {}", trace.frequency_changes);
+    println!("  final FIT      {:.0} (target {:.0})", trace.final_fit.value(), model.target_fit().value());
+    println!("  performance    {:.2} BIPS", trace.bips);
+    if params.thermal_limit.is_some() {
+        println!("  thermal viol.  {} epoch(s)", trace.thermal_violations);
+    }
+    Ok(())
+}
+
+fn scaling(args: &Args) -> Result<(), SimError> {
+    args.expect_only(&["app", "tqual", "alpha", "quick"])?;
+    let app = args.app()?;
+    let alpha = args.f64_or("alpha", 0.48)?;
+    let qual = QualificationPoint::at_temperature(Kelvin(args.f64_or("tqual", 394.0)?), alpha);
+    let params = eval_params(args);
+    let rows = scaling_study(app, &TechnologyNode::all(), &qual, params)?;
+    println!("{app} across process generations (T_qual {:.0}):", qual.temperature.0);
+    println!(
+        "  {:>6} {:>8} {:>9} {:>9} {:>10} {:>10}",
+        "node", "f (GHz)", "P (W)", "Tmax (K)", "FIT", "req Tq (K)"
+    );
+    for row in rows {
+        let req = required_qualification_temperature(&row.node, app, alpha, params)?;
+        println!(
+            "  {:>6} {:>8.1} {:>9.1} {:>9.1} {:>10.0} {:>10.1}",
+            row.node.name,
+            row.node.frequency.to_ghz(),
+            row.evaluation.average_power().0,
+            row.evaluation.max_temperature().0,
+            row.fit.value(),
+            req.0
+        );
+    }
+    Ok(())
+}

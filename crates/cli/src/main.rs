@@ -1,0 +1,38 @@
+//! `ramp` — the command-line interface to the RAMP/DRM reproduction.
+//!
+//! ```text
+//! ramp list
+//! ramp evaluate  --app bzip2 [--ghz 4.0] [--window 128] [--alus 6] [--fpus 4] [--prefetch] [--quick]
+//! ramp fit       --app bzip2 --tqual 394 [--alpha 0.48] [--target 4000] [--ghz 4.0] [--quick]
+//! ramp drm       --app bzip2 --tqual 394 [--strategy archdvs] [--step 0.25] [--quick]
+//! ramp dtm       --app bzip2 --tmax 380 [--step 0.25] [--quick]
+//! ramp controller --app bzip2 --tqual 394 [--tmax 385] [--sensors] [--insts 600000]
+//! ramp scaling   --app gzip [--tqual 394] [--quick]
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" || argv[0] == "-h" {
+        commands::print_help();
+        return ExitCode::SUCCESS;
+    }
+    let parsed = match args::Args::parse(&argv) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match commands::dispatch(&parsed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! End-to-end tests of the `ramp` CLI binary.
+
+use std::process::Command;
+
+fn ramp(args: &[&str]) -> (bool, String, String) {
+    let exe = env!("CARGO_BIN_EXE_ramp");
+    let out = Command::new(exe).args(args).output().expect("spawn ramp");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_lists_commands() {
+    let (ok, stdout, _) = ramp(&["help"]);
+    assert!(ok);
+    for cmd in ["list", "evaluate", "fit", "drm", "dtm", "controller", "scaling"] {
+        assert!(stdout.contains(cmd), "help is missing `{cmd}`");
+    }
+}
+
+#[test]
+fn list_names_all_workloads_and_structures() {
+    let (ok, stdout, _) = ramp(&["list"]);
+    assert!(ok);
+    for app in ["MPGdec", "bzip2", "art"] {
+        assert!(stdout.contains(app));
+    }
+    assert!(stdout.contains("fpu"));
+    assert!(stdout.contains("dcache"));
+}
+
+#[test]
+fn evaluate_reports_metrics() {
+    let (ok, stdout, _) = ramp(&["evaluate", "--app", "twolf", "--quick"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("IPC"));
+    assert!(stdout.contains("average power"));
+    assert!(stdout.contains("peak temp"));
+}
+
+#[test]
+fn fit_reports_mechanisms_and_verdict() {
+    let (ok, stdout, _) = ramp(&["fit", "--app", "art", "--tqual", "394", "--quick"]);
+    assert!(ok, "{stdout}");
+    for m in ["electromigration", "stress-migration", "tddb", "thermal-cycling"] {
+        assert!(stdout.contains(m), "missing {m}: {stdout}");
+    }
+    assert!(stdout.contains("MTTF"));
+    assert!(stdout.contains("meets the target"));
+}
+
+#[test]
+fn drm_finds_a_configuration() {
+    let (ok, stdout, _) = ramp(&[
+        "drm", "--app", "twolf", "--tqual", "405", "--strategy", "dvs", "--step", "0.5",
+        "--quick",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("GHz"));
+    assert!(stdout.contains("feasible"));
+}
+
+#[test]
+fn unknown_inputs_fail_cleanly() {
+    let (ok, _, stderr) = ramp(&["fit", "--app", "doom", "--quick"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown application"), "{stderr}");
+
+    let (ok, _, stderr) = ramp(&["transmogrify"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+
+    let (ok, _, stderr) = ramp(&["evaluate", "--app", "art", "--tqaul", "394", "--quick"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown option"), "{stderr}");
+}
+
+#[test]
+fn evaluate_rejects_out_of_range_dvs() {
+    let (ok, _, stderr) = ramp(&["evaluate", "--app", "art", "--ghz", "9.0", "--quick"]);
+    assert!(!ok);
+    assert!(stderr.contains("DVS range"), "{stderr}");
+}

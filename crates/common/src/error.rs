@@ -1,0 +1,78 @@
+//! The common error type shared by all simulation crates.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring or running the simulation stack.
+///
+/// # Examples
+///
+/// ```
+/// use sim_common::SimError;
+/// let err = SimError::invalid_config("window size must be a power of two");
+/// assert!(err.to_string().contains("window size"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration value is inconsistent or out of range.
+    InvalidConfig(String),
+    /// A numerical solver failed to converge.
+    SolverDiverged(String),
+    /// A requested operating point cannot satisfy the constraint
+    /// (e.g. no DVS setting meets the FIT target).
+    Infeasible(String),
+}
+
+impl SimError {
+    /// Convenience constructor for [`SimError::InvalidConfig`].
+    pub fn invalid_config(msg: impl Into<String>) -> SimError {
+        SimError::InvalidConfig(msg.into())
+    }
+
+    /// Convenience constructor for [`SimError::SolverDiverged`].
+    pub fn solver_diverged(msg: impl Into<String>) -> SimError {
+        SimError::SolverDiverged(msg.into())
+    }
+
+    /// Convenience constructor for [`SimError::Infeasible`].
+    pub fn infeasible(msg: impl Into<String>) -> SimError {
+        SimError::Infeasible(msg.into())
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::SolverDiverged(msg) => write!(f, "solver diverged: {msg}"),
+            SimError::Infeasible(msg) => write!(f, "infeasible operating point: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            SimError::invalid_config("x").to_string(),
+            "invalid configuration: x"
+        );
+        assert_eq!(SimError::solver_diverged("y").to_string(), "solver diverged: y");
+        assert_eq!(
+            SimError::infeasible("z").to_string(),
+            "infeasible operating point: z"
+        );
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<SimError>();
+    }
+}

@@ -1,0 +1,415 @@
+//! Core floorplan geometry for the thermal model.
+//!
+//! The paper feeds HotSpot a chip floorplan "resembling the MIPS R10000
+//! floorplan (without L2 cache), scaled down to 20.2 mm² (4.5 mm x 4.5 mm)"
+//! for the 65 nm process. [`Floorplan::r10000_65nm`] reproduces that: nine
+//! rectangular blocks, one per modeled [`Structure`], tiling the 4.5 mm
+//! square exactly.
+
+use crate::structure::{Structure, StructureMap};
+use crate::units::SquareMillimeters;
+use crate::SimError;
+
+/// An axis-aligned rectangle in millimeters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rect {
+    /// Left edge (mm).
+    pub x: f64,
+    /// Bottom edge (mm).
+    pub y: f64,
+    /// Width (mm).
+    pub w: f64,
+    /// Height (mm).
+    pub h: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if width or height is not strictly positive.
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Rect {
+        assert!(w > 0.0 && h > 0.0, "rectangle must have positive extent");
+        Rect { x, y, w, h }
+    }
+
+    /// Area in mm².
+    pub fn area(&self) -> SquareMillimeters {
+        SquareMillimeters(self.w * self.h)
+    }
+
+    /// Length of the shared boundary with `other` in mm (0.0 when the
+    /// rectangles do not abut).
+    pub fn shared_edge(&self, other: &Rect) -> f64 {
+        const EPS: f64 = 1e-9;
+        let x_overlap = (self.x + self.w).min(other.x + other.w) - self.x.max(other.x);
+        let y_overlap = (self.y + self.h).min(other.y + other.h) - self.y.max(other.y);
+        // Vertical shared edge: touching in x, overlapping in y.
+        let touch_x = ((self.x + self.w) - other.x).abs() < EPS
+            || ((other.x + other.w) - self.x).abs() < EPS;
+        // Horizontal shared edge: touching in y, overlapping in x.
+        let touch_y = ((self.y + self.h) - other.y).abs() < EPS
+            || ((other.y + other.h) - self.y).abs() < EPS;
+        if touch_x && y_overlap > EPS {
+            y_overlap
+        } else if touch_y && x_overlap > EPS {
+            x_overlap
+        } else {
+            0.0
+        }
+    }
+
+    /// True when the interiors of the rectangles overlap.
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        const EPS: f64 = 1e-9;
+        self.x + EPS < other.x + other.w
+            && other.x + EPS < self.x + self.w
+            && self.y + EPS < other.y + other.h
+            && other.y + EPS < self.y + self.h
+    }
+}
+
+/// A floorplan block: one [`Structure`] with its placement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Block {
+    /// Structure occupying the block.
+    pub structure: Structure,
+    /// Placement rectangle (mm).
+    pub rect: Rect,
+}
+
+impl Block {
+    /// Block area in mm².
+    pub fn area(&self) -> SquareMillimeters {
+        self.rect.area()
+    }
+}
+
+/// A complete core floorplan: exactly one block per modeled structure.
+///
+/// # Examples
+///
+/// ```
+/// use sim_common::{Floorplan, Structure};
+/// let plan = Floorplan::r10000_65nm();
+/// // Blocks tile the die, so block areas sum to the die area.
+/// let sum: f64 = Structure::ALL.iter().map(|&s| plan.block(s).area().0).sum();
+/// assert!((sum - plan.total_area().0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Floorplan {
+    blocks: StructureMap<Block>,
+    die_width: f64,
+    die_height: f64,
+}
+
+impl Floorplan {
+    /// Builds a floorplan from one block per structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when a structure is missing or
+    /// duplicated, when blocks overlap, or when a block extends past the die.
+    pub fn new(
+        blocks: impl IntoIterator<Item = Block>,
+        die_width: f64,
+        die_height: f64,
+    ) -> Result<Floorplan, SimError> {
+        let mut seen = [false; Structure::COUNT];
+        let mut map = StructureMap::from_fn(|s| Block {
+            structure: s,
+            rect: Rect {
+                x: 0.0,
+                y: 0.0,
+                w: 1.0,
+                h: 1.0,
+            },
+        });
+        let mut all: Vec<Block> = Vec::new();
+        for block in blocks {
+            let idx = block.structure.index();
+            if seen[idx] {
+                return Err(SimError::invalid_config(format!(
+                    "duplicate floorplan block for {}",
+                    block.structure
+                )));
+            }
+            seen[idx] = true;
+            let r = &block.rect;
+            if r.x < -1e-9
+                || r.y < -1e-9
+                || r.x + r.w > die_width + 1e-9
+                || r.y + r.h > die_height + 1e-9
+            {
+                return Err(SimError::invalid_config(format!(
+                    "block {} extends beyond the {}x{} mm die",
+                    block.structure, die_width, die_height
+                )));
+            }
+            for prev in &all {
+                if prev.rect.overlaps(&block.rect) {
+                    return Err(SimError::invalid_config(format!(
+                        "blocks {} and {} overlap",
+                        prev.structure, block.structure
+                    )));
+                }
+            }
+            map[block.structure] = block;
+            all.push(block);
+        }
+        if let Some(missing) = Structure::ALL.into_iter().find(|s| !seen[s.index()]) {
+            return Err(SimError::invalid_config(format!(
+                "floorplan is missing a block for {missing}"
+            )));
+        }
+        Ok(Floorplan {
+            blocks: map,
+            die_width,
+            die_height,
+        })
+    }
+
+    /// The default core floorplan used throughout the reproduction: a
+    /// MIPS-R10000-like layout scaled to 4.5 mm x 4.5 mm (≈20.2 mm², 65 nm),
+    /// matching Table 1 of the paper.
+    pub fn r10000_65nm() -> Floorplan {
+        let block = |s, x, y, w, h| Block {
+            structure: s,
+            rect: Rect::new(x, y, w, h),
+        };
+        // Three 1.5 mm rows tiling the 4.5 mm square. Front end at the
+        // bottom, execution core in the middle, data path on top.
+        Floorplan::new(
+            [
+                block(Structure::Icache, 0.0, 0.0, 2.0, 1.5),
+                block(Structure::Bpred, 2.0, 0.0, 1.0, 1.5),
+                block(Structure::Lsq, 3.0, 0.0, 1.5, 1.5),
+                block(Structure::Window, 0.0, 1.5, 1.8, 1.5),
+                block(Structure::IntRegFile, 1.8, 1.5, 1.0, 1.5),
+                block(Structure::IntAlu, 2.8, 1.5, 1.7, 1.5),
+                block(Structure::Dcache, 0.0, 3.0, 2.2, 1.5),
+                block(Structure::FpRegFile, 2.2, 3.0, 0.8, 1.5),
+                block(Structure::Fpu, 3.0, 3.0, 1.5, 1.5),
+            ],
+            4.5,
+            4.5,
+        )
+        .expect("default floorplan is statically valid")
+    }
+
+    /// Returns this floorplan with every linear dimension multiplied by
+    /// `linear_factor` (areas scale by its square) — used by the
+    /// technology-scaling study, where each process generation shrinks the
+    /// same layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the factor is not strictly
+    /// positive and finite.
+    pub fn scaled(&self, linear_factor: f64) -> Result<Floorplan, SimError> {
+        if !(linear_factor > 0.0 && linear_factor.is_finite()) {
+            return Err(SimError::invalid_config(format!(
+                "scale factor must be positive and finite, got {linear_factor}"
+            )));
+        }
+        let blocks = self.blocks().map(|b| Block {
+            structure: b.structure,
+            rect: Rect::new(
+                b.rect.x * linear_factor,
+                b.rect.y * linear_factor,
+                b.rect.w * linear_factor,
+                b.rect.h * linear_factor,
+            ),
+        });
+        Floorplan::new(
+            blocks,
+            self.die_width * linear_factor,
+            self.die_height * linear_factor,
+        )
+    }
+
+    /// The block occupied by `structure`.
+    pub fn block(&self, structure: Structure) -> &Block {
+        &self.blocks[structure]
+    }
+
+    /// Iterates over all blocks in canonical structure order.
+    pub fn blocks(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter().map(|(_, b)| b)
+    }
+
+    /// Die width in mm.
+    pub fn die_width(&self) -> f64 {
+        self.die_width
+    }
+
+    /// Die height in mm.
+    pub fn die_height(&self) -> f64 {
+        self.die_height
+    }
+
+    /// Total die area in mm².
+    pub fn total_area(&self) -> SquareMillimeters {
+        SquareMillimeters(self.die_width * self.die_height)
+    }
+
+    /// Per-structure area as a fraction of total block area.
+    ///
+    /// Used by the reliability qualification to distribute the FIT budget
+    /// across structures proportional to area (§3.7).
+    pub fn area_shares(&self) -> StructureMap<f64> {
+        let total: f64 = self.blocks().map(|b| b.area().0).sum();
+        self.blocks.map(|_, b| b.area().0 / total)
+    }
+
+    /// Length of the shared edge between the blocks of `a` and `b`, in mm.
+    pub fn shared_edge(&self, a: Structure, b: Structure) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            self.blocks[a].rect.shared_edge(&self.blocks[b].rect)
+        }
+    }
+}
+
+impl Default for Floorplan {
+    fn default() -> Self {
+        Floorplan::r10000_65nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_floorplan_tiles_die() {
+        let plan = Floorplan::r10000_65nm();
+        let sum: f64 = plan.blocks().map(|b| b.area().0).sum();
+        assert!((sum - 20.25).abs() < 1e-9);
+        assert!((plan.total_area().0 - 20.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_shares_sum_to_one() {
+        let shares = Floorplan::r10000_65nm().area_shares();
+        assert!((shares.total() - 1.0).abs() < 1e-12);
+        for (_, &s) in shares.iter() {
+            assert!(s > 0.0 && s < 1.0);
+        }
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let plan = Floorplan::r10000_65nm();
+        for a in Structure::ALL {
+            for b in Structure::ALL {
+                let ab = plan.shared_edge(a, b);
+                let ba = plan.shared_edge(b, a);
+                assert!((ab - ba).abs() < 1e-12, "{a} vs {b}: {ab} != {ba}");
+            }
+        }
+    }
+
+    #[test]
+    fn known_adjacencies() {
+        let plan = Floorplan::r10000_65nm();
+        // Icache (row 0) abuts Window (row 1) over 1.8 mm.
+        assert!((plan.shared_edge(Structure::Icache, Structure::Window) - 1.8).abs() < 1e-9);
+        // Icache and Bpred share a full vertical 1.5 mm edge.
+        assert!((plan.shared_edge(Structure::Icache, Structure::Bpred) - 1.5).abs() < 1e-9);
+        // Icache and Fpu are in opposite corners: no shared edge.
+        assert_eq!(plan.shared_edge(Structure::Icache, Structure::Fpu), 0.0);
+        // A block never abuts itself.
+        assert_eq!(plan.shared_edge(Structure::Fpu, Structure::Fpu), 0.0);
+    }
+
+    #[test]
+    fn every_block_has_a_neighbor() {
+        let plan = Floorplan::r10000_65nm();
+        for s in Structure::ALL {
+            let degree = Structure::ALL
+                .into_iter()
+                .filter(|&o| plan.shared_edge(s, o) > 0.0)
+                .count();
+            assert!(degree >= 1, "{s} is thermally isolated");
+        }
+    }
+
+    #[test]
+    fn scaling_preserves_shape() {
+        let plan = Floorplan::r10000_65nm();
+        let half = plan.scaled(0.5).unwrap();
+        assert!((half.total_area().0 - 20.25 / 4.0).abs() < 1e-9);
+        // Area shares are scale invariant.
+        let a = plan.area_shares();
+        let b = half.area_shares();
+        for s in Structure::ALL {
+            assert!((a[s] - b[s]).abs() < 1e-12, "{s}");
+        }
+        // Adjacency scales linearly.
+        assert!(
+            (half.shared_edge(Structure::Icache, Structure::Bpred) - 0.75).abs() < 1e-9
+        );
+        assert!(plan.scaled(0.0).is_err());
+        assert!(plan.scaled(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_structure() {
+        let mut blocks: Vec<Block> = Floorplan::r10000_65nm().blocks().copied().collect();
+        blocks[1].structure = blocks[0].structure;
+        let err = Floorplan::new(blocks, 4.5, 4.5).unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_missing_structure() {
+        let blocks: Vec<Block> = Floorplan::r10000_65nm()
+            .blocks()
+            .copied()
+            .filter(|b| b.structure != Structure::Fpu)
+            .collect();
+        let err = Floorplan::new(blocks, 4.5, 4.5).unwrap_err();
+        assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn rejects_overlap() {
+        let mut blocks: Vec<Block> = Floorplan::r10000_65nm().blocks().copied().collect();
+        blocks[2].rect.x = blocks[0].rect.x;
+        blocks[2].rect.y = blocks[0].rect.y;
+        let err = Floorplan::new(blocks, 4.5, 4.5).unwrap_err();
+        assert!(err.to_string().contains("overlap"));
+    }
+
+    #[test]
+    fn rejects_out_of_die() {
+        let mut blocks: Vec<Block> = Floorplan::r10000_65nm().blocks().copied().collect();
+        blocks[0].rect.w = 100.0;
+        let err = Floorplan::new(blocks, 4.5, 4.5).unwrap_err();
+        assert!(err.to_string().contains("beyond"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive extent")]
+    fn rect_rejects_zero_width() {
+        let _ = Rect::new(0.0, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn shared_edge_geometry() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(1.0, 0.0, 1.0, 1.0); // right neighbor
+        let c = Rect::new(0.0, 1.0, 2.0, 1.0); // top neighbor of both
+        let d = Rect::new(5.0, 5.0, 1.0, 1.0); // far away
+        assert!((a.shared_edge(&b) - 1.0).abs() < 1e-12);
+        assert!((a.shared_edge(&c) - 1.0).abs() < 1e-12);
+        assert!((b.shared_edge(&c) - 1.0).abs() < 1e-12);
+        assert_eq!(a.shared_edge(&d), 0.0);
+        // Diagonal corner contact is not an edge.
+        let e = Rect::new(1.0, 1.0, 1.0, 1.0);
+        assert_eq!(a.shared_edge(&e), 0.0);
+    }
+}

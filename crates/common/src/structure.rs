@@ -1,0 +1,267 @@
+//! The discrete processor structures that RAMP models.
+//!
+//! Following the paper (§3), the processor core is divided into a small
+//! number of structures and each analytic failure model is applied to a
+//! structure as an aggregate: "ALUs, FPUs, register files, branch predictor,
+//! caches, load-store queue, instruction window". The L2 cache is excluded
+//! from the reliability analysis (§6.1): it runs much cooler than the core.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A reliability-modeled processor structure.
+///
+/// # Examples
+///
+/// ```
+/// use sim_common::Structure;
+/// assert_eq!(Structure::ALL.len(), 9);
+/// assert_eq!(Structure::IntAlu.name(), "int-alu");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Structure {
+    /// Branch predictor (bimodal-agree tables + return address stack).
+    Bpred,
+    /// L1 instruction cache.
+    Icache,
+    /// L1 data cache.
+    Dcache,
+    /// Integer ALU pool (add/multiply/divide units).
+    IntAlu,
+    /// Floating-point unit pool.
+    Fpu,
+    /// Integer physical register file.
+    IntRegFile,
+    /// Floating-point physical register file.
+    FpRegFile,
+    /// Centralized instruction window (issue queue integrated with the ROB).
+    Window,
+    /// Load-store (memory) queue.
+    Lsq,
+}
+
+impl Structure {
+    /// All modeled structures, in a fixed canonical order.
+    pub const ALL: [Structure; 9] = [
+        Structure::Bpred,
+        Structure::Icache,
+        Structure::Dcache,
+        Structure::IntAlu,
+        Structure::Fpu,
+        Structure::IntRegFile,
+        Structure::FpRegFile,
+        Structure::Window,
+        Structure::Lsq,
+    ];
+
+    /// Number of modeled structures.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense index of this structure in [`Structure::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short kebab-case name, stable across releases.
+    pub fn name(self) -> &'static str {
+        match self {
+            Structure::Bpred => "bpred",
+            Structure::Icache => "icache",
+            Structure::Dcache => "dcache",
+            Structure::IntAlu => "int-alu",
+            Structure::Fpu => "fpu",
+            Structure::IntRegFile => "int-regfile",
+            Structure::FpRegFile => "fp-regfile",
+            Structure::Window => "window",
+            Structure::Lsq => "lsq",
+        }
+    }
+
+    /// Looks a structure up by its [`name`](Structure::name).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sim_common::Structure;
+    /// assert_eq!(Structure::from_name("fpu"), Some(Structure::Fpu));
+    /// assert_eq!(Structure::from_name("l3"), None);
+    /// ```
+    pub fn from_name(name: &str) -> Option<Structure> {
+        Structure::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A dense table with one value per [`Structure`].
+///
+/// This is the workhorse container for per-structure activity factors,
+/// powers, temperatures and FIT values.
+///
+/// # Examples
+///
+/// ```
+/// use sim_common::{Structure, StructureMap};
+/// let mut power: StructureMap<f64> = StructureMap::default();
+/// power[Structure::Fpu] = 4.5;
+/// assert_eq!(power[Structure::Fpu], 4.5);
+/// assert_eq!(power.iter().count(), Structure::COUNT);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StructureMap<T> {
+    values: [T; Structure::COUNT],
+}
+
+impl<T> StructureMap<T> {
+    /// Creates a map by evaluating `f` for every structure.
+    pub fn from_fn(mut f: impl FnMut(Structure) -> T) -> Self {
+        StructureMap {
+            values: Structure::ALL.map(&mut f),
+        }
+    }
+
+    /// Iterates over `(structure, &value)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (Structure, &T)> {
+        Structure::ALL.iter().copied().zip(self.values.iter())
+    }
+
+    /// Iterates over `(structure, &mut value)` pairs in canonical order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Structure, &mut T)> {
+        Structure::ALL.iter().copied().zip(self.values.iter_mut())
+    }
+
+    /// Applies `f` to every value, producing a new map.
+    pub fn map<U>(&self, mut f: impl FnMut(Structure, &T) -> U) -> StructureMap<U> {
+        StructureMap::from_fn(|s| f(s, &self[s]))
+    }
+
+    /// Borrows the underlying dense slice in canonical structure order.
+    pub fn as_slice(&self) -> &[T] {
+        &self.values
+    }
+}
+
+impl<T: Clone> StructureMap<T> {
+    /// Creates a map with every entry set to `value`.
+    pub fn splat(value: T) -> Self {
+        StructureMap::from_fn(|_| value.clone())
+    }
+}
+
+impl StructureMap<f64> {
+    /// Sum of all entries.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Largest entry, or `f64::NEG_INFINITY` conceptually for empty (never —
+    /// the map is always fully populated).
+    pub fn max_value(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+impl<T> Index<Structure> for StructureMap<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, s: Structure) -> &T {
+        &self.values[s.index()]
+    }
+}
+
+impl<T> IndexMut<Structure> for StructureMap<T> {
+    #[inline]
+    fn index_mut(&mut self, s: Structure) -> &mut T {
+        &mut self.values[s.index()]
+    }
+}
+
+impl<T> FromIterator<(Structure, T)> for StructureMap<T>
+where
+    T: Default,
+{
+    fn from_iter<I: IntoIterator<Item = (Structure, T)>>(iter: I) -> Self {
+        let mut map = StructureMap::from_fn(|_| T::default());
+        for (s, v) in iter {
+            map[s] = v;
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_canonical_order() {
+        for (i, s) in Structure::ALL.into_iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for s in Structure::ALL {
+            assert_eq!(Structure::from_name(s.name()), Some(s));
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = Structure::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Structure::COUNT);
+    }
+
+    #[test]
+    fn map_from_fn_and_index() {
+        let m = StructureMap::from_fn(|s| s.index() as f64);
+        assert_eq!(m[Structure::Bpred], 0.0);
+        assert_eq!(m[Structure::Lsq], (Structure::COUNT - 1) as f64);
+    }
+
+    #[test]
+    fn map_total_and_max() {
+        let m = StructureMap::from_fn(|s| (s.index() + 1) as f64);
+        let n = Structure::COUNT as f64;
+        assert_eq!(m.total(), n * (n + 1.0) / 2.0);
+        assert_eq!(m.max_value(), n);
+    }
+
+    #[test]
+    fn map_splat_and_mutation() {
+        let mut m = StructureMap::splat(1.0_f64);
+        assert_eq!(m.total(), Structure::COUNT as f64);
+        m[Structure::Fpu] = 5.0;
+        assert_eq!(m[Structure::Fpu], 5.0);
+    }
+
+    #[test]
+    fn map_transform() {
+        let m = StructureMap::splat(2.0_f64);
+        let doubled = m.map(|_, v| v * 2.0);
+        assert_eq!(doubled[Structure::Window], 4.0);
+    }
+
+    #[test]
+    fn from_iterator_fills_listed_entries() {
+        let m: StructureMap<f64> = [(Structure::Fpu, 3.0), (Structure::Lsq, 1.0)]
+            .into_iter()
+            .collect();
+        assert_eq!(m[Structure::Fpu], 3.0);
+        assert_eq!(m[Structure::Lsq], 1.0);
+        assert_eq!(m[Structure::Bpred], 0.0);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Structure::Window.to_string(), "window");
+    }
+}

@@ -1,0 +1,290 @@
+//! Type-safe physical units.
+//!
+//! The quantities exchanged between the simulation layers are all `f64`s at
+//! heart; these newtypes keep a temperature from being fed where a voltage is
+//! expected ([C-NEWTYPE]). They are deliberately *thin*: the inner value is
+//! public (they are passive data in the C-struct spirit), and only the
+//! arithmetic that actually occurs in the models is implemented.
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// Boltzmann's constant in eV/K, as used by the failure-mechanism models.
+pub const BOLTZMANN_EV: f64 = 8.617_333_262e-5;
+
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $symbol:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Returns the raw value.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                if self.0 <= other.0 { self } else { other }
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                if self.0 >= other.0 { self } else { other }
+            }
+
+            /// Returns true when the value is finite (not NaN or infinite).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $symbol)
+                } else {
+                    write!(f, "{} {}", self.0, $symbol)
+                }
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        /// Ratio of two like quantities is dimensionless.
+        impl Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+    };
+}
+
+unit!(
+    /// Absolute temperature in Kelvin.
+    ///
+    /// All failure-mechanism models operate on absolute temperature; the
+    /// conversion helpers exist only at the human-facing boundary.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sim_common::Kelvin;
+    /// let t = Kelvin::from_celsius(45.0);
+    /// assert!((t.0 - 318.15).abs() < 1e-9);
+    /// assert!((t.to_celsius() - 45.0).abs() < 1e-9);
+    /// ```
+    Kelvin,
+    "K"
+);
+
+unit!(
+    /// Supply voltage in volts.
+    Volts,
+    "V"
+);
+
+unit!(
+    /// Frequency in hertz. Use [`Hertz::from_ghz`] for readable call sites.
+    Hertz,
+    "Hz"
+);
+
+unit!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+
+unit!(
+    /// Duration in seconds.
+    Seconds,
+    "s"
+);
+
+unit!(
+    /// Area in square millimeters.
+    SquareMillimeters,
+    "mm^2"
+);
+
+impl Kelvin {
+    /// Creates a temperature from degrees Celsius.
+    pub fn from_celsius(celsius: f64) -> Self {
+        Kelvin(celsius + 273.15)
+    }
+
+    /// Converts to degrees Celsius.
+    pub fn to_celsius(self) -> f64 {
+        self.0 - 273.15
+    }
+}
+
+impl Hertz {
+    /// Creates a frequency from gigahertz.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sim_common::Hertz;
+    /// assert_eq!(Hertz::from_ghz(4.0).0, 4.0e9);
+    /// ```
+    pub fn from_ghz(ghz: f64) -> Self {
+        Hertz(ghz * 1e9)
+    }
+
+    /// Converts to gigahertz.
+    pub fn to_ghz(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// The duration of one clock cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    pub fn cycle_time(self) -> Seconds {
+        assert!(self.0 > 0.0, "cycle_time of zero frequency");
+        Seconds(1.0 / self.0)
+    }
+}
+
+impl Seconds {
+    /// Creates a duration from microseconds.
+    pub fn from_micros(micros: f64) -> Self {
+        Seconds(micros * 1e-6)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub fn from_millis(millis: f64) -> Self {
+        Seconds(millis * 1e-3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn celsius_round_trip() {
+        let t = Kelvin::from_celsius(85.0);
+        assert!((t.to_celsius() - 85.0).abs() < 1e-12);
+        assert!((t.0 - 358.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ghz_round_trip() {
+        let f = Hertz::from_ghz(2.5);
+        assert!((f.to_ghz() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycle_time_inverse() {
+        let f = Hertz::from_ghz(4.0);
+        assert!((f.cycle_time().0 - 0.25e-9).abs() < 1e-22);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero frequency")]
+    fn cycle_time_zero_panics() {
+        let _ = Hertz(0.0).cycle_time();
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Watts(2.0) + Watts(3.0), Watts(5.0));
+        assert_eq!(Watts(5.0) - Watts(3.0), Watts(2.0));
+        assert_eq!(Watts(2.0) * 3.0, Watts(6.0));
+        assert_eq!(Watts(6.0) / 3.0, Watts(2.0));
+        assert_eq!(Watts(6.0) / Watts(3.0), 2.0);
+        assert_eq!(-Watts(1.0), Watts(-1.0));
+        let mut w = Watts(1.0);
+        w += Watts(0.5);
+        assert_eq!(w, Watts(1.5));
+    }
+
+    #[test]
+    fn sum_of_units() {
+        let total: Watts = [Watts(1.0), Watts(2.0), Watts(3.0)].into_iter().sum();
+        assert_eq!(total, Watts(6.0));
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Kelvin(300.0).min(Kelvin(310.0)), Kelvin(300.0));
+        assert_eq!(Kelvin(300.0).max(Kelvin(310.0)), Kelvin(310.0));
+    }
+
+    #[test]
+    fn display_includes_symbol() {
+        assert_eq!(format!("{:.1}", Kelvin(358.25)), "358.2 K");
+        assert_eq!(format!("{}", Volts(1.0)), "1 V");
+    }
+
+    #[test]
+    fn boltzmann_value() {
+        // eV/K, CODATA.
+        assert!((BOLTZMANN_EV - 8.617e-5).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,231 @@
+//! FIT budget allocation across structures and mechanisms (§3.7).
+//!
+//! The paper "assumed the target total failure rate of 4000 is distributed
+//! evenly across all four failure mechanisms and the failure rate for a
+//! given mechanism is distributed across different structures proportional
+//! to the area of the structure" — one point in a design space this module
+//! makes explicit. A [`FitBudget`] is the full per-(structure, mechanism)
+//! allocation; alternative policies let a designer bias the budget toward
+//! the structures that actually consume it (hot, highly utilized ones),
+//! which buys measurable DRM headroom (see the `ablation` benchmark).
+
+use sim_common::{SimError, Structure, StructureMap};
+
+use crate::fit::Fit;
+use crate::mechanism::Mechanism;
+
+/// A complete FIT budget: the share of the target failure rate assigned to
+/// every (structure, mechanism) pair.
+///
+/// # Examples
+///
+/// ```
+/// use ramp::{FitBudget, Mechanism};
+/// use sim_common::{Floorplan, Structure};
+///
+/// let shares = Floorplan::r10000_65nm().area_shares();
+/// let budget = FitBudget::even_by_area(4000.0, &shares)?;
+/// assert!((budget.total().value() - 4000.0).abs() < 1e-9);
+/// // Each mechanism receives a quarter of the target.
+/// assert!((budget.mechanism_total(Mechanism::Tddb).value() - 1000.0).abs() < 1e-9);
+/// # Ok::<(), sim_common::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitBudget {
+    per: StructureMap<[f64; Mechanism::COUNT]>,
+}
+
+impl FitBudget {
+    /// The paper's policy: even across mechanisms, proportional to area
+    /// across structures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the target is non-positive
+    /// or the shares do not sum positive.
+    pub fn even_by_area(
+        target_fit: f64,
+        area_shares: &StructureMap<f64>,
+    ) -> Result<FitBudget, SimError> {
+        Self::validated(target_fit)?;
+        let sum: f64 = area_shares.iter().map(|(_, s)| *s).sum();
+        if !(sum > 0.0 && sum.is_finite()) {
+            return Err(SimError::invalid_config("area shares must sum positive"));
+        }
+        for (s, &share) in area_shares.iter() {
+            if share <= 0.0 {
+                return Err(SimError::invalid_config(format!(
+                    "area share for {s} must be positive"
+                )));
+            }
+        }
+        let per_mech = target_fit / Mechanism::COUNT as f64;
+        Ok(FitBudget {
+            per: StructureMap::from_fn(|s| {
+                [per_mech * area_shares[s] / sum; Mechanism::COUNT]
+            }),
+        })
+    }
+
+    /// Uniform across both structures and mechanisms — the simplest
+    /// baseline policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the target is non-positive.
+    pub fn uniform(target_fit: f64) -> Result<FitBudget, SimError> {
+        Self::validated(target_fit)?;
+        let cell = target_fit / (Mechanism::COUNT * Structure::COUNT) as f64;
+        Ok(FitBudget {
+            per: StructureMap::splat([cell; Mechanism::COUNT]),
+        })
+    }
+
+    /// Weighted by an arbitrary per-structure weight (e.g. observed
+    /// utilization or temperature headroom), even across mechanisms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the target is non-positive
+    /// or the weights do not sum positive (individual weights may be zero;
+    /// those structures receive a minimal epsilon share so qualification
+    /// constants stay finite).
+    pub fn weighted(
+        target_fit: f64,
+        weights: &StructureMap<f64>,
+    ) -> Result<FitBudget, SimError> {
+        Self::validated(target_fit)?;
+        let floor = 1e-3;
+        let adjusted = StructureMap::from_fn(|s| weights[s].max(floor));
+        let sum: f64 = adjusted.iter().map(|(_, w)| *w).sum();
+        if !(sum > 0.0 && sum.is_finite()) {
+            return Err(SimError::invalid_config("weights must sum positive"));
+        }
+        let per_mech = target_fit / Mechanism::COUNT as f64;
+        Ok(FitBudget {
+            per: StructureMap::from_fn(|s| [per_mech * adjusted[s] / sum; Mechanism::COUNT]),
+        })
+    }
+
+    /// A fully explicit allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when any cell is non-positive or
+    /// non-finite.
+    pub fn explicit(per: StructureMap<[f64; Mechanism::COUNT]>) -> Result<FitBudget, SimError> {
+        for (s, row) in per.iter() {
+            for (m, &v) in Mechanism::ALL.iter().zip(row.iter()) {
+                if !(v > 0.0 && v.is_finite()) {
+                    return Err(SimError::invalid_config(format!(
+                        "budget cell ({s}, {m}) must be positive, got {v}"
+                    )));
+                }
+            }
+        }
+        Ok(FitBudget { per })
+    }
+
+    fn validated(target_fit: f64) -> Result<(), SimError> {
+        if !(target_fit > 0.0 && target_fit.is_finite()) {
+            return Err(SimError::invalid_config("FIT target must be positive"));
+        }
+        Ok(())
+    }
+
+    /// The budget cell for one (structure, mechanism) pair.
+    pub fn share(&self, structure: Structure, mechanism: Mechanism) -> Fit {
+        Fit(self.per[structure][mechanism.index()])
+    }
+
+    /// Total budget for one mechanism across structures.
+    pub fn mechanism_total(&self, mechanism: Mechanism) -> Fit {
+        Structure::ALL
+            .into_iter()
+            .map(|s| self.share(s, mechanism))
+            .sum()
+    }
+
+    /// Total budget for one structure across mechanisms.
+    pub fn structure_total(&self, structure: Structure) -> Fit {
+        Fit(self.per[structure].iter().sum())
+    }
+
+    /// The full target.
+    pub fn total(&self) -> Fit {
+        Structure::ALL
+            .into_iter()
+            .map(|s| self.structure_total(s))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_common::Floorplan;
+
+    #[test]
+    fn even_by_area_matches_paper_policy() {
+        let shares = Floorplan::r10000_65nm().area_shares();
+        let b = FitBudget::even_by_area(4000.0, &shares).unwrap();
+        assert!((b.total().value() - 4000.0).abs() < 1e-9);
+        for m in Mechanism::ALL {
+            assert!((b.mechanism_total(m).value() - 1000.0).abs() < 1e-9);
+        }
+        // Structure shares track area.
+        for s in Structure::ALL {
+            let expect = 4000.0 * shares[s];
+            assert!((b.structure_total(s).value() - expect).abs() < 1e-9, "{s}");
+        }
+    }
+
+    #[test]
+    fn uniform_splits_evenly() {
+        let b = FitBudget::uniform(3600.0).unwrap();
+        assert!((b.total().value() - 3600.0).abs() < 1e-9);
+        let cell = 3600.0 / 36.0;
+        assert!((b.share(Structure::Fpu, Mechanism::Tddb).value() - cell).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_follows_weights() {
+        let mut w = StructureMap::splat(1.0);
+        w[Structure::Window] = 9.0;
+        let b = FitBudget::weighted(4000.0, &w).unwrap();
+        assert!((b.total().value() - 4000.0).abs() < 1e-9);
+        assert!(
+            b.structure_total(Structure::Window).value()
+                > 8.0 * b.structure_total(Structure::Fpu).value()
+        );
+    }
+
+    #[test]
+    fn weighted_floors_zero_weights() {
+        let mut w = StructureMap::splat(0.0);
+        w[Structure::Dcache] = 1.0;
+        let b = FitBudget::weighted(4000.0, &w).unwrap();
+        // Every structure still receives a strictly positive share.
+        for s in Structure::ALL {
+            assert!(b.structure_total(s).value() > 0.0, "{s}");
+        }
+    }
+
+    #[test]
+    fn explicit_round_trips() {
+        let per = StructureMap::splat([10.0, 20.0, 30.0, 40.0]);
+        let b = FitBudget::explicit(per).unwrap();
+        assert!((b.total().value() - 9.0 * 100.0).abs() < 1e-9);
+        assert_eq!(b.share(Structure::Lsq, Mechanism::ThermalCycling).value(), 40.0);
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        let shares = Floorplan::r10000_65nm().area_shares();
+        assert!(FitBudget::even_by_area(0.0, &shares).is_err());
+        assert!(FitBudget::uniform(-1.0).is_err());
+        assert!(FitBudget::explicit(StructureMap::splat([1.0, 1.0, 0.0, 1.0])).is_err());
+        let zero = StructureMap::splat(0.0);
+        assert!(FitBudget::even_by_area(4000.0, &zero).is_err());
+    }
+}

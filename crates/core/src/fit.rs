@@ -1,0 +1,170 @@
+//! FIT and MTTF: the two currencies of lifetime reliability.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul};
+
+/// Hours in a (365-day) year, used for MTTF-in-years conversions.
+pub const HOURS_PER_YEAR: f64 = 24.0 * 365.0;
+
+/// A failure rate in FITs: failures per 10⁹ device-hours (§3.5).
+///
+/// Under the sum-of-failure-rates model, FITs add across failure
+/// mechanisms and across structures, and the processor MTTF is the inverse
+/// of its total FIT.
+///
+/// # Examples
+///
+/// ```
+/// use ramp::Fit;
+/// let total = Fit(1000.0) + Fit(3000.0);
+/// assert_eq!(total, Fit(4000.0));
+/// // 4000 FIT ≈ 28.5-year MTTF — the paper's ~30-year standard.
+/// assert!((total.to_mttf().years() - 28.5).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Fit(pub f64);
+
+impl Fit {
+    /// Raw FIT value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to mean time to failure.
+    ///
+    /// A zero failure rate maps to an infinite MTTF.
+    pub fn to_mttf(self) -> Mttf {
+        if self.0 <= 0.0 {
+            Mttf(f64::INFINITY)
+        } else {
+            Mttf(1e9 / self.0)
+        }
+    }
+
+    /// True when the value is finite (not NaN/∞).
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl fmt::Display for Fit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(p) = f.precision() {
+            write!(f, "{:.*} FIT", p, self.0)
+        } else {
+            write!(f, "{} FIT", self.0)
+        }
+    }
+}
+
+impl Add for Fit {
+    type Output = Fit;
+    fn add(self, rhs: Fit) -> Fit {
+        Fit(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Fit {
+    fn add_assign(&mut self, rhs: Fit) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<f64> for Fit {
+    type Output = Fit;
+    fn mul(self, rhs: f64) -> Fit {
+        Fit(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Fit {
+    type Output = Fit;
+    fn div(self, rhs: f64) -> Fit {
+        Fit(self.0 / rhs)
+    }
+}
+
+impl Sum for Fit {
+    fn sum<I: Iterator<Item = Fit>>(iter: I) -> Fit {
+        Fit(iter.map(|f| f.0).sum())
+    }
+}
+
+/// Mean time to failure in hours.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Mttf(pub f64);
+
+impl Mttf {
+    /// MTTF in hours.
+    pub fn hours(self) -> f64 {
+        self.0
+    }
+
+    /// MTTF in years.
+    pub fn years(self) -> f64 {
+        self.0 / HOURS_PER_YEAR
+    }
+
+    /// Creates an MTTF from years.
+    pub fn from_years(years: f64) -> Mttf {
+        Mttf(years * HOURS_PER_YEAR)
+    }
+
+    /// Converts back to a failure rate.
+    pub fn to_fit(self) -> Fit {
+        if self.0 <= 0.0 {
+            Fit(f64::INFINITY)
+        } else {
+            Fit(1e9 / self.0)
+        }
+    }
+}
+
+impl fmt::Display for Mttf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} years", self.years())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_mttf_round_trip() {
+        let fit = Fit(4000.0);
+        let back = fit.to_mttf().to_fit();
+        assert!((back.0 - 4000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thirty_year_standard() {
+        // §3.7: a ~30-year MTTF implies a FIT target around 4000.
+        let fit = Mttf::from_years(30.0).to_fit();
+        assert!((fit.0 - 3805.2).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_fit_is_infinite_mttf() {
+        assert!(Fit(0.0).to_mttf().hours().is_infinite());
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Fit(1.0) + Fit(2.0), Fit(3.0));
+        assert_eq!(Fit(2.0) * 3.0, Fit(6.0));
+        assert_eq!(Fit(6.0) / 2.0, Fit(3.0));
+        let mut f = Fit(1.0);
+        f += Fit(1.5);
+        assert_eq!(f, Fit(2.5));
+        let total: Fit = [Fit(1.0), Fit(2.0)].into_iter().sum();
+        assert_eq!(total, Fit(3.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{:.1}", Fit(1234.56)), "1234.6 FIT");
+        assert_eq!(format!("{}", Mttf::from_years(30.0)), "30.0 years");
+    }
+}

@@ -1,0 +1,80 @@
+//! `ramp`: the RAMP architecture-level lifetime-reliability model from
+//! *"The Case for Lifetime Reliability-Aware Microprocessors"* (ISCA 2004).
+//!
+//! RAMP estimates a processor's lifetime reliability — expressed as a FIT
+//! rate (failures per 10⁹ device-hours) or equivalently a mean time to
+//! failure — from architecture-level quantities: per-structure temperature,
+//! supply voltage, frequency, and activity factor, sampled at intervals.
+//!
+//! Four intrinsic wear-out mechanisms are modeled with the paper's
+//! state-of-the-art device equations:
+//!
+//! * **Electromigration** (§3.1): Black's equation,
+//!   `MTTF ∝ J^(−n) · e^(Ea/kT)` with the interconnect current density `J`
+//!   proportional to the structure's switching activity, voltage and clock
+//!   (n = 1.1, Ea = 0.9 eV for copper).
+//! * **Stress migration** (§3.2): `MTTF ∝ |T₀ − T|^(−n) · e^(Ea/kT)` with
+//!   n = 2.5, Ea = 0.9 eV, and a 500 K stress-free (deposition)
+//!   temperature for sputtered copper.
+//! * **Time-dependent dielectric breakdown** (§3.3): the Wu et al. (IBM)
+//!   ultra-thin-oxide model,
+//!   `MTTF ∝ (1/V)^(a−bT) · e^((X + Y/T + Z·T)/kT)` —
+//!   super-exponential in temperature and enormously sensitive to voltage.
+//! * **Thermal cycling** (§3.4): the Coffin–Manson equation,
+//!   `MTTF ∝ (1/(T_avg − T_ambient))^q`, q = 2.35 for the package.
+//!
+//! Structure FITs combine across mechanisms and structures with the
+//! industry-standard **sum-of-failure-rates** model (§3.5), and
+//! application-level FITs average the instantaneous FIT over execution
+//! intervals (§3.6).
+//!
+//! **Reliability qualification** (§3.7) calibrates the unknown
+//! proportionality constants: given a qualification operating point
+//! (`T_qual`, `V_qual`, `f_qual`, `α_qual`) and a total FIT target (4000 ≈
+//! a 30-year MTTF), the budget is split evenly over the four mechanisms and
+//! across structures proportional to area, fixing each constant so the
+//! processor exactly meets the target at the qualification point. `T_qual`
+//! is the paper's proxy for reliability design cost.
+//!
+//! # Examples
+//!
+//! ```
+//! use ramp::{FailureParams, QualificationPoint, ReliabilityModel, StructureConditions};
+//! use sim_common::{Floorplan, Hertz, Kelvin, Structure, StructureMap, Volts};
+//!
+//! // Qualify a processor at 370 K for the standard 4000-FIT target.
+//! let qual = QualificationPoint {
+//!     temperature: Kelvin(370.0),
+//!     vdd: Volts(1.0),
+//!     frequency: Hertz::from_ghz(4.0),
+//!     activity: 0.35,
+//! };
+//! let shares = Floorplan::r10000_65nm().area_shares();
+//! let model = ReliabilityModel::qualify(FailureParams::ramp_65nm(), &qual, &shares, 4000.0)?;
+//!
+//! // Instantaneous FIT of one structure at a cooler operating point.
+//! let cond = StructureConditions {
+//!     temperature: Kelvin(350.0),
+//!     vdd: Volts(1.0),
+//!     frequency: Hertz::from_ghz(4.0),
+//!     activity: 0.2,
+//!     powered_fraction: 1.0,
+//! };
+//! let fit = model.instantaneous_fit(Structure::Fpu, &cond);
+//! assert!(fit.value() > 0.0);
+//! # Ok::<(), sim_common::SimError>(())
+//! ```
+
+pub mod budget;
+pub mod fit;
+pub mod lifetime;
+pub mod mechanism;
+pub mod model;
+pub mod tracker;
+
+pub use budget::FitBudget;
+pub use fit::{Fit, Mttf};
+pub use lifetime::{SeriesLifetime, SeriesSystem, Weibull};
+pub use mechanism::{FailureParams, Mechanism, StructureConditions};
+pub use model::{QualificationPoint, ReliabilityModel, FIT_TARGET_STANDARD};
+pub use tracker::{ApplicationFit, FitTracker};

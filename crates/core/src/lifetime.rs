@@ -1,0 +1,411 @@
+//! Time-dependent lifetime distributions — the paper's stated future work.
+//!
+//! The SOFR model (§3.5) assumes every failure mechanism has a *constant*
+//! failure rate (exponential lifetimes), which the paper itself calls
+//! "clearly inaccurate — a typical wear-out failure mechanism will have a
+//! low failure rate at the beginning of the component's lifetime and the
+//! value will grow as the component ages", and lists relaxing it as future
+//! work ("we also plan to incorporate time dependence in our reliability
+//! models and relax the series failure assumption").
+//!
+//! This module provides that extension:
+//!
+//! * [`Weibull`] — wear-out lifetime distributions with shape `β > 1`
+//!   (increasing hazard), parameterized by the MTTF that RAMP computes;
+//! * [`SeriesSystem`] — the processor as a series system of per-structure,
+//!   per-mechanism Weibull components, with an exact reliability function
+//!   and Monte Carlo lifetime sampling;
+//! * a quantitative comparison against the SOFR/exponential assumption:
+//!   for the same MTTFs, wear-out shapes concentrate failures near end of
+//!   life, so the series-system MTTF *rises* toward the weakest
+//!   component's scale instead of collapsing to the harmonic sum.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sim_common::{SimError, Structure};
+
+use crate::fit::Mttf;
+use crate::mechanism::Mechanism;
+
+/// Gamma function via the Lanczos approximation (g = 7, n = 9), accurate
+/// to ~1e-13 over the arguments used here (1 + 1/β with β ∈ [0.5, 10]).
+fn gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_81,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut acc = COEFFS[0];
+        for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+            acc += c / (x + i as f64);
+        }
+        let t = x + G + 0.5;
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * acc
+    }
+}
+
+/// A Weibull lifetime distribution.
+///
+/// # Examples
+///
+/// ```
+/// use ramp::lifetime::Weibull;
+/// use ramp::Mttf;
+///
+/// // A wear-out mechanism (increasing hazard) with a 30-year MTTF.
+/// let w = Weibull::from_mttf(Mttf::from_years(30.0), 2.0)?;
+/// assert!((w.mean().years() - 30.0).abs() < 1e-9);
+/// // Early life is much safer than the average rate suggests.
+/// assert!(w.reliability(Mttf::from_years(5.0).hours()) > 0.97);
+/// # Ok::<(), sim_common::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    /// Scale parameter η (hours).
+    pub scale: f64,
+    /// Shape parameter β (>1 ⇒ wear-out, =1 ⇒ exponential/SOFR).
+    pub shape: f64,
+}
+
+impl Weibull {
+    /// Builds a Weibull with the given `shape` whose mean equals `mttf`
+    /// (mean = η·Γ(1 + 1/β)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for non-positive shape or MTTF.
+    pub fn from_mttf(mttf: Mttf, shape: f64) -> Result<Weibull, SimError> {
+        if !(shape > 0.0 && shape.is_finite()) {
+            return Err(SimError::invalid_config("Weibull shape must be positive"));
+        }
+        if !(mttf.hours() > 0.0 && mttf.hours().is_finite()) {
+            return Err(SimError::invalid_config("MTTF must be positive and finite"));
+        }
+        let scale = mttf.hours() / gamma(1.0 + 1.0 / shape);
+        Ok(Weibull { scale, shape })
+    }
+
+    /// Mean lifetime.
+    pub fn mean(&self) -> Mttf {
+        Mttf(self.scale * gamma(1.0 + 1.0 / self.shape))
+    }
+
+    /// Survival probability at age `hours`: `R(t) = e^{-(t/η)^β}`.
+    pub fn reliability(&self, hours: f64) -> f64 {
+        if hours <= 0.0 {
+            return 1.0;
+        }
+        (-(hours / self.scale).powf(self.shape)).exp()
+    }
+
+    /// Hazard (instantaneous failure) rate at age `hours`, per hour:
+    /// `h(t) = (β/η)·(t/η)^{β−1}` — increasing for wear-out shapes.
+    pub fn hazard(&self, hours: f64) -> f64 {
+        let t = hours.max(1e-12);
+        (self.shape / self.scale) * (t / self.scale).powf(self.shape - 1.0)
+    }
+
+    /// Samples one lifetime (inverse-CDF method).
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        self.scale * (-u.ln()).powf(1.0 / self.shape)
+    }
+}
+
+/// One component of the series system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Component {
+    /// The structure the component belongs to.
+    pub structure: Structure,
+    /// The wear-out mechanism.
+    pub mechanism: Mechanism,
+    /// Its lifetime distribution.
+    pub lifetime: Weibull,
+}
+
+/// Result of a Monte Carlo series-lifetime study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesLifetime {
+    /// Mean series lifetime.
+    pub mttf: Mttf,
+    /// 5th-percentile lifetime (an early-failure yardstick: the consumer
+    /// service life must fall in the distribution's tail, §3.7 footnote).
+    pub percentile_5: Mttf,
+    /// Median lifetime.
+    pub median: Mttf,
+    /// Samples drawn.
+    pub samples: u32,
+}
+
+/// The processor as a series system of Weibull components: the first
+/// failure of any component fails the processor (assumption 1 of SOFR),
+/// but with *time-dependent* hazards (relaxing assumption 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSystem {
+    components: Vec<Component>,
+}
+
+impl SeriesSystem {
+    /// Builds a series system from components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when no components are given.
+    pub fn new(components: Vec<Component>) -> Result<SeriesSystem, SimError> {
+        if components.is_empty() {
+            return Err(SimError::invalid_config("series system needs components"));
+        }
+        Ok(SeriesSystem { components })
+    }
+
+    /// Builds the system from per-(structure, mechanism) MTTFs — e.g. the
+    /// inverses of the FITs an [`crate::ApplicationFit`] reports — all with
+    /// the same wear-out shape.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distribution construction errors; components with
+    /// non-positive or infinite MTTF (zero FIT) are skipped.
+    pub fn from_mttfs(
+        mttfs: impl IntoIterator<Item = (Structure, Mechanism, Mttf)>,
+        shape: f64,
+    ) -> Result<SeriesSystem, SimError> {
+        let mut components = Vec::new();
+        for (structure, mechanism, mttf) in mttfs {
+            if !mttf.hours().is_finite() || mttf.hours() <= 0.0 {
+                continue;
+            }
+            components.push(Component {
+                structure,
+                mechanism,
+                lifetime: Weibull::from_mttf(mttf, shape)?,
+            });
+        }
+        SeriesSystem::new(components)
+    }
+
+    /// The components.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Exact series reliability at age `hours`: the product of component
+    /// survival probabilities.
+    pub fn reliability(&self, hours: f64) -> f64 {
+        self.components
+            .iter()
+            .map(|c| c.lifetime.reliability(hours))
+            .product()
+    }
+
+    /// Monte Carlo estimate of the series lifetime distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero.
+    pub fn simulate(&self, samples: u32, seed: u64) -> SeriesLifetime {
+        assert!(samples > 0, "need at least one sample");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut lifetimes: Vec<f64> = (0..samples)
+            .map(|_| {
+                self.components
+                    .iter()
+                    .map(|c| c.lifetime.sample(&mut rng))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        lifetimes.sort_by(|a, b| a.partial_cmp(b).expect("finite lifetimes"));
+        let mean = lifetimes.iter().sum::<f64>() / samples as f64;
+        let at = |q: f64| lifetimes[((samples as f64 - 1.0) * q) as usize];
+        SeriesLifetime {
+            mttf: Mttf(mean),
+            percentile_5: Mttf(at(0.05)),
+            median: Mttf(at(0.5)),
+            samples,
+        }
+    }
+
+    /// The SOFR (exponential) prediction for the same component MTTFs:
+    /// `1 / MTTF_series = Σ 1/MTTF_i` — the baseline this extension
+    /// relaxes.
+    pub fn sofr_mttf(&self) -> Mttf {
+        let rate: f64 = self
+            .components
+            .iter()
+            .map(|c| 1.0 / c.lifetime.mean().hours())
+            .sum();
+        Mttf(1.0 / rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::Fit;
+
+    #[test]
+    fn gamma_known_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-12);
+        assert!((gamma(2.0) - 1.0).abs() < 1e-12);
+        assert!((gamma(5.0) - 24.0).abs() < 1e-9);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-10);
+        assert!((gamma(1.5) - 0.5 * std::f64::consts::PI.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn weibull_mean_round_trip() {
+        for shape in [0.8, 1.0, 2.0, 4.0] {
+            let w = Weibull::from_mttf(Mttf::from_years(30.0), shape).unwrap();
+            assert!(
+                (w.mean().years() - 30.0).abs() < 1e-9,
+                "shape {shape}: mean {}",
+                w.mean().years()
+            );
+        }
+    }
+
+    #[test]
+    fn shape_one_is_exponential() {
+        let w = Weibull::from_mttf(Mttf(1000.0), 1.0).unwrap();
+        // Constant hazard equal to 1/MTTF.
+        assert!((w.hazard(1.0) - 1e-3).abs() < 1e-12);
+        assert!((w.hazard(5000.0) - 1e-3).abs() < 1e-12);
+        assert!((w.reliability(1000.0) - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wearout_hazard_increases_with_age() {
+        let w = Weibull::from_mttf(Mttf::from_years(30.0), 2.5).unwrap();
+        let young = w.hazard(Mttf::from_years(1.0).hours());
+        let old = w.hazard(Mttf::from_years(25.0).hours());
+        assert!(old > 10.0 * young, "hazard must grow: {young} -> {old}");
+    }
+
+    #[test]
+    fn wearout_protects_early_life() {
+        // The §3.7 footnote: with wear-out shapes, an 11-year service life
+        // falls far out in the tail of a 30-year-MTTF distribution.
+        let wearout = Weibull::from_mttf(Mttf::from_years(30.0), 3.0).unwrap();
+        let exponential = Weibull::from_mttf(Mttf::from_years(30.0), 1.0).unwrap();
+        let service = Mttf::from_years(11.0).hours();
+        assert!(wearout.reliability(service) > 0.95);
+        assert!(exponential.reliability(service) < 0.75);
+    }
+
+    #[test]
+    fn sampling_matches_mean() {
+        let w = Weibull::from_mttf(Mttf(10_000.0), 2.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| w.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!(
+            (mean - 10_000.0).abs() < 300.0,
+            "sampled mean {mean} far from 10000"
+        );
+    }
+
+    fn example_system(shape: f64) -> SeriesSystem {
+        // Four equal components with 120-year MTTF each: SOFR says the
+        // series MTTF is 30 years.
+        let mttfs = [
+            (Structure::Fpu, Mechanism::Electromigration),
+            (Structure::Window, Mechanism::StressMigration),
+            (Structure::Dcache, Mechanism::Tddb),
+            (Structure::Lsq, Mechanism::ThermalCycling),
+        ]
+        .into_iter()
+        .map(|(s, m)| (s, m, Mttf::from_years(120.0)));
+        SeriesSystem::from_mttfs(mttfs, shape).unwrap()
+    }
+
+    #[test]
+    fn sofr_prediction_is_harmonic_sum() {
+        let sys = example_system(2.0);
+        assert!((sys.sofr_mttf().years() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponential_monte_carlo_agrees_with_sofr() {
+        let sys = example_system(1.0);
+        let mc = sys.simulate(20_000, 7);
+        let sofr = sys.sofr_mttf().years();
+        assert!(
+            (mc.mttf.years() - sofr).abs() < 0.05 * sofr,
+            "MC {} vs SOFR {sofr}",
+            mc.mttf.years()
+        );
+    }
+
+    #[test]
+    fn wearout_series_outlives_sofr_prediction() {
+        // The headline of the extension: with increasing hazards, the
+        // series system's real MTTF is much longer than SOFR's constant-
+        // rate estimate for the same component MTTFs.
+        let sys = example_system(2.5);
+        let mc = sys.simulate(20_000, 7);
+        let sofr = sys.sofr_mttf().years();
+        assert!(
+            mc.mttf.years() > 1.5 * sofr,
+            "wear-out MC {} should far exceed SOFR {sofr}",
+            mc.mttf.years()
+        );
+        // And early life is strongly protected.
+        assert!(sys.reliability(Mttf::from_years(11.0).hours()) > 0.95);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let mc = example_system(2.0).simulate(5_000, 3);
+        assert!(mc.percentile_5 < mc.median);
+        assert!(mc.median < Mttf(mc.mttf.hours() * 2.0));
+        assert_eq!(mc.samples, 5_000);
+    }
+
+    #[test]
+    fn zero_fit_components_are_skipped() {
+        let sys = SeriesSystem::from_mttfs(
+            [
+                (
+                    Structure::Fpu,
+                    Mechanism::Electromigration,
+                    Fit(0.0).to_mttf(), // infinite — skipped
+                ),
+                (Structure::Lsq, Mechanism::Tddb, Mttf::from_years(30.0)),
+            ],
+            2.0,
+        )
+        .unwrap();
+        assert_eq!(sys.components().len(), 1);
+    }
+
+    #[test]
+    fn rejects_empty_and_invalid() {
+        assert!(SeriesSystem::new(Vec::new()).is_err());
+        assert!(Weibull::from_mttf(Mttf(0.0), 2.0).is_err());
+        assert!(Weibull::from_mttf(Mttf(100.0), 0.0).is_err());
+    }
+
+    #[test]
+    fn series_reliability_is_product() {
+        let sys = example_system(2.0);
+        let t = Mttf::from_years(40.0).hours();
+        let product: f64 = sys
+            .components()
+            .iter()
+            .map(|c| c.lifetime.reliability(t))
+            .product();
+        assert!((sys.reliability(t) - product).abs() < 1e-12);
+    }
+}

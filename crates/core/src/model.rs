@@ -1,0 +1,447 @@
+//! Reliability qualification (§3.7) and the calibrated FIT model.
+
+use sim_common::{Hertz, Kelvin, SimError, Structure, StructureMap, Volts};
+
+use crate::budget::FitBudget;
+use crate::fit::Fit;
+use crate::mechanism::{FailureParams, Mechanism, StructureConditions};
+
+/// The standard total-FIT target: 4000 FIT ≈ a 30-year MTTF (§3.7).
+pub const FIT_TARGET_STANDARD: f64 = 4000.0;
+
+/// The reliability qualification operating point.
+///
+/// Current industrial methodology qualifies at worst-case conditions; DRM
+/// qualifies at a cheaper, more likely point and adapts at runtime. The
+/// qualification temperature `T_qual` is the paper's proxy for reliability
+/// design cost: the higher it is, the more expensive the qualification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualificationPoint {
+    /// Qualification temperature `T_qual` (the cost proxy; the paper
+    /// sweeps 325–400 K).
+    pub temperature: Kelvin,
+    /// Qualification voltage `V_qual` (the base processor's 1.0 V).
+    pub vdd: Volts,
+    /// Qualification frequency `f_qual` (the base 4 GHz).
+    pub frequency: Hertz,
+    /// Qualification activity factor `α_qual` (the highest activity
+    /// observed across the application suite).
+    pub activity: f64,
+}
+
+impl QualificationPoint {
+    /// The paper's base qualification settings at a given `T_qual`:
+    /// 1.0 V, 4 GHz, and the suite-maximum activity factor.
+    pub fn at_temperature(t_qual: Kelvin, max_activity: f64) -> QualificationPoint {
+        QualificationPoint {
+            temperature: t_qual,
+            vdd: Volts(1.0),
+            frequency: Hertz::from_ghz(4.0),
+            activity: max_activity,
+        }
+    }
+
+    fn conditions(&self) -> StructureConditions {
+        StructureConditions {
+            temperature: self.temperature,
+            vdd: self.vdd,
+            frequency: self.frequency,
+            activity: self.activity,
+            powered_fraction: 1.0,
+        }
+    }
+}
+
+/// The calibrated RAMP model: per-(structure, mechanism) proportionality
+/// constants fixed so the processor exactly meets the FIT target at the
+/// qualification point.
+///
+/// The target budget is split evenly across the four mechanisms and across
+/// structures proportional to area (§3.7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReliabilityModel {
+    params: FailureParams,
+    qualification: QualificationPoint,
+    target_fit: f64,
+    constants: StructureMap<[f64; Mechanism::COUNT]>,
+}
+
+impl ReliabilityModel {
+    /// Calibrates a model for the given qualification point and total FIT
+    /// target, distributing the budget by `area_shares`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when parameters are invalid, the
+    /// target or a share is non-positive, the activity is outside `(0, 1]`,
+    /// or the qualification temperature does not exceed the thermal-cycling
+    /// ambient (which would make the thermal-cycling rate zero and the
+    /// constant unbounded).
+    pub fn qualify(
+        params: FailureParams,
+        qualification: &QualificationPoint,
+        area_shares: &StructureMap<f64>,
+        target_fit: f64,
+    ) -> Result<ReliabilityModel, SimError> {
+        let budget = FitBudget::even_by_area(target_fit, area_shares)?;
+        Self::qualify_with_budget(params, qualification, &budget)
+    }
+
+    /// Calibrates a model with an explicit [`FitBudget`] — generalizing
+    /// the paper's even/area-proportional split to arbitrary allocation
+    /// policies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] under the same conditions as
+    /// [`ReliabilityModel::qualify`].
+    pub fn qualify_with_budget(
+        params: FailureParams,
+        qualification: &QualificationPoint,
+        budget: &FitBudget,
+    ) -> Result<ReliabilityModel, SimError> {
+        params.validate()?;
+        if !(qualification.activity > 0.0 && qualification.activity <= 1.0) {
+            return Err(SimError::invalid_config(
+                "qualification activity must be in (0, 1]",
+            ));
+        }
+        if qualification.temperature <= params.tc_ambient {
+            return Err(SimError::invalid_config(format!(
+                "T_qual {} must exceed the ambient {} for thermal cycling",
+                qualification.temperature, params.tc_ambient
+            )));
+        }
+        let qc = qualification.conditions();
+        let mut constants = StructureMap::splat([0.0; Mechanism::COUNT]);
+        for s in Structure::ALL {
+            for m in Mechanism::ALL {
+                let rate = params.rate(m, &qc);
+                if !(rate > 0.0 && rate.is_finite()) {
+                    return Err(SimError::invalid_config(format!(
+                        "{m} rate at the qualification point is {rate}; cannot calibrate"
+                    )));
+                }
+                constants[s][m.index()] = budget.share(s, m).value() / rate;
+            }
+        }
+        Ok(ReliabilityModel {
+            params,
+            qualification: *qualification,
+            target_fit: budget.total().value(),
+            constants,
+        })
+    }
+
+    /// The device-model parameters.
+    pub fn params(&self) -> &FailureParams {
+        &self.params
+    }
+
+    /// The qualification point this model was calibrated at.
+    pub fn qualification(&self) -> &QualificationPoint {
+        &self.qualification
+    }
+
+    /// The total FIT target.
+    pub fn target_fit(&self) -> Fit {
+        Fit(self.target_fit)
+    }
+
+    /// The calibrated proportionality constant for `(structure,
+    /// mechanism)`.
+    pub fn constant(&self, structure: Structure, mechanism: Mechanism) -> f64 {
+        self.constants[structure][mechanism.index()]
+    }
+
+    /// Absolute FIT of one structure for one mechanism under the given
+    /// conditions. For [`Mechanism::ThermalCycling`] the conditions'
+    /// temperature is interpreted as the run-average temperature (§3.6).
+    pub fn mechanism_fit(
+        &self,
+        structure: Structure,
+        mechanism: Mechanism,
+        conditions: &StructureConditions,
+    ) -> Fit {
+        Fit(self.constants[structure][mechanism.index()] * self.params.rate(mechanism, conditions))
+    }
+
+    /// Instantaneous FIT of one structure: the sum over the three
+    /// time-local mechanisms (EM, SM, TDDB). Thermal cycling is excluded —
+    /// it depends on the run-average temperature, not the instant (§3.6).
+    pub fn instantaneous_fit(&self, structure: Structure, conditions: &StructureConditions) -> Fit {
+        [
+            Mechanism::Electromigration,
+            Mechanism::StressMigration,
+            Mechanism::Tddb,
+        ]
+        .into_iter()
+        .map(|m| self.mechanism_fit(structure, m, conditions))
+        .sum()
+    }
+
+    /// Thermal-cycling FIT of one structure from its run-average
+    /// temperature.
+    pub fn thermal_cycling_fit(&self, structure: Structure, average_temperature: Kelvin) -> Fit {
+        Fit(
+            self.constants[structure][Mechanism::ThermalCycling.index()]
+                * self.params.tc_rate(average_temperature),
+        )
+    }
+
+    /// Total processor FIT for a *steady* operating point: every interval
+    /// identical, so the instantaneous conditions are also the averages.
+    /// Sums all four mechanisms over all structures (SOFR, §3.5).
+    pub fn steady_fit(&self, conditions: &StructureMap<StructureConditions>) -> Fit {
+        Structure::ALL
+            .into_iter()
+            .map(|s| {
+                self.instantaneous_fit(s, &conditions[s])
+                    + self.thermal_cycling_fit(s, conditions[s].temperature)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_common::Floorplan;
+
+    fn qual(t: f64) -> QualificationPoint {
+        QualificationPoint::at_temperature(Kelvin(t), 0.35)
+    }
+
+    fn model(t: f64) -> ReliabilityModel {
+        ReliabilityModel::qualify(
+            FailureParams::ramp_65nm(),
+            &qual(t),
+            &Floorplan::r10000_65nm().area_shares(),
+            FIT_TARGET_STANDARD,
+        )
+        .unwrap()
+    }
+
+    fn conds_at(model: &ReliabilityModel, t: f64, v: f64, f_ghz: f64, a: f64) -> StructureMap<StructureConditions> {
+        let _ = model;
+        StructureMap::splat(StructureConditions {
+            temperature: Kelvin(t),
+            vdd: Volts(v),
+            frequency: Hertz::from_ghz(f_ghz),
+            activity: a,
+            powered_fraction: 1.0,
+        })
+    }
+
+    #[test]
+    fn fit_at_qualification_point_equals_target() {
+        // The defining property of §3.7: operating exactly at the
+        // qualification point produces exactly the target FIT.
+        let m = model(370.0);
+        let conds = conds_at(&m, 370.0, 1.0, 4.0, 0.35);
+        let total = m.steady_fit(&conds);
+        assert!(
+            (total.value() - FIT_TARGET_STANDARD).abs() < 1e-6,
+            "got {total}"
+        );
+    }
+
+    #[test]
+    fn budget_split_is_even_across_mechanisms() {
+        let m = model(370.0);
+        let qc = StructureConditions {
+            temperature: Kelvin(370.0),
+            vdd: Volts(1.0),
+            frequency: Hertz::from_ghz(4.0),
+            activity: 0.35,
+            powered_fraction: 1.0,
+        };
+        for mech in Mechanism::ALL {
+            let total: f64 = Structure::ALL
+                .into_iter()
+                .map(|s| m.mechanism_fit(s, mech, &qc).value())
+                .sum();
+            assert!((total - 1000.0).abs() < 1e-6, "{mech}: {total}");
+        }
+    }
+
+    #[test]
+    fn budget_split_is_area_proportional_across_structures() {
+        let m = model(370.0);
+        let shares = Floorplan::r10000_65nm().area_shares();
+        let qc = StructureConditions {
+            temperature: Kelvin(370.0),
+            vdd: Volts(1.0),
+            frequency: Hertz::from_ghz(4.0),
+            activity: 0.35,
+            powered_fraction: 1.0,
+        };
+        for s in Structure::ALL {
+            let fit = m.mechanism_fit(s, Mechanism::Tddb, &qc).value();
+            assert!((fit - 1000.0 * shares[s]).abs() < 1e-9, "{s}");
+        }
+    }
+
+    #[test]
+    fn cooler_operation_beats_target() {
+        let m = model(400.0);
+        let conds = conds_at(&m, 360.0, 1.0, 4.0, 0.35);
+        assert!(m.steady_fit(&conds) < m.target_fit());
+    }
+
+    #[test]
+    fn hotter_operation_misses_target() {
+        let m = model(345.0);
+        let conds = conds_at(&m, 380.0, 1.0, 4.0, 0.35);
+        assert!(m.steady_fit(&conds) > m.target_fit());
+    }
+
+    #[test]
+    fn cheaper_qualification_is_stricter() {
+        // The same workload produces a higher FIT on a processor qualified
+        // at a lower T_qual (the Figure 1 scenario).
+        let expensive = model(400.0);
+        let cheap = model(345.0);
+        let conds = conds_at(&expensive, 370.0, 1.0, 4.0, 0.3);
+        assert!(cheap.steady_fit(&conds) > expensive.steady_fit(&conds));
+    }
+
+    #[test]
+    fn lower_voltage_and_frequency_reduce_fit() {
+        let m = model(345.0);
+        let base = m.steady_fit(&conds_at(&m, 370.0, 1.0, 4.0, 0.35));
+        // DVS to 3 GHz / 0.86 V at the same temperature (conservative: the
+        // temperature would actually drop too). SM and TC see only
+        // temperature, so they are unchanged; EM and TDDB must fall, with
+        // TDDB essentially annihilated by its voltage sensitivity (§7.2).
+        let scaled = m.steady_fit(&conds_at(&m, 370.0, 0.86, 3.0, 0.35));
+        assert!(scaled.value() < 0.75 * base.value(), "{scaled} !< 0.75 × {base}");
+        // With the temperature drop that lower power actually produces, the
+        // reduction is drastic (the SM/TC mechanisms respond too).
+        let cooled = m.steady_fit(&conds_at(&m, 352.0, 0.86, 3.0, 0.35));
+        assert!(cooled.value() < 0.4 * base.value(), "{cooled} !< 0.4 × {base}");
+        let tddb_base = m.mechanism_fit(
+            Structure::Fpu,
+            Mechanism::Tddb,
+            &conds_at(&m, 370.0, 1.0, 4.0, 0.35)[Structure::Fpu],
+        );
+        let tddb_scaled = m.mechanism_fit(
+            Structure::Fpu,
+            Mechanism::Tddb,
+            &conds_at(&m, 370.0, 0.86, 3.0, 0.35)[Structure::Fpu],
+        );
+        assert!(tddb_scaled.value() < 0.05 * tddb_base.value());
+    }
+
+    #[test]
+    fn qualify_rejects_bad_inputs() {
+        let params = FailureParams::ramp_65nm();
+        let shares = Floorplan::r10000_65nm().area_shares();
+        // T_qual at ambient → TC rate zero.
+        let err = ReliabilityModel::qualify(
+            params,
+            &QualificationPoint::at_temperature(Kelvin::from_celsius(45.0), 0.3),
+            &shares,
+            4000.0,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("T_qual"));
+        // Zero activity.
+        assert!(ReliabilityModel::qualify(
+            params,
+            &QualificationPoint::at_temperature(Kelvin(370.0), 0.0),
+            &shares,
+            4000.0
+        )
+        .is_err());
+        // Non-positive target.
+        assert!(ReliabilityModel::qualify(
+            params,
+            &QualificationPoint::at_temperature(Kelvin(370.0), 0.3),
+            &shares,
+            0.0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn powered_down_structure_contributes_less() {
+        let m = model(370.0);
+        let mut c = StructureConditions {
+            temperature: Kelvin(370.0),
+            vdd: Volts(1.0),
+            frequency: Hertz::from_ghz(4.0),
+            activity: 0.35,
+            powered_fraction: 1.0,
+        };
+        let full = m.instantaneous_fit(Structure::Fpu, &c);
+        c.powered_fraction = 0.25;
+        let quarter = m.instantaneous_fit(Structure::Fpu, &c);
+        // EM and TDDB scale with powered area; SM does not.
+        assert!(quarter < full);
+        let sm_only = m.mechanism_fit(Structure::Fpu, Mechanism::StressMigration, &c);
+        assert!(quarter > sm_only);
+    }
+
+    #[test]
+    fn any_budget_policy_round_trips_the_target() {
+        // Whatever the allocation policy, operating at the qualification
+        // point must reproduce exactly the total target.
+        let qual = qual(370.0);
+        let qc = StructureConditions {
+            temperature: Kelvin(370.0),
+            vdd: Volts(1.0),
+            frequency: Hertz::from_ghz(4.0),
+            activity: 0.35,
+            powered_fraction: 1.0,
+        };
+        let mut weights = sim_common::StructureMap::splat(1.0);
+        weights[Structure::Window] = 5.0;
+        for budget in [
+            FitBudget::uniform(4000.0).unwrap(),
+            FitBudget::weighted(4000.0, &weights).unwrap(),
+        ] {
+            let m = ReliabilityModel::qualify_with_budget(
+                FailureParams::ramp_65nm(),
+                &qual,
+                &budget,
+            )
+            .unwrap();
+            let conds = sim_common::StructureMap::splat(qc);
+            assert!((m.steady_fit(&conds).value() - 4000.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn budget_policy_changes_structure_allocation() {
+        let qual = qual(370.0);
+        let area = ReliabilityModel::qualify(
+            FailureParams::ramp_65nm(),
+            &qual,
+            &Floorplan::r10000_65nm().area_shares(),
+            4000.0,
+        )
+        .unwrap();
+        let uniform = ReliabilityModel::qualify_with_budget(
+            FailureParams::ramp_65nm(),
+            &qual,
+            &FitBudget::uniform(4000.0).unwrap(),
+        )
+        .unwrap();
+        // Dcache (largest block) gets more budget under the area policy.
+        assert!(
+            area.constant(Structure::Dcache, Mechanism::Tddb)
+                > uniform.constant(Structure::Dcache, Mechanism::Tddb)
+        );
+    }
+
+    #[test]
+    fn constants_are_positive() {
+        let m = model(345.0);
+        for s in Structure::ALL {
+            for mech in Mechanism::ALL {
+                assert!(m.constant(s, mech) > 0.0, "{s}/{mech}");
+            }
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! Application-level FIT accounting over execution intervals (§3.6).
+//!
+//! The device models give FIT for *fixed* operating parameters. When an
+//! application runs, temperature, voltage, frequency and activity all vary;
+//! RAMP (1) computes an instantaneous FIT per interval from the interval's
+//! conditions and (2) averages those FITs over time — the temporal analogue
+//! of the SOFR model's averaging over space. Thermal cycling instead uses
+//! the average temperature over the whole run (§3.4, §3.6).
+//!
+//! This is also the structure RAMP would take in hardware: counters and
+//! sensors feed per-interval conditions, and the running average tracks
+//! consumed reliability budget — which is what a DRM controller steers.
+
+use sim_common::{Kelvin, Seconds, Structure, StructureMap};
+
+use crate::fit::Fit;
+use crate::mechanism::{Mechanism, StructureConditions};
+use crate::model::ReliabilityModel;
+
+/// Per-application FIT summary: the time-averaged FIT per structure and
+/// mechanism plus the processor total.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApplicationFit {
+    per_structure_mechanism: StructureMap<[f64; Mechanism::COUNT]>,
+    average_temperature: StructureMap<Kelvin>,
+    duration: Seconds,
+}
+
+impl ApplicationFit {
+    /// Time-averaged FIT of one structure for one mechanism.
+    pub fn fit(&self, structure: Structure, mechanism: Mechanism) -> Fit {
+        Fit(self.per_structure_mechanism[structure][mechanism.index()])
+    }
+
+    /// Time-averaged total FIT of one structure (all mechanisms).
+    pub fn structure_total(&self, structure: Structure) -> Fit {
+        Fit(self.per_structure_mechanism[structure].iter().sum())
+    }
+
+    /// Total FIT of one mechanism over all structures.
+    pub fn mechanism_total(&self, mechanism: Mechanism) -> Fit {
+        Structure::ALL
+            .into_iter()
+            .map(|s| self.fit(s, mechanism))
+            .sum()
+    }
+
+    /// The application's processor FIT (SOFR over structures and
+    /// mechanisms).
+    pub fn total(&self) -> Fit {
+        Structure::ALL
+            .into_iter()
+            .map(|s| self.structure_total(s))
+            .sum()
+    }
+
+    /// Run-average temperature of a structure (drives thermal cycling).
+    pub fn average_temperature(&self, structure: Structure) -> Kelvin {
+        self.average_temperature[structure]
+    }
+
+    /// Wall-clock duration accounted so far.
+    pub fn duration(&self) -> Seconds {
+        self.duration
+    }
+
+    /// True when the application meets (does not exceed) `target`.
+    pub fn meets(&self, target: Fit) -> bool {
+        self.total() <= target
+    }
+
+    /// Builds a time-dependent series-lifetime model from this
+    /// application's per-(structure, mechanism) FITs, with Weibull shape
+    /// `shape` (>1 for wear-out) — the paper's future-work extension (see
+    /// [`crate::lifetime`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`sim_common::SimError::InvalidConfig`] when the shape is
+    /// invalid or every component has zero FIT.
+    pub fn series_system(
+        &self,
+        shape: f64,
+    ) -> Result<crate::lifetime::SeriesSystem, sim_common::SimError> {
+        let mttfs = Structure::ALL.into_iter().flat_map(|s| {
+            Mechanism::ALL
+                .into_iter()
+                .map(move |m| (s, m, self.fit(s, m).to_mttf()))
+        });
+        crate::lifetime::SeriesSystem::from_mttfs(mttfs, shape)
+    }
+}
+
+/// Accumulates per-interval operating conditions into an application FIT.
+///
+/// # Examples
+///
+/// ```
+/// use ramp::{FailureParams, FitTracker, QualificationPoint, ReliabilityModel,
+///            StructureConditions};
+/// use sim_common::{Floorplan, Hertz, Kelvin, Seconds, StructureMap, Volts};
+///
+/// let model = ReliabilityModel::qualify(
+///     FailureParams::ramp_65nm(),
+///     &QualificationPoint::at_temperature(Kelvin(370.0), 0.35),
+///     &Floorplan::r10000_65nm().area_shares(),
+///     4000.0,
+/// )?;
+/// let mut tracker = FitTracker::new();
+/// let conds = StructureMap::splat(StructureConditions {
+///     temperature: Kelvin(360.0),
+///     vdd: Volts(1.0),
+///     frequency: Hertz::from_ghz(4.0),
+///     activity: 0.25,
+///     powered_fraction: 1.0,
+/// });
+/// tracker.record(&model, Seconds(0.001), &conds);
+/// let app = tracker.finish(&model);
+/// assert!(app.total().value() < 4000.0); // cooler than qualification
+/// # Ok::<(), sim_common::SimError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FitTracker {
+    elapsed: f64,
+    // Time integrals of the instantaneous FITs for EM/SM/TDDB.
+    fit_integral: StructureMap<[f64; Mechanism::COUNT]>,
+    temp_integral: StructureMap<f64>,
+}
+
+impl FitTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> FitTracker {
+        FitTracker::default()
+    }
+
+    /// Records one interval of `duration` with the given per-structure
+    /// conditions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is negative or non-finite.
+    pub fn record(
+        &mut self,
+        model: &ReliabilityModel,
+        duration: Seconds,
+        conditions: &StructureMap<StructureConditions>,
+    ) {
+        let dt = duration.0;
+        assert!(dt >= 0.0 && dt.is_finite(), "invalid interval duration");
+        if dt == 0.0 {
+            return;
+        }
+        self.elapsed += dt;
+        for s in Structure::ALL {
+            let c = &conditions[s];
+            for m in [
+                Mechanism::Electromigration,
+                Mechanism::StressMigration,
+                Mechanism::Tddb,
+            ] {
+                self.fit_integral[s][m.index()] += model.mechanism_fit(s, m, c).value() * dt;
+            }
+            self.temp_integral[s] += c.temperature.0 * dt;
+        }
+    }
+
+    /// Wall-clock time recorded so far.
+    pub fn elapsed(&self) -> Seconds {
+        Seconds(self.elapsed)
+    }
+
+    /// Produces the application FIT summary: the time average of the
+    /// instantaneous mechanisms plus thermal cycling evaluated at the
+    /// run-average temperature.
+    ///
+    /// Returns an all-zero summary when nothing has been recorded.
+    pub fn finish(&self, model: &ReliabilityModel) -> ApplicationFit {
+        if self.elapsed <= 0.0 {
+            return ApplicationFit {
+                per_structure_mechanism: StructureMap::splat([0.0; Mechanism::COUNT]),
+                average_temperature: StructureMap::splat(Kelvin(0.0)),
+                duration: Seconds(0.0),
+            };
+        }
+        let avg_temp = StructureMap::from_fn(|s| Kelvin(self.temp_integral[s] / self.elapsed));
+        let per = StructureMap::from_fn(|s| {
+            let mut row = [0.0; Mechanism::COUNT];
+            for m in [
+                Mechanism::Electromigration,
+                Mechanism::StressMigration,
+                Mechanism::Tddb,
+            ] {
+                row[m.index()] = self.fit_integral[s][m.index()] / self.elapsed;
+            }
+            row[Mechanism::ThermalCycling.index()] =
+                model.thermal_cycling_fit(s, avg_temp[s]).value();
+            row
+        });
+        ApplicationFit {
+            per_structure_mechanism: per,
+            average_temperature: avg_temp,
+            duration: Seconds(self.elapsed),
+        }
+    }
+
+    /// The running total FIT so far (for online budget control): identical
+    /// to `finish(model).total()`.
+    pub fn running_total(&self, model: &ReliabilityModel) -> Fit {
+        self.finish(model).total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::FailureParams;
+    use crate::model::QualificationPoint;
+    use sim_common::{Floorplan, Hertz, Volts};
+
+    fn model(t_qual: f64) -> ReliabilityModel {
+        ReliabilityModel::qualify(
+            FailureParams::ramp_65nm(),
+            &QualificationPoint::at_temperature(Kelvin(t_qual), 0.35),
+            &Floorplan::r10000_65nm().area_shares(),
+            4000.0,
+        )
+        .unwrap()
+    }
+
+    fn conds(t: f64, a: f64) -> StructureMap<StructureConditions> {
+        StructureMap::splat(StructureConditions {
+            temperature: Kelvin(t),
+            vdd: Volts(1.0),
+            frequency: Hertz::from_ghz(4.0),
+            activity: a,
+            powered_fraction: 1.0,
+        })
+    }
+
+    #[test]
+    fn constant_conditions_match_steady_fit() {
+        let m = model(370.0);
+        let c = conds(360.0, 0.3);
+        let mut tracker = FitTracker::new();
+        for _ in 0..10 {
+            tracker.record(&m, Seconds(0.01), &c);
+        }
+        let app = tracker.finish(&m);
+        let steady = m.steady_fit(&c);
+        assert!((app.total().value() - steady.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn at_qualification_point_average_hits_target() {
+        let m = model(370.0);
+        let mut tracker = FitTracker::new();
+        tracker.record(&m, Seconds(1.0), &conds(370.0, 0.35));
+        let app = tracker.finish(&m);
+        assert!((app.total().value() - 4000.0).abs() < 1e-6);
+        assert!(app.meets(Fit(4000.0 + 1e-9)));
+    }
+
+    #[test]
+    fn time_averaging_is_duration_weighted() {
+        // 25% of time hot, 75% cool: the EM/SM/TDDB average must sit at
+        // the weighted mean of the two steady values.
+        let m = model(370.0);
+        let hot = conds(390.0, 0.4);
+        let cool = conds(350.0, 0.2);
+        let mut tracker = FitTracker::new();
+        tracker.record(&m, Seconds(0.25), &hot);
+        tracker.record(&m, Seconds(0.75), &cool);
+        let app = tracker.finish(&m);
+        for mech in [
+            Mechanism::Electromigration,
+            Mechanism::StressMigration,
+            Mechanism::Tddb,
+        ] {
+            let h: f64 = Structure::ALL
+                .into_iter()
+                .map(|s| m.mechanism_fit(s, mech, &hot[s]).value())
+                .sum();
+            let c: f64 = Structure::ALL
+                .into_iter()
+                .map(|s| m.mechanism_fit(s, mech, &cool[s]).value())
+                .sum();
+            let expect = 0.25 * h + 0.75 * c;
+            let got = app.mechanism_total(mech).value();
+            assert!((got - expect).abs() < 1e-9, "{mech}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn thermal_cycling_uses_average_temperature_not_average_rate() {
+        // Coffin–Manson is convex, so rate(mean T) < mean(rate(T)); the
+        // tracker must evaluate TC at the mean temperature (§3.6).
+        let m = model(370.0);
+        let mut tracker = FitTracker::new();
+        tracker.record(&m, Seconds(0.5), &conds(390.0, 0.3));
+        tracker.record(&m, Seconds(0.5), &conds(350.0, 0.3));
+        let app = tracker.finish(&m);
+        assert!((app.average_temperature(Structure::Fpu).0 - 370.0).abs() < 1e-9);
+        let tc_at_mean: Fit = Structure::ALL
+            .into_iter()
+            .map(|s| m.thermal_cycling_fit(s, Kelvin(370.0)))
+            .sum();
+        assert!(
+            (app.mechanism_total(Mechanism::ThermalCycling).value() - tc_at_mean.value()).abs()
+                < 1e-9
+        );
+        let mean_of_rates = 0.5
+            * Structure::ALL
+                .into_iter()
+                .map(|s| m.thermal_cycling_fit(s, Kelvin(390.0)).value())
+                .sum::<f64>()
+            + 0.5
+                * Structure::ALL
+                    .into_iter()
+                    .map(|s| m.thermal_cycling_fit(s, Kelvin(350.0)).value())
+                    .sum::<f64>();
+        assert!(app.mechanism_total(Mechanism::ThermalCycling).value() < mean_of_rates);
+    }
+
+    #[test]
+    fn high_fit_intervals_can_be_compensated() {
+        // §7.1: temperature occasionally exceeding the qualification point
+        // is fine as long as the time average stays within budget.
+        let m = model(370.0);
+        let mut tracker = FitTracker::new();
+        tracker.record(&m, Seconds(0.1), &conds(385.0, 0.4)); // over budget
+        tracker.record(&m, Seconds(0.9), &conds(345.0, 0.2)); // well under
+        assert!(tracker.finish(&m).meets(Fit(4000.0)));
+    }
+
+    #[test]
+    fn empty_tracker_is_zero() {
+        let m = model(370.0);
+        let app = FitTracker::new().finish(&m);
+        assert_eq!(app.total().value(), 0.0);
+        assert_eq!(app.duration(), Seconds(0.0));
+    }
+
+    #[test]
+    fn zero_duration_records_are_ignored() {
+        let m = model(370.0);
+        let mut tracker = FitTracker::new();
+        tracker.record(&m, Seconds(0.0), &conds(400.0, 1.0));
+        assert_eq!(tracker.elapsed(), Seconds(0.0));
+        assert_eq!(tracker.finish(&m).total().value(), 0.0);
+    }
+
+    #[test]
+    fn structure_totals_sum_to_processor_total() {
+        let m = model(345.0);
+        let mut tracker = FitTracker::new();
+        tracker.record(&m, Seconds(0.4), &conds(368.0, 0.3));
+        tracker.record(&m, Seconds(0.6), &conds(352.0, 0.25));
+        let app = tracker.finish(&m);
+        let by_structure: f64 = Structure::ALL
+            .into_iter()
+            .map(|s| app.structure_total(s).value())
+            .sum();
+        let by_mechanism: f64 = Mechanism::ALL
+            .into_iter()
+            .map(|mech| app.mechanism_total(mech).value())
+            .sum();
+        assert!((by_structure - app.total().value()).abs() < 1e-9);
+        assert!((by_mechanism - app.total().value()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,24 @@
+use sim_cpu::{CoreConfig, Processor};
+use workload::{App, SyntheticStream};
+
+fn main() {
+    for app in App::ALL {
+        let profile = app.profile();
+        let src = SyntheticStream::new(profile.clone(), 12345);
+        let mut cpu = Processor::new(CoreConfig::base(), src).unwrap();
+        let resident = profile.data_working_set.min(2 * 1024 * 1024);
+        cpu.prewarm(0x1000_0000, resident, 0, profile.code_footprint);
+        cpu.run_instructions(100_000);
+        let s = cpu.run_instructions(100_000);
+        let c = s.cycles as f64;
+        println!(
+            "{:8} ipc={:.2} (paper {:.1})  mispred={:.3} l1d={:.3} l2={:.3} | empty={:.2} headmem={:.2} headexec={:.2} fstall={:.2}",
+            app.name(), s.ipc(), app.paper_ipc(),
+            s.bpred.mispredict_rate(), s.l1d.miss_rate(), s.l2.miss_rate(),
+            s.counters.cycles_window_empty as f64 / c,
+            s.counters.cycles_head_mem as f64 / c,
+            s.counters.cycles_head_exec as f64 / c,
+            s.counters.cycles_fetch_stalled as f64 / c,
+        );
+    }
+}

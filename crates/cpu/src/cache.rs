@@ -1,0 +1,525 @@
+//! Set-associative caches and the two-level memory hierarchy
+//! (Table 1: 64 KB 2-way L1D with 2 ports and 12 MSHRs, 32 KB 2-way L1I,
+//! 1 MB 4-way unified off-chip L2, 102-cycle main memory at 4 GHz).
+
+use crate::config::CacheConfig;
+
+/// Outcome of a single cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// Line present.
+    Hit,
+    /// Line absent; it has been filled (allocate-on-miss). `writeback` is
+    /// true when a dirty victim was evicted.
+    Miss {
+        /// A dirty line was displaced by the fill.
+        writeback: bool,
+    },
+}
+
+/// Access counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total lookups.
+    pub accesses: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Dirty evictions.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss rate over all accesses (0 when idle).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// A write-back, write-allocate, true-LRU set-associative cache.
+///
+/// State updates happen at lookup time (the standard "immediate state,
+/// delayed data" trace-simulation discipline); timing is supplied by
+/// [`MemHierarchy`].
+///
+/// # Examples
+///
+/// ```
+/// use sim_cpu::{Cache, CacheConfig, Lookup};
+/// let mut c = Cache::new(CacheConfig { size_bytes: 1024, assoc: 2, line_bytes: 64 });
+/// assert!(matches!(c.access(0x0, false), Lookup::Miss { .. }));
+/// assert_eq!(c.access(0x8, false), Lookup::Hit); // same line
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    lines: Vec<Line>,
+    assoc: usize,
+    set_count: u64,
+    line_shift: u32,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (use [`CacheConfig::validate`] at
+    /// configuration time).
+    pub fn new(config: CacheConfig) -> Cache {
+        config.validate("cache").expect("valid cache geometry");
+        let sets = config.sets();
+        Cache {
+            lines: vec![Line::default(); (sets * config.assoc as u64) as usize],
+            assoc: config.assoc as usize,
+            set_count: sets,
+            line_shift: config.line_bytes.trailing_zeros(),
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The line-aligned address for `addr`.
+    #[inline]
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    /// Line size in bytes.
+    #[inline]
+    pub fn line_bytes(&self) -> u64 {
+        1 << self.line_shift
+    }
+
+    /// Performs a lookup for `addr`, filling on miss and marking the line
+    /// dirty on writes.
+    pub fn access(&mut self, addr: u64, write: bool) -> Lookup {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let line_addr = addr >> self.line_shift;
+        let set = (line_addr % self.set_count) as usize;
+        let tag = line_addr / self.set_count;
+        let base = set * self.assoc;
+        let ways = &mut self.lines[base..base + self.assoc];
+
+        if let Some(way) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            way.lru = self.clock;
+            way.dirty |= write;
+            self.stats.hits += 1;
+            return Lookup::Hit;
+        }
+
+        self.stats.misses += 1;
+        // Victim: an invalid way, else true LRU.
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
+            .expect("associativity is non-zero");
+        let writeback = victim.valid && victim.dirty;
+        if writeback {
+            self.stats.writebacks += 1;
+        }
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            lru: self.clock,
+        };
+        Lookup::Miss { writeback }
+    }
+
+    /// True when the line containing `addr` is resident (no state change).
+    pub fn contains(&self, addr: u64) -> bool {
+        let line_addr = addr >> self.line_shift;
+        let set = (line_addr % self.set_count) as usize;
+        let tag = line_addr / self.set_count;
+        let base = set * self.assoc;
+        self.lines[base..base + self.assoc]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Returns and clears the statistics (cache contents are preserved).
+    pub fn take_stats(&mut self) -> CacheStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+/// Result of a data-side access through the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataAccess {
+    /// The access was accepted; data is available at `ready` (absolute
+    /// cycle).
+    Ready {
+        /// Cycle at which the value is available.
+        ready: u64,
+    },
+    /// All MSHRs are busy with other lines; retry on a later cycle.
+    Retry,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Mshr {
+    line: u64,
+    ready: u64,
+}
+
+/// Latency parameters of the hierarchy, in cycles at the current clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemLatencies {
+    /// L1 hit time.
+    pub l1_hit: u32,
+    /// L2 hit time (beyond the L1 access).
+    pub l2_hit: u32,
+    /// Main-memory time (beyond the L1 access).
+    pub memory: u32,
+}
+
+/// The L1I/L1D/L2/memory hierarchy with MSHR-limited L1D miss concurrency.
+#[derive(Debug, Clone)]
+pub struct MemHierarchy {
+    /// L1 instruction cache.
+    pub l1i: Cache,
+    /// L1 data cache.
+    pub l1d: Cache,
+    /// Unified L2.
+    pub l2: Cache,
+    latencies: MemLatencies,
+    mshrs: Vec<Mshr>,
+    mshr_capacity: usize,
+    prefetch_next_line: bool,
+    /// L2 accesses triggered by L1I misses (for power accounting).
+    pub l2_inst_refs: u64,
+    /// Next-line prefetches issued.
+    pub prefetches: u64,
+}
+
+impl MemHierarchy {
+    /// Creates the hierarchy.
+    pub fn new(
+        l1i: CacheConfig,
+        l1d: CacheConfig,
+        l2: CacheConfig,
+        latencies: MemLatencies,
+        mshr_capacity: u32,
+    ) -> MemHierarchy {
+        MemHierarchy {
+            l1i: Cache::new(l1i),
+            l1d: Cache::new(l1d),
+            l2: Cache::new(l2),
+            latencies,
+            mshrs: Vec::with_capacity(mshr_capacity as usize),
+            mshr_capacity: mshr_capacity as usize,
+            prefetch_next_line: false,
+            l2_inst_refs: 0,
+            prefetches: 0,
+        }
+    }
+
+    /// Enables or disables tagged next-line prefetching on L1D misses.
+    pub fn set_prefetch_next_line(&mut self, enabled: bool) {
+        self.prefetch_next_line = enabled;
+    }
+
+    /// Current latency parameters.
+    pub fn latencies(&self) -> MemLatencies {
+        self.latencies
+    }
+
+    /// Replaces the latency parameters (used when the clock frequency
+    /// changes at runtime: off-chip latencies are fixed in wall-clock time,
+    /// so their cycle counts move with the clock). Outstanding misses keep
+    /// their original completion times.
+    pub fn set_latencies(&mut self, latencies: MemLatencies) {
+        self.latencies = latencies;
+    }
+
+    fn l2_fill_latency(&mut self, addr: u64) -> u32 {
+        match self.l2.access(addr, false) {
+            Lookup::Hit => self.latencies.l2_hit,
+            Lookup::Miss { .. } => self.latencies.memory,
+        }
+    }
+
+    /// A data-side access (load or store) at absolute cycle `now`.
+    ///
+    /// Hits complete in the L1 hit time. Misses allocate an MSHR; requests
+    /// to a line with an outstanding miss coalesce onto it. When all MSHRs
+    /// are busy the access must be retried later.
+    pub fn access_data(&mut self, now: u64, addr: u64, write: bool) -> DataAccess {
+        let line = self.l1d.line_addr(addr);
+        // Drop completed MSHRs.
+        self.mshrs.retain(|m| m.ready > now);
+        if let Some(m) = self.mshrs.iter().find(|m| m.line == line) {
+            // Coalesce with the miss in flight. The line was filled when the
+            // miss was initiated (immediate state update), so this lookup
+            // hits; data arrives with the outstanding fill.
+            let _ = self.l1d.access(addr, write);
+            return DataAccess::Ready { ready: m.ready };
+        }
+        if self.l1d.contains(addr) {
+            let _ = self.l1d.access(addr, write);
+            return DataAccess::Ready {
+                ready: now + self.latencies.l1_hit as u64,
+            };
+        }
+        if self.mshrs.len() >= self.mshr_capacity {
+            // Reject before touching any state so the retried access still
+            // sees (and pays for) the miss.
+            return DataAccess::Retry;
+        }
+        let _ = self.l1d.access(addr, write);
+        let fill = self.l2_fill_latency(addr);
+        let ready = now + (self.latencies.l1_hit + fill) as u64;
+        self.mshrs.push(Mshr { line, ready });
+        if self.prefetch_next_line {
+            // Tagged next-line prefetch: pull the successor line toward
+            // the core on a demand miss (state update only; the demand
+            // stream later hits it).
+            let next = addr + self.l1d.line_bytes();
+            if !self.l1d.contains(next) {
+                self.prefetches += 1;
+                self.prefill_data(next);
+            }
+        }
+        DataAccess::Ready { ready }
+    }
+
+    /// An instruction fetch access at absolute cycle `now`; returns the
+    /// cycle at which the line is available (fetch stalls on misses, so no
+    /// MSHR limit applies).
+    pub fn access_inst(&mut self, now: u64, addr: u64) -> u64 {
+        match self.l1i.access(addr, false) {
+            Lookup::Hit => now, // hit latency hidden by the fetch pipeline
+            Lookup::Miss { .. } => {
+                self.l2_inst_refs += 1;
+                let fill = self.l2_fill_latency(addr);
+                now + fill as u64
+            }
+        }
+    }
+
+    /// Number of MSHRs currently tracking outstanding misses at `now`.
+    pub fn mshrs_in_flight(&self, now: u64) -> usize {
+        self.mshrs.iter().filter(|m| m.ready > now).count()
+    }
+
+    /// Pre-warms the data path for the line containing `addr` (fills L2 and
+    /// L1D without touching MSHRs). Used to start measurement from the
+    /// steady state a long-running application would reach, skipping the
+    /// compulsory-miss transient that short simulations cannot amortize.
+    pub fn prefill_data(&mut self, addr: u64) {
+        let _ = self.l2.access(addr, false);
+        let _ = self.l1d.access(addr, false);
+    }
+
+    /// Pre-warms the instruction path for the line containing `addr`.
+    pub fn prefill_inst(&mut self, addr: u64) {
+        let _ = self.l2.access(addr, false);
+        let _ = self.l1i.access(addr, false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 1024,
+            assoc: 2,
+            line_bytes: 64,
+        }
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = Cache::new(small());
+        assert!(matches!(c.access(0x40, false), Lookup::Miss { .. }));
+        assert_eq!(c.access(0x40, false), Lookup::Hit);
+        assert_eq!(c.access(0x7f, false), Lookup::Hit); // same 64B line
+        assert!(matches!(c.access(0x80, false), Lookup::Miss { .. }));
+    }
+
+    #[test]
+    fn lru_replacement() {
+        // 2-way: fill two ways of one set, touch the first, insert a third;
+        // the second must be the victim.
+        let mut c = Cache::new(small());
+        let sets = small().sets(); // 8 sets
+        let stride = 64 * sets; // same-set stride
+        c.access(0, false); // way A
+        c.access(stride, false); // way B
+        c.access(0, false); // A is MRU
+        c.access(2 * stride, false); // evicts B
+        assert!(c.contains(0));
+        assert!(!c.contains(stride));
+        assert!(c.contains(2 * stride));
+    }
+
+    #[test]
+    fn writeback_on_dirty_eviction() {
+        let mut c = Cache::new(small());
+        let stride = 64 * small().sets();
+        c.access(0, true); // dirty, LRU after the next fill
+        c.access(stride, false); // clean
+        match c.access(2 * stride, false) {
+            // Victim is line 0 (least recently used) and it is dirty.
+            Lookup::Miss { writeback } => assert!(writeback),
+            _ => panic!("expected miss"),
+        }
+        match c.access(3 * stride, false) {
+            // Victim is `stride`, which is clean.
+            Lookup::Miss { writeback } => assert!(!writeback),
+            _ => panic!("expected miss"),
+        }
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut c = Cache::new(small());
+        c.access(0, false);
+        c.access(0, false);
+        c.access(64, false);
+        let s = c.stats();
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert!((s.miss_rate() - 2.0 / 3.0).abs() < 1e-12);
+        let taken = c.take_stats();
+        assert_eq!(taken.accesses, 3);
+        assert_eq!(c.stats().accesses, 0);
+        assert!(c.contains(0), "take_stats must not clear contents");
+    }
+
+    fn hierarchy(mshrs: u32) -> MemHierarchy {
+        MemHierarchy::new(
+            small(),
+            small(),
+            CacheConfig {
+                size_bytes: 16 * 1024,
+                assoc: 4,
+                line_bytes: 64,
+            },
+            MemLatencies {
+                l1_hit: 2,
+                l2_hit: 20,
+                memory: 102,
+            },
+            mshrs,
+        )
+    }
+
+    #[test]
+    fn data_hit_latency() {
+        let mut h = hierarchy(2);
+        // Cold miss to memory first.
+        match h.access_data(0, 0x1000, false) {
+            DataAccess::Ready { ready } => assert_eq!(ready, 104), // 2 + 102
+            DataAccess::Retry => panic!("retry"),
+        }
+        // Far in the future the line is resident: pure L1 hit.
+        match h.access_data(1000, 0x1000, false) {
+            DataAccess::Ready { ready } => assert_eq!(ready, 1002),
+            DataAccess::Retry => panic!("retry"),
+        }
+    }
+
+    #[test]
+    fn l2_hit_path() {
+        let mut h = hierarchy(2);
+        let _ = h.access_data(0, 0x2000, false); // memory fill, L2 now has it
+        // Evict from tiny L1D by touching conflicting lines.
+        let stride = 64 * small().sets();
+        let _ = h.access_data(200, 0x2000 + stride, false);
+        let _ = h.access_data(400, 0x2000 + 2 * stride, false);
+        assert!(!h.l1d.contains(0x2000));
+        match h.access_data(600, 0x2000, false) {
+            DataAccess::Ready { ready } => assert_eq!(ready, 600 + 2 + 20),
+            DataAccess::Retry => panic!("retry"),
+        }
+    }
+
+    #[test]
+    fn mshr_exhaustion_forces_retry() {
+        let mut h = hierarchy(2);
+        assert!(matches!(
+            h.access_data(0, 0x10_000, false),
+            DataAccess::Ready { .. }
+        ));
+        assert!(matches!(
+            h.access_data(0, 0x20_000, false),
+            DataAccess::Ready { .. }
+        ));
+        assert_eq!(h.mshrs_in_flight(0), 2);
+        assert_eq!(h.access_data(0, 0x30_000, false), DataAccess::Retry);
+        // After the misses resolve, capacity is available again.
+        assert!(matches!(
+            h.access_data(500, 0x30_000, false),
+            DataAccess::Ready { .. }
+        ));
+    }
+
+    #[test]
+    fn same_line_misses_coalesce() {
+        let mut h = hierarchy(1);
+        let first = match h.access_data(0, 0x40_000, false) {
+            DataAccess::Ready { ready } => ready,
+            DataAccess::Retry => panic!("retry"),
+        };
+        // Second access to the same line coalesces even though MSHRs are full.
+        match h.access_data(1, 0x40_008, false) {
+            DataAccess::Ready { ready } => assert_eq!(ready, first),
+            DataAccess::Retry => panic!("coalescing must not consume an MSHR"),
+        }
+    }
+
+    #[test]
+    fn next_line_prefetch_turns_misses_into_hits() {
+        let mut h = hierarchy(4);
+        h.set_prefetch_next_line(true);
+        // Demand miss at line 0 prefetches line 1.
+        let _ = h.access_data(0, 0x1000, false);
+        assert_eq!(h.prefetches, 1);
+        assert!(h.l1d.contains(0x1040));
+        match h.access_data(500, 0x1040, false) {
+            DataAccess::Ready { ready } => assert_eq!(ready, 502, "prefetched line must hit"),
+            DataAccess::Retry => panic!("retry"),
+        }
+        // Without prefetch the same pattern misses.
+        let mut h = hierarchy(4);
+        let _ = h.access_data(0, 0x1000, false);
+        assert_eq!(h.prefetches, 0);
+        assert!(!h.l1d.contains(0x1040));
+    }
+
+    #[test]
+    fn inst_miss_goes_through_l2() {
+        let mut h = hierarchy(2);
+        let ready = h.access_inst(0, 0x0);
+        assert_eq!(ready, 102); // cold: memory latency
+        let ready = h.access_inst(500, 0x0);
+        assert_eq!(ready, 500); // resident: hidden
+        assert_eq!(h.l2_inst_refs, 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! `sim-cpu`: a cycle-level out-of-order superscalar timing simulator.
+//!
+//! This is the RSIM-like substrate of the RAMP/DRM reproduction: a
+//! MIPS-R10000-style processor with the parameters of Table 1 of
+//! *"The Case for Lifetime Reliability-Aware Microprocessors"* (ISCA 2004):
+//!
+//! * 8-wide fetch/retire; centralized 128-entry instruction window
+//!   (issue queue + ROB) with separate 192+192-entry physical register
+//!   files;
+//! * 6 integer ALUs, 4 FPUs, 2 address-generation units — the issue width
+//!   is the sum of active functional units and adapts with them (§6.1);
+//! * 2 KB bimodal branch predictor with a 32-entry RAS;
+//! * 64 KB/2-way L1D (2 ports, 12 MSHRs), 32 KB/2-way L1I, 1 MB/4-way
+//!   off-chip L2, 102-cycle (at 4 GHz) main memory;
+//! * trace-driven misprediction modeling (fetch stalls from a mispredicted
+//!   branch until resolution + redirect).
+//!
+//! The simulator produces per-interval [`IntervalStats`] including the
+//! per-structure activity factors that the power model (`sim-power`) and
+//! reliability model (`ramp`) consume.
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_cpu::{CoreConfig, Processor};
+//! use workload::{App, SyntheticStream};
+//!
+//! let source = SyntheticStream::new(App::Bzip2.profile(), 42);
+//! let mut cpu = Processor::new(CoreConfig::base(), source)?;
+//! let run = cpu.run(20_000, 5_000);
+//! println!("bzip2 IPC = {:.2}", run.ipc());
+//! # Ok::<(), sim_common::SimError>(())
+//! ```
+
+pub mod bpred;
+pub mod cache;
+pub mod config;
+pub mod pipeline;
+pub mod regfile;
+pub mod stats;
+
+pub use bpred::{Bpred, BpredStats};
+pub use cache::{Cache, CacheStats, DataAccess, Lookup, MemHierarchy, MemLatencies};
+pub use config::{BpredConfig, CacheConfig, CoreConfig, MAX_FPUS, MAX_INT_ALUS, MAX_WINDOW};
+pub use pipeline::Processor;
+pub use regfile::{PhysReg, RegFileStats, Rename};
+pub use stats::{ActivityCounters, IntervalStats, RunStats};

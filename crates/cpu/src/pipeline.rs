@@ -1,0 +1,835 @@
+//! The cycle-level out-of-order pipeline.
+//!
+//! Models the paper's base processor (Table 1): 8-wide fetch/retire, a
+//! centralized instruction window integrating the issue queue and reorder
+//! buffer with a separate physical register file (MIPS R10000 style),
+//! per-class functional-unit pools whose sum defines the issue width
+//! (§6.1), a 32-entry memory queue with store-address disambiguation and
+//! store-to-load forwarding, and an MSHR-limited two-level cache hierarchy.
+//!
+//! The simulator is trace driven: the instruction stream is always the
+//! correct path, so a branch misprediction is modeled as a fetch stall from
+//! the mispredicted branch's fetch until it resolves plus a redirect
+//! penalty, rather than by executing wrong-path work.
+
+use std::collections::{HashMap, VecDeque};
+
+use workload::{InstructionSource, MicroOp, OpClass};
+
+use crate::bpred::Bpred;
+use crate::cache::{DataAccess, MemHierarchy, MemLatencies};
+use crate::config::CoreConfig;
+use crate::regfile::{PhysReg, Rename};
+use crate::stats::{ActivityCounters, IntervalStats, RunStats};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    Waiting,
+    Issued,
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    seq: u64,
+    op: MicroOp,
+    dest: Option<PhysReg>,
+    old_dest: Option<PhysReg>,
+    srcs: [Option<PhysReg>; 2],
+    state: SlotState,
+    ready_cycle: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Fetched {
+    seq: u64,
+    op: MicroOp,
+    dispatch_at: u64,
+}
+
+/// Number of cycles without a commit after which the simulator declares a
+/// livelock and panics (a correctness backstop; a healthy configuration
+/// never goes near this).
+const LIVELOCK_LIMIT: u64 = 500_000;
+
+/// The out-of-order processor: configuration + instruction source +
+/// microarchitectural state.
+///
+/// # Examples
+///
+/// ```
+/// use sim_cpu::{CoreConfig, Processor};
+/// use workload::{App, SyntheticStream};
+///
+/// let source = SyntheticStream::new(App::Gzip.profile(), 1);
+/// let mut cpu = Processor::new(CoreConfig::base(), source)?;
+/// let stats = cpu.run_instructions(10_000);
+/// assert!(stats.ipc() > 0.1);
+/// # Ok::<(), sim_common::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct Processor<S> {
+    config: CoreConfig,
+    source: S,
+    rename: Rename,
+    bpred: Bpred,
+    mem: MemHierarchy,
+
+    window: VecDeque<Slot>,
+    fetch_queue: VecDeque<Fetched>,
+    pending: Option<MicroOp>,
+
+    now: u64,
+    seq_next: u64,
+    committed: u64,
+    last_commit_cycle: u64,
+
+    fetch_resume_at: u64,
+    blocking_branch: Option<u64>,
+    /// A fetched return whose RAS-predicted target must match the next
+    /// fetched op's PC: `(sequence number, predicted target)`.
+    return_check: Option<(u64, u64)>,
+    cur_fetch_line: u64,
+    line_shift: u32,
+
+    int_free: Vec<u64>,
+    fp_free: Vec<u64>,
+    agen_free: Vec<u64>,
+
+    mem_in_window: u32,
+    store_addrs: HashMap<u64, u32>,
+
+    counters: ActivityCounters,
+    interval_start_cycle: u64,
+    interval_start_committed: u64,
+    commit_target: u64,
+}
+
+impl<S: InstructionSource> Processor<S> {
+    /// Creates a processor over `source`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`sim_common::SimError::InvalidConfig`] when the
+    /// configuration fails [`CoreConfig::validate`].
+    pub fn new(config: CoreConfig, source: S) -> Result<Processor<S>, sim_common::SimError> {
+        config.validate()?;
+        let latencies = MemLatencies {
+            l1_hit: config.l1_hit_cycles,
+            l2_hit: config.l2_hit_cycles(),
+            memory: config.mem_cycles(),
+        };
+        Ok(Processor {
+            rename: Rename::new(config.int_regs, config.fp_regs),
+            bpred: Bpred::new(config.bpred),
+            mem: {
+                let mut mem =
+                    MemHierarchy::new(config.l1i, config.l1d, config.l2, latencies, config.mshrs);
+                mem.set_prefetch_next_line(config.prefetch_next_line);
+                mem
+            },
+            window: VecDeque::with_capacity(config.window_size as usize),
+            fetch_queue: VecDeque::with_capacity(
+                (config.fetch_width * (config.frontend_latency + 2)) as usize,
+            ),
+            pending: None,
+            now: 0,
+            seq_next: 0,
+            committed: 0,
+            last_commit_cycle: 0,
+            fetch_resume_at: 0,
+            blocking_branch: None,
+            return_check: None,
+            cur_fetch_line: u64::MAX,
+            line_shift: config.l1i.line_bytes.trailing_zeros(),
+            int_free: vec![0; config.int_alus as usize],
+            fp_free: vec![0; config.fpus as usize],
+            agen_free: vec![0; config.addr_gens as usize],
+            mem_in_window: 0,
+            store_addrs: HashMap::new(),
+            counters: ActivityCounters::default(),
+            interval_start_cycle: 0,
+            interval_start_committed: 0,
+            commit_target: u64::MAX,
+            config,
+            source,
+        })
+    }
+
+    /// The processor configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// The instruction source.
+    pub fn source(&self) -> &S {
+        &self.source
+    }
+
+    /// Total instructions committed since construction.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Changes the clock frequency and supply voltage at runtime (a DVS
+    /// transition). Microarchitectural state (caches, predictor, window)
+    /// is preserved; off-chip latencies are re-derived in cycles for the
+    /// new clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`sim_common::SimError::InvalidConfig`] when the new
+    /// frequency or voltage is not positive.
+    pub fn set_dvs(
+        &mut self,
+        frequency: sim_common::Hertz,
+        vdd: sim_common::Volts,
+    ) -> Result<(), sim_common::SimError> {
+        let mut config = self.config.clone();
+        config.frequency = frequency;
+        config.vdd = vdd;
+        config.validate()?;
+        self.mem.set_latencies(MemLatencies {
+            l1_hit: config.l1_hit_cycles,
+            l2_hit: config.l2_hit_cycles(),
+            memory: config.mem_cycles(),
+        });
+        self.config = config;
+        Ok(())
+    }
+
+    /// Pre-warms the data caches over `[base, base + bytes)` and the
+    /// instruction caches over `[code_base, code_base + code_bytes)`.
+    ///
+    /// Short simulations cannot amortize the compulsory misses of a
+    /// multi-megabyte footprint the way the paper's 500-million-instruction
+    /// runs do; prefilling starts measurement from the warmed steady state.
+    /// Statistics perturbed by prefilling are cleared.
+    pub fn prewarm(&mut self, base: u64, bytes: u64, code_base: u64, code_bytes: u64) {
+        // Walk from the top of the range down so the lowest addresses (the
+        // hot/mid regions at the bottom of the data segment) are
+        // most-recently-used and survive in the capacity-limited levels.
+        let line = self.config.l1d.line_bytes as u64;
+        let mut addr = base.saturating_add(bytes.saturating_sub(1)) & !(line - 1);
+        while addr >= base {
+            self.mem.prefill_data(addr);
+            match addr.checked_sub(line) {
+                Some(a) => addr = a,
+                None => break,
+            }
+        }
+        let mut addr = code_base;
+        while addr < code_base.saturating_add(code_bytes) {
+            self.mem.prefill_inst(addr);
+            addr += self.config.l1i.line_bytes as u64;
+        }
+        let _ = self.mem.l1i.take_stats();
+        let _ = self.mem.l1d.take_stats();
+        let _ = self.mem.l2.take_stats();
+    }
+
+    /// Runs until `instructions` more instructions have committed and
+    /// returns the statistics for exactly that interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline livelocks (no commit for an implausibly long
+    /// time) — this indicates a simulator bug, not a user error.
+    pub fn run_instructions(&mut self, instructions: u64) -> IntervalStats {
+        let target = self.committed + instructions;
+        // Cap commit at the interval boundary so intervals partition the
+        // instruction stream exactly (the paper samples at fixed
+        // granularity, §3.6).
+        self.commit_target = target;
+        while self.committed < target {
+            self.step();
+        }
+        self.commit_target = u64::MAX;
+        self.take_interval()
+    }
+
+    /// Runs `total` instructions split into intervals of `interval`
+    /// instructions (the paper samples temperature and reliability at fixed
+    /// intervals, §3.6), returning per-interval statistics.
+    pub fn run(&mut self, total: u64, interval: u64) -> RunStats {
+        assert!(interval > 0, "interval must be non-zero");
+        let mut intervals = Vec::with_capacity((total / interval + 1) as usize);
+        let mut remaining = total;
+        while remaining > 0 {
+            let n = remaining.min(interval);
+            intervals.push(self.run_instructions(n));
+            remaining -= n;
+        }
+        RunStats::new(intervals)
+    }
+
+    /// Advances the pipeline one cycle.
+    pub fn step(&mut self) {
+        self.complete();
+        self.commit();
+        self.issue();
+        self.dispatch();
+        self.fetch();
+        self.now += 1;
+        assert!(
+            self.now - self.last_commit_cycle < LIVELOCK_LIMIT,
+            "pipeline livelock at cycle {}: window {:?} head, {} in flight",
+            self.now,
+            self.window.front().map(|s| (s.op.class, s.state)),
+            self.window.len(),
+        );
+    }
+
+    fn complete(&mut self) {
+        let now = self.now;
+        let mut resolved_blocker = false;
+        for slot in self.window.iter_mut() {
+            if slot.state == SlotState::Issued && slot.ready_cycle <= now {
+                slot.state = SlotState::Done;
+                if let Some(dest) = slot.dest {
+                    self.rename.set_ready(dest);
+                    self.counters.window_wakeups += 1;
+                }
+                if slot.op.class == OpClass::Branch {
+                    self.bpred.update(slot.op.pc, slot.op.taken);
+                }
+                if self.blocking_branch == Some(slot.seq) {
+                    resolved_blocker = true;
+                }
+            }
+        }
+        if resolved_blocker {
+            self.blocking_branch = None;
+            self.fetch_resume_at = self
+                .fetch_resume_at
+                .max(now + self.config.mispredict_redirect as u64);
+        }
+    }
+
+    fn commit(&mut self) {
+        match self.window.front() {
+            None => self.counters.cycles_window_empty += 1,
+            Some(head) if head.state != SlotState::Done => {
+                if head.op.class.is_mem() && head.state == SlotState::Issued {
+                    self.counters.cycles_head_mem += 1;
+                } else {
+                    self.counters.cycles_head_exec += 1;
+                }
+            }
+            Some(_) => {}
+        }
+        let mut retired = 0;
+        while retired < self.config.retire_width && self.committed < self.commit_target {
+            match self.window.front() {
+                Some(slot) if slot.state == SlotState::Done => {}
+                _ => break,
+            }
+            let slot = self.window.pop_front().expect("checked non-empty");
+            if let Some(old) = slot.old_dest {
+                self.rename.release(old);
+            }
+            if slot.op.class.is_mem() {
+                self.mem_in_window -= 1;
+                if slot.op.class == OpClass::Store {
+                    if let Some(addr) = slot.op.addr {
+                        let key = addr >> 3;
+                        if let Some(n) = self.store_addrs.get_mut(&key) {
+                            *n -= 1;
+                            if *n == 0 {
+                                self.store_addrs.remove(&key);
+                            }
+                        }
+                    }
+                }
+            }
+            self.committed += 1;
+            retired += 1;
+        }
+        if retired > 0 {
+            self.last_commit_cycle = self.now;
+        }
+    }
+
+    fn take_unit(units: &mut [u64], now: u64, busy_until: u64) -> bool {
+        if let Some(u) = units.iter_mut().find(|u| **u <= now) {
+            *u = busy_until;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn issue(&mut self) {
+        let now = self.now;
+        let mut dcache_used = 0u32;
+        let l1_hit = self.config.l1_hit_cycles as u64;
+
+        for i in 0..self.window.len() {
+            let (class, state) = {
+                let s = &self.window[i];
+                (s.op.class, s.state)
+            };
+            if state != SlotState::Waiting {
+                continue;
+            }
+
+            let srcs_ready = {
+                let s = &self.window[i];
+                s.srcs
+                    .iter()
+                    .flatten()
+                    .all(|&p| self.rename.is_ready(p))
+            };
+            if !srcs_ready {
+                continue;
+            }
+
+            match class {
+                OpClass::IntAlu
+                | OpClass::IntMul
+                | OpClass::IntDiv
+                | OpClass::Branch
+                | OpClass::Call
+                | OpClass::Return => {
+                    let latency = class.latency() as u64;
+                    let occupancy = if class.is_unpipelined() { latency } else { 1 };
+                    if Self::take_unit(&mut self.int_free, now, now + occupancy) {
+                        self.start_execution(i, now + latency);
+                        self.counters.int_busy += occupancy;
+                    }
+                }
+                OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv => {
+                    let latency = class.latency() as u64;
+                    let occupancy = if class.is_unpipelined() { latency } else { 1 };
+                    if Self::take_unit(&mut self.fp_free, now, now + occupancy) {
+                        self.start_execution(i, now + latency);
+                        self.counters.fp_busy += occupancy;
+                    }
+                }
+                OpClass::Load => {
+                    // Store addresses are published at dispatch (perfect
+                    // disambiguation — the trace knows every address), so a
+                    // load is never conservatively blocked; it either
+                    // forwards from the memory queue or accesses the cache.
+                    if dcache_used >= self.config.l1d_ports
+                        || !self.agen_free.iter().any(|&u| u <= now)
+                    {
+                        continue;
+                    }
+                    let addr = self.window[i].op.addr.expect("loads carry addresses");
+                    self.counters.lsq_searches += 1;
+                    if self.store_addr_is_older(i, addr) {
+                        // Store-to-load forwarding: value comes from the
+                        // memory queue, no cache access.
+                        Self::take_unit(&mut self.agen_free, now, now + 1);
+                        self.counters.agen_busy += 1;
+                        self.counters.forwards += 1;
+                        self.start_execution(i, now + 1 + l1_hit);
+                    } else {
+                        match self.mem.access_data(now + 1, addr, false) {
+                            DataAccess::Ready { ready } => {
+                                Self::take_unit(&mut self.agen_free, now, now + 1);
+                                self.counters.agen_busy += 1;
+                                dcache_used += 1;
+                                self.start_execution(i, ready);
+                            }
+                            DataAccess::Retry => {} // all MSHRs busy; retry next cycle
+                        }
+                    }
+                }
+                OpClass::Store => {
+                    if dcache_used >= self.config.l1d_ports
+                        || !self.agen_free.iter().any(|&u| u <= now)
+                    {
+                        continue;
+                    }
+                    let addr = self.window[i].op.addr.expect("stores carry addresses");
+                    match self.mem.access_data(now + 1, addr, true) {
+                        DataAccess::Ready { .. } => {
+                            Self::take_unit(&mut self.agen_free, now, now + 1);
+                            self.counters.agen_busy += 1;
+                            dcache_used += 1;
+                            self.counters.lsq_searches += 1;
+                            // The store retires from the pipeline's point of
+                            // view once its address and data are delivered to
+                            // the memory queue.
+                            self.start_execution(i, now + 1);
+                        }
+                        DataAccess::Retry => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// True when a store older than the load in window slot `load_idx`
+    /// targets the same 8-byte word (store-to-load forwarding hit).
+    fn store_addr_is_older(&self, load_idx: usize, addr: u64) -> bool {
+        if !self.store_addrs.contains_key(&(addr >> 3)) {
+            return false;
+        }
+        let load_seq = self.window[load_idx].seq;
+        self.window.iter().any(|s| {
+            s.seq < load_seq
+                && s.op.class == OpClass::Store
+                && s.op.addr.is_some_and(|a| a >> 3 == addr >> 3)
+        })
+    }
+
+    fn start_execution(&mut self, slot_idx: usize, ready_cycle: u64) {
+        let reads: Vec<_> = {
+            let slot = &mut self.window[slot_idx];
+            slot.state = SlotState::Issued;
+            slot.ready_cycle = ready_cycle;
+            slot.srcs.iter().flatten().map(|p| p.class).collect()
+        };
+        for class in reads {
+            self.rename.count_read(class);
+        }
+        self.counters.window_issues += 1;
+    }
+
+    fn dispatch(&mut self) {
+        let mut budget = self.config.fetch_width;
+        while budget > 0 {
+            let front = match self.fetch_queue.front() {
+                Some(f) if f.dispatch_at <= self.now => f,
+                _ => break,
+            };
+            if self.window.len() >= self.config.window_size as usize {
+                break;
+            }
+            if front.op.class.is_mem() && self.mem_in_window >= self.config.mem_queue {
+                break;
+            }
+            if let Some(dest) = front.op.dest {
+                if self.rename.free_count(dest.class()) == 0 {
+                    break;
+                }
+            }
+            let f = self.fetch_queue.pop_front().expect("checked non-empty");
+            let srcs = {
+                let mut srcs = [None, None];
+                for (i, src) in f.op.srcs.iter().enumerate() {
+                    srcs[i] = src.map(|a| self.rename.rename_src(a));
+                }
+                srcs
+            };
+            let (dest, old_dest) = match f.op.dest {
+                Some(arch) => {
+                    let (new, old) = self
+                        .rename
+                        .alloc_dest(arch)
+                        .expect("free count checked above");
+                    (Some(new), Some(old))
+                }
+                None => (None, None),
+            };
+            if f.op.class.is_mem() {
+                self.mem_in_window += 1;
+                self.counters.lsq_inserts += 1;
+                if f.op.class == OpClass::Store {
+                    // Publish the store address for disambiguation as soon
+                    // as the store enters the memory queue.
+                    if let Some(addr) = f.op.addr {
+                        *self.store_addrs.entry(addr >> 3).or_insert(0) += 1;
+                    }
+                }
+            }
+            self.window.push_back(Slot {
+                seq: f.seq,
+                op: f.op,
+                dest,
+                old_dest,
+                srcs,
+                state: SlotState::Waiting,
+                ready_cycle: 0,
+            });
+            self.counters.window_writes += 1;
+            budget -= 1;
+        }
+    }
+
+    fn fetch(&mut self) {
+        if self.now < self.fetch_resume_at || self.blocking_branch.is_some() {
+            self.counters.cycles_fetch_stalled += 1;
+            return;
+        }
+        // The queue must cover the fetch-to-dispatch pipeline occupancy
+        // (width x depth) plus one cycle of slack, or Little's law caps
+        // fetch below its width.
+        let cap = (self.config.fetch_width * (self.config.frontend_latency + 2)) as usize;
+        let mut budget = self.config.fetch_width;
+        while budget > 0 && self.fetch_queue.len() < cap {
+            let op = match self.pending.take() {
+                Some(op) => op,
+                None => self.source.next_op(),
+            };
+            // Verify the previous return's RAS prediction against the PC
+            // that actually follows it.
+            if let Some((ret_seq, predicted)) = self.return_check.take() {
+                if op.pc != predicted {
+                    self.bpred.count_ras_mispredict();
+                    self.blocking_branch = Some(ret_seq);
+                    self.pending = Some(op);
+                    self.counters.cycles_fetch_stalled += 1;
+                    return;
+                }
+            }
+            let line = op.pc >> self.line_shift;
+            if line != self.cur_fetch_line {
+                let ready = self.mem.access_inst(self.now, op.pc);
+                self.cur_fetch_line = line;
+                if ready > self.now {
+                    // I-cache miss: hold the op and stall fetch until fill.
+                    self.fetch_resume_at = ready;
+                    self.pending = Some(op);
+                    return;
+                }
+            }
+            let seq = self.seq_next;
+            self.seq_next += 1;
+            let mut stop = false;
+            match op.class {
+                OpClass::Branch => {
+                    let predicted = self.bpred.predict(op.pc);
+                    if predicted != op.taken {
+                        self.blocking_branch = Some(seq);
+                        stop = true;
+                    } else if op.taken {
+                        // One taken branch per fetch cycle.
+                        stop = true;
+                    }
+                }
+                OpClass::Call => {
+                    // Calls are unconditional with a statically known
+                    // target: push the fall-through address for the
+                    // matching return and end the fetch block.
+                    self.bpred.ras_push(op.pc + 4);
+                    stop = true;
+                }
+                OpClass::Return => {
+                    match self.bpred.ras_pop() {
+                        Some(predicted) if op.taken => {
+                            // Check the prediction against the next
+                            // fetched PC.
+                            self.return_check = Some((seq, predicted));
+                        }
+                        _ => {
+                            // Underflow, or a fall-through return (the
+                            // workload's call stack was empty): no usable
+                            // prediction — stall until the return resolves.
+                            self.bpred.count_ras_mispredict();
+                            self.blocking_branch = Some(seq);
+                        }
+                    }
+                    stop = true;
+                }
+                _ => {}
+            }
+            self.fetch_queue.push_back(Fetched {
+                seq,
+                op,
+                dispatch_at: self.now + self.config.frontend_latency as u64,
+            });
+            self.counters.fetched += 1;
+            budget -= 1;
+            if stop {
+                break;
+            }
+        }
+    }
+
+    /// Collects and resets the statistics accumulated since the previous
+    /// interval boundary.
+    pub fn take_interval(&mut self) -> IntervalStats {
+        let cycles = self.now - self.interval_start_cycle;
+        let instructions = self.committed - self.interval_start_committed;
+        self.interval_start_cycle = self.now;
+        self.interval_start_committed = self.committed;
+
+        let counters = std::mem::take(&mut self.counters);
+        let bpred = self.bpred.take_stats();
+        let l1i = self.mem.l1i.take_stats();
+        let l1d = self.mem.l1d.take_stats();
+        let l2 = self.mem.l2.take_stats();
+        let (int_rf, fp_rf) = self.rename.take_stats();
+
+        IntervalStats::from_counters(
+            &self.config,
+            cycles,
+            instructions,
+            counters,
+            bpred,
+            l1i,
+            l1d,
+            l2,
+            int_rf,
+            fp_rf,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_common::Structure;
+    use workload::{App, SyntheticStream};
+
+    fn processor(app: App, config: CoreConfig) -> Processor<SyntheticStream> {
+        Processor::new(config, SyntheticStream::new(app.profile(), 12345)).unwrap()
+    }
+
+    #[test]
+    fn commits_requested_instructions() {
+        let mut cpu = processor(App::Gzip, CoreConfig::base());
+        let stats = cpu.run_instructions(20_000);
+        assert_eq!(stats.instructions, 20_000);
+        assert!(stats.cycles > 0);
+        assert_eq!(cpu.committed(), 20_000);
+    }
+
+    #[test]
+    fn ipc_is_within_physical_bounds() {
+        for app in [App::MpgDec, App::Twolf, App::Art] {
+            let mut cpu = processor(app, CoreConfig::base());
+            let stats = cpu.run_instructions(50_000);
+            let ipc = stats.ipc();
+            assert!(ipc > 0.05, "{app:?}: ipc {ipc} too low");
+            assert!(ipc <= 8.0, "{app:?}: ipc {ipc} exceeds fetch width");
+        }
+    }
+
+    #[test]
+    fn high_ilp_app_beats_memory_bound_app() {
+        let mut fast = processor(App::MpgDec, CoreConfig::base());
+        let mut slow = processor(App::Art, CoreConfig::base());
+        // Warm up caches/predictor, then measure.
+        fast.run_instructions(50_000);
+        slow.run_instructions(50_000);
+        let f = fast.run_instructions(100_000).ipc();
+        let s = slow.run_instructions(100_000).ipc();
+        assert!(
+            f > 1.5 * s,
+            "MPGdec ({f:.2}) should far outrun art ({s:.2})"
+        );
+    }
+
+    #[test]
+    fn smaller_window_reduces_ipc() {
+        let base = CoreConfig::base();
+        let small = base.with_adaptation(16, 2, 1).unwrap();
+        let mut big = processor(App::MpgDec, base);
+        let mut tiny = processor(App::MpgDec, small);
+        big.run_instructions(30_000);
+        tiny.run_instructions(30_000);
+        let b = big.run_instructions(60_000).ipc();
+        let t = tiny.run_instructions(60_000).ipc();
+        assert!(b > t, "128-entry window ({b:.2}) must beat 16-entry ({t:.2})");
+    }
+
+    #[test]
+    fn activities_are_normalized() {
+        let mut cpu = processor(App::Equake, CoreConfig::base());
+        cpu.prewarm(0x1000_0000, 2 * 1024 * 1024, 0, 24 * 1024);
+        let stats = cpu.run_instructions(30_000);
+        for (s, &a) in stats.activity.iter() {
+            assert!((0.0..=1.0).contains(&a), "{s}: activity {a} out of range");
+        }
+        // An FP application must exercise the FPU.
+        assert!(stats.activity[Structure::Fpu] > 0.01);
+        assert!(stats.activity[Structure::IntAlu] > 0.05);
+    }
+
+    #[test]
+    fn integer_app_leaves_fpu_nearly_idle() {
+        let mut cpu = processor(App::Bzip2, CoreConfig::base());
+        let stats = cpu.run_instructions(30_000);
+        assert!(
+            stats.activity[Structure::Fpu] < 0.02,
+            "bzip2 fpu activity {}",
+            stats.activity[Structure::Fpu]
+        );
+    }
+
+    #[test]
+    fn interval_stats_partition_the_run() {
+        let mut cpu = processor(App::Ammp, CoreConfig::base());
+        let run = cpu.run(40_000, 10_000);
+        assert_eq!(run.intervals().len(), 4);
+        let total: u64 = run.intervals().iter().map(|i| i.instructions).sum();
+        assert_eq!(total, 40_000);
+        assert_eq!(cpu.committed(), 40_000);
+    }
+
+    #[test]
+    fn branch_predictor_learns_the_stream() {
+        let mut cpu = processor(App::MpgDec, CoreConfig::base());
+        cpu.run_instructions(50_000); // training
+        let stats = cpu.run_instructions(100_000);
+        let rate = stats.bpred.mispredict_rate();
+        assert!(
+            rate < 0.12,
+            "MPGdec (noise 0.03) mispredict rate {rate:.3} too high"
+        );
+    }
+
+    #[test]
+    fn memory_bound_app_misses_in_l2() {
+        let mut cpu = processor(App::Art, CoreConfig::base());
+        cpu.run_instructions(50_000);
+        let stats = cpu.run_instructions(100_000);
+        assert!(
+            stats.l2.miss_rate() > 0.2,
+            "art L2 miss rate {:.3} suspiciously low",
+            stats.l2.miss_rate()
+        );
+        assert!(stats.l1d.miss_rate() > 0.02);
+    }
+
+    #[test]
+    fn cacheable_app_hits_in_l1() {
+        let mut cpu = processor(App::Mp3Dec, CoreConfig::base());
+        cpu.run_instructions(50_000);
+        let stats = cpu.run_instructions(100_000);
+        assert!(
+            stats.l1d.miss_rate() < 0.05,
+            "MP3dec L1D miss rate {:.3} too high for a 160 KiB working set",
+            stats.l1d.miss_rate()
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = processor(App::Twolf, CoreConfig::base());
+        let mut b = processor(App::Twolf, CoreConfig::base());
+        let sa = a.run_instructions(30_000);
+        let sb = b.run_instructions(30_000);
+        assert_eq!(sa.cycles, sb.cycles);
+        assert_eq!(sa.bpred, sb.bpred);
+        assert_eq!(sa.l1d, sb.l1d);
+    }
+
+    #[test]
+    fn frequency_scaling_stretches_memory_latency() {
+        // At a higher clock, off-chip latencies cost more cycles, so a
+        // memory-bound app gains less than the frequency ratio.
+        let base = CoreConfig::base();
+        let fast = base.with_dvs(sim_common::Hertz::from_ghz(5.0), sim_common::Volts(1.1));
+        let mut at4 = processor(App::Art, base);
+        let mut at5 = processor(App::Art, fast);
+        at4.run_instructions(30_000);
+        at5.run_instructions(30_000);
+        let ipc4 = at4.run_instructions(60_000).ipc();
+        let ipc5 = at5.run_instructions(60_000).ipc();
+        assert!(
+            ipc5 < ipc4,
+            "art IPC must drop at 5 GHz ({ipc5:.3}) vs 4 GHz ({ipc4:.3})"
+        );
+    }
+}

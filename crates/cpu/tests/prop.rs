@@ -1,0 +1,140 @@
+//! Property-based tests of the timing-simulator data structures: the
+//! set-associative cache against a reference model, the branch predictor,
+//! and the rename machinery.
+
+use proptest::prelude::*;
+use sim_cpu::{Bpred, BpredConfig, Cache, CacheConfig, Lookup, Rename};
+use std::collections::VecDeque;
+use workload::{ArchReg, RegClass};
+
+/// A straightforward reference implementation of a set-associative LRU
+/// cache (VecDeque per set, most recent at the back).
+struct ReferenceCache {
+    sets: Vec<VecDeque<u64>>,
+    assoc: usize,
+    line_shift: u32,
+}
+
+impl ReferenceCache {
+    fn new(cfg: CacheConfig) -> ReferenceCache {
+        ReferenceCache {
+            sets: vec![VecDeque::new(); cfg.sets() as usize],
+            assoc: cfg.assoc as usize,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let n_sets = self.sets.len() as u64;
+        let set = &mut self.sets[(line % n_sets) as usize];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            set.remove(pos);
+            set.push_back(line);
+            true
+        } else {
+            if set.len() == self.assoc {
+                set.pop_front();
+            }
+            set.push_back(line);
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The production cache agrees with the reference LRU model on every
+    /// access of a random trace.
+    #[test]
+    fn cache_matches_reference_lru(
+        addrs in proptest::collection::vec(0u64..16_384, 1..400),
+        writes in proptest::collection::vec(any::<bool>(), 400),
+    ) {
+        let cfg = CacheConfig { size_bytes: 1024, assoc: 2, line_bytes: 64 };
+        let mut cache = Cache::new(cfg);
+        let mut reference = ReferenceCache::new(cfg);
+        for (i, &addr) in addrs.iter().enumerate() {
+            let expect_hit = reference.access(addr);
+            let got = cache.access(addr, writes[i % writes.len()]);
+            prop_assert_eq!(
+                matches!(got, Lookup::Hit),
+                expect_hit,
+                "access {} to {:#x} disagreed",
+                i,
+                addr
+            );
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.accesses, addrs.len() as u64);
+        prop_assert_eq!(stats.hits + stats.misses, stats.accesses);
+    }
+
+    /// `contains` never lies: it matches the hit/miss outcome of an
+    /// immediately following access.
+    #[test]
+    fn cache_contains_is_truthful(addrs in proptest::collection::vec(0u64..8_192, 1..200)) {
+        let cfg = CacheConfig { size_bytes: 512, assoc: 2, line_bytes: 64 };
+        let mut cache = Cache::new(cfg);
+        for &addr in &addrs {
+            let resident = cache.contains(addr);
+            let outcome = cache.access(addr, false);
+            prop_assert_eq!(resident, matches!(outcome, Lookup::Hit));
+        }
+    }
+
+    /// After `k ≥ 2` consistent outcomes, the 2-bit counter predicts that
+    /// direction.
+    #[test]
+    fn bpred_learns_consistent_branches(pc in 0u64..100_000, taken in any::<bool>()) {
+        let mut bp = Bpred::new(BpredConfig { counters: 4096, ras_entries: 32 });
+        bp.update(pc, taken);
+        bp.update(pc, taken);
+        prop_assert_eq!(bp.peek(pc), taken);
+    }
+
+    /// Renaming: writes to distinct architectural registers never collide
+    /// on physical registers, and the free count is conserved.
+    #[test]
+    fn rename_conserves_registers(
+        dests in proptest::collection::vec(0u16..64, 1..100),
+    ) {
+        let mut rn = Rename::new(192, 192);
+        let initial_free = rn.free_count(RegClass::Int);
+        let mut live = Vec::new();
+        let mut outstanding = 0usize;
+        for &d in &dests {
+            if let Some((new, old)) = rn.alloc_dest(ArchReg::new(RegClass::Int, d)) {
+                prop_assert!(!live.contains(&new.index), "phys reg double-allocated");
+                live.push(new.index);
+                // Commit immediately: release the previous mapping.
+                rn.release(old);
+                live.retain(|&r| r != old.index);
+                outstanding += 1;
+            }
+        }
+        // One allocation per successful dest, one release per allocation:
+        // the free count is back to its initial value.
+        let _ = outstanding;
+        prop_assert_eq!(rn.free_count(RegClass::Int), initial_free);
+    }
+
+    /// The current mapping always points at the most recent allocation.
+    #[test]
+    fn rename_maps_track_latest_writer(
+        dests in proptest::collection::vec(0u16..8, 1..60),
+    ) {
+        let mut rn = Rename::new(192, 192);
+        let mut latest = std::collections::HashMap::new();
+        for &d in &dests {
+            let arch = ArchReg::new(RegClass::Int, d);
+            if let Some((new, _old)) = rn.alloc_dest(arch) {
+                latest.insert(d, new);
+            }
+        }
+        for (&d, &phys) in &latest {
+            prop_assert_eq!(rn.rename_src(ArchReg::new(RegClass::Int, d)), phys);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Stress tests: the pipeline must make forward progress (no livelock, no
+//! panic) and produce sane statistics at the extreme corners of the
+//! configuration space.
+
+use sim_common::{Hertz, Volts};
+use sim_cpu::{CoreConfig, Processor};
+use workload::{App, InstructionSource, RecordedTrace, SyntheticStream};
+
+fn run(app: App, config: CoreConfig, insts: u64) -> sim_cpu::IntervalStats {
+    let mut cpu = Processor::new(config, SyntheticStream::new(app.profile(), 77)).unwrap();
+    cpu.run_instructions(insts)
+}
+
+#[test]
+fn starved_physical_register_file() {
+    // 66 physical registers per class: only two rename slots beyond the
+    // architectural state — dispatch stalls constantly but must progress.
+    let mut cfg = CoreConfig::base();
+    cfg.int_regs = 66;
+    cfg.fp_regs = 66;
+    let stats = run(App::Gzip, cfg, 10_000);
+    assert_eq!(stats.instructions, 10_000);
+    assert!(stats.ipc() > 0.01);
+}
+
+#[test]
+fn single_entry_window() {
+    let cfg = CoreConfig::base().with_adaptation(1, 1, 1).unwrap();
+    let stats = run(App::Ammp, cfg, 5_000);
+    assert_eq!(stats.instructions, 5_000);
+    // One-entry window serializes everything.
+    assert!(stats.ipc() < 1.0);
+}
+
+#[test]
+fn single_wide_frontend() {
+    let mut cfg = CoreConfig::base();
+    cfg.fetch_width = 1;
+    cfg.retire_width = 1;
+    let stats = run(App::MpgDec, cfg, 10_000);
+    assert_eq!(stats.instructions, 10_000);
+    assert!(stats.ipc() <= 1.0 + 1e-9, "cannot beat a 1-wide frontend");
+}
+
+#[test]
+fn tiny_memory_queue_and_single_mshr() {
+    let mut cfg = CoreConfig::base();
+    cfg.mem_queue = 1;
+    cfg.mshrs = 1;
+    let stats = run(App::Art, cfg, 8_000);
+    assert_eq!(stats.instructions, 8_000);
+    assert!(stats.ipc() > 0.005);
+}
+
+#[test]
+fn minimal_predictor_and_ras() {
+    let mut cfg = CoreConfig::base();
+    cfg.bpred.counters = 2;
+    cfg.bpred.ras_entries = 1;
+    let stats = run(App::Twolf, cfg, 10_000);
+    assert_eq!(stats.instructions, 10_000);
+    // A 2-entry bimodal on twolf mispredicts heavily but still works.
+    assert!(stats.bpred.mispredict_rate() > 0.05);
+}
+
+#[test]
+fn prefetcher_helps_streaming_and_never_deadlocks() {
+    let mut on = CoreConfig::base();
+    on.prefetch_next_line = true;
+    let mut with = Processor::new(on, SyntheticStream::new(App::Equake.profile(), 3)).unwrap();
+    with.prewarm(0x1000_0000, 1 << 21, 0, 24 * 1024);
+    with.run_instructions(20_000);
+    let s_on = with.run_instructions(40_000);
+
+    let mut without =
+        Processor::new(CoreConfig::base(), SyntheticStream::new(App::Equake.profile(), 3))
+            .unwrap();
+    without.prewarm(0x1000_0000, 1 << 21, 0, 24 * 1024);
+    without.run_instructions(20_000);
+    let s_off = without.run_instructions(40_000);
+
+    assert!(
+        s_on.ipc() > s_off.ipc(),
+        "next-line prefetch must help a streaming app: {} vs {}",
+        s_on.ipc(),
+        s_off.ipc()
+    );
+}
+
+#[test]
+fn extreme_dvs_points_are_stable() {
+    for (ghz, v) in [(2.5, 0.83), (5.0, 1.11)] {
+        let cfg = CoreConfig::base().with_dvs(Hertz::from_ghz(ghz), Volts(v));
+        let stats = run(App::Bzip2, cfg, 10_000);
+        assert_eq!(stats.instructions, 10_000);
+    }
+}
+
+#[test]
+fn runtime_dvs_switching_mid_run_preserves_state() {
+    let mut cpu = Processor::new(
+        CoreConfig::base(),
+        SyntheticStream::new(App::Gzip.profile(), 5),
+    )
+    .unwrap();
+    cpu.run_instructions(5_000);
+    for ghz in [2.5, 5.0, 3.0, 4.0] {
+        cpu.set_dvs(Hertz::from_ghz(ghz), Volts(0.55 + 0.45 * ghz / 4.0))
+            .unwrap();
+        let stats = cpu.run_instructions(5_000);
+        assert_eq!(stats.instructions, 5_000);
+        assert!(stats.ipc() > 0.05);
+    }
+    assert_eq!(cpu.committed(), 25_000);
+}
+
+#[test]
+fn replayed_trace_drives_the_pipeline() {
+    // A recorded window replayed cyclically gives a perfectly periodic
+    // instruction stream; the pipeline must run it indefinitely.
+    let mut live = SyntheticStream::new(App::H263Enc.profile(), 9);
+    // Skip the warmup transient so the window is representative.
+    for _ in 0..10_000 {
+        let _ = live.next_op();
+    }
+    let trace = RecordedTrace::record(&mut live, 5_000);
+    let mut cpu = Processor::new(CoreConfig::base(), trace.replayer()).unwrap();
+    let stats = cpu.run_instructions(25_000); // five full laps
+    assert_eq!(stats.instructions, 25_000);
+    assert!(stats.ipc() > 0.2);
+}
+
+#[test]
+fn all_archpoints_complete_on_all_apps_smoke() {
+    // The full §6.1 space crossed with two very different workloads.
+    for (window, alus, fpus) in [(128, 6, 4), (64, 4, 2), (16, 2, 1)] {
+        for app in [App::MpgDec, App::Art] {
+            let cfg = CoreConfig::base()
+                .with_adaptation(window, alus, fpus)
+                .unwrap();
+            let stats = run(app, cfg, 6_000);
+            assert_eq!(stats.instructions, 6_000, "{app} w{window}a{alus}f{fpus}");
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Analytic validation: hand-constructed instruction traces whose
+//! steady-state IPC is known from first principles. These pin the
+//! pipeline's resource limits (fetch width, per-class units, ports,
+//! latencies) far more sharply than statistical workloads can.
+
+use sim_cpu::{CoreConfig, Processor};
+use workload::{ArchReg, MicroOp, OpClass, RecordedTrace, RegClass};
+
+fn op(pc: u64, class: OpClass, dest: Option<u16>, srcs: [Option<u16>; 2]) -> MicroOp {
+    let reg = |i: u16| ArchReg::new(RegClass::Int, i);
+    MicroOp {
+        pc,
+        class,
+        dest: dest.map(reg),
+        srcs: [srcs[0].map(reg), srcs[1].map(reg)],
+        addr: None,
+        taken: false,
+    }
+}
+
+fn fp_op(pc: u64, class: OpClass, dest: u16, srcs: [Option<u16>; 2]) -> MicroOp {
+    let reg = |i: u16| ArchReg::new(RegClass::Fp, i);
+    MicroOp {
+        pc,
+        class,
+        dest: Some(reg(dest)),
+        srcs: [srcs[0].map(reg), srcs[1].map(reg)],
+        addr: None,
+        taken: false,
+    }
+}
+
+fn measure(ops: Vec<MicroOp>, insts: u64) -> f64 {
+    let trace = RecordedTrace::from_ops("analytic", ops);
+    let mut cpu = Processor::new(CoreConfig::base(), trace.replayer()).unwrap();
+    // Warm up once around the trace, then measure.
+    cpu.run_instructions(insts / 2);
+    cpu.run_instructions(insts).ipc()
+}
+
+/// Independent single-cycle integer ops: limited by the 6 integer ALUs
+/// (fetch is 8-wide, issue has 6 int units).
+#[test]
+fn independent_alu_ops_saturate_the_alu_pool() {
+    // 64 ops with distinct destinations and no sources, sequential PCs.
+    let ops: Vec<_> = (0..48)
+        .map(|i| op(i * 4, OpClass::IntAlu, Some((i % 48 + 1) as u16), [None, None]))
+        .collect();
+    let ipc = measure(ops, 60_000);
+    assert!(
+        (5.4..=6.05).contains(&ipc),
+        "independent ALU IPC {ipc:.2}, expected ~6 (unit-limited)"
+    );
+}
+
+/// A fully serial dependence chain of 1-cycle ops: IPC must be ~1.
+#[test]
+fn dependent_chain_runs_at_one_ipc() {
+    // op_i reads the previous op's destination (alternate two registers).
+    let ops: Vec<_> = (0..32)
+        .map(|i| {
+            let dst = (i % 2 + 1) as u16;
+            let src = ((i + 1) % 2 + 1) as u16;
+            op(i * 4, OpClass::IntAlu, Some(dst), [Some(src), None])
+        })
+        .collect();
+    let ipc = measure(ops, 30_000);
+    assert!(
+        (0.85..=1.05).contains(&ipc),
+        "serial chain IPC {ipc:.2}, expected ~1"
+    );
+}
+
+/// A serial chain of 7-cycle multiplies: IPC must be ~1/7.
+#[test]
+fn multiply_chain_runs_at_latency_reciprocal() {
+    let ops: Vec<_> = (0..16)
+        .map(|i| {
+            let dst = (i % 2 + 1) as u16;
+            let src = ((i + 1) % 2 + 1) as u16;
+            op(i * 4, OpClass::IntMul, Some(dst), [Some(src), None])
+        })
+        .collect();
+    let ipc = measure(ops, 10_000);
+    let expect = 1.0 / 7.0;
+    assert!(
+        (ipc - expect).abs() < 0.03,
+        "multiply chain IPC {ipc:.3}, expected ~{expect:.3}"
+    );
+}
+
+/// Unpipelined divides occupy their unit for the full latency: with one
+/// divide per two ALU ops and 6 units, throughput is bounded by divide
+/// occupancy, not by the chain (all independent here).
+#[test]
+fn unpipelined_divides_throttle_throughput() {
+    // All independent divides: 6 units × (1/12 per cycle each) = 0.5 IPC.
+    let ops: Vec<_> = (0..24)
+        .map(|i| op(i * 4, OpClass::IntDiv, Some((i % 24 + 1) as u16), [None, None]))
+        .collect();
+    let ipc = measure(ops, 6_000);
+    assert!(
+        (0.42..=0.55).contains(&ipc),
+        "divide throughput {ipc:.2}, expected ~0.5 (6 units / 12 cycles)"
+    );
+}
+
+/// Independent L1-resident loads: limited by the 2 cache ports (the 2
+/// address-generation units match).
+#[test]
+fn independent_loads_saturate_the_ports() {
+    let reg = |i: u16| ArchReg::new(RegClass::Int, i);
+    let ops: Vec<_> = (0..32)
+        .map(|i| MicroOp {
+            pc: i * 4,
+            class: OpClass::Load,
+            dest: Some(reg((i % 32 + 1) as u16)),
+            srcs: [None, None],
+            // All within one 4 KiB region: L1-resident after a lap.
+            addr: Some(0x2000_0000 + (i * 8) % 4096),
+            taken: false,
+        })
+        .collect();
+    let ipc = measure(ops, 30_000);
+    assert!(
+        (1.7..=2.05).contains(&ipc),
+        "independent load IPC {ipc:.2}, expected ~2 (port-limited)"
+    );
+}
+
+/// Independent pipelined FP adds: limited by the 4 FPUs.
+#[test]
+fn independent_fp_ops_saturate_the_fpu_pool() {
+    let ops: Vec<_> = (0..32)
+        .map(|i| fp_op(i * 4, OpClass::FpAdd, (i % 32 + 1) as u16, [None, None]))
+        .collect();
+    let ipc = measure(ops, 30_000);
+    assert!(
+        (3.5..=4.05).contains(&ipc),
+        "independent FP IPC {ipc:.2}, expected ~4 (FPU-limited)"
+    );
+}
+
+/// A mixed int+fp stream can exceed either pool alone (the issue width is
+/// the sum of the units, §6.1): 6 ALU + 4 FPU sustains ~8 (fetch-limited).
+#[test]
+fn mixed_stream_is_fetch_limited() {
+    let mut ops = Vec::new();
+    for i in 0..48u64 {
+        if i % 2 == 0 {
+            ops.push(op(i * 4, OpClass::IntAlu, Some((i % 40 + 1) as u16), [None, None]));
+        } else {
+            ops.push(fp_op(i * 4, OpClass::FpAdd, (i % 40 + 1) as u16, [None, None]));
+        }
+    }
+    let ipc = measure(ops, 60_000);
+    assert!(
+        (7.0..=8.05).contains(&ipc),
+        "mixed IPC {ipc:.2}, expected ~8 (fetch-limited)"
+    );
+}
+
+/// Taken branches end the fetch block: a tight two-instruction loop
+/// (op + taken branch back) is fetch-limited to ~2 IPC.
+#[test]
+fn taken_branches_bound_fetch_blocks() {
+    let branch = MicroOp {
+        pc: 4,
+        class: OpClass::Branch,
+        dest: None,
+        srcs: [None, None],
+        addr: None,
+        taken: true,
+    };
+    let ops = vec![op(0, OpClass::IntAlu, Some(1), [None, None]), branch];
+    let ipc = measure(ops, 20_000);
+    assert!(
+        (1.6..=2.05).contains(&ipc),
+        "2-op loop IPC {ipc:.2}, expected ~2 (one fetch block per iteration)"
+    );
+}

@@ -1,0 +1,27 @@
+use drm::{EvalParams, Evaluator, Oracle, Strategy};
+use ramp::{FailureParams, QualificationPoint, ReliabilityModel};
+use sim_common::{Floorplan, Kelvin};
+use workload::App;
+
+fn main() {
+    let mut oracle = Oracle::new(Evaluator::ibm_65nm(EvalParams::quick()).unwrap());
+    let alpha = oracle.suite_max_activity(&App::ALL).unwrap();
+    eprintln!("alpha_qual = {alpha:.3}");
+    let shares = Floorplan::r10000_65nm().area_shares();
+    print!("{:9}", "app");
+    for t in [400.0, 370.0, 345.0, 325.0] { print!("  T={t:.0}"); }
+    println!();
+    for app in App::ALL {
+        print!("{:9}", app.name());
+        for t in [400.0, 370.0, 345.0, 325.0] {
+            let model = ReliabilityModel::qualify(
+                FailureParams::ramp_65nm(),
+                &QualificationPoint::at_temperature(Kelvin(t), alpha),
+                &shares, 4000.0).unwrap();
+            let c = oracle.best(app, Strategy::ArchDvs, &model, 0.25).unwrap();
+            print!("  {:.2}{}", c.relative_performance, if c.feasible {' '} else {'!'});
+        }
+        println!();
+    }
+    eprintln!("evals: {}", oracle.evaluations_performed());
+}

@@ -1,0 +1,35 @@
+use drm::{ArchPoint, DvsPoint, EvalParams, Evaluator, Oracle};
+use ramp::{FailureParams, Mechanism, QualificationPoint, ReliabilityModel};
+use sim_common::{Floorplan, Kelvin, Structure};
+use workload::App;
+
+fn main() {
+    let mut oracle = Oracle::new(Evaluator::ibm_65nm(EvalParams::quick()).unwrap());
+    let model = ReliabilityModel::qualify(
+        FailureParams::ramp_65nm(),
+        &QualificationPoint::at_temperature(Kelvin(400.0), 0.35),
+        &Floorplan::r10000_65nm().area_shares(),
+        4000.0,
+    )
+    .unwrap();
+    for app in [App::Twolf, App::MpgDec] {
+        for ghz in [3.0, 4.0, 4.5, 5.0] {
+            let ev = oracle
+                .evaluation(app, ArchPoint::most_aggressive(), DvsPoint::at_ghz(ghz).unwrap())
+                .unwrap()
+                .clone();
+            let fit = ev.application_fit(&model);
+            println!(
+                "{:7} {:.2}GHz V={:.3} Tmax={:.1} Pavg={:.1}W ipc={:.2} | EM={:6.0} SM={:6.0} TDDB={:8.0} TC={:6.0} total={:8.0}",
+                app.name(), ghz, drm::voltage_for_frequency(ghz),
+                ev.max_temperature().0, ev.average_power().0, ev.ipc,
+                fit.mechanism_total(Mechanism::Electromigration).value(),
+                fit.mechanism_total(Mechanism::StressMigration).value(),
+                fit.mechanism_total(Mechanism::Tddb).value(),
+                fit.mechanism_total(Mechanism::ThermalCycling).value(),
+                fit.total().value()
+            );
+            let _ = Structure::ALL;
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Dynamic voltage and frequency scaling settings (§6.1).
+//!
+//! The paper varies frequency from 2.5 GHz to 5.0 GHz around the 4 GHz
+//! base, always setting the voltage to the level that supports the chosen
+//! frequency, with the V(f) relationship "extrapolated from the information
+//! available for DVS on Intel's Pentium-M (Centrino) processor". Fitting a
+//! line through the published Pentium-M operating points (1.6 GHz @
+//! 1.484 V down to 0.6 GHz @ 0.956 V) and rescaling to the 1.0 V / 4 GHz
+//! base gives a slope near 0.57; scaled-technology DVFS curves are
+//! shallower, and reproducing the paper's Figure 2 headroom requires a
+//! moderate slope, so we use `V(f) = V₀ · (0.55 + 0.45 · f/f₀)`
+//! (2.5 GHz → 0.83 V, 5 GHz → 1.11 V; see DESIGN.md).
+
+use sim_common::{Hertz, SimError, Volts};
+
+/// Fraction of the base voltage that is frequency-independent in the
+/// Pentium-M-extrapolated V(f) line.
+const V_INTERCEPT: f64 = 0.55;
+/// Slope of the V(f) line in base-voltage units per base-frequency unit.
+const V_SLOPE: f64 = 0.45;
+
+/// Base frequency the DVS relationship is anchored to (4 GHz).
+pub const DVS_BASE_FREQUENCY_GHZ: f64 = 4.0;
+/// Base voltage the DVS relationship is anchored to (1.0 V).
+pub const DVS_BASE_VDD: f64 = 1.0;
+/// Lowest frequency the paper explores.
+pub const DVS_MIN_GHZ: f64 = 2.5;
+/// Highest frequency the paper explores.
+pub const DVS_MAX_GHZ: f64 = 5.0;
+
+/// One DVS operating point: a frequency and its supporting voltage.
+///
+/// # Examples
+///
+/// ```
+/// use drm::DvsPoint;
+/// let base = DvsPoint::at_ghz(4.0)?;
+/// assert!((base.vdd.0 - 1.0).abs() < 1e-12);
+/// let slow = DvsPoint::at_ghz(2.5)?;
+/// assert!(slow.vdd < base.vdd);
+/// # Ok::<(), sim_common::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DvsPoint {
+    /// Clock frequency.
+    pub frequency: Hertz,
+    /// Supply voltage supporting that frequency.
+    pub vdd: Volts,
+}
+
+impl DvsPoint {
+    /// The operating point at `ghz`, with the voltage from the
+    /// Pentium-M-extrapolated relationship.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when `ghz` is outside the
+    /// explored `[2.5, 5.0]` range.
+    pub fn at_ghz(ghz: f64) -> Result<DvsPoint, SimError> {
+        if !(DVS_MIN_GHZ..=DVS_MAX_GHZ).contains(&ghz) {
+            return Err(SimError::invalid_config(format!(
+                "frequency {ghz} GHz outside the DVS range [{DVS_MIN_GHZ}, {DVS_MAX_GHZ}]"
+            )));
+        }
+        Ok(DvsPoint {
+            frequency: Hertz::from_ghz(ghz),
+            vdd: Volts(voltage_for_frequency(ghz)),
+        })
+    }
+
+    /// The 4 GHz / 1.0 V base point.
+    pub fn base() -> DvsPoint {
+        DvsPoint::at_ghz(DVS_BASE_FREQUENCY_GHZ).expect("base frequency is in range")
+    }
+}
+
+/// The supporting voltage for a frequency in GHz (unchecked range).
+pub fn voltage_for_frequency(ghz: f64) -> f64 {
+    DVS_BASE_VDD * (V_INTERCEPT + V_SLOPE * ghz / DVS_BASE_FREQUENCY_GHZ)
+}
+
+/// The frequency grid explored for DVS adaptations: `[2.5, 5.0]` GHz in
+/// `step_ghz` increments (the base 4 GHz is always on the grid).
+///
+/// # Panics
+///
+/// Panics if `step_ghz` is not positive.
+pub fn frequency_grid(step_ghz: f64) -> Vec<DvsPoint> {
+    assert!(step_ghz > 0.0, "step must be positive");
+    let mut points = Vec::new();
+    let mut ghz = DVS_MIN_GHZ;
+    while ghz <= DVS_MAX_GHZ + 1e-9 {
+        points.push(DvsPoint::at_ghz(ghz.min(DVS_MAX_GHZ)).expect("grid point in range"));
+        ghz += step_ghz;
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_point_is_one_volt_four_ghz() {
+        let p = DvsPoint::base();
+        assert!((p.frequency.to_ghz() - 4.0).abs() < 1e-12);
+        assert!((p.vdd.0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voltage_is_monotonic_in_frequency() {
+        let mut last = 0.0;
+        for p in frequency_grid(0.25) {
+            assert!(p.vdd.0 > last);
+            last = p.vdd.0;
+        }
+    }
+
+    #[test]
+    fn endpoints_match_extrapolation() {
+        assert!((voltage_for_frequency(2.5) - 0.83125).abs() < 1e-3);
+        assert!((voltage_for_frequency(5.0) - 1.1125).abs() < 1e-3);
+        assert!((voltage_for_frequency(4.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(DvsPoint::at_ghz(2.0).is_err());
+        assert!(DvsPoint::at_ghz(5.5).is_err());
+    }
+
+    #[test]
+    fn grid_covers_range_and_contains_base() {
+        let grid = frequency_grid(0.25);
+        assert_eq!(grid.len(), 11);
+        assert!((grid[0].frequency.to_ghz() - 2.5).abs() < 1e-9);
+        assert!((grid.last().unwrap().frequency.to_ghz() - 5.0).abs() < 1e-9);
+        assert!(grid
+            .iter()
+            .any(|p| (p.frequency.to_ghz() - 4.0).abs() < 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn grid_rejects_zero_step() {
+        let _ = frequency_grid(0.0);
+    }
+}

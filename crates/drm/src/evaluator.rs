@@ -1,0 +1,505 @@
+//! The full-stack evaluation pipeline: workload → timing → power →
+//! temperature → operating conditions (§6.3).
+//!
+//! One [`Evaluation`] captures everything RAMP needs about a
+//! (workload, configuration) pair — per-interval activity, power,
+//! temperature, and performance. Reliability is *not* baked in: the same
+//! evaluation can be scored against any [`ReliabilityModel`] (any
+//! `T_qual`), which is what makes the oracular DRM sweeps affordable.
+//!
+//! The thermal methodology follows §6.3 exactly:
+//!
+//! 1. the simulation is effectively run twice — a first pass computes
+//!    average power to fix the steady-state heat-sink temperature, and the
+//!    per-interval temperatures of the second pass are solved with the sink
+//!    pinned at that value;
+//! 2. leakage power depends on temperature and temperature on power, so
+//!    each pass iterates the leakage/temperature fixed point.
+
+use ramp::{ApplicationFit, ReliabilityModel, StructureConditions};
+use sim_common::{Kelvin, Seconds, SimError, StructureMap, Watts};
+use sim_cpu::{CoreConfig, IntervalStats, Processor};
+use sim_power::PowerModel;
+use sim_thermal::ThermalModel;
+use workload::{App, AppProfile, SyntheticStream};
+
+/// Base address of the synthetic data segment (see `workload::stream`).
+const DATA_BASE: u64 = 0x1000_0000;
+
+/// Ceiling applied to solved temperatures. The leakage/temperature fixed
+/// point has no physical solution for configurations past thermal runaway
+/// (e.g. 5 GHz at 1.11 V on a hot workload); clamping keeps the iteration
+/// finite and such configurations simply report enormous (infeasible) FIT.
+const MAX_JUNCTION_K: f64 = 500.0;
+
+fn clamp_temps(map: StructureMap<Kelvin>) -> StructureMap<Kelvin> {
+    map.map(|_, t| Kelvin(t.0.min(MAX_JUNCTION_K)))
+}
+
+/// Simulation lengths and seeds for one evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalParams {
+    /// Instructions run (and discarded) to warm microarchitectural state.
+    pub warmup_instructions: u64,
+    /// Instructions measured.
+    pub measure_instructions: u64,
+    /// Instructions per measurement interval (§3.6 samples conditions at a
+    /// fixed granularity).
+    pub interval_instructions: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Iterations of the leakage/temperature fixed point.
+    pub leakage_iterations: u32,
+    /// Bytes of the data working set prefilled before warmup (capped by
+    /// the profile's working set).
+    pub prewarm_bytes: u64,
+}
+
+impl EvalParams {
+    /// Fast settings for tests and examples (hundreds of milliseconds per
+    /// evaluation).
+    pub fn quick() -> EvalParams {
+        EvalParams {
+            warmup_instructions: 30_000,
+            measure_instructions: 120_000,
+            interval_instructions: 30_000,
+            seed: 12_345,
+            leakage_iterations: 3,
+            prewarm_bytes: 2 * 1024 * 1024,
+        }
+    }
+
+    /// Settings used by the paper-figure reproductions: long enough for
+    /// stable averages over the multimedia frame phases.
+    pub fn standard() -> EvalParams {
+        EvalParams {
+            warmup_instructions: 100_000,
+            measure_instructions: 600_000,
+            interval_instructions: 60_000,
+            seed: 12_345,
+            leakage_iterations: 3,
+            prewarm_bytes: 2 * 1024 * 1024,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when a length is zero or the
+    /// interval exceeds the measurement length.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.measure_instructions == 0 || self.interval_instructions == 0 {
+            return Err(SimError::invalid_config(
+                "measurement and interval lengths must be non-zero",
+            ));
+        }
+        if self.interval_instructions > self.measure_instructions {
+            return Err(SimError::invalid_config(
+                "interval longer than the whole measurement",
+            ));
+        }
+        if self.leakage_iterations == 0 {
+            return Err(SimError::invalid_config(
+                "at least one leakage iteration is required",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for EvalParams {
+    fn default() -> Self {
+        EvalParams::standard()
+    }
+}
+
+/// One measured interval: timing, power, temperature, and the operating
+/// conditions RAMP consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalProfile {
+    /// Wall-clock duration of the interval at the configured frequency.
+    pub duration: Seconds,
+    /// Committed instructions.
+    pub instructions: u64,
+    /// IPC over the interval.
+    pub ipc: f64,
+    /// Total power (dynamic + leakage).
+    pub power: Watts,
+    /// Per-structure temperatures.
+    pub temperatures: StructureMap<Kelvin>,
+    /// Per-structure operating conditions for the reliability model.
+    pub conditions: StructureMap<StructureConditions>,
+}
+
+/// The complete profile of one (workload, configuration) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Workload name.
+    pub workload: String,
+    /// The evaluated configuration.
+    pub config: CoreConfig,
+    /// Whole-run IPC.
+    pub ipc: f64,
+    /// Billions of instructions per second (IPC × frequency): the
+    /// performance metric used for relative comparisons.
+    pub bips: f64,
+    /// Heat-sink temperature from the two-pass initialization.
+    pub sink_temperature: Kelvin,
+    /// Per-interval profiles.
+    pub intervals: Vec<IntervalProfile>,
+}
+
+impl Evaluation {
+    /// Performance relative to a baseline evaluation of the same workload
+    /// (1.0 = equal).
+    pub fn relative_performance(&self, base: &Evaluation) -> f64 {
+        self.bips / base.bips
+    }
+
+    /// Scores this evaluation against a reliability model: the
+    /// application's FIT (§3.6).
+    pub fn application_fit(&self, model: &ReliabilityModel) -> ApplicationFit {
+        let mut tracker = ramp::FitTracker::new();
+        for iv in &self.intervals {
+            tracker.record(model, iv.duration, &iv.conditions);
+        }
+        tracker.finish(model)
+    }
+
+    /// Hottest structure temperature observed in any interval.
+    pub fn max_temperature(&self) -> Kelvin {
+        let mut max = Kelvin(f64::NEG_INFINITY);
+        for iv in &self.intervals {
+            for (_, &t) in iv.temperatures.iter() {
+                max = max.max(t);
+            }
+        }
+        max
+    }
+
+    /// Time-weighted average total power.
+    pub fn average_power(&self) -> Watts {
+        let total_time: f64 = self.intervals.iter().map(|i| i.duration.0).sum();
+        if total_time <= 0.0 {
+            return Watts(0.0);
+        }
+        Watts(
+            self.intervals
+                .iter()
+                .map(|i| i.power.0 * i.duration.0)
+                .sum::<f64>()
+                / total_time,
+        )
+    }
+
+    /// Highest activity factor of any structure in any interval (the
+    /// paper's `α_qual` is the maximum across the application suite).
+    pub fn max_activity(&self) -> f64 {
+        self.intervals
+            .iter()
+            .flat_map(|i| i.conditions.iter().map(|(_, c)| c.activity))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The evaluator: power and thermal models plus simulation parameters.
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    power: PowerModel,
+    thermal: ThermalModel,
+    params: EvalParams,
+}
+
+impl Evaluator {
+    /// Creates an evaluator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the parameters fail
+    /// [`EvalParams::validate`].
+    pub fn new(
+        power: PowerModel,
+        thermal: ThermalModel,
+        params: EvalParams,
+    ) -> Result<Evaluator, SimError> {
+        params.validate()?;
+        Ok(Evaluator {
+            power,
+            thermal,
+            params,
+        })
+    }
+
+    /// The default 65 nm stack with the given simulation lengths.
+    pub fn ibm_65nm(params: EvalParams) -> Result<Evaluator, SimError> {
+        Evaluator::new(PowerModel::ibm_65nm(), ThermalModel::hotspot_65nm(), params)
+    }
+
+    /// The power model in use.
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// The thermal model in use.
+    pub fn thermal_model(&self) -> &ThermalModel {
+        &self.thermal
+    }
+
+    /// The simulation parameters.
+    pub fn params(&self) -> &EvalParams {
+        &self.params
+    }
+
+    /// Evaluates a paper workload on `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the configuration is
+    /// invalid.
+    pub fn evaluate(&self, app: App, config: &CoreConfig) -> Result<Evaluation, SimError> {
+        self.evaluate_profile(&app.profile(), config)
+    }
+
+    /// Evaluates an arbitrary workload profile on `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the configuration or
+    /// profile is invalid.
+    pub fn evaluate_profile(
+        &self,
+        profile: &AppProfile,
+        config: &CoreConfig,
+    ) -> Result<Evaluation, SimError> {
+        profile.validate()?;
+        let stream = SyntheticStream::new(profile.clone(), self.params.seed);
+        let mut cpu = Processor::new(config.clone(), stream)?;
+
+        // Steady-state warm start: prefill the resident footprint and run
+        // the warmup, discarding its statistics.
+        let resident = profile.data_working_set.min(self.params.prewarm_bytes);
+        cpu.prewarm(DATA_BASE, resident, 0, profile.code_footprint);
+        if self.params.warmup_instructions > 0 {
+            let _ = cpu.run_instructions(self.params.warmup_instructions);
+        }
+
+        // Timing pass: collect per-interval activity.
+        let run = cpu.run(
+            self.params.measure_instructions,
+            self.params.interval_instructions,
+        );
+        let timing: Vec<IntervalStats> = run.intervals().to_vec();
+
+        // Pass 1 (§6.3): iterate average power ↔ sink temperature to find
+        // the steady-state heat-sink operating point.
+        let mut sink = self.thermal.params().ambient;
+        let mut temps_guess: Vec<StructureMap<Kelvin>> =
+            vec![StructureMap::splat(Kelvin(345.0)); timing.len()];
+        for _ in 0..self.params.leakage_iterations {
+            let mut energy = 0.0;
+            let mut time = 0.0;
+            for (iv, temps) in timing.iter().zip(&temps_guess) {
+                let breakdown = self.power.power(config, &iv.activity, temps);
+                let dt = iv.cycles as f64 / config.frequency.0;
+                energy += breakdown.total().0 * dt;
+                time += dt;
+            }
+            let avg_power = Watts(if time > 0.0 { energy / time } else { 0.0 });
+            sink = self
+                .thermal
+                .steady_sink_temperature(avg_power)
+                .min(Kelvin(MAX_JUNCTION_K));
+            // Refresh the temperature guesses under the new sink.
+            for (iv, temps) in timing.iter().zip(temps_guess.iter_mut()) {
+                let breakdown = self.power.power(config, &iv.activity, temps);
+                *temps = clamp_temps(
+                    self.thermal
+                        .steady_state_with_sink(&breakdown.per_structure(), sink),
+                );
+            }
+        }
+
+        // Pass 2: final per-interval temperatures and conditions with the
+        // sink pinned, iterating the leakage fixed point per interval.
+        let mut intervals = Vec::with_capacity(timing.len());
+        let mut temps = StructureMap::splat(sink);
+        for iv in &timing {
+            let mut breakdown = self.power.power(config, &iv.activity, &temps);
+            for _ in 0..self.params.leakage_iterations {
+                temps = clamp_temps(
+                    self.thermal
+                        .steady_state_with_sink(&breakdown.per_structure(), sink),
+                );
+                breakdown = self.power.power(config, &iv.activity, &temps);
+            }
+            let duration = Seconds(iv.cycles as f64 / config.frequency.0);
+            let conditions = StructureMap::from_fn(|s| StructureConditions {
+                temperature: temps[s],
+                vdd: config.vdd,
+                frequency: config.frequency,
+                activity: iv.activity[s],
+                powered_fraction: config.powered_fraction(s),
+            });
+            intervals.push(IntervalProfile {
+                duration,
+                instructions: iv.instructions,
+                ipc: iv.ipc(),
+                power: breakdown.total(),
+                temperatures: temps,
+                conditions,
+            });
+        }
+
+        let ipc = run.ipc();
+        Ok(Evaluation {
+            workload: profile.name.clone(),
+            config: config.clone(),
+            ipc,
+            bips: ipc * config.frequency.to_ghz(),
+            sink_temperature: sink,
+            intervals,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dvs::DvsPoint;
+    use crate::space::ArchPoint;
+    use ramp::{FailureParams, QualificationPoint, ReliabilityModel};
+    use sim_common::Floorplan;
+
+    fn evaluator() -> Evaluator {
+        Evaluator::ibm_65nm(EvalParams::quick()).unwrap()
+    }
+
+    fn model(t_qual: f64) -> ReliabilityModel {
+        ReliabilityModel::qualify(
+            FailureParams::ramp_65nm(),
+            &QualificationPoint::at_temperature(Kelvin(t_qual), 0.35),
+            &Floorplan::r10000_65nm().area_shares(),
+            4000.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn base_evaluation_is_sane() {
+        let ev = evaluator().evaluate(App::Gzip, &CoreConfig::base()).unwrap();
+        assert!(ev.ipc > 0.5 && ev.ipc < 8.0, "ipc {}", ev.ipc);
+        assert!((ev.bips - ev.ipc * 4.0).abs() < 1e-9);
+        assert!(!ev.intervals.is_empty());
+        let p = ev.average_power().0;
+        assert!((8.0..60.0).contains(&p), "power {p} W");
+        let t = ev.max_temperature().0;
+        assert!((330.0..430.0).contains(&t), "temp {t} K");
+        assert!(ev.sink_temperature.0 > 318.15);
+    }
+
+    #[test]
+    fn hot_app_is_hotter_and_hungrier_than_cool_app() {
+        let e = evaluator();
+        let hot = e.evaluate(App::MpgDec, &CoreConfig::base()).unwrap();
+        let cool = e.evaluate(App::Twolf, &CoreConfig::base()).unwrap();
+        assert!(hot.average_power() > cool.average_power());
+        assert!(hot.max_temperature() > cool.max_temperature());
+    }
+
+    #[test]
+    fn lower_frequency_runs_cooler_and_slower() {
+        let e = evaluator();
+        let base = e.evaluate(App::Bzip2, &CoreConfig::base()).unwrap();
+        let slow_cfg = ArchPoint::most_aggressive()
+            .apply(&CoreConfig::base(), DvsPoint::at_ghz(2.5).unwrap())
+            .unwrap();
+        let slow = e.evaluate(App::Bzip2, &slow_cfg).unwrap();
+        assert!(slow.bips < base.bips);
+        assert!(slow.max_temperature() < base.max_temperature());
+        assert!(slow.average_power().0 < 0.6 * base.average_power().0);
+    }
+
+    #[test]
+    fn lower_frequency_reduces_fit() {
+        let e = evaluator();
+        let m = model(345.0);
+        let base = e.evaluate(App::Equake, &CoreConfig::base()).unwrap();
+        let slow_cfg = ArchPoint::most_aggressive()
+            .apply(&CoreConfig::base(), DvsPoint::at_ghz(3.0).unwrap())
+            .unwrap();
+        let slow = e.evaluate(App::Equake, &slow_cfg).unwrap();
+        assert!(
+            slow.application_fit(&m).total() < base.application_fit(&m).total(),
+            "DVS down must reduce FIT"
+        );
+    }
+
+    #[test]
+    fn smaller_microarchitecture_reduces_fit_and_performance() {
+        let e = evaluator();
+        let m = model(345.0);
+        let base = e.evaluate(App::MpgDec, &CoreConfig::base()).unwrap();
+        let small_cfg = ArchPoint {
+            window: 16,
+            alus: 2,
+            fpus: 1,
+        }
+        .apply(&CoreConfig::base(), DvsPoint::base())
+        .unwrap();
+        let small = e.evaluate(App::MpgDec, &small_cfg).unwrap();
+        assert!(small.relative_performance(&base) < 1.0);
+        assert!(small.application_fit(&m).total() < base.application_fit(&m).total());
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let e = evaluator();
+        let a = e.evaluate(App::Ammp, &CoreConfig::base()).unwrap();
+        let b = e.evaluate(App::Ammp, &CoreConfig::base()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fit_scoring_is_reusable_across_qualification_points() {
+        // One evaluation scored against models at different T_qual: the
+        // cheaper qualification must report a (proportionally) higher FIT.
+        let e = evaluator();
+        let ev = e.evaluate(App::Gzip, &CoreConfig::base()).unwrap();
+        let expensive = ev.application_fit(&model(400.0)).total();
+        let cheap = ev.application_fit(&model(330.0)).total();
+        assert!(cheap > expensive);
+    }
+
+    #[test]
+    fn interval_durations_match_cycles() {
+        let e = evaluator();
+        let ev = e.evaluate(App::Art, &CoreConfig::base()).unwrap();
+        for iv in &ev.intervals {
+            assert!(iv.duration.0 > 0.0);
+            assert_eq!(iv.instructions, e.params().interval_instructions);
+        }
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(EvalParams {
+            measure_instructions: 0,
+            ..EvalParams::quick()
+        }
+        .validate()
+        .is_err());
+        assert!(EvalParams {
+            interval_instructions: 1_000_000,
+            ..EvalParams::quick()
+        }
+        .validate()
+        .is_err());
+        assert!(EvalParams {
+            leakage_iterations: 0,
+            ..EvalParams::quick()
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -1,0 +1,280 @@
+//! The oracular DRM study (§5): per application and per qualification
+//! point, choose the adaptation configuration that maximizes performance
+//! while staying within the target FIT.
+//!
+//! "This effectively simulates a DRM algorithm which adapts once per
+//! application run, and chooses the adaptation configuration with oracular
+//! knowledge of the application behavior."
+//!
+//! Timing/power/thermal profiles depend only on (workload, configuration),
+//! not on the qualification point, so evaluations are cached and re-scored
+//! against each [`ReliabilityModel`].
+
+use std::collections::HashMap;
+
+use ramp::{Fit, ReliabilityModel};
+use sim_common::SimError;
+use sim_cpu::CoreConfig;
+use workload::App;
+
+use crate::dvs::DvsPoint;
+use crate::evaluator::{Evaluation, Evaluator};
+use crate::space::{ArchPoint, Strategy};
+
+/// The configuration an oracular DRM run settles on for one application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrmChoice {
+    /// Chosen microarchitectural point.
+    pub arch: ArchPoint,
+    /// Chosen DVS point.
+    pub dvs: DvsPoint,
+    /// Performance relative to the base non-adaptive processor.
+    pub relative_performance: f64,
+    /// The application FIT at the chosen configuration.
+    pub fit: Fit,
+    /// True when the chosen configuration meets the FIT target. When no
+    /// candidate meets the target, the minimum-FIT configuration is
+    /// returned with `feasible = false`.
+    pub feasible: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    app: App,
+    arch: ArchPoint,
+    freq_mhz: u64,
+}
+
+/// Evaluation cache + oracular search.
+#[derive(Debug)]
+pub struct Oracle {
+    evaluator: Evaluator,
+    base_config: CoreConfig,
+    cache: HashMap<CacheKey, Evaluation>,
+}
+
+impl Oracle {
+    /// Creates an oracle over `evaluator` with the Table 1 base processor
+    /// as the performance reference.
+    pub fn new(evaluator: Evaluator) -> Oracle {
+        Oracle {
+            evaluator,
+            base_config: CoreConfig::base(),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The evaluator in use.
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.evaluator
+    }
+
+    /// Number of distinct (workload, configuration) evaluations performed.
+    pub fn evaluations_performed(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The (cached) evaluation of `app` at an adaptation point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the point cannot be applied.
+    pub fn evaluation(
+        &mut self,
+        app: App,
+        arch: ArchPoint,
+        dvs: DvsPoint,
+    ) -> Result<&Evaluation, SimError> {
+        let key = CacheKey {
+            app,
+            arch,
+            freq_mhz: (dvs.frequency.to_ghz() * 1000.0).round() as u64,
+        };
+        if !self.cache.contains_key(&key) {
+            let config = arch.apply(&self.base_config, dvs)?;
+            let ev = self.evaluator.evaluate(app, &config)?;
+            self.cache.insert(key, ev);
+        }
+        Ok(&self.cache[&key])
+    }
+
+    /// The (cached) evaluation of `app` on the base non-adaptive processor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn base_evaluation(&mut self, app: App) -> Result<&Evaluation, SimError> {
+        self.evaluation(app, ArchPoint::most_aggressive(), DvsPoint::base())
+    }
+
+    /// The highest activity factor across the given applications on the
+    /// base processor — the paper's `α_qual` (§3.7).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn suite_max_activity(&mut self, apps: &[App]) -> Result<f64, SimError> {
+        let mut max = 0.0f64;
+        for &app in apps {
+            max = max.max(self.base_evaluation(app)?.max_activity());
+        }
+        Ok(max)
+    }
+
+    /// Oracular DRM: the best-performing candidate of `strategy` for `app`
+    /// that keeps the application FIT within `model`'s target.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors; returns [`SimError::Infeasible`] only
+    /// when the strategy has no candidates (cannot happen for the built-in
+    /// strategies).
+    pub fn best(
+        &mut self,
+        app: App,
+        strategy: Strategy,
+        model: &ReliabilityModel,
+        dvs_step_ghz: f64,
+    ) -> Result<DrmChoice, SimError> {
+        let base_bips = self.base_evaluation(app)?.bips;
+        let target = model.target_fit();
+        let mut best_feasible: Option<DrmChoice> = None;
+        let mut min_fit: Option<DrmChoice> = None;
+        for (arch, dvs) in strategy.candidates(dvs_step_ghz) {
+            let ev = self.evaluation(app, arch, dvs)?;
+            let fit = ev.application_fit(model).total();
+            let choice = DrmChoice {
+                arch,
+                dvs,
+                relative_performance: ev.bips / base_bips,
+                fit,
+                feasible: fit <= target,
+            };
+            if choice.feasible {
+                let better = best_feasible
+                    .as_ref()
+                    .is_none_or(|b| choice.relative_performance > b.relative_performance);
+                if better {
+                    best_feasible = Some(choice.clone());
+                }
+            }
+            let lower = min_fit.as_ref().is_none_or(|b| choice.fit < b.fit);
+            if lower {
+                min_fit = Some(choice);
+            }
+        }
+        best_feasible
+            .or(min_fit)
+            .ok_or_else(|| SimError::infeasible(format!("{strategy} has no candidates")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::EvalParams;
+    use ramp::{FailureParams, QualificationPoint, ReliabilityModel};
+    use sim_common::{Floorplan, Kelvin};
+
+    fn oracle() -> Oracle {
+        Oracle::new(Evaluator::ibm_65nm(EvalParams::quick()).unwrap())
+    }
+
+    fn model(t_qual: f64) -> ReliabilityModel {
+        ReliabilityModel::qualify(
+            FailureParams::ramp_65nm(),
+            &QualificationPoint::at_temperature(Kelvin(t_qual), 0.35),
+            &Floorplan::r10000_65nm().area_shares(),
+            4000.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn evaluations_are_cached() {
+        let mut o = oracle();
+        o.base_evaluation(App::Gzip).unwrap();
+        o.base_evaluation(App::Gzip).unwrap();
+        assert_eq!(o.evaluations_performed(), 1);
+        // A DVS search over 6 frequencies adds 5 new evaluations (the base
+        // point is already cached).
+        o.best(App::Gzip, Strategy::Dvs, &model(370.0), 0.5).unwrap();
+        assert_eq!(o.evaluations_performed(), 6);
+    }
+
+    #[test]
+    fn generous_qualification_allows_overclocking() {
+        // At T_qual = 400 K every app has reliability headroom: DVS should
+        // pick a frequency above the base 4 GHz (§7.1).
+        let mut o = oracle();
+        let choice = o
+            .best(App::Twolf, Strategy::Dvs, &model(400.0), 0.5)
+            .unwrap();
+        assert!(choice.feasible);
+        assert!(
+            choice.dvs.frequency.to_ghz() > 4.0,
+            "chose {} GHz",
+            choice.dvs.frequency.to_ghz()
+        );
+        assert!(choice.relative_performance > 1.0);
+    }
+
+    #[test]
+    fn harsh_qualification_forces_throttling() {
+        // At T_qual = 325 K a hot app must slow below base (§7.1).
+        let mut o = oracle();
+        let choice = o
+            .best(App::MpgDec, Strategy::Dvs, &model(325.0), 0.5)
+            .unwrap();
+        assert!(
+            choice.dvs.frequency.to_ghz() < 4.0,
+            "chose {} GHz",
+            choice.dvs.frequency.to_ghz()
+        );
+        assert!(choice.relative_performance < 1.0);
+    }
+
+    #[test]
+    fn arch_strategy_never_exceeds_base_performance() {
+        // §6.1: Arch cannot change frequency, so relative performance ≤ 1.
+        let mut o = oracle();
+        for t in [325.0, 400.0] {
+            let choice = o
+                .best(App::Bzip2, Strategy::Arch, &model(t), 0.5)
+                .unwrap();
+            assert!(
+                choice.relative_performance <= 1.0 + 1e-9,
+                "Arch gave {} at T_qual {t}",
+                choice.relative_performance
+            );
+        }
+    }
+
+    #[test]
+    fn choice_respects_fit_target_when_feasible() {
+        let mut o = oracle();
+        let m = model(360.0);
+        let choice = o.best(App::Equake, Strategy::Dvs, &m, 0.5).unwrap();
+        if choice.feasible {
+            assert!(choice.fit <= m.target_fit());
+        }
+    }
+
+    #[test]
+    fn archdvs_at_least_matches_dvs() {
+        // ArchDVS's candidate set contains all of DVS's, so its optimum
+        // cannot be worse.
+        let mut o = oracle();
+        let m = model(345.0);
+        let dvs = o.best(App::Ammp, Strategy::Dvs, &m, 0.5).unwrap();
+        let archdvs = o.best(App::Ammp, Strategy::ArchDvs, &m, 0.5).unwrap();
+        assert!(archdvs.relative_performance >= dvs.relative_performance - 1e-9);
+    }
+
+    #[test]
+    fn suite_max_activity_is_positive_probability() {
+        let mut o = oracle();
+        let a = o.suite_max_activity(&[App::Gzip, App::Twolf]).unwrap();
+        assert!(a > 0.0 && a <= 1.0);
+    }
+}

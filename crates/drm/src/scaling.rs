@@ -1,0 +1,312 @@
+//! Technology-scaling study (§1.2).
+//!
+//! The paper's motivation: "Device miniaturization due to scaling is
+//! increasing processor power densities ... Scaling decreases lifetime
+//! reliability by shrinking the thickness of gate and inter-layer
+//! dielectrics, increasing current density in interconnects, and by
+//! raising processor temperature which exponentially accelerates wear-out
+//! failures. Scaled-down transistors ... also have significantly higher
+//! leakage power" (quantified in the authors' companion DSN-04 paper).
+//!
+//! This module projects the same core design across three process
+//! generations — the layout shrinks linearly, frequency rises, supply
+//! drops sub-linearly, and leakage density grows super-linearly — and
+//! evaluates the full pipeline at each node so the FIT growth with scaling
+//! can be measured directly (`cargo run -p bench-suite --bin scaling`).
+
+use ramp::{Fit, QualificationPoint, ReliabilityModel};
+use sim_common::{Floorplan, Hertz, Kelvin, SimError, Volts, Watts};
+use sim_cpu::CoreConfig;
+use sim_power::{PowerModel, PowerParams};
+use sim_thermal::{ThermalModel, ThermalParams};
+use workload::App;
+
+use crate::evaluator::{EvalParams, Evaluation, Evaluator};
+
+/// One process generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechnologyNode {
+    /// Node name, e.g. `"65nm"`.
+    pub name: &'static str,
+    /// Feature size in nanometers.
+    pub feature_nm: u32,
+    /// Linear layout scale relative to the 65 nm baseline.
+    pub linear_scale: f64,
+    /// Nominal supply voltage (non-ideal scaling: drops slower than
+    /// feature size, §1.2).
+    pub vdd: Volts,
+    /// Nominal clock frequency (~1.4x per generation).
+    pub frequency: Hertz,
+    /// Leakage power density at 383 K, W/mm² (grows super-linearly even
+    /// with aggressive control).
+    pub leakage_density: f64,
+    /// Peak dynamic power scale relative to the 65 nm calibration (total
+    /// chip dynamic power stays roughly flat across generations).
+    pub pmax_scale: f64,
+}
+
+impl TechnologyNode {
+    /// The 90 nm generation.
+    pub fn n90() -> TechnologyNode {
+        TechnologyNode {
+            name: "90nm",
+            feature_nm: 90,
+            linear_scale: 90.0 / 65.0,
+            vdd: Volts(1.1),
+            frequency: Hertz::from_ghz(2.8),
+            leakage_density: 0.15,
+            pmax_scale: 1.05,
+        }
+    }
+
+    /// The 65 nm baseline — the paper's evaluation node.
+    pub fn n65() -> TechnologyNode {
+        TechnologyNode {
+            name: "65nm",
+            feature_nm: 65,
+            linear_scale: 1.0,
+            vdd: Volts(1.0),
+            frequency: Hertz::from_ghz(4.0),
+            leakage_density: 0.5,
+            pmax_scale: 1.0,
+        }
+    }
+
+    /// The 45 nm generation.
+    pub fn n45() -> TechnologyNode {
+        TechnologyNode {
+            name: "45nm",
+            feature_nm: 45,
+            linear_scale: 45.0 / 65.0,
+            vdd: Volts(0.9),
+            frequency: Hertz::from_ghz(5.2),
+            leakage_density: 0.9,
+            pmax_scale: 0.85,
+        }
+    }
+
+    /// The three generations, oldest first.
+    pub fn all() -> [TechnologyNode; 3] {
+        [Self::n90(), Self::n65(), Self::n45()]
+    }
+
+    /// The floorplan at this node: the 65 nm layout scaled linearly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates floorplan scaling errors.
+    pub fn floorplan(&self) -> Result<Floorplan, SimError> {
+        Floorplan::r10000_65nm().scaled(self.linear_scale)
+    }
+
+    /// The base core configuration at this node (same microarchitecture;
+    /// node voltage and frequency — off-chip latencies stay fixed in
+    /// nanoseconds, so their cycle counts track the clock).
+    pub fn core_config(&self) -> CoreConfig {
+        CoreConfig::base().with_dvs(self.frequency, self.vdd)
+    }
+
+    /// The power model at this node: the 65 nm per-structure peaks scaled
+    /// by `pmax_scale` (referenced to the node's own base V/f) and the
+    /// node's leakage density over the shrunken floorplan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn power_model(&self) -> Result<PowerModel, SimError> {
+        let mut params = PowerParams::ibm_65nm();
+        params.pmax_dynamic = params.pmax_dynamic.map(|_, w| Watts(w.0 * self.pmax_scale));
+        params.leakage_density = self.leakage_density;
+        params.base_vdd = self.vdd;
+        params.base_frequency = self.frequency;
+        PowerModel::new(params, self.floorplan()?)
+    }
+
+    /// The thermal model at this node: the same package (heat spreader,
+    /// sink, convection) around the shrunken die. Die thinning tracks the
+    /// node, so the per-area vertical resistance (and heat capacity)
+    /// scales with the linear factor; the power-density increase still
+    /// dominates, which is exactly the §1.2 effect.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn thermal_model(&self) -> Result<ThermalModel, SimError> {
+        let mut params = ThermalParams::hotspot_65nm();
+        params.r_vertical_per_area *= self.linear_scale;
+        params.c_block_per_area *= self.linear_scale;
+        ThermalModel::new(params, self.floorplan()?)
+    }
+
+    /// A full evaluator at this node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn evaluator(&self, params: EvalParams) -> Result<Evaluator, SimError> {
+        Evaluator::new(self.power_model()?, self.thermal_model()?, params)
+    }
+}
+
+/// One row of the scaling study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingRow {
+    /// The node evaluated.
+    pub node: TechnologyNode,
+    /// Full-stack evaluation of the workload at the node's base settings.
+    pub evaluation: Evaluation,
+    /// FIT against a model qualified at the *common* qualification point
+    /// (same `T_qual`, `α_qual` and per-area budget for every node) — the
+    /// apples-to-apples reliability comparison.
+    pub fit: Fit,
+}
+
+/// Evaluates `app` across the given nodes against a common qualification
+/// *cost* (the same `T_qual` and `α_qual`), oldest node first. Each node
+/// is qualified at its own nominal voltage and frequency — `T_qual` is
+/// the cost proxy (§3.7); the electrical point is whatever the node ships
+/// at — so the FIT differences isolate the scaling effects of §1.2
+/// (density, temperature, leakage).
+///
+/// # Errors
+///
+/// Propagates evaluation and qualification errors.
+pub fn scaling_study(
+    app: App,
+    nodes: &[TechnologyNode],
+    qualification: &QualificationPoint,
+    eval_params: EvalParams,
+) -> Result<Vec<ScalingRow>, SimError> {
+    let mut rows = Vec::with_capacity(nodes.len());
+    for &node in nodes {
+        let evaluator = node.evaluator(eval_params)?;
+        let evaluation = evaluator.evaluate(app, &node.core_config())?;
+        let node_qual = QualificationPoint {
+            vdd: node.vdd,
+            frequency: node.frequency,
+            ..*qualification
+        };
+        let model = ReliabilityModel::qualify(
+            ramp::FailureParams::ramp_65nm(),
+            &node_qual,
+            &node.floorplan()?.area_shares(),
+            ramp::FIT_TARGET_STANDARD,
+        )?;
+        let fit = evaluation.application_fit(&model).total();
+        rows.push(ScalingRow {
+            node,
+            evaluation,
+            fit,
+        });
+    }
+    Ok(rows)
+}
+
+/// The `T_qual` at which `app` exactly meets the standard FIT target at
+/// this node's base settings (bisection) — how expensively each node must
+/// be qualified for the same workload.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn required_qualification_temperature(
+    node: &TechnologyNode,
+    app: App,
+    alpha_qual: f64,
+    eval_params: EvalParams,
+) -> Result<Kelvin, SimError> {
+    let evaluator = node.evaluator(eval_params)?;
+    let evaluation = evaluator.evaluate(app, &node.core_config())?;
+    let shares = node.floorplan()?.area_shares();
+    let fit_at = |t: f64| -> Result<f64, SimError> {
+        let model = ReliabilityModel::qualify(
+            ramp::FailureParams::ramp_65nm(),
+            &QualificationPoint {
+                temperature: Kelvin(t),
+                vdd: node.vdd,
+                frequency: node.frequency,
+                activity: alpha_qual,
+            },
+            &shares,
+            ramp::FIT_TARGET_STANDARD,
+        )?;
+        Ok(evaluation.application_fit(&model).total().value())
+    };
+    let (mut lo, mut hi) = (320.0f64, 480.0f64);
+    for _ in 0..48 {
+        let mid = 0.5 * (lo + hi);
+        if fit_at(mid)? > ramp::FIT_TARGET_STANDARD {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(Kelvin(0.5 * (lo + hi)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> EvalParams {
+        EvalParams::quick()
+    }
+
+    #[test]
+    fn nodes_are_ordered_by_density() {
+        let [n90, n65, n45] = TechnologyNode::all();
+        assert!(n90.floorplan().unwrap().total_area().0 > n65.floorplan().unwrap().total_area().0);
+        assert!(n65.floorplan().unwrap().total_area().0 > n45.floorplan().unwrap().total_area().0);
+        assert!(n90.leakage_density < n65.leakage_density);
+        assert!(n65.leakage_density < n45.leakage_density);
+        assert!(n90.frequency < n45.frequency);
+    }
+
+    #[test]
+    fn scaling_raises_temperature_and_fit() {
+        // The §1.2 claim: same design, newer node ⇒ hotter and less
+        // reliable at a fixed qualification cost.
+        let qual = QualificationPoint::at_temperature(Kelvin(394.0), 0.48);
+        let rows = scaling_study(App::Gzip, &TechnologyNode::all(), &qual, quick()).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(
+            rows[0].evaluation.max_temperature() < rows[2].evaluation.max_temperature(),
+            "45nm must run hotter than 90nm"
+        );
+        assert!(
+            rows[0].fit < rows[1].fit && rows[1].fit < rows[2].fit,
+            "FIT must grow with scaling: {:?}",
+            rows.iter().map(|r| r.fit.value()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn newer_nodes_need_costlier_qualification() {
+        let t90 =
+            required_qualification_temperature(&TechnologyNode::n90(), App::Twolf, 0.48, quick())
+                .unwrap();
+        let t45 =
+            required_qualification_temperature(&TechnologyNode::n45(), App::Twolf, 0.48, quick())
+                .unwrap();
+        assert!(
+            t45 > t90,
+            "45nm ({t45:?}) must require a higher T_qual than 90nm ({t90:?})"
+        );
+    }
+
+    #[test]
+    fn node_stacks_are_self_consistent() {
+        for node in TechnologyNode::all() {
+            let cfg = node.core_config();
+            cfg.validate().unwrap();
+            assert_eq!(cfg.frequency, node.frequency);
+            let ev = node
+                .evaluator(quick())
+                .unwrap()
+                .evaluate(App::Art, &cfg)
+                .unwrap();
+            assert!(ev.ipc > 0.1 && ev.ipc < 8.0, "{}: ipc {}", node.name, ev.ipc);
+            assert!(ev.average_power().0 > 5.0, "{}", node.name);
+        }
+    }
+}

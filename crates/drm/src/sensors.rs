@@ -1,0 +1,282 @@
+//! On-chip sensor modeling for hardware RAMP.
+//!
+//! "In real hardware, RAMP would require sensors and counters that provide
+//! information on processor operating conditions" (§3). A simulator hands
+//! the controller exact temperatures; real thermal diodes are quantized,
+//! noisy, and low-pass filtered. This module models that gap so the
+//! reactive controller can be evaluated under realistic sensing — and so
+//! the guard bands a designer must add for sensor error can be quantified
+//! (see the `sensor` tests and the `extensions` study).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sim_common::{Kelvin, SimError, StructureMap};
+
+/// Characteristics of a thermal sensor bank (one sensor per structure).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorParams {
+    /// Quantization step, K (thermal diodes + ADC: typically 0.5–2 K).
+    pub quantization: f64,
+    /// Gaussian noise sigma, K.
+    pub noise_sigma: f64,
+    /// Constant per-sensor offset bound, K: each sensor gets a fixed
+    /// offset drawn uniformly from `[-offset_bound, +offset_bound]` at
+    /// manufacturing (process variation).
+    pub offset_bound: f64,
+    /// Low-pass coefficient in `[0, 1]`: the reading moves this fraction
+    /// of the way to the true temperature per sample (1.0 = no lag).
+    pub response: f64,
+}
+
+impl SensorParams {
+    /// A realistic thermal-diode bank: 1 K quantization, 0.5 K noise,
+    /// ±1.5 K calibration offset, moderate lag.
+    pub fn thermal_diode() -> SensorParams {
+        SensorParams {
+            quantization: 1.0,
+            noise_sigma: 0.5,
+            offset_bound: 1.5,
+            response: 0.5,
+        }
+    }
+
+    /// An ideal sensor (exact readings) — the simulator default.
+    pub fn ideal() -> SensorParams {
+        SensorParams {
+            quantization: 0.0,
+            noise_sigma: 0.0,
+            offset_bound: 0.0,
+            response: 1.0,
+        }
+    }
+
+    /// Validates the parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for negative quantization/noise/
+    /// offset or a response outside `(0, 1]`.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.quantization < 0.0 || self.noise_sigma < 0.0 || self.offset_bound < 0.0 {
+            return Err(SimError::invalid_config(
+                "sensor quantization, noise and offset must be non-negative",
+            ));
+        }
+        if !(self.response > 0.0 && self.response <= 1.0) {
+            return Err(SimError::invalid_config(
+                "sensor response must be in (0, 1]",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for SensorParams {
+    fn default() -> Self {
+        SensorParams::thermal_diode()
+    }
+}
+
+/// A bank of per-structure temperature sensors with persistent state
+/// (calibration offsets, filter state) and a deterministic noise stream.
+#[derive(Debug, Clone)]
+pub struct SensorBank {
+    params: SensorParams,
+    offsets: StructureMap<f64>,
+    filtered: Option<StructureMap<f64>>,
+    rng: SmallRng,
+}
+
+impl SensorBank {
+    /// Creates a bank; calibration offsets are drawn once from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when parameters are invalid.
+    pub fn new(params: SensorParams, seed: u64) -> Result<SensorBank, SimError> {
+        params.validate()?;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let offsets = StructureMap::from_fn(|_| {
+            if params.offset_bound > 0.0 {
+                rng.gen_range(-params.offset_bound..=params.offset_bound)
+            } else {
+                0.0
+            }
+        });
+        Ok(SensorBank {
+            params,
+            offsets,
+            filtered: None,
+            rng,
+        })
+    }
+
+    /// The sensor parameters.
+    pub fn params(&self) -> &SensorParams {
+        &self.params
+    }
+
+    /// Samples the bank: true temperatures in, sensor readings out.
+    pub fn sample(&mut self, truth: &StructureMap<Kelvin>) -> StructureMap<Kelvin> {
+        // Low-pass filter toward the truth.
+        let filtered = match self.filtered.take() {
+            Some(prev) => StructureMap::from_fn(|s| {
+                prev[s] + self.params.response * (truth[s].0 - prev[s])
+            }),
+            None => truth.map(|_, t| t.0),
+        };
+        self.filtered = Some(filtered);
+        StructureMap::from_fn(|s| {
+            let mut reading = filtered[s] + self.offsets[s];
+            if self.params.noise_sigma > 0.0 {
+                reading += gaussian(&mut self.rng) * self.params.noise_sigma;
+            }
+            if self.params.quantization > 0.0 {
+                reading = (reading / self.params.quantization).round() * self.params.quantization;
+            }
+            Kelvin(reading)
+        })
+    }
+
+    /// Resets the filter state (e.g. across a power cycle); calibration
+    /// offsets persist.
+    pub fn reset_filter(&mut self) {
+        self.filtered = None;
+    }
+}
+
+/// Standard-normal sample via Box–Muller.
+fn gaussian(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_common::Structure;
+
+    fn truth(t: f64) -> StructureMap<Kelvin> {
+        StructureMap::splat(Kelvin(t))
+    }
+
+    #[test]
+    fn ideal_sensor_is_exact() {
+        let mut bank = SensorBank::new(SensorParams::ideal(), 1).unwrap();
+        let reading = bank.sample(&truth(363.25));
+        for (s, r) in reading.iter() {
+            assert_eq!(r.0, 363.25, "{s}");
+        }
+    }
+
+    #[test]
+    fn quantization_rounds_to_grid() {
+        let params = SensorParams {
+            quantization: 2.0,
+            noise_sigma: 0.0,
+            offset_bound: 0.0,
+            response: 1.0,
+        };
+        let mut bank = SensorBank::new(params, 1).unwrap();
+        let reading = bank.sample(&truth(360.7));
+        for (_, r) in reading.iter() {
+            assert_eq!(r.0 % 2.0, 0.0);
+            assert!((r.0 - 360.7).abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn offsets_are_persistent_and_bounded() {
+        let params = SensorParams {
+            quantization: 0.0,
+            noise_sigma: 0.0,
+            offset_bound: 1.5,
+            response: 1.0,
+        };
+        let mut bank = SensorBank::new(params, 7).unwrap();
+        let a = bank.sample(&truth(360.0));
+        let b = bank.sample(&truth(360.0));
+        let mut distinct = false;
+        for s in Structure::ALL {
+            let off = a[s].0 - 360.0;
+            assert!(off.abs() <= 1.5 + 1e-12, "{s}: offset {off}");
+            // The offset is a fixed calibration error: identical samples.
+            assert_eq!(a[s], b[s], "{s}");
+            if off.abs() > 1e-6 {
+                distinct = true;
+            }
+        }
+        assert!(distinct, "some sensor should have a nonzero offset");
+    }
+
+    #[test]
+    fn lag_tracks_step_changes_gradually() {
+        let params = SensorParams {
+            quantization: 0.0,
+            noise_sigma: 0.0,
+            offset_bound: 0.0,
+            response: 0.5,
+        };
+        let mut bank = SensorBank::new(params, 3).unwrap();
+        bank.sample(&truth(350.0)); // initialize at 350
+        let after_step = bank.sample(&truth(370.0));
+        let s = Structure::Fpu;
+        assert!((after_step[s].0 - 360.0).abs() < 1e-9, "{:?}", after_step[s]);
+        let next = bank.sample(&truth(370.0));
+        assert!((next[s].0 - 365.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let params = SensorParams::thermal_diode();
+        let mut a = SensorBank::new(params, 42).unwrap();
+        let mut b = SensorBank::new(params, 42).unwrap();
+        for _ in 0..10 {
+            assert_eq!(a.sample(&truth(361.0)), b.sample(&truth(361.0)));
+        }
+        let mut c = SensorBank::new(params, 43).unwrap();
+        assert_ne!(a.sample(&truth(361.0)), c.sample(&truth(361.0)));
+    }
+
+    #[test]
+    fn noise_statistics_are_plausible() {
+        let params = SensorParams {
+            quantization: 0.0,
+            noise_sigma: 1.0,
+            offset_bound: 0.0,
+            response: 1.0,
+        };
+        let mut bank = SensorBank::new(params, 11).unwrap();
+        let n = 2_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let r = bank.sample(&truth(360.0));
+            let e = r[Structure::Window].0 - 360.0;
+            sum += e;
+            sum_sq += e * e;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.1, "bias {mean}");
+        assert!((var - 1.0).abs() < 0.2, "variance {var}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SensorParams::thermal_diode().validate().is_ok());
+        assert!(SensorParams {
+            response: 0.0,
+            ..SensorParams::ideal()
+        }
+        .validate()
+        .is_err());
+        assert!(SensorParams {
+            noise_sigma: -1.0,
+            ..SensorParams::ideal()
+        }
+        .validate()
+        .is_err());
+    }
+}

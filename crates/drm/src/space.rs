@@ -1,0 +1,212 @@
+//! The DRM adaptation space (§6.1): 18 microarchitectural configurations
+//! (combinations of instruction-window size, ALU count and FPU count,
+//! from the full 128-entry / 6-ALU / 4-FPU processor down to a 16-entry /
+//! 2-ALU / 1-FPU processor) crossed with the DVS frequency grid.
+
+use sim_common::SimError;
+use sim_cpu::CoreConfig;
+
+use crate::dvs::{frequency_grid, DvsPoint};
+
+/// One microarchitectural adaptation point.
+///
+/// # Examples
+///
+/// ```
+/// use drm::ArchPoint;
+/// assert_eq!(ArchPoint::ALL.len(), 18);
+/// assert_eq!(ArchPoint::most_aggressive(), ArchPoint { window: 128, alus: 6, fpus: 4 });
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArchPoint {
+    /// Instruction window entries.
+    pub window: u32,
+    /// Active integer ALUs.
+    pub alus: u32,
+    /// Active FPUs.
+    pub fpus: u32,
+}
+
+impl ArchPoint {
+    /// The 18 configurations of §6.1: six window sizes crossed with three
+    /// functional-unit pools, spanning the paper's stated extremes.
+    pub const ALL: [ArchPoint; 18] = {
+        const fn p(window: u32, alus: u32, fpus: u32) -> ArchPoint {
+            ArchPoint { window, alus, fpus }
+        }
+        [
+            p(128, 6, 4),
+            p(128, 4, 2),
+            p(128, 2, 1),
+            p(96, 6, 4),
+            p(96, 4, 2),
+            p(96, 2, 1),
+            p(64, 6, 4),
+            p(64, 4, 2),
+            p(64, 2, 1),
+            p(48, 6, 4),
+            p(48, 4, 2),
+            p(48, 2, 1),
+            p(32, 6, 4),
+            p(32, 4, 2),
+            p(32, 2, 1),
+            p(16, 6, 4),
+            p(16, 4, 2),
+            p(16, 2, 1),
+        ]
+    };
+
+    /// The most aggressive configuration — the base non-adaptive processor.
+    pub fn most_aggressive() -> ArchPoint {
+        ArchPoint {
+            window: 128,
+            alus: 6,
+            fpus: 4,
+        }
+    }
+
+    /// Applies this adaptation (and a DVS point) to a base configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the point exceeds the base
+    /// resources.
+    pub fn apply(&self, base: &CoreConfig, dvs: DvsPoint) -> Result<CoreConfig, SimError> {
+        Ok(base
+            .with_adaptation(self.window, self.alus, self.fpus)?
+            .with_dvs(dvs.frequency, dvs.vdd))
+    }
+
+    /// A short display label, e.g. `w128/a6/f4`.
+    pub fn label(&self) -> String {
+        format!("w{}/a{}/f{}", self.window, self.alus, self.fpus)
+    }
+}
+
+impl std::fmt::Display for ArchPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// The DRM adaptation strategies compared in §7.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Microarchitectural adaptation only, at base voltage/frequency.
+    /// Performance can never exceed 1.0 relative to base (§6.1).
+    Arch,
+    /// DVS only, on the most aggressive microarchitecture.
+    Dvs,
+    /// Combined microarchitectural adaptation and DVS.
+    ArchDvs,
+}
+
+impl Strategy {
+    /// All strategies.
+    pub const ALL: [Strategy; 3] = [Strategy::Arch, Strategy::Dvs, Strategy::ArchDvs];
+
+    /// Short stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Arch => "Arch",
+            Strategy::Dvs => "DVS",
+            Strategy::ArchDvs => "ArchDVS",
+        }
+    }
+
+    /// The candidate configurations this strategy may choose from, with the
+    /// DVS grid at `dvs_step_ghz` granularity.
+    pub fn candidates(self, dvs_step_ghz: f64) -> Vec<(ArchPoint, DvsPoint)> {
+        match self {
+            Strategy::Arch => ArchPoint::ALL
+                .into_iter()
+                .map(|a| (a, DvsPoint::base()))
+                .collect(),
+            Strategy::Dvs => frequency_grid(dvs_step_ghz)
+                .into_iter()
+                .map(|d| (ArchPoint::most_aggressive(), d))
+                .collect(),
+            Strategy::ArchDvs => {
+                let grid = frequency_grid(dvs_step_ghz);
+                ArchPoint::ALL
+                    .into_iter()
+                    .flat_map(|a| grid.iter().map(move |&d| (a, d)))
+                    .collect()
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_matches_section_6_1() {
+        assert_eq!(ArchPoint::ALL.len(), 18);
+        // Extremes stated in the paper.
+        assert!(ArchPoint::ALL.contains(&ArchPoint {
+            window: 128,
+            alus: 6,
+            fpus: 4
+        }));
+        assert!(ArchPoint::ALL.contains(&ArchPoint {
+            window: 16,
+            alus: 2,
+            fpus: 1
+        }));
+    }
+
+    #[test]
+    fn points_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for p in ArchPoint::ALL {
+            assert!(seen.insert(p), "duplicate {p}");
+        }
+    }
+
+    #[test]
+    fn apply_produces_valid_configs() {
+        let base = CoreConfig::base();
+        for p in ArchPoint::ALL {
+            let cfg = p.apply(&base, DvsPoint::base()).unwrap();
+            cfg.validate().unwrap();
+            assert_eq!(cfg.window_size, p.window);
+            assert_eq!(cfg.issue_width(), p.alus + p.fpus + 2);
+        }
+    }
+
+    #[test]
+    fn strategy_candidate_counts() {
+        assert_eq!(Strategy::Arch.candidates(0.25).len(), 18);
+        assert_eq!(Strategy::Dvs.candidates(0.25).len(), 11);
+        assert_eq!(Strategy::ArchDvs.candidates(0.25).len(), 18 * 11);
+        assert_eq!(Strategy::Dvs.candidates(0.5).len(), 6);
+    }
+
+    #[test]
+    fn arch_candidates_stay_at_base_dvs() {
+        for (_, d) in Strategy::Arch.candidates(0.25) {
+            assert_eq!(d, DvsPoint::base());
+        }
+    }
+
+    #[test]
+    fn dvs_candidates_stay_on_aggressive_arch() {
+        for (a, _) in Strategy::Dvs.candidates(0.25) {
+            assert_eq!(a, ArchPoint::most_aggressive());
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ArchPoint::most_aggressive().label(), "w128/a6/f4");
+        assert_eq!(Strategy::ArchDvs.name(), "ArchDVS");
+    }
+}

@@ -1,0 +1,40 @@
+//! `sim-power`: activity-driven architectural power modeling (the
+//! Wattch-like substrate of the RAMP/DRM reproduction).
+//!
+//! Follows the paper's methodology (§6.3):
+//!
+//! * **Dynamic power** per structure scales with the activity factor
+//!   delivered by the timing simulator; a clock-gated but idle structure is
+//!   still charged 10% of its maximum power (Wattch's aggressive
+//!   clock-gating model).
+//! * **Leakage power** is area-based: 0.5 W/mm² at 383 K for the 65 nm
+//!   process (an industrial figure assuming aggressive leakage control),
+//!   with the exponential temperature dependence
+//!   `P(T) = P(T₀) · e^(β·(T−T₀))`, β = 0.017 for 65 nm (Heo et al.).
+//! * **DVS scaling**: dynamic power scales as `(V/V₀)²·(f/f₀)`, leakage as
+//!   `(V/V₀)`.
+//! * **Adaptation**: powered-down resources (DRM's microarchitectural
+//!   adaptations) consume neither dynamic idle charge nor leakage, modeled
+//!   through [`sim_cpu::CoreConfig::powered_fraction`].
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_cpu::{CoreConfig, Processor};
+//! use sim_power::PowerModel;
+//! use sim_common::{Kelvin, StructureMap};
+//! use workload::{App, SyntheticStream};
+//!
+//! let config = CoreConfig::base();
+//! let mut cpu = Processor::new(config.clone(), SyntheticStream::new(App::Gzip.profile(), 1))?;
+//! let stats = cpu.run_instructions(20_000);
+//! let model = PowerModel::ibm_65nm();
+//! let temps = StructureMap::splat(Kelvin(360.0));
+//! let power = model.power(&config, &stats.activity, &temps);
+//! assert!(power.total().0 > 0.0);
+//! # Ok::<(), sim_common::SimError>(())
+//! ```
+
+pub mod model;
+
+pub use model::{PowerBreakdown, PowerModel, PowerParams};

@@ -1,0 +1,345 @@
+//! The architectural power model.
+
+use sim_common::{Floorplan, Hertz, Kelvin, SimError, Structure, StructureMap, Volts, Watts};
+use sim_cpu::CoreConfig;
+
+/// Technology and calibration parameters of the power model.
+///
+/// [`PowerParams::ibm_65nm`] provides the 65 nm parameters used throughout
+/// the paper's evaluation; per-structure maximum dynamic powers are
+/// calibrated so that the base processor reproduces the Table 2 power
+/// column (dynamic + leakage between 15.6 W for twolf and 36.5 W for
+/// MPGdec at 4 GHz / 1.0 V).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerParams {
+    /// Maximum dynamic power per structure when fully active at the base
+    /// voltage and frequency.
+    pub pmax_dynamic: StructureMap<Watts>,
+    /// Fraction of maximum power charged to a clock-gated idle structure
+    /// (Wattch: 10%).
+    pub idle_fraction: f64,
+    /// Leakage power density at the reference temperature, W/mm².
+    pub leakage_density: f64,
+    /// Reference temperature of `leakage_density`.
+    pub leakage_ref: Kelvin,
+    /// Exponential leakage-temperature coefficient β (1/K).
+    pub leakage_beta: f64,
+    /// Voltage at which `pmax_dynamic` is specified.
+    pub base_vdd: Volts,
+    /// Frequency at which `pmax_dynamic` is specified.
+    pub base_frequency: Hertz,
+}
+
+impl PowerParams {
+    /// The 65 nm parameters of the paper: 0.5 W/mm² leakage density at
+    /// 383 K, β = 0.017, 10% idle clock-gating charge, 1.0 V / 4 GHz base.
+    pub fn ibm_65nm() -> PowerParams {
+        let pmax = |s: Structure| {
+            Watts(match s {
+                Structure::Bpred => 3.6,
+                Structure::Icache => 6.5,
+                Structure::Dcache => 11.0,
+                Structure::IntAlu => 11.0,
+                Structure::Fpu => 11.0,
+                Structure::IntRegFile => 6.5,
+                Structure::FpRegFile => 5.0,
+                Structure::Window => 11.5,
+                Structure::Lsq => 5.0,
+            })
+        };
+        PowerParams {
+            pmax_dynamic: StructureMap::from_fn(pmax),
+            idle_fraction: 0.10,
+            leakage_density: 0.5,
+            leakage_ref: Kelvin(383.0),
+            leakage_beta: 0.017,
+            base_vdd: Volts(1.0),
+            base_frequency: Hertz::from_ghz(4.0),
+        }
+    }
+
+    /// Validates the parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for non-positive base voltage or
+    /// frequency, negative powers, or an idle fraction outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.base_vdd.0 <= 0.0 || self.base_frequency.0 <= 0.0 {
+            return Err(SimError::invalid_config(
+                "base voltage and frequency must be positive",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.idle_fraction) {
+            return Err(SimError::invalid_config("idle fraction must be in [0,1]"));
+        }
+        if self.leakage_density < 0.0 || self.leakage_beta < 0.0 {
+            return Err(SimError::invalid_config(
+                "leakage density and beta must be non-negative",
+            ));
+        }
+        for (s, w) in self.pmax_dynamic.iter() {
+            if w.0 < 0.0 || !w.0.is_finite() {
+                return Err(SimError::invalid_config(format!(
+                    "pmax for {s} must be finite and non-negative"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        PowerParams::ibm_65nm()
+    }
+}
+
+/// Per-structure dynamic and leakage power for one interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerBreakdown {
+    /// Dynamic (switching + idle clock) power per structure.
+    pub dynamic: StructureMap<Watts>,
+    /// Leakage power per structure at the supplied temperatures.
+    pub leakage: StructureMap<Watts>,
+}
+
+impl PowerBreakdown {
+    /// Total power per structure.
+    pub fn per_structure(&self) -> StructureMap<Watts> {
+        StructureMap::from_fn(|s| self.dynamic[s] + self.leakage[s])
+    }
+
+    /// Total chip power.
+    pub fn total(&self) -> Watts {
+        Watts(
+            self.dynamic.iter().map(|(_, w)| w.0).sum::<f64>()
+                + self.leakage.iter().map(|(_, w)| w.0).sum::<f64>(),
+        )
+    }
+
+    /// Total dynamic power.
+    pub fn total_dynamic(&self) -> Watts {
+        Watts(self.dynamic.iter().map(|(_, w)| w.0).sum())
+    }
+
+    /// Total leakage power.
+    pub fn total_leakage(&self) -> Watts {
+        Watts(self.leakage.iter().map(|(_, w)| w.0).sum())
+    }
+}
+
+/// The power model: technology parameters plus the floorplan that provides
+/// structure areas for leakage.
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    params: PowerParams,
+    floorplan: Floorplan,
+}
+
+impl PowerModel {
+    /// Creates a model from parameters and a floorplan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the parameters fail
+    /// [`PowerParams::validate`].
+    pub fn new(params: PowerParams, floorplan: Floorplan) -> Result<PowerModel, SimError> {
+        params.validate()?;
+        Ok(PowerModel { params, floorplan })
+    }
+
+    /// The default 65 nm model on the default floorplan.
+    pub fn ibm_65nm() -> PowerModel {
+        PowerModel::new(PowerParams::ibm_65nm(), Floorplan::r10000_65nm())
+            .expect("default parameters are valid")
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &PowerParams {
+        &self.params
+    }
+
+    /// The floorplan used for leakage areas.
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.floorplan
+    }
+
+    /// Dynamic power per structure for the given activity factors under
+    /// `core`'s voltage, frequency and adaptation state.
+    ///
+    /// `P(s) = Pmax(s) · on(s) · (idle + (1−idle)·α(s)) · (V/V₀)² · (f/f₀)`
+    pub fn dynamic_power(
+        &self,
+        core: &CoreConfig,
+        activity: &StructureMap<f64>,
+    ) -> StructureMap<Watts> {
+        let v_ratio = core.vdd / self.params.base_vdd;
+        let f_ratio = core.frequency / self.params.base_frequency;
+        let scale = v_ratio * v_ratio * f_ratio;
+        StructureMap::from_fn(|s| {
+            let alpha = activity[s].clamp(0.0, 1.0);
+            let eff = self.params.idle_fraction + (1.0 - self.params.idle_fraction) * alpha;
+            self.params.pmax_dynamic[s] * (core.powered_fraction(s) * eff * scale)
+        })
+    }
+
+    /// Leakage power per structure at the given temperatures under `core`'s
+    /// voltage and adaptation state.
+    ///
+    /// `P(s) = ρ · A(s) · on(s) · (V/V₀) · e^(β(T(s)−T₀))`
+    pub fn leakage_power(
+        &self,
+        core: &CoreConfig,
+        temperatures: &StructureMap<Kelvin>,
+    ) -> StructureMap<Watts> {
+        let v_ratio = core.vdd / self.params.base_vdd;
+        StructureMap::from_fn(|s| {
+            let area = self.floorplan.block(s).area().0;
+            let t = temperatures[s];
+            let thermal = (self.params.leakage_beta * (t.0 - self.params.leakage_ref.0)).exp();
+            Watts(
+                self.params.leakage_density
+                    * area
+                    * core.powered_fraction(s)
+                    * v_ratio
+                    * thermal,
+            )
+        })
+    }
+
+    /// Complete power breakdown for one interval.
+    pub fn power(
+        &self,
+        core: &CoreConfig,
+        activity: &StructureMap<f64>,
+        temperatures: &StructureMap<Kelvin>,
+    ) -> PowerBreakdown {
+        PowerBreakdown {
+            dynamic: self.dynamic_power(core, activity),
+            leakage: self.leakage_power(core, temperatures),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PowerModel {
+        PowerModel::ibm_65nm()
+    }
+
+    fn uniform_activity(a: f64) -> StructureMap<f64> {
+        StructureMap::splat(a)
+    }
+
+    fn uniform_temp(t: f64) -> StructureMap<Kelvin> {
+        StructureMap::splat(Kelvin(t))
+    }
+
+    #[test]
+    fn idle_charge_is_ten_percent() {
+        let m = model();
+        let core = CoreConfig::base();
+        let idle = m.dynamic_power(&core, &uniform_activity(0.0));
+        let full = m.dynamic_power(&core, &uniform_activity(1.0));
+        for (s, w) in idle.iter() {
+            assert!((w.0 / full[s].0 - 0.10).abs() < 1e-12, "{s}");
+        }
+    }
+
+    #[test]
+    fn dynamic_power_scales_linearly_with_activity() {
+        let m = model();
+        let core = CoreConfig::base();
+        let a25 = m.dynamic_power(&core, &uniform_activity(0.25)).iter().map(|(_, w)| w.0).sum::<f64>();
+        let a50 = m.dynamic_power(&core, &uniform_activity(0.50)).iter().map(|(_, w)| w.0).sum::<f64>();
+        let a100 = m.dynamic_power(&core, &uniform_activity(1.0)).iter().map(|(_, w)| w.0).sum::<f64>();
+        // Equal spacing in activity ⇒ equal spacing in power.
+        assert!(((a50 - a25) - (a100 - a50) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dvs_scaling_is_v_squared_f() {
+        let m = model();
+        let base = CoreConfig::base();
+        let scaled = base.with_dvs(Hertz::from_ghz(2.0), Volts(0.8));
+        let act = uniform_activity(0.5);
+        let p_base = m.dynamic_power(&base, &act);
+        let p_scaled = m.dynamic_power(&scaled, &act);
+        let expect = 0.8f64.powi(2) * (2.0 / 4.0);
+        for (s, w) in p_scaled.iter() {
+            assert!((w.0 / p_base[s].0 - expect).abs() < 1e-12, "{s}");
+        }
+    }
+
+    #[test]
+    fn leakage_matches_reference_density() {
+        // At 383 K and base voltage, leakage = 0.5 W/mm² × area.
+        let m = model();
+        let core = CoreConfig::base();
+        let leak = m.leakage_power(&core, &uniform_temp(383.0));
+        let total: f64 = leak.iter().map(|(_, w)| w.0).sum();
+        let area = m.floorplan().total_area().0;
+        assert!((total - 0.5 * area).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_grows_exponentially_with_temperature() {
+        let m = model();
+        let core = CoreConfig::base();
+        let cold: f64 = m.leakage_power(&core, &uniform_temp(343.0)).iter().map(|(_, w)| w.0).sum();
+        let hot: f64 = m.leakage_power(&core, &uniform_temp(383.0)).iter().map(|(_, w)| w.0).sum();
+        assert!((hot / cold - (0.017f64 * 40.0).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn powered_down_structures_save_both_components() {
+        let m = model();
+        let base = CoreConfig::base();
+        let small = base.with_adaptation(16, 2, 1).unwrap();
+        let act = uniform_activity(0.3);
+        let temps = uniform_temp(360.0);
+        let d_base = m.dynamic_power(&base, &act);
+        let d_small = m.dynamic_power(&small, &act);
+        assert!((d_small[Structure::Fpu].0 / d_base[Structure::Fpu].0 - 0.25).abs() < 1e-12);
+        assert!((d_small[Structure::Window].0 / d_base[Structure::Window].0 - 0.125).abs() < 1e-12);
+        assert_eq!(d_small[Structure::Dcache], d_base[Structure::Dcache]);
+        let l_base = m.leakage_power(&base, &temps);
+        let l_small = m.leakage_power(&small, &temps);
+        assert!((l_small[Structure::IntAlu].0 / l_base[Structure::IntAlu].0 - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_totals_are_consistent() {
+        let m = model();
+        let core = CoreConfig::base();
+        let b = m.power(&core, &uniform_activity(0.4), &uniform_temp(360.0));
+        let sum_struct: f64 = b.per_structure().iter().map(|(_, w)| w.0).sum();
+        assert!((b.total().0 - sum_struct).abs() < 1e-9);
+        assert!((b.total().0 - b.total_dynamic().0 - b.total_leakage().0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_bad_params() {
+        let mut p = PowerParams::ibm_65nm();
+        p.idle_fraction = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = PowerParams::ibm_65nm();
+        p.base_vdd = Volts(0.0);
+        assert!(p.validate().is_err());
+        let mut p = PowerParams::ibm_65nm();
+        p.pmax_dynamic[Structure::Fpu] = Watts(-1.0);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn activity_is_clamped() {
+        let m = model();
+        let core = CoreConfig::base();
+        let over = m.dynamic_power(&core, &uniform_activity(5.0));
+        let one = m.dynamic_power(&core, &uniform_activity(1.0));
+        assert_eq!(over, one);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests of the power model.
+
+use proptest::prelude::*;
+use sim_common::{Hertz, Kelvin, Structure, StructureMap, Volts};
+use sim_cpu::CoreConfig;
+use sim_power::PowerModel;
+
+fn arb_activity() -> impl Strategy<Value = StructureMap<f64>> {
+    proptest::collection::vec(0.0..1.0f64, 9)
+        .prop_map(|v| StructureMap::from_fn(|s| v[s.index()]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dynamic power is bounded by the clock-gated floor and the full-peak
+    /// ceiling, for any activity.
+    #[test]
+    fn dynamic_power_is_bounded(activity in arb_activity()) {
+        let m = PowerModel::ibm_65nm();
+        let cfg = CoreConfig::base();
+        let p = m.dynamic_power(&cfg, &activity);
+        for (s, w) in p.iter() {
+            let pmax = m.params().pmax_dynamic[s].0;
+            prop_assert!(w.0 >= 0.1 * pmax - 1e-12, "{s} below idle floor");
+            prop_assert!(w.0 <= pmax + 1e-12, "{s} above peak");
+        }
+    }
+
+    /// Monotonicity: raising any structure's activity never lowers power.
+    #[test]
+    fn dynamic_power_monotone_in_activity(
+        activity in arb_activity(),
+        bump in 0.01..0.5f64,
+        idx in 0usize..9,
+    ) {
+        let m = PowerModel::ibm_65nm();
+        let cfg = CoreConfig::base();
+        let mut higher = activity.clone();
+        let s = Structure::ALL[idx];
+        higher[s] = (higher[s] + bump).min(1.0);
+        let base = m.dynamic_power(&cfg, &activity);
+        let up = m.dynamic_power(&cfg, &higher);
+        prop_assert!(up[s].0 >= base[s].0 - 1e-12);
+    }
+
+    /// DVS scaling law: dynamic ∝ V²f, leakage ∝ V — exactly.
+    #[test]
+    fn dvs_scaling_laws(
+        v in 0.75..1.15f64,
+        f in 2.5..5.0f64,
+        activity in arb_activity(),
+        t in 330.0..420.0f64,
+    ) {
+        let m = PowerModel::ibm_65nm();
+        let base = CoreConfig::base();
+        let scaled = base.with_dvs(Hertz::from_ghz(f), Volts(v));
+        let temps = StructureMap::splat(Kelvin(t));
+        let d0 = m.dynamic_power(&base, &activity);
+        let d1 = m.dynamic_power(&scaled, &activity);
+        let l0 = m.leakage_power(&base, &temps);
+        let l1 = m.leakage_power(&scaled, &temps);
+        let dyn_factor = v * v * (f / 4.0);
+        for s in Structure::ALL {
+            if d0[s].0 > 0.0 {
+                prop_assert!((d1[s].0 / d0[s].0 - dyn_factor).abs() < 1e-9, "{s} dynamic");
+            }
+            prop_assert!((l1[s].0 / l0[s].0 - v).abs() < 1e-9, "{s} leakage");
+        }
+    }
+
+    /// Leakage doubles roughly every 41 K (β = 0.017) regardless of the
+    /// baseline temperature.
+    #[test]
+    fn leakage_doubling_interval(t in 320.0..420.0f64) {
+        let m = PowerModel::ibm_65nm();
+        let cfg = CoreConfig::base();
+        let doubling = (2.0f64).ln() / 0.017;
+        let lo: f64 = m.leakage_power(&cfg, &StructureMap::splat(Kelvin(t)))
+            .iter().map(|(_, w)| w.0).sum();
+        let hi: f64 = m.leakage_power(&cfg, &StructureMap::splat(Kelvin(t + doubling)))
+            .iter().map(|(_, w)| w.0).sum();
+        prop_assert!((hi / lo - 2.0).abs() < 1e-9);
+    }
+
+    /// Breakdown totals decompose exactly.
+    #[test]
+    fn breakdown_is_consistent(activity in arb_activity(), t in 330.0..420.0f64) {
+        let m = PowerModel::ibm_65nm();
+        let cfg = CoreConfig::base();
+        let b = m.power(&cfg, &activity, &StructureMap::splat(Kelvin(t)));
+        prop_assert!(
+            (b.total().0 - b.total_dynamic().0 - b.total_leakage().0).abs() < 1e-9
+        );
+        let per: f64 = b.per_structure().iter().map(|(_, w)| w.0).sum();
+        prop_assert!((per - b.total().0).abs() < 1e-9);
+    }
+
+    /// Adaptation scaling: powered fraction multiplies both components of
+    /// the adaptable structures.
+    #[test]
+    fn powered_fraction_scales_power(
+        window in 16u32..=128,
+        alus in 1u32..=6,
+        fpus in 1u32..=4,
+        activity in arb_activity(),
+    ) {
+        let m = PowerModel::ibm_65nm();
+        let base = CoreConfig::base();
+        let adapted = base.with_adaptation(window, alus, fpus).expect("valid");
+        let d_base = m.dynamic_power(&base, &activity);
+        let d_adapted = m.dynamic_power(&adapted, &activity);
+        for s in [Structure::Window, Structure::IntAlu, Structure::Fpu] {
+            let frac = adapted.powered_fraction(s);
+            if d_base[s].0 > 0.0 {
+                prop_assert!((d_adapted[s].0 / d_base[s].0 - frac).abs() < 1e-9, "{s}");
+            }
+        }
+        // Non-adaptable structures are untouched.
+        prop_assert!((d_adapted[Structure::Dcache].0 - d_base[Structure::Dcache].0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,287 @@
+//! Micro-operation vocabulary shared between the workload generator and the
+//! timing simulator.
+
+use std::fmt;
+
+/// Functional class of a micro-operation.
+///
+/// Latencies follow Table 1 of the paper: integer 1/7/12 for
+/// add/multiply/divide, floating point 4 by default and 12 for divide
+/// (divide is not pipelined).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Single-cycle integer ALU operation (add, logic, shift, compare).
+    IntAlu,
+    /// Integer multiply (7 cycles, pipelined).
+    IntMul,
+    /// Integer divide (12 cycles, not pipelined).
+    IntDiv,
+    /// Floating-point add/subtract/convert (4 cycles, pipelined).
+    FpAdd,
+    /// Floating-point multiply (4 cycles, pipelined).
+    FpMul,
+    /// Floating-point divide (12 cycles, not pipelined).
+    FpDiv,
+    /// Memory load (L1 data cache hit: 2 cycles).
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Function call (unconditional; pushes the return address).
+    Call,
+    /// Function return (unconditional; target comes from the call stack).
+    Return,
+}
+
+impl OpClass {
+    /// All classes, in a fixed order (used to express instruction mixes).
+    pub const ALL: [OpClass; 11] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::IntDiv,
+        OpClass::FpAdd,
+        OpClass::FpMul,
+        OpClass::FpDiv,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+        OpClass::Call,
+        OpClass::Return,
+    ];
+
+    /// True for instructions that change control flow.
+    pub fn is_control(self) -> bool {
+        matches!(self, OpClass::Branch | OpClass::Call | OpClass::Return)
+    }
+
+    /// True for the three floating-point execution classes.
+    pub fn is_fp(self) -> bool {
+        matches!(self, OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv)
+    }
+
+    /// True for loads and stores.
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Execution latency in cycles (Table 1). Loads report their address
+    /// generation latency; the cache adds the access time.
+    pub fn latency(self) -> u32 {
+        match self {
+            OpClass::IntAlu | OpClass::Branch | OpClass::Call | OpClass::Return => 1,
+            OpClass::IntMul => 7,
+            OpClass::IntDiv => 12,
+            OpClass::FpAdd | OpClass::FpMul => 4,
+            OpClass::FpDiv => 12,
+            OpClass::Load | OpClass::Store => 1,
+        }
+    }
+
+    /// True when the functional unit cannot accept a new operation every
+    /// cycle (divides are not pipelined).
+    pub fn is_unpipelined(self) -> bool {
+        matches!(self, OpClass::IntDiv | OpClass::FpDiv)
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            OpClass::IntAlu => "int-alu",
+            OpClass::IntMul => "int-mul",
+            OpClass::IntDiv => "int-div",
+            OpClass::FpAdd => "fp-add",
+            OpClass::FpMul => "fp-mul",
+            OpClass::FpDiv => "fp-div",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+            OpClass::Call => "call",
+            OpClass::Return => "return",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Register file class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegClass {
+    /// Integer architectural registers.
+    Int,
+    /// Floating-point architectural registers.
+    Fp,
+}
+
+/// Number of architectural registers per class (MIPS-like ISA).
+pub const ARCH_REGS_PER_CLASS: u16 = 64;
+
+/// An architectural register: a class and an index in
+/// `0..`[`ARCH_REGS_PER_CLASS`].
+///
+/// # Examples
+///
+/// ```
+/// use workload::{ArchReg, RegClass};
+/// let r = ArchReg::new(RegClass::Fp, 3);
+/// assert_eq!(r.class(), RegClass::Fp);
+/// assert_eq!(r.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArchReg(u16);
+
+impl ArchReg {
+    /// Creates a register reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= ARCH_REGS_PER_CLASS`.
+    pub fn new(class: RegClass, index: u16) -> ArchReg {
+        assert!(
+            index < ARCH_REGS_PER_CLASS,
+            "register index {index} out of range"
+        );
+        match class {
+            RegClass::Int => ArchReg(index),
+            RegClass::Fp => ArchReg(index + ARCH_REGS_PER_CLASS),
+        }
+    }
+
+    /// The register's class.
+    pub fn class(self) -> RegClass {
+        if self.0 < ARCH_REGS_PER_CLASS {
+            RegClass::Int
+        } else {
+            RegClass::Fp
+        }
+    }
+
+    /// Index within the class, in `0..ARCH_REGS_PER_CLASS`.
+    pub fn index(self) -> u16 {
+        self.0 % ARCH_REGS_PER_CLASS
+    }
+
+    /// Flat index across both classes, in `0..2*ARCH_REGS_PER_CLASS`.
+    /// Useful for dense rename tables.
+    pub fn flat_index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class() {
+            RegClass::Int => write!(f, "r{}", self.index()),
+            RegClass::Fp => write!(f, "f{}", self.index()),
+        }
+    }
+}
+
+/// A decoded micro-operation, as produced by an instruction source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicroOp {
+    /// Synthetic program counter (byte address, 4-byte instructions).
+    pub pc: u64,
+    /// Functional class.
+    pub class: OpClass,
+    /// Destination register, if the op writes one.
+    pub dest: Option<ArchReg>,
+    /// Up to two source registers.
+    pub srcs: [Option<ArchReg>; 2],
+    /// Effective byte address for loads/stores.
+    pub addr: Option<u64>,
+    /// Actual branch direction (meaningful only for [`OpClass::Branch`]).
+    pub taken: bool,
+}
+
+impl MicroOp {
+    /// Iterates over the present source registers.
+    pub fn sources(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.srcs.iter().flatten().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_match_table1() {
+        assert_eq!(OpClass::IntAlu.latency(), 1);
+        assert_eq!(OpClass::IntMul.latency(), 7);
+        assert_eq!(OpClass::IntDiv.latency(), 12);
+        assert_eq!(OpClass::FpAdd.latency(), 4);
+        assert_eq!(OpClass::FpMul.latency(), 4);
+        assert_eq!(OpClass::FpDiv.latency(), 12);
+    }
+
+    #[test]
+    fn divides_are_unpipelined() {
+        for class in OpClass::ALL {
+            assert_eq!(
+                class.is_unpipelined(),
+                matches!(class, OpClass::IntDiv | OpClass::FpDiv)
+            );
+        }
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(OpClass::FpMul.is_fp());
+        assert!(!OpClass::Load.is_fp());
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Store.is_mem());
+        assert!(!OpClass::Branch.is_mem());
+        assert!(OpClass::Branch.is_control());
+        assert!(OpClass::Call.is_control());
+        assert!(OpClass::Return.is_control());
+        assert!(!OpClass::IntAlu.is_control());
+        assert_eq!(OpClass::Call.latency(), 1);
+        assert_eq!(OpClass::Return.latency(), 1);
+    }
+
+    #[test]
+    fn arch_reg_round_trip() {
+        for class in [RegClass::Int, RegClass::Fp] {
+            for idx in [0u16, 1, 63] {
+                let r = ArchReg::new(class, idx);
+                assert_eq!(r.class(), class);
+                assert_eq!(r.index(), idx);
+            }
+        }
+    }
+
+    #[test]
+    fn flat_indices_are_distinct() {
+        let a = ArchReg::new(RegClass::Int, 5);
+        let b = ArchReg::new(RegClass::Fp, 5);
+        assert_ne!(a.flat_index(), b.flat_index());
+        assert_eq!(b.flat_index(), 5 + ARCH_REGS_PER_CLASS as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn arch_reg_rejects_out_of_range() {
+        let _ = ArchReg::new(RegClass::Int, ARCH_REGS_PER_CLASS);
+    }
+
+    #[test]
+    fn sources_iterates_present_only() {
+        let op = MicroOp {
+            pc: 0,
+            class: OpClass::IntAlu,
+            dest: None,
+            srcs: [Some(ArchReg::new(RegClass::Int, 1)), None],
+            addr: None,
+            taken: false,
+        };
+        assert_eq!(op.sources().count(), 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ArchReg::new(RegClass::Int, 7).to_string(), "r7");
+        assert_eq!(ArchReg::new(RegClass::Fp, 7).to_string(), "f7");
+        assert_eq!(OpClass::FpDiv.to_string(), "fp-div");
+    }
+}

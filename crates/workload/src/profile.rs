@@ -1,0 +1,773 @@
+//! Application profiles: the statistical stand-ins for the paper's nine
+//! workloads (Table 2).
+
+use crate::op::OpClass;
+use sim_common::SimError;
+
+/// An instruction-class mix: the stationary probability of each
+/// [`OpClass`] in the dynamic instruction stream.
+///
+/// # Examples
+///
+/// ```
+/// use workload::{OpMix, OpClass};
+/// let mix = OpMix::from_weights([
+///     (OpClass::IntAlu, 5.0),
+///     (OpClass::Load, 3.0),
+///     (OpClass::Branch, 2.0),
+/// ])?;
+/// assert!((mix.fraction(OpClass::IntAlu) - 0.5).abs() < 1e-12);
+/// # Ok::<(), sim_common::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpMix {
+    fractions: [f64; OpClass::ALL.len()],
+}
+
+impl OpMix {
+    /// Builds a mix from per-class weights; weights are normalized so they
+    /// need not sum to one. Classes not listed get weight zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when any weight is negative or
+    /// non-finite, or when all weights are zero.
+    pub fn from_weights(
+        weights: impl IntoIterator<Item = (OpClass, f64)>,
+    ) -> Result<OpMix, SimError> {
+        let mut fractions = [0.0; OpClass::ALL.len()];
+        for (class, w) in weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(SimError::invalid_config(format!(
+                    "op-mix weight for {class} must be finite and non-negative, got {w}"
+                )));
+            }
+            fractions[Self::slot(class)] += w;
+        }
+        let total: f64 = fractions.iter().sum();
+        if total <= 0.0 {
+            return Err(SimError::invalid_config("op mix has zero total weight"));
+        }
+        for f in &mut fractions {
+            *f /= total;
+        }
+        Ok(OpMix { fractions })
+    }
+
+    fn slot(class: OpClass) -> usize {
+        OpClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("class present in ALL")
+    }
+
+    /// Probability of `class` in the stream.
+    pub fn fraction(&self, class: OpClass) -> f64 {
+        self.fractions[Self::slot(class)]
+    }
+
+    /// Cumulative distribution in [`OpClass::ALL`] order, for sampling.
+    pub(crate) fn cumulative(&self) -> [f64; OpClass::ALL.len()] {
+        let mut cum = [0.0; OpClass::ALL.len()];
+        let mut acc = 0.0;
+        for (i, f) in self.fractions.iter().enumerate() {
+            acc += f;
+            cum[i] = acc;
+        }
+        // Guard against rounding: the last entry must cover 1.0 exactly.
+        cum[OpClass::ALL.len() - 1] = 1.0;
+        cum
+    }
+}
+
+/// A phase of execution with optional overrides of the stationary behaviour.
+///
+/// Multimedia codecs are frame-periodic: the paper's workloads run "at least
+/// 400 application frames". Segments are cycled in order, each lasting
+/// `instructions` dynamic instructions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSegment {
+    /// Length of the segment in dynamic instructions.
+    pub instructions: u64,
+    /// Mix override for the duration of the segment.
+    pub mix: Option<OpMix>,
+    /// Cold data working-set override (bytes).
+    pub working_set: Option<u64>,
+    /// Spatial-locality override for cold accesses.
+    pub spatial_fraction: Option<f64>,
+}
+
+/// A complete statistical description of an application.
+///
+/// Use [`App::profile`] for the nine calibrated paper workloads, or build a
+/// custom profile and adjust fields for sensitivity studies.
+///
+/// Data accesses follow a three-level locality hierarchy: a `hot` region
+/// (stack and loop temporaries, essentially L1-resident), a `mid` region
+/// (L2-resident footprint), and a `cold` working set walked by sequential
+/// streams and random references.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppProfile {
+    /// Workload name, e.g. `"bzip2"`.
+    pub name: String,
+    /// Stationary instruction mix.
+    pub mix: OpMix,
+    /// Mean register dependency distance for integer values (larger ⇒ more
+    /// exploitable ILP).
+    pub dep_mean_int: f64,
+    /// Mean register dependency distance for floating-point values.
+    pub dep_mean_fp: f64,
+    /// Fraction of loads that write a floating-point register.
+    pub fp_load_fraction: f64,
+    /// Static code footprint in bytes (drives L1 I-cache behaviour).
+    pub code_footprint: u64,
+    /// Probability that a static branch is biased taken.
+    pub branch_taken_bias: f64,
+    /// Branch outcome noise in `[0, 0.5]`: per-branch probability of
+    /// deviating from its bias. This is approximately the steady-state
+    /// misprediction rate of a bimodal predictor on the stream.
+    pub branch_noise: f64,
+    /// Fraction of data accesses landing in the hot region.
+    pub hot_fraction: f64,
+    /// Hot region size in bytes.
+    pub hot_bytes: u64,
+    /// Fraction of data accesses landing in the mid region.
+    pub mid_fraction: f64,
+    /// Mid region size in bytes.
+    pub mid_bytes: u64,
+    /// Cold working-set size in bytes (receives `1 - hot - mid` of
+    /// accesses).
+    pub data_working_set: u64,
+    /// Fraction of cold accesses that walk sequential streams.
+    pub spatial_fraction: f64,
+    /// Number of concurrent sequential access streams.
+    pub access_streams: usize,
+    /// Frame/phase structure; empty for stationary workloads.
+    pub phases: Vec<PhaseSegment>,
+}
+
+impl AppProfile {
+    /// Validates the profile's numeric ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when a probability field is
+    /// outside `[0, 1]`, fractions sum past 1, a mean distance is below 1,
+    /// or a size is zero.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let prob = |label: &str, v: f64| -> Result<(), SimError> {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(SimError::invalid_config(format!(
+                    "{label} must be in [0,1], got {v}"
+                )));
+            }
+            Ok(())
+        };
+        prob("fp_load_fraction", self.fp_load_fraction)?;
+        prob("branch_taken_bias", self.branch_taken_bias)?;
+        prob("spatial_fraction", self.spatial_fraction)?;
+        prob("hot_fraction", self.hot_fraction)?;
+        prob("mid_fraction", self.mid_fraction)?;
+        if self.hot_fraction + self.mid_fraction > 1.0 {
+            return Err(SimError::invalid_config(
+                "hot_fraction + mid_fraction must not exceed 1",
+            ));
+        }
+        if self.hot_bytes == 0 || self.mid_bytes == 0 {
+            return Err(SimError::invalid_config(
+                "hot and mid region sizes must be non-zero",
+            ));
+        }
+        if !(0.0..=0.5).contains(&self.branch_noise) {
+            return Err(SimError::invalid_config(format!(
+                "branch_noise must be in [0,0.5], got {}",
+                self.branch_noise
+            )));
+        }
+        if self.dep_mean_int < 1.0 || self.dep_mean_fp < 1.0 {
+            return Err(SimError::invalid_config(
+                "dependency distances must be at least 1",
+            ));
+        }
+        if self.code_footprint == 0 || self.data_working_set == 0 {
+            return Err(SimError::invalid_config(
+                "code footprint and working set must be non-zero",
+            ));
+        }
+        if self.access_streams == 0 {
+            return Err(SimError::invalid_config(
+                "at least one access stream is required",
+            ));
+        }
+        for (i, seg) in self.phases.iter().enumerate() {
+            if seg.instructions == 0 {
+                return Err(SimError::invalid_config(format!(
+                    "phase segment {i} has zero length"
+                )));
+            }
+            if let Some(s) = seg.spatial_fraction {
+                prob("phase spatial_fraction", s)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The nine paper workloads (Table 2).
+///
+/// # Examples
+///
+/// ```
+/// use workload::App;
+/// assert_eq!(App::ALL.len(), 9);
+/// assert_eq!(App::Art.name(), "art");
+/// assert!(App::MpgDec.is_multimedia());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum App {
+    /// MPEG video decoder (multimedia, IPC 3.2 in the paper).
+    MpgDec,
+    /// MP3 audio decoder (multimedia, IPC 2.8).
+    Mp3Dec,
+    /// H263 video encoder (multimedia, IPC 1.9).
+    H263Enc,
+    /// SpecInt bzip2 (IPC 1.7).
+    Bzip2,
+    /// SpecInt gzip (IPC 1.5).
+    Gzip,
+    /// SpecInt twolf (IPC 0.8).
+    Twolf,
+    /// SpecFP art (IPC 0.7).
+    Art,
+    /// SpecFP equake (IPC 1.4).
+    Equake,
+    /// SpecFP ammp (IPC 1.1).
+    Ammp,
+}
+
+impl App {
+    /// All workloads in Table 2 order.
+    pub const ALL: [App; 9] = [
+        App::MpgDec,
+        App::Mp3Dec,
+        App::H263Enc,
+        App::Bzip2,
+        App::Gzip,
+        App::Twolf,
+        App::Art,
+        App::Equake,
+        App::Ammp,
+    ];
+
+    /// Workload name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            App::MpgDec => "MPGdec",
+            App::Mp3Dec => "MP3dec",
+            App::H263Enc => "H263enc",
+            App::Bzip2 => "bzip2",
+            App::Gzip => "gzip",
+            App::Twolf => "twolf",
+            App::Art => "art",
+            App::Equake => "equake",
+            App::Ammp => "ammp",
+        }
+    }
+
+    /// True for the three multimedia codecs.
+    pub fn is_multimedia(self) -> bool {
+        matches!(self, App::MpgDec | App::Mp3Dec | App::H263Enc)
+    }
+
+    /// IPC reported by the paper on the base non-adaptive processor
+    /// (Table 2); used as the calibration target.
+    pub fn paper_ipc(self) -> f64 {
+        match self {
+            App::MpgDec => 3.2,
+            App::Mp3Dec => 2.8,
+            App::H263Enc => 1.9,
+            App::Bzip2 => 1.7,
+            App::Gzip => 1.5,
+            App::Twolf => 0.8,
+            App::Art => 0.7,
+            App::Equake => 1.4,
+            App::Ammp => 1.1,
+        }
+    }
+
+    /// Base power (dynamic + leakage, watts) reported by the paper
+    /// (Table 2); used as the calibration target.
+    pub fn paper_power_watts(self) -> f64 {
+        match self {
+            App::MpgDec => 36.5,
+            App::Mp3Dec => 34.7,
+            App::H263Enc => 30.8,
+            App::Bzip2 => 23.9,
+            App::Gzip => 23.4,
+            App::Twolf => 15.6,
+            App::Art => 17.0,
+            App::Equake => 20.9,
+            App::Ammp => 19.7,
+        }
+    }
+
+    /// The calibrated statistical profile for this workload.
+    pub fn profile(self) -> AppProfile {
+        let mix = |weights: &[(OpClass, f64)]| {
+            OpMix::from_weights(weights.iter().copied()).expect("static mixes are valid")
+        };
+        use OpClass::*;
+        const KB: u64 = 1024;
+        const MB: u64 = 1024 * 1024;
+        let profile = match self {
+            App::MpgDec => AppProfile {
+                name: "MPGdec".to_owned(),
+                mix: mix(&[
+                    (IntAlu, 0.470),
+                    (IntMul, 0.030),
+                    (IntDiv, 0.001),
+                    (FpAdd, 0.070),
+                    (FpMul, 0.050),
+                    (FpDiv, 0.002),
+                    (Load, 0.220),
+                    (Store, 0.090),
+                    (Branch, 0.067),
+                    (Call, 0.008),
+                    (Return, 0.008),
+                ]),
+                dep_mean_int: 13.5,
+                dep_mean_fp: 12.0,
+                fp_load_fraction: 0.25,
+                code_footprint: 20 * KB,
+                branch_taken_bias: 0.65,
+                branch_noise: 0.015,
+                hot_fraction: 0.96,
+                hot_bytes: 8 * KB,
+                mid_fraction: 0.03,
+                mid_bytes: 192 * KB,
+                data_working_set: 512 * KB,
+                spatial_fraction: 0.97,
+                access_streams: 6,
+                phases: vec![
+                    // IDCT / motion-compensation heavy segment …
+                    PhaseSegment {
+                        instructions: 150_000,
+                        mix: Some(mix(&[
+                            (IntAlu, 0.42),
+                            (IntMul, 0.04),
+                            (FpAdd, 0.10),
+                            (FpMul, 0.08),
+                            (Load, 0.21),
+                            (Store, 0.08),
+                            (Branch, 0.07),
+                            (Call, 0.008),
+                            (Return, 0.008),
+                        ])),
+                        working_set: None,
+                        spatial_fraction: None,
+                    },
+                    // … followed by frame output (store heavy, streaming).
+                    PhaseSegment {
+                        instructions: 100_000,
+                        mix: Some(mix(&[
+                            (IntAlu, 0.52),
+                            (IntMul, 0.02),
+                            (FpAdd, 0.03),
+                            (FpMul, 0.02),
+                            (Load, 0.22),
+                            (Store, 0.12),
+                            (Branch, 0.07),
+                            (Call, 0.008),
+                            (Return, 0.008),
+                        ])),
+                        working_set: Some(MB),
+                        spatial_fraction: Some(0.98),
+                    },
+                ],
+            },
+            App::Mp3Dec => AppProfile {
+                name: "MP3dec".to_owned(),
+                mix: mix(&[
+                    (IntAlu, 0.380),
+                    (IntMul, 0.020),
+                    (IntDiv, 0.001),
+                    (FpAdd, 0.120),
+                    (FpMul, 0.100),
+                    (FpDiv, 0.004),
+                    (Load, 0.230),
+                    (Store, 0.080),
+                    (Branch, 0.065),
+                    (Call, 0.008),
+                    (Return, 0.008),
+                ]),
+                dep_mean_int: 7.0,
+                dep_mean_fp: 6.5,
+                fp_load_fraction: 0.45,
+                code_footprint: 16 * KB,
+                branch_taken_bias: 0.6,
+                branch_noise: 0.015,
+                hot_fraction: 0.965,
+                hot_bytes: 8 * KB,
+                mid_fraction: 0.025,
+                mid_bytes: 160 * KB,
+                data_working_set: 384 * KB,
+                spatial_fraction: 0.95,
+                access_streams: 4,
+                phases: vec![
+                    PhaseSegment {
+                        instructions: 120_000,
+                        mix: None,
+                        working_set: None,
+                        spatial_fraction: None,
+                    },
+                    PhaseSegment {
+                        instructions: 60_000,
+                        mix: Some(mix(&[
+                            (IntAlu, 0.40),
+                            (FpAdd, 0.14),
+                            (FpMul, 0.13),
+                            (Load, 0.20),
+                            (Store, 0.07),
+                            (Branch, 0.06),
+                            (Call, 0.008),
+                            (Return, 0.008),
+                        ])),
+                        working_set: Some(256 * KB),
+                        spatial_fraction: Some(0.95),
+                    },
+                ],
+            },
+            App::H263Enc => AppProfile {
+                name: "H263enc".to_owned(),
+                mix: mix(&[
+                    (IntAlu, 0.500),
+                    (IntMul, 0.040),
+                    (IntDiv, 0.004),
+                    (FpAdd, 0.020),
+                    (FpMul, 0.012),
+                    (Load, 0.240),
+                    (Store, 0.070),
+                    (Branch, 0.114),
+                    (Call, 0.008),
+                    (Return, 0.008),
+                ]),
+                dep_mean_int: 8.0,
+                dep_mean_fp: 7.0,
+                fp_load_fraction: 0.1,
+                code_footprint: 28 * KB,
+                branch_taken_bias: 0.6,
+                branch_noise: 0.035,
+                hot_fraction: 0.943,
+                hot_bytes: 12 * KB,
+                mid_fraction: 0.045,
+                mid_bytes: 384 * KB,
+                data_working_set: 768 * KB,
+                spatial_fraction: 0.95,
+                access_streams: 5,
+                phases: Vec::new(),
+            },
+            App::Bzip2 => AppProfile {
+                name: "bzip2".to_owned(),
+                mix: mix(&[
+                    (IntAlu, 0.450),
+                    (IntMul, 0.010),
+                    (IntDiv, 0.002),
+                    (Load, 0.260),
+                    (Store, 0.090),
+                    (Branch, 0.130),
+                    (Call, 0.008),
+                    (Return, 0.008),
+                ]),
+                dep_mean_int: 8.0,
+                dep_mean_fp: 7.0,
+                fp_load_fraction: 0.0,
+                code_footprint: 32 * KB,
+                branch_taken_bias: 0.55,
+                branch_noise: 0.055,
+                hot_fraction: 0.947,
+                hot_bytes: 16 * KB,
+                mid_fraction: 0.043,
+                mid_bytes: 320 * KB,
+                data_working_set: 4 * MB,
+                spatial_fraction: 0.8,
+                access_streams: 4,
+                phases: Vec::new(),
+            },
+            App::Gzip => AppProfile {
+                name: "gzip".to_owned(),
+                mix: mix(&[
+                    (IntAlu, 0.440),
+                    (IntMul, 0.005),
+                    (IntDiv, 0.001),
+                    (Load, 0.250),
+                    (Store, 0.100),
+                    (Branch, 0.140),
+                    (Call, 0.008),
+                    (Return, 0.008),
+                ]),
+                dep_mean_int: 6.0,
+                dep_mean_fp: 5.0,
+                fp_load_fraction: 0.0,
+                code_footprint: 32 * KB,
+                branch_taken_bias: 0.55,
+                branch_noise: 0.075,
+                hot_fraction: 0.948,
+                hot_bytes: 16 * KB,
+                mid_fraction: 0.04,
+                mid_bytes: 320 * KB,
+                data_working_set: 3 * MB,
+                spatial_fraction: 0.8,
+                access_streams: 3,
+                phases: Vec::new(),
+            },
+            App::Twolf => AppProfile {
+                name: "twolf".to_owned(),
+                mix: mix(&[
+                    (IntAlu, 0.400),
+                    (IntMul, 0.008),
+                    (IntDiv, 0.002),
+                    (Load, 0.280),
+                    (Store, 0.070),
+                    (Branch, 0.160),
+                    (Call, 0.008),
+                    (Return, 0.008),
+                ]),
+                dep_mean_int: 6.0,
+                dep_mean_fp: 5.0,
+                fp_load_fraction: 0.02,
+                code_footprint: 48 * KB,
+                branch_taken_bias: 0.52,
+                branch_noise: 0.09,
+                hot_fraction: 0.90,
+                hot_bytes: 24 * KB,
+                mid_fraction: 0.062,
+                mid_bytes: 512 * KB,
+                data_working_set: 3 * MB,
+                spatial_fraction: 0.35,
+                access_streams: 2,
+                phases: Vec::new(),
+            },
+            App::Art => AppProfile {
+                name: "art".to_owned(),
+                mix: mix(&[
+                    (IntAlu, 0.250),
+                    (FpAdd, 0.180),
+                    (FpMul, 0.140),
+                    (FpDiv, 0.002),
+                    (Load, 0.300),
+                    (Store, 0.045),
+                    (Branch, 0.083),
+                    (Call, 0.008),
+                    (Return, 0.008),
+                ]),
+                dep_mean_int: 10.0,
+                dep_mean_fp: 9.0,
+                fp_load_fraction: 0.7,
+                code_footprint: 16 * KB,
+                branch_taken_bias: 0.7,
+                branch_noise: 0.01,
+                hot_fraction: 0.55,
+                hot_bytes: 16 * KB,
+                mid_fraction: 0.10,
+                mid_bytes: 512 * KB,
+                data_working_set: 16 * MB,
+                spatial_fraction: 0.6,
+                access_streams: 8,
+                phases: Vec::new(),
+            },
+            App::Equake => AppProfile {
+                name: "equake".to_owned(),
+                mix: mix(&[
+                    (IntAlu, 0.270),
+                    (FpAdd, 0.160),
+                    (FpMul, 0.120),
+                    (FpDiv, 0.005),
+                    (IntMul, 0.005),
+                    (Load, 0.280),
+                    (Store, 0.070),
+                    (Branch, 0.090),
+                    (Call, 0.008),
+                    (Return, 0.008),
+                ]),
+                dep_mean_int: 9.0,
+                dep_mean_fp: 8.0,
+                fp_load_fraction: 0.6,
+                code_footprint: 24 * KB,
+                branch_taken_bias: 0.65,
+                branch_noise: 0.025,
+                hot_fraction: 0.855,
+                hot_bytes: 16 * KB,
+                mid_fraction: 0.045,
+                mid_bytes: 512 * KB,
+                data_working_set: 8 * MB,
+                spatial_fraction: 0.95,
+                access_streams: 6,
+                phases: Vec::new(),
+            },
+            App::Ammp => AppProfile {
+                name: "ammp".to_owned(),
+                mix: mix(&[
+                    (IntAlu, 0.280),
+                    (FpAdd, 0.150),
+                    (FpMul, 0.120),
+                    (FpDiv, 0.020),
+                    (Load, 0.260),
+                    (Store, 0.070),
+                    (Branch, 0.100),
+                    (Call, 0.008),
+                    (Return, 0.008),
+                ]),
+                dep_mean_int: 8.0,
+                dep_mean_fp: 7.0,
+                fp_load_fraction: 0.55,
+                code_footprint: 24 * KB,
+                branch_taken_bias: 0.6,
+                branch_noise: 0.03,
+                hot_fraction: 0.845,
+                hot_bytes: 16 * KB,
+                mid_fraction: 0.065,
+                mid_bytes: 512 * KB,
+                data_working_set: 6 * MB,
+                spatial_fraction: 0.6,
+                access_streams: 4,
+                phases: Vec::new(),
+            },
+        };
+        debug_assert!(profile.validate().is_ok());
+        profile
+    }
+}
+
+impl std::fmt::Display for App {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_normalizes_weights() {
+        let mix = OpMix::from_weights([(OpClass::IntAlu, 2.0), (OpClass::Load, 2.0)]).unwrap();
+        assert!((mix.fraction(OpClass::IntAlu) - 0.5).abs() < 1e-12);
+        assert!((mix.fraction(OpClass::Load) - 0.5).abs() < 1e-12);
+        assert_eq!(mix.fraction(OpClass::FpDiv), 0.0);
+    }
+
+    #[test]
+    fn mix_rejects_negative_weight() {
+        let err = OpMix::from_weights([(OpClass::IntAlu, -1.0)]).unwrap_err();
+        assert!(err.to_string().contains("non-negative"));
+    }
+
+    #[test]
+    fn mix_rejects_all_zero() {
+        let err = OpMix::from_weights([(OpClass::IntAlu, 0.0)]).unwrap_err();
+        assert!(err.to_string().contains("zero total"));
+    }
+
+    #[test]
+    fn mix_cumulative_ends_at_one() {
+        for app in App::ALL {
+            let cum = app.profile().mix.cumulative();
+            assert_eq!(*cum.last().unwrap(), 1.0);
+            for w in cum.windows(2) {
+                assert!(w[1] >= w[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn all_profiles_validate() {
+        for app in App::ALL {
+            app.profile().validate().unwrap_or_else(|e| {
+                panic!("profile for {app} is invalid: {e}");
+            });
+        }
+    }
+
+    #[test]
+    fn profile_names_match_app_names() {
+        for app in App::ALL {
+            assert_eq!(app.profile().name, app.name());
+        }
+    }
+
+    #[test]
+    fn multimedia_classification() {
+        let mm: Vec<_> = App::ALL.into_iter().filter(|a| a.is_multimedia()).collect();
+        assert_eq!(mm, vec![App::MpgDec, App::Mp3Dec, App::H263Enc]);
+    }
+
+    #[test]
+    fn paper_targets_match_table2() {
+        assert_eq!(App::MpgDec.paper_ipc(), 3.2);
+        assert_eq!(App::Art.paper_ipc(), 0.7);
+        assert_eq!(App::MpgDec.paper_power_watts(), 36.5);
+        assert_eq!(App::Twolf.paper_power_watts(), 15.6);
+    }
+
+    #[test]
+    fn multimedia_have_phases() {
+        assert!(!App::MpgDec.profile().phases.is_empty());
+        assert!(!App::Mp3Dec.profile().phases.is_empty());
+        assert!(App::Bzip2.profile().phases.is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_bad_probability() {
+        let mut p = App::Bzip2.profile();
+        p.spatial_fraction = 1.5;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_overfull_locality_mixture() {
+        let mut p = App::Bzip2.profile();
+        p.hot_fraction = 0.8;
+        p.mid_fraction = 0.3;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_region() {
+        let mut p = App::Bzip2.profile();
+        p.hot_bytes = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_phase() {
+        let mut p = App::Bzip2.profile();
+        p.phases.push(PhaseSegment {
+            instructions: 0,
+            mix: None,
+            working_set: None,
+            spatial_fraction: None,
+        });
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_small_dep_mean() {
+        let mut p = App::Bzip2.profile();
+        p.dep_mean_int = 0.5;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn locality_hierarchy_is_ordered() {
+        // Hot fits in L1, mid fits in L2, cold exceeds L2 — for every app.
+        for app in App::ALL {
+            let p = app.profile();
+            assert!(p.hot_bytes <= 32 * 1024, "{app}: hot region too large");
+            assert!(p.mid_bytes <= 1024 * 1024, "{app}: mid region beyond L2");
+            assert!(
+                p.data_working_set > p.mid_bytes,
+                "{app}: cold set smaller than mid"
+            );
+        }
+    }
+}

@@ -1,0 +1,546 @@
+//! Deterministic synthetic instruction stream generation.
+
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::op::{ArchReg, MicroOp, OpClass, RegClass, ARCH_REGS_PER_CLASS};
+use crate::profile::AppProfile;
+use crate::InstructionSource;
+
+/// Base virtual address of the synthetic data region. Code lives at 0, data
+/// far away, so instruction and data addresses never collide in the caches.
+const DATA_BASE: u64 = 0x1000_0000;
+
+/// Depth of the recent-destination ring used for dependency construction.
+/// Matches the architectural register count so ring entries are never
+/// overwritten before they can be referenced.
+const RING_DEPTH: usize = ARCH_REGS_PER_CLASS as usize;
+
+/// Maximum modeled call depth; deeper calls degenerate to plain jumps
+/// (matching how a bounded hardware RAS behaves under deep recursion).
+const MAX_CALL_DEPTH: usize = 24;
+
+/// A deterministic, seeded instruction stream realizing an [`AppProfile`].
+///
+/// The same `(profile, seed)` pair always generates the identical stream, so
+/// configuration sweeps (DRM's adaptation search) see identical work.
+///
+/// # Examples
+///
+/// ```
+/// use workload::{App, InstructionSource, SyntheticStream};
+/// let mut a = SyntheticStream::new(App::Art.profile(), 7);
+/// let mut b = SyntheticStream::new(App::Art.profile(), 7);
+/// for _ in 0..1000 {
+///     assert_eq!(a.next_op(), b.next_op());
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticStream {
+    profile: AppProfile,
+    rng: SmallRng,
+    bias_salt: u64,
+
+    // Recent destination registers, most recent at the back.
+    recent_int: VecDeque<ArchReg>,
+    recent_fp: VecDeque<ArchReg>,
+    next_int_reg: u16,
+    next_fp_reg: u16,
+
+    pc: u64,
+    loop_start: u64,
+    emitted: u64,
+    /// Return addresses of calls in flight (bounded; deeper recursion
+    /// degenerates to plain jumps).
+    call_stack: Vec<u64>,
+
+    // Sequential access streams into the data working set.
+    stream_offsets: Vec<u64>,
+
+    // Phase state: effective parameters after segment overrides.
+    phase_idx: usize,
+    phase_remaining: u64,
+    cur_cum: [f64; OpClass::ALL.len()],
+    cur_working_set: u64,
+    cur_spatial: f64,
+}
+
+impl SyntheticStream {
+    /// Creates a stream for `profile` seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails [`AppProfile::validate`]; construct
+    /// profiles through validated paths to avoid this.
+    pub fn new(profile: AppProfile, seed: u64) -> SyntheticStream {
+        profile
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid profile {}: {e}", profile.name));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let streams = (0..profile.access_streams)
+            .map(|_| rng.gen_range(0..profile.data_working_set.max(8)) & !7)
+            .collect();
+        let mut s = SyntheticStream {
+            bias_salt: seed ^ 0x9E37_79B9_7F4A_7C15,
+            cur_cum: profile.mix.cumulative(),
+            cur_working_set: profile.data_working_set,
+            cur_spatial: profile.spatial_fraction,
+            profile,
+            rng,
+            recent_int: VecDeque::with_capacity(RING_DEPTH),
+            recent_fp: VecDeque::with_capacity(RING_DEPTH),
+            next_int_reg: 1,
+            next_fp_reg: 1,
+            pc: 0,
+            loop_start: 0,
+            emitted: 0,
+            call_stack: Vec::with_capacity(MAX_CALL_DEPTH),
+            stream_offsets: streams,
+            phase_idx: 0,
+            phase_remaining: 0,
+        };
+        s.enter_phase(0);
+        s
+    }
+
+    /// The profile this stream realizes.
+    pub fn profile(&self) -> &AppProfile {
+        &self.profile
+    }
+
+    /// Number of micro-ops emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    fn enter_phase(&mut self, idx: usize) {
+        self.phase_idx = idx;
+        if self.profile.phases.is_empty() {
+            self.phase_remaining = u64::MAX;
+            return;
+        }
+        let seg = &self.profile.phases[idx % self.profile.phases.len()];
+        self.phase_remaining = seg.instructions;
+        self.cur_cum = seg.mix.as_ref().unwrap_or(&self.profile.mix).cumulative();
+        self.cur_working_set = seg.working_set.unwrap_or(self.profile.data_working_set);
+        self.cur_spatial = seg
+            .spatial_fraction
+            .unwrap_or(self.profile.spatial_fraction);
+    }
+
+    fn advance_phase(&mut self) {
+        if self.phase_remaining != u64::MAX {
+            self.phase_remaining = self.phase_remaining.saturating_sub(1);
+            if self.phase_remaining == 0 {
+                self.enter_phase(self.phase_idx + 1);
+            }
+        }
+    }
+
+    /// Instruction class at `pc`: a deterministic function of the synthetic
+    /// code layout, so loops replay the same instruction sequence (the
+    /// branch predictor and I-cache see realistic repetition). The class
+    /// distribution over the footprint follows the phase's mix.
+    fn class_at(&self, pc: u64) -> OpClass {
+        let phase_salt = if self.profile.phases.is_empty() {
+            0
+        } else {
+            (self.phase_idx % self.profile.phases.len()) as u64
+        };
+        let h = splitmix64(pc ^ self.bias_salt.rotate_left(17) ^ phase_salt.wrapping_mul(0xA24B_AED4_963E_E407));
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let slot = self.cur_cum.iter().position(|&c| u <= c).unwrap_or(0);
+        OpClass::ALL[slot]
+    }
+
+    /// Samples a dependency distance with the given mean (geometric).
+    fn sample_distance(&mut self, mean: f64) -> usize {
+        let p = (1.0 / mean).clamp(1e-6, 1.0);
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let d = 1.0 + (u.ln() / (1.0 - p).ln()).floor();
+        d as usize
+    }
+
+    fn source_from_ring(&mut self, class: RegClass, mean: f64) -> Option<ArchReg> {
+        let d = self.sample_distance(mean);
+        let ring = match class {
+            RegClass::Int => &self.recent_int,
+            RegClass::Fp => &self.recent_fp,
+        };
+        if ring.is_empty() {
+            return None;
+        }
+        let idx = ring.len().saturating_sub(d);
+        ring.get(idx).copied().or_else(|| ring.front().copied())
+    }
+
+    fn alloc_dest(&mut self, class: RegClass) -> ArchReg {
+        // Round-robin over registers 1..N; register 0 is never written, so a
+        // source that maps to it is architecturally always ready.
+        let reg = match class {
+            RegClass::Int => {
+                let r = ArchReg::new(RegClass::Int, self.next_int_reg);
+                self.next_int_reg = 1 + (self.next_int_reg % (ARCH_REGS_PER_CLASS - 1));
+                r
+            }
+            RegClass::Fp => {
+                let r = ArchReg::new(RegClass::Fp, self.next_fp_reg);
+                self.next_fp_reg = 1 + (self.next_fp_reg % (ARCH_REGS_PER_CLASS - 1));
+                r
+            }
+        };
+        let ring = match class {
+            RegClass::Int => &mut self.recent_int,
+            RegClass::Fp => &mut self.recent_fp,
+        };
+        if ring.len() == RING_DEPTH {
+            ring.pop_front();
+        }
+        ring.push_back(reg);
+        reg
+    }
+
+    fn data_address(&mut self) -> u64 {
+        // Three-level locality hierarchy: hot (L1-resident) and mid
+        // (L2-resident) regions at the bottom of the data segment, cold
+        // streaming/random traffic over the full working set.
+        let u: f64 = self.rng.gen();
+        if u < self.profile.hot_fraction {
+            return DATA_BASE + (self.rng.gen_range(0..self.profile.hot_bytes.max(64)) & !7);
+        }
+        if u < self.profile.hot_fraction + self.profile.mid_fraction {
+            return DATA_BASE + (self.rng.gen_range(0..self.profile.mid_bytes.max(64)) & !7);
+        }
+        let ws = self.cur_working_set.max(64);
+        if self.rng.gen::<f64>() < self.cur_spatial {
+            let n = self.stream_offsets.len();
+            let slot = self.rng.gen_range(0..n);
+            let off = self.stream_offsets[slot];
+            self.stream_offsets[slot] = (off + 8) % ws;
+            DATA_BASE + off
+        } else {
+            DATA_BASE + (self.rng.gen_range(0..ws) & !7)
+        }
+    }
+
+    /// Deterministic per-branch behaviour derived from the branch PC.
+    /// Returns `(base_taken, flip_probability)`.
+    fn branch_character(&self, pc: u64) -> (bool, f64) {
+        let h = splitmix64(pc ^ self.bias_salt);
+        let u1 = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let u2 = (splitmix64(h) >> 11) as f64 / (1u64 << 53) as f64;
+        let base_taken = u1 < self.profile.branch_taken_bias;
+        let flip = u2 * 2.0 * self.profile.branch_noise;
+        (base_taken, flip)
+    }
+
+    fn step_pc_sequential(&mut self) {
+        self.pc += 4;
+        if self.pc >= self.profile.code_footprint {
+            self.pc = 0;
+            self.loop_start = 0;
+        }
+    }
+}
+
+/// SplitMix64 hash, used to derive stable per-PC branch behaviour.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl InstructionSource for SyntheticStream {
+    fn next_op(&mut self) -> MicroOp {
+        let pc = self.pc;
+        let class = self.class_at(pc);
+        let dep_int = self.profile.dep_mean_int;
+        let dep_fp = self.profile.dep_mean_fp;
+
+        let mut op = MicroOp {
+            pc,
+            class,
+            dest: None,
+            srcs: [None, None],
+            addr: None,
+            taken: false,
+        };
+
+        match class {
+            OpClass::IntAlu | OpClass::IntMul | OpClass::IntDiv => {
+                op.srcs[0] = self.source_from_ring(RegClass::Int, dep_int);
+                op.srcs[1] = self.source_from_ring(RegClass::Int, dep_int);
+                op.dest = Some(self.alloc_dest(RegClass::Int));
+                self.step_pc_sequential();
+            }
+            OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv => {
+                op.srcs[0] = self.source_from_ring(RegClass::Fp, dep_fp);
+                op.srcs[1] = self.source_from_ring(RegClass::Fp, dep_fp);
+                op.dest = Some(self.alloc_dest(RegClass::Fp));
+                self.step_pc_sequential();
+            }
+            OpClass::Load => {
+                op.srcs[0] = self.source_from_ring(RegClass::Int, dep_int);
+                op.addr = Some(self.data_address());
+                let fp_dest = self.rng.gen::<f64>() < self.profile.fp_load_fraction;
+                op.dest = Some(if fp_dest {
+                    self.alloc_dest(RegClass::Fp)
+                } else {
+                    self.alloc_dest(RegClass::Int)
+                });
+                self.step_pc_sequential();
+            }
+            OpClass::Store => {
+                op.srcs[0] = self.source_from_ring(RegClass::Int, dep_int);
+                let fp_data = self.rng.gen::<f64>() < self.profile.fp_load_fraction;
+                op.srcs[1] = if fp_data {
+                    self.source_from_ring(RegClass::Fp, dep_fp)
+                } else {
+                    self.source_from_ring(RegClass::Int, dep_int)
+                };
+                op.addr = Some(self.data_address());
+                self.step_pc_sequential();
+            }
+            OpClass::Branch => {
+                op.srcs[0] = self.source_from_ring(RegClass::Int, dep_int);
+                let (base_taken, flip) = self.branch_character(pc);
+                let taken = base_taken ^ (self.rng.gen::<f64>() < flip);
+                op.taken = taken;
+                if taken {
+                    // Mostly loop back-edges; occasionally a fresh region.
+                    if self.rng.gen::<f64>() < 0.85 {
+                        self.pc = self.loop_start;
+                    } else {
+                        let footprint = self.profile.code_footprint;
+                        self.pc = self.rng.gen_range(0..footprint) & !3;
+                        self.loop_start = self.pc;
+                    }
+                } else {
+                    self.step_pc_sequential();
+                }
+            }
+            OpClass::Call => {
+                // Unconditional; the callee entry is a fixed function of
+                // the call site (a static call graph). Depth-limited:
+                // beyond the cap the call behaves as a plain jump.
+                op.taken = true;
+                if self.call_stack.len() < MAX_CALL_DEPTH {
+                    self.call_stack.push((pc + 4) % self.profile.code_footprint);
+                }
+                let entry =
+                    splitmix64(pc ^ self.bias_salt.rotate_left(29)) % self.profile.code_footprint;
+                self.pc = entry & !3;
+                self.loop_start = self.pc;
+            }
+            OpClass::Return => {
+                // Pops the matching call; with an empty stack (entered a
+                // function body sideways) it falls through sequentially.
+                match self.call_stack.pop() {
+                    Some(ret) => {
+                        op.taken = true;
+                        self.pc = ret & !3;
+                        self.loop_start = self.pc;
+                    }
+                    None => {
+                        op.taken = false;
+                        self.step_pc_sequential();
+                    }
+                }
+            }
+        }
+
+        self.emitted += 1;
+        self.advance_phase();
+        op
+    }
+
+    fn name(&self) -> &str {
+        &self.profile.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::App;
+
+    fn collect(app: App, seed: u64, n: usize) -> Vec<MicroOp> {
+        let mut s = SyntheticStream::new(app.profile(), seed);
+        (0..n).map(|_| s.next_op()).collect()
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = collect(App::Twolf, 99, 20_000);
+        let b = collect(App::Twolf, 99, 20_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = collect(App::Twolf, 1, 5_000);
+        let b = collect(App::Twolf, 2, 5_000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn class_frequencies_converge_to_mix() {
+        let app = App::Gzip;
+        let profile = app.profile();
+        let n = 300_000;
+        let ops = collect(app, 5, n);
+        for class in OpClass::ALL {
+            let observed =
+                ops.iter().filter(|o| o.class == class).count() as f64 / n as f64;
+            let expected = profile.mix.fraction(class);
+            // Class-by-PC layout plus loop concentration gives more variance
+            // than i.i.d. sampling would; 0.03 absolute is still tight enough
+            // to pin the mix.
+            assert!(
+                (observed - expected).abs() < 0.03,
+                "{class}: observed {observed:.4}, expected {expected:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn pcs_stay_in_code_footprint() {
+        let app = App::Bzip2;
+        let footprint = app.profile().code_footprint;
+        for op in collect(app, 3, 100_000) {
+            assert!(op.pc < footprint, "pc {} outside footprint", op.pc);
+            assert_eq!(op.pc % 4, 0);
+        }
+    }
+
+    #[test]
+    fn data_addresses_stay_in_working_set() {
+        let app = App::Equake;
+        let ws = app.profile().data_working_set;
+        for op in collect(app, 3, 100_000) {
+            if let Some(addr) = op.addr {
+                assert!(op.class.is_mem());
+                assert!(addr >= DATA_BASE);
+                assert!(addr < DATA_BASE + ws, "addr {addr:#x} outside working set");
+            } else {
+                assert!(!op.class.is_mem());
+            }
+        }
+    }
+
+    #[test]
+    fn operand_classes_are_consistent() {
+        for app in App::ALL {
+            for op in collect(app, 11, 20_000) {
+                if op.class.is_fp() {
+                    assert_eq!(op.dest.unwrap().class(), RegClass::Fp, "{op:?}");
+                    for s in op.sources() {
+                        assert_eq!(s.class(), RegClass::Fp, "{op:?}");
+                    }
+                }
+                if op.class == OpClass::Branch {
+                    assert!(op.dest.is_none());
+                }
+                if matches!(
+                    op.class,
+                    OpClass::IntAlu | OpClass::IntMul | OpClass::IntDiv
+                ) {
+                    assert_eq!(op.dest.unwrap().class(), RegClass::Int);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn branch_taken_rate_is_plausible() {
+        let ops = collect(App::MpgDec, 17, 200_000);
+        let branches: Vec<_> = ops
+            .iter()
+            .filter(|o| o.class == OpClass::Branch)
+            .collect();
+        assert!(!branches.is_empty());
+        let taken = branches.iter().filter(|o| o.taken).count() as f64;
+        let rate = taken / branches.len() as f64;
+        // Bias is 0.65 taken; allow generous slack for per-branch variation.
+        assert!(
+            (0.35..=0.9).contains(&rate),
+            "taken rate {rate} implausible"
+        );
+    }
+
+    #[test]
+    fn branch_outcomes_are_biased_per_pc() {
+        // A given static branch should be strongly biased: the bimodal
+        // predictor must be able to learn most branches.
+        use std::collections::HashMap;
+        let ops = collect(App::MpgDec, 23, 400_000);
+        let mut per_pc: HashMap<u64, (u64, u64)> = HashMap::new();
+        for op in ops.iter().filter(|o| o.class == OpClass::Branch) {
+            let e = per_pc.entry(op.pc).or_default();
+            if op.taken {
+                e.0 += 1;
+            }
+            e.1 += 1;
+        }
+        let hot: Vec<_> = per_pc.values().filter(|(_, n)| *n >= 100).collect();
+        assert!(!hot.is_empty());
+        let strongly_biased = hot
+            .iter()
+            .filter(|(t, n)| {
+                let r = *t as f64 / *n as f64;
+                !(0.25..=0.75).contains(&r)
+            })
+            .count();
+        // MPGdec has noise 0.03: nearly all hot branches must be decisively
+        // biased one way.
+        assert!(
+            strongly_biased as f64 >= 0.9 * hot.len() as f64,
+            "{strongly_biased}/{} branches strongly biased",
+            hot.len()
+        );
+    }
+
+    #[test]
+    fn phases_cycle_and_change_working_set() {
+        let profile = App::MpgDec.profile();
+        let phase_len: u64 = profile.phases.iter().map(|p| p.instructions).sum();
+        let mut s = SyntheticStream::new(profile.clone(), 9);
+        let mut saw_big_ws = false;
+        // Run through several frames; the output segment enlarges the cold
+        // working set (to 1 MiB), so addresses beyond the stationary
+        // 512 KiB set must appear.
+        for _ in 0..6 * phase_len {
+            let op = s.next_op();
+            if let Some(addr) = op.addr {
+                if addr - DATA_BASE >= 512 * 1024 {
+                    saw_big_ws = true;
+                }
+            }
+        }
+        assert!(saw_big_ws, "phase working-set override never observed");
+    }
+
+    #[test]
+    fn emitted_counts_ops() {
+        let mut s = SyntheticStream::new(App::Ammp.profile(), 1);
+        for _ in 0..123 {
+            s.next_op();
+        }
+        assert_eq!(s.emitted(), 123);
+    }
+
+    #[test]
+    fn name_matches_profile() {
+        let s = SyntheticStream::new(App::H263Enc.profile(), 1);
+        assert_eq!(s.name(), "H263enc");
+    }
+
+    #[test]
+    fn splitmix_is_stable() {
+        // Regression pin: branch characters must not change between runs.
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+    }
+}

@@ -1,0 +1,158 @@
+//! Trace recording and replay.
+//!
+//! A [`RecordedTrace`] captures a finite window of an instruction source so
+//! it can be replayed repeatedly — e.g. to evaluate many processor
+//! configurations on *literally identical* instructions (beyond the
+//! same-seed determinism of [`crate::SyntheticStream`]), to build regression
+//! fixtures, or to splice hand-written instruction sequences into tests.
+
+use crate::op::MicroOp;
+use crate::InstructionSource;
+
+/// A finite recorded instruction trace, replayed cyclically.
+///
+/// # Examples
+///
+/// ```
+/// use workload::{App, InstructionSource, RecordedTrace, SyntheticStream};
+///
+/// let mut live = SyntheticStream::new(App::Gzip.profile(), 7);
+/// let trace = RecordedTrace::record(&mut live, 1_000);
+/// let mut replay_a = trace.replayer();
+/// let mut replay_b = trace.replayer();
+/// for _ in 0..2_000 {
+///     // Replays are identical and wrap around the recorded window.
+///     assert_eq!(replay_a.next_op(), replay_b.next_op());
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedTrace {
+    name: String,
+    ops: Vec<MicroOp>,
+}
+
+impl RecordedTrace {
+    /// Records `count` micro-ops from `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero (an empty trace cannot be replayed).
+    pub fn record(source: &mut impl InstructionSource, count: usize) -> RecordedTrace {
+        assert!(count > 0, "cannot record an empty trace");
+        let name = format!("{}@recorded", source.name());
+        let ops = (0..count).map(|_| source.next_op()).collect();
+        RecordedTrace { name, ops }
+    }
+
+    /// Builds a trace from explicit micro-ops (for hand-written fixtures).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty.
+    pub fn from_ops(name: impl Into<String>, ops: Vec<MicroOp>) -> RecordedTrace {
+        assert!(!ops.is_empty(), "cannot replay an empty trace");
+        RecordedTrace {
+            name: name.into(),
+            ops,
+        }
+    }
+
+    /// The recorded micro-ops.
+    pub fn ops(&self) -> &[MicroOp] {
+        &self.ops
+    }
+
+    /// Number of recorded micro-ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Always false: construction forbids empty traces.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// A fresh replayer starting at the beginning of the trace.
+    pub fn replayer(&self) -> TraceReplayer<'_> {
+        TraceReplayer {
+            trace: self,
+            cursor: 0,
+        }
+    }
+}
+
+/// An [`InstructionSource`] that cycles through a recorded trace.
+#[derive(Debug, Clone)]
+pub struct TraceReplayer<'t> {
+    trace: &'t RecordedTrace,
+    cursor: usize,
+}
+
+impl InstructionSource for TraceReplayer<'_> {
+    fn next_op(&mut self) -> MicroOp {
+        let op = self.trace.ops[self.cursor];
+        self.cursor = (self.cursor + 1) % self.trace.ops.len();
+        op
+    }
+
+    fn name(&self) -> &str {
+        &self.trace.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{OpClass, RegClass};
+    use crate::profile::App;
+    use crate::stream::SyntheticStream;
+    use crate::ArchReg;
+
+    #[test]
+    fn records_exactly_the_live_stream() {
+        let mut live = SyntheticStream::new(App::Twolf.profile(), 5);
+        let trace = RecordedTrace::record(&mut live, 500);
+        let mut fresh = SyntheticStream::new(App::Twolf.profile(), 5);
+        for (i, op) in trace.ops().iter().enumerate() {
+            assert_eq!(*op, fresh.next_op(), "op {i}");
+        }
+        assert_eq!(trace.len(), 500);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.replayer().name(), "twolf@recorded");
+    }
+
+    #[test]
+    fn replay_wraps_cyclically() {
+        let mut live = SyntheticStream::new(App::Art.profile(), 2);
+        let trace = RecordedTrace::record(&mut live, 100);
+        let mut replay = trace.replayer();
+        let first: Vec<_> = (0..100).map(|_| replay.next_op()).collect();
+        let second: Vec<_> = (0..100).map(|_| replay.next_op()).collect();
+        assert_eq!(first, second);
+        assert_eq!(first.as_slice(), trace.ops());
+    }
+
+    #[test]
+    fn hand_written_fixture() {
+        let op = MicroOp {
+            pc: 0,
+            class: OpClass::IntAlu,
+            dest: Some(ArchReg::new(RegClass::Int, 1)),
+            srcs: [None, None],
+            addr: None,
+            taken: false,
+        };
+        let trace = RecordedTrace::from_ops("fixture", vec![op; 3]);
+        let mut r = trace.replayer();
+        for _ in 0..9 {
+            assert_eq!(r.next_op(), op);
+        }
+        assert_eq!(r.name(), "fixture");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn rejects_empty() {
+        let _ = RecordedTrace::from_ops("x", Vec::new());
+    }
+}

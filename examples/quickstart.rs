@@ -1,0 +1,67 @@
+//! Quickstart: evaluate one workload on the base processor and report
+//! performance, power, temperature, and lifetime reliability.
+//!
+//! ```sh
+//! cargo run --release -p drm --example quickstart
+//! ```
+
+use drm::{EvalParams, Evaluator};
+use ramp::{FailureParams, Mechanism, QualificationPoint, ReliabilityModel};
+use sim_common::{Floorplan, Kelvin, Structure};
+use sim_cpu::CoreConfig;
+use workload::App;
+
+fn main() -> Result<(), sim_common::SimError> {
+    // 1. The full evaluation stack: synthetic workload → cycle-level
+    //    timing → activity-driven power → RC thermal network.
+    let evaluator = Evaluator::ibm_65nm(EvalParams::quick())?;
+    let app = App::Bzip2;
+    let evaluation = evaluator.evaluate(app, &CoreConfig::base())?;
+
+    println!("== {app} on the base 4 GHz / 1.0 V processor ==");
+    println!("IPC                  {:.2}", evaluation.ipc);
+    println!("Performance          {:.2} BIPS", evaluation.bips);
+    println!("Average power        {:.1}", evaluation.average_power());
+    println!("Peak temperature     {:.1}", evaluation.max_temperature());
+    println!("Heat-sink temp       {:.1}", evaluation.sink_temperature);
+
+    // 2. Qualify a reliability model (RAMP, §3.7): 4000-FIT target
+    //    (≈30-year MTTF) at a chosen qualification temperature.
+    let model = ReliabilityModel::qualify(
+        FailureParams::ramp_65nm(),
+        &QualificationPoint::at_temperature(Kelvin(394.0), 0.48),
+        &Floorplan::r10000_65nm().area_shares(),
+        4000.0,
+    )?;
+
+    // 3. Score the run: application FIT per mechanism and structure.
+    let fit = evaluation.application_fit(&model);
+    println!();
+    println!("== Lifetime reliability (T_qual = 394 K) ==");
+    for mechanism in Mechanism::ALL {
+        println!(
+            "{:18} {:8.0} FIT",
+            mechanism.to_string(),
+            fit.mechanism_total(mechanism).value()
+        );
+    }
+    println!("{:18} {:8.0} FIT", "processor total", fit.total().value());
+    println!("MTTF                 {}", fit.total().to_mttf());
+    println!(
+        "Meets 30-year std?   {}",
+        if fit.meets(model.target_fit()) { "yes" } else { "no" }
+    );
+
+    // 4. Where does the wear concentrate?
+    let (hottest, hottest_fit) = Structure::ALL
+        .into_iter()
+        .map(|s| (s, fit.structure_total(s)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite FITs"))
+        .expect("at least one structure");
+    println!(
+        "Most stressed        {hottest} ({:.0} FIT at {:.1})",
+        hottest_fit.value(),
+        fit.average_temperature(hottest)
+    );
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Reactive DRM in action (the paper's "future work" control algorithm).
+//!
+//! Instead of the oracle's one-shot choice, the processor runs with RAMP
+//! online: a FIT tracker accumulates the consumed reliability budget and a
+//! feedback controller steps the DVS level every epoch — banking budget
+//! when cool, spending it when hot.
+//!
+//! ```sh
+//! cargo run --release -p drm --example reactive_controller
+//! ```
+
+use drm::{ControllerParams, ReactiveDrm};
+use ramp::{FailureParams, QualificationPoint, ReliabilityModel};
+use sim_common::{Floorplan, Kelvin};
+use workload::App;
+
+fn main() -> Result<(), sim_common::SimError> {
+    let alpha_qual = 0.48;
+    let controller = ReactiveDrm::ibm_65nm(ControllerParams {
+        total_instructions: 600_000,
+        ..ControllerParams::quick()
+    })?;
+
+    for (label, t_qual, app) in [
+        ("over-designed", 405.0, App::Twolf),
+        ("under-designed", 380.0, App::MpgDec),
+    ] {
+        let model = ReliabilityModel::qualify(
+            FailureParams::ramp_65nm(),
+            &QualificationPoint::at_temperature(Kelvin(t_qual), alpha_qual),
+            &Floorplan::r10000_65nm().area_shares(),
+            4000.0,
+        )?;
+        let trace = controller.run(app, &model)?;
+        println!("== {app} on a {label} part (T_qual = {t_qual:.0} K) ==");
+        println!(
+            "epochs: {}   DVS transitions: {}   mean frequency: {:.2} GHz",
+            trace.epochs.len(),
+            trace.frequency_changes,
+            trace.average_ghz()
+        );
+        println!(
+            "final FIT: {:.0} (target {:.0})   performance: {:.2} BIPS",
+            trace.final_fit.value(),
+            model.target_fit().value(),
+            trace.bips
+        );
+        // A sparkline of the frequency trajectory.
+        print!("freq trace: ");
+        for chunk in trace.epochs.chunks(trace.epochs.len().div_ceil(30).max(1)) {
+            let mean: f64 =
+                chunk.iter().map(|e| e.ghz).sum::<f64>() / chunk.len() as f64;
+            let glyph = match mean {
+                g if g < 3.0 => '_',
+                g if g < 3.5 => '.',
+                g if g < 4.0 => '-',
+                g if g < 4.5 => '=',
+                _ => '^',
+            };
+            print!("{glyph}");
+        }
+        println!();
+        println!();
+    }
+    println!("legend: _ <3 GHz  . <3.5  - <4  = <4.5  ^ >=4.5");
+    Ok(())
+}

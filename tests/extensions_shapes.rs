@@ -1,0 +1,144 @@
+//! Shape tests for the extension studies (beyond the paper's evaluation):
+//! technology scaling, workload mixes, intra-application DRM, combined
+//! DRM+DTM control, sensors, and time-dependent lifetimes — exercised
+//! across crates.
+
+use drm::scaling::{scaling_study, TechnologyNode};
+use drm::{
+    intra_app_best, ControllerParams, EvalParams, Evaluator, Oracle, ReactiveDrm, SensorParams,
+    Strategy, WorkloadMix,
+};
+use ramp::{FailureParams, FitBudget, Mttf, QualificationPoint, ReliabilityModel};
+use sim_common::{Floorplan, Kelvin};
+use sim_cpu::CoreConfig;
+use workload::App;
+
+fn params() -> EvalParams {
+    if cfg!(debug_assertions) {
+        EvalParams {
+            warmup_instructions: 5_000,
+            measure_instructions: 40_000,
+            interval_instructions: 10_000,
+            seed: 12_345,
+            leakage_iterations: 2,
+            prewarm_bytes: 1 << 21,
+        }
+    } else {
+        EvalParams::quick()
+    }
+}
+
+fn model(t_qual: f64) -> ReliabilityModel {
+    ReliabilityModel::qualify(
+        FailureParams::ramp_65nm(),
+        &QualificationPoint::at_temperature(Kelvin(t_qual), 0.48),
+        &Floorplan::r10000_65nm().area_shares(),
+        4000.0,
+    )
+    .unwrap()
+}
+
+#[test]
+fn scaling_motivation_holds_end_to_end() {
+    // §1.2: at a fixed qualification cost, newer nodes are hotter and less
+    // reliable for the same design and workload.
+    let qual = QualificationPoint::at_temperature(Kelvin(394.0), 0.48);
+    let rows = scaling_study(App::Bzip2, &TechnologyNode::all(), &qual, params()).unwrap();
+    assert!(rows[2].evaluation.max_temperature() > rows[0].evaluation.max_temperature());
+    assert!(rows[2].fit > rows[0].fit);
+}
+
+#[test]
+fn mix_budget_sharing_works_end_to_end() {
+    let mut oracle = Oracle::new(Evaluator::ibm_65nm(params()).unwrap());
+    let m = model(390.0);
+    let solo = oracle.best(App::MpgDec, Strategy::Dvs, &m, 0.5).unwrap();
+    let mix = WorkloadMix::new([(App::MpgDec, 0.3), (App::Art, 0.7)]).unwrap();
+    let mixed = mix.best(&mut oracle, Strategy::Dvs, &m, 0.5).unwrap();
+    assert!(
+        mixed.dvs.frequency >= solo.dvs.frequency,
+        "a cool majority must not force the mix below the solo choice"
+    );
+}
+
+#[test]
+fn intra_app_dominates_inter_app_for_phased_workloads() {
+    let mut oracle = Oracle::new(Evaluator::ibm_65nm(params()).unwrap());
+    let m = model(394.0);
+    let inter = oracle.best(App::Mp3Dec, Strategy::Dvs, &m, 0.5).unwrap();
+    let intra = intra_app_best(&mut oracle, App::Mp3Dec, Strategy::Dvs, &m, 0.5).unwrap();
+    assert!(intra.relative_performance >= inter.relative_performance - 1e-9);
+    if intra.feasible {
+        assert!(intra.fit <= m.target_fit());
+    }
+}
+
+#[test]
+fn budget_policy_changes_drm_outcomes() {
+    // Qualifying with a uniform budget must yield a *different* (and for
+    // the hot app here, better) DRM outcome than the area budget — the
+    // allocation policy is a real design knob.
+    let mut oracle = Oracle::new(Evaluator::ibm_65nm(params()).unwrap());
+    let qual = QualificationPoint::at_temperature(Kelvin(394.0), 0.48);
+    let area = model(394.0);
+    let uniform = ReliabilityModel::qualify_with_budget(
+        FailureParams::ramp_65nm(),
+        &qual,
+        &FitBudget::uniform(4000.0).unwrap(),
+    )
+    .unwrap();
+    let a = oracle.best(App::MpgDec, Strategy::Dvs, &area, 0.5).unwrap();
+    let u = oracle.best(App::MpgDec, Strategy::Dvs, &uniform, 0.5).unwrap();
+    assert!(
+        (a.relative_performance - u.relative_performance).abs() > 1e-6
+            || a.dvs != u.dvs
+            || a.fit != u.fit,
+        "policies should be distinguishable"
+    );
+}
+
+#[test]
+fn combined_controller_and_sensors_compose() {
+    let params = ControllerParams {
+        epoch_instructions: 10_000,
+        total_instructions: if cfg!(debug_assertions) { 100_000 } else { 300_000 },
+        thermal_limit: Some(Kelvin(390.0)),
+        sensors: Some(SensorParams::thermal_diode()),
+        ..ControllerParams::quick()
+    };
+    let trace = ReactiveDrm::ibm_65nm(params)
+        .unwrap()
+        .run(App::Bzip2, &model(405.0))
+        .unwrap();
+    assert!(!trace.epochs.is_empty());
+    assert!(trace.bips > 0.0);
+    // The controller must keep the run out of sustained thermal violation
+    // even while deciding from noisy sensors.
+    assert!(
+        (trace.thermal_violations as usize) < trace.epochs.len(),
+        "{} of {} epochs violated",
+        trace.thermal_violations,
+        trace.epochs.len()
+    );
+}
+
+#[test]
+fn lifetime_extension_consumes_real_fits() {
+    // Full path: simulate → FIT per (structure, mechanism) → Weibull
+    // series system → Monte Carlo lifetime.
+    let evaluator = Evaluator::ibm_65nm(params()).unwrap();
+    let fit = evaluator
+        .evaluate(App::Ammp, &CoreConfig::base())
+        .unwrap()
+        .application_fit(&model(394.0));
+    let system = fit.series_system(2.0).unwrap();
+    let mc = system.simulate(5_000, 9);
+    let sofr_years = fit.total().to_mttf().years();
+    assert!(
+        mc.mttf.years() > sofr_years,
+        "wear-out series MTTF {} should exceed the SOFR estimate {}",
+        mc.mttf.years(),
+        sofr_years
+    );
+    assert!(system.reliability(Mttf::from_years(5.0).hours()) > 0.9);
+}

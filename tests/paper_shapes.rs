@@ -1,0 +1,219 @@
+//! Shape tests: the qualitative results of the paper's evaluation section
+//! must hold on this reproduction (see EXPERIMENTS.md for the quantitative
+//! record). These run the real full-stack pipeline at reduced simulation
+//! lengths.
+
+use drm::{compare_drm_dtm, ArchPoint, DvsPoint, EvalParams, Evaluator, Oracle, Strategy};
+use ramp::{FailureParams, QualificationPoint, ReliabilityModel};
+use sim_common::{Floorplan, Kelvin};
+use workload::App;
+
+/// Our analogues of the paper's qualification landmarks (see
+/// `bench-suite`): worst case, app-oriented, average app, underdesigned.
+const T_WORST: f64 = 405.0;
+const T_APP: f64 = 394.0;
+const T_AVG: f64 = 366.0;
+const T_UNDER: f64 = 340.0;
+
+fn params() -> EvalParams {
+    if cfg!(debug_assertions) {
+        EvalParams {
+            warmup_instructions: 5_000,
+            measure_instructions: 40_000,
+            interval_instructions: 10_000,
+            seed: 12_345,
+            leakage_iterations: 2,
+            prewarm_bytes: 1 << 21,
+        }
+    } else {
+        EvalParams::quick()
+    }
+}
+
+fn oracle() -> Oracle {
+    Oracle::new(Evaluator::ibm_65nm(params()).unwrap())
+}
+
+fn model(t_qual: f64) -> ReliabilityModel {
+    ReliabilityModel::qualify(
+        FailureParams::ramp_65nm(),
+        &QualificationPoint::at_temperature(Kelvin(t_qual), 0.48),
+        &Floorplan::r10000_65nm().area_shares(),
+        4000.0,
+    )
+    .unwrap()
+}
+
+#[test]
+fn table2_orderings_hold() {
+    // Multimedia leads the IPC and power rankings; art/twolf trail.
+    let mut oracle = oracle();
+    let mut ipc = Vec::new();
+    let mut power = Vec::new();
+    for app in App::ALL {
+        let ev = oracle.base_evaluation(app).unwrap().clone();
+        ipc.push((app, ev.ipc));
+        power.push((app, ev.average_power().0));
+    }
+    let ipc_of = |a: App| ipc.iter().find(|(x, _)| *x == a).unwrap().1;
+    let p_of = |a: App| power.iter().find(|(x, _)| *x == a).unwrap().1;
+    assert!(ipc_of(App::MpgDec) > ipc_of(App::Mp3Dec));
+    assert!(ipc_of(App::Mp3Dec) > ipc_of(App::H263Enc));
+    assert!(ipc_of(App::H263Enc) > ipc_of(App::Twolf));
+    assert!(ipc_of(App::Art) < ipc_of(App::Equake));
+    assert!(p_of(App::MpgDec) > p_of(App::Bzip2));
+    assert!(p_of(App::Bzip2) > p_of(App::Twolf));
+}
+
+#[test]
+fn fig1_three_processor_pattern() {
+    // Expensive: both apps meet. Middle: only the cool app meets.
+    // Cheap: neither meets.
+    let mut oracle = oracle();
+    let hot = oracle
+        .evaluation(App::MpgDec, ArchPoint::most_aggressive(), DvsPoint::base())
+        .unwrap()
+        .clone();
+    let cool = oracle
+        .evaluation(App::Twolf, ArchPoint::most_aggressive(), DvsPoint::base())
+        .unwrap()
+        .clone();
+    let fit = |m: &ReliabilityModel, ev: &drm::Evaluation| ev.application_fit(m).total().value();
+
+    let pricey = model(T_WORST);
+    assert!(fit(&pricey, &hot) <= 4000.0);
+    assert!(fit(&pricey, &cool) <= 4000.0);
+
+    let middle = model(375.0);
+    assert!(fit(&middle, &hot) > 4000.0);
+    assert!(fit(&middle, &cool) <= 4000.0);
+
+    let cheap = model(345.0);
+    assert!(fit(&cheap, &hot) > 4000.0);
+    assert!(fit(&cheap, &cool) > 4000.0);
+}
+
+#[test]
+fn fig2_worst_case_qualification_leaves_headroom_everywhere() {
+    // §7.1 at the worst-case point: every application is feasible at or
+    // above base performance (worst-case qualification is conservative).
+    let mut oracle = oracle();
+    let m = model(T_WORST);
+    for app in [App::MpgDec, App::Gzip, App::Art] {
+        let c = oracle.best(app, Strategy::ArchDvs, &m, 0.5).unwrap();
+        assert!(c.feasible, "{app} infeasible at the worst-case point");
+        assert!(
+            c.relative_performance >= 0.999,
+            "{app}: {:.3}",
+            c.relative_performance
+        );
+    }
+}
+
+#[test]
+fn fig2_app_oriented_point_keeps_the_worst_apps_whole() {
+    // §7.1 at 370 K (ours 394 K): the hottest applications just meet the
+    // target — no slowdown — while cooler ones still gain.
+    let mut oracle = oracle();
+    let m = model(T_APP);
+    let hot = oracle
+        .best(App::MpgDec, Strategy::ArchDvs, &m, 0.5)
+        .unwrap();
+    assert!(
+        hot.relative_performance > 0.95,
+        "MPGdec lost {:.3}",
+        hot.relative_performance
+    );
+    let cool = oracle.best(App::Twolf, Strategy::ArchDvs, &m, 0.5).unwrap();
+    assert!(cool.relative_performance >= 1.0);
+}
+
+#[test]
+fn fig2_underdesign_hurts_hot_apps_most() {
+    // §7.1 at the drastic point: high-IPC multimedia suffers the largest
+    // slowdown; the low-IPC memory-bound app barely moves.
+    let mut oracle = oracle();
+    let m = model(T_UNDER);
+    let hot = oracle
+        .best(App::MpgDec, Strategy::ArchDvs, &m, 0.5)
+        .unwrap();
+    let cool = oracle.best(App::Art, Strategy::ArchDvs, &m, 0.5).unwrap();
+    assert!(
+        hot.relative_performance < cool.relative_performance,
+        "MPGdec {:.2} !< art {:.2}",
+        hot.relative_performance,
+        cool.relative_performance
+    );
+    assert!(hot.relative_performance < 0.9, "hot app must throttle");
+}
+
+#[test]
+fn fig3_dvs_beats_arch_under_pressure_and_arch_never_exceeds_base() {
+    // §7.2: DVS/ArchDVS outperform Arch at tight qualification; Arch's
+    // relative performance is capped at 1.0 by construction.
+    let mut oracle = oracle();
+    for t in [T_AVG, T_APP, T_WORST] {
+        let m = model(t);
+        let arch = oracle.best(App::Bzip2, Strategy::Arch, &m, 0.5).unwrap();
+        assert!(arch.relative_performance <= 1.0 + 1e-9);
+        let archdvs = oracle
+            .best(App::Bzip2, Strategy::ArchDvs, &m, 0.5)
+            .unwrap();
+        assert!(
+            archdvs.relative_performance >= arch.relative_performance - 1e-9,
+            "ArchDVS lost to Arch at T_qual {t}"
+        );
+    }
+    // Under pressure (both feasible at 350 K), DVS beats Arch outright.
+    let m = model(350.0);
+    let arch = oracle.best(App::Bzip2, Strategy::Arch, &m, 0.5).unwrap();
+    let dvs = oracle.best(App::Bzip2, Strategy::Dvs, &m, 0.5).unwrap();
+    if arch.feasible && dvs.feasible {
+        assert!(
+            dvs.relative_performance > arch.relative_performance,
+            "DVS {:.2} !> Arch {:.2}",
+            dvs.relative_performance,
+            arch.relative_performance
+        );
+    }
+}
+
+#[test]
+fn fig4_neither_policy_subsumes_the_other() {
+    // §7.3: at a low temperature setting DRM's frequency violates the
+    // thermal limit; at a high setting DTM's frequency violates the
+    // reliability target (for a hot enough app).
+    let mut oracle = oracle();
+    let low = compare_drm_dtm(&mut oracle, App::Gzip, Kelvin(350.0), &model(350.0), 0.5).unwrap();
+    assert!(
+        low.drm_violates_thermal,
+        "DRM at 350 K must exceed the thermal limit: peak {:?}",
+        low.drm_peak_temperature
+    );
+    let high = compare_drm_dtm(&mut oracle, App::Twolf, Kelvin(T_WORST), &model(T_WORST), 0.5)
+        .unwrap();
+    assert!(
+        high.dtm_violates_reliability,
+        "DTM at {T_WORST} K must exceed the FIT target: {:?}",
+        high.dtm_fit
+    );
+}
+
+#[test]
+fn fig4_dtm_curve_is_steeper_than_drm() {
+    // §7.3: the DVS-Temp frequency rises faster with the temperature
+    // setting than DVS-Rel (reliability is exponential in temperature and
+    // can be banked over time).
+    let mut oracle = oracle();
+    let app = App::Bzip2;
+    let t_low = 352.0;
+    let t_high = T_WORST;
+    let low = compare_drm_dtm(&mut oracle, app, Kelvin(t_low), &model(t_low), 0.5).unwrap();
+    let high = compare_drm_dtm(&mut oracle, app, Kelvin(t_high), &model(t_high), 0.5).unwrap();
+    let dtm_slope = high.dtm_ghz - low.dtm_ghz;
+    let drm_slope = high.drm_ghz - low.drm_ghz;
+    assert!(
+        dtm_slope > drm_slope,
+        "DTM slope {dtm_slope:.2} !> DRM slope {drm_slope:.2}"
+    );
+}

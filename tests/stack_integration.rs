@@ -1,0 +1,175 @@
+//! Cross-crate integration tests: the full workload → timing → power →
+//! thermal → RAMP → DRM stack.
+
+use drm::{ArchPoint, ControllerParams, DvsPoint, EvalParams, Evaluator, Oracle, ReactiveDrm, Strategy};
+use ramp::{FailureParams, Mechanism, QualificationPoint, ReliabilityModel};
+use sim_common::{Floorplan, Kelvin, Structure};
+use sim_cpu::CoreConfig;
+use workload::App;
+
+/// Simulation lengths scaled for the profile: debug builds are an order of
+/// magnitude slower, so they run shorter simulations.
+fn params() -> EvalParams {
+    if cfg!(debug_assertions) {
+        EvalParams {
+            warmup_instructions: 5_000,
+            measure_instructions: 30_000,
+            interval_instructions: 10_000,
+            seed: 12_345,
+            leakage_iterations: 2,
+            prewarm_bytes: 1 << 20,
+        }
+    } else {
+        EvalParams::quick()
+    }
+}
+
+fn model_at(t_qual: f64, alpha: f64) -> ReliabilityModel {
+    ReliabilityModel::qualify(
+        FailureParams::ramp_65nm(),
+        &QualificationPoint::at_temperature(Kelvin(t_qual), alpha),
+        &Floorplan::r10000_65nm().area_shares(),
+        4000.0,
+    )
+    .expect("qualification succeeds")
+}
+
+#[test]
+fn full_stack_evaluation_end_to_end() {
+    let evaluator = Evaluator::ibm_65nm(params()).unwrap();
+    let ev = evaluator.evaluate(App::Equake, &CoreConfig::base()).unwrap();
+    // Timing plausibility.
+    assert!(ev.ipc > 0.3 && ev.ipc < 8.0);
+    // Power plausibility (Table 2 band widened for short runs).
+    let p = ev.average_power().0;
+    assert!((8.0..60.0).contains(&p), "power {p}");
+    // Thermal plausibility: between ambient and the junction clamp.
+    let t = ev.max_temperature().0;
+    assert!((320.0..500.0).contains(&t), "temp {t}");
+    // Reliability: all four mechanisms contribute nonzero FIT.
+    let fit = ev.application_fit(&model_at(394.0, 0.48));
+    for m in Mechanism::ALL {
+        assert!(fit.mechanism_total(m).value() > 0.0, "{m} contributed zero");
+    }
+    assert!(fit.total().value() > 0.0);
+}
+
+#[test]
+fn evaluations_are_bitwise_reproducible() {
+    let evaluator = Evaluator::ibm_65nm(params()).unwrap();
+    let a = evaluator.evaluate(App::Twolf, &CoreConfig::base()).unwrap();
+    let b = evaluator.evaluate(App::Twolf, &CoreConfig::base()).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn adaptation_plumbing_reaches_reliability() {
+    // Powering down FPUs must show up as reduced FPU FIT through the whole
+    // stack (activity, power, temperature, powered fraction).
+    let evaluator = Evaluator::ibm_65nm(params()).unwrap();
+    let model = model_at(394.0, 0.48);
+    let base = evaluator.evaluate(App::Gzip, &CoreConfig::base()).unwrap();
+    let gated_cfg = ArchPoint {
+        window: 128,
+        alus: 6,
+        fpus: 1,
+    }
+    .apply(&CoreConfig::base(), DvsPoint::base())
+    .unwrap();
+    let gated = evaluator.evaluate(App::Gzip, &gated_cfg).unwrap();
+    let fpu_base = base.application_fit(&model).structure_total(Structure::Fpu);
+    let fpu_gated = gated.application_fit(&model).structure_total(Structure::Fpu);
+    assert!(
+        fpu_gated < fpu_base,
+        "gated {fpu_gated:?} !< base {fpu_base:?}"
+    );
+    // gzip has no FP work, so performance is essentially unchanged.
+    assert!(gated.relative_performance(&base) > 0.97);
+}
+
+#[test]
+fn oracle_search_is_consistent_with_manual_evaluation() {
+    let mut oracle = Oracle::new(Evaluator::ibm_65nm(params()).unwrap());
+    let model = model_at(380.0, 0.48);
+    let choice = oracle.best(App::Ammp, Strategy::Dvs, &model, 0.5).unwrap();
+    // Re-evaluate the chosen configuration by hand and confirm the FIT.
+    let ev = oracle
+        .evaluation(App::Ammp, ArchPoint::most_aggressive(), choice.dvs)
+        .unwrap()
+        .clone();
+    let fit = ev.application_fit(&model).total();
+    assert!((fit.value() - choice.fit.value()).abs() < 1e-9);
+    if choice.feasible {
+        assert!(fit <= model.target_fit());
+    }
+}
+
+#[test]
+fn runtime_dvs_switch_matches_static_configuration() {
+    // A processor switched to 3 GHz at runtime must report the same
+    // off-chip latencies as one constructed at 3 GHz.
+    use sim_cpu::Processor;
+    use workload::SyntheticStream;
+    let slow = CoreConfig::base().with_dvs(sim_common::Hertz::from_ghz(3.0), sim_common::Volts(0.9));
+    let mut switched = Processor::new(
+        CoreConfig::base(),
+        SyntheticStream::new(App::Gzip.profile(), 9),
+    )
+    .unwrap();
+    switched
+        .set_dvs(sim_common::Hertz::from_ghz(3.0), sim_common::Volts(0.9))
+        .unwrap();
+    assert_eq!(switched.config().l2_hit_cycles(), slow.l2_hit_cycles());
+    assert_eq!(switched.config().mem_cycles(), slow.mem_cycles());
+    assert_eq!(switched.config().vdd, slow.vdd);
+}
+
+#[test]
+fn reactive_controller_respects_budget_direction() {
+    let params = if cfg!(debug_assertions) {
+        ControllerParams {
+            epoch_instructions: 10_000,
+            total_instructions: 100_000,
+            ..ControllerParams::quick()
+        }
+    } else {
+        ControllerParams::quick()
+    };
+    let controller = ReactiveDrm::ibm_65nm(params).unwrap();
+    // Generous budget: ends at or above base frequency.
+    let generous = controller.run(App::Art, &model_at(405.0, 0.48)).unwrap();
+    // Tight budget: ends below base frequency.
+    let tight = controller.run(App::MpgDec, &model_at(366.0, 0.48)).unwrap();
+    assert!(
+        generous.average_ghz() > tight.average_ghz(),
+        "generous {:.2} !> tight {:.2}",
+        generous.average_ghz(),
+        tight.average_ghz()
+    );
+}
+
+#[test]
+fn hotter_workloads_have_higher_fit_on_same_processor() {
+    let evaluator = Evaluator::ibm_65nm(params()).unwrap();
+    let model = model_at(394.0, 0.48);
+    let hot = evaluator
+        .evaluate(App::MpgDec, &CoreConfig::base())
+        .unwrap()
+        .application_fit(&model)
+        .total();
+    let cool = evaluator
+        .evaluate(App::Twolf, &CoreConfig::base())
+        .unwrap()
+        .application_fit(&model)
+        .total();
+    assert!(hot > cool, "MPGdec {hot:?} !> twolf {cool:?}");
+}
+
+#[test]
+fn interval_count_matches_requested_granularity() {
+    let p = params();
+    let evaluator = Evaluator::ibm_65nm(p).unwrap();
+    let ev = evaluator.evaluate(App::Bzip2, &CoreConfig::base()).unwrap();
+    let expected = p.measure_instructions.div_ceil(p.interval_instructions);
+    assert_eq!(ev.intervals.len() as u64, expected);
+}
