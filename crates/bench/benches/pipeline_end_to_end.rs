@@ -1,13 +1,16 @@
-//! Criterion benchmarks of the full evaluation pipeline (workload →
-//! timing → power → thermal → RAMP) and the oracular DRM search, at
-//! reduced simulation lengths.
+//! Benchmarks of the full evaluation pipeline (workload → timing →
+//! power → thermal → RAMP), the oracular DRM search, and the parallel
+//! batch engine, at reduced simulation lengths. Uses the in-tree
+//! [`bench_suite::microbench`] harness (std-only, hermetic).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
 
-use bench_suite::qualified_model;
-use drm::{EvalParams, Evaluator, Oracle, Strategy};
+use bench_suite::{microbench, qualified_model};
+use drm::{ArchPoint, DvsPoint, EvalParams, Evaluator, Oracle, Strategy};
 use sim_cpu::CoreConfig;
 use workload::App;
+
+const MIN_TIME: Duration = Duration::from_millis(300);
 
 fn tiny_params() -> EvalParams {
     EvalParams {
@@ -20,55 +23,67 @@ fn tiny_params() -> EvalParams {
     }
 }
 
-fn bench_full_evaluation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("evaluator");
-    group.sample_size(10);
+fn bench_full_evaluation() {
     let evaluator = Evaluator::ibm_65nm(tiny_params()).expect("params");
-    group.bench_function("full_stack_20k_insts", |b| {
-        b.iter(|| {
-            evaluator
-                .evaluate(App::Gzip, &CoreConfig::base())
-                .expect("evaluation")
-        })
+    microbench("evaluator/full_stack_20k_insts", MIN_TIME, || {
+        evaluator
+            .evaluate(App::Gzip, &CoreConfig::base())
+            .expect("evaluation")
     });
-    group.finish();
 }
 
-fn bench_fit_scoring(c: &mut Criterion) {
+fn bench_fit_scoring() {
     let evaluator = Evaluator::ibm_65nm(tiny_params()).expect("params");
     let ev = evaluator
         .evaluate(App::Gzip, &CoreConfig::base())
         .expect("evaluation");
     let model = qualified_model(370.0, 0.4).expect("model");
-    c.bench_function("evaluator/fit_scoring", |b| {
-        b.iter(|| ev.application_fit(std::hint::black_box(&model)).total())
+    microbench("evaluator/fit_scoring", MIN_TIME, || {
+        ev.application_fit(std::hint::black_box(&model)).total()
     });
 }
 
-fn bench_oracle_search(c: &mut Criterion) {
-    let mut group = c.benchmark_group("oracle");
-    group.sample_size(10);
+fn bench_oracle_search() {
     let model = qualified_model(394.0, 0.4).expect("model");
-    group.bench_function("dvs_search_cached", |b| {
-        // One oracle reused: after the first iteration every evaluation is
-        // cached, so this measures the pure search/scoring cost.
-        let mut oracle = Oracle::new(Evaluator::ibm_65nm(tiny_params()).expect("params"));
+    // One oracle reused: after the first iteration every evaluation is
+    // cached, so this measures the pure search/scoring cost.
+    let oracle = Oracle::new(Evaluator::ibm_65nm(tiny_params()).expect("params"));
+    oracle
+        .best(App::Twolf, Strategy::Dvs, &model, 0.5)
+        .expect("warm the cache");
+    microbench("oracle/dvs_search_cached", MIN_TIME, || {
         oracle
             .best(App::Twolf, Strategy::Dvs, &model, 0.5)
-            .expect("warm the cache");
-        b.iter(|| {
-            oracle
-                .best(App::Twolf, Strategy::Dvs, &model, 0.5)
-                .expect("search")
-        })
+            .expect("search")
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_full_evaluation,
-    bench_fit_scoring,
-    bench_oracle_search
-);
-criterion_main!(benches);
+fn bench_batch_engine() {
+    // Cold-cache sweep of the DVS grid for one app, sequential vs all
+    // cores: the wall-clock ratio is the realized parallel speedup.
+    let jobs: Vec<_> = (0..8)
+        .map(|i| {
+            let f = 3.0 + 0.25 * f64::from(i);
+            (
+                App::Twolf,
+                ArchPoint::most_aggressive(),
+                DvsPoint::at_ghz(f).expect("in range"),
+            )
+        })
+        .collect();
+    for (label, workers) in [("oracle/dvs_sweep_1_worker", 1), ("oracle/dvs_sweep_all_cores", 0)] {
+        microbench(label, MIN_TIME, || {
+            let oracle =
+                Oracle::with_workers(Evaluator::ibm_65nm(tiny_params()).expect("params"), workers);
+            oracle.prefetch(&jobs).expect("sweep");
+            oracle.evaluations_performed()
+        });
+    }
+}
+
+fn main() {
+    bench_full_evaluation();
+    bench_fit_scoring();
+    bench_oracle_search();
+    bench_batch_engine();
+}

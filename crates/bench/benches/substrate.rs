@@ -1,8 +1,10 @@
-//! Criterion micro-benchmarks for the substrate layers: timing-simulator
-//! throughput, thermal solvers, and RAMP model evaluation.
+//! Micro-benchmarks for the substrate layers: timing-simulator
+//! throughput, thermal solvers, and RAMP model evaluation. Uses the
+//! in-tree [`bench_suite::microbench`] harness (std-only, hermetic).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
 
+use bench_suite::microbench;
 use ramp::{FailureParams, FitTracker, QualificationPoint, ReliabilityModel, StructureConditions};
 use sim_common::{Floorplan, Hertz, Kelvin, Seconds, Structure, StructureMap, Volts, Watts};
 use sim_cpu::{CoreConfig, Processor};
@@ -10,78 +12,66 @@ use sim_power::PowerModel;
 use sim_thermal::ThermalModel;
 use workload::{App, InstructionSource, SyntheticStream};
 
-fn bench_workload_generation(c: &mut Criterion) {
-    c.bench_function("workload/generate_10k_ops", |b| {
-        let mut stream = SyntheticStream::new(App::Bzip2.profile(), 7);
-        b.iter(|| {
-            let mut acc = 0u64;
-            for _ in 0..10_000 {
-                acc = acc.wrapping_add(stream.next_op().pc);
-            }
-            acc
-        });
+const MIN_TIME: Duration = Duration::from_millis(300);
+
+fn bench_workload_generation() {
+    let mut stream = SyntheticStream::new(App::Bzip2.profile(), 7);
+    microbench("workload/generate_10k_ops", MIN_TIME, || {
+        let mut acc = 0u64;
+        for _ in 0..10_000 {
+            acc = acc.wrapping_add(stream.next_op().pc);
+        }
+        acc
     });
 }
 
-fn bench_timing_simulator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cpu");
-    group.sample_size(10);
+fn bench_timing_simulator() {
     for app in [App::MpgDec, App::Art] {
-        group.bench_function(format!("simulate_20k_insts/{}", app.name()), |b| {
-            b.iter_batched(
-                || {
-                    let mut cpu = Processor::new(
-                        CoreConfig::base(),
-                        SyntheticStream::new(app.profile(), 11),
-                    )
-                    .expect("valid config");
-                    cpu.prewarm(0x1000_0000, 1 << 20, 0, 32 * 1024);
-                    cpu
-                },
-                |mut cpu| cpu.run_instructions(20_000),
-                BatchSize::LargeInput,
-            );
-        });
+        microbench(
+            &format!("cpu/simulate_20k_insts/{}", app.name()),
+            MIN_TIME,
+            || {
+                let mut cpu = Processor::new(
+                    CoreConfig::base(),
+                    SyntheticStream::new(app.profile(), 11),
+                )
+                .expect("valid config");
+                cpu.prewarm(0x1000_0000, 1 << 20, 0, 32 * 1024);
+                cpu.run_instructions(20_000)
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_thermal_solvers(c: &mut Criterion) {
+fn bench_thermal_solvers() {
     let model = ThermalModel::hotspot_65nm();
     let mut power = StructureMap::splat(Watts(2.5));
     power[Structure::Window] = Watts(6.0);
-    c.bench_function("thermal/steady_state", |b| {
-        b.iter(|| model.steady_state(std::hint::black_box(&power)))
+    microbench("thermal/steady_state", MIN_TIME, || {
+        model.steady_state(std::hint::black_box(&power))
     });
-    c.bench_function("thermal/transient_100ms", |b| {
-        b.iter_batched(
-            || model.ambient_state(),
-            |mut state| {
-                model.transient_step(&mut state, &power, 0.1);
-                state
-            },
-            BatchSize::SmallInput,
-        )
+    microbench("thermal/transient_100ms", MIN_TIME, || {
+        let mut state = model.ambient_state();
+        model.transient_step(&mut state, &power, 0.1);
+        state
     });
 }
 
-fn bench_power_model(c: &mut Criterion) {
+fn bench_power_model() {
     let model = PowerModel::ibm_65nm();
     let config = CoreConfig::base();
     let activity = StructureMap::splat(0.25);
     let temps = StructureMap::splat(Kelvin(360.0));
-    c.bench_function("power/full_breakdown", |b| {
-        b.iter(|| {
-            model.power(
-                std::hint::black_box(&config),
-                std::hint::black_box(&activity),
-                std::hint::black_box(&temps),
-            )
-        })
+    microbench("power/full_breakdown", MIN_TIME, || {
+        model.power(
+            std::hint::black_box(&config),
+            std::hint::black_box(&activity),
+            std::hint::black_box(&temps),
+        )
     });
 }
 
-fn bench_ramp_model(c: &mut Criterion) {
+fn bench_ramp_model() {
     let model = ReliabilityModel::qualify(
         FailureParams::ramp_65nm(),
         &QualificationPoint::at_temperature(Kelvin(370.0), 0.4),
@@ -96,26 +86,22 @@ fn bench_ramp_model(c: &mut Criterion) {
         activity: 0.3,
         powered_fraction: 1.0,
     });
-    c.bench_function("ramp/steady_fit", |b| {
-        b.iter(|| model.steady_fit(std::hint::black_box(&conds)))
+    microbench("ramp/steady_fit", MIN_TIME, || {
+        model.steady_fit(std::hint::black_box(&conds))
     });
-    c.bench_function("ramp/track_100_intervals", |b| {
-        b.iter(|| {
-            let mut tracker = FitTracker::new();
-            for _ in 0..100 {
-                tracker.record(&model, Seconds(1e-3), &conds);
-            }
-            tracker.finish(&model).total()
-        })
+    microbench("ramp/track_100_intervals", MIN_TIME, || {
+        let mut tracker = FitTracker::new();
+        for _ in 0..100 {
+            tracker.record(&model, Seconds(1e-3), &conds);
+        }
+        tracker.finish(&model).total()
     });
 }
 
-criterion_group!(
-    benches,
-    bench_workload_generation,
-    bench_timing_simulator,
-    bench_thermal_solvers,
-    bench_power_model,
-    bench_ramp_model
-);
-criterion_main!(benches);
+fn main() {
+    bench_workload_generation();
+    bench_timing_simulator();
+    bench_thermal_solvers();
+    bench_power_model();
+    bench_ramp_model();
+}

@@ -9,8 +9,8 @@
 //!    split.
 
 use bench_suite::{
-    eval_params, make_oracle, qualified_model, suite_alpha_qual, T_APP_ORIENTED, T_AVERAGE_APP,
-    T_WORST_CASE,
+    eval_params, make_oracle, print_sweep_summary, qualified_model, suite_alpha_qual,
+    T_APP_ORIENTED, T_AVERAGE_APP, T_WORST_CASE,
 };
 use drm::{intra_app_best, Strategy, WorkloadMix};
 use ramp::{FailureParams, FitBudget, QualificationPoint, ReliabilityModel};
@@ -18,8 +18,8 @@ use sim_common::{Kelvin, StructureMap};
 use workload::App;
 
 fn main() {
-    let mut oracle = make_oracle().expect("oracle");
-    let alpha = suite_alpha_qual(&mut oracle).expect("alpha");
+    let oracle = make_oracle().expect("oracle");
+    let alpha = suite_alpha_qual(&oracle).expect("alpha");
     let _ = eval_params();
 
     println!("Extension 1: intra-application DRM (per-interval schedules)");
@@ -32,7 +32,7 @@ fn main() {
             let m = qualified_model(t, alpha).expect("model");
             let inter = oracle.best(app, Strategy::Dvs, &m, 0.25).expect("inter");
             let intra =
-                intra_app_best(&mut oracle, app, Strategy::Dvs, &m, 0.25).expect("intra");
+                intra_app_best(&oracle, app, Strategy::Dvs, &m, 0.25).expect("intra");
             println!(
                 "{:>10} {:>10.0} {:>11.2}{} {:>11.2}{} {:>9}",
                 app.name(),
@@ -59,7 +59,7 @@ fn main() {
     for (label, entries) in mixes {
         let mix = WorkloadMix::new(entries).expect("mix");
         let choice = mix
-            .best(&mut oracle, Strategy::Dvs, &m, 0.25)
+            .best(&oracle, Strategy::Dvs, &m, 0.25)
             .expect("mix search");
         println!(
             "{:>20} {:>10.2} {:>9.2}{}",
@@ -78,7 +78,7 @@ fn main() {
     let qual = QualificationPoint::at_temperature(Kelvin(T_APP_ORIENTED), alpha);
     // Utilization-weighted: budget follows observed structure activity.
     let hot_structs = {
-        let ev = oracle.base_evaluation(App::MpgDec).expect("eval").clone();
+        let ev = oracle.base_evaluation(App::MpgDec).expect("eval");
         let mut w: StructureMap<f64> = StructureMap::splat(0.0);
         for iv in &ev.intervals {
             for (s, c) in iv.conditions.iter() {
@@ -118,4 +118,6 @@ fn main() {
     println!("split beats the paper's area-proportional one for the hot app,");
     println!("because the large cache blocks do not consume their area share");
     println!("of the wear budget)");
+    println!();
+    print_sweep_summary(&oracle);
 }

@@ -7,14 +7,14 @@
 //! middle one only B meets it; on the cheap one neither does. DRM closes
 //! the gap by adapting the failing cases.
 
-use bench_suite::{make_oracle, qualified_model, suite_alpha_qual};
+use bench_suite::{make_oracle, print_sweep_summary, qualified_model, suite_alpha_qual};
 use drm::{ArchPoint, DvsPoint};
 use ramp::FIT_TARGET_STANDARD;
 use workload::App;
 
 fn main() {
-    let mut oracle = make_oracle().expect("oracle");
-    let alpha = suite_alpha_qual(&mut oracle).expect("alpha_qual");
+    let oracle = make_oracle().expect("oracle");
+    let alpha = suite_alpha_qual(&oracle).expect("alpha_qual");
     let app_a = App::MpgDec; // hot
     let app_b = App::Twolf; // cool
     let processors = [(1, 405.0), (2, 375.0), (3, 345.0)];
@@ -63,4 +63,6 @@ fn main() {
     println!("Expected shape (paper Figure 1): processor 1 over-designed (both");
     println!("meet), processor 2 mixed (A fails, B meets), processor 3 under-");
     println!("designed (both fail). DRM adapts the failing runs to the target.");
+    println!();
+    print_sweep_summary(&oracle);
 }

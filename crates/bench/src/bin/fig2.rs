@@ -4,14 +4,20 @@
 //! this substrate's thermal range — see EXPERIMENTS.md).
 
 use bench_suite::{
-    make_oracle, parallel_over_apps, qualified_model, suite_alpha_qual, DVS_STEP_GHZ, FIG2_SWEEP,
+    make_oracle, parallel_over_apps, print_sweep_summary, qualified_model, suite_alpha_qual,
+    DVS_STEP_GHZ, FIG2_SWEEP,
 };
 use drm::Strategy;
+use workload::App;
 
 fn main() {
-    let mut probe = make_oracle().expect("oracle");
-    let alpha = suite_alpha_qual(&mut probe).expect("alpha_qual");
-    drop(probe);
+    let oracle = make_oracle().expect("oracle");
+    let alpha = suite_alpha_qual(&oracle).expect("alpha_qual");
+    // One parallel pass evaluates every (app, candidate) pair; the
+    // per-model scoring below is then pure cache hits.
+    oracle
+        .prefetch_suite(&App::ALL, Strategy::ArchDvs, DVS_STEP_GHZ)
+        .expect("sweep");
 
     println!("Figure 2: ArchDVS DRM performance relative to base (4 GHz)");
     println!("===========================================================");
@@ -22,7 +28,7 @@ fn main() {
     }
     println!();
 
-    let rows = parallel_over_apps(move |app, oracle| {
+    let rows = parallel_over_apps(&oracle, |app, oracle| {
         let mut row = Vec::new();
         for (t_qual, _) in FIG2_SWEEP {
             let model = qualified_model(t_qual, alpha)?;
@@ -49,4 +55,6 @@ fn main() {
     println!("point the hottest apps sit at ~1.0 with no loss; at the average-");
     println!("app point losses stay within ~10%; at the underdesigned point");
     println!("high-IPC multimedia loses most.");
+    println!();
+    print_sweep_summary(&oracle);
 }

@@ -7,15 +7,20 @@
 //! the frequency); at low `T_qual` the gap is largest.
 
 use bench_suite::{
-    make_oracle, qualified_model, suite_alpha_qual, DVS_STEP_GHZ, FIG34_SWEEP,
+    make_oracle, print_sweep_summary, qualified_model, suite_alpha_qual, DVS_STEP_GHZ, FIG34_SWEEP,
 };
 use drm::Strategy;
 use workload::App;
 
 fn main() {
     let app = App::Bzip2;
-    let mut oracle = make_oracle().expect("oracle");
-    let alpha = suite_alpha_qual(&mut oracle).expect("alpha_qual");
+    let oracle = make_oracle().expect("oracle");
+    let alpha = suite_alpha_qual(&oracle).expect("alpha_qual");
+    // All three strategies draw from ArchDVS's candidate set: one batch
+    // pass warms the cache for the entire figure.
+    oracle
+        .prefetch_suite(&[app], Strategy::ArchDvs, DVS_STEP_GHZ)
+        .expect("sweep");
 
     println!("Figure 3: DRM adaptations for {app} (performance relative to base)");
     println!("==================================================================");
@@ -47,4 +52,6 @@ fn main() {
     println!();
     println!("('!' marks points where no candidate of the strategy meets the");
     println!("target; the minimum-FIT configuration is reported instead.)");
+    println!();
+    print_sweep_summary(&oracle);
 }

@@ -11,15 +11,21 @@
 //! neither policy subsumes the other.
 
 use bench_suite::{
-    make_oracle, parallel_over_apps, qualified_model, suite_alpha_qual, DVS_STEP_GHZ, FIG34_SWEEP,
+    make_oracle, parallel_over_apps, print_sweep_summary, qualified_model, suite_alpha_qual,
+    DVS_STEP_GHZ, FIG34_SWEEP,
 };
-use drm::compare_drm_dtm;
+use drm::{compare_drm_dtm, Strategy};
 use sim_common::Kelvin;
+use workload::App;
 
 fn main() {
-    let mut probe = make_oracle().expect("oracle");
-    let alpha = suite_alpha_qual(&mut probe).expect("alpha_qual");
-    drop(probe);
+    let oracle = make_oracle().expect("oracle");
+    let alpha = suite_alpha_qual(&oracle).expect("alpha_qual");
+    // DRM and DTM both search the DVS grid: one parallel pass per suite
+    // covers every evaluation the comparison needs.
+    oracle
+        .prefetch_suite(&App::ALL, Strategy::Dvs, DVS_STEP_GHZ)
+        .expect("sweep");
 
     println!("Figure 4: DVS frequency (GHz) chosen by DRM (T_qual) vs DTM (T_max)");
     println!("====================================================================");
@@ -31,7 +37,7 @@ fn main() {
     }
     println!();
 
-    let rows = parallel_over_apps(move |app, oracle| {
+    let rows = parallel_over_apps(&oracle, |app, oracle| {
         let mut row = Vec::new();
         for (t, _) in FIG34_SWEEP {
             let model = qualified_model(t, alpha)?;
@@ -72,4 +78,6 @@ fn main() {
             None => println!("  {:9} none within the sweep", app.name()),
         }
     }
+    println!();
+    print_sweep_summary(&oracle);
 }

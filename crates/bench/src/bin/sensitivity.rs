@@ -3,7 +3,7 @@
 //! (§3.7 fixes it to the suite maximum), (b) the synthetic workload seed,
 //! and (c) the simulation length?
 
-use bench_suite::{eval_params, qualified_model, T_APP_ORIENTED};
+use bench_suite::{eval_params, print_sweep_summary, qualified_model, sweep_workers, T_APP_ORIENTED};
 use drm::{EvalParams, Evaluator, Oracle, Strategy};
 use sim_cpu::CoreConfig;
 use workload::App;
@@ -17,7 +17,10 @@ fn main() {
         "{:>8} {:>14} {:>14}",
         "alpha", "MPGdec", "twolf"
     );
-    let mut oracle = Oracle::new(Evaluator::ibm_65nm(params).expect("evaluator"));
+    let oracle = Oracle::with_workers(
+        Evaluator::ibm_65nm(params).expect("evaluator"),
+        sweep_workers(),
+    );
     for alpha in [0.3, 0.48, 0.6, 0.8] {
         let model = qualified_model(T_APP_ORIENTED, alpha).expect("model");
         let mut cells = Vec::new();
@@ -75,4 +78,6 @@ fn main() {
             ev.max_temperature().0
         );
     }
+    println!();
+    print_sweep_summary(&oracle);
 }

@@ -1,21 +1,18 @@
 //! Table 2 reproduction: per-application IPC and base power
 //! (dynamic + leakage) on the base non-adaptive processor.
 
-use bench_suite::parallel_over_apps;
-use sim_cpu::CoreConfig;
+use bench_suite::{make_oracle, parallel_over_apps, print_sweep_summary};
 
 fn main() {
+    let oracle = make_oracle().expect("oracle");
     println!("Table 2: Workload description (measured on the base processor)");
     println!("===============================================================");
     println!(
         "{:10} {:12} {:>6} {:>8}   {:>10} {:>12}",
         "App", "Type", "IPC", "Power(W)", "paper IPC", "paper P(W)"
     );
-    let rows = parallel_over_apps(|app, oracle| {
-        let ev = oracle
-            .evaluator()
-            .evaluate(app, &CoreConfig::base())?
-            .clone();
+    let rows = parallel_over_apps(&oracle, |app, oracle| {
+        let ev = oracle.base_evaluation(app)?;
         Ok((ev.ipc, ev.average_power().0))
     });
     for (app, (ipc, power)) in rows {
@@ -39,4 +36,6 @@ fn main() {
             app.paper_power_watts()
         );
     }
+    println!();
+    print_sweep_summary(&oracle);
 }

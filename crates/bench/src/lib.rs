@@ -12,9 +12,14 @@
 //! | `fig3`   | Figure 3       | Arch vs DVS vs ArchDVS for bzip2 vs `T_qual` |
 //! | `fig4`   | Figure 4       | DVS frequency chosen by DRM vs DTM per app |
 //!
-//! Criterion micro-benchmarks (`cargo bench`) cover the substrate layers
-//! (timing simulator, thermal solver, RAMP evaluation) plus ablation
-//! studies of the design choices called out in DESIGN.md.
+//! Std-only micro-benchmarks (`cargo bench`, via the in-tree
+//! [`microbench`] harness) cover the substrate layers (timing simulator,
+//! thermal solver, RAMP evaluation) and the end-to-end pipeline, plus
+//! ablation studies of the design choices called out in DESIGN.md.
+//!
+//! Every figure driver shares one [`Oracle`] whose batch engine fans
+//! evaluations across `RAMP_JOBS` worker threads (0 or unset = all
+//! cores) and ends with a one-line sweep summary.
 //!
 //! ## The `T_qual` axis mapping
 //!
@@ -31,6 +36,7 @@
 //! | 325 K | drastic underdesign | 340 K |
 
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use drm::{EvalParams, Evaluator, Oracle};
 use ramp::{FailureParams, QualificationPoint, ReliabilityModel, FIT_TARGET_STANDARD};
@@ -82,6 +88,21 @@ pub fn eval_params() -> EvalParams {
     }
 }
 
+/// Sweep worker count: `RAMP_JOBS` when set (0 = all cores), otherwise
+/// every available core.
+pub fn sweep_workers() -> usize {
+    std::env::var("RAMP_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0)
+}
+
+/// Prints the driver's one-line sweep summary (jobs, evals, cache hits,
+/// evals/s, wall time, realized speedup).
+pub fn print_sweep_summary(oracle: &Oracle) {
+    println!("{}", oracle.summary());
+}
+
 /// Builds a reliability model qualified at `t_qual` with the given
 /// suite-maximum activity (§3.7: target 4000 FIT, even mechanism split,
 /// area-proportional structure split).
@@ -98,13 +119,17 @@ pub fn qualified_model(t_qual: f64, alpha_qual: f64) -> Result<ReliabilityModel,
     )
 }
 
-/// Creates a fresh oracle over the default 65 nm stack.
+/// Creates a fresh oracle over the default 65 nm stack, sized by
+/// [`sweep_workers`].
 ///
 /// # Errors
 ///
 /// Propagates construction errors.
 pub fn make_oracle() -> Result<Oracle, SimError> {
-    Ok(Oracle::new(Evaluator::ibm_65nm(eval_params())?))
+    Ok(Oracle::with_workers(
+        Evaluator::ibm_65nm(eval_params())?,
+        sweep_workers(),
+    ))
 }
 
 /// The suite-maximum activity factor `α_qual` (§3.7), measured on the base
@@ -113,20 +138,24 @@ pub fn make_oracle() -> Result<Oracle, SimError> {
 /// # Errors
 ///
 /// Propagates evaluation errors.
-pub fn suite_alpha_qual(oracle: &mut Oracle) -> Result<f64, SimError> {
+pub fn suite_alpha_qual(oracle: &Oracle) -> Result<f64, SimError> {
     oracle.suite_max_activity(&App::ALL)
 }
 
-/// Runs `job` for every application on its own thread (each with a fresh
-/// [`Oracle`]) and returns the results in [`App::ALL`] order.
+/// Runs `job` for every application, all sharing `oracle` (and hence one
+/// evaluation cache). The expensive pipeline work should already be
+/// prefetched through the oracle's batch engine (`Oracle::prefetch_suite`);
+/// the per-app jobs then run on scoped threads and mostly score cache
+/// hits, so results stay cheap and deterministic. Results come back in
+/// [`App::ALL`] order.
 ///
 /// # Panics
 ///
 /// Panics if a worker thread panics or a job returns an error.
-pub fn parallel_over_apps<R, F>(job: F) -> Vec<(App, R)>
+pub fn parallel_over_apps<R, F>(oracle: &Oracle, job: F) -> Vec<(App, R)>
 where
     R: Send,
-    F: Fn(App, &mut Oracle) -> Result<R, SimError> + Sync,
+    F: Fn(App, &Oracle) -> Result<R, SimError> + Sync,
 {
     let results: Mutex<Vec<(usize, App, R)>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
@@ -134,8 +163,7 @@ where
             let results = &results;
             let job = &job;
             scope.spawn(move || {
-                let mut oracle = make_oracle().expect("oracle construction");
-                let r = job(app, &mut oracle)
+                let r = job(app, oracle)
                     .unwrap_or_else(|e| panic!("job for {app} failed: {e}"));
                 results.lock().expect("no poisoned lock").push((i, app, r));
             });
@@ -144,6 +172,32 @@ where
     let mut collected = results.into_inner().expect("no poisoned lock");
     collected.sort_by_key(|(i, _, _)| *i);
     collected.into_iter().map(|(_, app, r)| (app, r)).collect()
+}
+
+/// A minimal wall-clock micro-benchmark harness (std-only stand-in for
+/// an external benchmarking crate, keeping the build hermetic).
+///
+/// Runs `f` until at least `min_time` has elapsed (after one warmup
+/// call) and prints mean time per iteration.
+pub fn microbench<R>(name: &str, min_time: Duration, mut f: impl FnMut() -> R) {
+    let _ = std::hint::black_box(f());
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < min_time {
+        let _ = std::hint::black_box(f());
+        iters += 1;
+    }
+    let per = start.elapsed().as_secs_f64() / iters as f64;
+    let (value, unit) = if per >= 1.0 {
+        (per, "s")
+    } else if per >= 1e-3 {
+        (per * 1e3, "ms")
+    } else if per >= 1e-6 {
+        (per * 1e6, "us")
+    } else {
+        (per * 1e9, "ns")
+    };
+    println!("{name:<40} {value:>10.2} {unit}/iter  ({iters} iters)");
 }
 
 #[cfg(test)]
@@ -173,7 +227,8 @@ mod tests {
 
     #[test]
     fn parallel_runner_preserves_order() {
-        let out = parallel_over_apps(|app, _| Ok(app.name().len()));
+        let oracle = make_oracle().unwrap();
+        let out = parallel_over_apps(&oracle, |app, _| Ok(app.name().len()));
         assert_eq!(out.len(), App::ALL.len());
         for ((a, n), expect) in out.iter().zip(App::ALL) {
             assert_eq!(*a, expect);

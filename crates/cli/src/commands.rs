@@ -44,9 +44,13 @@ pub fn print_help() {
     println!("              [--target FIT] [--ghz G]");
     println!("  drm         oracular DRM choice for an application");
     println!("              --app <name> --tqual K [--strategy arch|dvs|archdvs]");
-    println!("              [--step GHz] [--intra]");
+    println!("              [--step GHz] [--intra] [--jobs N]");
     println!("  dtm         DVS-for-DTM choice under a thermal limit");
-    println!("              --app <name> --tmax K [--step GHz]");
+    println!("              --app <name> --tmax K [--step GHz] [--jobs N]");
+    println!("  sweep       evaluate a strategy's whole candidate grid in parallel");
+    println!("              and rank the operating points against a qualification");
+    println!("              --app <name> [--tqual K] [--strategy arch|dvs|archdvs]");
+    println!("              [--step GHz] [--jobs N] [--top N]");
     println!("  controller  reactive DRM run (optionally with a thermal limit");
     println!("              and realistic sensors)");
     println!("              --app <name> --tqual K [--tmax K] [--sensors] [--insts N]");
@@ -54,6 +58,9 @@ pub fn print_help() {
     println!("              --app <name> [--tqual K]");
     println!();
     println!("Add --quick to any simulation command for shorter runs.");
+    println!("--jobs N sets the batch engine's worker-thread count (0 or");
+    println!("unset = all cores); sweeps end with a one-line summary of the");
+    println!("parallel pass (evaluations, cache hits, evals/s, speedup).");
 }
 
 /// Dispatches a parsed command line.
@@ -72,6 +79,7 @@ pub fn dispatch(args: &Args) -> Result<(), SimError> {
         "fit" => fit(args),
         "drm" => drm_cmd(args),
         "dtm" => dtm_cmd(args),
+        "sweep" => sweep_cmd(args),
         "controller" => controller(args),
         "scaling" => scaling(args),
         other => Err(SimError::invalid_config(format!(
@@ -86,6 +94,15 @@ fn eval_params(args: &Args) -> EvalParams {
     } else {
         EvalParams::standard()
     }
+}
+
+/// Builds the oracle honouring `--jobs` (0 or absent = all cores).
+fn oracle_from(args: &Args) -> Result<Oracle, SimError> {
+    let jobs = args.u64_or("jobs", 0)? as usize;
+    Ok(Oracle::with_workers(
+        Evaluator::ibm_65nm(eval_params(args))?,
+        jobs,
+    ))
 }
 
 fn config_from(args: &Args) -> Result<CoreConfig, SimError> {
@@ -206,15 +223,15 @@ fn parse_strategy(args: &Args) -> Result<Strategy, SimError> {
 
 fn drm_cmd(args: &Args) -> Result<(), SimError> {
     args.expect_only(&[
-        "app", "tqual", "alpha", "target", "strategy", "step", "quick", "intra",
+        "app", "tqual", "alpha", "target", "strategy", "step", "quick", "intra", "jobs",
     ])?;
     let app = args.app()?;
     let model = model_from(args)?;
     let strategy = parse_strategy(args)?;
     let step = args.f64_or("step", 0.25)?;
-    let mut oracle = Oracle::new(Evaluator::ibm_65nm(eval_params(args))?);
+    let oracle = oracle_from(args)?;
     if args.flag("intra") {
-        let choice = intra_app_best(&mut oracle, app, strategy, &model, step)?;
+        let choice = intra_app_best(&oracle, app, strategy, &model, step)?;
         println!(
             "{app} @ T_qual {:.0}: intra-application {strategy} schedule",
             model.qualification().temperature.0
@@ -243,12 +260,12 @@ fn drm_cmd(args: &Args) -> Result<(), SimError> {
 }
 
 fn dtm_cmd(args: &Args) -> Result<(), SimError> {
-    args.expect_only(&["app", "tmax", "step", "quick"])?;
+    args.expect_only(&["app", "tmax", "step", "quick", "jobs"])?;
     let app = args.app()?;
     let t_max = Kelvin(args.f64_or("tmax", 380.0)?);
     let step = args.f64_or("step", 0.25)?;
-    let mut oracle = Oracle::new(Evaluator::ibm_65nm(eval_params(args))?);
-    let choice = drm::dtm_best_dvs(&mut oracle, app, t_max, step)?;
+    let oracle = oracle_from(args)?;
+    let choice = drm::dtm_best_dvs(&oracle, app, t_max, step)?;
     println!("{app} under DTM with T_max {:.0}:", t_max.0);
     println!(
         "  frequency      {:.2} GHz / {:.3} V",
@@ -257,6 +274,66 @@ fn dtm_cmd(args: &Args) -> Result<(), SimError> {
     );
     println!("  peak temp      {:.1}", choice.max_temperature);
     println!("  feasible       {}", choice.feasible);
+    Ok(())
+}
+
+/// `ramp sweep`: evaluate a strategy's entire candidate grid through the
+/// parallel batch engine, rank the operating points against the
+/// qualification, and report the realized parallelism.
+fn sweep_cmd(args: &Args) -> Result<(), SimError> {
+    args.expect_only(&[
+        "app", "tqual", "alpha", "target", "strategy", "step", "jobs", "top", "quick",
+    ])?;
+    let app = args.app()?;
+    let model = model_from(args)?;
+    let strategy = parse_strategy(args)?;
+    let step = args.f64_or("step", 0.25)?;
+    let top = args.u64_or("top", 10)? as usize;
+    let oracle = oracle_from(args)?;
+
+    let candidates = strategy.candidates(step);
+    let mut jobs: Vec<_> = candidates.iter().map(|&(a, d)| (app, a, d)).collect();
+    jobs.push((app, ArchPoint::most_aggressive(), DvsPoint::base()));
+    let summary = oracle.prefetch(&jobs)?;
+
+    let base_bips = oracle.base_evaluation(app)?.bips;
+    let target = model.target_fit();
+    let mut rows = Vec::with_capacity(candidates.len());
+    for (arch, dvs) in candidates {
+        let ev = oracle.evaluation(app, arch, dvs)?;
+        let fit = ev.application_fit(&model).total();
+        rows.push((arch, dvs, ev.bips / base_bips, fit, fit <= target));
+    }
+    rows.sort_by(|a, b| b.2.total_cmp(&a.2));
+
+    println!(
+        "{app}: {strategy} grid, {} operating points @ T_qual {:.0} (target {:.0} FIT)",
+        rows.len(),
+        model.qualification().temperature.0,
+        target.value()
+    );
+    println!(
+        "  {:>16} {:>7} {:>7} {:>8} {:>10}  ",
+        "config", "f(GHz)", "Vdd", "perf", "FIT"
+    );
+    for (arch, dvs, perf, fit, feasible) in rows.iter().take(top.max(1)) {
+        println!(
+            "  {:>16} {:>7.2} {:>7.3} {:>8.3} {:>10.0} {}",
+            arch.to_string(),
+            dvs.frequency.to_ghz(),
+            dvs.vdd.0,
+            perf,
+            fit.value(),
+            if *feasible { "" } else { "!" }
+        );
+    }
+    let shown = top.max(1).min(rows.len());
+    if shown < rows.len() {
+        println!("  ... ({} more; raise --top to see them)", rows.len() - shown);
+    }
+    println!("  ('!' marks points whose FIT exceeds the qualification target)");
+    println!();
+    println!("{summary}");
     Ok(())
 }
 

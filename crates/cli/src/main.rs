@@ -4,8 +4,9 @@
 //! ramp list
 //! ramp evaluate  --app bzip2 [--ghz 4.0] [--window 128] [--alus 6] [--fpus 4] [--prefetch] [--quick]
 //! ramp fit       --app bzip2 --tqual 394 [--alpha 0.48] [--target 4000] [--ghz 4.0] [--quick]
-//! ramp drm       --app bzip2 --tqual 394 [--strategy archdvs] [--step 0.25] [--quick]
-//! ramp dtm       --app bzip2 --tmax 380 [--step 0.25] [--quick]
+//! ramp drm       --app bzip2 --tqual 394 [--strategy archdvs] [--step 0.25] [--jobs 4] [--quick]
+//! ramp dtm       --app bzip2 --tmax 380 [--step 0.25] [--jobs 4] [--quick]
+//! ramp sweep     --app bzip2 [--tqual 394] [--strategy archdvs] [--step 0.25] [--jobs 4] [--top 10] [--quick]
 //! ramp controller --app bzip2 --tqual 394 [--tmax 385] [--sensors] [--insts 600000]
 //! ramp scaling   --app gzip [--tqual 394] [--quick]
 //! ```

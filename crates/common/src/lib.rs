@@ -11,6 +11,9 @@
 //! * [`floorplan`] — rectangular block geometry for the thermal model,
 //!   including the default MIPS-R10000-like core floorplan from the paper
 //!   (4.5 mm x 4.5 mm at 65 nm).
+//! * [`rng`] — deterministic in-tree pseudo-random generation
+//!   ([`splitmix64`], [`Xoshiro256pp`]) so seeded simulation streams never
+//!   depend on an external crate.
 //! * [`error`] — the common [`SimError`] type.
 //!
 //! # Examples
@@ -27,10 +30,12 @@
 
 pub mod error;
 pub mod floorplan;
+pub mod rng;
 pub mod structure;
 pub mod units;
 
 pub use error::SimError;
 pub use floorplan::{Block, Floorplan, Rect};
+pub use rng::{splitmix64, Xoshiro256pp};
 pub use structure::{Structure, StructureMap};
 pub use units::{Hertz, Kelvin, Seconds, SquareMillimeters, Volts, Watts};

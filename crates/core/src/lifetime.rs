@@ -20,8 +20,7 @@
 //!   life, so the series-system MTTF *rises* toward the weakest
 //!   component's scale instead of collapsing to the harmonic sum.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use sim_common::Xoshiro256pp;
 use sim_common::{SimError, Structure};
 
 use crate::fit::Mttf;
@@ -118,8 +117,8 @@ impl Weibull {
     }
 
     /// Samples one lifetime (inverse-CDF method).
-    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
-        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    pub fn sample(&self, rng: &mut Xoshiro256pp) -> f64 {
+        let u: f64 = rng.gen_f64(f64::EPSILON..1.0);
         self.scale * (-u.ln()).powf(1.0 / self.shape)
     }
 }
@@ -217,7 +216,7 @@ impl SeriesSystem {
     /// Panics if `samples` is zero.
     pub fn simulate(&self, samples: u32, seed: u64) -> SeriesLifetime {
         assert!(samples > 0, "need at least one sample");
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let mut lifetimes: Vec<f64> = (0..samples)
             .map(|_| {
                 self.components
@@ -307,7 +306,7 @@ mod tests {
     #[test]
     fn sampling_matches_mean() {
         let w = Weibull::from_mttf(Mttf(10_000.0), 2.0).unwrap();
-        let mut rng = SmallRng::seed_from_u64(42);
+        let mut rng = Xoshiro256pp::seed_from_u64(42);
         let n = 20_000;
         let mean: f64 = (0..n).map(|_| w.sample(&mut rng)).sum::<f64>() / n as f64;
         assert!(

@@ -1,88 +1,101 @@
-//! Property-based tests for the RAMP crate's budget and lifetime modules.
+//! Randomized property tests for the RAMP crate's budget and lifetime
+//! modules, driven by the in-tree deterministic PRNG.
 
-use proptest::prelude::*;
 use ramp::{FitBudget, Mechanism, Mttf, SeriesSystem, Weibull};
-use sim_common::{Structure, StructureMap};
+use sim_common::{Structure, StructureMap, Xoshiro256pp};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    /// Every allocation policy conserves the total target exactly.
-    #[test]
-    fn budget_policies_conserve_the_target(
-        target in 100.0..100_000.0f64,
-        weights in proptest::collection::vec(0.0..10.0f64, 9),
-    ) {
+/// Every allocation policy conserves the total target exactly.
+#[test]
+fn budget_policies_conserve_the_target() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x1001);
+    for _ in 0..CASES {
+        let target = rng.gen_f64(100.0..100_000.0);
+        let weights: Vec<f64> = (0..9).map(|_| rng.gen_f64(0.0..10.0)).collect();
         let w = StructureMap::from_fn(|s| weights[s.index()]);
         for budget in [
             FitBudget::uniform(target).unwrap(),
             FitBudget::weighted(target, &w).unwrap(),
         ] {
-            prop_assert!((budget.total().value() - target).abs() < 1e-6 * target);
+            assert!((budget.total().value() - target).abs() < 1e-6 * target);
             // Mechanism splits are even.
             for m in Mechanism::ALL {
-                prop_assert!(
-                    (budget.mechanism_total(m).value() - target / 4.0).abs()
-                        < 1e-6 * target
+                assert!(
+                    (budget.mechanism_total(m).value() - target / 4.0).abs() < 1e-6 * target
                 );
             }
             // Every cell is strictly positive (qualification needs finite
             // constants).
             for s in Structure::ALL {
                 for m in Mechanism::ALL {
-                    prop_assert!(budget.share(s, m).value() > 0.0);
+                    assert!(budget.share(s, m).value() > 0.0);
                 }
             }
         }
     }
+}
 
-    /// Weibull mean parameterization is exact for any wear-out shape.
-    #[test]
-    fn weibull_mean_round_trip(years in 1.0..200.0f64, shape in 0.6..6.0f64) {
+/// Weibull mean parameterization is exact for any wear-out shape.
+#[test]
+fn weibull_mean_round_trip() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x1002);
+    for _ in 0..CASES {
+        let years = rng.gen_f64(1.0..200.0);
+        let shape = rng.gen_f64(0.6..6.0);
         let w = Weibull::from_mttf(Mttf::from_years(years), shape).unwrap();
-        prop_assert!((w.mean().years() - years).abs() < 1e-6 * years);
+        assert!((w.mean().years() - years).abs() < 1e-6 * years);
     }
+}
 
-    /// Reliability decreases monotonically with age and is a proper
-    /// survival function.
-    #[test]
-    fn weibull_reliability_is_monotone(
-        years in 5.0..100.0f64,
-        shape in 0.6..5.0f64,
-        t1 in 0.0..50.0f64,
-        dt in 0.1..50.0f64,
-    ) {
+/// Reliability decreases monotonically with age and is a proper
+/// survival function.
+#[test]
+fn weibull_reliability_is_monotone() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x1003);
+    for _ in 0..CASES {
+        let years = rng.gen_f64(5.0..100.0);
+        let shape = rng.gen_f64(0.6..5.0);
+        let t1 = rng.gen_f64(0.0..50.0);
+        let dt = rng.gen_f64(0.1..50.0);
         let w = Weibull::from_mttf(Mttf::from_years(years), shape).unwrap();
         let r1 = w.reliability(Mttf::from_years(t1).hours());
         let r2 = w.reliability(Mttf::from_years(t1 + dt).hours());
-        prop_assert!((0.0..=1.0).contains(&r1));
-        prop_assert!(r2 <= r1 + 1e-12);
-        prop_assert!(w.reliability(0.0) == 1.0);
+        assert!((0.0..=1.0).contains(&r1));
+        assert!(r2 <= r1 + 1e-12);
+        assert!(w.reliability(0.0) == 1.0);
     }
+}
 
-    /// Wear-out shapes have increasing hazards; the exponential shape has
-    /// a constant one.
-    #[test]
-    fn hazard_shape_behaviour(years in 5.0..100.0f64, shape in 1.2..5.0f64) {
+/// Wear-out shapes have increasing hazards; the exponential shape has
+/// a constant one.
+#[test]
+fn hazard_shape_behaviour() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x1004);
+    for _ in 0..CASES {
+        let years = rng.gen_f64(5.0..100.0);
+        let shape = rng.gen_f64(1.2..5.0);
         let w = Weibull::from_mttf(Mttf::from_years(years), shape).unwrap();
         let young = w.hazard(Mttf::from_years(1.0).hours());
         let old = w.hazard(Mttf::from_years(years).hours());
-        prop_assert!(old > young);
+        assert!(old > young);
         let exp = Weibull::from_mttf(Mttf::from_years(years), 1.0).unwrap();
         let h1 = exp.hazard(Mttf::from_years(1.0).hours());
         let h2 = exp.hazard(Mttf::from_years(50.0).hours());
-        prop_assert!((h1 - h2).abs() < 1e-12 * h1);
+        assert!((h1 - h2).abs() < 1e-12 * h1);
     }
+}
 
-    /// The series system is never more reliable than its weakest component
-    /// and never less reliable than the product bound (it IS the product).
-    #[test]
-    fn series_reliability_bounds(
-        m1 in 20.0..200.0f64,
-        m2 in 20.0..200.0f64,
-        shape in 1.0..4.0f64,
-        at in 1.0..80.0f64,
-    ) {
+/// The series system is never more reliable than its weakest component
+/// and never less reliable than the product bound (it IS the product).
+#[test]
+fn series_reliability_bounds() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x1005);
+    for _ in 0..CASES {
+        let m1 = rng.gen_f64(20.0..200.0);
+        let m2 = rng.gen_f64(20.0..200.0);
+        let shape = rng.gen_f64(1.0..4.0);
+        let at = rng.gen_f64(1.0..80.0);
         let sys = SeriesSystem::from_mttfs(
             [
                 (Structure::Fpu, Mechanism::Tddb, Mttf::from_years(m1)),
@@ -94,25 +107,27 @@ proptest! {
         let t = Mttf::from_years(at).hours();
         let r = sys.reliability(t);
         for c in sys.components() {
-            prop_assert!(r <= c.lifetime.reliability(t) + 1e-12);
+            assert!(r <= c.lifetime.reliability(t) + 1e-12);
         }
         let product: f64 = sys
             .components()
             .iter()
             .map(|c| c.lifetime.reliability(t))
             .product();
-        prop_assert!((r - product).abs() < 1e-12);
+        assert!((r - product).abs() < 1e-12);
     }
+}
 
-    /// Monte Carlo series MTTF is reproducible per seed and bounded by the
-    /// weakest component's mean (for exponential shapes it is close to the
-    /// SOFR harmonic estimate).
-    #[test]
-    fn series_monte_carlo_sanity(
-        m1 in 30.0..120.0f64,
-        m2 in 30.0..120.0f64,
-        seed in 0u64..1000,
-    ) {
+/// Monte Carlo series MTTF is reproducible per seed and bounded by the
+/// weakest component's mean (for exponential shapes it is close to the
+/// SOFR harmonic estimate).
+#[test]
+fn series_monte_carlo_sanity() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x1006);
+    for _ in 0..16 {
+        let m1 = rng.gen_f64(30.0..120.0);
+        let m2 = rng.gen_f64(30.0..120.0);
+        let seed = rng.gen_u64(0..1000);
         let sys = SeriesSystem::from_mttfs(
             [
                 (Structure::Window, Mechanism::StressMigration, Mttf::from_years(m1)),
@@ -123,15 +138,15 @@ proptest! {
         .unwrap();
         let a = sys.simulate(4_000, seed);
         let b = sys.simulate(4_000, seed);
-        prop_assert_eq!(a.clone(), b);
+        assert_eq!(a.clone(), b);
         let sofr = sys.sofr_mttf().years();
-        prop_assert!(
+        assert!(
             (a.mttf.years() - sofr).abs() < 0.15 * sofr,
             "MC {} vs SOFR {}",
             a.mttf.years(),
             sofr
         );
-        prop_assert!(a.mttf.years() < m1.min(m2));
-        prop_assert!(a.percentile_5 <= a.median);
+        assert!(a.mttf.years() < m1.min(m2));
+        assert!(a.percentile_5 <= a.median);
     }
 }

@@ -1,8 +1,8 @@
-//! Property-based tests of the timing-simulator data structures: the
+//! Randomized property tests of the timing-simulator data structures: the
 //! set-associative cache against a reference model, the branch predictor,
-//! and the rename machinery.
+//! and the rename machinery. Cases come from the in-tree deterministic PRNG.
 
-use proptest::prelude::*;
+use sim_common::Xoshiro256pp;
 use sim_cpu::{Bpred, BpredConfig, Cache, CacheConfig, Lookup, Rename};
 use std::collections::VecDeque;
 use workload::{ArchReg, RegClass};
@@ -42,23 +42,22 @@ impl ReferenceCache {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The production cache agrees with the reference LRU model on every
-    /// access of a random trace.
-    #[test]
-    fn cache_matches_reference_lru(
-        addrs in proptest::collection::vec(0u64..16_384, 1..400),
-        writes in proptest::collection::vec(any::<bool>(), 400),
-    ) {
+/// The production cache agrees with the reference LRU model on every
+/// access of a random trace.
+#[test]
+fn cache_matches_reference_lru() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x3001);
+    for _ in 0..64 {
+        let n = rng.gen_usize(1..400);
+        let addrs: Vec<u64> = (0..n).map(|_| rng.gen_u64(0..16_384)).collect();
+        let writes: Vec<bool> = (0..400).map(|_| rng.gen_bool(0.5)).collect();
         let cfg = CacheConfig { size_bytes: 1024, assoc: 2, line_bytes: 64 };
         let mut cache = Cache::new(cfg);
         let mut reference = ReferenceCache::new(cfg);
         for (i, &addr) in addrs.iter().enumerate() {
             let expect_hit = reference.access(addr);
             let got = cache.access(addr, writes[i % writes.len()]);
-            prop_assert_eq!(
+            assert_eq!(
                 matches!(got, Lookup::Hit),
                 expect_hit,
                 "access {} to {:#x} disagreed",
@@ -67,46 +66,59 @@ proptest! {
             );
         }
         let stats = cache.stats();
-        prop_assert_eq!(stats.accesses, addrs.len() as u64);
-        prop_assert_eq!(stats.hits + stats.misses, stats.accesses);
+        assert_eq!(stats.accesses, addrs.len() as u64);
+        assert_eq!(stats.hits + stats.misses, stats.accesses);
     }
+}
 
-    /// `contains` never lies: it matches the hit/miss outcome of an
-    /// immediately following access.
-    #[test]
-    fn cache_contains_is_truthful(addrs in proptest::collection::vec(0u64..8_192, 1..200)) {
+/// `contains` never lies: it matches the hit/miss outcome of an
+/// immediately following access.
+#[test]
+fn cache_contains_is_truthful() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x3002);
+    for _ in 0..64 {
+        let n = rng.gen_usize(1..200);
+        let addrs: Vec<u64> = (0..n).map(|_| rng.gen_u64(0..8_192)).collect();
         let cfg = CacheConfig { size_bytes: 512, assoc: 2, line_bytes: 64 };
         let mut cache = Cache::new(cfg);
         for &addr in &addrs {
             let resident = cache.contains(addr);
             let outcome = cache.access(addr, false);
-            prop_assert_eq!(resident, matches!(outcome, Lookup::Hit));
+            assert_eq!(resident, matches!(outcome, Lookup::Hit));
         }
     }
+}
 
-    /// After `k ≥ 2` consistent outcomes, the 2-bit counter predicts that
-    /// direction.
-    #[test]
-    fn bpred_learns_consistent_branches(pc in 0u64..100_000, taken in any::<bool>()) {
+/// After `k ≥ 2` consistent outcomes, the 2-bit counter predicts that
+/// direction.
+#[test]
+fn bpred_learns_consistent_branches() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x3003);
+    for _ in 0..64 {
+        let pc = rng.gen_u64(0..100_000);
+        let taken = rng.gen_bool(0.5);
         let mut bp = Bpred::new(BpredConfig { counters: 4096, ras_entries: 32 });
         bp.update(pc, taken);
         bp.update(pc, taken);
-        prop_assert_eq!(bp.peek(pc), taken);
+        assert_eq!(bp.peek(pc), taken);
     }
+}
 
-    /// Renaming: writes to distinct architectural registers never collide
-    /// on physical registers, and the free count is conserved.
-    #[test]
-    fn rename_conserves_registers(
-        dests in proptest::collection::vec(0u16..64, 1..100),
-    ) {
+/// Renaming: writes to distinct architectural registers never collide
+/// on physical registers, and the free count is conserved.
+#[test]
+fn rename_conserves_registers() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x3004);
+    for _ in 0..64 {
+        let n = rng.gen_usize(1..100);
+        let dests: Vec<u16> = (0..n).map(|_| rng.gen_u64(0..64) as u16).collect();
         let mut rn = Rename::new(192, 192);
         let initial_free = rn.free_count(RegClass::Int);
         let mut live = Vec::new();
         let mut outstanding = 0usize;
         for &d in &dests {
             if let Some((new, old)) = rn.alloc_dest(ArchReg::new(RegClass::Int, d)) {
-                prop_assert!(!live.contains(&new.index), "phys reg double-allocated");
+                assert!(!live.contains(&new.index), "phys reg double-allocated");
                 live.push(new.index);
                 // Commit immediately: release the previous mapping.
                 rn.release(old);
@@ -117,14 +129,17 @@ proptest! {
         // One allocation per successful dest, one release per allocation:
         // the free count is back to its initial value.
         let _ = outstanding;
-        prop_assert_eq!(rn.free_count(RegClass::Int), initial_free);
+        assert_eq!(rn.free_count(RegClass::Int), initial_free);
     }
+}
 
-    /// The current mapping always points at the most recent allocation.
-    #[test]
-    fn rename_maps_track_latest_writer(
-        dests in proptest::collection::vec(0u16..8, 1..60),
-    ) {
+/// The current mapping always points at the most recent allocation.
+#[test]
+fn rename_maps_track_latest_writer() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x3005);
+    for _ in 0..64 {
+        let n = rng.gen_usize(1..60);
+        let dests: Vec<u16> = (0..n).map(|_| rng.gen_u64(0..8) as u16).collect();
         let mut rn = Rename::new(192, 192);
         let mut latest = std::collections::HashMap::new();
         for &d in &dests {
@@ -134,7 +149,7 @@ proptest! {
             }
         }
         for (&d, &phys) in &latest {
-            prop_assert_eq!(rn.rename_src(ArchReg::new(RegClass::Int, d)), phys);
+            assert_eq!(rn.rename_src(ArchReg::new(RegClass::Int, d)), phys);
         }
     }
 }

@@ -4,7 +4,7 @@ use sim_common::{Floorplan, Kelvin};
 use workload::App;
 
 fn main() {
-    let mut oracle = Oracle::new(Evaluator::ibm_65nm(EvalParams::quick()).unwrap());
+    let oracle = Oracle::new(Evaluator::ibm_65nm(EvalParams::quick()).unwrap());
     let alpha = oracle.suite_max_activity(&App::ALL).unwrap();
     eprintln!("alpha_qual = {alpha:.3}");
     let shares = Floorplan::r10000_65nm().area_shares();

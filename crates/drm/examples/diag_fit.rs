@@ -4,7 +4,7 @@ use sim_common::{Floorplan, Kelvin, Structure};
 use workload::App;
 
 fn main() {
-    let mut oracle = Oracle::new(Evaluator::ibm_65nm(EvalParams::quick()).unwrap());
+    let oracle = Oracle::new(Evaluator::ibm_65nm(EvalParams::quick()).unwrap());
     let model = ReliabilityModel::qualify(
         FailureParams::ramp_65nm(),
         &QualificationPoint::at_temperature(Kelvin(400.0), 0.35),

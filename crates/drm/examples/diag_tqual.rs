@@ -5,7 +5,7 @@ use sim_common::{Floorplan, Kelvin};
 use workload::App;
 
 fn main() {
-    let mut oracle = Oracle::new(Evaluator::ibm_65nm(EvalParams::quick()).unwrap());
+    let oracle = Oracle::new(Evaluator::ibm_65nm(EvalParams::quick()).unwrap());
     let alpha = oracle.suite_max_activity(&App::ALL).unwrap();
     let shares = Floorplan::r10000_65nm().area_shares();
     // For each app: the T_qual at which base-config FIT == 4000 (bisect).

@@ -1,0 +1,496 @@
+//! Parallel batch evaluation with a shared, thread-safe cache.
+//!
+//! The paper's methodology is sweeps: oracular DRM evaluates every
+//! (application × [`ArchPoint`] × [`DvsPoint`]) candidate, and every
+//! figure reproduction re-runs the full timing → power → thermal pipeline
+//! per point. Evaluations are independent of the qualification point
+//! (§6.3), so the expensive pipeline runs once per operating point and
+//! the cheap FIT scoring happens per [`ReliabilityModel`] afterwards —
+//! which makes the pipeline embarrassingly parallel.
+//!
+//! [`BatchEngine`] takes a work list of (App, ArchPoint, DvsPoint) jobs,
+//! deduplicates it against the shared [`EvalCache`], and fans the misses
+//! out across a scoped-thread worker pool (`std::thread::scope`, one
+//! [`Evaluator`] clone per worker — std only, no external dependencies).
+//! Results land in the cache keyed on the *full* operating point
+//! ([`EvalKey`] carries both frequency and voltage in fixed-point form,
+//! so same-frequency/different-voltage points can never alias).
+//!
+//! [`ReliabilityModel`]: ramp::ReliabilityModel
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use sim_common::SimError;
+use sim_cpu::CoreConfig;
+use workload::App;
+
+use crate::dvs::DvsPoint;
+use crate::evaluator::{Evaluation, Evaluator};
+use crate::space::ArchPoint;
+
+/// Number of independently locked cache shards. Shard contention is the
+/// only synchronization between workers, and evaluations take O(100 ms)
+/// against O(100 ns) map operations, so a modest constant suffices.
+const SHARDS: usize = 16;
+
+/// Cache key for one (application, operating point) evaluation.
+///
+/// The operating point is the *full* (ArchPoint, frequency, voltage)
+/// triple. Frequency and voltage are stored in fixed-point form (kHz and
+/// microvolts) because [`DvsPoint`] carries `f64` fields that cannot be
+/// hashed directly; at those resolutions every grid the sweeps use maps
+/// to distinct keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EvalKey {
+    /// The workload.
+    pub app: App,
+    /// The microarchitectural adaptation point.
+    pub arch: ArchPoint,
+    /// Clock frequency in kHz.
+    pub freq_khz: u64,
+    /// Supply voltage in microvolts.
+    pub vdd_uv: u64,
+}
+
+impl EvalKey {
+    /// Builds the key for `app` at (`arch`, `dvs`).
+    #[must_use]
+    pub fn new(app: App, arch: ArchPoint, dvs: DvsPoint) -> EvalKey {
+        EvalKey {
+            app,
+            arch,
+            freq_khz: (dvs.frequency.to_ghz() * 1e6).round() as u64,
+            vdd_uv: (dvs.vdd.0 * 1e6).round() as u64,
+        }
+    }
+
+    fn shard(&self) -> usize {
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        (h.finish() as usize) % SHARDS
+    }
+}
+
+/// A sharded, thread-safe evaluation cache shared by every worker (and
+/// every thread holding a reference to the owning [`BatchEngine`] /
+/// `Oracle`).
+///
+/// Completed evaluations are stored behind [`Arc`] so lookups hand out
+/// cheap clones instead of holding a shard lock across use.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    shards: [Mutex<HashMap<EvalKey, Arc<Evaluation>>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Summed single-evaluation wall time of every insert (the
+    /// sequential-equivalent cost of the work done so far).
+    busy_ns: AtomicU64,
+    /// Elapsed wall time spent inside batch passes and cache-miss
+    /// evaluations.
+    wall_ns: AtomicU64,
+}
+
+impl EvalCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> EvalCache {
+        EvalCache::default()
+    }
+
+    /// Looks up `key`, counting a hit or a miss.
+    pub fn get(&self, key: &EvalKey) -> Option<Arc<Evaluation>> {
+        let found = self.shards[key.shard()]
+            .lock()
+            .expect("cache shard lock poisoned")
+            .get(key)
+            .cloned();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Peeks at `key` without touching the hit/miss counters (used for
+    /// dedup, where a hit is not a served lookup).
+    pub fn peek(&self, key: &EvalKey) -> Option<Arc<Evaluation>> {
+        self.shards[key.shard()]
+            .lock()
+            .expect("cache shard lock poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// Inserts an evaluation, returning the cached [`Arc`]. If another
+    /// worker raced us to the same key, the first insert wins and its
+    /// value is returned (evaluations are deterministic, so both values
+    /// are equal anyway).
+    pub fn insert(&self, key: EvalKey, ev: Evaluation) -> Arc<Evaluation> {
+        self.busy_ns
+            .fetch_add(ev.stats.wall.as_nanos() as u64, Ordering::Relaxed);
+        self.shards[key.shard()]
+            .lock()
+            .expect("cache shard lock poisoned")
+            .entry(key)
+            .or_insert_with(|| Arc::new(ev))
+            .clone()
+    }
+
+    /// Number of cached evaluations.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock poisoned").len())
+            .sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that required (or will require) a fresh evaluation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Summed per-evaluation wall time across all inserts.
+    pub fn busy(&self) -> Duration {
+        Duration::from_nanos(self.busy_ns.load(Ordering::Relaxed))
+    }
+
+    /// Elapsed wall time recorded by batch passes and cache-miss
+    /// evaluations.
+    pub fn wall(&self) -> Duration {
+        Duration::from_nanos(self.wall_ns.load(Ordering::Relaxed))
+    }
+
+    fn add_wall(&self, d: Duration) {
+        self.wall_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Aggregate statistics for sweeps run through a [`BatchEngine`],
+/// printable as the one-line sweep summary every driver emits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepSummary {
+    /// Worker threads used for parallel passes.
+    pub workers: usize,
+    /// Evaluations performed (cache misses that ran the pipeline).
+    pub evaluations: u64,
+    /// Lookups served straight from the cache.
+    pub cache_hits: u64,
+    /// Wall time spent inside batch passes and cache-miss evaluations.
+    pub wall: Duration,
+    /// Summed single-evaluation wall time — the sequential-equivalent
+    /// cost, so `busy / wall` estimates the realized speedup.
+    pub busy: Duration,
+}
+
+impl SweepSummary {
+    /// Evaluations per wall-clock second.
+    #[must_use]
+    pub fn evals_per_second(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.evaluations as f64 / self.wall.as_secs_f64()
+        }
+    }
+
+    /// Realized parallel speedup: summed per-evaluation wall time over
+    /// elapsed wall time (1.0 = sequential).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.wall.is_zero() {
+            1.0
+        } else {
+            self.busy.as_secs_f64() / self.wall.as_secs_f64()
+        }
+    }
+}
+
+impl fmt::Display for SweepSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sweep: {} jobs | {} evals, {} cache hits | {:.1} evals/s | wall {:.2} s | speedup {:.2}x",
+            self.workers,
+            self.evaluations,
+            self.cache_hits,
+            self.evals_per_second(),
+            self.wall.as_secs_f64(),
+            self.speedup(),
+        )
+    }
+}
+
+/// Returns the default worker count: `available_parallelism()`, or 1
+/// when the runtime cannot tell.
+#[must_use]
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// The parallel batch-evaluation engine: a scoped-thread worker pool
+/// over a shared [`EvalCache`].
+///
+/// Cloning the engine is cheap and shares the cache (and its counters),
+/// which is how one warm cache serves many sweep drivers.
+#[derive(Debug, Clone)]
+pub struct BatchEngine {
+    evaluator: Evaluator,
+    base_config: CoreConfig,
+    cache: Arc<EvalCache>,
+    workers: usize,
+}
+
+impl BatchEngine {
+    /// An engine over `evaluator` with [`default_workers`] workers.
+    #[must_use]
+    pub fn new(evaluator: Evaluator) -> BatchEngine {
+        BatchEngine::with_workers(evaluator, default_workers())
+    }
+
+    /// An engine with an explicit worker count (`0` means the default).
+    #[must_use]
+    pub fn with_workers(evaluator: Evaluator, workers: usize) -> BatchEngine {
+        BatchEngine {
+            evaluator,
+            base_config: CoreConfig::base(),
+            cache: Arc::new(EvalCache::new()),
+            workers: if workers == 0 { default_workers() } else { workers },
+        }
+    }
+
+    /// The evaluator in use.
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.evaluator
+    }
+
+    /// The shared cache.
+    pub fn cache(&self) -> &Arc<EvalCache> {
+        &self.cache
+    }
+
+    /// The worker count used for batch passes.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn config_for(&self, arch: ArchPoint, dvs: DvsPoint) -> Result<CoreConfig, SimError> {
+        arch.apply(&self.base_config, dvs)
+    }
+
+    /// The evaluation at one operating point: served from the cache when
+    /// warm, computed inline (on the calling thread) otherwise.
+    ///
+    /// The hit path costs a single hash lookup; the miss path evaluates
+    /// without holding any lock and then inserts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the point cannot be
+    /// applied to the base configuration.
+    pub fn evaluation(
+        &self,
+        app: App,
+        arch: ArchPoint,
+        dvs: DvsPoint,
+    ) -> Result<Arc<Evaluation>, SimError> {
+        let key = EvalKey::new(app, arch, dvs);
+        if let Some(ev) = self.cache.get(&key) {
+            return Ok(ev);
+        }
+        let config = self.config_for(arch, dvs)?;
+        let ev = self.evaluator.evaluate(app, &config)?;
+        self.cache.add_wall(ev.stats.wall);
+        Ok(self.cache.insert(key, ev))
+    }
+
+    /// Evaluates every job in `jobs` — deduplicated against each other
+    /// and the cache — across the worker pool, filling the shared cache.
+    ///
+    /// Returns the summary of this pass alone. The pass is all-or-
+    /// nothing: the first job error stops the remaining work and is
+    /// propagated (evaluations already finished stay cached).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error any job produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics.
+    pub fn evaluate_all(
+        &self,
+        jobs: &[(App, ArchPoint, DvsPoint)],
+    ) -> Result<SweepSummary, SimError> {
+        let start = Instant::now();
+
+        // Dedup: one work item per distinct cold key.
+        let mut seen = HashSet::new();
+        let mut work: Vec<(EvalKey, App, ArchPoint, DvsPoint)> = Vec::new();
+        let mut warm_hits = 0u64;
+        for &(app, arch, dvs) in jobs {
+            let key = EvalKey::new(app, arch, dvs);
+            if !seen.insert(key) {
+                continue;
+            }
+            if self.cache.peek(&key).is_some() {
+                warm_hits += 1;
+            } else {
+                work.push((key, app, arch, dvs));
+            }
+        }
+
+        let workers = self.workers.min(work.len()).max(1);
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let first_error: Mutex<Option<SimError>> = Mutex::new(None);
+        let busy_ns = AtomicU64::new(0);
+
+        if !work.is_empty() {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let evaluator = self.evaluator.clone();
+                    let work = &work;
+                    let next = &next;
+                    let stop = &stop;
+                    let first_error = &first_error;
+                    let busy_ns = &busy_ns;
+                    scope.spawn(move || {
+                        loop {
+                            if stop.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(key, app, arch, dvs)) = work.get(i) else {
+                                return;
+                            };
+                            let result = self
+                                .config_for(arch, dvs)
+                                .and_then(|config| evaluator.evaluate(app, &config));
+                            match result {
+                                Ok(ev) => {
+                                    busy_ns.fetch_add(
+                                        ev.stats.wall.as_nanos() as u64,
+                                        Ordering::Relaxed,
+                                    );
+                                    self.cache.insert(key, ev);
+                                }
+                                Err(e) => {
+                                    stop.store(true, Ordering::Relaxed);
+                                    first_error
+                                        .lock()
+                                        .expect("error slot lock poisoned")
+                                        .get_or_insert(e);
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+        }
+
+        if let Some(e) = first_error.into_inner().expect("error slot lock poisoned") {
+            return Err(e);
+        }
+        let wall = start.elapsed();
+        self.cache.add_wall(wall);
+        Ok(SweepSummary {
+            workers,
+            evaluations: work.len() as u64,
+            cache_hits: warm_hits,
+            wall,
+            busy: Duration::from_nanos(busy_ns.load(Ordering::Relaxed)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::EvalParams;
+
+    fn engine(workers: usize) -> BatchEngine {
+        BatchEngine::with_workers(
+            Evaluator::ibm_65nm(EvalParams::quick()).unwrap(),
+            workers,
+        )
+    }
+
+    #[test]
+    fn key_distinguishes_voltage_at_equal_frequency() {
+        use sim_common::{Hertz, Volts};
+        let arch = ArchPoint::most_aggressive();
+        let a = EvalKey::new(
+            App::Gzip,
+            arch,
+            DvsPoint { frequency: Hertz::from_ghz(4.0), vdd: Volts(1.0) },
+        );
+        let b = EvalKey::new(
+            App::Gzip,
+            arch,
+            DvsPoint { frequency: Hertz::from_ghz(4.0), vdd: Volts(0.9) },
+        );
+        assert_ne!(a, b);
+        assert_eq!(a.freq_khz, b.freq_khz);
+    }
+
+    #[test]
+    fn batch_deduplicates_and_caches() {
+        let e = engine(2);
+        let job = (App::Gzip, ArchPoint::most_aggressive(), DvsPoint::base());
+        let summary = e.evaluate_all(&[job, job, job]).unwrap();
+        assert_eq!(summary.evaluations, 1);
+        assert_eq!(e.cache().len(), 1);
+        // A second pass over the same job is a pure cache hit.
+        let summary = e.evaluate_all(&[job]).unwrap();
+        assert_eq!(summary.evaluations, 0);
+        assert_eq!(summary.cache_hits, 1);
+    }
+
+    #[test]
+    fn invalid_points_propagate_errors() {
+        let e = engine(2);
+        let bad = DvsPoint::at_ghz(9.0);
+        assert!(bad.is_err() || {
+            let dvs = bad.unwrap();
+            e.evaluate_all(&[(App::Gzip, ArchPoint::most_aggressive(), dvs)])
+                .is_err()
+        });
+    }
+
+    #[test]
+    fn summary_line_formats() {
+        let s = SweepSummary {
+            workers: 4,
+            evaluations: 10,
+            cache_hits: 3,
+            wall: Duration::from_millis(500),
+            busy: Duration::from_millis(1500),
+        };
+        let line = s.to_string();
+        assert!(line.contains("4 jobs"), "{line}");
+        assert!(line.contains("10 evals"), "{line}");
+        assert!(line.contains("3.00x"), "{line}");
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

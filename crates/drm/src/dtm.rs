@@ -37,12 +37,18 @@ pub struct DtmChoice {
 ///
 /// Propagates evaluation errors.
 pub fn dtm_best_dvs(
-    oracle: &mut Oracle,
+    oracle: &Oracle,
     app: App,
     t_max: Kelvin,
     dvs_step_ghz: f64,
 ) -> Result<DtmChoice, SimError> {
     let arch = ArchPoint::most_aggressive();
+    // Pre-evaluate the whole grid in one parallel batch pass.
+    let jobs: Vec<_> = frequency_grid(dvs_step_ghz)
+        .into_iter()
+        .map(|dvs| (app, arch, dvs))
+        .collect();
+    oracle.prefetch(&jobs)?;
     let mut best: Option<DtmChoice> = None;
     let mut coolest: Option<DtmChoice> = None;
     for dvs in frequency_grid(dvs_step_ghz) {
@@ -101,7 +107,7 @@ pub struct DrmDtmPoint {
 ///
 /// Propagates evaluation errors.
 pub fn compare_drm_dtm(
-    oracle: &mut Oracle,
+    oracle: &Oracle,
     app: App,
     temperature: Kelvin,
     model: &ReliabilityModel,
@@ -149,16 +155,16 @@ mod tests {
 
     #[test]
     fn dtm_frequency_is_monotonic_in_t_max() {
-        let mut o = oracle();
-        let f_low = dtm_best_dvs(&mut o, App::Bzip2, Kelvin(345.0), 0.5).unwrap();
-        let f_high = dtm_best_dvs(&mut o, App::Bzip2, Kelvin(400.0), 0.5).unwrap();
+        let o = oracle();
+        let f_low = dtm_best_dvs(&o, App::Bzip2, Kelvin(345.0), 0.5).unwrap();
+        let f_high = dtm_best_dvs(&o, App::Bzip2, Kelvin(400.0), 0.5).unwrap();
         assert!(f_high.dvs.frequency >= f_low.dvs.frequency);
     }
 
     #[test]
     fn dtm_respects_thermal_limit_when_feasible() {
-        let mut o = oracle();
-        let choice = dtm_best_dvs(&mut o, App::MpgDec, Kelvin(380.0), 0.5).unwrap();
+        let o = oracle();
+        let choice = dtm_best_dvs(&o, App::MpgDec, Kelvin(380.0), 0.5).unwrap();
         if choice.feasible {
             assert!(choice.max_temperature <= Kelvin(380.0));
         }
@@ -166,9 +172,9 @@ mod tests {
 
     #[test]
     fn infeasible_thermal_limit_falls_back_to_coolest() {
-        let mut o = oracle();
+        let o = oracle();
         // 320 K is barely above ambient: unattainable at any frequency.
-        let choice = dtm_best_dvs(&mut o, App::MpgDec, Kelvin(320.0), 0.5).unwrap();
+        let choice = dtm_best_dvs(&o, App::MpgDec, Kelvin(320.0), 0.5).unwrap();
         assert!(!choice.feasible);
         assert!(
             (choice.dvs.frequency.to_ghz() - 2.5).abs() < 1e-9,
@@ -178,10 +184,10 @@ mod tests {
 
     #[test]
     fn comparison_reports_consistent_flags() {
-        let mut o = oracle();
+        let o = oracle();
         let t = Kelvin(360.0);
         let m = model(360.0, 0.35);
-        let point = compare_drm_dtm(&mut o, App::Gzip, t, &m, 0.5).unwrap();
+        let point = compare_drm_dtm(&o, App::Gzip, t, &m, 0.5).unwrap();
         assert_eq!(
             point.drm_violates_thermal,
             point.drm_peak_temperature > t

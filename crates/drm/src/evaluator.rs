@@ -16,6 +16,8 @@
 //! 2. leakage power depends on temperature and temperature on power, so
 //!    each pass iterates the leakage/temperature fixed point.
 
+use std::time::{Duration, Instant};
+
 use ramp::{ApplicationFit, ReliabilityModel, StructureConditions};
 use sim_common::{Kelvin, Seconds, SimError, StructureMap, Watts};
 use sim_cpu::{CoreConfig, IntervalStats, Processor};
@@ -114,6 +116,33 @@ impl Default for EvalParams {
     }
 }
 
+/// Wall-time and work counters for one evaluation, split by pipeline
+/// stage (timing simulation vs the power/thermal fixed point).
+///
+/// Diagnostics only: two evaluations of the same (workload, config) pair
+/// are *equal* even when their wall times differ, so `EvalStats` compares
+/// as always-equal and derived [`Evaluation`] equality stays exact on the
+/// simulated quantities (determinism and parity tests rely on this).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalStats {
+    /// Total wall time of the evaluation.
+    pub wall: Duration,
+    /// Wall time of the timing pass (stream generation + cycle simulation).
+    pub timing: Duration,
+    /// Wall time of the power/thermal passes (sink init + per-interval
+    /// leakage/temperature fixed point).
+    pub power_thermal: Duration,
+    /// Leakage/temperature fixed-point iterations executed across both
+    /// passes.
+    pub fixed_point_iterations: u64,
+}
+
+impl PartialEq for EvalStats {
+    fn eq(&self, _: &EvalStats) -> bool {
+        true
+    }
+}
+
 /// One measured interval: timing, power, temperature, and the operating
 /// conditions RAMP consumes.
 #[derive(Debug, Clone, PartialEq)]
@@ -148,6 +177,8 @@ pub struct Evaluation {
     pub sink_temperature: Kelvin,
     /// Per-interval profiles.
     pub intervals: Vec<IntervalProfile>,
+    /// Wall-time / work diagnostics (ignored by equality).
+    pub stats: EvalStats,
 }
 
 impl Evaluation {
@@ -273,6 +304,8 @@ impl Evaluator {
         config: &CoreConfig,
     ) -> Result<Evaluation, SimError> {
         profile.validate()?;
+        let start = Instant::now();
+        let mut fixed_point_iterations = 0u64;
         let stream = SyntheticStream::new(profile.clone(), self.params.seed);
         let mut cpu = Processor::new(config.clone(), stream)?;
 
@@ -290,6 +323,7 @@ impl Evaluator {
             self.params.interval_instructions,
         );
         let timing: Vec<IntervalStats> = run.intervals().to_vec();
+        let timing_wall = start.elapsed();
 
         // Pass 1 (§6.3): iterate average power ↔ sink temperature to find
         // the steady-state heat-sink operating point.
@@ -310,6 +344,7 @@ impl Evaluator {
                 .thermal
                 .steady_sink_temperature(avg_power)
                 .min(Kelvin(MAX_JUNCTION_K));
+            fixed_point_iterations += 1;
             // Refresh the temperature guesses under the new sink.
             for (iv, temps) in timing.iter().zip(temps_guess.iter_mut()) {
                 let breakdown = self.power.power(config, &iv.activity, temps);
@@ -327,6 +362,7 @@ impl Evaluator {
         for iv in &timing {
             let mut breakdown = self.power.power(config, &iv.activity, &temps);
             for _ in 0..self.params.leakage_iterations {
+                fixed_point_iterations += 1;
                 temps = clamp_temps(
                     self.thermal
                         .steady_state_with_sink(&breakdown.per_structure(), sink),
@@ -352,6 +388,7 @@ impl Evaluator {
         }
 
         let ipc = run.ipc();
+        let wall = start.elapsed();
         Ok(Evaluation {
             workload: profile.name.clone(),
             config: config.clone(),
@@ -359,6 +396,12 @@ impl Evaluator {
             bips: ipc * config.frequency.to_ghz(),
             sink_temperature: sink,
             intervals,
+            stats: EvalStats {
+                wall,
+                timing: timing_wall,
+                power_thermal: wall.saturating_sub(timing_wall),
+                fixed_point_iterations,
+            },
         })
     }
 }
@@ -457,6 +500,22 @@ mod tests {
         let e = evaluator();
         let a = e.evaluate(App::Ammp, &CoreConfig::base()).unwrap();
         let b = e.evaluate(App::Ammp, &CoreConfig::base()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stats_are_populated_and_ignored_by_equality() {
+        let e = evaluator();
+        let a = e.evaluate(App::Gzip, &CoreConfig::base()).unwrap();
+        assert!(a.stats.wall > Duration::ZERO);
+        assert!(a.stats.timing > Duration::ZERO);
+        assert!(a.stats.wall >= a.stats.timing);
+        // 3 sink iterations + 3 per interval (quick(): 4 intervals).
+        assert!(a.stats.fixed_point_iterations > 0);
+        // Equality must not depend on wall time: compare against a copy
+        // with zeroed stats.
+        let mut b = a.clone();
+        b.stats = EvalStats::default();
         assert_eq!(a, b);
     }
 

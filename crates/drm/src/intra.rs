@@ -74,7 +74,7 @@ fn interval_fit(evaluation: &Evaluation, k: usize, model: &ReliabilityModel) -> 
 /// Propagates evaluation errors; returns [`SimError::Infeasible`] when the
 /// strategy has no candidates.
 pub fn intra_app_best(
-    oracle: &mut Oracle,
+    oracle: &Oracle,
     app: App,
     strategy: Strategy,
     model: &ReliabilityModel,
@@ -88,7 +88,14 @@ pub fn intra_app_best(
         .map(|iv| iv.duration.0)
         .sum();
 
-    // Build the per-candidate cost tables.
+    // Pre-evaluate the candidate set in one parallel pass, then build
+    // the per-candidate cost tables from cache hits.
+    let jobs: Vec<_> = strategy
+        .candidates(dvs_step_ghz)
+        .into_iter()
+        .map(|(arch, dvs)| (app, arch, dvs))
+        .collect();
+    oracle.prefetch(&jobs)?;
     let mut candidates = Vec::new();
     let mut n_intervals = usize::MAX;
     for (arch, dvs) in strategy.candidates(dvs_step_ghz) {
@@ -96,7 +103,7 @@ pub fn intra_app_best(
         n_intervals = n_intervals.min(ev.intervals.len());
         let time: Vec<f64> = ev.intervals.iter().map(|iv| iv.duration.0).collect();
         let fit: Vec<f64> = (0..ev.intervals.len())
-            .map(|k| interval_fit(ev, k, model))
+            .map(|k| interval_fit(&ev, k, model))
             .collect();
         candidates.push(Candidate {
             arch,
@@ -215,11 +222,11 @@ mod tests {
         // The inter-application oracle's choice is one point of the
         // intra-application schedule space, so the schedule can only be
         // at least as fast (when both are feasible).
-        let mut o = oracle();
+        let o = oracle();
         for t in [366.0, 394.0, 405.0] {
             let m = model(t);
             let inter = o.best(App::MpgDec, Strategy::Dvs, &m, 0.5).unwrap();
-            let intra = intra_app_best(&mut o, App::MpgDec, Strategy::Dvs, &m, 0.5).unwrap();
+            let intra = intra_app_best(&o, App::MpgDec, Strategy::Dvs, &m, 0.5).unwrap();
             if inter.feasible && intra.feasible {
                 assert!(
                     intra.relative_performance >= inter.relative_performance - 0.02,
@@ -233,9 +240,9 @@ mod tests {
 
     #[test]
     fn schedule_meets_budget_when_feasible() {
-        let mut o = oracle();
+        let o = oracle();
         let m = model(380.0);
-        let choice = intra_app_best(&mut o, App::Gzip, Strategy::Dvs, &m, 0.5).unwrap();
+        let choice = intra_app_best(&o, App::Gzip, Strategy::Dvs, &m, 0.5).unwrap();
         if choice.feasible {
             assert!(choice.fit <= m.target_fit());
         }
@@ -248,10 +255,10 @@ mod tests {
         // budget the schedule should not be constant (it banks budget in
         // cool intervals to spend in hot ones), unless a single setting is
         // already exactly optimal.
-        let mut o = oracle();
+        let o = oracle();
         let m = model(380.0);
         let choice =
-            intra_app_best(&mut o, App::MpgDec, Strategy::Dvs, &m, 0.25).unwrap();
+            intra_app_best(&o, App::MpgDec, Strategy::Dvs, &m, 0.25).unwrap();
         let inter = o.best(App::MpgDec, Strategy::Dvs, &m, 0.25).unwrap();
         assert!(
             choice.relative_performance >= inter.relative_performance - 1e-9,
@@ -265,7 +272,7 @@ mod tests {
     fn unconstrained_schedule_is_fastest_grid_point() {
         // With an absurdly generous target every interval picks the
         // fastest configuration: performance matches the 5 GHz point.
-        let mut o = oracle();
+        let o = oracle();
         let generous = ReliabilityModel::qualify(
             FailureParams::ramp_65nm(),
             &QualificationPoint::at_temperature(Kelvin(470.0), 0.48),
@@ -274,7 +281,7 @@ mod tests {
         )
         .unwrap();
         let choice =
-            intra_app_best(&mut o, App::Twolf, Strategy::Dvs, &generous, 0.5).unwrap();
+            intra_app_best(&o, App::Twolf, Strategy::Dvs, &generous, 0.5).unwrap();
         assert!(choice.feasible);
         for (_, dvs) in &choice.per_interval {
             assert!((dvs.frequency.to_ghz() - 5.0).abs() < 1e-9);

@@ -20,7 +20,11 @@
 //! * [`ArchPoint`] / [`DvsPoint`] / [`Strategy`] — the §6.1 adaptation
 //!   space (18 microarchitectural configurations, 2.5–5 GHz DVS with the
 //!   Pentium-M-extrapolated V(f));
-//! * [`Oracle`] — the §5 oracular DRM study with evaluation caching;
+//! * [`BatchEngine`] — a std-only scoped-thread worker pool that
+//!   pre-evaluates whole candidate sweeps in parallel, filling the shared
+//!   thread-safe [`EvalCache`] keyed on the full operating point;
+//! * [`Oracle`] — the §5 oracular DRM study with shared-cache evaluation
+//!   (all methods take `&self`, so one oracle serves many threads);
 //! * [`dtm`] — dynamic thermal management and the §7.3 DRM-vs-DTM
 //!   comparison;
 //! * [`controller`] — a reactive interval-based DRM controller (the
@@ -35,7 +39,7 @@
 //! use sim_common::{Floorplan, Kelvin};
 //! use workload::App;
 //!
-//! let mut oracle = Oracle::new(Evaluator::ibm_65nm(EvalParams::quick())?);
+//! let oracle = Oracle::new(Evaluator::ibm_65nm(EvalParams::quick())?);
 //! let model = ReliabilityModel::qualify(
 //!     FailureParams::ramp_65nm(),
 //!     &QualificationPoint::at_temperature(Kelvin(370.0), 0.35),
@@ -52,6 +56,7 @@
 //! # Ok::<(), sim_common::SimError>(())
 //! ```
 
+pub mod batch;
 pub mod controller;
 pub mod dtm;
 pub mod dvs;
@@ -63,10 +68,11 @@ pub mod scaling;
 pub mod sensors;
 pub mod space;
 
+pub use batch::{default_workers, BatchEngine, EvalCache, EvalKey, SweepSummary};
 pub use controller::{ControllerParams, ControlTrace, ReactiveDrm};
 pub use dtm::{compare_drm_dtm, dtm_best_dvs, DrmDtmPoint, DtmChoice};
 pub use dvs::{frequency_grid, voltage_for_frequency, DvsPoint};
-pub use evaluator::{EvalParams, Evaluation, Evaluator, IntervalProfile};
+pub use evaluator::{EvalParams, EvalStats, Evaluation, Evaluator, IntervalProfile};
 pub use intra::{intra_app_best, IntraAppChoice};
 pub use mix::WorkloadMix;
 pub use oracle::{DrmChoice, Oracle};

@@ -77,7 +77,7 @@ impl WorkloadMix {
     /// Propagates evaluation errors.
     pub fn fit(
         &self,
-        oracle: &mut Oracle,
+        oracle: &Oracle,
         arch: ArchPoint,
         dvs: DvsPoint,
         model: &ReliabilityModel,
@@ -99,7 +99,7 @@ impl WorkloadMix {
     /// Propagates evaluation errors.
     pub fn relative_performance(
         &self,
-        oracle: &mut Oracle,
+        oracle: &Oracle,
         arch: ArchPoint,
         dvs: DvsPoint,
     ) -> Result<f64, SimError> {
@@ -122,11 +122,22 @@ impl WorkloadMix {
     /// Propagates evaluation errors.
     pub fn best(
         &self,
-        oracle: &mut Oracle,
+        oracle: &Oracle,
         strategy: Strategy,
         model: &ReliabilityModel,
         dvs_step_ghz: f64,
     ) -> Result<DrmChoice, SimError> {
+        // Pre-evaluate every (constituent, candidate) pair in one
+        // parallel pass.
+        let candidates = strategy.candidates(dvs_step_ghz);
+        let mut jobs = Vec::with_capacity(self.entries.len() * (candidates.len() + 1));
+        for &(app, _) in &self.entries {
+            jobs.push((app, ArchPoint::most_aggressive(), DvsPoint::base()));
+            for &(arch, dvs) in &candidates {
+                jobs.push((app, arch, dvs));
+            }
+        }
+        oracle.prefetch(&jobs)?;
         let target = model.target_fit();
         let mut best_feasible: Option<DrmChoice> = None;
         let mut min_fit: Option<DrmChoice> = None;
@@ -194,7 +205,7 @@ mod tests {
 
     #[test]
     fn mix_fit_is_weighted_average() {
-        let mut o = oracle();
+        let o = oracle();
         let m = model(394.0);
         let arch = ArchPoint::most_aggressive();
         let dvs = DvsPoint::base();
@@ -211,7 +222,7 @@ mod tests {
             .total()
             .value();
         let mix = WorkloadMix::new([(App::MpgDec, 0.3), (App::Twolf, 0.7)]).unwrap();
-        let got = mix.fit(&mut o, arch, dvs, &m).unwrap().value();
+        let got = mix.fit(&o, arch, dvs, &m).unwrap().value();
         assert!((got - (0.3 * hot + 0.7 * cool)).abs() < 1e-9);
     }
 
@@ -220,7 +231,7 @@ mod tests {
         // A hot app infeasible alone at a tight qualification becomes
         // feasible at base settings inside a mostly-cool mix (§3.6 / §4:
         // reliability can be budgeted over time).
-        let mut o = oracle();
+        let o = oracle();
         let m = model(385.0);
         let arch = ArchPoint::most_aggressive();
         let dvs = DvsPoint::base();
@@ -231,7 +242,7 @@ mod tests {
             .total();
         assert!(hot_alone > m.target_fit(), "premise: hot app over budget");
         let mix = WorkloadMix::new([(App::MpgDec, 0.2), (App::Art, 0.8)]).unwrap();
-        let mixed = mix.fit(&mut o, arch, dvs, &m).unwrap();
+        let mixed = mix.fit(&o, arch, dvs, &m).unwrap();
         assert!(
             mixed <= m.target_fit(),
             "mix {mixed:?} should fit the budget"
@@ -240,10 +251,10 @@ mod tests {
 
     #[test]
     fn mix_search_is_at_least_as_good_as_worst_member() {
-        let mut o = oracle();
+        let o = oracle();
         let m = model(380.0);
         let mix = WorkloadMix::new([(App::MpgDec, 0.5), (App::Twolf, 0.5)]).unwrap();
-        let mix_choice = mix.best(&mut o, Strategy::Dvs, &m, 0.5).unwrap();
+        let mix_choice = mix.best(&o, Strategy::Dvs, &m, 0.5).unwrap();
         let hot_choice = o.best(App::MpgDec, Strategy::Dvs, &m, 0.5).unwrap();
         // The mix's frequency should be at least the hot app's solo
         // frequency: averaging with a cool app only relaxes the constraint.

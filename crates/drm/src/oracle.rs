@@ -7,16 +7,21 @@
 //! knowledge of the application behavior."
 //!
 //! Timing/power/thermal profiles depend only on (workload, configuration),
-//! not on the qualification point, so evaluations are cached and re-scored
-//! against each [`ReliabilityModel`].
+//! not on the qualification point, so evaluations are cached — in the
+//! thread-safe [`EvalCache`] shared through the [`BatchEngine`] — and
+//! re-scored against each [`ReliabilityModel`]. [`Oracle::best`] first
+//! pre-evaluates the strategy's whole candidate set in one parallel pass,
+//! then scores serially; all methods take `&self`, so one oracle can be
+//! shared across threads.
 
-use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 use ramp::{Fit, ReliabilityModel};
 use sim_common::SimError;
-use sim_cpu::CoreConfig;
 use workload::App;
 
+use crate::batch::{BatchEngine, SweepSummary};
 use crate::dvs::DvsPoint;
 use crate::evaluator::{Evaluation, Evaluator};
 use crate::space::{ArchPoint, Strategy};
@@ -38,64 +43,79 @@ pub struct DrmChoice {
     pub feasible: bool,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct CacheKey {
-    app: App,
-    arch: ArchPoint,
-    freq_mhz: u64,
-}
-
-/// Evaluation cache + oracular search.
-#[derive(Debug)]
+/// Evaluation cache + oracular search, backed by the parallel
+/// [`BatchEngine`].
+#[derive(Debug, Clone)]
 pub struct Oracle {
-    evaluator: Evaluator,
-    base_config: CoreConfig,
-    cache: HashMap<CacheKey, Evaluation>,
+    engine: BatchEngine,
 }
 
 impl Oracle {
     /// Creates an oracle over `evaluator` with the Table 1 base processor
-    /// as the performance reference.
+    /// as the performance reference, using every available core for
+    /// candidate sweeps.
+    #[must_use]
     pub fn new(evaluator: Evaluator) -> Oracle {
-        Oracle {
-            evaluator,
-            base_config: CoreConfig::base(),
-            cache: HashMap::new(),
-        }
+        Oracle { engine: BatchEngine::new(evaluator) }
+    }
+
+    /// Creates an oracle with an explicit sweep worker count (`0` means
+    /// `available_parallelism()`; `1` is fully sequential).
+    #[must_use]
+    pub fn with_workers(evaluator: Evaluator, workers: usize) -> Oracle {
+        Oracle { engine: BatchEngine::with_workers(evaluator, workers) }
     }
 
     /// The evaluator in use.
     pub fn evaluator(&self) -> &Evaluator {
-        &self.evaluator
+        self.engine.evaluator()
+    }
+
+    /// The underlying batch engine.
+    pub fn engine(&self) -> &BatchEngine {
+        &self.engine
+    }
+
+    /// Worker threads used for candidate sweeps.
+    pub fn workers(&self) -> usize {
+        self.engine.workers()
     }
 
     /// Number of distinct (workload, configuration) evaluations performed.
     pub fn evaluations_performed(&self) -> usize {
-        self.cache.len()
+        self.engine.cache().len()
+    }
+
+    /// Cumulative sweep statistics over the life of this oracle (shared
+    /// cache counters; `wall`/`busy` cover the batch passes).
+    #[must_use]
+    pub fn summary(&self) -> SweepSummary {
+        let cache = self.engine.cache();
+        SweepSummary {
+            workers: self.engine.workers(),
+            evaluations: cache.len() as u64,
+            cache_hits: cache.hits(),
+            wall: cache.wall(),
+            busy: cache.busy(),
+        }
     }
 
     /// The (cached) evaluation of `app` at an adaptation point.
+    ///
+    /// The cache key is the full operating point — application,
+    /// `ArchPoint`, frequency *and* voltage — so distinct points never
+    /// alias. A cache hit costs one hash lookup.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] when the point cannot be applied.
     pub fn evaluation(
-        &mut self,
+        &self,
         app: App,
         arch: ArchPoint,
         dvs: DvsPoint,
-    ) -> Result<&Evaluation, SimError> {
-        let key = CacheKey {
-            app,
-            arch,
-            freq_mhz: (dvs.frequency.to_ghz() * 1000.0).round() as u64,
-        };
-        if !self.cache.contains_key(&key) {
-            let config = arch.apply(&self.base_config, dvs)?;
-            let ev = self.evaluator.evaluate(app, &config)?;
-            self.cache.insert(key, ev);
-        }
-        Ok(&self.cache[&key])
+    ) -> Result<Arc<Evaluation>, SimError> {
+        self.engine.evaluation(app, arch, dvs)
     }
 
     /// The (cached) evaluation of `app` on the base non-adaptive processor.
@@ -103,17 +123,61 @@ impl Oracle {
     /// # Errors
     ///
     /// Propagates evaluation errors.
-    pub fn base_evaluation(&mut self, app: App) -> Result<&Evaluation, SimError> {
+    pub fn base_evaluation(&self, app: App) -> Result<Arc<Evaluation>, SimError> {
         self.evaluation(app, ArchPoint::most_aggressive(), DvsPoint::base())
     }
 
+    /// Pre-evaluates a list of jobs in one parallel pass, filling the
+    /// shared cache; subsequent [`Oracle::evaluation`] calls for those
+    /// points are pure cache hits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first evaluation error.
+    pub fn prefetch(
+        &self,
+        jobs: &[(App, ArchPoint, DvsPoint)],
+    ) -> Result<SweepSummary, SimError> {
+        self.engine.evaluate_all(jobs)
+    }
+
+    /// Pre-evaluates `strategy`'s full candidate set (plus the base
+    /// point) for every application in `apps` — the whole figure-scale
+    /// sweep — in one parallel pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first evaluation error.
+    pub fn prefetch_suite(
+        &self,
+        apps: &[App],
+        strategy: Strategy,
+        dvs_step_ghz: f64,
+    ) -> Result<SweepSummary, SimError> {
+        let candidates = strategy.candidates(dvs_step_ghz);
+        let mut jobs = Vec::with_capacity(apps.len() * (candidates.len() + 1));
+        for &app in apps {
+            jobs.push((app, ArchPoint::most_aggressive(), DvsPoint::base()));
+            for &(arch, dvs) in &candidates {
+                jobs.push((app, arch, dvs));
+            }
+        }
+        self.engine.evaluate_all(&jobs)
+    }
+
     /// The highest activity factor across the given applications on the
-    /// base processor — the paper's `α_qual` (§3.7).
+    /// base processor — the paper's `α_qual` (§3.7). The per-app base
+    /// evaluations run in parallel.
     ///
     /// # Errors
     ///
     /// Propagates evaluation errors.
-    pub fn suite_max_activity(&mut self, apps: &[App]) -> Result<f64, SimError> {
+    pub fn suite_max_activity(&self, apps: &[App]) -> Result<f64, SimError> {
+        let jobs: Vec<_> = apps
+            .iter()
+            .map(|&app| (app, ArchPoint::most_aggressive(), DvsPoint::base()))
+            .collect();
+        self.engine.evaluate_all(&jobs)?;
         let mut max = 0.0f64;
         for &app in apps {
             max = max.max(self.base_evaluation(app)?.max_activity());
@@ -124,23 +188,32 @@ impl Oracle {
     /// Oracular DRM: the best-performing candidate of `strategy` for `app`
     /// that keeps the application FIT within `model`'s target.
     ///
+    /// The candidate set is pre-evaluated in one parallel batch pass,
+    /// then scored serially against `model` (scoring is cheap and
+    /// T_qual-dependent; the pipeline is expensive and T_qual-free).
+    ///
     /// # Errors
     ///
     /// Propagates evaluation errors; returns [`SimError::Infeasible`] only
     /// when the strategy has no candidates (cannot happen for the built-in
     /// strategies).
     pub fn best(
-        &mut self,
+        &self,
         app: App,
         strategy: Strategy,
         model: &ReliabilityModel,
         dvs_step_ghz: f64,
     ) -> Result<DrmChoice, SimError> {
+        let candidates = strategy.candidates(dvs_step_ghz);
+        let mut jobs: Vec<_> = candidates.iter().map(|&(a, d)| (app, a, d)).collect();
+        jobs.push((app, ArchPoint::most_aggressive(), DvsPoint::base()));
+        self.engine.evaluate_all(&jobs)?;
+
         let base_bips = self.base_evaluation(app)?.bips;
         let target = model.target_fit();
         let mut best_feasible: Option<DrmChoice> = None;
         let mut min_fit: Option<DrmChoice> = None;
-        for (arch, dvs) in strategy.candidates(dvs_step_ghz) {
+        for (arch, dvs) in candidates {
             let ev = self.evaluation(app, arch, dvs)?;
             let fit = ev.application_fit(model).total();
             let choice = DrmChoice {
@@ -167,6 +240,26 @@ impl Oracle {
             .or(min_fit)
             .ok_or_else(|| SimError::infeasible(format!("{strategy} has no candidates")))
     }
+
+    /// Like [`Oracle::best`], but also returns the wall-clock summary of
+    /// the candidate-sweep batch pass (for drivers that report timing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn best_with_summary(
+        &self,
+        app: App,
+        strategy: Strategy,
+        model: &ReliabilityModel,
+        dvs_step_ghz: f64,
+    ) -> Result<(DrmChoice, SweepSummary), SimError> {
+        let start = Instant::now();
+        let mut summary = self.prefetch_suite(&[app], strategy, dvs_step_ghz)?;
+        let choice = self.best(app, strategy, model, dvs_step_ghz)?;
+        summary.wall = start.elapsed();
+        Ok((choice, summary))
+    }
 }
 
 #[cfg(test)]
@@ -174,7 +267,7 @@ mod tests {
     use super::*;
     use crate::evaluator::EvalParams;
     use ramp::{FailureParams, QualificationPoint, ReliabilityModel};
-    use sim_common::{Floorplan, Kelvin};
+    use sim_common::{Floorplan, Hertz, Kelvin, Volts};
 
     fn oracle() -> Oracle {
         Oracle::new(Evaluator::ibm_65nm(EvalParams::quick()).unwrap())
@@ -192,7 +285,7 @@ mod tests {
 
     #[test]
     fn evaluations_are_cached() {
-        let mut o = oracle();
+        let o = oracle();
         o.base_evaluation(App::Gzip).unwrap();
         o.base_evaluation(App::Gzip).unwrap();
         assert_eq!(o.evaluations_performed(), 1);
@@ -203,10 +296,28 @@ mod tests {
     }
 
     #[test]
+    fn same_frequency_different_voltage_points_do_not_alias() {
+        // Regression: the cache key once held only the frequency, so two
+        // operating points with equal frequency and different voltages
+        // collapsed to a single cached evaluation.
+        let o = oracle();
+        let arch = ArchPoint::most_aggressive();
+        let nominal = DvsPoint { frequency: Hertz::from_ghz(4.0), vdd: Volts(1.0) };
+        let undervolted = DvsPoint { frequency: Hertz::from_ghz(4.0), vdd: Volts(0.9) };
+        let a = o.evaluation(App::Gzip, arch, nominal).unwrap();
+        let b = o.evaluation(App::Gzip, arch, undervolted).unwrap();
+        assert_eq!(o.evaluations_performed(), 2, "distinct points must not alias");
+        assert_eq!(a.config.vdd, Volts(1.0));
+        assert_eq!(b.config.vdd, Volts(0.9));
+        // Lower voltage means measurably lower power for the same stream.
+        assert!(b.average_power() < a.average_power());
+    }
+
+    #[test]
     fn generous_qualification_allows_overclocking() {
         // At T_qual = 400 K every app has reliability headroom: DVS should
         // pick a frequency above the base 4 GHz (§7.1).
-        let mut o = oracle();
+        let o = oracle();
         let choice = o
             .best(App::Twolf, Strategy::Dvs, &model(400.0), 0.5)
             .unwrap();
@@ -222,7 +333,7 @@ mod tests {
     #[test]
     fn harsh_qualification_forces_throttling() {
         // At T_qual = 325 K a hot app must slow below base (§7.1).
-        let mut o = oracle();
+        let o = oracle();
         let choice = o
             .best(App::MpgDec, Strategy::Dvs, &model(325.0), 0.5)
             .unwrap();
@@ -237,7 +348,7 @@ mod tests {
     #[test]
     fn arch_strategy_never_exceeds_base_performance() {
         // §6.1: Arch cannot change frequency, so relative performance ≤ 1.
-        let mut o = oracle();
+        let o = oracle();
         for t in [325.0, 400.0] {
             let choice = o
                 .best(App::Bzip2, Strategy::Arch, &model(t), 0.5)
@@ -252,7 +363,7 @@ mod tests {
 
     #[test]
     fn choice_respects_fit_target_when_feasible() {
-        let mut o = oracle();
+        let o = oracle();
         let m = model(360.0);
         let choice = o.best(App::Equake, Strategy::Dvs, &m, 0.5).unwrap();
         if choice.feasible {
@@ -264,7 +375,7 @@ mod tests {
     fn archdvs_at_least_matches_dvs() {
         // ArchDVS's candidate set contains all of DVS's, so its optimum
         // cannot be worse.
-        let mut o = oracle();
+        let o = oracle();
         let m = model(345.0);
         let dvs = o.best(App::Ammp, Strategy::Dvs, &m, 0.5).unwrap();
         let archdvs = o.best(App::Ammp, Strategy::ArchDvs, &m, 0.5).unwrap();
@@ -273,8 +384,22 @@ mod tests {
 
     #[test]
     fn suite_max_activity_is_positive_probability() {
-        let mut o = oracle();
+        let o = oracle();
         let a = o.suite_max_activity(&[App::Gzip, App::Twolf]).unwrap();
         assert!(a > 0.0 && a <= 1.0);
+    }
+
+    #[test]
+    fn summary_accumulates_across_searches() {
+        let o = oracle();
+        o.best(App::Gzip, Strategy::Dvs, &model(370.0), 0.5).unwrap();
+        let s = o.summary();
+        assert_eq!(s.evaluations, 6);
+        assert!(s.workers >= 1);
+        // Scoring the same strategy again is pure cache hits.
+        o.best(App::Gzip, Strategy::Dvs, &model(345.0), 0.5).unwrap();
+        let s2 = o.summary();
+        assert_eq!(s2.evaluations, 6);
+        assert!(s2.cache_hits > s.cache_hits);
     }
 }

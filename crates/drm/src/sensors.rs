@@ -8,8 +8,7 @@
 //! the guard bands a designer must add for sensor error can be quantified
 //! (see the `sensor` tests and the `extensions` study).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use sim_common::Xoshiro256pp;
 use sim_common::{Kelvin, SimError, StructureMap};
 
 /// Characteristics of a thermal sensor bank (one sensor per structure).
@@ -84,7 +83,7 @@ pub struct SensorBank {
     params: SensorParams,
     offsets: StructureMap<f64>,
     filtered: Option<StructureMap<f64>>,
-    rng: SmallRng,
+    rng: Xoshiro256pp,
 }
 
 impl SensorBank {
@@ -95,10 +94,10 @@ impl SensorBank {
     /// Returns [`SimError::InvalidConfig`] when parameters are invalid.
     pub fn new(params: SensorParams, seed: u64) -> Result<SensorBank, SimError> {
         params.validate()?;
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let offsets = StructureMap::from_fn(|_| {
             if params.offset_bound > 0.0 {
-                rng.gen_range(-params.offset_bound..=params.offset_bound)
+                rng.gen_f64_inclusive(-params.offset_bound, params.offset_bound)
             } else {
                 0.0
             }
@@ -146,9 +145,9 @@ impl SensorBank {
 }
 
 /// Standard-normal sample via Box–Muller.
-fn gaussian(rng: &mut impl Rng) -> f64 {
-    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen();
+fn gaussian(rng: &mut Xoshiro256pp) -> f64 {
+    let u1: f64 = rng.gen_f64(f64::EPSILON..1.0);
+    let u2: f64 = rng.next_f64();
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 

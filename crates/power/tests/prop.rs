@@ -1,57 +1,63 @@
-//! Property-based tests of the power model.
+//! Randomized property tests of the power model, driven by the in-tree
+//! deterministic PRNG.
 
-use proptest::prelude::*;
-use sim_common::{Hertz, Kelvin, Structure, StructureMap, Volts};
+use sim_common::{Hertz, Kelvin, Structure, StructureMap, Volts, Xoshiro256pp};
 use sim_cpu::CoreConfig;
 use sim_power::PowerModel;
 
-fn arb_activity() -> impl Strategy<Value = StructureMap<f64>> {
-    proptest::collection::vec(0.0..1.0f64, 9)
-        .prop_map(|v| StructureMap::from_fn(|s| v[s.index()]))
+const CASES: usize = 48;
+
+fn random_activity(rng: &mut Xoshiro256pp) -> StructureMap<f64> {
+    let v: Vec<f64> = (0..9).map(|_| rng.gen_f64(0.0..1.0)).collect();
+    StructureMap::from_fn(|s| v[s.index()])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Dynamic power is bounded by the clock-gated floor and the full-peak
-    /// ceiling, for any activity.
-    #[test]
-    fn dynamic_power_is_bounded(activity in arb_activity()) {
+/// Dynamic power is bounded by the clock-gated floor and the full-peak
+/// ceiling, for any activity.
+#[test]
+fn dynamic_power_is_bounded() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x4001);
+    for _ in 0..CASES {
+        let activity = random_activity(&mut rng);
         let m = PowerModel::ibm_65nm();
         let cfg = CoreConfig::base();
         let p = m.dynamic_power(&cfg, &activity);
         for (s, w) in p.iter() {
             let pmax = m.params().pmax_dynamic[s].0;
-            prop_assert!(w.0 >= 0.1 * pmax - 1e-12, "{s} below idle floor");
-            prop_assert!(w.0 <= pmax + 1e-12, "{s} above peak");
+            assert!(w.0 >= 0.1 * pmax - 1e-12, "{s} below idle floor");
+            assert!(w.0 <= pmax + 1e-12, "{s} above peak");
         }
     }
+}
 
-    /// Monotonicity: raising any structure's activity never lowers power.
-    #[test]
-    fn dynamic_power_monotone_in_activity(
-        activity in arb_activity(),
-        bump in 0.01..0.5f64,
-        idx in 0usize..9,
-    ) {
+/// Monotonicity: raising any structure's activity never lowers power.
+#[test]
+fn dynamic_power_monotone_in_activity() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x4002);
+    for _ in 0..CASES {
+        let activity = random_activity(&mut rng);
+        let bump = rng.gen_f64(0.01..0.5);
+        let idx = rng.gen_usize(0..9);
         let m = PowerModel::ibm_65nm();
         let cfg = CoreConfig::base();
-        let mut higher = activity.clone();
+        let mut higher = activity;
         let s = Structure::ALL[idx];
         higher[s] = (higher[s] + bump).min(1.0);
         let base = m.dynamic_power(&cfg, &activity);
         let up = m.dynamic_power(&cfg, &higher);
-        prop_assert!(up[s].0 >= base[s].0 - 1e-12);
+        assert!(up[s].0 >= base[s].0 - 1e-12);
     }
+}
 
-    /// DVS scaling law: dynamic ∝ V²f, leakage ∝ V — exactly.
-    #[test]
-    fn dvs_scaling_laws(
-        v in 0.75..1.15f64,
-        f in 2.5..5.0f64,
-        activity in arb_activity(),
-        t in 330.0..420.0f64,
-    ) {
+/// DVS scaling law: dynamic ∝ V²f, leakage ∝ V — exactly.
+#[test]
+fn dvs_scaling_laws() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x4003);
+    for _ in 0..CASES {
+        let v = rng.gen_f64(0.75..1.15);
+        let f = rng.gen_f64(2.5..5.0);
+        let activity = random_activity(&mut rng);
+        let t = rng.gen_f64(330.0..420.0);
         let m = PowerModel::ibm_65nm();
         let base = CoreConfig::base();
         let scaled = base.with_dvs(Hertz::from_ghz(f), Volts(v));
@@ -63,48 +69,63 @@ proptest! {
         let dyn_factor = v * v * (f / 4.0);
         for s in Structure::ALL {
             if d0[s].0 > 0.0 {
-                prop_assert!((d1[s].0 / d0[s].0 - dyn_factor).abs() < 1e-9, "{s} dynamic");
+                assert!((d1[s].0 / d0[s].0 - dyn_factor).abs() < 1e-9, "{s} dynamic");
             }
-            prop_assert!((l1[s].0 / l0[s].0 - v).abs() < 1e-9, "{s} leakage");
+            assert!((l1[s].0 / l0[s].0 - v).abs() < 1e-9, "{s} leakage");
         }
     }
+}
 
-    /// Leakage doubles roughly every 41 K (β = 0.017) regardless of the
-    /// baseline temperature.
-    #[test]
-    fn leakage_doubling_interval(t in 320.0..420.0f64) {
+/// Leakage doubles roughly every 41 K (β = 0.017) regardless of the
+/// baseline temperature.
+#[test]
+fn leakage_doubling_interval() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x4004);
+    for _ in 0..CASES {
+        let t = rng.gen_f64(320.0..420.0);
         let m = PowerModel::ibm_65nm();
         let cfg = CoreConfig::base();
         let doubling = (2.0f64).ln() / 0.017;
-        let lo: f64 = m.leakage_power(&cfg, &StructureMap::splat(Kelvin(t)))
-            .iter().map(|(_, w)| w.0).sum();
-        let hi: f64 = m.leakage_power(&cfg, &StructureMap::splat(Kelvin(t + doubling)))
-            .iter().map(|(_, w)| w.0).sum();
-        prop_assert!((hi / lo - 2.0).abs() < 1e-9);
+        let lo: f64 = m
+            .leakage_power(&cfg, &StructureMap::splat(Kelvin(t)))
+            .iter()
+            .map(|(_, w)| w.0)
+            .sum();
+        let hi: f64 = m
+            .leakage_power(&cfg, &StructureMap::splat(Kelvin(t + doubling)))
+            .iter()
+            .map(|(_, w)| w.0)
+            .sum();
+        assert!((hi / lo - 2.0).abs() < 1e-9);
     }
+}
 
-    /// Breakdown totals decompose exactly.
-    #[test]
-    fn breakdown_is_consistent(activity in arb_activity(), t in 330.0..420.0f64) {
+/// Breakdown totals decompose exactly.
+#[test]
+fn breakdown_is_consistent() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x4005);
+    for _ in 0..CASES {
+        let activity = random_activity(&mut rng);
+        let t = rng.gen_f64(330.0..420.0);
         let m = PowerModel::ibm_65nm();
         let cfg = CoreConfig::base();
         let b = m.power(&cfg, &activity, &StructureMap::splat(Kelvin(t)));
-        prop_assert!(
-            (b.total().0 - b.total_dynamic().0 - b.total_leakage().0).abs() < 1e-9
-        );
+        assert!((b.total().0 - b.total_dynamic().0 - b.total_leakage().0).abs() < 1e-9);
         let per: f64 = b.per_structure().iter().map(|(_, w)| w.0).sum();
-        prop_assert!((per - b.total().0).abs() < 1e-9);
+        assert!((per - b.total().0).abs() < 1e-9);
     }
+}
 
-    /// Adaptation scaling: powered fraction multiplies both components of
-    /// the adaptable structures.
-    #[test]
-    fn powered_fraction_scales_power(
-        window in 16u32..=128,
-        alus in 1u32..=6,
-        fpus in 1u32..=4,
-        activity in arb_activity(),
-    ) {
+/// Adaptation scaling: powered fraction multiplies both components of
+/// the adaptable structures.
+#[test]
+fn powered_fraction_scales_power() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x4006);
+    for _ in 0..CASES {
+        let window = rng.gen_u64(16..129) as u32;
+        let alus = rng.gen_u64(1..7) as u32;
+        let fpus = rng.gen_u64(1..5) as u32;
+        let activity = random_activity(&mut rng);
         let m = PowerModel::ibm_65nm();
         let base = CoreConfig::base();
         let adapted = base.with_adaptation(window, alus, fpus).expect("valid");
@@ -113,10 +134,10 @@ proptest! {
         for s in [Structure::Window, Structure::IntAlu, Structure::Fpu] {
             let frac = adapted.powered_fraction(s);
             if d_base[s].0 > 0.0 {
-                prop_assert!((d_adapted[s].0 / d_base[s].0 - frac).abs() < 1e-9, "{s}");
+                assert!((d_adapted[s].0 / d_base[s].0 - frac).abs() < 1e-9, "{s}");
             }
         }
         // Non-adaptable structures are untouched.
-        prop_assert!((d_adapted[Structure::Dcache].0 - d_base[Structure::Dcache].0).abs() < 1e-12);
+        assert!((d_adapted[Structure::Dcache].0 - d_base[Structure::Dcache].0).abs() < 1e-12);
     }
 }

@@ -1,46 +1,56 @@
-//! Property-based tests of the thermal network: physical invariants that
-//! must hold for any power map.
+//! Randomized property tests of the thermal network: physical invariants
+//! that must hold for any power map. Cases come from the in-tree PRNG.
 
-use proptest::prelude::*;
-use sim_common::{Structure, StructureMap, Watts};
+use sim_common::{Structure, StructureMap, Watts, Xoshiro256pp};
 use sim_thermal::ThermalModel;
 
-fn arb_power() -> impl Strategy<Value = StructureMap<Watts>> {
-    proptest::collection::vec(0.0..8.0f64, 9)
-        .prop_map(|v| StructureMap::from_fn(|s| Watts(v[s.index()])))
+const CASES: usize = 48;
+
+fn random_power(rng: &mut Xoshiro256pp) -> StructureMap<Watts> {
+    let v: Vec<f64> = (0..9).map(|_| rng.gen_f64(0.0..8.0)).collect();
+    StructureMap::from_fn(|s| Watts(v[s.index()]))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Steady-state temperatures never fall below ambient.
-    #[test]
-    fn no_block_below_ambient(power in arb_power()) {
+/// Steady-state temperatures never fall below ambient.
+#[test]
+fn no_block_below_ambient() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5001);
+    for _ in 0..CASES {
+        let power = random_power(&mut rng);
         let m = ThermalModel::hotspot_65nm();
         let temps = m.steady_state(&power);
         let ambient = m.params().ambient.0;
         for (s, t) in temps.iter() {
-            prop_assert!(t.0 >= ambient - 1e-9, "{s} below ambient: {t:?}");
+            assert!(t.0 >= ambient - 1e-9, "{s} below ambient: {t:?}");
         }
     }
+}
 
-    /// Energy balance: the sink temperature rise equals the convection
-    /// resistance times the total power, exactly (all heat exits through
-    /// the sink in steady state).
-    #[test]
-    fn sink_energy_balance(power in arb_power()) {
+/// Energy balance: the sink temperature rise equals the convection
+/// resistance times the total power, exactly (all heat exits through
+/// the sink in steady state).
+#[test]
+fn sink_energy_balance() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5002);
+    for _ in 0..CASES {
+        let power = random_power(&mut rng);
         let m = ThermalModel::hotspot_65nm();
         let state = m.solve_steady(&power, None);
         let total: f64 = power.iter().map(|(_, w)| w.0).sum();
         let expect = m.params().ambient.0 + m.params().r_sink_ambient * total;
-        prop_assert!((state.sink().0 - expect).abs() < 1e-6);
+        assert!((state.sink().0 - expect).abs() < 1e-6);
     }
+}
 
-    /// Superposition: the network is linear, so temperatures for the sum
-    /// of two power maps equal ambient-relative sums of the individual
-    /// solutions.
-    #[test]
-    fn linear_superposition(p1 in arb_power(), p2 in arb_power()) {
+/// Superposition: the network is linear, so temperatures for the sum
+/// of two power maps equal ambient-relative sums of the individual
+/// solutions.
+#[test]
+fn linear_superposition() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5003);
+    for _ in 0..CASES {
+        let p1 = random_power(&mut rng);
+        let p2 = random_power(&mut rng);
         let m = ThermalModel::hotspot_65nm();
         let ambient = m.params().ambient.0;
         let sum_power = StructureMap::from_fn(|s| p1[s] + p2[s]);
@@ -49,7 +59,7 @@ proptest! {
         let ts = m.steady_state(&sum_power);
         for s in Structure::ALL {
             let superposed = (t1[s].0 - ambient) + (t2[s].0 - ambient) + ambient;
-            prop_assert!(
+            assert!(
                 (ts[s].0 - superposed).abs() < 1e-6,
                 "{s}: {} vs {}",
                 ts[s].0,
@@ -57,27 +67,37 @@ proptest! {
             );
         }
     }
+}
 
-    /// Monotonicity: adding power to one block never cools any block.
-    #[test]
-    fn monotone_in_power(power in arb_power(), extra in 0.1..5.0f64, idx in 0usize..9) {
+/// Monotonicity: adding power to one block never cools any block.
+#[test]
+fn monotone_in_power() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5004);
+    for _ in 0..CASES {
+        let power = random_power(&mut rng);
+        let extra = rng.gen_f64(0.1..5.0);
+        let idx = rng.gen_usize(0..9);
         let m = ThermalModel::hotspot_65nm();
-        let mut hotter = power.clone();
+        let mut hotter = power;
         let s = Structure::ALL[idx];
-        hotter[s] = hotter[s] + Watts(extra);
+        hotter[s] += Watts(extra);
         let base = m.steady_state(&power);
         let up = m.steady_state(&hotter);
         for o in Structure::ALL {
-            prop_assert!(up[o].0 >= base[o].0 - 1e-9, "{o} cooled when {s} heated");
+            assert!(up[o].0 >= base[o].0 - 1e-9, "{o} cooled when {s} heated");
         }
         // And the heated block itself strictly warms.
-        prop_assert!(up[s].0 > base[s].0);
+        assert!(up[s].0 > base[s].0);
     }
+}
 
-    /// The transient solution converges to the steady solution and never
-    /// overshoots the hottest steady node from below.
-    #[test]
-    fn transient_approaches_steady(power in arb_power()) {
+/// The transient solution converges to the steady solution and never
+/// overshoots the hottest steady node from below.
+#[test]
+fn transient_approaches_steady() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5005);
+    for _ in 0..8 {
+        let power = random_power(&mut rng);
         let m = ThermalModel::hotspot_65nm();
         let steady = m.solve_steady(&power, None);
         let mut state = m.ambient_state();
@@ -85,7 +105,7 @@ proptest! {
             m.transient_step(&mut state, &power, 1.0);
         }
         for s in Structure::ALL {
-            prop_assert!(
+            assert!(
                 (state.block(s).0 - steady.block(s).0).abs() < 1.0,
                 "{s}: transient {} vs steady {}",
                 state.block(s).0,
@@ -93,17 +113,22 @@ proptest! {
             );
         }
     }
+}
 
-    /// Pinning the sink decouples the absolute level: shifting the pin by
-    /// ΔT shifts every block by exactly ΔT.
-    #[test]
-    fn pinned_sink_shift_invariance(power in arb_power(), shift in 1.0..40.0f64) {
-        use sim_common::Kelvin;
+/// Pinning the sink decouples the absolute level: shifting the pin by
+/// ΔT shifts every block by exactly ΔT.
+#[test]
+fn pinned_sink_shift_invariance() {
+    use sim_common::Kelvin;
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5006);
+    for _ in 0..CASES {
+        let power = random_power(&mut rng);
+        let shift = rng.gen_f64(1.0..40.0);
         let m = ThermalModel::hotspot_65nm();
         let lo = m.steady_state_with_sink(&power, Kelvin(330.0));
         let hi = m.steady_state_with_sink(&power, Kelvin(330.0 + shift));
         for s in Structure::ALL {
-            prop_assert!(((hi[s].0 - lo[s].0) - shift).abs() < 1e-6, "{s}");
+            assert!(((hi[s].0 - lo[s].0) - shift).abs() < 1e-6, "{s}");
         }
     }
 }

@@ -2,8 +2,7 @@
 
 use std::collections::VecDeque;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use sim_common::{splitmix64, Xoshiro256pp};
 
 use crate::op::{ArchReg, MicroOp, OpClass, RegClass, ARCH_REGS_PER_CLASS};
 use crate::profile::AppProfile;
@@ -40,7 +39,7 @@ const MAX_CALL_DEPTH: usize = 24;
 #[derive(Debug, Clone)]
 pub struct SyntheticStream {
     profile: AppProfile,
-    rng: SmallRng,
+    rng: Xoshiro256pp,
     bias_salt: u64,
 
     // Recent destination registers, most recent at the back.
@@ -78,9 +77,9 @@ impl SyntheticStream {
         profile
             .validate()
             .unwrap_or_else(|e| panic!("invalid profile {}: {e}", profile.name));
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let streams = (0..profile.access_streams)
-            .map(|_| rng.gen_range(0..profile.data_working_set.max(8)) & !7)
+            .map(|_| rng.gen_u64(0..profile.data_working_set.max(8)) & !7)
             .collect();
         let mut s = SyntheticStream {
             bias_salt: seed ^ 0x9E37_79B9_7F4A_7C15,
@@ -158,7 +157,7 @@ impl SyntheticStream {
     /// Samples a dependency distance with the given mean (geometric).
     fn sample_distance(&mut self, mean: f64) -> usize {
         let p = (1.0 / mean).clamp(1e-6, 1.0);
-        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u: f64 = self.rng.gen_f64(f64::EPSILON..1.0);
         let d = 1.0 + (u.ln() / (1.0 - p).ln()).floor();
         d as usize
     }
@@ -206,22 +205,22 @@ impl SyntheticStream {
         // Three-level locality hierarchy: hot (L1-resident) and mid
         // (L2-resident) regions at the bottom of the data segment, cold
         // streaming/random traffic over the full working set.
-        let u: f64 = self.rng.gen();
+        let u: f64 = self.rng.next_f64();
         if u < self.profile.hot_fraction {
-            return DATA_BASE + (self.rng.gen_range(0..self.profile.hot_bytes.max(64)) & !7);
+            return DATA_BASE + (self.rng.gen_u64(0..self.profile.hot_bytes.max(64)) & !7);
         }
         if u < self.profile.hot_fraction + self.profile.mid_fraction {
-            return DATA_BASE + (self.rng.gen_range(0..self.profile.mid_bytes.max(64)) & !7);
+            return DATA_BASE + (self.rng.gen_u64(0..self.profile.mid_bytes.max(64)) & !7);
         }
         let ws = self.cur_working_set.max(64);
-        if self.rng.gen::<f64>() < self.cur_spatial {
+        if self.rng.gen_bool(self.cur_spatial) {
             let n = self.stream_offsets.len();
-            let slot = self.rng.gen_range(0..n);
+            let slot = self.rng.gen_usize(0..n);
             let off = self.stream_offsets[slot];
             self.stream_offsets[slot] = (off + 8) % ws;
             DATA_BASE + off
         } else {
-            DATA_BASE + (self.rng.gen_range(0..ws) & !7)
+            DATA_BASE + (self.rng.gen_u64(0..ws) & !7)
         }
     }
 
@@ -245,13 +244,6 @@ impl SyntheticStream {
     }
 }
 
-/// SplitMix64 hash, used to derive stable per-PC branch behaviour.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
 
 impl InstructionSource for SyntheticStream {
     fn next_op(&mut self) -> MicroOp {
@@ -285,7 +277,7 @@ impl InstructionSource for SyntheticStream {
             OpClass::Load => {
                 op.srcs[0] = self.source_from_ring(RegClass::Int, dep_int);
                 op.addr = Some(self.data_address());
-                let fp_dest = self.rng.gen::<f64>() < self.profile.fp_load_fraction;
+                let fp_dest = self.rng.gen_bool(self.profile.fp_load_fraction);
                 op.dest = Some(if fp_dest {
                     self.alloc_dest(RegClass::Fp)
                 } else {
@@ -295,7 +287,7 @@ impl InstructionSource for SyntheticStream {
             }
             OpClass::Store => {
                 op.srcs[0] = self.source_from_ring(RegClass::Int, dep_int);
-                let fp_data = self.rng.gen::<f64>() < self.profile.fp_load_fraction;
+                let fp_data = self.rng.gen_bool(self.profile.fp_load_fraction);
                 op.srcs[1] = if fp_data {
                     self.source_from_ring(RegClass::Fp, dep_fp)
                 } else {
@@ -307,15 +299,15 @@ impl InstructionSource for SyntheticStream {
             OpClass::Branch => {
                 op.srcs[0] = self.source_from_ring(RegClass::Int, dep_int);
                 let (base_taken, flip) = self.branch_character(pc);
-                let taken = base_taken ^ (self.rng.gen::<f64>() < flip);
+                let taken = base_taken ^ self.rng.gen_bool(flip);
                 op.taken = taken;
                 if taken {
                     // Mostly loop back-edges; occasionally a fresh region.
-                    if self.rng.gen::<f64>() < 0.85 {
+                    if self.rng.gen_bool(0.85) {
                         self.pc = self.loop_start;
                     } else {
                         let footprint = self.profile.code_footprint;
-                        self.pc = self.rng.gen_range(0..footprint) & !3;
+                        self.pc = self.rng.gen_u64(0..footprint) & !3;
                         self.loop_start = self.pc;
                     }
                 } else {

@@ -1,116 +1,123 @@
-//! Property-based tests of the synthetic workload generator: any valid
-//! profile must yield a deterministic, well-formed instruction stream.
+//! Randomized property tests of the synthetic workload generator: any
+//! valid profile must yield a deterministic, well-formed instruction
+//! stream. Cases are drawn from the in-tree deterministic PRNG.
 
-use proptest::prelude::*;
+use sim_common::Xoshiro256pp;
 use workload::{App, AppProfile, InstructionSource, OpClass, OpMix, RegClass, SyntheticStream};
 
 const DATA_BASE: u64 = 0x1000_0000;
 
-fn arb_profile() -> impl Strategy<Value = AppProfile> {
-    (
-        0.2..0.6f64,  // int weight
-        0.0..0.3f64,  // fp weight
-        0.1..0.35f64, // load weight
-        0.02..0.12f64, // store weight
-        0.03..0.18f64, // branch weight
-        2.0..20.0f64, // dep mean
-        0.0..1.0f64,  // fp load fraction
-        0.0..0.2f64,  // branch noise
-        0.3..0.9f64,  // taken bias
-        (0.5..0.98f64, 0.0..0.3f64), // (hot, spatial)
-        1usize..8,    // streams
-        12u64..64,    // code footprint KiB
-    )
-        .prop_map(
-            |(int_w, fp_w, load_w, store_w, br_w, dep, fpl, noise, bias, (hot, spatial), streams, code_kb)| {
-                let mid = ((1.0 - hot) * 0.5).min(0.2);
-                AppProfile {
-                    name: "generated".to_owned(),
-                    mix: OpMix::from_weights([
-                        (OpClass::IntAlu, int_w),
-                        (OpClass::FpAdd, fp_w * 0.6),
-                        (OpClass::FpMul, fp_w * 0.4),
-                        (OpClass::Load, load_w),
-                        (OpClass::Store, store_w),
-                        (OpClass::Branch, br_w),
-                    ])
-                    .expect("weights are positive"),
-                    dep_mean_int: dep,
-                    dep_mean_fp: dep,
-                    fp_load_fraction: fpl,
-                    code_footprint: code_kb * 1024,
-                    branch_taken_bias: bias,
-                    branch_noise: noise,
-                    hot_fraction: hot,
-                    hot_bytes: 8 * 1024,
-                    mid_fraction: mid,
-                    mid_bytes: 256 * 1024,
-                    data_working_set: 4 * 1024 * 1024,
-                    spatial_fraction: spatial,
-                    access_streams: streams,
-                    phases: Vec::new(),
-                }
-            },
-        )
+fn random_profile(rng: &mut Xoshiro256pp) -> AppProfile {
+    let int_w = rng.gen_f64(0.2..0.6);
+    let fp_w = rng.gen_f64(0.0..0.3);
+    let load_w = rng.gen_f64(0.1..0.35);
+    let store_w = rng.gen_f64(0.02..0.12);
+    let br_w = rng.gen_f64(0.03..0.18);
+    let dep = rng.gen_f64(2.0..20.0);
+    let fpl = rng.gen_f64(0.0..1.0);
+    let noise = rng.gen_f64(0.0..0.2);
+    let bias = rng.gen_f64(0.3..0.9);
+    let hot = rng.gen_f64(0.5..0.98);
+    let spatial = rng.gen_f64(0.0..0.3);
+    let streams = rng.gen_usize(1..8);
+    let code_kb = rng.gen_u64(12..64);
+    let mid = ((1.0 - hot) * 0.5).min(0.2);
+    AppProfile {
+        name: "generated".to_owned(),
+        mix: OpMix::from_weights([
+            (OpClass::IntAlu, int_w),
+            (OpClass::FpAdd, fp_w * 0.6),
+            (OpClass::FpMul, fp_w * 0.4),
+            (OpClass::Load, load_w),
+            (OpClass::Store, store_w),
+            (OpClass::Branch, br_w),
+        ])
+        .expect("weights are positive"),
+        dep_mean_int: dep,
+        dep_mean_fp: dep,
+        fp_load_fraction: fpl,
+        code_footprint: code_kb * 1024,
+        branch_taken_bias: bias,
+        branch_noise: noise,
+        hot_fraction: hot,
+        hot_bytes: 8 * 1024,
+        mid_fraction: mid,
+        mid_bytes: 256 * 1024,
+        data_working_set: 4 * 1024 * 1024,
+        spatial_fraction: spatial,
+        access_streams: streams,
+        phases: Vec::new(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Same profile + seed ⇒ identical stream; different seeds diverge.
-    #[test]
-    fn determinism(profile in arb_profile(), seed in 0u64..1_000_000) {
+/// Same profile + seed ⇒ identical stream; different seeds diverge.
+#[test]
+fn determinism() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x2001);
+    for _ in 0..32 {
+        let profile = random_profile(&mut rng);
+        let seed = rng.gen_u64(0..1_000_000);
         let mut a = SyntheticStream::new(profile.clone(), seed);
         let mut b = SyntheticStream::new(profile.clone(), seed);
         let mut diverged_from_other_seed = false;
         let mut c = SyntheticStream::new(profile, seed.wrapping_add(1));
         for _ in 0..2_000 {
             let oa = a.next_op();
-            prop_assert_eq!(oa, b.next_op());
+            assert_eq!(oa, b.next_op());
             if oa != c.next_op() {
                 diverged_from_other_seed = true;
             }
         }
-        prop_assert!(diverged_from_other_seed);
+        assert!(diverged_from_other_seed);
     }
+}
 
-    /// Every generated op is well formed: PCs aligned and inside the code
-    /// footprint, data addresses inside the working set, operand register
-    /// classes consistent with the op class.
-    #[test]
-    fn ops_are_well_formed(profile in arb_profile(), seed in 0u64..1_000_000) {
+/// Every generated op is well formed: PCs aligned and inside the code
+/// footprint, data addresses inside the working set, operand register
+/// classes consistent with the op class.
+#[test]
+fn ops_are_well_formed() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x2002);
+    for _ in 0..32 {
+        let profile = random_profile(&mut rng);
+        let seed = rng.gen_u64(0..1_000_000);
         let footprint = profile.code_footprint;
         let ws = profile.data_working_set;
         let mut stream = SyntheticStream::new(profile, seed);
         for _ in 0..5_000 {
             let op = stream.next_op();
-            prop_assert_eq!(op.pc % 4, 0);
-            prop_assert!(op.pc < footprint);
+            assert_eq!(op.pc % 4, 0);
+            assert!(op.pc < footprint);
             match op.class {
                 OpClass::Load | OpClass::Store => {
                     let addr = op.addr.expect("memory op has an address");
-                    prop_assert!(addr >= DATA_BASE && addr < DATA_BASE + ws);
+                    assert!(addr >= DATA_BASE && addr < DATA_BASE + ws);
                 }
-                _ => prop_assert!(op.addr.is_none()),
+                _ => assert!(op.addr.is_none()),
             }
             if op.class.is_fp() {
-                prop_assert_eq!(op.dest.expect("fp ops write").class(), RegClass::Fp);
+                assert_eq!(op.dest.expect("fp ops write").class(), RegClass::Fp);
                 for s in op.sources() {
-                    prop_assert_eq!(s.class(), RegClass::Fp);
+                    assert_eq!(s.class(), RegClass::Fp);
                 }
             }
             if op.class == OpClass::Branch {
-                prop_assert!(op.dest.is_none());
+                assert!(op.dest.is_none());
             }
             if matches!(op.class, OpClass::IntAlu | OpClass::IntMul | OpClass::IntDiv) {
-                prop_assert_eq!(op.dest.expect("int ops write").class(), RegClass::Int);
+                assert_eq!(op.dest.expect("int ops write").class(), RegClass::Int);
             }
         }
     }
+}
 
-    /// The realized class mix converges to the requested mix.
-    #[test]
-    fn mix_converges(profile in arb_profile(), seed in 0u64..100) {
+/// The realized class mix converges to the requested mix.
+#[test]
+fn mix_converges() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x2003);
+    for _ in 0..8 {
+        let profile = random_profile(&mut rng);
+        let seed = rng.gen_u64(0..100);
         let mix = profile.mix;
         let mut stream = SyntheticStream::new(profile, seed);
         let n = 60_000;
@@ -121,7 +128,7 @@ proptest! {
         for class in OpClass::ALL {
             let observed = *counts.get(&class).unwrap_or(&0) as f64 / n as f64;
             let expected = mix.fraction(class);
-            prop_assert!(
+            assert!(
                 (observed - expected).abs() < 0.05,
                 "{class}: observed {observed:.3} vs expected {expected:.3}"
             );

@@ -17,7 +17,7 @@ use sim_common::{Floorplan, Kelvin};
 use workload::App;
 
 fn main() -> Result<(), sim_common::SimError> {
-    let mut oracle = Oracle::new(Evaluator::ibm_65nm(EvalParams::quick())?);
+    let oracle = Oracle::new(Evaluator::ibm_65nm(EvalParams::quick())?);
     let alpha_qual = oracle.suite_max_activity(&App::ALL)?;
     let shares = Floorplan::r10000_65nm().area_shares();
 

@@ -17,7 +17,7 @@ use sim_common::{Floorplan, Kelvin};
 use workload::App;
 
 fn main() -> Result<(), sim_common::SimError> {
-    let mut oracle = Oracle::new(Evaluator::ibm_65nm(EvalParams::quick())?);
+    let oracle = Oracle::new(Evaluator::ibm_65nm(EvalParams::quick())?);
 
     // Worst-case qualification: the hottest temperature any application
     // reaches on this chip, and the suite-maximum activity factor.

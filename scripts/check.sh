@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repository check: hermetic build, full test suite, and a warning-free
+# lint pass. Everything runs --offline — the build must never reach a
+# network registry.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== tests =="
+cargo test -q --offline
+
+echo "== clippy (warnings are errors) =="
+cargo clippy --offline --all-targets -- -D warnings
+
+echo "All checks passed."

@@ -50,11 +50,11 @@ fn scaling_motivation_holds_end_to_end() {
 
 #[test]
 fn mix_budget_sharing_works_end_to_end() {
-    let mut oracle = Oracle::new(Evaluator::ibm_65nm(params()).unwrap());
+    let oracle = Oracle::new(Evaluator::ibm_65nm(params()).unwrap());
     let m = model(390.0);
     let solo = oracle.best(App::MpgDec, Strategy::Dvs, &m, 0.5).unwrap();
     let mix = WorkloadMix::new([(App::MpgDec, 0.3), (App::Art, 0.7)]).unwrap();
-    let mixed = mix.best(&mut oracle, Strategy::Dvs, &m, 0.5).unwrap();
+    let mixed = mix.best(&oracle, Strategy::Dvs, &m, 0.5).unwrap();
     assert!(
         mixed.dvs.frequency >= solo.dvs.frequency,
         "a cool majority must not force the mix below the solo choice"
@@ -63,10 +63,10 @@ fn mix_budget_sharing_works_end_to_end() {
 
 #[test]
 fn intra_app_dominates_inter_app_for_phased_workloads() {
-    let mut oracle = Oracle::new(Evaluator::ibm_65nm(params()).unwrap());
+    let oracle = Oracle::new(Evaluator::ibm_65nm(params()).unwrap());
     let m = model(394.0);
     let inter = oracle.best(App::Mp3Dec, Strategy::Dvs, &m, 0.5).unwrap();
-    let intra = intra_app_best(&mut oracle, App::Mp3Dec, Strategy::Dvs, &m, 0.5).unwrap();
+    let intra = intra_app_best(&oracle, App::Mp3Dec, Strategy::Dvs, &m, 0.5).unwrap();
     assert!(intra.relative_performance >= inter.relative_performance - 1e-9);
     if intra.feasible {
         assert!(intra.fit <= m.target_fit());
@@ -78,7 +78,7 @@ fn budget_policy_changes_drm_outcomes() {
     // Qualifying with a uniform budget must yield a *different* (and for
     // the hot app here, better) DRM outcome than the area budget — the
     // allocation policy is a real design knob.
-    let mut oracle = Oracle::new(Evaluator::ibm_65nm(params()).unwrap());
+    let oracle = Oracle::new(Evaluator::ibm_65nm(params()).unwrap());
     let qual = QualificationPoint::at_temperature(Kelvin(394.0), 0.48);
     let area = model(394.0);
     let uniform = ReliabilityModel::qualify_with_budget(

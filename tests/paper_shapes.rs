@@ -47,7 +47,7 @@ fn model(t_qual: f64) -> ReliabilityModel {
 #[test]
 fn table2_orderings_hold() {
     // Multimedia leads the IPC and power rankings; art/twolf trail.
-    let mut oracle = oracle();
+    let oracle = oracle();
     let mut ipc = Vec::new();
     let mut power = Vec::new();
     for app in App::ALL {
@@ -69,7 +69,7 @@ fn table2_orderings_hold() {
 fn fig1_three_processor_pattern() {
     // Expensive: both apps meet. Middle: only the cool app meets.
     // Cheap: neither meets.
-    let mut oracle = oracle();
+    let oracle = oracle();
     let hot = oracle
         .evaluation(App::MpgDec, ArchPoint::most_aggressive(), DvsPoint::base())
         .unwrap()
@@ -97,7 +97,7 @@ fn fig1_three_processor_pattern() {
 fn fig2_worst_case_qualification_leaves_headroom_everywhere() {
     // §7.1 at the worst-case point: every application is feasible at or
     // above base performance (worst-case qualification is conservative).
-    let mut oracle = oracle();
+    let oracle = oracle();
     let m = model(T_WORST);
     for app in [App::MpgDec, App::Gzip, App::Art] {
         let c = oracle.best(app, Strategy::ArchDvs, &m, 0.5).unwrap();
@@ -114,7 +114,7 @@ fn fig2_worst_case_qualification_leaves_headroom_everywhere() {
 fn fig2_app_oriented_point_keeps_the_worst_apps_whole() {
     // §7.1 at 370 K (ours 394 K): the hottest applications just meet the
     // target — no slowdown — while cooler ones still gain.
-    let mut oracle = oracle();
+    let oracle = oracle();
     let m = model(T_APP);
     let hot = oracle
         .best(App::MpgDec, Strategy::ArchDvs, &m, 0.5)
@@ -132,7 +132,7 @@ fn fig2_app_oriented_point_keeps_the_worst_apps_whole() {
 fn fig2_underdesign_hurts_hot_apps_most() {
     // §7.1 at the drastic point: high-IPC multimedia suffers the largest
     // slowdown; the low-IPC memory-bound app barely moves.
-    let mut oracle = oracle();
+    let oracle = oracle();
     let m = model(T_UNDER);
     let hot = oracle
         .best(App::MpgDec, Strategy::ArchDvs, &m, 0.5)
@@ -151,7 +151,7 @@ fn fig2_underdesign_hurts_hot_apps_most() {
 fn fig3_dvs_beats_arch_under_pressure_and_arch_never_exceeds_base() {
     // §7.2: DVS/ArchDVS outperform Arch at tight qualification; Arch's
     // relative performance is capped at 1.0 by construction.
-    let mut oracle = oracle();
+    let oracle = oracle();
     for t in [T_AVG, T_APP, T_WORST] {
         let m = model(t);
         let arch = oracle.best(App::Bzip2, Strategy::Arch, &m, 0.5).unwrap();
@@ -183,14 +183,14 @@ fn fig4_neither_policy_subsumes_the_other() {
     // §7.3: at a low temperature setting DRM's frequency violates the
     // thermal limit; at a high setting DTM's frequency violates the
     // reliability target (for a hot enough app).
-    let mut oracle = oracle();
-    let low = compare_drm_dtm(&mut oracle, App::Gzip, Kelvin(350.0), &model(350.0), 0.5).unwrap();
+    let oracle = oracle();
+    let low = compare_drm_dtm(&oracle, App::Gzip, Kelvin(350.0), &model(350.0), 0.5).unwrap();
     assert!(
         low.drm_violates_thermal,
         "DRM at 350 K must exceed the thermal limit: peak {:?}",
         low.drm_peak_temperature
     );
-    let high = compare_drm_dtm(&mut oracle, App::Twolf, Kelvin(T_WORST), &model(T_WORST), 0.5)
+    let high = compare_drm_dtm(&oracle, App::Twolf, Kelvin(T_WORST), &model(T_WORST), 0.5)
         .unwrap();
     assert!(
         high.dtm_violates_reliability,
@@ -204,12 +204,12 @@ fn fig4_dtm_curve_is_steeper_than_drm() {
     // §7.3: the DVS-Temp frequency rises faster with the temperature
     // setting than DVS-Rel (reliability is exponential in temperature and
     // can be banked over time).
-    let mut oracle = oracle();
+    let oracle = oracle();
     let app = App::Bzip2;
     let t_low = 352.0;
     let t_high = T_WORST;
-    let low = compare_drm_dtm(&mut oracle, app, Kelvin(t_low), &model(t_low), 0.5).unwrap();
-    let high = compare_drm_dtm(&mut oracle, app, Kelvin(t_high), &model(t_high), 0.5).unwrap();
+    let low = compare_drm_dtm(&oracle, app, Kelvin(t_low), &model(t_low), 0.5).unwrap();
+    let high = compare_drm_dtm(&oracle, app, Kelvin(t_high), &model(t_high), 0.5).unwrap();
     let dtm_slope = high.dtm_ghz - low.dtm_ghz;
     let drm_slope = high.drm_ghz - low.drm_ghz;
     assert!(

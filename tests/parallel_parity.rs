@@ -1,0 +1,82 @@
+//! Parallel-vs-sequential parity: the batch engine must be a pure
+//! performance optimization. Every evaluation, and every DRM decision
+//! derived from one, must be bit-identical whatever the worker count.
+
+use drm::{ArchPoint, DvsPoint, EvalParams, Evaluator, Oracle, Strategy};
+use workload::App;
+
+fn grid() -> Vec<(App, ArchPoint, DvsPoint)> {
+    let mut jobs = Vec::new();
+    for app in [App::MpgDec, App::Twolf] {
+        for (arch, dvs) in Strategy::Dvs.candidates(0.5) {
+            jobs.push((app, arch, dvs));
+        }
+        jobs.push((app, ArchPoint::most_aggressive(), DvsPoint::base()));
+    }
+    jobs
+}
+
+fn oracle(workers: usize) -> Oracle {
+    Oracle::with_workers(
+        Evaluator::ibm_65nm(EvalParams::quick()).expect("evaluator"),
+        workers,
+    )
+}
+
+/// Every operating point evaluates to exactly the same result with one
+/// worker and with four.
+#[test]
+fn evaluations_are_worker_count_invariant() {
+    let jobs = grid();
+    let seq = oracle(1);
+    let par = oracle(4);
+    let s1 = seq.prefetch(&jobs).expect("sequential sweep");
+    let s4 = par.prefetch(&jobs).expect("parallel sweep");
+    assert_eq!(s1.workers, 1);
+    assert_eq!(s4.workers, 4);
+    assert_eq!(s1.evaluations, s4.evaluations, "same deduplicated job count");
+    for &(app, arch, dvs) in &jobs {
+        let a = seq.evaluation(app, arch, dvs).expect("cached");
+        let b = par.evaluation(app, arch, dvs).expect("cached");
+        assert_eq!(*a, *b, "{app} {arch} @ {:.2} GHz", dvs.frequency.to_ghz());
+    }
+}
+
+/// The oracle's DRM choice — the quantity the paper's figures rest on —
+/// does not depend on the worker count either.
+#[test]
+fn drm_choice_is_worker_count_invariant() {
+    use ramp::{FailureParams, QualificationPoint, ReliabilityModel};
+    use sim_common::{Floorplan, Kelvin};
+
+    let model = ReliabilityModel::qualify(
+        FailureParams::ramp_65nm(),
+        &QualificationPoint::at_temperature(Kelvin(380.0), 0.4),
+        &Floorplan::r10000_65nm().area_shares(),
+        4000.0,
+    )
+    .expect("qualification");
+    let seq = oracle(1);
+    let par = oracle(4);
+    let a = seq
+        .best(App::Gzip, Strategy::Dvs, &model, 0.5)
+        .expect("sequential search");
+    let b = par
+        .best(App::Gzip, Strategy::Dvs, &model, 0.5)
+        .expect("parallel search");
+    assert_eq!(a, b);
+}
+
+/// Re-running a sweep over an already-warm cache performs no new
+/// evaluations and only counts hits.
+#[test]
+fn warm_sweep_is_pure_cache_hits() {
+    let jobs = grid();
+    let o = oracle(2);
+    let cold = o.prefetch(&jobs).expect("cold sweep");
+    assert!(cold.evaluations > 0);
+    let evals_after_cold = o.evaluations_performed();
+    let warm = o.prefetch(&jobs).expect("warm sweep");
+    assert_eq!(o.evaluations_performed(), evals_after_cold, "no new work");
+    assert_eq!(warm.cache_hits as usize, evals_after_cold, "all hits");
+}

@@ -1,11 +1,17 @@
-//! Property-based tests of the reliability model's invariants, spanning
-//! `ramp`, `sim-common` and `drm`.
+//! Randomized property tests of the reliability model's invariants,
+//! spanning `ramp`, `sim-common` and `drm`. Cases come from the in-tree
+//! deterministic PRNG.
 
 use drm::voltage_for_frequency;
-use proptest::prelude::*;
-use ramp::{FailureParams, Fit, FitTracker, Mechanism, QualificationPoint, ReliabilityModel,
-           StructureConditions};
-use sim_common::{Floorplan, Hertz, Kelvin, Seconds, Structure, StructureMap, Volts};
+use ramp::{
+    FailureParams, Fit, FitTracker, Mechanism, QualificationPoint, ReliabilityModel,
+    StructureConditions,
+};
+use sim_common::{
+    Floorplan, Hertz, Kelvin, Seconds, Structure, StructureMap, Volts, Xoshiro256pp,
+};
+
+const CASES: usize = 64;
 
 fn model(t_qual: f64, alpha: f64) -> ReliabilityModel {
     ReliabilityModel::qualify(
@@ -27,94 +33,98 @@ fn conditions(t: f64, v: f64, f_ghz: f64, a: f64) -> StructureConditions {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The defining property of qualification (§3.7): operating exactly at
-    /// the qualification point yields exactly the target FIT, for any
-    /// qualification point.
-    #[test]
-    fn qualification_round_trip(
-        t_qual in 330.0..420.0f64,
-        alpha in 0.05..1.0f64,
-    ) {
+/// The defining property of qualification (§3.7): operating exactly at
+/// the qualification point yields exactly the target FIT, for any
+/// qualification point.
+#[test]
+fn qualification_round_trip() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x6001);
+    for _ in 0..16 {
+        let t_qual = rng.gen_f64(330.0..420.0);
+        let alpha = rng.gen_f64(0.05..1.0);
         let m = model(t_qual, alpha);
         let conds = StructureMap::splat(conditions(t_qual, 1.0, 4.0, alpha));
         let total = m.steady_fit(&conds);
-        prop_assert!((total.value() - 4000.0).abs() < 1e-6, "got {total}");
+        assert!((total.value() - 4000.0).abs() < 1e-6, "got {total}");
     }
+}
 
-    /// Every mechanism's FIT is non-decreasing in temperature over the
-    /// paper's operating range (the SM stress term shrinks toward 500 K
-    /// but its Arrhenius factor dominates below ~440 K).
-    #[test]
-    fn fit_monotone_in_temperature(
-        t in 325.0..420.0f64,
-        dt in 1.0..20.0f64,
-        alpha in 0.05..0.9f64,
-    ) {
-        let m = model(394.0, 0.5);
+/// Every mechanism's FIT is non-decreasing in temperature over the
+/// paper's operating range (the SM stress term shrinks toward 500 K
+/// but its Arrhenius factor dominates below ~440 K).
+#[test]
+fn fit_monotone_in_temperature() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x6002);
+    let m = model(394.0, 0.5);
+    for _ in 0..CASES {
+        let t = rng.gen_f64(325.0..420.0);
+        let dt = rng.gen_f64(1.0..20.0);
+        let alpha = rng.gen_f64(0.05..0.9);
         for mech in Mechanism::ALL {
             let lo = m.mechanism_fit(Structure::Fpu, mech, &conditions(t, 1.0, 4.0, alpha));
             let hi = m.mechanism_fit(Structure::Fpu, mech, &conditions(t + dt, 1.0, 4.0, alpha));
-            prop_assert!(hi.value() >= lo.value(), "{mech} decreased: {lo} -> {hi} at T={t}");
+            assert!(hi.value() >= lo.value(), "{mech} decreased: {lo} -> {hi} at T={t}");
         }
     }
+}
 
-    /// EM and TDDB FITs are non-decreasing in voltage; SM and TC ignore it.
-    #[test]
-    fn fit_monotone_in_voltage(
-        v in 0.75..1.1f64,
-        dv in 0.01..0.1f64,
-        t in 330.0..410.0f64,
-    ) {
-        let m = model(394.0, 0.5);
+/// EM and TDDB FITs are non-decreasing in voltage; SM and TC ignore it.
+#[test]
+fn fit_monotone_in_voltage() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x6003);
+    let m = model(394.0, 0.5);
+    for _ in 0..CASES {
+        let v = rng.gen_f64(0.75..1.1);
+        let dv = rng.gen_f64(0.01..0.1);
+        let t = rng.gen_f64(330.0..410.0);
         for mech in Mechanism::ALL {
             let lo = m.mechanism_fit(Structure::Window, mech, &conditions(t, v, 4.0, 0.3));
             let hi = m.mechanism_fit(Structure::Window, mech, &conditions(t, v + dv, 4.0, 0.3));
             match mech {
                 Mechanism::Electromigration | Mechanism::Tddb => {
-                    prop_assert!(hi.value() >= lo.value(), "{mech} fell with voltage")
+                    assert!(hi.value() >= lo.value(), "{mech} fell with voltage")
                 }
                 Mechanism::StressMigration | Mechanism::ThermalCycling => {
-                    prop_assert!((hi.value() - lo.value()).abs() < 1e-9, "{mech} moved with voltage")
+                    assert!((hi.value() - lo.value()).abs() < 1e-9, "{mech} moved with voltage")
                 }
             }
         }
     }
+}
 
-    /// SOFR additivity: the processor FIT is exactly the sum over
-    /// structures and mechanisms, whatever the conditions.
-    #[test]
-    fn sofr_is_additive(
-        t in 330.0..410.0f64,
-        v in 0.8..1.1f64,
-        a in 0.0..1.0f64,
-    ) {
-        let m = model(380.0, 0.5);
+/// SOFR additivity: the processor FIT is exactly the sum over
+/// structures and mechanisms, whatever the conditions.
+#[test]
+fn sofr_is_additive() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x6004);
+    let m = model(380.0, 0.5);
+    for _ in 0..CASES {
+        let t = rng.gen_f64(330.0..410.0);
+        let v = rng.gen_f64(0.8..1.1);
+        let a = rng.gen_f64(0.0..1.0);
         let conds = StructureMap::splat(conditions(t, v, 4.0, a));
         let total = m.steady_fit(&conds).value();
         let by_hand: f64 = Structure::ALL
             .into_iter()
-            .flat_map(|s| {
-                Mechanism::ALL.into_iter().map(move |mech| (s, mech))
-            })
+            .flat_map(|s| Mechanism::ALL.into_iter().map(move |mech| (s, mech)))
             .map(|(s, mech)| m.mechanism_fit(s, mech, &conds[s]).value())
             .sum();
-        prop_assert!((total - by_hand).abs() < 1e-9 * by_hand.max(1.0));
+        assert!((total - by_hand).abs() < 1e-9 * by_hand.max(1.0));
     }
+}
 
-    /// Time-averaging (§3.6): the tracker's EM/SM/TDDB totals always lie
-    /// between the minimum and maximum instantaneous FIT of the recorded
-    /// intervals.
-    #[test]
-    fn tracked_fit_is_a_weighted_mean(
-        t1 in 335.0..400.0f64,
-        t2 in 335.0..400.0f64,
-        w1 in 0.05..1.0f64,
-        w2 in 0.05..1.0f64,
-    ) {
-        let m = model(380.0, 0.5);
+/// Time-averaging (§3.6): the tracker's EM/SM/TDDB totals always lie
+/// between the minimum and maximum instantaneous FIT of the recorded
+/// intervals.
+#[test]
+fn tracked_fit_is_a_weighted_mean() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x6005);
+    let m = model(380.0, 0.5);
+    for _ in 0..CASES {
+        let t1 = rng.gen_f64(335.0..400.0);
+        let t2 = rng.gen_f64(335.0..400.0);
+        let w1 = rng.gen_f64(0.05..1.0);
+        let w2 = rng.gen_f64(0.05..1.0);
         let c1 = StructureMap::splat(conditions(t1, 1.0, 4.0, 0.3));
         let c2 = StructureMap::splat(conditions(t2, 1.0, 4.0, 0.3));
         let mut tracker = FitTracker::new();
@@ -122,24 +132,32 @@ proptest! {
         tracker.record(&m, Seconds(w2), &c2);
         let app = tracker.finish(&m);
         for mech in [Mechanism::Electromigration, Mechanism::StressMigration, Mechanism::Tddb] {
-            let f1: f64 = Structure::ALL.into_iter()
-                .map(|s| m.mechanism_fit(s, mech, &c1[s]).value()).sum();
-            let f2: f64 = Structure::ALL.into_iter()
-                .map(|s| m.mechanism_fit(s, mech, &c2[s]).value()).sum();
+            let f1: f64 = Structure::ALL
+                .into_iter()
+                .map(|s| m.mechanism_fit(s, mech, &c1[s]).value())
+                .sum();
+            let f2: f64 = Structure::ALL
+                .into_iter()
+                .map(|s| m.mechanism_fit(s, mech, &c2[s]).value())
+                .sum();
             let tracked = app.mechanism_total(mech).value();
             let (lo, hi) = (f1.min(f2), f1.max(f2));
-            prop_assert!(tracked >= lo - 1e-9 && tracked <= hi + 1e-9,
-                "{mech}: {tracked} outside [{lo}, {hi}]");
+            assert!(
+                tracked >= lo - 1e-9 && tracked <= hi + 1e-9,
+                "{mech}: {tracked} outside [{lo}, {hi}]"
+            );
         }
     }
+}
 
-    /// Powered fraction scales EM and TDDB linearly and leaves SM alone.
-    #[test]
-    fn powered_fraction_scaling(
-        frac in 0.1..1.0f64,
-        t in 335.0..400.0f64,
-    ) {
-        let m = model(380.0, 0.5);
+/// Powered fraction scales EM and TDDB linearly and leaves SM alone.
+#[test]
+fn powered_fraction_scaling() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x6006);
+    let m = model(380.0, 0.5);
+    for _ in 0..CASES {
+        let frac = rng.gen_f64(0.1..1.0);
+        let t = rng.gen_f64(335.0..400.0);
         let mut full = conditions(t, 1.0, 4.0, 0.4);
         let mut part = full;
         part.powered_fraction = frac;
@@ -147,39 +165,50 @@ proptest! {
         for mech in [Mechanism::Electromigration, Mechanism::Tddb] {
             let f = m.mechanism_fit(Structure::IntAlu, mech, &full).value();
             let p = m.mechanism_fit(Structure::IntAlu, mech, &part).value();
-            prop_assert!((p - frac * f).abs() < 1e-9 * f.max(1.0), "{mech}");
+            assert!((p - frac * f).abs() < 1e-9 * f.max(1.0), "{mech}");
         }
         let f = m.mechanism_fit(Structure::IntAlu, Mechanism::StressMigration, &full).value();
         let p = m.mechanism_fit(Structure::IntAlu, Mechanism::StressMigration, &part).value();
-        prop_assert!((p - f).abs() < 1e-12 * f.max(1.0));
+        assert!((p - f).abs() < 1e-12 * f.max(1.0));
     }
+}
 
-    /// Cheaper qualification (lower `T_qual`) never reports a lower FIT
-    /// for the same operating conditions.
-    #[test]
-    fn cost_ordering(
-        t_lo in 330.0..370.0f64,
-        dt in 5.0..40.0f64,
-        t_op in 335.0..400.0f64,
-    ) {
+/// Cheaper qualification (lower `T_qual`) never reports a lower FIT
+/// for the same operating conditions.
+#[test]
+fn cost_ordering() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x6007);
+    for _ in 0..16 {
+        let t_lo = rng.gen_f64(330.0..370.0);
+        let dt = rng.gen_f64(5.0..40.0);
+        let t_op = rng.gen_f64(335.0..400.0);
         let cheap = model(t_lo, 0.5);
         let pricey = model(t_lo + dt, 0.5);
         let conds = StructureMap::splat(conditions(t_op, 1.0, 4.0, 0.3));
-        prop_assert!(cheap.steady_fit(&conds).value() >= pricey.steady_fit(&conds).value());
+        assert!(cheap.steady_fit(&conds).value() >= pricey.steady_fit(&conds).value());
     }
+}
 
-    /// The DVS voltage law is monotone and anchored at the base point.
-    #[test]
-    fn dvs_voltage_monotone(f1 in 2.5..5.0f64, df in 0.01..1.0f64) {
+/// The DVS voltage law is monotone and anchored at the base point.
+#[test]
+fn dvs_voltage_monotone() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x6008);
+    for _ in 0..CASES {
+        let f1 = rng.gen_f64(2.5..5.0);
+        let df = rng.gen_f64(0.01..1.0);
         let f2 = (f1 + df).min(5.0);
-        prop_assert!(voltage_for_frequency(f2) >= voltage_for_frequency(f1));
-        prop_assert!((voltage_for_frequency(4.0) - 1.0).abs() < 1e-12);
+        assert!(voltage_for_frequency(f2) >= voltage_for_frequency(f1));
+        assert!((voltage_for_frequency(4.0) - 1.0).abs() < 1e-12);
     }
+}
 
-    /// FIT / MTTF conversions are exact inverses.
-    #[test]
-    fn fit_mttf_round_trip(fit in 1.0..1e6f64) {
+/// FIT / MTTF conversions are exact inverses.
+#[test]
+fn fit_mttf_round_trip() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x6009);
+    for _ in 0..CASES {
+        let fit = rng.gen_f64(1.0..1e6);
         let back = Fit(fit).to_mttf().to_fit();
-        prop_assert!((back.value() - fit).abs() < 1e-6 * fit);
+        assert!((back.value() - fit).abs() < 1e-6 * fit);
     }
 }

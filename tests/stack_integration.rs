@@ -89,7 +89,7 @@ fn adaptation_plumbing_reaches_reliability() {
 
 #[test]
 fn oracle_search_is_consistent_with_manual_evaluation() {
-    let mut oracle = Oracle::new(Evaluator::ibm_65nm(params()).unwrap());
+    let oracle = Oracle::new(Evaluator::ibm_65nm(params()).unwrap());
     let model = model_at(380.0, 0.48);
     let choice = oracle.best(App::Ammp, Strategy::Dvs, &model, 0.5).unwrap();
     // Re-evaluate the chosen configuration by hand and confirm the FIT.
