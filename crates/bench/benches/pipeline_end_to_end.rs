@@ -81,9 +81,30 @@ fn bench_batch_engine() {
     }
 }
 
+fn bench_observability_overhead() {
+    // The disabled path (one relaxed atomic load per instrumentation
+    // site) must stay within noise of the plain evaluation above; the
+    // NullSink row bounds the cost of recording with dispatch enabled.
+    let evaluator = Evaluator::ibm_65nm(tiny_params()).expect("params");
+    microbench("obs/disabled_full_stack", MIN_TIME, || {
+        evaluator
+            .evaluate(App::Gzip, &CoreConfig::base())
+            .expect("evaluation")
+    });
+    sim_obs::install_sink(std::sync::Arc::new(sim_obs::NullSink::new()));
+    sim_obs::set_enabled(true);
+    microbench("obs/null_sink_full_stack", MIN_TIME, || {
+        evaluator
+            .evaluate(App::Gzip, &CoreConfig::base())
+            .expect("evaluation")
+    });
+    sim_obs::set_enabled(false);
+}
+
 fn main() {
     bench_full_evaluation();
     bench_fit_scoring();
     bench_oracle_search();
     bench_batch_engine();
+    bench_observability_overhead();
 }

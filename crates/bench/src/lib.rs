@@ -35,7 +35,8 @@
 //! | 345 K | the "average application" point | 366 K |
 //! | 325 K | drastic underdesign | 340 K |
 
-use std::sync::Mutex;
+use std::path::Path;
+use std::sync::{Arc, Mutex, Once};
 use std::time::{Duration, Instant};
 
 use drm::{EvalParams, Evaluator, Oracle};
@@ -97,9 +98,69 @@ pub fn sweep_workers() -> usize {
         .unwrap_or(0)
 }
 
+/// Installs the observability sinks requested by the environment, once
+/// per process: `RAMP_TRACE=<path.jsonl>` records a JSONL trace of the
+/// run (readable with `ramp report`), and `RAMP_METRICS=1` turns on the
+/// shared metric aggregator so [`print_sweep_summary`] reports from the
+/// batch engine's own counters. Called automatically by [`make_oracle`],
+/// so every figure driver shares one aggregator.
+pub fn init_observability() {
+    static OBS_INIT: Once = Once::new();
+    OBS_INIT.call_once(|| {
+        let mut enable = false;
+        if let Some(path) = std::env::var_os("RAMP_TRACE") {
+            match sim_obs::JsonlSink::create(Path::new(&path)) {
+                Ok(sink) => {
+                    sim_obs::install_sink(Arc::new(sink));
+                    enable = true;
+                }
+                Err(e) => eprintln!("warning: cannot create RAMP_TRACE file: {e}"),
+            }
+        }
+        if std::env::var_os("RAMP_METRICS").is_some_and(|v| !v.is_empty()) {
+            enable = true;
+        }
+        if enable {
+            sim_obs::set_enabled(true);
+        }
+    });
+}
+
 /// Prints the driver's one-line sweep summary (jobs, evals, cache hits,
 /// evals/s, wall time, realized speedup).
+///
+/// With metrics enabled (`RAMP_METRICS`/`RAMP_TRACE`), the line is
+/// rebuilt from the sim-obs aggregator — the same `drm.batch.*` counters
+/// a trace records — so the printed summary and the trace cannot drift
+/// apart. Otherwise it falls back to the oracle's own bookkeeping.
 pub fn print_sweep_summary(oracle: &Oracle) {
+    if sim_obs::enabled() {
+        let snapshot = sim_obs::flush();
+        let counter = |name: &str| {
+            snapshot.iter().find_map(|m| match m.value {
+                sim_obs::MetricValue::Counter(c) if m.name == name => Some(c),
+                _ => None,
+            })
+        };
+        if let (Some(evals), Some(hits), Some(wall_ns), Some(busy_ns)) = (
+            counter("drm.batch.evaluations"),
+            counter("drm.batch.warm_hits"),
+            counter("drm.batch.wall_ns"),
+            counter("drm.batch.busy_ns"),
+        ) {
+            // `drm.batch.evaluations` counts only cold jobs fanned out
+            // (the batch engine dedups warm keys into `warm_hits`).
+            let wall_s = wall_ns as f64 / 1e9;
+            println!(
+                "sweep: {} jobs | {evals} evals, {hits} cache hits | {:.1} evals/s | wall {:.2} s | speedup {:.2}x",
+                oracle.workers(),
+                if wall_s > 0.0 { evals as f64 / wall_s } else { 0.0 },
+                wall_s,
+                if wall_ns > 0 { busy_ns as f64 / wall_ns as f64 } else { 1.0 },
+            );
+            return;
+        }
+    }
     println!("{}", oracle.summary());
 }
 
@@ -126,6 +187,7 @@ pub fn qualified_model(t_qual: f64, alpha_qual: f64) -> Result<ReliabilityModel,
 ///
 /// Propagates construction errors.
 pub fn make_oracle() -> Result<Oracle, SimError> {
+    init_observability();
     Ok(Oracle::with_workers(
         Evaluator::ibm_65nm(eval_params())?,
         sweep_workers(),

@@ -6,12 +6,19 @@ use std::collections::HashMap;
 use sim_common::SimError;
 use workload::App;
 
-/// Parsed command line: a subcommand plus `--key value` options.
+/// Options accepted by every subcommand (observability is global):
+/// `--trace <path>` writes a JSONL trace, `--metrics` prints the
+/// aggregated metric snapshot on exit.
+pub const GLOBAL_OPTIONS: &[&str] = &["trace", "metrics"];
+
+/// Parsed command line: a subcommand plus `--key value` options, bare
+/// `--flag`s, and positional operands.
 #[derive(Debug, Clone)]
 pub struct Args {
     command: String,
     options: HashMap<String, String>,
     flags: Vec<String>,
+    positionals: Vec<String>,
 }
 
 impl Args {
@@ -20,7 +27,7 @@ impl Args {
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] on malformed input (missing
-    /// subcommand, option without `--`, repeated keys).
+    /// subcommand, repeated keys).
     pub fn parse(argv: &[String]) -> Result<Args, SimError> {
         let mut iter = argv.iter().peekable();
         let command = iter
@@ -29,13 +36,15 @@ impl Args {
             .clone();
         let mut options = HashMap::new();
         let mut flags = Vec::new();
+        let mut positionals = Vec::new();
         while let Some(token) = iter.next() {
-            let key = token
-                .strip_prefix("--")
-                .ok_or_else(|| {
-                    SimError::invalid_config(format!("expected an option, got `{token}`"))
-                })?
-                .to_owned();
+            let Some(key) = token.strip_prefix("--") else {
+                // A bare token at the top level is a positional operand
+                // (e.g. the trace path in `ramp report trace.jsonl`).
+                positionals.push(token.clone());
+                continue;
+            };
+            let key = key.to_owned();
             // A following token that is not itself an option is this
             // option's value; otherwise the option is a bare flag.
             match iter.peek() {
@@ -54,6 +63,7 @@ impl Args {
             command,
             options,
             flags,
+            positionals,
         })
     }
 
@@ -70,6 +80,11 @@ impl Args {
     /// An optional string option.
     pub fn get(&self, name: &str) -> Option<&str> {
         self.options.get(name).map(String::as_str)
+    }
+
+    /// The `i`-th positional operand.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
     }
 
     /// A required string option.
@@ -120,14 +135,27 @@ impl Args {
         lookup_app(name)
     }
 
-    /// Rejects options/flags outside `allowed` so typos fail loudly.
+    /// Rejects options/flags outside `allowed` (plus the always-allowed
+    /// [`GLOBAL_OPTIONS`]) and any positional operand, so typos fail
+    /// loudly.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] naming the unknown option.
     pub fn expect_only(&self, allowed: &[&str]) -> Result<(), SimError> {
+        self.expect_positionals(0)?;
+        self.expect_options(allowed)
+    }
+
+    /// Like [`Args::expect_only`] but without the positional check, for
+    /// commands (e.g. `report`) that take operands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] naming the unknown option.
+    pub fn expect_options(&self, allowed: &[&str]) -> Result<(), SimError> {
         for key in self.options.keys().chain(self.flags.iter()) {
-            if !allowed.contains(&key.as_str()) {
+            if !allowed.contains(&key.as_str()) && !GLOBAL_OPTIONS.contains(&key.as_str()) {
                 return Err(SimError::invalid_config(format!(
                     "unknown option --{key} for `{}` (allowed: {})",
                     self.command,
@@ -138,6 +166,22 @@ impl Args {
                         .join(", ")
                 )));
             }
+        }
+        Ok(())
+    }
+
+    /// Rejects positional operands beyond the first `max`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] naming the first unexpected
+    /// operand.
+    pub fn expect_positionals(&self, max: usize) -> Result<(), SimError> {
+        if let Some(extra) = self.positionals.get(max) {
+            return Err(SimError::invalid_config(format!(
+                "unexpected operand `{extra}` for `{}`",
+                self.command
+            )));
         }
         Ok(())
     }
@@ -186,8 +230,27 @@ mod tests {
     #[test]
     fn rejects_missing_subcommand_and_bad_tokens() {
         assert!(parse(&[]).is_err());
-        assert!(parse(&["fit", "app", "bzip2"]).is_err());
         assert!(parse(&["fit", "--x", "1", "--x", "2"]).is_err());
+        // Bare tokens parse as positionals, but commands that take no
+        // operands still reject them via `expect_only`.
+        let a = parse(&["fit", "app", "bzip2"]).unwrap();
+        assert_eq!(a.positional(0), Some("app"));
+        assert_eq!(a.positional(1), Some("bzip2"));
+        assert!(a.expect_only(&["app"]).is_err());
+    }
+
+    #[test]
+    fn positionals_and_global_options() {
+        let a = parse(&["report", "trace.jsonl", "--top", "3"]).unwrap();
+        assert_eq!(a.positional(0), Some("trace.jsonl"));
+        assert_eq!(a.positional(1), None);
+        assert!(a.expect_positionals(1).is_ok());
+        assert!(a.expect_positionals(0).is_err());
+        // --trace/--metrics are accepted by every command.
+        let b = parse(&["fit", "--app", "gzip", "--trace", "t.jsonl", "--metrics"]).unwrap();
+        assert!(b.expect_only(&["app"]).is_ok());
+        assert_eq!(b.get("trace"), Some("t.jsonl"));
+        assert!(b.flag("metrics"));
     }
 
     #[test]

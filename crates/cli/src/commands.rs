@@ -10,6 +10,8 @@ use ramp::{
 };
 use sim_common::{Floorplan, Kelvin, SimError, Structure};
 use sim_cpu::CoreConfig;
+use std::path::Path;
+use std::sync::Arc;
 use workload::App;
 
 use crate::args::Args;
@@ -56,11 +58,19 @@ pub fn print_help() {
     println!("              --app <name> --tqual K [--tmax K] [--sensors] [--insts N]");
     println!("  scaling     the same design across 90/65/45 nm");
     println!("              --app <name> [--tqual K]");
+    println!("  report      summarize a recorded trace: per-stage wall time,");
+    println!("              hottest structures, reliability gauges");
+    println!("              <trace.jsonl> [--top N]");
+    println!();
+    println!("GLOBAL OPTIONS (any command)");
+    println!("  --trace <path.jsonl>  record spans/metrics/logs to a JSONL trace");
+    println!("  --metrics             print the aggregated metric snapshot on exit");
     println!();
     println!("Add --quick to any simulation command for shorter runs.");
     println!("--jobs N sets the batch engine's worker-thread count (0 or");
     println!("unset = all cores); sweeps end with a one-line summary of the");
     println!("parallel pass (evaluations, cache hits, evals/s, speedup).");
+    println!("Set RAMP_LOG=off|error|warn|info|debug for diagnostics on stderr.");
 }
 
 /// Dispatches a parsed command line.
@@ -70,7 +80,8 @@ pub fn print_help() {
 /// Returns [`SimError`] for unknown commands, bad options, or failures in
 /// the underlying pipeline.
 pub fn dispatch(args: &Args) -> Result<(), SimError> {
-    match args.command() {
+    setup_observability(args)?;
+    let result = match args.command() {
         "list" => {
             args.expect_only(&[])?;
             list()
@@ -82,10 +93,85 @@ pub fn dispatch(args: &Args) -> Result<(), SimError> {
         "sweep" => sweep_cmd(args),
         "controller" => controller(args),
         "scaling" => scaling(args),
+        "report" => report_cmd(args),
         other => Err(SimError::invalid_config(format!(
             "unknown command `{other}`; try `ramp help`"
         ))),
+    };
+    finish_observability(args);
+    result
+}
+
+/// Installs the sinks requested by the global `--trace`/`--metrics`
+/// options and enables recording when either is present. `RAMP_LOG`
+/// (handled in `main`) is independent: it controls stderr logging and
+/// takes effect even without these options.
+fn setup_observability(args: &Args) -> Result<(), SimError> {
+    let mut enable = false;
+    if let Some(path) = args.get("trace") {
+        let sink = sim_obs::JsonlSink::create(Path::new(path)).map_err(|e| {
+            SimError::invalid_config(format!("cannot create trace file `{path}`: {e}"))
+        })?;
+        sim_obs::install_sink(Arc::new(sink));
+        enable = true;
     }
+    if args.flag("metrics") {
+        enable = true;
+    }
+    if enable {
+        sim_obs::set_enabled(true);
+    }
+    Ok(())
+}
+
+/// Flushes the recorded metrics to the installed sinks and, under
+/// `--metrics`, prints the aggregated snapshot.
+fn finish_observability(args: &Args) {
+    if !sim_obs::enabled() {
+        return;
+    }
+    let snapshot = sim_obs::flush();
+    if args.flag("metrics") && !snapshot.is_empty() {
+        println!();
+        println!("metrics ({} series):", snapshot.len());
+        for m in &snapshot {
+            match &m.value {
+                sim_obs::MetricValue::Counter(c) => println!("  {:<28} {c}", m.name),
+                sim_obs::MetricValue::Gauge(g) => println!("  {:<28} {g:.6}", m.name),
+                sim_obs::MetricValue::Histogram(h) => println!(
+                    "  {:<28} n={} mean={:.4} min={:.4} max={:.4}",
+                    m.name,
+                    h.count(),
+                    h.mean(),
+                    h.min(),
+                    h.max()
+                ),
+            }
+        }
+    }
+}
+
+/// `ramp report <trace.jsonl> [--top N]`: offline summary of a recorded
+/// trace — per-stage wall-time shares, hottest structures, FIT gauges.
+fn report_cmd(args: &Args) -> Result<(), SimError> {
+    args.expect_options(&["top"])?;
+    args.expect_positionals(1)?;
+    let path = args.positional(0).ok_or_else(|| {
+        SimError::invalid_config("usage: ramp report <trace.jsonl> [--top N]")
+    })?;
+    let top = args.u64_or("top", 5)? as usize;
+    let trace = sim_obs::report::read_trace(Path::new(path)).map_err(|e| {
+        SimError::invalid_config(format!("cannot read trace `{path}`: {e}"))
+    })?;
+    if !trace.malformed.is_empty() {
+        eprintln!(
+            "warning: {} malformed line(s) skipped (first at line {})",
+            trace.malformed.len(),
+            trace.malformed[0].0
+        );
+    }
+    print!("{}", sim_obs::report::render(&trace, top.max(1)));
+    Ok(())
 }
 
 fn eval_params(args: &Args) -> EvalParams {

@@ -9,7 +9,12 @@
 //! ramp sweep     --app bzip2 [--tqual 394] [--strategy archdvs] [--step 0.25] [--jobs 4] [--top 10] [--quick]
 //! ramp controller --app bzip2 --tqual 394 [--tmax 385] [--sensors] [--insts 600000]
 //! ramp scaling   --app gzip [--tqual 394] [--quick]
+//! ramp report    <trace.jsonl> [--top 5]
 //! ```
+//!
+//! Every command also accepts the global observability options
+//! `--trace <path.jsonl>` and `--metrics`; `RAMP_LOG=debug` turns on
+//! stderr diagnostics.
 
 mod args;
 mod commands;
@@ -17,6 +22,7 @@ mod commands;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    sim_obs::init_log_from_env();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" || argv[0] == "-h" {
         commands::print_help();

@@ -3,8 +3,17 @@
 use std::process::Command;
 
 fn ramp(args: &[&str]) -> (bool, String, String) {
+    ramp_env(args, &[])
+}
+
+fn ramp_env(args: &[&str], env: &[(&str, &str)]) -> (bool, String, String) {
     let exe = env!("CARGO_BIN_EXE_ramp");
-    let out = Command::new(exe).args(args).output().expect("spawn ramp");
+    let mut cmd = Command::new(exe);
+    cmd.args(args);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("spawn ramp");
     (
         out.status.success(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -83,4 +92,61 @@ fn evaluate_rejects_out_of_range_dvs() {
     let (ok, _, stderr) = ramp(&["evaluate", "--app", "art", "--ghz", "9.0", "--quick"]);
     assert!(!ok);
     assert!(stderr.contains("DVS range"), "{stderr}");
+}
+
+/// `--trace` records a JSONL trace, and `report` summarizes it offline:
+/// stage-time table, hottest structures, and reliability gauges.
+#[test]
+fn trace_then_report_round_trip() {
+    let path = std::env::temp_dir().join(format!("ramp-cli-trace-{}.jsonl", std::process::id()));
+    let path_s = path.to_str().expect("utf-8 temp path");
+    let (ok, stdout, stderr) = ramp(&[
+        "fit", "--app", "gzip", "--tqual", "394", "--quick", "--trace", path_s,
+    ]);
+    assert!(ok, "fit --trace failed: {stdout}\n{stderr}");
+    assert!(path.exists(), "trace file was not written");
+
+    let (ok, report, stderr) = ramp(&["report", path_s, "--top", "3"]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok, "report failed: {report}\n{stderr}");
+    assert!(report.contains("stage time"), "{report}");
+    assert!(report.contains("eval.timing"), "{report}");
+    assert!(report.contains("hottest structures"), "{report}");
+    assert!(report.contains("reliability (FIT)"), "{report}");
+
+    let (ok, _, stderr) = ramp(&["report", "/nonexistent/trace.jsonl"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read trace"), "{stderr}");
+}
+
+/// `--metrics` prints the aggregated snapshot after the command's own
+/// output, with counters from every pipeline layer.
+#[test]
+fn metrics_flag_prints_aggregated_snapshot() {
+    let (ok, stdout, _) = ramp(&[
+        "evaluate", "--app", "gzip", "--quick", "--metrics",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("metrics ("), "{stdout}");
+    for series in ["workload.ops.total", "cpu.intervals", "power.evals", "thermal.solves"] {
+        assert!(stdout.contains(series), "missing {series}: {stdout}");
+    }
+}
+
+/// `RAMP_LOG` controls stderr diagnostics independently of `--trace`.
+#[test]
+fn ramp_log_env_enables_stderr_diagnostics() {
+    let (ok, _, quiet) = ramp_env(&["list"], &[("RAMP_LOG", "off")]);
+    assert!(ok);
+    assert!(quiet.is_empty(), "RAMP_LOG=off must keep stderr clean: {quiet}");
+
+    let (ok, _, stderr) = ramp_env(
+        &["evaluate", "--app", "gzip", "--quick"],
+        &[("RAMP_LOG", "debug")],
+    );
+    assert!(ok);
+    assert!(
+        stderr.contains("ramp["),
+        "RAMP_LOG=debug produced no diagnostics: {stderr}"
+    );
 }

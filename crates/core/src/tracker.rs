@@ -151,6 +151,7 @@ impl FitTracker {
             return;
         }
         self.elapsed += dt;
+        sim_obs::counter!("ramp.tracker.intervals", 1);
         for s in Structure::ALL {
             let c = &conditions[s];
             for m in [
@@ -196,11 +197,31 @@ impl FitTracker {
                 model.thermal_cycling_fit(s, avg_temp[s]).value();
             row
         });
-        ApplicationFit {
+        let app = ApplicationFit {
             per_structure_mechanism: per,
             average_temperature: avg_temp,
             duration: Seconds(self.elapsed),
+        };
+        if sim_obs::enabled() {
+            // Per-structure and per-mechanism FIT contributions; the
+            // gauges land in the trace bit-exactly (shortest-round-trip
+            // float formatting), so `ramp report` totals match
+            // `ApplicationFit::total()` to the last ulp.
+            for s in Structure::ALL {
+                sim_obs::gauge!(
+                    format!("fit.structure.{}", s.name()),
+                    app.structure_total(s).value()
+                );
+            }
+            for m in Mechanism::ALL {
+                sim_obs::gauge!(
+                    format!("fit.mechanism.{}", m.name()),
+                    app.mechanism_total(m).value()
+                );
+            }
+            sim_obs::gauge!("fit.total", app.total().value());
         }
+        app
     }
 
     /// The running total FIT so far (for online budget control): identical

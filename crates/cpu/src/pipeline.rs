@@ -660,7 +660,7 @@ impl<S: InstructionSource> Processor<S> {
         let l2 = self.mem.l2.take_stats();
         let (int_rf, fp_rf) = self.rename.take_stats();
 
-        IntervalStats::from_counters(
+        let stats = IntervalStats::from_counters(
             &self.config,
             cycles,
             instructions,
@@ -671,7 +671,20 @@ impl<S: InstructionSource> Processor<S> {
             l2,
             int_rf,
             fp_rf,
-        )
+        );
+        if sim_obs::enabled() {
+            // Per-epoch IPC distribution plus the commit-stall breakdown
+            // (cycles the window head could not retire, by cause).
+            sim_obs::counter!("cpu.intervals", 1);
+            sim_obs::counter!("cpu.cycles", stats.cycles);
+            sim_obs::counter!("cpu.instructions", stats.instructions);
+            sim_obs::hist!("cpu.interval.ipc", stats.ipc());
+            sim_obs::counter!("cpu.stall.window_empty", stats.counters.cycles_window_empty);
+            sim_obs::counter!("cpu.stall.head_mem", stats.counters.cycles_head_mem);
+            sim_obs::counter!("cpu.stall.head_exec", stats.counters.cycles_head_exec);
+            sim_obs::counter!("cpu.stall.fetch", stats.counters.cycles_fetch_stalled);
+        }
+        stats
     }
 }
 

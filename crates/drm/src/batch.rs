@@ -111,8 +111,14 @@ impl EvalCache {
             .get(key)
             .cloned();
         match found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                sim_obs::counter!("drm.cache.hits", 1);
+                self.hits.fetch_add(1, Ordering::Relaxed)
+            }
+            None => {
+                sim_obs::counter!("drm.cache.misses", 1);
+                self.misses.fetch_add(1, Ordering::Relaxed)
+            }
         };
         found
     }
@@ -133,7 +139,7 @@ impl EvalCache {
     /// are equal anyway).
     pub fn insert(&self, key: EvalKey, ev: Evaluation) -> Arc<Evaluation> {
         self.busy_ns
-            .fetch_add(ev.stats.wall.as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(ev.stats.wall().as_nanos() as u64, Ordering::Relaxed);
         self.shards[key.shard()]
             .lock()
             .expect("cache shard lock poisoned")
@@ -316,7 +322,7 @@ impl BatchEngine {
         }
         let config = self.config_for(arch, dvs)?;
         let ev = self.evaluator.evaluate(app, &config)?;
-        self.cache.add_wall(ev.stats.wall);
+        self.cache.add_wall(ev.stats.wall());
         Ok(self.cache.insert(key, ev))
     }
 
@@ -338,6 +344,7 @@ impl BatchEngine {
         &self,
         jobs: &[(App, ArchPoint, DvsPoint)],
     ) -> Result<SweepSummary, SimError> {
+        let _batch_span = sim_obs::span!("drm.batch");
         let start = Instant::now();
 
         // Dedup: one work item per distinct cold key.
@@ -372,6 +379,7 @@ impl BatchEngine {
                     let first_error = &first_error;
                     let busy_ns = &busy_ns;
                     scope.spawn(move || {
+                        let _worker_span = sim_obs::span!("drm.worker");
                         loop {
                             if stop.load(Ordering::Relaxed) {
                                 return;
@@ -380,13 +388,16 @@ impl BatchEngine {
                             let Some(&(key, app, arch, dvs)) = work.get(i) else {
                                 return;
                             };
+                            // Work remaining in the shared queue as this
+                            // worker claims a job.
+                            sim_obs::hist!("drm.queue.depth", (work.len() - i) as f64);
                             let result = self
                                 .config_for(arch, dvs)
                                 .and_then(|config| evaluator.evaluate(app, &config));
                             match result {
                                 Ok(ev) => {
                                     busy_ns.fetch_add(
-                                        ev.stats.wall.as_nanos() as u64,
+                                        ev.stats.wall().as_nanos() as u64,
                                         Ordering::Relaxed,
                                     );
                                     self.cache.insert(key, ev);
@@ -410,12 +421,28 @@ impl BatchEngine {
         }
         let wall = start.elapsed();
         self.cache.add_wall(wall);
+        let busy = Duration::from_nanos(busy_ns.load(Ordering::Relaxed));
+        if sim_obs::enabled() {
+            sim_obs::counter!("drm.batch.passes", 1);
+            sim_obs::counter!("drm.batch.evaluations", work.len() as u64);
+            sim_obs::counter!("drm.batch.warm_hits", warm_hits);
+            sim_obs::counter!("drm.batch.wall_ns", wall.as_nanos() as u64);
+            sim_obs::counter!("drm.batch.busy_ns", busy.as_nanos() as u64);
+        }
+        sim_obs::log_debug!(
+            "drm.batch",
+            "pass done: {} evaluation(s), {} warm hit(s), {} worker(s), {:.1} ms wall",
+            work.len(),
+            warm_hits,
+            workers,
+            wall.as_secs_f64() * 1e3
+        );
         Ok(SweepSummary {
             workers,
             evaluations: work.len() as u64,
             cache_hits: warm_hits,
             wall,
-            busy: Duration::from_nanos(busy_ns.load(Ordering::Relaxed)),
+            busy,
         })
     }
 }

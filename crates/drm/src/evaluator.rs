@@ -19,7 +19,8 @@
 use std::time::{Duration, Instant};
 
 use ramp::{ApplicationFit, ReliabilityModel, StructureConditions};
-use sim_common::{Kelvin, Seconds, SimError, StructureMap, Watts};
+use sim_common::{Kelvin, Seconds, SimError, Structure, StructureMap, Watts};
+use sim_obs::{Histogram, StageTimes};
 use sim_cpu::{CoreConfig, IntervalStats, Processor};
 use sim_power::PowerModel;
 use sim_thermal::ThermalModel;
@@ -116,25 +117,52 @@ impl Default for EvalParams {
     }
 }
 
-/// Wall-time and work counters for one evaluation, split by pipeline
-/// stage (timing simulation vs the power/thermal fixed point).
+/// Wall-time and work diagnostics for one evaluation, carried on the
+/// `sim-obs` types: per-stage wall times in a [`StageTimes`] (keyed by
+/// the same names the evaluation's spans use) and the per-solve
+/// leakage/temperature fixed-point iteration counts in a [`Histogram`].
 ///
 /// Diagnostics only: two evaluations of the same (workload, config) pair
 /// are *equal* even when their wall times differ, so `EvalStats` compares
 /// as always-equal and derived [`Evaluation`] equality stays exact on the
 /// simulated quantities (determinism and parity tests rely on this).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct EvalStats {
-    /// Total wall time of the evaluation.
-    pub wall: Duration,
-    /// Wall time of the timing pass (stream generation + cycle simulation).
-    pub timing: Duration,
+    /// Wall time per pipeline stage: `eval.timing` (stream generation +
+    /// cycle simulation), `eval.sink` (pass 1, the §6.3 sink fixed
+    /// point), and `eval.thermal` (pass 2, per-interval solves).
+    pub stages: StageTimes,
+    /// Fixed-point iteration counts, one sample per solve (the pass-1
+    /// sink loop contributes one sample, each pass-2 interval another).
+    pub fixed_point: Histogram,
+}
+
+impl EvalStats {
+    /// Total wall time of the evaluation (sum over stages).
+    #[must_use]
+    pub fn wall(&self) -> Duration {
+        self.stages.total()
+    }
+
+    /// Wall time of the timing pass.
+    #[must_use]
+    pub fn timing(&self) -> Duration {
+        self.stages.get("eval.timing")
+    }
+
     /// Wall time of the power/thermal passes (sink init + per-interval
     /// leakage/temperature fixed point).
-    pub power_thermal: Duration,
+    #[must_use]
+    pub fn power_thermal(&self) -> Duration {
+        self.stages.get("eval.sink") + self.stages.get("eval.thermal")
+    }
+
     /// Leakage/temperature fixed-point iterations executed across both
     /// passes.
-    pub fixed_point_iterations: u64,
+    #[must_use]
+    pub fn fixed_point_iterations(&self) -> u64 {
+        self.fixed_point.sum() as u64
+    }
 }
 
 impl PartialEq for EvalStats {
@@ -304,8 +332,12 @@ impl Evaluator {
         config: &CoreConfig,
     ) -> Result<Evaluation, SimError> {
         profile.validate()?;
+        let _eval_span = sim_obs::span!("eval");
+        let mut stages = StageTimes::new();
+        let mut fixed_point = Histogram::new();
+
         let start = Instant::now();
-        let mut fixed_point_iterations = 0u64;
+        let timing_span = sim_obs::span!("eval.timing");
         let stream = SyntheticStream::new(profile.clone(), self.params.seed);
         let mut cpu = Processor::new(config.clone(), stream)?;
 
@@ -323,10 +355,13 @@ impl Evaluator {
             self.params.interval_instructions,
         );
         let timing: Vec<IntervalStats> = run.intervals().to_vec();
-        let timing_wall = start.elapsed();
+        drop(timing_span);
+        stages.record("eval.timing", start.elapsed());
 
         // Pass 1 (§6.3): iterate average power ↔ sink temperature to find
         // the steady-state heat-sink operating point.
+        let sink_start = Instant::now();
+        let sink_span = sim_obs::span!("eval.sink");
         let mut sink = self.thermal.params().ambient;
         let mut temps_guess: Vec<StructureMap<Kelvin>> =
             vec![StructureMap::splat(Kelvin(345.0)); timing.len()];
@@ -340,11 +375,13 @@ impl Evaluator {
                 time += dt;
             }
             let avg_power = Watts(if time > 0.0 { energy / time } else { 0.0 });
+            let prev_sink = sink;
             sink = self
                 .thermal
                 .steady_sink_temperature(avg_power)
                 .min(Kelvin(MAX_JUNCTION_K));
-            fixed_point_iterations += 1;
+            // Convergence residual of the sink fixed point, in Kelvin.
+            sim_obs::hist!("eval.sink.residual_k", (sink.0 - prev_sink.0).abs());
             // Refresh the temperature guesses under the new sink.
             for (iv, temps) in timing.iter().zip(temps_guess.iter_mut()) {
                 let breakdown = self.power.power(config, &iv.activity, temps);
@@ -354,20 +391,39 @@ impl Evaluator {
                 );
             }
         }
+        fixed_point.record(f64::from(self.params.leakage_iterations));
+        drop(sink_span);
+        stages.record("eval.sink", sink_start.elapsed());
 
         // Pass 2: final per-interval temperatures and conditions with the
         // sink pinned, iterating the leakage fixed point per interval.
+        let thermal_start = Instant::now();
+        let thermal_span = sim_obs::span!("eval.thermal");
         let mut intervals = Vec::with_capacity(timing.len());
         let mut temps = StructureMap::splat(sink);
         for iv in &timing {
             let mut breakdown = self.power.power(config, &iv.activity, &temps);
             for _ in 0..self.params.leakage_iterations {
-                fixed_point_iterations += 1;
+                let prev = temps;
                 temps = clamp_temps(
                     self.thermal
                         .steady_state_with_sink(&breakdown.per_structure(), sink),
                 );
+                if sim_obs::enabled() {
+                    let residual = Structure::ALL
+                        .into_iter()
+                        .map(|s| (temps[s].0 - prev[s].0).abs())
+                        .fold(0.0, f64::max);
+                    sim_obs::hist!("eval.thermal.residual_k", residual);
+                }
                 breakdown = self.power.power(config, &iv.activity, &temps);
+            }
+            fixed_point.record(f64::from(self.params.leakage_iterations));
+            if sim_obs::enabled() {
+                // Per-structure temperature distributions over intervals.
+                for (s, t) in temps.iter() {
+                    sim_obs::hist!(format!("thermal.temp.{}", s.name()), t.0);
+                }
             }
             let duration = Seconds(iv.cycles as f64 / config.frequency.0);
             let conditions = StructureMap::from_fn(|s| StructureConditions {
@@ -386,9 +442,29 @@ impl Evaluator {
                 conditions,
             });
         }
+        drop(thermal_span);
+        stages.record("eval.thermal", thermal_start.elapsed());
+
+        let stats = EvalStats {
+            stages,
+            fixed_point,
+        };
+        sim_obs::counter!("drm.evals", 1);
+        sim_obs::hist!("drm.eval.wall_ms", stats.wall().as_secs_f64() * 1e3);
+        sim_obs::log_debug!(
+            "drm.eval",
+            "{} @ {:.2} GHz: IPC {:.3}, peak {:.1} K, {:.1} ms",
+            profile.name,
+            config.frequency.to_ghz(),
+            run.ipc(),
+            intervals
+                .iter()
+                .flat_map(|iv| iv.temperatures.iter().map(|(_, &t)| t.0))
+                .fold(0.0, f64::max),
+            stats.wall().as_secs_f64() * 1e3
+        );
 
         let ipc = run.ipc();
-        let wall = start.elapsed();
         Ok(Evaluation {
             workload: profile.name.clone(),
             config: config.clone(),
@@ -396,12 +472,7 @@ impl Evaluator {
             bips: ipc * config.frequency.to_ghz(),
             sink_temperature: sink,
             intervals,
-            stats: EvalStats {
-                wall,
-                timing: timing_wall,
-                power_thermal: wall.saturating_sub(timing_wall),
-                fixed_point_iterations,
-            },
+            stats,
         })
     }
 }
@@ -507,11 +578,17 @@ mod tests {
     fn stats_are_populated_and_ignored_by_equality() {
         let e = evaluator();
         let a = e.evaluate(App::Gzip, &CoreConfig::base()).unwrap();
-        assert!(a.stats.wall > Duration::ZERO);
-        assert!(a.stats.timing > Duration::ZERO);
-        assert!(a.stats.wall >= a.stats.timing);
-        // 3 sink iterations + 3 per interval (quick(): 4 intervals).
-        assert!(a.stats.fixed_point_iterations > 0);
+        assert!(a.stats.wall() > Duration::ZERO);
+        assert!(a.stats.timing() > Duration::ZERO);
+        assert!(a.stats.wall() >= a.stats.timing());
+        assert!(a.stats.power_thermal() > Duration::ZERO);
+        // One fixed-point sample for the pass-1 sink loop plus one per
+        // interval (quick(): 4 intervals), 3 iterations each.
+        assert_eq!(a.stats.fixed_point.count(), 1 + 4);
+        assert_eq!(a.stats.fixed_point_iterations(), 3 * (1 + 4));
+        // Stage names line up with the emitted span names.
+        let stages: Vec<_> = a.stats.stages.iter().map(|(n, _)| n).collect();
+        assert_eq!(stages, ["eval.timing", "eval.sink", "eval.thermal"]);
         // Equality must not depend on wall time: compare against a copy
         // with zeroed stats.
         let mut b = a.clone();

@@ -204,6 +204,7 @@ impl Oracle {
         model: &ReliabilityModel,
         dvs_step_ghz: f64,
     ) -> Result<DrmChoice, SimError> {
+        let _span = sim_obs::span!("oracle.best");
         let candidates = strategy.candidates(dvs_step_ghz);
         let mut jobs: Vec<_> = candidates.iter().map(|&(a, d)| (app, a, d)).collect();
         jobs.push((app, ArchPoint::most_aggressive(), DvsPoint::base()));

@@ -1,0 +1,369 @@
+//! Minimal JSON support for the JSONL trace format: a flat-object
+//! builder and a flat-object parser. Only what the trace needs — string,
+//! integer, and float values; no nesting, no arrays — kept in-tree so
+//! the crate stays dependency-free.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Builds one flat JSON object, preserving insertion order.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    #[must_use]
+    pub fn new() -> JsonObject {
+        JsonObject { buf: String::new() }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        escape_into(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, key: &str, value: &str) {
+        self.key(key);
+        escape_into(&mut self.buf, value);
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(&mut self, key: &str, value: u64) {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+    }
+
+    /// Adds a float field. Rust's `Display` prints the shortest string
+    /// that round-trips, so parsing recovers the exact bits; non-finite
+    /// values (invalid JSON numbers) are emitted as strings.
+    pub fn f64(&mut self, key: &str, value: f64) {
+        self.key(key);
+        if value.is_finite() {
+            let tail = self.buf.len();
+            let _ = write!(self.buf, "{value}");
+            // Integral floats print bare (`3`); keep them visibly floats.
+            if !self.buf[tail..].contains(['.', 'e', 'E']) {
+                self.buf.push_str(".0");
+            }
+        } else {
+            escape_into(&mut self.buf, &value.to_string());
+        }
+    }
+
+    /// Closes and returns the object text.
+    #[must_use]
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+fn escape_into(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+/// One parsed flat JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A string literal.
+    Str(String),
+    /// A number (kept as `f64`; u64 values in traces are ≤ 2⁵³ in
+    /// practice — span ids and nanosecond stamps).
+    Num(f64),
+    /// `true`/`false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+/// A parsed flat object with typed accessors.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedObject {
+    fields: BTreeMap<String, JsonValue>,
+}
+
+impl ParsedObject {
+    /// The raw value of a field.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.fields.get(key)
+    }
+
+    /// A string field.
+    #[must_use]
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        match self.fields.get(key) {
+            Some(JsonValue::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A numeric field as `u64` (only when integral and in range).
+    #[must_use]
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        match self.fields.get(key) {
+            Some(JsonValue::Num(n)) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// A numeric field as `f64`.
+    #[must_use]
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        match self.fields.get(key) {
+            Some(JsonValue::Num(n)) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object line (as produced by
+/// [`crate::JsonlSink`]). Returns `None` on malformed input or nested
+/// structures.
+#[must_use]
+pub fn parse_object(line: &str) -> Option<ParsedObject> {
+    let mut p = Parser {
+        bytes: line.trim().as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut fields = BTreeMap::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.parse_value()?;
+            fields.insert(key, value);
+            p.skip_ws();
+            match p.next()? {
+                b',' => continue,
+                b'}' => break,
+                _ => return None,
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return None;
+    }
+    Some(ParsedObject { fields })
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn expect(&mut self, b: u8) -> Option<()> {
+        if self.next()? == b {
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_string(&mut self) -> Option<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next()? {
+                b'"' => return Some(out),
+                b'\\' => match self.next()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = (self.next()? as char).to_digit(16)?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                b => {
+                    // Re-decode multi-byte UTF-8 from the raw bytes.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let width = match b {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            0xF0..=0xF7 => 4,
+                            _ => return None,
+                        };
+                        let end = start + width;
+                        let chunk = self.bytes.get(start..end)?;
+                        out.push_str(std::str::from_utf8(chunk).ok()?);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Option<JsonValue> {
+        match self.peek()? {
+            b'"' => Some(JsonValue::Str(self.parse_string()?)),
+            b't' => self.parse_literal("true", JsonValue::Bool(true)),
+            b'f' => self.parse_literal("false", JsonValue::Bool(false)),
+            b'n' => self.parse_literal("null", JsonValue::Null),
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            _ => None,
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, value: JsonValue) -> Option<JsonValue> {
+        let end = self.pos + lit.len();
+        if self.bytes.get(self.pos..end)? == lit.as_bytes() {
+            self.pos = end;
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    fn parse_number(&mut self) -> Option<JsonValue> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+        text.parse::<f64>().ok().map(JsonValue::Num)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_parses_round_trip() {
+        let mut o = JsonObject::new();
+        o.str("type", "span");
+        o.u64("id", 42);
+        o.f64("value", 1.5);
+        o.str("name", "a \"b\" \\ c\nd");
+        let line = o.finish();
+        let parsed = parse_object(&line).unwrap();
+        assert_eq!(parsed.get_str("type"), Some("span"));
+        assert_eq!(parsed.get_u64("id"), Some(42));
+        assert_eq!(parsed.get_f64("value"), Some(1.5));
+        assert_eq!(parsed.get_str("name"), Some("a \"b\" \\ c\nd"));
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for v in [0.1 + 0.2, 1.0 / 3.0, 812.000000000123, 1e-300, -4.25] {
+            let mut o = JsonObject::new();
+            o.f64("v", v);
+            let parsed = parse_object(&o.finish()).unwrap();
+            assert_eq!(parsed.get_f64("v").unwrap().to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        let mut o = JsonObject::new();
+        o.f64("v", 3.0);
+        let line = o.finish();
+        assert!(line.contains("3.0"), "{line}");
+        assert_eq!(parse_object(&line).unwrap().get_f64("v"), Some(3.0));
+    }
+
+    #[test]
+    fn nonfinite_floats_become_strings() {
+        let mut o = JsonObject::new();
+        o.f64("v", f64::NAN);
+        let parsed = parse_object(&o.finish()).unwrap();
+        assert_eq!(parsed.get_str("v"), Some("NaN"));
+        assert_eq!(parsed.get_f64("v"), None);
+    }
+
+    #[test]
+    fn parses_literals_and_empty_objects() {
+        let parsed = parse_object(r#"{"a":true,"b":false,"c":null}"#).unwrap();
+        assert_eq!(parsed.get("a"), Some(&JsonValue::Bool(true)));
+        assert_eq!(parsed.get("b"), Some(&JsonValue::Bool(false)));
+        assert_eq!(parsed.get("c"), Some(&JsonValue::Null));
+        assert_eq!(parse_object("{}").unwrap(), ParsedObject::default());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{",
+            "{'a':1}",
+            r#"{"a":}"#,
+            r#"{"a":1"#,
+            r#"{"a":1} trailing"#,
+            r#"{"a":[1]}"#,
+        ] {
+            assert!(parse_object(bad).is_none(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn unicode_strings_survive() {
+        let mut o = JsonObject::new();
+        o.str("s", "températûre °K λ");
+        let parsed = parse_object(&o.finish()).unwrap();
+        assert_eq!(parsed.get_str("s"), Some("températûre °K λ"));
+    }
+}

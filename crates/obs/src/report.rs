@@ -1,0 +1,475 @@
+//! Offline analysis of a JSONL trace: the flamegraph-style per-stage
+//! wall-time summary and the hottest-structure table behind
+//! `ramp report`.
+//!
+//! Self (exclusive) time per stage is computed bottom-up: each span's
+//! self time is its duration minus the summed durations of its direct
+//! children, and stages aggregate self time across all spans sharing a
+//! name. Shares are self time over total self time, so the stage table
+//! always sums to 100%.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::json::{parse_object, ParsedObject};
+use crate::metrics::MetricValue;
+use crate::sink::{LogEvent, SpanEvent};
+use crate::Level;
+
+/// A metric line read back from a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceMetric {
+    /// Metric name.
+    pub name: String,
+    /// Parsed value (histograms carry summary stats only).
+    pub value: TraceMetricValue,
+}
+
+/// A trace metric's value. Histogram lines keep their summary statistics
+/// (buckets are not serialized).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceMetricValue {
+    /// A summed counter.
+    Counter(u64),
+    /// The final gauge value (bit-exact: floats are serialized with
+    /// shortest-round-trip formatting).
+    Gauge(f64),
+    /// Histogram summary: `(count, sum, min, max, mean)`.
+    HistSummary {
+        /// Sample count.
+        count: u64,
+        /// Sum of samples.
+        sum: f64,
+        /// Smallest sample.
+        min: f64,
+        /// Largest sample.
+        max: f64,
+        /// Mean sample.
+        mean: f64,
+    },
+}
+
+/// Everything parsed from one JSONL trace file.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    /// All spans, in file order.
+    pub spans: Vec<SpanEvent>,
+    /// All diagnostics, in file order.
+    pub logs: Vec<LogEvent>,
+    /// All metric lines; later flushes of the same name supersede
+    /// earlier ones (last wins, matching snapshot semantics).
+    pub metrics: Vec<TraceMetric>,
+    /// Lines that failed to parse (line number, content).
+    pub malformed: Vec<(usize, String)>,
+}
+
+impl Trace {
+    /// The final value of a metric by name.
+    #[must_use]
+    pub fn metric(&self, name: &str) -> Option<&TraceMetricValue> {
+        // Last occurrence wins: each flush rewrites the snapshot.
+        self.metrics
+            .iter()
+            .rev()
+            .find(|m| m.name == name)
+            .map(|m| &m.value)
+    }
+
+    /// The final value of a gauge by name.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.metric(name) {
+            Some(TraceMetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The final value of a counter by name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metric(name) {
+            Some(TraceMetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+fn metric_from(obj: &ParsedObject, kind: &str) -> Option<TraceMetric> {
+    let name = obj.get_str("name")?.to_owned();
+    let value = match kind {
+        "counter" => TraceMetricValue::Counter(obj.get_u64("value")?),
+        "gauge" => TraceMetricValue::Gauge(obj.get_f64("value")?),
+        "hist" => TraceMetricValue::HistSummary {
+            count: obj.get_u64("count")?,
+            sum: obj.get_f64("sum")?,
+            min: obj.get_f64("min").unwrap_or(f64::INFINITY),
+            max: obj.get_f64("max").unwrap_or(f64::NEG_INFINITY),
+            mean: obj.get_f64("mean")?,
+        },
+        _ => return None,
+    };
+    Some(TraceMetric { name, value })
+}
+
+/// Parses JSONL trace text (see [`crate::JsonlSink`] for the schema).
+#[must_use]
+pub fn parse_trace(text: &str) -> Trace {
+    let mut trace = Trace::default();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Some(obj) = parse_object(line) else {
+            trace.malformed.push((idx + 1, line.to_owned()));
+            continue;
+        };
+        match obj.get_str("type") {
+            Some("span") => {
+                let span = (|| {
+                    Some(SpanEvent {
+                        id: obj.get_u64("id")?,
+                        parent: obj.get_u64("parent")?,
+                        thread: obj.get_u64("thread")?,
+                        name: obj.get_str("name")?.to_owned(),
+                        start_ns: obj.get_u64("start_ns")?,
+                        duration_ns: obj.get_u64("duration_ns")?,
+                    })
+                })();
+                match span {
+                    Some(s) => trace.spans.push(s),
+                    None => trace.malformed.push((idx + 1, line.to_owned())),
+                }
+            }
+            Some("log") => {
+                let level = Level::parse(obj.get_str("level").unwrap_or(""));
+                trace.logs.push(LogEvent {
+                    level,
+                    target: obj.get_str("target").unwrap_or("").to_owned(),
+                    message: obj.get_str("message").unwrap_or("").to_owned(),
+                });
+            }
+            Some(kind @ ("counter" | "gauge" | "hist")) => match metric_from(&obj, kind) {
+                Some(m) => trace.metrics.push(m),
+                None => trace.malformed.push((idx + 1, line.to_owned())),
+            },
+            Some("meta") => {}
+            _ => trace.malformed.push((idx + 1, line.to_owned())),
+        }
+    }
+    trace
+}
+
+/// Reads and parses a trace file.
+pub fn read_trace(path: &Path) -> std::io::Result<Trace> {
+    Ok(parse_trace(&std::fs::read_to_string(path)?))
+}
+
+/// One row of the per-stage wall-time summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRow {
+    /// Span name.
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Total (inclusive) nanoseconds across those spans.
+    pub total_ns: u64,
+    /// Self (exclusive) nanoseconds: total minus direct children.
+    pub self_ns: u64,
+    /// Share of global self time, in percent. All rows sum to 100.
+    pub share_pct: f64,
+}
+
+/// Aggregates spans into per-stage rows, ordered by descending self
+/// time. Shares are fractions of total self time and sum to 100% (when
+/// any time was recorded at all).
+#[must_use]
+pub fn stage_summary(spans: &[SpanEvent]) -> Vec<StageRow> {
+    let mut child_ns: HashMap<u64, u64> = HashMap::new();
+    for span in spans {
+        if span.parent != 0 {
+            *child_ns.entry(span.parent).or_insert(0) += span.duration_ns;
+        }
+    }
+    let mut stages: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+    for span in spans {
+        let children = child_ns.get(&span.id).copied().unwrap_or(0);
+        // Clock jitter can make summed children exceed the parent.
+        let self_ns = span.duration_ns.saturating_sub(children);
+        let entry = stages.entry(&span.name).or_insert((0, 0, 0));
+        entry.0 += 1;
+        entry.1 += span.duration_ns;
+        entry.2 += self_ns;
+    }
+    let total_self: u64 = stages.values().map(|(_, _, s)| *s).sum();
+    let mut rows: Vec<StageRow> = stages
+        .into_iter()
+        .map(|(name, (count, total_ns, self_ns))| StageRow {
+            name: name.to_owned(),
+            count,
+            total_ns,
+            self_ns,
+            share_pct: if total_self == 0 {
+                0.0
+            } else {
+                self_ns as f64 / total_self as f64 * 100.0
+            },
+        })
+        .collect();
+    rows.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(&b.name)));
+    rows
+}
+
+/// One row of the hottest-structure table, from `thermal.temp.<s>`
+/// histograms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotStructure {
+    /// Structure name (e.g. `fp-reg-file`).
+    pub structure: String,
+    /// Peak temperature seen, Kelvin.
+    pub max_k: f64,
+    /// Mean temperature, Kelvin.
+    pub mean_k: f64,
+    /// Number of samples.
+    pub samples: u64,
+}
+
+/// Extracts per-structure temperature statistics, hottest (by peak)
+/// first.
+#[must_use]
+pub fn hottest_structures(trace: &Trace) -> Vec<HotStructure> {
+    let mut seen: BTreeMap<&str, &TraceMetricValue> = BTreeMap::new();
+    for m in &trace.metrics {
+        if let Some(structure) = m.name.strip_prefix("thermal.temp.") {
+            seen.insert(structure, &m.value); // last flush wins
+        }
+    }
+    let mut rows: Vec<HotStructure> = seen
+        .into_iter()
+        .filter_map(|(structure, value)| match value {
+            TraceMetricValue::HistSummary {
+                count, max, mean, ..
+            } => Some(HotStructure {
+                structure: structure.to_owned(),
+                max_k: *max,
+                mean_k: *mean,
+                samples: *count,
+            }),
+            _ => None,
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.max_k
+            .partial_cmp(&a.max_k)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.structure.cmp(&b.structure))
+    });
+    rows
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders the full `ramp report` text: stage table, hottest structures
+/// (top `top_n`), FIT gauges if present, and trace totals.
+#[must_use]
+pub fn render(trace: &Trace, top_n: usize) -> String {
+    let mut out = String::new();
+    let stages = stage_summary(&trace.spans);
+    let _ = writeln!(
+        out,
+        "trace: {} spans, {} metrics, {} log lines{}",
+        trace.spans.len(),
+        trace.metrics.len(),
+        trace.logs.len(),
+        if trace.malformed.is_empty() {
+            String::new()
+        } else {
+            format!(" ({} malformed lines skipped)", trace.malformed.len())
+        }
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "stage time (self = excluding child stages)");
+    let _ = writeln!(
+        out,
+        "  {:<28} {:>8} {:>12} {:>12} {:>7}",
+        "stage", "count", "total", "self", "share"
+    );
+    if stages.is_empty() {
+        let _ = writeln!(out, "  (no spans in trace)");
+    }
+    for row in &stages {
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>8} {:>12} {:>12} {:>6.2}%",
+            row.name,
+            row.count,
+            fmt_ns(row.total_ns),
+            fmt_ns(row.self_ns),
+            row.share_pct
+        );
+    }
+    let share_total: f64 = stages.iter().map(|r| r.share_pct).sum();
+    if !stages.is_empty() {
+        let _ = writeln!(out, "  {:<28} {:>8} {:>12} {:>12} {:>6.2}%", "", "", "", "", share_total);
+    }
+
+    let hot = hottest_structures(trace);
+    if !hot.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "hottest structures (top {top_n})");
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>10} {:>10} {:>8}",
+            "structure", "peak K", "mean K", "samples"
+        );
+        for row in hot.iter().take(top_n) {
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>10.2} {:>10.2} {:>8}",
+                row.structure, row.max_k, row.mean_k, row.samples
+            );
+        }
+    }
+
+    let fits: Vec<(&str, f64)> = trace
+        .metrics
+        .iter()
+        .filter_map(|m| match &m.value {
+            TraceMetricValue::Gauge(v) if m.name.starts_with("fit.structure.") => {
+                Some((m.name.strip_prefix("fit.structure.").unwrap(), *v))
+            }
+            _ => None,
+        })
+        .collect();
+    if let Some(total) = trace.gauge("fit.total") {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "reliability (FIT)");
+        let mut latest: BTreeMap<&str, f64> = BTreeMap::new();
+        for (name, v) in fits {
+            latest.insert(name, v);
+        }
+        let mut rows: Vec<(&str, f64)> = latest.into_iter().collect();
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        for (name, v) in rows.iter().take(top_n) {
+            let _ = writeln!(out, "  {name:<16} {v:>12.3}");
+        }
+        let _ = writeln!(out, "  {:<16} {total:>12.3}", "total");
+    }
+    out
+}
+
+/// Convenience used by metric tests: snapshot value as trace value.
+#[must_use]
+pub fn trace_value(value: &MetricValue) -> TraceMetricValue {
+    match value {
+        MetricValue::Counter(v) => TraceMetricValue::Counter(*v),
+        MetricValue::Gauge(v) => TraceMetricValue::Gauge(*v),
+        MetricValue::Histogram(h) => TraceMetricValue::HistSummary {
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min(),
+            max: h.max(),
+            mean: h.mean(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: u64, name: &str, duration_ns: u64) -> SpanEvent {
+        SpanEvent {
+            id,
+            parent,
+            thread: 1,
+            name: name.to_owned(),
+            start_ns: 0,
+            duration_ns,
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children() {
+        let spans = vec![
+            span(1, 0, "eval", 100),
+            span(2, 1, "eval.timing", 60),
+            span(3, 1, "eval.thermal", 30),
+            span(4, 3, "thermal.solve", 25),
+        ];
+        let rows = stage_summary(&spans);
+        let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+        assert_eq!(get("eval").self_ns, 10);
+        assert_eq!(get("eval.timing").self_ns, 60);
+        assert_eq!(get("eval.thermal").self_ns, 5);
+        assert_eq!(get("thermal.solve").self_ns, 25);
+        let share: f64 = rows.iter().map(|r| r.share_pct).sum();
+        assert!((share - 100.0).abs() < 1e-9);
+        // Ordered by descending self time.
+        assert_eq!(rows[0].name, "eval.timing");
+    }
+
+    #[test]
+    fn self_time_saturates_on_jitter() {
+        // Children sum past the parent (clock jitter): no underflow.
+        let spans = vec![span(1, 0, "p", 10), span(2, 1, "c", 15)];
+        let rows = stage_summary(&spans);
+        assert_eq!(rows.iter().find(|r| r.name == "p").unwrap().self_ns, 0);
+    }
+
+    #[test]
+    fn parse_trace_round_trips_and_last_metric_wins() {
+        let text = concat!(
+            "{\"type\":\"meta\",\"version\":1,\"clock\":\"monotonic-ns\"}\n",
+            "{\"type\":\"span\",\"id\":1,\"parent\":0,\"thread\":1,\"name\":\"eval\",\"start_ns\":0,\"duration_ns\":50}\n",
+            "{\"type\":\"counter\",\"name\":\"drm.cache.hits\",\"value\":1}\n",
+            "{\"type\":\"counter\",\"name\":\"drm.cache.hits\",\"value\":7}\n",
+            "{\"type\":\"gauge\",\"name\":\"fit.total\",\"value\":812.25}\n",
+            "{\"type\":\"log\",\"level\":\"info\",\"target\":\"t\",\"message\":\"m\"}\n",
+            "not json\n",
+        );
+        let trace = parse_trace(text);
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.counter("drm.cache.hits"), Some(7));
+        assert_eq!(trace.gauge("fit.total"), Some(812.25));
+        assert_eq!(trace.logs.len(), 1);
+        assert_eq!(trace.malformed.len(), 1);
+        assert_eq!(trace.malformed[0].0, 7);
+    }
+
+    #[test]
+    fn render_includes_stages_structures_and_fit() {
+        let text = concat!(
+            "{\"type\":\"span\",\"id\":1,\"parent\":0,\"thread\":1,\"name\":\"eval\",\"start_ns\":0,\"duration_ns\":1000}\n",
+            "{\"type\":\"hist\",\"name\":\"thermal.temp.fpu\",\"count\":2,\"sum\":700.0,\"min\":345.0,\"max\":355.0,\"mean\":350.0}\n",
+            "{\"type\":\"hist\",\"name\":\"thermal.temp.icache\",\"count\":2,\"sum\":690.0,\"min\":340.0,\"max\":350.0,\"mean\":345.0}\n",
+            "{\"type\":\"gauge\",\"name\":\"fit.structure.fpu\",\"value\":120.5}\n",
+            "{\"type\":\"gauge\",\"name\":\"fit.total\",\"value\":812.25}\n",
+        );
+        let trace = parse_trace(text);
+        let hot = hottest_structures(&trace);
+        assert_eq!(hot[0].structure, "fpu");
+        assert_eq!(hot[0].max_k, 355.0);
+        let text = render(&trace, 5);
+        assert!(text.contains("eval"));
+        assert!(text.contains("100.00%"));
+        assert!(text.contains("fpu"));
+        assert!(text.contains("812.250"));
+    }
+
+    #[test]
+    fn render_handles_empty_trace() {
+        let text = render(&Trace::default(), 5);
+        assert!(text.contains("no spans"));
+    }
+}

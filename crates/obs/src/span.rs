@@ -1,0 +1,192 @@
+//! RAII spans with monotonic timing, per-thread ids, and parent linkage.
+//!
+//! A span is opened with [`crate::span!`] and closed by dropping the
+//! returned [`SpanGuard`]. Parentage is tracked with a per-thread stack:
+//! a span opened while another span is live on the same thread records
+//! that span as its parent, which is what lets the offline report compute
+//! *self* (exclusive) time per stage.
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::sink::SpanEvent;
+
+/// Process-unique span ids; 0 means "no parent".
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Small dense thread ids (stable `ThreadId` has no public integer form).
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A small dense id for the calling thread (1-based, assigned on first
+/// use, never reused within a process).
+#[must_use]
+pub fn thread_id() -> u64 {
+    THREAD_ID.with(|t| *t)
+}
+
+struct SpanData {
+    id: u64,
+    parent: u64,
+    thread: u64,
+    name: Cow<'static, str>,
+    start: Instant,
+    start_ns: u64,
+}
+
+/// The RAII guard behind [`crate::span!`]. Emits one [`SpanEvent`] to
+/// every sink when dropped (if it was opened in the active state).
+pub struct SpanGuard {
+    data: Option<SpanData>,
+}
+
+impl SpanGuard {
+    /// Opens a live span. Called by the `span!` macro only when recording
+    /// is enabled; prefer the macro.
+    #[must_use]
+    pub fn active(name: impl Into<Cow<'static, str>>) -> SpanGuard {
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let parent = stack.last().copied().unwrap_or(0);
+            stack.push(id);
+            parent
+        });
+        SpanGuard {
+            data: Some(SpanData {
+                id,
+                parent,
+                thread: thread_id(),
+                name: name.into(),
+                start: Instant::now(),
+                start_ns: crate::since_epoch_ns(),
+            }),
+        }
+    }
+
+    /// An inert guard: dropping it does nothing. Zero allocations.
+    #[must_use]
+    pub fn disabled() -> SpanGuard {
+        SpanGuard { data: None }
+    }
+
+    /// True when this guard will emit an event on drop.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.data.is_some()
+    }
+
+    /// The span's id (0 for a disabled guard).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.data.as_ref().map_or(0, |d| d.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(data) = self.data.take() else {
+            return;
+        };
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Guards normally drop in LIFO order; out-of-order drops (a
+            // guard stored past its scope) are tolerated by removal.
+            if stack.last() == Some(&data.id) {
+                stack.pop();
+            } else {
+                stack.retain(|&id| id != data.id);
+            }
+        });
+        let event = SpanEvent {
+            id: data.id,
+            parent: data.parent,
+            thread: data.thread,
+            name: data.name.into_owned(),
+            start_ns: data.start_ns,
+            duration_ns: data.start.elapsed().as_nanos() as u64,
+        };
+        crate::each_sink(|sink| sink.on_span(&event));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+    use crate::MemorySink;
+    use std::sync::Arc;
+
+    #[test]
+    fn disabled_guard_is_inert() {
+        let g = SpanGuard::disabled();
+        assert!(!g.is_active());
+        assert_eq!(g.id(), 0);
+        drop(g); // must not panic or emit
+    }
+
+    #[test]
+    fn nesting_links_parents() {
+        let _guard = test_lock::hold();
+        crate::reset_for_tests();
+        let sink = Arc::new(MemorySink::new());
+        crate::install_sink(sink.clone());
+        crate::set_enabled(true);
+        {
+            let outer = crate::span!("outer");
+            let outer_id = outer.id();
+            {
+                let inner = crate::span!("inner");
+                assert!(inner.is_active());
+            }
+            let sibling = crate::span!("sibling");
+            assert!(sibling.is_active());
+            drop(sibling);
+            drop(outer);
+            assert!(outer_id > 0);
+        }
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 3);
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        let sibling = spans.iter().find(|s| s.name == "sibling").unwrap();
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(sibling.parent, outer.id);
+        assert_eq!(outer.parent, 0);
+        assert_eq!(inner.thread, outer.thread);
+        crate::reset_for_tests();
+    }
+
+    #[test]
+    fn span_durations_are_monotone() {
+        let _guard = test_lock::hold();
+        crate::reset_for_tests();
+        let sink = Arc::new(MemorySink::new());
+        crate::install_sink(sink.clone());
+        crate::set_enabled(true);
+        {
+            let _outer = crate::span!("outer");
+            let _inner = crate::span!("inner");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let spans = sink.spans();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        assert!(outer.duration_ns >= inner.duration_ns);
+        assert!(inner.duration_ns >= 1_000_000);
+        crate::reset_for_tests();
+    }
+
+    #[test]
+    fn thread_ids_are_distinct() {
+        let here = thread_id();
+        let there = std::thread::spawn(thread_id).join().unwrap();
+        assert_ne!(here, there);
+    }
+}

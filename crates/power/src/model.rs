@@ -215,10 +215,16 @@ impl PowerModel {
         activity: &StructureMap<f64>,
         temperatures: &StructureMap<Kelvin>,
     ) -> PowerBreakdown {
-        PowerBreakdown {
+        let breakdown = PowerBreakdown {
             dynamic: self.dynamic_power(core, activity),
             leakage: self.leakage_power(core, temperatures),
+        };
+        if sim_obs::enabled() {
+            sim_obs::counter!("power.evals", 1);
+            sim_obs::hist!("power.total_w", breakdown.total().0);
+            sim_obs::hist!("power.leakage_w", breakdown.total_leakage().0);
         }
+        breakdown
     }
 }
 

@@ -271,6 +271,7 @@ impl ThermalModel {
             b[SINK] = sink.0;
         }
         let temps = solve_dense(a, b);
+        sim_obs::counter!("thermal.solves", 1);
         ThermalState {
             temps: temps.to_vec(),
         }
@@ -296,6 +297,8 @@ impl ThermalModel {
         let h = (min_tau * 0.2).min(dt.max(1e-12));
         let steps = (dt / h).ceil().max(1.0) as usize;
         let h = dt / steps as f64;
+        sim_obs::counter!("thermal.transient_steps", 1);
+        sim_obs::counter!("thermal.transient_substeps", steps as u64);
         for _ in 0..steps {
             let mut dq = [0.0f64; N_NODES];
             for i in 0..N_NODES {

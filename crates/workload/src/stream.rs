@@ -21,6 +21,54 @@ const RING_DEPTH: usize = ARCH_REGS_PER_CLASS as usize;
 /// (matching how a bounded hardware RAS behaves under deep recursion).
 const MAX_CALL_DEPTH: usize = 24;
 
+/// Per-class micro-op tally, flushed to `workload.ops.<class>` /
+/// `workload.ops.total` counters when the stream is dropped (one counter
+/// update per stream lifetime, nothing in the per-op path). Cloned
+/// streams start a fresh tally so replays never double-report.
+#[derive(Debug)]
+struct OpTally {
+    counts: [u64; OpClass::ALL.len()],
+}
+
+impl OpTally {
+    fn new() -> OpTally {
+        OpTally {
+            counts: [0; OpClass::ALL.len()],
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, class: OpClass) {
+        // `OpClass::ALL` is in declaration order, so the discriminant is
+        // the index.
+        self.counts[class as usize] += 1;
+    }
+}
+
+impl Clone for OpTally {
+    fn clone(&self) -> OpTally {
+        OpTally::new()
+    }
+}
+
+impl Drop for OpTally {
+    fn drop(&mut self) {
+        if !sim_obs::enabled() {
+            return;
+        }
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return;
+        }
+        sim_obs::counter!("workload.ops.total", total);
+        for (class, &n) in OpClass::ALL.iter().zip(self.counts.iter()) {
+            if n > 0 {
+                sim_obs::counter!(format!("workload.ops.{class}"), n);
+            }
+        }
+    }
+}
+
 /// A deterministic, seeded instruction stream realizing an [`AppProfile`].
 ///
 /// The same `(profile, seed)` pair always generates the identical stream, so
@@ -51,6 +99,7 @@ pub struct SyntheticStream {
     pc: u64,
     loop_start: u64,
     emitted: u64,
+    tally: OpTally,
     /// Return addresses of calls in flight (bounded; deeper recursion
     /// degenerates to plain jumps).
     call_stack: Vec<u64>,
@@ -95,6 +144,7 @@ impl SyntheticStream {
             pc: 0,
             loop_start: 0,
             emitted: 0,
+            tally: OpTally::new(),
             call_stack: Vec::with_capacity(MAX_CALL_DEPTH),
             stream_offsets: streams,
             phase_idx: 0,
@@ -345,6 +395,7 @@ impl InstructionSource for SyntheticStream {
         }
 
         self.emitted += 1;
+        self.tally.record(class);
         self.advance_phase();
         op
     }
@@ -522,6 +573,17 @@ mod tests {
             s.next_op();
         }
         assert_eq!(s.emitted(), 123);
+    }
+
+    #[test]
+    fn tally_counts_ops_and_clone_starts_fresh() {
+        let mut s = SyntheticStream::new(App::Ammp.profile(), 1);
+        for _ in 0..10 {
+            s.next_op();
+        }
+        assert_eq!(s.tally.counts.iter().sum::<u64>(), 10);
+        let c = s.clone();
+        assert_eq!(c.tally.counts.iter().sum::<u64>(), 0);
     }
 
     #[test]

@@ -8,8 +8,14 @@ cd "$(dirname "$0")/.."
 echo "== build (release, offline) =="
 cargo build --release --offline
 
-echo "== tests =="
-cargo test -q --offline
+echo "== tests (RAMP_LOG=debug exercises the logging path) =="
+RAMP_LOG=debug cargo test -q --offline
+
+echo "== observability smoke: trace a run, summarize it =="
+trace="$(mktemp -t ramp-check-XXXXXX.jsonl)"
+trap 'rm -f "$trace"' EXIT
+./target/release/ramp fit --app gzip --tqual 394 --quick --trace "$trace" >/dev/null
+./target/release/ramp report "$trace" --top 3
 
 echo "== clippy (warnings are errors) =="
 cargo clippy --offline --all-targets -- -D warnings

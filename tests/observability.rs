@@ -1,0 +1,157 @@
+//! End-to-end observability: run the real pipeline with a JSONL trace
+//! sink attached, read the trace back, and check that (a) the report's
+//! per-stage shares sum to 100% and (b) the FIT gauges in the trace
+//! reproduce `ApplicationFit::total()` bit-for-bit (within 1e-9).
+//!
+//! Written as a single test: the sim-obs dispatcher is process-global,
+//! and one linear scenario avoids cross-test interference.
+
+use drm::{EvalParams, Evaluator};
+use ramp::{FailureParams, Mechanism, QualificationPoint, ReliabilityModel};
+use sim_common::{Floorplan, Kelvin, Structure};
+use sim_cpu::CoreConfig;
+use sim_obs::report;
+use std::sync::Arc;
+use workload::App;
+
+fn model() -> ReliabilityModel {
+    ReliabilityModel::qualify(
+        FailureParams::ramp_65nm(),
+        &QualificationPoint::at_temperature(Kelvin(345.0), 0.35),
+        &Floorplan::r10000_65nm().area_shares(),
+        4000.0,
+    )
+    .unwrap()
+}
+
+#[test]
+fn trace_round_trip_reproduces_fit_and_stage_shares() {
+    sim_obs::reset_for_tests();
+    let path = std::env::temp_dir().join(format!(
+        "ramp-observability-test-{}.jsonl",
+        std::process::id()
+    ));
+    let sink = sim_obs::JsonlSink::create(&path).expect("create trace file");
+    sim_obs::install_sink(Arc::new(sink));
+    sim_obs::set_enabled(true);
+
+    let evaluator = Evaluator::ibm_65nm(EvalParams::quick()).unwrap();
+    let ev = evaluator.evaluate(App::Gzip, &CoreConfig::base()).unwrap();
+    let m = model();
+    let app_fit = ev.application_fit(&m);
+    sim_obs::flush();
+    sim_obs::reset_for_tests();
+
+    let trace = report::read_trace(&path).expect("read trace back");
+    std::fs::remove_file(&path).ok();
+    assert!(
+        trace.malformed.is_empty(),
+        "malformed trace lines: {:?}",
+        trace.malformed
+    );
+
+    // Spans: the evaluation stages are present and nested under `eval`.
+    let eval_span = trace
+        .spans
+        .iter()
+        .find(|s| s.name == "eval")
+        .expect("eval span in trace");
+    for stage in ["eval.timing", "eval.sink", "eval.thermal"] {
+        let span = trace
+            .spans
+            .iter()
+            .find(|s| s.name == stage)
+            .unwrap_or_else(|| panic!("{stage} span in trace"));
+        assert_eq!(span.parent, eval_span.id, "{stage} nests under eval");
+        assert!(span.duration_ns <= eval_span.duration_ns);
+    }
+
+    // Report: stage shares sum to ~100% and every row is non-negative.
+    let stages = report::stage_summary(&trace.spans);
+    assert!(!stages.is_empty());
+    let share: f64 = stages.iter().map(|r| r.share_pct).sum();
+    assert!(
+        (share - 100.0).abs() < 1e-6,
+        "stage shares sum to {share}, expected 100"
+    );
+
+    // FIT gauges reproduce the scored ApplicationFit within 1e-9 (floats
+    // are serialized with shortest-round-trip formatting, so this is in
+    // fact bit-exact).
+    let total = trace.gauge("fit.total").expect("fit.total gauge");
+    assert!(
+        (total - app_fit.total().value()).abs() < 1e-9,
+        "trace fit.total {total} vs ApplicationFit::total() {}",
+        app_fit.total().value()
+    );
+    let mut structure_sum = 0.0;
+    for s in Structure::ALL {
+        let g = trace
+            .gauge(&format!("fit.structure.{}", s.name()))
+            .unwrap_or_else(|| panic!("fit.structure.{} gauge", s.name()));
+        assert!(
+            (g - app_fit.structure_total(s).value()).abs() < 1e-9,
+            "structure {} gauge mismatch",
+            s.name()
+        );
+        structure_sum += g;
+    }
+    assert!(
+        (structure_sum - app_fit.total().value()).abs() < 1e-9,
+        "per-structure gauges sum to {structure_sum}, expected {}",
+        app_fit.total().value()
+    );
+    for mech in Mechanism::ALL {
+        let g = trace
+            .gauge(&format!("fit.mechanism.{}", mech.name()))
+            .unwrap_or_else(|| panic!("fit.mechanism.{} gauge", mech.name()));
+        assert!((g - app_fit.mechanism_total(mech).value()).abs() < 1e-9);
+    }
+
+    // Hottest-structure table: every structure has a temperature
+    // histogram with one sample per measured interval, at plausible
+    // junction temperatures.
+    let hot = report::hottest_structures(&trace);
+    assert_eq!(hot.len(), Structure::COUNT);
+    for row in &hot {
+        assert_eq!(row.samples, ev.intervals.len() as u64);
+        assert!(
+            (300.0..500.0).contains(&row.max_k),
+            "{}: peak {} K",
+            row.structure,
+            row.max_k
+        );
+        assert!(row.mean_k <= row.max_k + 1e-9);
+    }
+    // Peak ordering matches the evaluation's own maximum temperature.
+    assert!((hot[0].max_k - ev.max_temperature().0).abs() < 1e-9);
+
+    // Pipeline counters flowed end to end: workload → cpu → power →
+    // thermal → tracker.
+    for counter in [
+        "workload.ops.total",
+        "cpu.intervals",
+        "cpu.instructions",
+        "power.evals",
+        "thermal.solves",
+        "ramp.tracker.intervals",
+        "drm.evals",
+    ] {
+        let v = trace
+            .counter(counter)
+            .unwrap_or_else(|| panic!("{counter} missing from trace"));
+        assert!(v > 0, "{counter} is zero");
+    }
+    // The tracker scored one interval per measured interval.
+    assert_eq!(
+        trace.counter("ramp.tracker.intervals"),
+        Some(ev.intervals.len() as u64)
+    );
+
+    // The rendered report is well-formed and mentions the key sections.
+    let rendered = report::render(&trace, 5);
+    assert!(rendered.contains("stage time"));
+    assert!(rendered.contains("eval.timing"));
+    assert!(rendered.contains("hottest structures"));
+    assert!(rendered.contains("reliability (FIT)"));
+}

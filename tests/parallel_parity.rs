@@ -67,6 +67,43 @@ fn drm_choice_is_worker_count_invariant() {
     assert_eq!(a, b);
 }
 
+/// Parity must survive observability: with metrics and span recording
+/// enabled, one worker and four workers still produce bit-identical
+/// evaluations (instrumentation reads simulation state but never feeds
+/// back into it).
+#[test]
+fn parity_holds_with_metrics_enabled() {
+    let sink = std::sync::Arc::new(sim_obs::MemorySink::new());
+    sim_obs::install_sink(sink.clone());
+    sim_obs::set_enabled(true);
+
+    let jobs = grid();
+    let seq = oracle(1);
+    let par = oracle(4);
+    seq.prefetch(&jobs).expect("sequential sweep");
+    par.prefetch(&jobs).expect("parallel sweep");
+    for &(app, arch, dvs) in &jobs {
+        let a = seq.evaluation(app, arch, dvs).expect("cached");
+        let b = par.evaluation(app, arch, dvs).expect("cached");
+        assert_eq!(*a, *b, "{app} {arch} @ {:.2} GHz", dvs.frequency.to_ghz());
+        // The sim-obs diagnostics themselves are populated either way.
+        assert!(a.stats.wall() > std::time::Duration::ZERO);
+        assert!(b.stats.fixed_point_iterations() > 0);
+    }
+
+    // The shards from both sweeps (including exited worker threads)
+    // aggregate into one snapshot containing the pipeline's metrics.
+    let snapshot = sim_obs::flush();
+    for name in ["drm.evals", "drm.batch.evaluations", "thermal.solves"] {
+        assert!(
+            snapshot.iter().any(|m| m.name == name),
+            "{name} missing from metrics snapshot"
+        );
+    }
+    assert!(!sink.spans().is_empty(), "worker spans were recorded");
+    sim_obs::set_enabled(false);
+}
+
 /// Re-running a sweep over an already-warm cache performs no new
 /// evaluations and only counts hits.
 #[test]
