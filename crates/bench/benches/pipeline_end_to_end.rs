@@ -71,7 +71,10 @@ fn bench_batch_engine() {
             )
         })
         .collect();
-    for (label, workers) in [("oracle/dvs_sweep_1_worker", 1), ("oracle/dvs_sweep_all_cores", 0)] {
+    for (label, workers) in [
+        ("oracle/dvs_sweep_1_worker", 1),
+        ("oracle/dvs_sweep_all_cores", 0),
+    ] {
         microbench(label, MIN_TIME, || {
             let oracle =
                 Oracle::with_workers(Evaluator::ibm_65nm(tiny_params()).expect("params"), workers);

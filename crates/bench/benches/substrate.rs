@@ -31,11 +31,9 @@ fn bench_timing_simulator() {
             &format!("cpu/simulate_20k_insts/{}", app.name()),
             MIN_TIME,
             || {
-                let mut cpu = Processor::new(
-                    CoreConfig::base(),
-                    SyntheticStream::new(app.profile(), 11),
-                )
-                .expect("valid config");
+                let mut cpu =
+                    Processor::new(CoreConfig::base(), SyntheticStream::new(app.profile(), 11))
+                        .expect("valid config");
                 cpu.prewarm(0x1000_0000, 1 << 20, 0, 32 * 1024);
                 cpu.run_instructions(20_000)
             },

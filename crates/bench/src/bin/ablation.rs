@@ -13,11 +13,7 @@ use sim_power::{PowerModel, PowerParams};
 use sim_thermal::{ThermalModel, ThermalParams};
 use workload::App;
 
-fn evaluator_with(
-    power: PowerParams,
-    thermal: ThermalParams,
-    params: EvalParams,
-) -> Evaluator {
+fn evaluator_with(power: PowerParams, thermal: ThermalParams, params: EvalParams) -> Evaluator {
     Evaluator::new(
         PowerModel::new(power, Floorplan::r10000_65nm()).expect("power params"),
         ThermalModel::new(thermal, Floorplan::r10000_65nm()).expect("thermal params"),
@@ -123,7 +119,10 @@ fn main() {
     println!();
 
     println!("Ablation 7: next-line prefetch (not in Table 1; default off)");
-    for (app, label) in [(App::Equake, "equake (streaming)"), (App::Twolf, "twolf (pointer-chasing)")] {
+    for (app, label) in [
+        (App::Equake, "equake (streaming)"),
+        (App::Twolf, "twolf (pointer-chasing)"),
+    ] {
         for prefetch in [false, true] {
             let mut cfg = CoreConfig::base();
             cfg.prefetch_next_line = prefetch;

@@ -31,8 +31,7 @@ fn main() {
         for t in [T_AVERAGE_APP, T_APP_ORIENTED, T_WORST_CASE] {
             let m = qualified_model(t, alpha).expect("model");
             let inter = oracle.best(app, Strategy::Dvs, &m, 0.25).expect("inter");
-            let intra =
-                intra_app_best(&oracle, app, Strategy::Dvs, &m, 0.25).expect("intra");
+            let intra = intra_app_best(&oracle, app, Strategy::Dvs, &m, 0.25).expect("intra");
             println!(
                 "{:>10} {:>10.0} {:>11.2}{} {:>11.2}{} {:>9}",
                 app.name(),
@@ -51,9 +50,18 @@ fn main() {
     let m = qualified_model(T_APP_ORIENTED, alpha).expect("model");
     let mixes = [
         ("pure MPGdec", vec![(App::MpgDec, 1.0)]),
-        ("80/20 MPGdec/art", vec![(App::MpgDec, 0.8), (App::Art, 0.2)]),
-        ("50/50 MPGdec/art", vec![(App::MpgDec, 0.5), (App::Art, 0.5)]),
-        ("20/80 MPGdec/art", vec![(App::MpgDec, 0.2), (App::Art, 0.8)]),
+        (
+            "80/20 MPGdec/art",
+            vec![(App::MpgDec, 0.8), (App::Art, 0.2)],
+        ),
+        (
+            "50/50 MPGdec/art",
+            vec![(App::MpgDec, 0.5), (App::Art, 0.5)],
+        ),
+        (
+            "20/80 MPGdec/art",
+            vec![(App::MpgDec, 0.2), (App::Art, 0.8)],
+        ),
     ];
     println!("{:>20} {:>10} {:>10}", "mix", "DVS (GHz)", "perf");
     for (label, entries) in mixes {
@@ -105,7 +113,9 @@ fn main() {
                 .expect("qualification");
         let mut cells = Vec::new();
         for app in [App::MpgDec, App::Twolf] {
-            let c = oracle.best(app, Strategy::Dvs, &model, 0.25).expect("search");
+            let c = oracle
+                .best(app, Strategy::Dvs, &model, 0.25)
+                .expect("search");
             cells.push(format!(
                 "{:.2}{}",
                 c.relative_performance,

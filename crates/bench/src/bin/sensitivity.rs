@@ -3,7 +3,9 @@
 //! (§3.7 fixes it to the suite maximum), (b) the synthetic workload seed,
 //! and (c) the simulation length?
 
-use bench_suite::{eval_params, print_sweep_summary, qualified_model, sweep_workers, T_APP_ORIENTED};
+use bench_suite::{
+    eval_params, print_sweep_summary, qualified_model, sweep_workers, T_APP_ORIENTED,
+};
 use drm::{EvalParams, Evaluator, Oracle, Strategy};
 use sim_cpu::CoreConfig;
 use workload::App;
@@ -13,10 +15,7 @@ fn main() {
 
     println!("Sensitivity 1: qualification activity factor alpha_qual");
     println!("(DRM DVS choice for two apps at T_qual = {T_APP_ORIENTED:.0})");
-    println!(
-        "{:>8} {:>14} {:>14}",
-        "alpha", "MPGdec", "twolf"
-    );
+    println!("{:>8} {:>14} {:>14}", "alpha", "MPGdec", "twolf");
     let oracle = Oracle::with_workers(
         Evaluator::ibm_65nm(params).expect("evaluator"),
         sweep_workers(),
@@ -41,7 +40,10 @@ fn main() {
     println!();
 
     println!("Sensitivity 2: synthetic workload seed (base-config IPC)");
-    println!("{:>10} {:>8} {:>8} {:>8}", "app", "seed 1", "seed 2", "seed 3");
+    println!(
+        "{:>10} {:>8} {:>8} {:>8}",
+        "app", "seed 1", "seed 2", "seed 3"
+    );
     for app in [App::MpgDec, App::Bzip2, App::Art] {
         let mut row = Vec::new();
         for seed in [12_345u64, 777, 31_415] {
@@ -68,7 +70,9 @@ fn main() {
             ..params
         };
         let e = Evaluator::ibm_65nm(p).expect("evaluator");
-        let ev = e.evaluate(App::Bzip2, &CoreConfig::base()).expect("evaluation");
+        let ev = e
+            .evaluate(App::Bzip2, &CoreConfig::base())
+            .expect("evaluation");
         println!(
             "  {:>4} ({:>7} insts): IPC {:.3}, P {:.1} W, Tmax {:.1} K",
             label,

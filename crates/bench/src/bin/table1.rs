@@ -22,7 +22,10 @@ fn main() {
     );
     println!("  Leakage power density at 383 K         0.5 W/mm^2");
     println!("Base Processor Parameters");
-    println!("  Fetch/retire rate                      {} per cycle", c.fetch_width);
+    println!(
+        "  Fetch/retire rate                      {} per cycle",
+        c.fetch_width
+    );
     println!(
         "  Functional units                       {} Int, {} FP, {} Add. gen.",
         c.int_alus, c.fpus, c.addr_gens
@@ -37,7 +40,10 @@ fn main() {
         "  Register file size                     {} integer and {} FP",
         c.int_regs, c.fp_regs
     );
-    println!("  Memory queue size                      {} entries", c.mem_queue);
+    println!(
+        "  Memory queue size                      {} entries",
+        c.mem_queue
+    );
     println!(
         "  Branch prediction                      2KB bimodal agree ({} counters), {} entry RAS",
         c.bpred.counters, c.bpred.ras_entries

@@ -39,9 +39,10 @@ use std::path::Path;
 use std::sync::{Arc, Mutex, Once};
 use std::time::{Duration, Instant};
 
-use drm::{EvalParams, Evaluator, Oracle};
-use ramp::{FailureParams, QualificationPoint, ReliabilityModel, FIT_TARGET_STANDARD};
-use sim_common::{Floorplan, Kelvin, SimError};
+use drm::{EvalParams, Oracle};
+use ramp::ReliabilityModel;
+use scenario::Scenario;
+use sim_common::{Kelvin, SimError};
 use workload::App;
 
 /// Our analogue of the paper's 400 K point: the worst-case (hottest
@@ -164,23 +165,32 @@ pub fn print_sweep_summary(oracle: &Oracle) {
     println!("{}", oracle.summary());
 }
 
+/// The scenario every figure driver builds from: `RAMP_SCENARIO=<file>`
+/// when set, the paper's own setup otherwise.
+///
+/// # Errors
+///
+/// Propagates scenario load errors.
+pub fn base_scenario() -> Result<Scenario, SimError> {
+    match std::env::var("RAMP_SCENARIO") {
+        Ok(path) if !path.is_empty() => Scenario::load(&path),
+        _ => Ok(Scenario::paper_default()),
+    }
+}
+
 /// Builds a reliability model qualified at `t_qual` with the given
-/// suite-maximum activity (§3.7: target 4000 FIT, even mechanism split,
-/// area-proportional structure split).
+/// suite-maximum activity (§3.7: the scenario's FIT budget, even
+/// mechanism split, area-proportional structure split) over the
+/// [`base_scenario`]'s processor and floorplan.
 ///
 /// # Errors
 ///
 /// Propagates qualification errors.
 pub fn qualified_model(t_qual: f64, alpha_qual: f64) -> Result<ReliabilityModel, SimError> {
-    ReliabilityModel::qualify(
-        FailureParams::ramp_65nm(),
-        &QualificationPoint::at_temperature(Kelvin(t_qual), alpha_qual),
-        &Floorplan::r10000_65nm().area_shares(),
-        FIT_TARGET_STANDARD,
-    )
+    base_scenario()?.model_at(Kelvin(t_qual), alpha_qual)
 }
 
-/// Creates a fresh oracle over the default 65 nm stack, sized by
+/// Creates a fresh oracle over the [`base_scenario`]'s stack, sized by
 /// [`sweep_workers`].
 ///
 /// # Errors
@@ -188,10 +198,13 @@ pub fn qualified_model(t_qual: f64, alpha_qual: f64) -> Result<ReliabilityModel,
 /// Propagates construction errors.
 pub fn make_oracle() -> Result<Oracle, SimError> {
     init_observability();
-    Ok(Oracle::with_workers(
-        Evaluator::ibm_65nm(eval_params())?,
-        sweep_workers(),
-    ))
+    let scn = base_scenario()?;
+    let params = if std::env::var_os("RAMP_FAST").is_some() {
+        EvalParams::quick()
+    } else {
+        scn.eval
+    };
+    scn.oracle_with(params, sweep_workers())
 }
 
 /// The suite-maximum activity factor `α_qual` (§3.7), measured on the base
@@ -225,8 +238,7 @@ where
             let results = &results;
             let job = &job;
             scope.spawn(move || {
-                let r = job(app, oracle)
-                    .unwrap_or_else(|e| panic!("job for {app} failed: {e}"));
+                let r = job(app, oracle).unwrap_or_else(|e| panic!("job for {app} failed: {e}"));
                 results.lock().expect("no poisoned lock").push((i, app, r));
             });
         }
@@ -265,6 +277,7 @@ pub fn microbench<R>(name: &str, min_time: Duration, mut f: impl FnMut() -> R) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ramp::FIT_TARGET_STANDARD;
 
     #[test]
     fn sweeps_are_descending_and_in_range() {

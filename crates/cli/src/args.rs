@@ -6,10 +6,11 @@ use std::collections::HashMap;
 use sim_common::SimError;
 use workload::App;
 
-/// Options accepted by every subcommand (observability is global):
-/// `--trace <path>` writes a JSONL trace, `--metrics` prints the
-/// aggregated metric snapshot on exit.
-pub const GLOBAL_OPTIONS: &[&str] = &["trace", "metrics"];
+/// Options accepted by every subcommand: `--scenario <file>` loads the
+/// experiment description every command builds from, `--trace <path>`
+/// writes a JSONL trace, `--metrics` prints the aggregated metric
+/// snapshot on exit.
+pub const GLOBAL_OPTIONS: &[&str] = &["scenario", "trace", "metrics"];
 
 /// Parsed command line: a subcommand plus `--key value` options, bare
 /// `--flag`s, and positional operands.
@@ -47,16 +48,15 @@ impl Args {
             let key = key.to_owned();
             // A following token that is not itself an option is this
             // option's value; otherwise the option is a bare flag.
-            match iter.peek() {
-                Some(next) if !next.starts_with("--") => {
-                    let value = iter.next().expect("peeked").clone();
-                    if options.insert(key.clone(), value).is_some() {
+            match iter.next_if(|next| !next.starts_with("--")) {
+                Some(value) => {
+                    if options.insert(key.clone(), value.clone()).is_some() {
                         return Err(SimError::invalid_config(format!(
                             "option --{key} given twice"
                         )));
                     }
                 }
-                _ => flags.push(key),
+                None => flags.push(key),
             }
         }
         Ok(Args {

@@ -1,31 +1,46 @@
 //! Subcommand implementations.
+//!
+//! Every command builds from a [`Scenario`]: the global `--scenario <file>`
+//! option loads one from disk, and without it the paper's own setup
+//! ([`Scenario::paper_default`]) applies, so `ramp fit` and
+//! `ramp fit --scenario examples/scenarios/paper.scn` are byte-identical.
+//! Per-command options (`--ghz`, `--tqual`, ...) are deltas on top of the
+//! scenario's values.
 
 use drm::scaling::{required_qualification_temperature, scaling_study, TechnologyNode};
 use drm::{
-    intra_app_best, ArchPoint, ControllerParams, DvsPoint, EvalParams, Evaluator, Oracle,
-    ReactiveDrm, SensorParams, Strategy,
+    intra_app_best, ControllerParams, EvalParams, Oracle, ReactiveDrm, SensorParams, Strategy,
 };
-use ramp::{
-    FailureParams, Mechanism, QualificationPoint, ReliabilityModel, FIT_TARGET_STANDARD,
-};
-use sim_common::{Floorplan, Kelvin, SimError, Structure};
+use ramp::{Mechanism, QualificationPoint, ReliabilityModel};
+use scenario::{Qualification, Scenario};
+use sim_common::{Kelvin, SimError, Structure};
 use sim_cpu::CoreConfig;
 use std::path::Path;
 use std::sync::Arc;
-use workload::App;
+use workload::{App, AppProfile};
 
 use crate::args::Args;
 
-/// Resolves the workload: `--profile <file>` (text format) wins over
-/// `--app <name>`.
-fn workload_from(args: &Args) -> Result<workload::AppProfile, SimError> {
+/// Loads the scenario the command builds from: `--scenario <file>` when
+/// given, the paper's setup otherwise.
+fn scenario_from(args: &Args) -> Result<Scenario, SimError> {
+    match args.get("scenario") {
+        Some(path) => Scenario::load(path),
+        None => Ok(Scenario::paper_default()),
+    }
+}
+
+/// Resolves the workload suite: `--profile <file>` (text format) wins over
+/// `--app <name>`; without either, every workload in the scenario runs.
+fn workloads_from(args: &Args, scn: &Scenario) -> Result<Vec<AppProfile>, SimError> {
     if let Some(path) = args.get("profile") {
-        let text = std::fs::read_to_string(path).map_err(|e| {
-            SimError::invalid_config(format!("cannot read profile `{path}`: {e}"))
-        })?;
-        workload::profile_from_text(&text)
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SimError::invalid_config(format!("cannot read profile `{path}`: {e}")))?;
+        Ok(vec![workload::profile_from_text(&text)?])
+    } else if args.get("app").is_some() {
+        Ok(vec![args.app()?.profile()])
     } else {
-        Ok(args.app()?.profile())
+        Ok(scn.profiles())
     }
 }
 
@@ -39,13 +54,13 @@ pub fn print_help() {
     println!("COMMANDS");
     println!("  list        the nine Table 2 workloads and the modeled structures");
     println!("  evaluate    run a workload on a configuration: IPC, power, temperature");
-    println!("              --app <name> | --profile <file>  [--ghz G] [--window N]");
+    println!("              [--app <name> | --profile <file>]  [--ghz G] [--window N]");
     println!("              [--alus N] [--fpus N] [--prefetch] [--quick]");
     println!("  fit         lifetime reliability of a run against a qualification");
-    println!("              --app <name> | --profile <file>  --tqual K [--alpha A]");
+    println!("              [--app <name> | --profile <file>]  [--tqual K] [--alpha A]");
     println!("              [--target FIT] [--ghz G]");
     println!("  drm         oracular DRM choice for an application");
-    println!("              --app <name> --tqual K [--strategy arch|dvs|archdvs]");
+    println!("              --app <name> [--tqual K] [--strategy arch|dvs|archdvs]");
     println!("              [--step GHz] [--intra] [--jobs N]");
     println!("  dtm         DVS-for-DTM choice under a thermal limit");
     println!("              --app <name> --tmax K [--step GHz] [--jobs N]");
@@ -55,14 +70,18 @@ pub fn print_help() {
     println!("              [--step GHz] [--jobs N] [--top N]");
     println!("  controller  reactive DRM run (optionally with a thermal limit");
     println!("              and realistic sensors)");
-    println!("              --app <name> --tqual K [--tmax K] [--sensors] [--insts N]");
+    println!("              --app <name> [--tqual K] [--tmax K] [--sensors] [--insts N]");
     println!("  scaling     the same design across 90/65/45 nm");
     println!("              --app <name> [--tqual K]");
+    println!("  scenario    work with scenario files (the text experiment format)");
+    println!("              validate <file...> | print [<file>] | run <file> [--quick]");
     println!("  report      summarize a recorded trace: per-stage wall time,");
     println!("              hottest structures, reliability gauges");
     println!("              <trace.jsonl> [--top N]");
     println!();
     println!("GLOBAL OPTIONS (any command)");
+    println!("  --scenario <file.scn> build everything from a scenario file instead");
+    println!("                        of the built-in paper setup");
     println!("  --trace <path.jsonl>  record spans/metrics/logs to a JSONL trace");
     println!("  --metrics             print the aggregated metric snapshot on exit");
     println!();
@@ -84,7 +103,7 @@ pub fn dispatch(args: &Args) -> Result<(), SimError> {
     let result = match args.command() {
         "list" => {
             args.expect_only(&[])?;
-            list()
+            list(args)
         }
         "evaluate" => evaluate(args),
         "fit" => fit(args),
@@ -93,6 +112,7 @@ pub fn dispatch(args: &Args) -> Result<(), SimError> {
         "sweep" => sweep_cmd(args),
         "controller" => controller(args),
         "scaling" => scaling(args),
+        "scenario" => scenario_cmd(args),
         "report" => report_cmd(args),
         other => Err(SimError::invalid_config(format!(
             "unknown command `{other}`; try `ramp help`"
@@ -156,13 +176,12 @@ fn finish_observability(args: &Args) {
 fn report_cmd(args: &Args) -> Result<(), SimError> {
     args.expect_options(&["top"])?;
     args.expect_positionals(1)?;
-    let path = args.positional(0).ok_or_else(|| {
-        SimError::invalid_config("usage: ramp report <trace.jsonl> [--top N]")
-    })?;
+    let path = args
+        .positional(0)
+        .ok_or_else(|| SimError::invalid_config("usage: ramp report <trace.jsonl> [--top N]"))?;
     let top = args.u64_or("top", 5)? as usize;
-    let trace = sim_obs::report::read_trace(Path::new(path)).map_err(|e| {
-        SimError::invalid_config(format!("cannot read trace `{path}`: {e}"))
-    })?;
+    let trace = sim_obs::report::read_trace(Path::new(path))
+        .map_err(|e| SimError::invalid_config(format!("cannot read trace `{path}`: {e}")))?;
     if !trace.malformed.is_empty() {
         eprintln!(
             "warning: {} malformed line(s) skipped (first at line {})",
@@ -174,52 +193,73 @@ fn report_cmd(args: &Args) -> Result<(), SimError> {
     Ok(())
 }
 
-fn eval_params(args: &Args) -> EvalParams {
+fn eval_params(args: &Args, scn: &Scenario) -> EvalParams {
     if args.flag("quick") {
         EvalParams::quick()
     } else {
-        EvalParams::standard()
+        scn.eval
     }
 }
 
-/// Builds the oracle honouring `--jobs` (0 or absent = all cores).
-fn oracle_from(args: &Args) -> Result<Oracle, SimError> {
+/// Builds the oracle over the scenario's stack, honouring `--jobs`
+/// (0 or absent = all cores).
+fn oracle_from(args: &Args, scn: &Scenario) -> Result<Oracle, SimError> {
     let jobs = args.u64_or("jobs", 0)? as usize;
-    Ok(Oracle::with_workers(
-        Evaluator::ibm_65nm(eval_params(args))?,
-        jobs,
-    ))
+    scn.oracle_with(eval_params(args, scn), jobs)
 }
 
-fn config_from(args: &Args) -> Result<CoreConfig, SimError> {
-    let ghz = args.f64_or("ghz", 4.0)?;
-    let dvs = DvsPoint::at_ghz(ghz)?;
-    let window = args.u64_or("window", 128)? as u32;
-    let alus = args.u64_or("alus", 6)? as u32;
-    let fpus = args.u64_or("fpus", 4)? as u32;
-    let mut cfg = ArchPoint {
-        window,
-        alus,
-        fpus,
+/// The processor to evaluate: the scenario's core with `--ghz`,
+/// `--window`, `--alus`, `--fpus` and `--prefetch` applied on top.
+fn config_from(args: &Args, scn: &Scenario) -> Result<CoreConfig, SimError> {
+    let base = scn.base_arch();
+    let dvs = match args.get("ghz") {
+        None => scn.base_dvs(),
+        Some(_) => scn.dvs.at_ghz(args.f64_or("ghz", 0.0)?)?,
+    };
+    let arch = drm::ArchPoint {
+        window: args.u64_or("window", u64::from(base.window))? as u32,
+        alus: args.u64_or("alus", u64::from(base.alus))? as u32,
+        fpus: args.u64_or("fpus", u64::from(base.fpus))? as u32,
+    };
+    let mut cfg = arch.apply(&scn.core, dvs)?;
+    if args.flag("prefetch") {
+        cfg.prefetch_next_line = true;
     }
-    .apply(&CoreConfig::base(), dvs)?;
-    cfg.prefetch_next_line = args.flag("prefetch");
     Ok(cfg)
 }
 
-fn model_from(args: &Args) -> Result<ReliabilityModel, SimError> {
-    let t_qual = args.f64_or("tqual", 394.0)?;
-    let alpha = args.f64_or("alpha", 0.48)?;
-    let target = args.f64_or("target", FIT_TARGET_STANDARD)?;
-    ReliabilityModel::qualify(
-        FailureParams::ramp_65nm(),
-        &QualificationPoint::at_temperature(Kelvin(t_qual), alpha),
-        &Floorplan::r10000_65nm().area_shares(),
-        target,
-    )
+/// The reliability model: the scenario's qualification with `--tqual`,
+/// `--alpha` and `--target` applied on top.
+fn model_from(args: &Args, scn: &Scenario) -> Result<ReliabilityModel, SimError> {
+    let qualification = Qualification {
+        t_qual: Kelvin(args.f64_or("tqual", scn.qualification.t_qual.0)?),
+        alpha: args.f64_or("alpha", scn.qualification.alpha)?,
+        target_fit: args.f64_or("target", scn.qualification.target_fit)?,
+    };
+    Scenario {
+        qualification,
+        ..scn.clone()
+    }
+    .model()
 }
 
-fn list() -> Result<(), SimError> {
+/// `--step` as an override of the scenario's DVS grid granularity;
+/// rejected before any grid code can assert on it.
+fn step_from(args: &Args) -> Result<Option<f64>, SimError> {
+    let Some(raw) = args.get("step") else {
+        return Ok(None);
+    };
+    let step = args.f64_or("step", 0.0)?;
+    if !step.is_finite() || step <= 0.0 {
+        return Err(SimError::invalid_config(format!(
+            "--step expects a positive frequency step in GHz, got `{raw}`"
+        )));
+    }
+    Ok(Some(step))
+}
+
+fn list(args: &Args) -> Result<(), SimError> {
+    let scn = scenario_from(args)?;
     println!("Workloads (Table 2):");
     for app in App::ALL {
         println!(
@@ -236,9 +276,12 @@ fn list() -> Result<(), SimError> {
     }
     println!();
     println!("Modeled structures (floorplan areas):");
-    let plan = Floorplan::r10000_65nm();
     for s in Structure::ALL {
-        println!("  {:12} {:5.2} mm^2", s.name(), plan.block(s).area().0);
+        println!(
+            "  {:12} {:5.2} mm^2",
+            s.name(),
+            scn.floorplan.block(s).area().0
+        );
     }
     Ok(())
 }
@@ -247,52 +290,71 @@ fn evaluate(args: &Args) -> Result<(), SimError> {
     args.expect_only(&[
         "app", "profile", "ghz", "window", "alus", "fpus", "prefetch", "quick",
     ])?;
-    let profile = workload_from(args)?;
-    let cfg = config_from(args)?;
-    let evaluator = Evaluator::ibm_65nm(eval_params(args))?;
-    let ev = evaluator.evaluate_profile(&profile, &cfg)?;
-    println!(
-        "{} on w{}/a{}/f{} @ {:.2} GHz / {:.3} V",
-        profile.name, cfg.window_size, cfg.int_alus, cfg.fpus, cfg.frequency.to_ghz(), cfg.vdd.0
-    );
-    println!("  IPC            {:.3}", ev.ipc);
-    println!("  performance    {:.2} BIPS", ev.bips);
-    println!("  average power  {:.1}", ev.average_power());
-    println!("  peak temp      {:.1}", ev.max_temperature());
-    println!("  heat sink      {:.1}", ev.sink_temperature);
+    let scn = scenario_from(args)?;
+    let cfg = config_from(args, &scn)?;
+    let evaluator = scn.evaluator_with(eval_params(args, &scn))?;
+    for (i, profile) in workloads_from(args, &scn)?.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        let ev = evaluator.evaluate_profile(profile, &cfg)?;
+        println!(
+            "{} on w{}/a{}/f{} @ {:.2} GHz / {:.3} V",
+            profile.name,
+            cfg.window_size,
+            cfg.int_alus,
+            cfg.fpus,
+            cfg.frequency.to_ghz(),
+            cfg.vdd.0
+        );
+        println!("  IPC            {:.3}", ev.ipc);
+        println!("  performance    {:.2} BIPS", ev.bips);
+        println!("  average power  {:.1}", ev.average_power());
+        println!("  peak temp      {:.1}", ev.max_temperature());
+        println!("  heat sink      {:.1}", ev.sink_temperature);
+    }
     Ok(())
 }
 
 fn fit(args: &Args) -> Result<(), SimError> {
     args.expect_only(&[
-        "app", "profile", "tqual", "alpha", "target", "ghz", "window", "alus", "fpus",
-        "prefetch", "quick",
+        "app", "profile", "tqual", "alpha", "target", "ghz", "window", "alus", "fpus", "prefetch",
+        "quick",
     ])?;
-    let profile = workload_from(args)?;
-    let cfg = config_from(args)?;
-    let model = model_from(args)?;
-    let evaluator = Evaluator::ibm_65nm(eval_params(args))?;
-    let ev = evaluator.evaluate_profile(&profile, &cfg)?;
-    let fit = ev.application_fit(&model);
-    println!(
-        "{} vs T_qual {:.0} (target {:.0} FIT)",
-        profile.name,
-        model.qualification().temperature.0,
-        model.target_fit().value()
-    );
-    for m in Mechanism::ALL {
-        println!("  {:18} {:8.0} FIT", m.to_string(), fit.mechanism_total(m).value());
-    }
-    println!("  {:18} {:8.0} FIT", "total", fit.total().value());
-    println!("  MTTF               {}", fit.total().to_mttf());
-    println!(
-        "  verdict            {}",
-        if fit.meets(model.target_fit()) {
-            "meets the target"
-        } else {
-            "EXCEEDS the target (DRM would throttle)"
+    let scn = scenario_from(args)?;
+    let cfg = config_from(args, &scn)?;
+    let model = model_from(args, &scn)?;
+    let evaluator = scn.evaluator_with(eval_params(args, &scn))?;
+    for (i, profile) in workloads_from(args, &scn)?.iter().enumerate() {
+        if i > 0 {
+            println!();
         }
-    );
+        let ev = evaluator.evaluate_profile(profile, &cfg)?;
+        let fit = ev.application_fit(&model);
+        println!(
+            "{} vs T_qual {:.0} (target {:.0} FIT)",
+            profile.name,
+            model.qualification().temperature.0,
+            model.target_fit().value()
+        );
+        for m in Mechanism::ALL {
+            println!(
+                "  {:18} {:8.0} FIT",
+                m.to_string(),
+                fit.mechanism_total(m).value()
+            );
+        }
+        println!("  {:18} {:8.0} FIT", "total", fit.total().value());
+        println!("  MTTF               {}", fit.total().to_mttf());
+        println!(
+            "  verdict            {}",
+            if fit.meets(model.target_fit()) {
+                "meets the target"
+            } else {
+                "EXCEEDS the target (DRM would throttle)"
+            }
+        );
+    }
     Ok(())
 }
 
@@ -311,13 +373,20 @@ fn drm_cmd(args: &Args) -> Result<(), SimError> {
     args.expect_only(&[
         "app", "tqual", "alpha", "target", "strategy", "step", "quick", "intra", "jobs",
     ])?;
+    let scn = scenario_from(args)?;
     let app = args.app()?;
-    let model = model_from(args)?;
+    let model = model_from(args, &scn)?;
     let strategy = parse_strategy(args)?;
-    let step = args.f64_or("step", 0.25)?;
-    let oracle = oracle_from(args)?;
+    let step = step_from(args)?;
+    let oracle = oracle_from(args, &scn)?;
     if args.flag("intra") {
-        let choice = intra_app_best(&oracle, app, strategy, &model, step)?;
+        let choice = intra_app_best(
+            &oracle,
+            app,
+            strategy,
+            &model,
+            step.unwrap_or(scn.dvs.step_ghz),
+        )?;
         println!(
             "{app} @ T_qual {:.0}: intra-application {strategy} schedule",
             model.qualification().temperature.0
@@ -327,7 +396,9 @@ fn drm_cmd(args: &Args) -> Result<(), SimError> {
         println!("  switches       {}", choice.switches);
         println!("  feasible       {}", choice.feasible);
     } else {
-        let choice = oracle.best(app, strategy, &model, step)?;
+        let candidates = scn.candidates(strategy, step)?;
+        let choice =
+            oracle.best_among(app, &candidates, (scn.base_arch(), scn.base_dvs()), &model)?;
         println!(
             "{app} @ T_qual {:.0}: best {strategy} configuration",
             model.qualification().temperature.0
@@ -347,10 +418,11 @@ fn drm_cmd(args: &Args) -> Result<(), SimError> {
 
 fn dtm_cmd(args: &Args) -> Result<(), SimError> {
     args.expect_only(&["app", "tmax", "step", "quick", "jobs"])?;
+    let scn = scenario_from(args)?;
     let app = args.app()?;
     let t_max = Kelvin(args.f64_or("tmax", 380.0)?);
-    let step = args.f64_or("step", 0.25)?;
-    let oracle = oracle_from(args)?;
+    let step = step_from(args)?.unwrap_or(scn.dvs.step_ghz);
+    let oracle = oracle_from(args, &scn)?;
     let choice = drm::dtm_best_dvs(&oracle, app, t_max, step)?;
     println!("{app} under DTM with T_max {:.0}:", t_max.0);
     println!(
@@ -370,19 +442,21 @@ fn sweep_cmd(args: &Args) -> Result<(), SimError> {
     args.expect_only(&[
         "app", "tqual", "alpha", "target", "strategy", "step", "jobs", "top", "quick",
     ])?;
+    let scn = scenario_from(args)?;
     let app = args.app()?;
-    let model = model_from(args)?;
+    let model = model_from(args, &scn)?;
     let strategy = parse_strategy(args)?;
-    let step = args.f64_or("step", 0.25)?;
+    let step = step_from(args)?;
     let top = args.u64_or("top", 10)? as usize;
-    let oracle = oracle_from(args)?;
+    let oracle = oracle_from(args, &scn)?;
 
-    let candidates = strategy.candidates(step);
+    let candidates = scn.candidates(strategy, step)?;
+    let (base_arch, base_dvs) = (scn.base_arch(), scn.base_dvs());
     let mut jobs: Vec<_> = candidates.iter().map(|&(a, d)| (app, a, d)).collect();
-    jobs.push((app, ArchPoint::most_aggressive(), DvsPoint::base()));
+    jobs.push((app, base_arch, base_dvs));
     let summary = oracle.prefetch(&jobs)?;
 
-    let base_bips = oracle.base_evaluation(app)?.bips;
+    let base_bips = oracle.evaluation(app, base_arch, base_dvs)?.bips;
     let target = model.target_fit();
     let mut rows = Vec::with_capacity(candidates.len());
     for (arch, dvs) in candidates {
@@ -415,7 +489,10 @@ fn sweep_cmd(args: &Args) -> Result<(), SimError> {
     }
     let shown = top.max(1).min(rows.len());
     if shown < rows.len() {
-        println!("  ... ({} more; raise --top to see them)", rows.len() - shown);
+        println!(
+            "  ... ({} more; raise --top to see them)",
+            rows.len() - shown
+        );
     }
     println!("  ('!' marks points whose FIT exceeds the qualification target)");
     println!();
@@ -427,8 +504,9 @@ fn controller(args: &Args) -> Result<(), SimError> {
     args.expect_only(&[
         "app", "tqual", "alpha", "target", "tmax", "sensors", "insts", "epoch", "quick",
     ])?;
+    let scn = scenario_from(args)?;
     let app = args.app()?;
-    let model = model_from(args)?;
+    let model = model_from(args, &scn)?;
     let params = ControllerParams {
         total_instructions: args.u64_or("insts", 600_000)?,
         epoch_instructions: args.u64_or("epoch", 20_000)?,
@@ -459,7 +537,11 @@ fn controller(args: &Args) -> Result<(), SimError> {
     println!("  epochs         {}", trace.epochs.len());
     println!("  mean frequency {:.2} GHz", trace.average_ghz());
     println!("  DVS switches   {}", trace.frequency_changes);
-    println!("  final FIT      {:.0} (target {:.0})", trace.final_fit.value(), model.target_fit().value());
+    println!(
+        "  final FIT      {:.0} (target {:.0})",
+        trace.final_fit.value(),
+        model.target_fit().value()
+    );
     println!("  performance    {:.2} BIPS", trace.bips);
     if params.thermal_limit.is_some() {
         println!("  thermal viol.  {} epoch(s)", trace.thermal_violations);
@@ -469,12 +551,17 @@ fn controller(args: &Args) -> Result<(), SimError> {
 
 fn scaling(args: &Args) -> Result<(), SimError> {
     args.expect_only(&["app", "tqual", "alpha", "quick"])?;
+    let scn = scenario_from(args)?;
     let app = args.app()?;
-    let alpha = args.f64_or("alpha", 0.48)?;
-    let qual = QualificationPoint::at_temperature(Kelvin(args.f64_or("tqual", 394.0)?), alpha);
-    let params = eval_params(args);
+    let alpha = args.f64_or("alpha", scn.qualification.alpha)?;
+    let t_qual = Kelvin(args.f64_or("tqual", scn.qualification.t_qual.0)?);
+    let qual = QualificationPoint::at_temperature(t_qual, alpha);
+    let params = eval_params(args, &scn);
     let rows = scaling_study(app, &TechnologyNode::all(), &qual, params)?;
-    println!("{app} across process generations (T_qual {:.0}):", qual.temperature.0);
+    println!(
+        "{app} across process generations (T_qual {:.0}):",
+        qual.temperature.0
+    );
     println!(
         "  {:>6} {:>8} {:>9} {:>9} {:>10} {:>10}",
         "node", "f (GHz)", "P (W)", "Tmax (K)", "FIT", "req Tq (K)"
@@ -491,5 +578,105 @@ fn scaling(args: &Args) -> Result<(), SimError> {
             req.0
         );
     }
+    Ok(())
+}
+
+/// `ramp scenario <validate|print|run> ...`: work with scenario files
+/// directly.
+fn scenario_cmd(args: &Args) -> Result<(), SimError> {
+    args.expect_options(&["quick", "jobs", "top"])?;
+    let usage = "usage: ramp scenario validate <file...> | print [<file>] | run <file>";
+    let action = args
+        .positional(0)
+        .ok_or_else(|| SimError::invalid_config(usage))?;
+    match action {
+        "validate" => {
+            let mut i = 1;
+            let mut any = false;
+            while let Some(path) = args.positional(i) {
+                let scn = Scenario::load(path)?;
+                println!(
+                    "{path}: ok ({}: {} workloads, {} adaptation points)",
+                    scn.name,
+                    scn.workloads.len(),
+                    scn.arch_points.len()
+                );
+                any = true;
+                i += 1;
+            }
+            if !any {
+                return Err(SimError::invalid_config(
+                    "scenario validate needs at least one file",
+                ));
+            }
+            Ok(())
+        }
+        "print" => {
+            args.expect_positionals(2)?;
+            let scn = match args.positional(1).or_else(|| args.get("scenario")) {
+                Some(path) => Scenario::load(path)?,
+                None => Scenario::paper_default(),
+            };
+            print!("{}", scn.to_text());
+            Ok(())
+        }
+        "run" => {
+            args.expect_positionals(2)?;
+            let path = args
+                .positional(1)
+                .or_else(|| args.get("scenario"))
+                .ok_or_else(|| SimError::invalid_config("scenario run needs a file"))?;
+            let scn = Scenario::load(path)?;
+            run_scenario(args, &scn)
+        }
+        other => Err(SimError::invalid_config(format!(
+            "unknown scenario action `{other}`; {usage}"
+        ))),
+    }
+}
+
+/// Runs a whole scenario: every workload in the suite on the scenario's
+/// processor, scored against the scenario's qualification.
+fn run_scenario(args: &Args, scn: &Scenario) -> Result<(), SimError> {
+    let model = scn.model()?;
+    let evaluator = scn.evaluator_with(eval_params(args, scn))?;
+    let target = model.target_fit();
+    println!(
+        "scenario {}: {} workloads on {:.2} GHz / {:.3} V @ T_qual {:.0} (target {:.0} FIT)",
+        scn.name,
+        scn.workloads.len(),
+        scn.core.frequency.to_ghz(),
+        scn.core.vdd.0,
+        model.qualification().temperature.0,
+        target.value()
+    );
+    println!(
+        "  {:>10} {:>7} {:>9} {:>9} {:>10}  ",
+        "workload", "BIPS", "P (W)", "Tmax (K)", "FIT"
+    );
+    let mut worst = 0.0_f64;
+    for profile in scn.profiles() {
+        let ev = evaluator.evaluate_profile(&profile, &scn.core)?;
+        let fit = ev.application_fit(&model).total();
+        worst = worst.max(fit.value());
+        println!(
+            "  {:>10} {:>7.2} {:>9.1} {:>9.1} {:>10.0} {}",
+            profile.name,
+            ev.bips,
+            ev.average_power().0,
+            ev.max_temperature().0,
+            fit.value(),
+            if fit <= target { "" } else { "!" }
+        );
+    }
+    println!(
+        "  verdict: worst-case {worst:.0} FIT {} the {:.0} FIT budget",
+        if worst <= target.value() {
+            "meets"
+        } else {
+            "EXCEEDS"
+        },
+        target.value()
+    );
     Ok(())
 }

@@ -9,12 +9,14 @@
 //! ramp sweep     --app bzip2 [--tqual 394] [--strategy archdvs] [--step 0.25] [--jobs 4] [--top 10] [--quick]
 //! ramp controller --app bzip2 --tqual 394 [--tmax 385] [--sensors] [--insts 600000]
 //! ramp scaling   --app gzip [--tqual 394] [--quick]
+//! ramp scenario  validate <file...> | print [<file>] | run <file> [--quick]
 //! ramp report    <trace.jsonl> [--top 5]
 //! ```
 //!
-//! Every command also accepts the global observability options
-//! `--trace <path.jsonl>` and `--metrics`; `RAMP_LOG=debug` turns on
-//! stderr diagnostics.
+//! Every command also accepts `--scenario <file.scn>` (build everything
+//! from a scenario file instead of the built-in paper setup) and the
+//! global observability options `--trace <path.jsonl>` and `--metrics`;
+//! `RAMP_LOG=debug` turns on stderr diagnostics.
 
 mod args;
 mod commands;

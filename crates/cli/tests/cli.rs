@@ -25,7 +25,15 @@ fn ramp_env(args: &[&str], env: &[(&str, &str)]) -> (bool, String, String) {
 fn help_lists_commands() {
     let (ok, stdout, _) = ramp(&["help"]);
     assert!(ok);
-    for cmd in ["list", "evaluate", "fit", "drm", "dtm", "controller", "scaling"] {
+    for cmd in [
+        "list",
+        "evaluate",
+        "fit",
+        "drm",
+        "dtm",
+        "controller",
+        "scaling",
+    ] {
         assert!(stdout.contains(cmd), "help is missing `{cmd}`");
     }
 }
@@ -54,7 +62,12 @@ fn evaluate_reports_metrics() {
 fn fit_reports_mechanisms_and_verdict() {
     let (ok, stdout, _) = ramp(&["fit", "--app", "art", "--tqual", "394", "--quick"]);
     assert!(ok, "{stdout}");
-    for m in ["electromigration", "stress-migration", "tddb", "thermal-cycling"] {
+    for m in [
+        "electromigration",
+        "stress-migration",
+        "tddb",
+        "thermal-cycling",
+    ] {
         assert!(stdout.contains(m), "missing {m}: {stdout}");
     }
     assert!(stdout.contains("MTTF"));
@@ -64,7 +77,15 @@ fn fit_reports_mechanisms_and_verdict() {
 #[test]
 fn drm_finds_a_configuration() {
     let (ok, stdout, _) = ramp(&[
-        "drm", "--app", "twolf", "--tqual", "405", "--strategy", "dvs", "--step", "0.5",
+        "drm",
+        "--app",
+        "twolf",
+        "--tqual",
+        "405",
+        "--strategy",
+        "dvs",
+        "--step",
+        "0.5",
         "--quick",
     ]);
     assert!(ok, "{stdout}");
@@ -123,13 +144,136 @@ fn trace_then_report_round_trip() {
 /// output, with counters from every pipeline layer.
 #[test]
 fn metrics_flag_prints_aggregated_snapshot() {
-    let (ok, stdout, _) = ramp(&[
-        "evaluate", "--app", "gzip", "--quick", "--metrics",
-    ]);
+    let (ok, stdout, _) = ramp(&["evaluate", "--app", "gzip", "--quick", "--metrics"]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("metrics ("), "{stdout}");
-    for series in ["workload.ops.total", "cpu.intervals", "power.evals", "thermal.solves"] {
+    for series in [
+        "workload.ops.total",
+        "cpu.intervals",
+        "power.evals",
+        "thermal.solves",
+    ] {
         assert!(stdout.contains(series), "missing {series}: {stdout}");
+    }
+}
+
+/// The repo-relative path to a checked-in scenario file (tests run with
+/// the crate root as working directory).
+fn scn(name: &str) -> String {
+    format!("../../examples/scenarios/{name}")
+}
+
+/// `--scenario` with the checked-in paper scenario is byte-identical to
+/// running without it: the file *is* the built-in default. Without
+/// `--app`, both sides run the scenario's whole workload suite.
+#[test]
+fn fit_with_paper_scenario_matches_builtin_default_bit_for_bit() {
+    let (ok, plain, stderr) = ramp(&["fit", "--quick"]);
+    assert!(ok, "{plain}\n{stderr}");
+    let (ok, via_file, stderr) = ramp(&["fit", "--scenario", &scn("paper.scn"), "--quick"]);
+    assert!(ok, "{via_file}\n{stderr}");
+    assert_eq!(
+        plain, via_file,
+        "paper.scn diverged from the built-in default"
+    );
+    // The suite ran: first and last Table 2 applications are both present.
+    assert!(plain.contains("MPGdec"), "{plain}");
+    assert!(plain.contains("ammp"), "{plain}");
+}
+
+/// `scenario print` emits the text form, which `scenario validate`
+/// accepts back, and `validate` checks every checked-in example.
+#[test]
+fn scenario_print_validate_round_trip() {
+    let (ok, printed, _) = ramp(&["scenario", "print"]);
+    assert!(ok);
+    assert!(printed.contains("scenario.name paper-default"), "{printed}");
+    let path = std::env::temp_dir().join(format!("ramp-cli-scn-{}.scn", std::process::id()));
+    std::fs::write(&path, &printed).expect("write temp scenario");
+    let path_s = path.to_str().expect("utf-8 temp path");
+    let (ok, stdout, stderr) = ramp(&["scenario", "validate", path_s]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok, "{stdout}\n{stderr}");
+    assert!(stdout.contains("ok"), "{stdout}");
+
+    for file in ["paper.scn", "hot-lowcost.scn", "server-overdesign.scn"] {
+        let (ok, stdout, stderr) = ramp(&["scenario", "validate", &scn(file)]);
+        assert!(ok, "{file}: {stdout}\n{stderr}");
+    }
+}
+
+/// `scenario run` scores a whole suite against its qualification.
+#[test]
+fn scenario_run_scores_the_suite() {
+    // A one-workload variant keeps the test fast: the paper scenario with
+    // the suite replaced by gzip alone.
+    let paper = std::fs::read_to_string(scn("paper.scn")).expect("read paper.scn");
+    let small: String = paper
+        .lines()
+        .filter(|l| !l.starts_with("workload "))
+        .map(|l| format!("{l}\n"))
+        .collect::<String>()
+        + "workload gzip\n";
+    let path = std::env::temp_dir().join(format!("ramp-cli-run-{}.scn", std::process::id()));
+    std::fs::write(&path, small).expect("write temp scenario");
+    let path_s = path.to_str().expect("utf-8 temp path");
+    let (ok, stdout, stderr) = ramp(&["scenario", "run", path_s, "--quick"]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok, "{stdout}\n{stderr}");
+    assert!(stdout.contains("1 workloads"), "{stdout}");
+    assert!(stdout.contains("gzip"), "{stdout}");
+    assert!(stdout.contains("verdict"), "{stdout}");
+}
+
+/// Malformed scenario input fails with the file name and a line number,
+/// and bad `scenario` subcommand usage fails with the usage string —
+/// never a panic.
+#[test]
+fn scenario_errors_are_clean() {
+    // A complete scenario with one value corrupted fails naming the line.
+    let paper = std::fs::read_to_string(scn("paper.scn")).expect("read paper.scn");
+    let (lineno, _) = paper
+        .lines()
+        .enumerate()
+        .find(|(_, l)| l.starts_with("core.vdd "))
+        .expect("paper.scn has core.vdd");
+    let bad = paper.replace("core.vdd 1", "core.vdd not-a-number");
+    let path = std::env::temp_dir().join(format!("ramp-cli-bad-{}.scn", std::process::id()));
+    std::fs::write(&path, bad).expect("write");
+    let path_s = path.to_str().expect("utf-8 temp path");
+    let (ok, _, stderr) = ramp(&["fit", "--scenario", path_s, "--quick"]);
+    std::fs::remove_file(&path).ok();
+    assert!(!ok);
+    assert!(
+        stderr.contains(&format!("line {}", lineno + 1)),
+        "expected `line {}` in: {stderr}",
+        lineno + 1
+    );
+
+    let (ok, _, stderr) = ramp(&["scenario"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"), "{stderr}");
+
+    let (ok, _, stderr) = ramp(&["scenario", "frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown scenario action"), "{stderr}");
+
+    let (ok, _, stderr) = ramp(&["scenario", "run"]);
+    assert!(!ok);
+    assert!(stderr.contains("needs a file"), "{stderr}");
+
+    let (ok, _, stderr) = ramp(&["fit", "--scenario", "/nonexistent.scn", "--quick"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read scenario"), "{stderr}");
+}
+
+/// `--step` is validated before it reaches any grid code.
+#[test]
+fn non_positive_step_is_rejected() {
+    for step in ["0", "-0.5", "nan"] {
+        let (ok, _, stderr) = ramp(&["dtm", "--app", "gzip", "--step", step, "--quick"]);
+        assert!(!ok, "--step {step} was accepted");
+        assert!(stderr.contains("--step"), "{stderr}");
     }
 }
 
@@ -138,7 +282,10 @@ fn metrics_flag_prints_aggregated_snapshot() {
 fn ramp_log_env_enables_stderr_diagnostics() {
     let (ok, _, quiet) = ramp_env(&["list"], &[("RAMP_LOG", "off")]);
     assert!(ok);
-    assert!(quiet.is_empty(), "RAMP_LOG=off must keep stderr clean: {quiet}");
+    assert!(
+        quiet.is_empty(),
+        "RAMP_LOG=off must keep stderr clean: {quiet}"
+    );
 
     let (ok, _, stderr) = ramp_env(
         &["evaluate", "--app", "gzip", "--quick"],

@@ -63,7 +63,10 @@ mod tests {
             SimError::invalid_config("x").to_string(),
             "invalid configuration: x"
         );
-        assert_eq!(SimError::solver_diverged("y").to_string(), "solver diverged: y");
+        assert_eq!(
+            SimError::solver_diverged("y").to_string(),
+            "solver diverged: y"
+        );
         assert_eq!(
             SimError::infeasible("z").to_string(),
             "infeasible operating point: z"

@@ -46,11 +46,11 @@ impl Rect {
         let x_overlap = (self.x + self.w).min(other.x + other.w) - self.x.max(other.x);
         let y_overlap = (self.y + self.h).min(other.y + other.h) - self.y.max(other.y);
         // Vertical shared edge: touching in x, overlapping in y.
-        let touch_x = ((self.x + self.w) - other.x).abs() < EPS
-            || ((other.x + other.w) - self.x).abs() < EPS;
+        let touch_x =
+            ((self.x + self.w) - other.x).abs() < EPS || ((other.x + other.w) - self.x).abs() < EPS;
         // Horizontal shared edge: touching in y, overlapping in x.
-        let touch_y = ((self.y + self.h) - other.y).abs() < EPS
-            || ((other.y + other.h) - self.y).abs() < EPS;
+        let touch_y =
+            ((self.y + self.h) - other.y).abs() < EPS || ((other.y + other.h) - self.y).abs() < EPS;
         if touch_x && y_overlap > EPS {
             y_overlap
         } else if touch_y && x_overlap > EPS {
@@ -349,9 +349,7 @@ mod tests {
             assert!((a[s] - b[s]).abs() < 1e-12, "{s}");
         }
         // Adjacency scales linearly.
-        assert!(
-            (half.shared_edge(Structure::Icache, Structure::Bpred) - 0.75).abs() < 1e-9
-        );
+        assert!((half.shared_edge(Structure::Icache, Structure::Bpred) - 0.75).abs() < 1e-9);
         assert!(plan.scaled(0.0).is_err());
         assert!(plan.scaled(f64::NAN).is_err());
     }

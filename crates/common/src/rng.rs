@@ -140,7 +140,10 @@ impl Xoshiro256pp {
     /// Panics when `lo > hi` or the bounds are not finite.
     #[inline]
     pub fn gen_f64_inclusive(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo <= hi && lo.is_finite() && hi.is_finite(), "invalid bounds");
+        assert!(
+            lo <= hi && lo.is_finite() && hi.is_finite(),
+            "invalid bounds"
+        );
         lo + self.next_f64() * (hi - lo)
     }
 

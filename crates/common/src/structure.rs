@@ -162,7 +162,10 @@ impl StructureMap<f64> {
     /// Largest entry, or `f64::NEG_INFINITY` conceptually for empty (never —
     /// the map is always fully populated).
     pub fn max_value(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 }
 

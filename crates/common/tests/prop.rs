@@ -95,8 +95,20 @@ fn generated_floorplans_are_consistent() {
         let die = 4.5f64;
         let rows = [
             (Structure::Icache, Structure::Bpred, Structure::Lsq, w1, w2),
-            (Structure::Window, Structure::IntRegFile, Structure::IntAlu, w3, w4),
-            (Structure::Dcache, Structure::FpRegFile, Structure::Fpu, w5, w6),
+            (
+                Structure::Window,
+                Structure::IntRegFile,
+                Structure::IntAlu,
+                w3,
+                w4,
+            ),
+            (
+                Structure::Dcache,
+                Structure::FpRegFile,
+                Structure::Fpu,
+                w5,
+                w6,
+            ),
         ];
         let mut blocks = Vec::new();
         for (i, (a, b, c, wa, wb)) in rows.into_iter().enumerate() {
@@ -107,9 +119,18 @@ fn generated_floorplans_are_consistent() {
             if wc <= 0.05 {
                 continue 'case;
             }
-            blocks.push(Block { structure: a, rect: Rect::new(0.0, y, wa, 1.5) });
-            blocks.push(Block { structure: b, rect: Rect::new(wa, y, wb, 1.5) });
-            blocks.push(Block { structure: c, rect: Rect::new(wa + wb, y, wc, 1.5) });
+            blocks.push(Block {
+                structure: a,
+                rect: Rect::new(0.0, y, wa, 1.5),
+            });
+            blocks.push(Block {
+                structure: b,
+                rect: Rect::new(wa, y, wb, 1.5),
+            });
+            blocks.push(Block {
+                structure: c,
+                rect: Rect::new(wa + wb, y, wc, 1.5),
+            });
         }
         accepted += 1;
         let plan = Floorplan::new(blocks, die, die).expect("valid tiling");

@@ -61,9 +61,7 @@ impl FitBudget {
         }
         let per_mech = target_fit / Mechanism::COUNT as f64;
         Ok(FitBudget {
-            per: StructureMap::from_fn(|s| {
-                [per_mech * area_shares[s] / sum; Mechanism::COUNT]
-            }),
+            per: StructureMap::from_fn(|s| [per_mech * area_shares[s] / sum; Mechanism::COUNT]),
         })
     }
 
@@ -90,10 +88,7 @@ impl FitBudget {
     /// or the weights do not sum positive (individual weights may be zero;
     /// those structures receive a minimal epsilon share so qualification
     /// constants stay finite).
-    pub fn weighted(
-        target_fit: f64,
-        weights: &StructureMap<f64>,
-    ) -> Result<FitBudget, SimError> {
+    pub fn weighted(target_fit: f64, weights: &StructureMap<f64>) -> Result<FitBudget, SimError> {
         Self::validated(target_fit)?;
         let floor = 1e-3;
         let adjusted = StructureMap::from_fn(|s| weights[s].max(floor));
@@ -216,7 +211,10 @@ mod tests {
         let per = StructureMap::splat([10.0, 20.0, 30.0, 40.0]);
         let b = FitBudget::explicit(per).unwrap();
         assert!((b.total().value() - 9.0 * 100.0).abs() < 1e-9);
-        assert_eq!(b.share(Structure::Lsq, Mechanism::ThermalCycling).value(), 40.0);
+        assert_eq!(
+            b.share(Structure::Lsq, Mechanism::ThermalCycling).value(),
+            40.0
+        );
     }
 
     #[test]

@@ -172,7 +172,9 @@ impl FailureParams {
         if j <= 0.0 {
             return 0.0;
         }
-        c.powered_fraction * j.powf(self.em_n) * (-self.em_ea / (BOLTZMANN_EV * c.temperature.0)).exp()
+        c.powered_fraction
+            * j.powf(self.em_n)
+            * (-self.em_ea / (BOLTZMANN_EV * c.temperature.0)).exp()
     }
 
     /// Raw stress-migration failure rate (∝ 1/MTTF_SM, §3.2).

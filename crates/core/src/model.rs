@@ -183,10 +183,8 @@ impl ReliabilityModel {
     /// Thermal-cycling FIT of one structure from its run-average
     /// temperature.
     pub fn thermal_cycling_fit(&self, structure: Structure, average_temperature: Kelvin) -> Fit {
-        Fit(
-            self.constants[structure][Mechanism::ThermalCycling.index()]
-                * self.params.tc_rate(average_temperature),
-        )
+        Fit(self.constants[structure][Mechanism::ThermalCycling.index()]
+            * self.params.tc_rate(average_temperature))
     }
 
     /// Total processor FIT for a *steady* operating point: every interval
@@ -222,7 +220,13 @@ mod tests {
         .unwrap()
     }
 
-    fn conds_at(model: &ReliabilityModel, t: f64, v: f64, f_ghz: f64, a: f64) -> StructureMap<StructureConditions> {
+    fn conds_at(
+        model: &ReliabilityModel,
+        t: f64,
+        v: f64,
+        f_ghz: f64,
+        a: f64,
+    ) -> StructureMap<StructureConditions> {
         let _ = model;
         StructureMap::splat(StructureConditions {
             temperature: Kelvin(t),
@@ -315,11 +319,17 @@ mod tests {
         // temperature, so they are unchanged; EM and TDDB must fall, with
         // TDDB essentially annihilated by its voltage sensitivity (§7.2).
         let scaled = m.steady_fit(&conds_at(&m, 370.0, 0.86, 3.0, 0.35));
-        assert!(scaled.value() < 0.75 * base.value(), "{scaled} !< 0.75 × {base}");
+        assert!(
+            scaled.value() < 0.75 * base.value(),
+            "{scaled} !< 0.75 × {base}"
+        );
         // With the temperature drop that lower power actually produces, the
         // reduction is drastic (the SM/TC mechanisms respond too).
         let cooled = m.steady_fit(&conds_at(&m, 352.0, 0.86, 3.0, 0.35));
-        assert!(cooled.value() < 0.4 * base.value(), "{cooled} !< 0.4 × {base}");
+        assert!(
+            cooled.value() < 0.4 * base.value(),
+            "{cooled} !< 0.4 × {base}"
+        );
         let tddb_base = m.mechanism_fit(
             Structure::Fpu,
             Mechanism::Tddb,
@@ -401,12 +411,9 @@ mod tests {
             FitBudget::uniform(4000.0).unwrap(),
             FitBudget::weighted(4000.0, &weights).unwrap(),
         ] {
-            let m = ReliabilityModel::qualify_with_budget(
-                FailureParams::ramp_65nm(),
-                &qual,
-                &budget,
-            )
-            .unwrap();
+            let m =
+                ReliabilityModel::qualify_with_budget(FailureParams::ramp_65nm(), &qual, &budget)
+                    .unwrap();
             let conds = sim_common::StructureMap::splat(qc);
             assert!((m.steady_fit(&conds).value() - 4000.0).abs() < 1e-6);
         }

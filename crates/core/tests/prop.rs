@@ -21,9 +21,7 @@ fn budget_policies_conserve_the_target() {
             assert!((budget.total().value() - target).abs() < 1e-6 * target);
             // Mechanism splits are even.
             for m in Mechanism::ALL {
-                assert!(
-                    (budget.mechanism_total(m).value() - target / 4.0).abs() < 1e-6 * target
-                );
+                assert!((budget.mechanism_total(m).value() - target / 4.0).abs() < 1e-6 * target);
             }
             // Every cell is strictly positive (qualification needs finite
             // constants).
@@ -99,7 +97,11 @@ fn series_reliability_bounds() {
         let sys = SeriesSystem::from_mttfs(
             [
                 (Structure::Fpu, Mechanism::Tddb, Mttf::from_years(m1)),
-                (Structure::Lsq, Mechanism::Electromigration, Mttf::from_years(m2)),
+                (
+                    Structure::Lsq,
+                    Mechanism::Electromigration,
+                    Mttf::from_years(m2),
+                ),
             ],
             shape,
         )
@@ -130,8 +132,16 @@ fn series_monte_carlo_sanity() {
         let seed = rng.gen_u64(0..1000);
         let sys = SeriesSystem::from_mttfs(
             [
-                (Structure::Window, Mechanism::StressMigration, Mttf::from_years(m1)),
-                (Structure::Dcache, Mechanism::ThermalCycling, Mttf::from_years(m2)),
+                (
+                    Structure::Window,
+                    Mechanism::StressMigration,
+                    Mttf::from_years(m1),
+                ),
+                (
+                    Structure::Dcache,
+                    Mechanism::ThermalCycling,
+                    Mttf::from_years(m2),
+                ),
             ],
             1.0,
         )

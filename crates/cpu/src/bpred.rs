@@ -241,7 +241,10 @@ mod tests {
 
     #[test]
     fn ras_overflow_drops_oldest() {
-        let mut p = Bpred::new(BpredConfig { counters: 256, ras_entries: 2 });
+        let mut p = Bpred::new(BpredConfig {
+            counters: 256,
+            ras_entries: 2,
+        });
         p.ras_push(0x1);
         p.ras_push(0x2);
         p.ras_push(0x3); // evicts 0x1

@@ -59,9 +59,10 @@ struct Line {
 ///
 /// ```
 /// use sim_cpu::{Cache, CacheConfig, Lookup};
-/// let mut c = Cache::new(CacheConfig { size_bytes: 1024, assoc: 2, line_bytes: 64 });
+/// let mut c = Cache::new(CacheConfig::new(1024, 2, 64)?)?;
 /// assert!(matches!(c.access(0x0, false), Lookup::Miss { .. }));
 /// assert_eq!(c.access(0x8, false), Lookup::Hit); // same line
+/// # Ok::<(), sim_common::SimError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct Cache {
@@ -76,21 +77,20 @@ pub struct Cache {
 impl Cache {
     /// Creates an empty cache with the given geometry.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the geometry is invalid (use [`CacheConfig::validate`] at
-    /// configuration time).
-    pub fn new(config: CacheConfig) -> Cache {
-        config.validate("cache").expect("valid cache geometry");
-        let sets = config.sets();
-        Cache {
+    /// Returns [`sim_common::SimError::InvalidConfig`] when the geometry
+    /// fails [`CacheConfig::validate`].
+    pub fn new(config: CacheConfig) -> Result<Cache, sim_common::SimError> {
+        let sets = config.sets()?;
+        Ok(Cache {
             lines: vec![Line::default(); (sets * config.assoc as u64) as usize],
             assoc: config.assoc as usize,
             set_count: sets,
             line_shift: config.line_bytes.trailing_zeros(),
             clock: 0,
             stats: CacheStats::default(),
-        }
+        })
     }
 
     /// The line-aligned address for `addr`.
@@ -215,24 +215,29 @@ pub struct MemHierarchy {
 
 impl MemHierarchy {
     /// Creates the hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`sim_common::SimError::InvalidConfig`] when any cache
+    /// geometry fails [`CacheConfig::validate`].
     pub fn new(
         l1i: CacheConfig,
         l1d: CacheConfig,
         l2: CacheConfig,
         latencies: MemLatencies,
         mshr_capacity: u32,
-    ) -> MemHierarchy {
-        MemHierarchy {
-            l1i: Cache::new(l1i),
-            l1d: Cache::new(l1d),
-            l2: Cache::new(l2),
+    ) -> Result<MemHierarchy, sim_common::SimError> {
+        Ok(MemHierarchy {
+            l1i: Cache::new(l1i)?,
+            l1d: Cache::new(l1d)?,
+            l2: Cache::new(l2)?,
             latencies,
             mshrs: Vec::with_capacity(mshr_capacity as usize),
             mshr_capacity: mshr_capacity as usize,
             prefetch_next_line: false,
             l2_inst_refs: 0,
             prefetches: 0,
-        }
+        })
     }
 
     /// Enables or disables tagged next-line prefetching on L1D misses.
@@ -353,7 +358,7 @@ mod tests {
 
     #[test]
     fn hit_after_fill() {
-        let mut c = Cache::new(small());
+        let mut c = Cache::new(small()).unwrap();
         assert!(matches!(c.access(0x40, false), Lookup::Miss { .. }));
         assert_eq!(c.access(0x40, false), Lookup::Hit);
         assert_eq!(c.access(0x7f, false), Lookup::Hit); // same 64B line
@@ -364,8 +369,8 @@ mod tests {
     fn lru_replacement() {
         // 2-way: fill two ways of one set, touch the first, insert a third;
         // the second must be the victim.
-        let mut c = Cache::new(small());
-        let sets = small().sets(); // 8 sets
+        let mut c = Cache::new(small()).unwrap();
+        let sets = small().sets().unwrap(); // 8 sets
         let stride = 64 * sets; // same-set stride
         c.access(0, false); // way A
         c.access(stride, false); // way B
@@ -378,8 +383,8 @@ mod tests {
 
     #[test]
     fn writeback_on_dirty_eviction() {
-        let mut c = Cache::new(small());
-        let stride = 64 * small().sets();
+        let mut c = Cache::new(small()).unwrap();
+        let stride = 64 * small().sets().unwrap();
         c.access(0, true); // dirty, LRU after the next fill
         c.access(stride, false); // clean
         match c.access(2 * stride, false) {
@@ -397,7 +402,7 @@ mod tests {
 
     #[test]
     fn stats_accumulate() {
-        let mut c = Cache::new(small());
+        let mut c = Cache::new(small()).unwrap();
         c.access(0, false);
         c.access(0, false);
         c.access(64, false);
@@ -428,6 +433,7 @@ mod tests {
             },
             mshrs,
         )
+        .unwrap()
     }
 
     #[test]
@@ -449,8 +455,8 @@ mod tests {
     fn l2_hit_path() {
         let mut h = hierarchy(2);
         let _ = h.access_data(0, 0x2000, false); // memory fill, L2 now has it
-        // Evict from tiny L1D by touching conflicting lines.
-        let stride = 64 * small().sets();
+                                                 // Evict from tiny L1D by touching conflicting lines.
+        let stride = 64 * small().sets().unwrap();
         let _ = h.access_data(200, 0x2000 + stride, false);
         let _ = h.access_data(400, 0x2000 + 2 * stride, false);
         assert!(!h.l1d.contains(0x2000));

@@ -15,16 +15,32 @@ pub struct CacheConfig {
 }
 
 impl CacheConfig {
+    /// Creates a validated geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for geometry that fails
+    /// [`validate`](CacheConfig::validate).
+    pub fn new(size_bytes: u64, assoc: u32, line_bytes: u32) -> Result<CacheConfig, SimError> {
+        let config = CacheConfig {
+            size_bytes,
+            assoc,
+            line_bytes,
+        };
+        config.validate("cache")?;
+        Ok(config)
+    }
+
     /// Number of sets.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when called on a configuration that fails [`validate`]
-    /// (non-power-of-two geometry).
-    ///
-    /// [`validate`]: CacheConfig::validate
-    pub fn sets(&self) -> u64 {
-        self.size_bytes / (self.assoc as u64 * self.line_bytes as u64)
+    /// Returns [`SimError::InvalidConfig`] when the geometry fails
+    /// [`validate`](CacheConfig::validate), so the division below can never
+    /// panic on zero or inconsistent fields.
+    pub fn sets(&self) -> Result<u64, SimError> {
+        self.validate("cache")?;
+        Ok(self.size_bytes / (self.assoc as u64 * self.line_bytes as u64))
     }
 
     /// Validates that the geometry is consistent and power-of-two sized.
@@ -193,7 +209,12 @@ impl CoreConfig {
     ///
     /// Returns [`SimError::InvalidConfig`] when a value exceeds the base
     /// resources or is zero.
-    pub fn with_adaptation(&self, window: u32, alus: u32, fpus: u32) -> Result<CoreConfig, SimError> {
+    pub fn with_adaptation(
+        &self,
+        window: u32,
+        alus: u32,
+        fpus: u32,
+    ) -> Result<CoreConfig, SimError> {
         if window == 0 || window > MAX_WINDOW {
             return Err(SimError::invalid_config(format!(
                 "window size {window} outside 1..={MAX_WINDOW}"
@@ -282,7 +303,9 @@ impl CoreConfig {
             ("bpred counters", self.bpred.counters),
         ] {
             if v == 0 {
-                return Err(SimError::invalid_config(format!("{label} must be non-zero")));
+                return Err(SimError::invalid_config(format!(
+                    "{label} must be non-zero"
+                )));
             }
         }
         if self.int_regs < 64 || self.fp_regs < 64 {
@@ -378,9 +401,55 @@ mod tests {
     #[test]
     fn cache_sets() {
         let c = CoreConfig::base();
-        assert_eq!(c.l1d.sets(), 512);
-        assert_eq!(c.l1i.sets(), 256);
-        assert_eq!(c.l2.sets(), 4096);
+        assert_eq!(c.l1d.sets().unwrap(), 512);
+        assert_eq!(c.l1i.sets().unwrap(), 256);
+        assert_eq!(c.l2.sets().unwrap(), 4096);
+    }
+
+    #[test]
+    fn cache_sets_rejects_invalid_geometry_instead_of_panicking() {
+        // Regression: `sets()` used to divide by `assoc * line_bytes`
+        // unconditionally, panicking on zeroed geometry.
+        for bad in [
+            CacheConfig {
+                size_bytes: 1024,
+                assoc: 0,
+                line_bytes: 64,
+            },
+            CacheConfig {
+                size_bytes: 1024,
+                assoc: 2,
+                line_bytes: 0,
+            },
+            CacheConfig {
+                size_bytes: 0,
+                assoc: 2,
+                line_bytes: 64,
+            },
+            CacheConfig {
+                size_bytes: 3000,
+                assoc: 2,
+                line_bytes: 64,
+            },
+            CacheConfig {
+                size_bytes: 64,
+                assoc: 4,
+                line_bytes: 64,
+            },
+        ] {
+            assert!(bad.sets().is_err(), "{bad:?} must be rejected");
+            assert!(
+                CacheConfig::new(bad.size_bytes, bad.assoc, bad.line_bytes).is_err(),
+                "{bad:?} must not construct"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_config_new_validates() {
+        let c = CacheConfig::new(64 * 1024, 2, 64).unwrap();
+        assert_eq!(c, CoreConfig::base().l1d);
+        assert_eq!(c.sets().unwrap(), 512);
     }
 
     #[test]

@@ -124,7 +124,7 @@ impl<S: InstructionSource> Processor<S> {
             bpred: Bpred::new(config.bpred),
             mem: {
                 let mut mem =
-                    MemHierarchy::new(config.l1i, config.l1d, config.l2, latencies, config.mshrs);
+                    MemHierarchy::new(config.l1i, config.l1d, config.l2, latencies, config.mshrs)?;
                 mem.set_prefetch_next_line(config.prefetch_next_line);
                 mem
             },
@@ -380,10 +380,7 @@ impl<S: InstructionSource> Processor<S> {
 
             let srcs_ready = {
                 let s = &self.window[i];
-                s.srcs
-                    .iter()
-                    .flatten()
-                    .all(|&p| self.rename.is_ready(p))
+                s.srcs.iter().flatten().all(|&p| self.rename.is_ready(p))
             };
             if !srcs_ready {
                 continue;
@@ -743,7 +740,10 @@ mod tests {
         tiny.run_instructions(30_000);
         let b = big.run_instructions(60_000).ipc();
         let t = tiny.run_instructions(60_000).ipc();
-        assert!(b > t, "128-entry window ({b:.2}) must beat 16-entry ({t:.2})");
+        assert!(
+            b > t,
+            "128-entry window ({b:.2}) must beat 16-entry ({t:.2})"
+        );
     }
 
     #[test]

@@ -121,10 +121,7 @@ impl Rename {
         let old = state.map[arch.index() as usize];
         state.map[arch.index() as usize] = new;
         state.ready[new as usize] = false;
-        Some((
-            PhysReg { class, index: new },
-            PhysReg { class, index: old },
-        ))
+        Some((PhysReg { class, index: new }, PhysReg { class, index: old }))
     }
 
     /// True when the physical register holds its value.

@@ -18,7 +18,7 @@ struct ReferenceCache {
 impl ReferenceCache {
     fn new(cfg: CacheConfig) -> ReferenceCache {
         ReferenceCache {
-            sets: vec![VecDeque::new(); cfg.sets() as usize],
+            sets: vec![VecDeque::new(); cfg.sets().unwrap() as usize],
             assoc: cfg.assoc as usize,
             line_shift: cfg.line_bytes.trailing_zeros(),
         }
@@ -51,8 +51,12 @@ fn cache_matches_reference_lru() {
         let n = rng.gen_usize(1..400);
         let addrs: Vec<u64> = (0..n).map(|_| rng.gen_u64(0..16_384)).collect();
         let writes: Vec<bool> = (0..400).map(|_| rng.gen_bool(0.5)).collect();
-        let cfg = CacheConfig { size_bytes: 1024, assoc: 2, line_bytes: 64 };
-        let mut cache = Cache::new(cfg);
+        let cfg = CacheConfig {
+            size_bytes: 1024,
+            assoc: 2,
+            line_bytes: 64,
+        };
+        let mut cache = Cache::new(cfg).unwrap();
         let mut reference = ReferenceCache::new(cfg);
         for (i, &addr) in addrs.iter().enumerate() {
             let expect_hit = reference.access(addr);
@@ -79,8 +83,12 @@ fn cache_contains_is_truthful() {
     for _ in 0..64 {
         let n = rng.gen_usize(1..200);
         let addrs: Vec<u64> = (0..n).map(|_| rng.gen_u64(0..8_192)).collect();
-        let cfg = CacheConfig { size_bytes: 512, assoc: 2, line_bytes: 64 };
-        let mut cache = Cache::new(cfg);
+        let cfg = CacheConfig {
+            size_bytes: 512,
+            assoc: 2,
+            line_bytes: 64,
+        };
+        let mut cache = Cache::new(cfg).unwrap();
         for &addr in &addrs {
             let resident = cache.contains(addr);
             let outcome = cache.access(addr, false);
@@ -97,7 +105,10 @@ fn bpred_learns_consistent_branches() {
     for _ in 0..64 {
         let pc = rng.gen_u64(0..100_000);
         let taken = rng.gen_bool(0.5);
-        let mut bp = Bpred::new(BpredConfig { counters: 4096, ras_entries: 32 });
+        let mut bp = Bpred::new(BpredConfig {
+            counters: 4096,
+            ras_entries: 32,
+        });
         bp.update(pc, taken);
         bp.update(pc, taken);
         assert_eq!(bp.peek(pc), taken);

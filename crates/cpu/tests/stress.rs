@@ -72,9 +72,11 @@ fn prefetcher_helps_streaming_and_never_deadlocks() {
     with.run_instructions(20_000);
     let s_on = with.run_instructions(40_000);
 
-    let mut without =
-        Processor::new(CoreConfig::base(), SyntheticStream::new(App::Equake.profile(), 3))
-            .unwrap();
+    let mut without = Processor::new(
+        CoreConfig::base(),
+        SyntheticStream::new(App::Equake.profile(), 3),
+    )
+    .unwrap();
     without.prewarm(0x1000_0000, 1 << 21, 0, 24 * 1024);
     without.run_instructions(20_000);
     let s_off = without.run_instructions(40_000);

@@ -44,7 +44,14 @@ fn measure(ops: Vec<MicroOp>, insts: u64) -> f64 {
 fn independent_alu_ops_saturate_the_alu_pool() {
     // 64 ops with distinct destinations and no sources, sequential PCs.
     let ops: Vec<_> = (0..48)
-        .map(|i| op(i * 4, OpClass::IntAlu, Some((i % 48 + 1) as u16), [None, None]))
+        .map(|i| {
+            op(
+                i * 4,
+                OpClass::IntAlu,
+                Some((i % 48 + 1) as u16),
+                [None, None],
+            )
+        })
         .collect();
     let ipc = measure(ops, 60_000);
     assert!(
@@ -96,7 +103,14 @@ fn multiply_chain_runs_at_latency_reciprocal() {
 fn unpipelined_divides_throttle_throughput() {
     // All independent divides: 6 units × (1/12 per cycle each) = 0.5 IPC.
     let ops: Vec<_> = (0..24)
-        .map(|i| op(i * 4, OpClass::IntDiv, Some((i % 24 + 1) as u16), [None, None]))
+        .map(|i| {
+            op(
+                i * 4,
+                OpClass::IntDiv,
+                Some((i % 24 + 1) as u16),
+                [None, None],
+            )
+        })
         .collect();
     let ipc = measure(ops, 6_000);
     assert!(
@@ -148,9 +162,19 @@ fn mixed_stream_is_fetch_limited() {
     let mut ops = Vec::new();
     for i in 0..48u64 {
         if i % 2 == 0 {
-            ops.push(op(i * 4, OpClass::IntAlu, Some((i % 40 + 1) as u16), [None, None]));
+            ops.push(op(
+                i * 4,
+                OpClass::IntAlu,
+                Some((i % 40 + 1) as u16),
+                [None, None],
+            ));
         } else {
-            ops.push(fp_op(i * 4, OpClass::FpAdd, (i % 40 + 1) as u16, [None, None]));
+            ops.push(fp_op(
+                i * 4,
+                OpClass::FpAdd,
+                (i % 40 + 1) as u16,
+                [None, None],
+            ));
         }
     }
     let ipc = measure(ops, 60_000);

@@ -9,7 +9,9 @@ fn main() {
     eprintln!("alpha_qual = {alpha:.3}");
     let shares = Floorplan::r10000_65nm().area_shares();
     print!("{:9}", "app");
-    for t in [400.0, 370.0, 345.0, 325.0] { print!("  T={t:.0}"); }
+    for t in [400.0, 370.0, 345.0, 325.0] {
+        print!("  T={t:.0}");
+    }
     println!();
     for app in App::ALL {
         print!("{:9}", app.name());
@@ -17,9 +19,16 @@ fn main() {
             let model = ReliabilityModel::qualify(
                 FailureParams::ramp_65nm(),
                 &QualificationPoint::at_temperature(Kelvin(t), alpha),
-                &shares, 4000.0).unwrap();
+                &shares,
+                4000.0,
+            )
+            .unwrap();
             let c = oracle.best(app, Strategy::ArchDvs, &model, 0.25).unwrap();
-            print!("  {:.2}{}", c.relative_performance, if c.feasible {' '} else {'!'});
+            print!(
+                "  {:.2}{}",
+                c.relative_performance,
+                if c.feasible { ' ' } else { '!' }
+            );
         }
         println!();
     }

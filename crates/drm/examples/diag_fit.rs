@@ -15,7 +15,11 @@ fn main() {
     for app in [App::Twolf, App::MpgDec] {
         for ghz in [3.0, 4.0, 4.5, 5.0] {
             let ev = oracle
-                .evaluation(app, ArchPoint::most_aggressive(), DvsPoint::at_ghz(ghz).unwrap())
+                .evaluation(
+                    app,
+                    ArchPoint::most_aggressive(),
+                    DvsPoint::at_ghz(ghz).unwrap(),
+                )
                 .unwrap()
                 .clone();
             let fit = ev.application_fit(&model);

@@ -8,9 +8,14 @@ fn main() {
         let ev = e.evaluate(app, &CoreConfig::base()).unwrap();
         println!(
             "{:8} ipc={:.2} ({:.1})  P={:5.1}W ({:4.1})  Tmax={:.1}K sink={:.1}K  amax={:.2}",
-            app.name(), ev.ipc, app.paper_ipc(),
-            ev.average_power().0, app.paper_power_watts(),
-            ev.max_temperature().0, ev.sink_temperature.0, ev.max_activity()
+            app.name(),
+            ev.ipc,
+            app.paper_ipc(),
+            ev.average_power().0,
+            app.paper_power_watts(),
+            ev.max_temperature().0,
+            ev.sink_temperature.0,
+            ev.max_activity()
         );
     }
 }

@@ -1,5 +1,5 @@
-use drm::{EvalParams, Evaluator, Oracle};
 use drm::{ArchPoint, DvsPoint};
+use drm::{EvalParams, Evaluator, Oracle};
 use ramp::{FailureParams, QualificationPoint, ReliabilityModel};
 use sim_common::{Floorplan, Kelvin};
 use workload::App;
@@ -10,37 +10,71 @@ fn main() {
     let shares = Floorplan::r10000_65nm().area_shares();
     // For each app: the T_qual at which base-config FIT == 4000 (bisect).
     for app in App::ALL {
-        let ev = oracle.evaluation(app, ArchPoint::most_aggressive(), DvsPoint::base()).unwrap().clone();
+        let ev = oracle
+            .evaluation(app, ArchPoint::most_aggressive(), DvsPoint::base())
+            .unwrap()
+            .clone();
         let fit_at = |t: f64| {
             let m = ReliabilityModel::qualify(
                 FailureParams::ramp_65nm(),
                 &QualificationPoint::at_temperature(Kelvin(t), alpha),
-                &shares, 4000.0).unwrap();
+                &shares,
+                4000.0,
+            )
+            .unwrap();
             ev.application_fit(&m).total().value()
         };
         let (mut lo, mut hi) = (325.0, 430.0);
         for _ in 0..40 {
-            let mid = 0.5*(lo+hi);
-            if fit_at(mid) > 4000.0 { lo = mid } else { hi = mid }
+            let mid = 0.5 * (lo + hi);
+            if fit_at(mid) > 4000.0 {
+                lo = mid
+            } else {
+                hi = mid
+            }
         }
-        println!("{:8}: base FIT == target at T_qual = {:.1} K (Tmax={:.1})", app.name(), 0.5*(lo+hi), ev.max_temperature().0);
+        println!(
+            "{:8}: base FIT == target at T_qual = {:.1} K (Tmax={:.1})",
+            app.name(),
+            0.5 * (lo + hi),
+            ev.max_temperature().0
+        );
     }
     // Min-config floor: slowest DVS on smallest arch, hottest app.
-    let min_cfg = ArchPoint { window: 16, alus: 2, fpus: 1 };
+    let min_cfg = ArchPoint {
+        window: 16,
+        alus: 2,
+        fpus: 1,
+    };
     for app in [App::MpgDec, App::Twolf] {
-        let ev = oracle.evaluation(app, min_cfg, DvsPoint::at_ghz(2.5).unwrap()).unwrap().clone();
+        let ev = oracle
+            .evaluation(app, min_cfg, DvsPoint::at_ghz(2.5).unwrap())
+            .unwrap()
+            .clone();
         let fit_at = |t: f64| {
             let m = ReliabilityModel::qualify(
                 FailureParams::ramp_65nm(),
                 &QualificationPoint::at_temperature(Kelvin(t), alpha),
-                &shares, 4000.0).unwrap();
+                &shares,
+                4000.0,
+            )
+            .unwrap();
             ev.application_fit(&m).total().value()
         };
         let (mut lo, mut hi) = (318.5, 430.0);
         for _ in 0..40 {
-            let mid = 0.5*(lo+hi);
-            if fit_at(mid) > 4000.0 { lo = mid } else { hi = mid }
+            let mid = 0.5 * (lo + hi);
+            if fit_at(mid) > 4000.0 {
+                lo = mid
+            } else {
+                hi = mid
+            }
         }
-        println!("{:8}: min-config FIT == target at T_qual = {:.1} K (Tmax={:.1})", app.name(), 0.5*(lo+hi), ev.max_temperature().0);
+        println!(
+            "{:8}: min-config FIT == target at T_qual = {:.1} K (Tmax={:.1})",
+            app.name(),
+            0.5 * (lo + hi),
+            ev.max_temperature().0
+        );
     }
 }

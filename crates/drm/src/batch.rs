@@ -277,8 +277,26 @@ impl BatchEngine {
             evaluator,
             base_config: CoreConfig::base(),
             cache: Arc::new(EvalCache::new()),
-            workers: if workers == 0 { default_workers() } else { workers },
+            workers: if workers == 0 {
+                default_workers()
+            } else {
+                workers
+            },
         }
+    }
+
+    /// Replaces the base configuration adaptation points are applied to
+    /// (default: [`CoreConfig::base`]). Scenario-driven engines anchor the
+    /// adaptation space to the scenario's processor instead.
+    #[must_use]
+    pub fn with_base_config(mut self, base_config: CoreConfig) -> BatchEngine {
+        self.base_config = base_config;
+        self
+    }
+
+    /// The base configuration adaptation points are applied to.
+    pub fn base_config(&self) -> &CoreConfig {
+        &self.base_config
     }
 
     /// The evaluator in use.
@@ -453,10 +471,7 @@ mod tests {
     use crate::evaluator::EvalParams;
 
     fn engine(workers: usize) -> BatchEngine {
-        BatchEngine::with_workers(
-            Evaluator::ibm_65nm(EvalParams::quick()).unwrap(),
-            workers,
-        )
+        BatchEngine::with_workers(Evaluator::ibm_65nm(EvalParams::quick()).unwrap(), workers)
     }
 
     #[test]
@@ -466,12 +481,18 @@ mod tests {
         let a = EvalKey::new(
             App::Gzip,
             arch,
-            DvsPoint { frequency: Hertz::from_ghz(4.0), vdd: Volts(1.0) },
+            DvsPoint {
+                frequency: Hertz::from_ghz(4.0),
+                vdd: Volts(1.0),
+            },
         );
         let b = EvalKey::new(
             App::Gzip,
             arch,
-            DvsPoint { frequency: Hertz::from_ghz(4.0), vdd: Volts(0.9) },
+            DvsPoint {
+                frequency: Hertz::from_ghz(4.0),
+                vdd: Volts(0.9),
+            },
         );
         assert_ne!(a, b);
         assert_eq!(a.freq_khz, b.freq_khz);
@@ -494,11 +515,13 @@ mod tests {
     fn invalid_points_propagate_errors() {
         let e = engine(2);
         let bad = DvsPoint::at_ghz(9.0);
-        assert!(bad.is_err() || {
-            let dvs = bad.unwrap();
-            e.evaluate_all(&[(App::Gzip, ArchPoint::most_aggressive(), dvs)])
-                .is_err()
-        });
+        assert!(
+            bad.is_err() || {
+                let dvs = bad.unwrap();
+                e.evaluate_all(&[(App::Gzip, ArchPoint::most_aggressive(), dvs)])
+                    .is_err()
+            }
+        );
     }
 
     #[test]

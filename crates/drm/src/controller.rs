@@ -89,7 +89,9 @@ impl ControllerParams {
             return Err(SimError::invalid_config("hysteresis must be in [0,1)"));
         }
         if self.leakage_iterations == 0 {
-            return Err(SimError::invalid_config("need at least one leakage iteration"));
+            return Err(SimError::invalid_config(
+                "need at least one leakage iteration",
+            ));
         }
         if let Some(t) = self.thermal_limit {
             if !(t.0 > 0.0 && t.0.is_finite()) {
@@ -386,7 +388,10 @@ mod tests {
             fit < 4000.0 * 1.3,
             "final FIT {fit:.0} overshoots the 4000 target"
         );
-        assert!(fit > 4000.0 * 0.3, "final FIT {fit:.0} leaves headroom unspent");
+        assert!(
+            fit > 4000.0 * 0.3,
+            "final FIT {fit:.0} leaves headroom unspent"
+        );
     }
 
     #[test]

@@ -188,10 +188,7 @@ mod tests {
         let t = Kelvin(360.0);
         let m = model(360.0, 0.35);
         let point = compare_drm_dtm(&o, App::Gzip, t, &m, 0.5).unwrap();
-        assert_eq!(
-            point.drm_violates_thermal,
-            point.drm_peak_temperature > t
-        );
+        assert_eq!(point.drm_violates_thermal, point.drm_peak_temperature > t);
         assert_eq!(
             point.dtm_violates_reliability,
             point.dtm_fit > m.target_fit()

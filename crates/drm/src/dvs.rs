@@ -19,6 +19,156 @@ const V_INTERCEPT: f64 = 0.55;
 /// Slope of the V(f) line in base-voltage units per base-frequency unit.
 const V_SLOPE: f64 = 0.45;
 
+/// A configurable DVS operating range: the frequency window, the grid
+/// step, and the V(f) line anchoring voltages to the base point.
+///
+/// [`DvsRange::paper`] reproduces the paper's hard-wired constants
+/// (2.5–5.0 GHz around 4 GHz / 1.0 V in 0.25 GHz steps); scenario files
+/// can describe any other range without recompiling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DvsRange {
+    /// Frequency the V(f) relationship is anchored to, GHz.
+    pub base_ghz: f64,
+    /// Voltage at the anchor frequency, V.
+    pub base_vdd: f64,
+    /// Lowest explorable frequency, GHz.
+    pub min_ghz: f64,
+    /// Highest explorable frequency, GHz.
+    pub max_ghz: f64,
+    /// Default grid granularity, GHz.
+    pub step_ghz: f64,
+    /// Frequency-independent fraction of the base voltage in V(f).
+    pub v_intercept: f64,
+    /// Slope of V(f) in base-voltage units per base-frequency unit.
+    pub v_slope: f64,
+}
+
+impl DvsRange {
+    /// The paper's range: `[2.5, 5.0]` GHz around 4 GHz / 1.0 V,
+    /// 0.25 GHz grid, `V(f) = V₀ · (0.55 + 0.45 · f/f₀)`.
+    pub fn paper() -> DvsRange {
+        DvsRange {
+            base_ghz: DVS_BASE_FREQUENCY_GHZ,
+            base_vdd: DVS_BASE_VDD,
+            min_ghz: DVS_MIN_GHZ,
+            max_ghz: DVS_MAX_GHZ,
+            step_ghz: 0.25,
+            v_intercept: V_INTERCEPT,
+            v_slope: V_SLOPE,
+        }
+    }
+
+    /// Validates the range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a non-positive base point or
+    /// step, an empty or inverted frequency window, a base frequency
+    /// outside the window, or a V(f) line that goes non-positive anywhere
+    /// in the window.
+    pub fn validate(&self) -> Result<(), SimError> {
+        for (label, v) in [
+            ("dvs base frequency", self.base_ghz),
+            ("dvs base voltage", self.base_vdd),
+            ("dvs step", self.step_ghz),
+            ("dvs minimum frequency", self.min_ghz),
+            ("dvs maximum frequency", self.max_ghz),
+        ] {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(SimError::invalid_config(format!(
+                    "{label} must be positive and finite, got {v}"
+                )));
+            }
+        }
+        if !(self.v_intercept.is_finite() && self.v_slope.is_finite()) {
+            return Err(SimError::invalid_config(
+                "dvs V(f) coefficients must be finite",
+            ));
+        }
+        if self.min_ghz > self.max_ghz {
+            return Err(SimError::invalid_config(format!(
+                "dvs range [{}, {}] GHz is inverted",
+                self.min_ghz, self.max_ghz
+            )));
+        }
+        if !(self.min_ghz..=self.max_ghz).contains(&self.base_ghz) {
+            return Err(SimError::invalid_config(format!(
+                "dvs base frequency {} GHz outside the range [{}, {}]",
+                self.base_ghz, self.min_ghz, self.max_ghz
+            )));
+        }
+        for ghz in [self.min_ghz, self.max_ghz] {
+            if self.voltage_for(ghz) <= 0.0 {
+                return Err(SimError::invalid_config(format!(
+                    "dvs V(f) is non-positive at {ghz} GHz"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The supporting voltage for `ghz` on this range's V(f) line
+    /// (unchecked range).
+    pub fn voltage_for(&self, ghz: f64) -> f64 {
+        self.base_vdd * (self.v_intercept + self.v_slope * ghz / self.base_ghz)
+    }
+
+    /// The operating point at `ghz`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when `ghz` is outside the range.
+    pub fn at_ghz(&self, ghz: f64) -> Result<DvsPoint, SimError> {
+        if !(self.min_ghz..=self.max_ghz).contains(&ghz) {
+            return Err(SimError::invalid_config(format!(
+                "frequency {ghz} GHz outside the DVS range [{}, {}]",
+                self.min_ghz, self.max_ghz
+            )));
+        }
+        Ok(DvsPoint {
+            frequency: Hertz::from_ghz(ghz),
+            vdd: Volts(self.voltage_for(ghz)),
+        })
+    }
+
+    /// The anchor operating point.
+    pub fn base_point(&self) -> DvsPoint {
+        DvsPoint {
+            frequency: Hertz::from_ghz(self.base_ghz),
+            vdd: Volts(self.voltage_for(self.base_ghz)),
+        }
+    }
+
+    /// The explored frequency grid: `[min, max]` GHz in [`step_ghz`]
+    /// increments (the maximum is always on the grid).
+    ///
+    /// [`step_ghz`]: DvsRange::step_ghz
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the range fails
+    /// [`DvsRange::validate`].
+    pub fn grid(&self) -> Result<Vec<DvsPoint>, SimError> {
+        self.validate()?;
+        let mut points = Vec::new();
+        let mut ghz = self.min_ghz;
+        while ghz <= self.max_ghz + 1e-9 {
+            points.push(
+                self.at_ghz(ghz.min(self.max_ghz))
+                    .expect("grid point in range"),
+            );
+            ghz += self.step_ghz;
+        }
+        Ok(points)
+    }
+}
+
+impl Default for DvsRange {
+    fn default() -> Self {
+        DvsRange::paper()
+    }
+}
+
 /// Base frequency the DVS relationship is anchored to (4 GHz).
 pub const DVS_BASE_FREQUENCY_GHZ: f64 = 4.0;
 /// Base voltage the DVS relationship is anchored to (1.0 V).
@@ -57,26 +207,19 @@ impl DvsPoint {
     /// Returns [`SimError::InvalidConfig`] when `ghz` is outside the
     /// explored `[2.5, 5.0]` range.
     pub fn at_ghz(ghz: f64) -> Result<DvsPoint, SimError> {
-        if !(DVS_MIN_GHZ..=DVS_MAX_GHZ).contains(&ghz) {
-            return Err(SimError::invalid_config(format!(
-                "frequency {ghz} GHz outside the DVS range [{DVS_MIN_GHZ}, {DVS_MAX_GHZ}]"
-            )));
-        }
-        Ok(DvsPoint {
-            frequency: Hertz::from_ghz(ghz),
-            vdd: Volts(voltage_for_frequency(ghz)),
-        })
+        DvsRange::paper().at_ghz(ghz)
     }
 
     /// The 4 GHz / 1.0 V base point.
     pub fn base() -> DvsPoint {
-        DvsPoint::at_ghz(DVS_BASE_FREQUENCY_GHZ).expect("base frequency is in range")
+        DvsRange::paper().base_point()
     }
 }
 
-/// The supporting voltage for a frequency in GHz (unchecked range).
+/// The supporting voltage for a frequency in GHz on the paper's V(f) line
+/// (unchecked range).
 pub fn voltage_for_frequency(ghz: f64) -> f64 {
-    DVS_BASE_VDD * (V_INTERCEPT + V_SLOPE * ghz / DVS_BASE_FREQUENCY_GHZ)
+    DvsRange::paper().voltage_for(ghz)
 }
 
 /// The frequency grid explored for DVS adaptations: `[2.5, 5.0]` GHz in
@@ -87,13 +230,12 @@ pub fn voltage_for_frequency(ghz: f64) -> f64 {
 /// Panics if `step_ghz` is not positive.
 pub fn frequency_grid(step_ghz: f64) -> Vec<DvsPoint> {
     assert!(step_ghz > 0.0, "step must be positive");
-    let mut points = Vec::new();
-    let mut ghz = DVS_MIN_GHZ;
-    while ghz <= DVS_MAX_GHZ + 1e-9 {
-        points.push(DvsPoint::at_ghz(ghz.min(DVS_MAX_GHZ)).expect("grid point in range"));
-        ghz += step_ghz;
+    DvsRange {
+        step_ghz,
+        ..DvsRange::paper()
     }
-    points
+    .grid()
+    .expect("paper range with a positive step is valid")
 }
 
 #[cfg(test)]
@@ -144,5 +286,63 @@ mod tests {
     #[should_panic(expected = "step must be positive")]
     fn grid_rejects_zero_step() {
         let _ = frequency_grid(0.0);
+    }
+
+    #[test]
+    fn paper_range_matches_legacy_constants() {
+        let r = DvsRange::paper();
+        r.validate().unwrap();
+        assert_eq!(r.base_point(), DvsPoint::base());
+        for ghz in [2.5, 3.0, 4.0, 5.0] {
+            assert_eq!(r.at_ghz(ghz).unwrap(), DvsPoint::at_ghz(ghz).unwrap());
+            assert_eq!(r.voltage_for(ghz), voltage_for_frequency(ghz));
+        }
+        assert_eq!(r.grid().unwrap(), frequency_grid(0.25));
+    }
+
+    #[test]
+    fn custom_range_is_respected() {
+        let r = DvsRange {
+            min_ghz: 1.0,
+            max_ghz: 3.0,
+            base_ghz: 2.0,
+            base_vdd: 0.9,
+            step_ghz: 1.0,
+            ..DvsRange::paper()
+        };
+        r.validate().unwrap();
+        let grid = r.grid().unwrap();
+        assert_eq!(grid.len(), 3);
+        assert!((r.base_point().vdd.0 - 0.9).abs() < 1e-12);
+        assert!(r.at_ghz(0.5).is_err());
+        assert!(r.at_ghz(3.5).is_err());
+        // Legacy range still rejects what the custom range accepts.
+        assert!(DvsPoint::at_ghz(1.0).is_err());
+    }
+
+    #[test]
+    fn range_validation_rejects_nonsense() {
+        let bad_step = DvsRange {
+            step_ghz: 0.0,
+            ..DvsRange::paper()
+        };
+        assert!(bad_step.validate().is_err());
+        assert!(bad_step.grid().is_err());
+        let inverted = DvsRange {
+            min_ghz: 5.0,
+            max_ghz: 2.5,
+            ..DvsRange::paper()
+        };
+        assert!(inverted.validate().is_err());
+        let base_outside = DvsRange {
+            base_ghz: 6.0,
+            ..DvsRange::paper()
+        };
+        assert!(base_outside.validate().is_err());
+        let negative_line = DvsRange {
+            v_intercept: -2.0,
+            ..DvsRange::paper()
+        };
+        assert!(negative_line.validate().is_err());
     }
 }

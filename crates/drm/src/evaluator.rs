@@ -20,8 +20,8 @@ use std::time::{Duration, Instant};
 
 use ramp::{ApplicationFit, ReliabilityModel, StructureConditions};
 use sim_common::{Kelvin, Seconds, SimError, Structure, StructureMap, Watts};
-use sim_obs::{Histogram, StageTimes};
 use sim_cpu::{CoreConfig, IntervalStats, Processor};
+use sim_obs::{Histogram, StageTimes};
 use sim_power::PowerModel;
 use sim_thermal::ThermalModel;
 use workload::{App, AppProfile, SyntheticStream};
@@ -501,7 +501,9 @@ mod tests {
 
     #[test]
     fn base_evaluation_is_sane() {
-        let ev = evaluator().evaluate(App::Gzip, &CoreConfig::base()).unwrap();
+        let ev = evaluator()
+            .evaluate(App::Gzip, &CoreConfig::base())
+            .unwrap();
         assert!(ev.ipc > 0.5 && ev.ipc < 8.0, "ipc {}", ev.ipc);
         assert!((ev.bips - ev.ipc * 4.0).abs() < 1e-9);
         assert!(!ev.intervals.is_empty());

@@ -257,8 +257,7 @@ mod tests {
         // already exactly optimal.
         let o = oracle();
         let m = model(380.0);
-        let choice =
-            intra_app_best(&o, App::MpgDec, Strategy::Dvs, &m, 0.25).unwrap();
+        let choice = intra_app_best(&o, App::MpgDec, Strategy::Dvs, &m, 0.25).unwrap();
         let inter = o.best(App::MpgDec, Strategy::Dvs, &m, 0.25).unwrap();
         assert!(
             choice.relative_performance >= inter.relative_performance - 1e-9,
@@ -280,8 +279,7 @@ mod tests {
             4000.0,
         )
         .unwrap();
-        let choice =
-            intra_app_best(&o, App::Twolf, Strategy::Dvs, &generous, 0.5).unwrap();
+        let choice = intra_app_best(&o, App::Twolf, Strategy::Dvs, &generous, 0.5).unwrap();
         assert!(choice.feasible);
         for (_, dvs) in &choice.per_interval {
             assert!((dvs.frequency.to_ghz() - 5.0).abs() < 1e-9);

@@ -56,14 +56,25 @@ impl Oracle {
     /// candidate sweeps.
     #[must_use]
     pub fn new(evaluator: Evaluator) -> Oracle {
-        Oracle { engine: BatchEngine::new(evaluator) }
+        Oracle {
+            engine: BatchEngine::new(evaluator),
+        }
     }
 
     /// Creates an oracle with an explicit sweep worker count (`0` means
     /// `available_parallelism()`; `1` is fully sequential).
     #[must_use]
     pub fn with_workers(evaluator: Evaluator, workers: usize) -> Oracle {
-        Oracle { engine: BatchEngine::with_workers(evaluator, workers) }
+        Oracle {
+            engine: BatchEngine::with_workers(evaluator, workers),
+        }
+    }
+
+    /// Creates an oracle over an explicitly configured [`BatchEngine`]
+    /// (e.g. one whose base configuration comes from a scenario).
+    #[must_use]
+    pub fn from_engine(engine: BatchEngine) -> Oracle {
+        Oracle { engine }
     }
 
     /// The evaluator in use.
@@ -134,10 +145,7 @@ impl Oracle {
     /// # Errors
     ///
     /// Propagates the first evaluation error.
-    pub fn prefetch(
-        &self,
-        jobs: &[(App, ArchPoint, DvsPoint)],
-    ) -> Result<SweepSummary, SimError> {
+    pub fn prefetch(&self, jobs: &[(App, ArchPoint, DvsPoint)]) -> Result<SweepSummary, SimError> {
         self.engine.evaluate_all(jobs)
     }
 
@@ -204,17 +212,46 @@ impl Oracle {
         model: &ReliabilityModel,
         dvs_step_ghz: f64,
     ) -> Result<DrmChoice, SimError> {
+        self.best_among(
+            app,
+            &strategy.candidates(dvs_step_ghz),
+            (ArchPoint::most_aggressive(), DvsPoint::base()),
+            model,
+        )
+        .map_err(|e| match e {
+            SimError::Infeasible(_) => {
+                SimError::infeasible(format!("{strategy} has no candidates"))
+            }
+            other => other,
+        })
+    }
+
+    /// Like [`Oracle::best`], but over an explicit candidate set with an
+    /// explicit base operating point — the scenario-driven entry point,
+    /// where the adaptation space and DVS grid come from a scenario file
+    /// rather than the built-in paper constants.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors; returns [`SimError::Infeasible`] when
+    /// `candidates` is empty.
+    pub fn best_among(
+        &self,
+        app: App,
+        candidates: &[(ArchPoint, DvsPoint)],
+        base: (ArchPoint, DvsPoint),
+        model: &ReliabilityModel,
+    ) -> Result<DrmChoice, SimError> {
         let _span = sim_obs::span!("oracle.best");
-        let candidates = strategy.candidates(dvs_step_ghz);
         let mut jobs: Vec<_> = candidates.iter().map(|&(a, d)| (app, a, d)).collect();
-        jobs.push((app, ArchPoint::most_aggressive(), DvsPoint::base()));
+        jobs.push((app, base.0, base.1));
         self.engine.evaluate_all(&jobs)?;
 
-        let base_bips = self.base_evaluation(app)?.bips;
+        let base_bips = self.evaluation(app, base.0, base.1)?.bips;
         let target = model.target_fit();
         let mut best_feasible: Option<DrmChoice> = None;
         let mut min_fit: Option<DrmChoice> = None;
-        for (arch, dvs) in candidates {
+        for &(arch, dvs) in candidates {
             let ev = self.evaluation(app, arch, dvs)?;
             let fit = ev.application_fit(model).total();
             let choice = DrmChoice {
@@ -239,7 +276,7 @@ impl Oracle {
         }
         best_feasible
             .or(min_fit)
-            .ok_or_else(|| SimError::infeasible(format!("{strategy} has no candidates")))
+            .ok_or_else(|| SimError::infeasible("candidate set is empty"))
     }
 
     /// Like [`Oracle::best`], but also returns the wall-clock summary of
@@ -292,7 +329,8 @@ mod tests {
         assert_eq!(o.evaluations_performed(), 1);
         // A DVS search over 6 frequencies adds 5 new evaluations (the base
         // point is already cached).
-        o.best(App::Gzip, Strategy::Dvs, &model(370.0), 0.5).unwrap();
+        o.best(App::Gzip, Strategy::Dvs, &model(370.0), 0.5)
+            .unwrap();
         assert_eq!(o.evaluations_performed(), 6);
     }
 
@@ -303,11 +341,21 @@ mod tests {
         // collapsed to a single cached evaluation.
         let o = oracle();
         let arch = ArchPoint::most_aggressive();
-        let nominal = DvsPoint { frequency: Hertz::from_ghz(4.0), vdd: Volts(1.0) };
-        let undervolted = DvsPoint { frequency: Hertz::from_ghz(4.0), vdd: Volts(0.9) };
+        let nominal = DvsPoint {
+            frequency: Hertz::from_ghz(4.0),
+            vdd: Volts(1.0),
+        };
+        let undervolted = DvsPoint {
+            frequency: Hertz::from_ghz(4.0),
+            vdd: Volts(0.9),
+        };
         let a = o.evaluation(App::Gzip, arch, nominal).unwrap();
         let b = o.evaluation(App::Gzip, arch, undervolted).unwrap();
-        assert_eq!(o.evaluations_performed(), 2, "distinct points must not alias");
+        assert_eq!(
+            o.evaluations_performed(),
+            2,
+            "distinct points must not alias"
+        );
         assert_eq!(a.config.vdd, Volts(1.0));
         assert_eq!(b.config.vdd, Volts(0.9));
         // Lower voltage means measurably lower power for the same stream.
@@ -351,9 +399,7 @@ mod tests {
         // §6.1: Arch cannot change frequency, so relative performance ≤ 1.
         let o = oracle();
         for t in [325.0, 400.0] {
-            let choice = o
-                .best(App::Bzip2, Strategy::Arch, &model(t), 0.5)
-                .unwrap();
+            let choice = o.best(App::Bzip2, Strategy::Arch, &model(t), 0.5).unwrap();
             assert!(
                 choice.relative_performance <= 1.0 + 1e-9,
                 "Arch gave {} at T_qual {t}",
@@ -393,12 +439,14 @@ mod tests {
     #[test]
     fn summary_accumulates_across_searches() {
         let o = oracle();
-        o.best(App::Gzip, Strategy::Dvs, &model(370.0), 0.5).unwrap();
+        o.best(App::Gzip, Strategy::Dvs, &model(370.0), 0.5)
+            .unwrap();
         let s = o.summary();
         assert_eq!(s.evaluations, 6);
         assert!(s.workers >= 1);
         // Scoring the same strategy again is pure cache hits.
-        o.best(App::Gzip, Strategy::Dvs, &model(345.0), 0.5).unwrap();
+        o.best(App::Gzip, Strategy::Dvs, &model(345.0), 0.5)
+            .unwrap();
         let s2 = o.summary();
         assert_eq!(s2.evaluations, 6);
         assert!(s2.cache_hits > s.cache_hits);

@@ -305,7 +305,12 @@ mod tests {
                 .unwrap()
                 .evaluate(App::Art, &cfg)
                 .unwrap();
-            assert!(ev.ipc > 0.1 && ev.ipc < 8.0, "{}: ipc {}", node.name, ev.ipc);
+            assert!(
+                ev.ipc > 0.1 && ev.ipc < 8.0,
+                "{}: ipc {}",
+                node.name,
+                ev.ipc
+            );
             assert!(ev.average_power().0 > 5.0, "{}", node.name);
         }
     }

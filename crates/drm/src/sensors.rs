@@ -119,9 +119,9 @@ impl SensorBank {
     pub fn sample(&mut self, truth: &StructureMap<Kelvin>) -> StructureMap<Kelvin> {
         // Low-pass filter toward the truth.
         let filtered = match self.filtered.take() {
-            Some(prev) => StructureMap::from_fn(|s| {
-                prev[s] + self.params.response * (truth[s].0 - prev[s])
-            }),
+            Some(prev) => {
+                StructureMap::from_fn(|s| prev[s] + self.params.response * (truth[s].0 - prev[s]))
+            }
             None => truth.map(|_, t| t.0),
         };
         self.filtered = Some(filtered);
@@ -221,7 +221,11 @@ mod tests {
         bank.sample(&truth(350.0)); // initialize at 350
         let after_step = bank.sample(&truth(370.0));
         let s = Structure::Fpu;
-        assert!((after_step[s].0 - 360.0).abs() < 1e-9, "{:?}", after_step[s]);
+        assert!(
+            (after_step[s].0 - 360.0).abs() < 1e-9,
+            "{:?}",
+            after_step[s]
+        );
         let next = bank.sample(&truth(370.0));
         assert!((next[s].0 - 365.0).abs() < 1e-9);
     }

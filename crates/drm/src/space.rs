@@ -6,7 +6,7 @@
 use sim_common::SimError;
 use sim_cpu::CoreConfig;
 
-use crate::dvs::{frequency_grid, DvsPoint};
+use crate::dvs::{frequency_grid, DvsPoint, DvsRange};
 
 /// One microarchitectural adaptation point.
 ///
@@ -135,6 +135,41 @@ impl Strategy {
             }
         }
     }
+
+    /// Like [`Strategy::candidates`], but over an explicit adaptation
+    /// space: `space` replaces the built-in 18 microarchitectural points,
+    /// `base_arch`/`base_dvs` replace the hard-wired base operating point,
+    /// and `range` replaces the paper's DVS grid. This is how
+    /// scenario-driven sweeps explore spaces the paper never enumerated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when `space` is empty or the
+    /// range fails [`DvsRange::validate`].
+    pub fn candidates_with(
+        self,
+        space: &[ArchPoint],
+        base_arch: ArchPoint,
+        base_dvs: DvsPoint,
+        range: &DvsRange,
+    ) -> Result<Vec<(ArchPoint, DvsPoint)>, SimError> {
+        if space.is_empty() {
+            return Err(SimError::invalid_config(
+                "adaptation space has no microarchitectural points",
+            ));
+        }
+        Ok(match self {
+            Strategy::Arch => space.iter().map(|&a| (a, base_dvs)).collect(),
+            Strategy::Dvs => range.grid()?.into_iter().map(|d| (base_arch, d)).collect(),
+            Strategy::ArchDvs => {
+                let grid = range.grid()?;
+                space
+                    .iter()
+                    .flat_map(|&a| grid.iter().map(move |&d| (a, d)))
+                    .collect()
+            }
+        })
+    }
 }
 
 impl std::fmt::Display for Strategy {
@@ -202,6 +237,49 @@ mod tests {
         for (a, _) in Strategy::Dvs.candidates(0.25) {
             assert_eq!(a, ArchPoint::most_aggressive());
         }
+    }
+
+    #[test]
+    fn candidates_with_matches_builtin_space() {
+        let range = DvsRange {
+            step_ghz: 0.25,
+            ..DvsRange::paper()
+        };
+        for strategy in Strategy::ALL {
+            let explicit = strategy
+                .candidates_with(
+                    &ArchPoint::ALL,
+                    ArchPoint::most_aggressive(),
+                    DvsPoint::base(),
+                    &range,
+                )
+                .unwrap();
+            assert_eq!(explicit, strategy.candidates(0.25), "{strategy}");
+        }
+    }
+
+    #[test]
+    fn candidates_with_rejects_empty_space_and_bad_range() {
+        assert!(Strategy::Arch
+            .candidates_with(
+                &[],
+                ArchPoint::most_aggressive(),
+                DvsPoint::base(),
+                &DvsRange::paper()
+            )
+            .is_err());
+        let bad = DvsRange {
+            step_ghz: -1.0,
+            ..DvsRange::paper()
+        };
+        assert!(Strategy::Dvs
+            .candidates_with(
+                &ArchPoint::ALL,
+                ArchPoint::most_aggressive(),
+                DvsPoint::base(),
+                &bad
+            )
+            .is_err());
     }
 
     #[test]

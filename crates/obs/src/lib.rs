@@ -180,10 +180,7 @@ pub fn install_sink(sink: Arc<dyn Sink>) {
 /// Nanoseconds since the process epoch (first call wins the zero point).
 #[must_use]
 pub fn since_epoch_ns() -> u64 {
-    PROCESS_EPOCH
-        .get_or_init(Instant::now)
-        .elapsed()
-        .as_nanos() as u64
+    PROCESS_EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
 }
 
 /// Runs `f` over every installed sink.
@@ -340,7 +337,8 @@ pub(crate) mod test_lock {
     static LOCK: Mutex<()> = Mutex::new(());
 
     pub fn hold() -> MutexGuard<'static, ()> {
-        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 

@@ -421,10 +421,12 @@ mod tests {
     use crate::test_lock;
 
     fn counter_value(snap: &[Metric], name: &str) -> Option<u64> {
-        snap.iter().find(|m| m.name == name).and_then(|m| match m.value {
-            MetricValue::Counter(v) => Some(v),
-            _ => None,
-        })
+        snap.iter()
+            .find(|m| m.name == name)
+            .and_then(|m| match m.value {
+                MetricValue::Counter(v) => Some(v),
+                _ => None,
+            })
     }
 
     #[test]

@@ -320,7 +320,11 @@ pub fn render(trace: &Trace, top_n: usize) -> String {
     }
     let share_total: f64 = stages.iter().map(|r| r.share_pct).sum();
     if !stages.is_empty() {
-        let _ = writeln!(out, "  {:<28} {:>8} {:>12} {:>12} {:>6.2}%", "", "", "", "", share_total);
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>8} {:>12} {:>12} {:>6.2}%",
+            "", "", "", "", share_total
+        );
     }
 
     let hot = hottest_structures(trace);

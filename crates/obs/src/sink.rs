@@ -317,10 +317,8 @@ mod tests {
 
     #[test]
     fn jsonl_sink_writes_parseable_lines() {
-        let path = std::env::temp_dir().join(format!(
-            "sim-obs-sink-test-{}.jsonl",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("sim-obs-sink-test-{}.jsonl", std::process::id()));
         let sink = JsonlSink::create(&path).unwrap();
         sink.on_span(&SpanEvent {
             id: 3,

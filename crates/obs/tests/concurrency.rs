@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use sim_obs::{MetricValue, MemorySink};
+use sim_obs::{MemorySink, MetricValue};
 
 const THREADS: usize = 8;
 const INCREMENTS: u64 = 10_000;
@@ -64,7 +64,10 @@ fn concurrent_counter_increments_aggregate_exactly() {
     assert_eq!(v, 9_900.0);
 
     // The in-memory sink saw the identical snapshot.
-    assert_eq!(sink.counter("conc.counter"), Some(THREADS as u64 * INCREMENTS));
+    assert_eq!(
+        sink.counter("conc.counter"),
+        Some(THREADS as u64 * INCREMENTS)
+    );
     sim_obs::reset_for_tests();
 }
 

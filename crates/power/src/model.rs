@@ -198,13 +198,7 @@ impl PowerModel {
             let area = self.floorplan.block(s).area().0;
             let t = temperatures[s];
             let thermal = (self.params.leakage_beta * (t.0 - self.params.leakage_ref.0)).exp();
-            Watts(
-                self.params.leakage_density
-                    * area
-                    * core.powered_fraction(s)
-                    * v_ratio
-                    * thermal,
-            )
+            Watts(self.params.leakage_density * area * core.powered_fraction(s) * v_ratio * thermal)
         })
     }
 
@@ -259,9 +253,21 @@ mod tests {
     fn dynamic_power_scales_linearly_with_activity() {
         let m = model();
         let core = CoreConfig::base();
-        let a25 = m.dynamic_power(&core, &uniform_activity(0.25)).iter().map(|(_, w)| w.0).sum::<f64>();
-        let a50 = m.dynamic_power(&core, &uniform_activity(0.50)).iter().map(|(_, w)| w.0).sum::<f64>();
-        let a100 = m.dynamic_power(&core, &uniform_activity(1.0)).iter().map(|(_, w)| w.0).sum::<f64>();
+        let a25 = m
+            .dynamic_power(&core, &uniform_activity(0.25))
+            .iter()
+            .map(|(_, w)| w.0)
+            .sum::<f64>();
+        let a50 = m
+            .dynamic_power(&core, &uniform_activity(0.50))
+            .iter()
+            .map(|(_, w)| w.0)
+            .sum::<f64>();
+        let a100 = m
+            .dynamic_power(&core, &uniform_activity(1.0))
+            .iter()
+            .map(|(_, w)| w.0)
+            .sum::<f64>();
         // Equal spacing in activity ⇒ equal spacing in power.
         assert!(((a50 - a25) - (a100 - a50) / 2.0).abs() < 1e-9);
     }
@@ -295,8 +301,16 @@ mod tests {
     fn leakage_grows_exponentially_with_temperature() {
         let m = model();
         let core = CoreConfig::base();
-        let cold: f64 = m.leakage_power(&core, &uniform_temp(343.0)).iter().map(|(_, w)| w.0).sum();
-        let hot: f64 = m.leakage_power(&core, &uniform_temp(383.0)).iter().map(|(_, w)| w.0).sum();
+        let cold: f64 = m
+            .leakage_power(&core, &uniform_temp(343.0))
+            .iter()
+            .map(|(_, w)| w.0)
+            .sum();
+        let hot: f64 = m
+            .leakage_power(&core, &uniform_temp(383.0))
+            .iter()
+            .map(|(_, w)| w.0)
+            .sum();
         assert!((hot / cold - (0.017f64 * 40.0).exp()).abs() < 1e-9);
     }
 
@@ -314,7 +328,9 @@ mod tests {
         assert_eq!(d_small[Structure::Dcache], d_base[Structure::Dcache]);
         let l_base = m.leakage_power(&base, &temps);
         let l_small = m.leakage_power(&small, &temps);
-        assert!((l_small[Structure::IntAlu].0 / l_base[Structure::IntAlu].0 - 2.0 / 6.0).abs() < 1e-12);
+        assert!(
+            (l_small[Structure::IntAlu].0 / l_base[Structure::IntAlu].0 - 2.0 / 6.0).abs() < 1e-12
+        );
     }
 
     #[test]

@@ -1,0 +1,756 @@
+//! The plain-text scenario format.
+//!
+//! Follows the `workload::textfmt` conventions: std-only, `#` comments,
+//! whitespace-separated tokens, unknown keys and trailing tokens are
+//! line-numbered errors. Every scalar is written with Rust's shortest
+//! round-trip float formatting, so `parse(print(s)) == s` bit-identically.
+//!
+//! The format is flat `section.key value...` lines:
+//!
+//! ```text
+//! scenario.name my-experiment
+//! core.frequency_hz 4000000000
+//! core.l1d 65536 2 64              # size assoc line_bytes
+//! dvs.min_ghz 2.5
+//! power.pmax int-alu 11            # one line per structure
+//! floorplan.die 4.5 4.5
+//! floorplan.block icache 0 0 2 1.5 # structure x y w h (mm)
+//! qual.t_qual_k 394
+//! arch 128 6 4                     # window alus fpus, repeated
+//! workload gzip                    # built-in app, repeated
+//! profile begin                    # or an inline workload profile
+//! name my-codec
+//! mix int-alu 1
+//! profile end
+//! ```
+//!
+//! All scalar keys are required — a scenario file is a complete experiment
+//! record, not a patch. `ramp scenario print` emits the canonical form to
+//! start from.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use drm::{ArchPoint, DvsRange, EvalParams};
+use ramp::FailureParams;
+use sim_common::{
+    Block, Floorplan, Hertz, Kelvin, Rect, SimError, Structure, StructureMap, Volts, Watts,
+};
+use sim_cpu::{BpredConfig, CacheConfig, CoreConfig};
+use sim_power::PowerParams;
+use sim_thermal::ThermalParams;
+use workload::textfmt::{profile_from_text, profile_to_text};
+use workload::App;
+
+use crate::{Qualification, Scenario, WorkloadSpec};
+
+/// Every singleton `section.key` the format accepts, used to distinguish
+/// typos (unknown key) from omissions (missing key) in error messages.
+const SINGLETON_KEYS: &[&str] = &[
+    "scenario.name",
+    "core.frequency_hz",
+    "core.vdd",
+    "core.fetch_width",
+    "core.retire_width",
+    "core.frontend_latency",
+    "core.mispredict_redirect",
+    "core.window",
+    "core.int_regs",
+    "core.fp_regs",
+    "core.mem_queue",
+    "core.int_alus",
+    "core.fpus",
+    "core.addr_gens",
+    "core.bpred_counters",
+    "core.bpred_ras",
+    "core.l1d",
+    "core.l1i",
+    "core.l2",
+    "core.l1d_ports",
+    "core.l1_hit_cycles",
+    "core.l2_hit_ns",
+    "core.mem_ns",
+    "core.mshrs",
+    "core.prefetch_next_line",
+    "dvs.base_ghz",
+    "dvs.base_vdd",
+    "dvs.min_ghz",
+    "dvs.max_ghz",
+    "dvs.step_ghz",
+    "dvs.v_intercept",
+    "dvs.v_slope",
+    "power.idle_fraction",
+    "power.leakage_density",
+    "power.leakage_ref_k",
+    "power.leakage_beta",
+    "power.base_vdd",
+    "power.base_frequency_hz",
+    "thermal.r_vertical_per_area",
+    "thermal.r_lateral_per_edge",
+    "thermal.r_spreader_sink",
+    "thermal.r_sink_ambient",
+    "thermal.c_block_per_area",
+    "thermal.c_spreader",
+    "thermal.c_sink",
+    "thermal.ambient_k",
+    "floorplan.die",
+    "failure.em_n",
+    "failure.em_ea",
+    "failure.sm_n",
+    "failure.sm_ea",
+    "failure.sm_t0_k",
+    "failure.tddb_a",
+    "failure.tddb_b",
+    "failure.tddb_x",
+    "failure.tddb_y",
+    "failure.tddb_z",
+    "failure.tc_q",
+    "failure.tc_ambient_k",
+    "qual.t_qual_k",
+    "qual.alpha",
+    "qual.target_fit",
+    "eval.warmup_instructions",
+    "eval.measure_instructions",
+    "eval.interval_instructions",
+    "eval.seed",
+    "eval.leakage_iterations",
+    "eval.prewarm_bytes",
+];
+
+fn line_err(lineno: usize, msg: impl std::fmt::Display) -> SimError {
+    SimError::invalid_config(format!("line {}: {msg}", lineno + 1))
+}
+
+#[derive(Debug)]
+struct Entry {
+    lineno: usize,
+    values: Vec<String>,
+}
+
+impl Entry {
+    fn expect_len(&self, key: &str, n: usize) -> Result<(), SimError> {
+        if self.values.len() != n {
+            return Err(line_err(
+                self.lineno,
+                format!(
+                    "`{key}` expects {n} value{}, got {}",
+                    if n == 1 { "" } else { "s" },
+                    self.values.len()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn f64_at(&self, key: &str, idx: usize) -> Result<f64, SimError> {
+        self.values[idx]
+            .parse()
+            .map_err(|_| line_err(self.lineno, format!("`{key}` must be a number")))
+    }
+
+    fn u64_at(&self, key: &str, idx: usize) -> Result<u64, SimError> {
+        self.values[idx].parse().map_err(|_| {
+            line_err(
+                self.lineno,
+                format!("`{key}` must be a non-negative integer"),
+            )
+        })
+    }
+
+    fn u32_at(&self, key: &str, idx: usize) -> Result<u32, SimError> {
+        self.values[idx].parse().map_err(|_| {
+            line_err(
+                self.lineno,
+                format!("`{key}` must be a non-negative integer"),
+            )
+        })
+    }
+}
+
+/// The scanned file: singleton entries plus the repeated forms.
+struct Scanned {
+    singles: HashMap<String, Entry>,
+    pmax: Vec<Entry>,
+    blocks: Vec<Entry>,
+    arch: Vec<Entry>,
+    /// Workload suite in encounter order.
+    workloads: Vec<WorkloadSpec>,
+}
+
+fn scan(text: &str) -> Result<Scanned, SimError> {
+    let mut singles: HashMap<String, Entry> = HashMap::new();
+    let mut pmax = Vec::new();
+    let mut blocks = Vec::new();
+    let mut arch = Vec::new();
+    let mut workloads = Vec::new();
+
+    let mut lines = text.lines().enumerate();
+    while let Some((lineno, raw)) = lines.next() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let key = tokens.next().expect("non-empty line has a first token");
+        let values: Vec<String> = tokens.map(str::to_owned).collect();
+        let entry = Entry { lineno, values };
+        match key {
+            "profile" => {
+                if entry.values.as_slice() != ["begin"] {
+                    return Err(line_err(
+                        lineno,
+                        "expected `profile begin` to open an inline profile block",
+                    ));
+                }
+                let mut body = String::new();
+                let mut closed = false;
+                for (inner_no, inner_raw) in lines.by_ref() {
+                    let inner = inner_raw.split('#').next().unwrap_or("").trim();
+                    if inner == "profile end" {
+                        closed = true;
+                        break;
+                    }
+                    if inner == "profile begin" {
+                        return Err(line_err(inner_no, "nested `profile begin`"));
+                    }
+                    body.push_str(inner_raw);
+                    body.push('\n');
+                }
+                if !closed {
+                    return Err(line_err(lineno, "`profile begin` without `profile end`"));
+                }
+                let profile = profile_from_text(&body).map_err(|e| {
+                    SimError::invalid_config(format!(
+                        "inline profile starting at line {}: {e}",
+                        lineno + 2
+                    ))
+                })?;
+                workloads.push(WorkloadSpec::Inline(profile));
+            }
+            "workload" => {
+                entry.expect_len("workload", 1)?;
+                let name = &entry.values[0];
+                let app = App::ALL
+                    .into_iter()
+                    .find(|a| a.name().eq_ignore_ascii_case(name))
+                    .ok_or_else(|| {
+                        line_err(lineno, format!("unknown built-in workload `{name}`"))
+                    })?;
+                workloads.push(WorkloadSpec::Builtin(app));
+            }
+            "power.pmax" => pmax.push(entry),
+            "floorplan.block" => blocks.push(entry),
+            "arch" => arch.push(entry),
+            _ => {
+                if !SINGLETON_KEYS.contains(&key) {
+                    return Err(line_err(lineno, format!("unknown key `{key}`")));
+                }
+                if let Some(first) = singles.get(key) {
+                    return Err(line_err(
+                        lineno,
+                        format!("duplicate key `{key}` (first at line {})", first.lineno + 1),
+                    ));
+                }
+                singles.insert(key.to_owned(), entry);
+            }
+        }
+    }
+    Ok(Scanned {
+        singles,
+        pmax,
+        blocks,
+        arch,
+        workloads,
+    })
+}
+
+/// Removes a required singleton key and checks its arity.
+fn req(scanned: &mut Scanned, key: &str, arity: usize) -> Result<Entry, SimError> {
+    let entry = scanned
+        .singles
+        .remove(key)
+        .ok_or_else(|| SimError::invalid_config(format!("missing required key `{key}`")))?;
+    entry.expect_len(key, arity)?;
+    Ok(entry)
+}
+
+fn req_f64(scanned: &mut Scanned, key: &str) -> Result<f64, SimError> {
+    req(scanned, key, 1)?.f64_at(key, 0)
+}
+
+fn req_u64(scanned: &mut Scanned, key: &str) -> Result<u64, SimError> {
+    req(scanned, key, 1)?.u64_at(key, 0)
+}
+
+fn req_u32(scanned: &mut Scanned, key: &str) -> Result<u32, SimError> {
+    req(scanned, key, 1)?.u32_at(key, 0)
+}
+
+fn req_kelvin(scanned: &mut Scanned, key: &str) -> Result<Kelvin, SimError> {
+    Ok(Kelvin(req_f64(scanned, key)?))
+}
+
+fn req_bool(scanned: &mut Scanned, key: &str) -> Result<bool, SimError> {
+    let entry = req(scanned, key, 1)?;
+    match entry.values[0].as_str() {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(line_err(
+            entry.lineno,
+            format!("`{key}` must be `true` or `false`, got `{other}`"),
+        )),
+    }
+}
+
+fn req_cache(scanned: &mut Scanned, key: &str) -> Result<CacheConfig, SimError> {
+    let entry = req(scanned, key, 3)?;
+    let config = CacheConfig {
+        size_bytes: entry.u64_at(key, 0)?,
+        assoc: entry.u32_at(key, 1)?,
+        line_bytes: entry.u32_at(key, 2)?,
+    };
+    config
+        .validate(key)
+        .map_err(|e| line_err(entry.lineno, e))?;
+    Ok(config)
+}
+
+fn structure_at(entry: &Entry, key: &str, idx: usize) -> Result<Structure, SimError> {
+    let name = &entry.values[idx];
+    Structure::from_name(name)
+        .ok_or_else(|| line_err(entry.lineno, format!("`{key}`: unknown structure `{name}`")))
+}
+
+/// Parses a scenario from the text format.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] with a line number for syntax
+/// errors (unknown/duplicate/malformed keys), and a descriptive message
+/// for missing keys or failed semantic validation.
+pub fn scenario_from_text(text: &str) -> Result<Scenario, SimError> {
+    let mut s = scan(text)?;
+
+    let name_entry = req(&mut s, "scenario.name", 1)?;
+    let name = name_entry.values[0].clone();
+
+    let core = CoreConfig {
+        frequency: Hertz(req_f64(&mut s, "core.frequency_hz")?),
+        vdd: Volts(req_f64(&mut s, "core.vdd")?),
+        fetch_width: req_u32(&mut s, "core.fetch_width")?,
+        retire_width: req_u32(&mut s, "core.retire_width")?,
+        frontend_latency: req_u32(&mut s, "core.frontend_latency")?,
+        mispredict_redirect: req_u32(&mut s, "core.mispredict_redirect")?,
+        window_size: req_u32(&mut s, "core.window")?,
+        int_regs: req_u32(&mut s, "core.int_regs")?,
+        fp_regs: req_u32(&mut s, "core.fp_regs")?,
+        mem_queue: req_u32(&mut s, "core.mem_queue")?,
+        int_alus: req_u32(&mut s, "core.int_alus")?,
+        fpus: req_u32(&mut s, "core.fpus")?,
+        addr_gens: req_u32(&mut s, "core.addr_gens")?,
+        bpred: BpredConfig {
+            counters: req_u32(&mut s, "core.bpred_counters")?,
+            ras_entries: req_u32(&mut s, "core.bpred_ras")?,
+        },
+        l1d: req_cache(&mut s, "core.l1d")?,
+        l1i: req_cache(&mut s, "core.l1i")?,
+        l2: req_cache(&mut s, "core.l2")?,
+        l1d_ports: req_u32(&mut s, "core.l1d_ports")?,
+        l1_hit_cycles: req_u32(&mut s, "core.l1_hit_cycles")?,
+        l2_hit_ns: req_f64(&mut s, "core.l2_hit_ns")?,
+        mem_ns: req_f64(&mut s, "core.mem_ns")?,
+        mshrs: req_u32(&mut s, "core.mshrs")?,
+        prefetch_next_line: req_bool(&mut s, "core.prefetch_next_line")?,
+    };
+
+    let dvs = DvsRange {
+        base_ghz: req_f64(&mut s, "dvs.base_ghz")?,
+        base_vdd: req_f64(&mut s, "dvs.base_vdd")?,
+        min_ghz: req_f64(&mut s, "dvs.min_ghz")?,
+        max_ghz: req_f64(&mut s, "dvs.max_ghz")?,
+        step_ghz: req_f64(&mut s, "dvs.step_ghz")?,
+        v_intercept: req_f64(&mut s, "dvs.v_intercept")?,
+        v_slope: req_f64(&mut s, "dvs.v_slope")?,
+    };
+
+    let mut pmax: StructureMap<Option<Watts>> = StructureMap::from_fn(|_| None);
+    for entry in s.pmax.drain(..) {
+        entry.expect_len("power.pmax", 2)?;
+        let structure = structure_at(&entry, "power.pmax", 0)?;
+        let watts = entry.f64_at("power.pmax", 1)?;
+        if pmax[structure].is_some() {
+            return Err(line_err(
+                entry.lineno,
+                format!("duplicate `power.pmax {structure}`"),
+            ));
+        }
+        pmax[structure] = Some(Watts(watts));
+    }
+    for structure in Structure::ALL {
+        if pmax[structure].is_none() {
+            return Err(SimError::invalid_config(format!(
+                "missing `power.pmax {structure}` line"
+            )));
+        }
+    }
+    let power = PowerParams {
+        pmax_dynamic: pmax.map(|_, w| (*w).expect("checked complete")),
+        idle_fraction: req_f64(&mut s, "power.idle_fraction")?,
+        leakage_density: req_f64(&mut s, "power.leakage_density")?,
+        leakage_ref: req_kelvin(&mut s, "power.leakage_ref_k")?,
+        leakage_beta: req_f64(&mut s, "power.leakage_beta")?,
+        base_vdd: Volts(req_f64(&mut s, "power.base_vdd")?),
+        base_frequency: Hertz(req_f64(&mut s, "power.base_frequency_hz")?),
+    };
+
+    let thermal = ThermalParams {
+        r_vertical_per_area: req_f64(&mut s, "thermal.r_vertical_per_area")?,
+        r_lateral_per_edge: req_f64(&mut s, "thermal.r_lateral_per_edge")?,
+        r_spreader_sink: req_f64(&mut s, "thermal.r_spreader_sink")?,
+        r_sink_ambient: req_f64(&mut s, "thermal.r_sink_ambient")?,
+        c_block_per_area: req_f64(&mut s, "thermal.c_block_per_area")?,
+        c_spreader: req_f64(&mut s, "thermal.c_spreader")?,
+        c_sink: req_f64(&mut s, "thermal.c_sink")?,
+        ambient: req_kelvin(&mut s, "thermal.ambient_k")?,
+    };
+
+    let die_entry = req(&mut s, "floorplan.die", 2)?;
+    let die_width = die_entry.f64_at("floorplan.die", 0)?;
+    let die_height = die_entry.f64_at("floorplan.die", 1)?;
+    let mut floorplan_blocks = Vec::with_capacity(s.blocks.len());
+    for entry in s.blocks.drain(..) {
+        entry.expect_len("floorplan.block", 5)?;
+        let structure = structure_at(&entry, "floorplan.block", 0)?;
+        let [x, y, w, h] = [1usize, 2, 3, 4].map(|i| entry.f64_at("floorplan.block", i));
+        let (x, y, w, h) = (x?, y?, w?, h?);
+        if !(w > 0.0 && h > 0.0 && w.is_finite() && h.is_finite()) {
+            return Err(line_err(
+                entry.lineno,
+                format!("`floorplan.block {structure}` must have positive finite extent"),
+            ));
+        }
+        floorplan_blocks.push(Block {
+            structure,
+            rect: Rect { x, y, w, h },
+        });
+    }
+    let floorplan = Floorplan::new(floorplan_blocks, die_width, die_height)?;
+
+    let failure = FailureParams {
+        em_n: req_f64(&mut s, "failure.em_n")?,
+        em_ea: req_f64(&mut s, "failure.em_ea")?,
+        sm_n: req_f64(&mut s, "failure.sm_n")?,
+        sm_ea: req_f64(&mut s, "failure.sm_ea")?,
+        sm_t0: req_kelvin(&mut s, "failure.sm_t0_k")?,
+        tddb_a: req_f64(&mut s, "failure.tddb_a")?,
+        tddb_b: req_f64(&mut s, "failure.tddb_b")?,
+        tddb_x: req_f64(&mut s, "failure.tddb_x")?,
+        tddb_y: req_f64(&mut s, "failure.tddb_y")?,
+        tddb_z: req_f64(&mut s, "failure.tddb_z")?,
+        tc_q: req_f64(&mut s, "failure.tc_q")?,
+        tc_ambient: req_kelvin(&mut s, "failure.tc_ambient_k")?,
+    };
+
+    let qualification = Qualification {
+        t_qual: req_kelvin(&mut s, "qual.t_qual_k")?,
+        alpha: req_f64(&mut s, "qual.alpha")?,
+        target_fit: req_f64(&mut s, "qual.target_fit")?,
+    };
+
+    let eval = EvalParams {
+        warmup_instructions: req_u64(&mut s, "eval.warmup_instructions")?,
+        measure_instructions: req_u64(&mut s, "eval.measure_instructions")?,
+        interval_instructions: req_u64(&mut s, "eval.interval_instructions")?,
+        seed: req_u64(&mut s, "eval.seed")?,
+        leakage_iterations: req_u32(&mut s, "eval.leakage_iterations")?,
+        prewarm_bytes: req_u64(&mut s, "eval.prewarm_bytes")?,
+    };
+
+    let mut arch_points = Vec::with_capacity(s.arch.len());
+    for entry in s.arch.drain(..) {
+        entry.expect_len("arch", 3)?;
+        let point = ArchPoint {
+            window: entry.u32_at("arch", 0)?,
+            alus: entry.u32_at("arch", 1)?,
+            fpus: entry.u32_at("arch", 2)?,
+        };
+        if arch_points.contains(&point) {
+            return Err(line_err(
+                entry.lineno,
+                format!("duplicate adaptation point {point}"),
+            ));
+        }
+        arch_points.push(point);
+    }
+
+    debug_assert!(s.singles.is_empty(), "unknown keys rejected during scan");
+    let scenario = Scenario {
+        name,
+        core,
+        dvs,
+        power,
+        thermal,
+        floorplan,
+        failure,
+        qualification,
+        workloads: std::mem::take(&mut s.workloads),
+        arch_points,
+        eval,
+    };
+    scenario.validate()?;
+    Ok(scenario)
+}
+
+/// Serializes a scenario to the text format; parsing the result with
+/// [`scenario_from_text`] reproduces the input bit-identically.
+pub fn scenario_to_text(scenario: &Scenario) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+    let _ = writeln!(
+        w,
+        "# RAMP scenario — edit freely; `ramp scenario validate` checks it."
+    );
+    let _ = writeln!(w, "scenario.name {}", scenario.name);
+
+    let c = &scenario.core;
+    let _ = writeln!(w, "\n# Processor (Table 1)");
+    let _ = writeln!(w, "core.frequency_hz {}", c.frequency.0);
+    let _ = writeln!(w, "core.vdd {}", c.vdd.0);
+    let _ = writeln!(w, "core.fetch_width {}", c.fetch_width);
+    let _ = writeln!(w, "core.retire_width {}", c.retire_width);
+    let _ = writeln!(w, "core.frontend_latency {}", c.frontend_latency);
+    let _ = writeln!(w, "core.mispredict_redirect {}", c.mispredict_redirect);
+    let _ = writeln!(w, "core.window {}", c.window_size);
+    let _ = writeln!(w, "core.int_regs {}", c.int_regs);
+    let _ = writeln!(w, "core.fp_regs {}", c.fp_regs);
+    let _ = writeln!(w, "core.mem_queue {}", c.mem_queue);
+    let _ = writeln!(w, "core.int_alus {}", c.int_alus);
+    let _ = writeln!(w, "core.fpus {}", c.fpus);
+    let _ = writeln!(w, "core.addr_gens {}", c.addr_gens);
+    let _ = writeln!(w, "core.bpred_counters {}", c.bpred.counters);
+    let _ = writeln!(w, "core.bpred_ras {}", c.bpred.ras_entries);
+    for (key, cache) in [("core.l1d", c.l1d), ("core.l1i", c.l1i), ("core.l2", c.l2)] {
+        let _ = writeln!(
+            w,
+            "{key} {} {} {}  # size assoc line_bytes",
+            cache.size_bytes, cache.assoc, cache.line_bytes
+        );
+    }
+    let _ = writeln!(w, "core.l1d_ports {}", c.l1d_ports);
+    let _ = writeln!(w, "core.l1_hit_cycles {}", c.l1_hit_cycles);
+    let _ = writeln!(w, "core.l2_hit_ns {}", c.l2_hit_ns);
+    let _ = writeln!(w, "core.mem_ns {}", c.mem_ns);
+    let _ = writeln!(w, "core.mshrs {}", c.mshrs);
+    let _ = writeln!(w, "core.prefetch_next_line {}", c.prefetch_next_line);
+
+    let d = &scenario.dvs;
+    let _ = writeln!(
+        w,
+        "\n# DVS range: V(f) = base_vdd * (v_intercept + v_slope * f / base_ghz)"
+    );
+    let _ = writeln!(w, "dvs.base_ghz {}", d.base_ghz);
+    let _ = writeln!(w, "dvs.base_vdd {}", d.base_vdd);
+    let _ = writeln!(w, "dvs.min_ghz {}", d.min_ghz);
+    let _ = writeln!(w, "dvs.max_ghz {}", d.max_ghz);
+    let _ = writeln!(w, "dvs.step_ghz {}", d.step_ghz);
+    let _ = writeln!(w, "dvs.v_intercept {}", d.v_intercept);
+    let _ = writeln!(w, "dvs.v_slope {}", d.v_slope);
+
+    let p = &scenario.power;
+    let _ = writeln!(w, "\n# Power model");
+    for (structure, watts) in p.pmax_dynamic.iter() {
+        let _ = writeln!(w, "power.pmax {structure} {}", watts.0);
+    }
+    let _ = writeln!(w, "power.idle_fraction {}", p.idle_fraction);
+    let _ = writeln!(w, "power.leakage_density {}", p.leakage_density);
+    let _ = writeln!(w, "power.leakage_ref_k {}", p.leakage_ref.0);
+    let _ = writeln!(w, "power.leakage_beta {}", p.leakage_beta);
+    let _ = writeln!(w, "power.base_vdd {}", p.base_vdd.0);
+    let _ = writeln!(w, "power.base_frequency_hz {}", p.base_frequency.0);
+
+    let t = &scenario.thermal;
+    let _ = writeln!(w, "\n# Package / thermal network");
+    let _ = writeln!(w, "thermal.r_vertical_per_area {}", t.r_vertical_per_area);
+    let _ = writeln!(w, "thermal.r_lateral_per_edge {}", t.r_lateral_per_edge);
+    let _ = writeln!(w, "thermal.r_spreader_sink {}", t.r_spreader_sink);
+    let _ = writeln!(w, "thermal.r_sink_ambient {}", t.r_sink_ambient);
+    let _ = writeln!(w, "thermal.c_block_per_area {}", t.c_block_per_area);
+    let _ = writeln!(w, "thermal.c_spreader {}", t.c_spreader);
+    let _ = writeln!(w, "thermal.c_sink {}", t.c_sink);
+    let _ = writeln!(w, "thermal.ambient_k {}", t.ambient.0);
+
+    let f = &scenario.floorplan;
+    let _ = writeln!(w, "\n# Floorplan (mm)");
+    let _ = writeln!(w, "floorplan.die {} {}", f.die_width(), f.die_height());
+    for block in f.blocks() {
+        let r = block.rect;
+        let _ = writeln!(
+            w,
+            "floorplan.block {} {} {} {} {}",
+            block.structure, r.x, r.y, r.w, r.h
+        );
+    }
+
+    let m = &scenario.failure;
+    let _ = writeln!(w, "\n# Failure mechanisms");
+    let _ = writeln!(w, "failure.em_n {}", m.em_n);
+    let _ = writeln!(w, "failure.em_ea {}", m.em_ea);
+    let _ = writeln!(w, "failure.sm_n {}", m.sm_n);
+    let _ = writeln!(w, "failure.sm_ea {}", m.sm_ea);
+    let _ = writeln!(w, "failure.sm_t0_k {}", m.sm_t0.0);
+    let _ = writeln!(w, "failure.tddb_a {}", m.tddb_a);
+    let _ = writeln!(w, "failure.tddb_b {}", m.tddb_b);
+    let _ = writeln!(w, "failure.tddb_x {}", m.tddb_x);
+    let _ = writeln!(w, "failure.tddb_y {}", m.tddb_y);
+    let _ = writeln!(w, "failure.tddb_z {}", m.tddb_z);
+    let _ = writeln!(w, "failure.tc_q {}", m.tc_q);
+    let _ = writeln!(w, "failure.tc_ambient_k {}", m.tc_ambient.0);
+
+    let q = &scenario.qualification;
+    let _ = writeln!(w, "\n# Qualification and FIT budget");
+    let _ = writeln!(w, "qual.t_qual_k {}", q.t_qual.0);
+    let _ = writeln!(w, "qual.alpha {}", q.alpha);
+    let _ = writeln!(w, "qual.target_fit {}", q.target_fit);
+
+    let e = &scenario.eval;
+    let _ = writeln!(w, "\n# Evaluation lengths");
+    let _ = writeln!(w, "eval.warmup_instructions {}", e.warmup_instructions);
+    let _ = writeln!(w, "eval.measure_instructions {}", e.measure_instructions);
+    let _ = writeln!(w, "eval.interval_instructions {}", e.interval_instructions);
+    let _ = writeln!(w, "eval.seed {}", e.seed);
+    let _ = writeln!(w, "eval.leakage_iterations {}", e.leakage_iterations);
+    let _ = writeln!(w, "eval.prewarm_bytes {}", e.prewarm_bytes);
+
+    let _ = writeln!(w, "\n# DRM adaptation space: window alus fpus");
+    for point in &scenario.arch_points {
+        let _ = writeln!(w, "arch {} {} {}", point.window, point.alus, point.fpus);
+    }
+
+    let _ = writeln!(w, "\n# Workload suite, in run order");
+    for spec in &scenario.workloads {
+        match spec {
+            WorkloadSpec::Builtin(app) => {
+                let _ = writeln!(w, "workload {}", app.name());
+            }
+            WorkloadSpec::Inline(profile) => {
+                let _ = writeln!(w, "profile begin");
+                let _ = write!(w, "{}", profile_to_text(profile));
+                let _ = writeln!(w, "profile end");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_round_trips_bit_identically() {
+        let original = Scenario::paper_default();
+        let text = scenario_to_text(&original);
+        let reparsed = scenario_from_text(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(reparsed, original);
+        // And the canonical print is a fixed point.
+        assert_eq!(scenario_to_text(&reparsed), text);
+    }
+
+    #[test]
+    fn inline_profiles_round_trip() {
+        let mut s = Scenario::paper_default();
+        s.workloads
+            .push(WorkloadSpec::Inline(App::Equake.profile()));
+        let text = scenario_to_text(&s);
+        let reparsed = scenario_from_text(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(reparsed, s);
+    }
+
+    #[test]
+    fn unknown_keys_report_line_numbers() {
+        let mut text = scenario_to_text(&Scenario::paper_default());
+        text.push_str("core.warp_drive 9\n");
+        let lines = text.lines().count();
+        let err = scenario_from_text(&text).unwrap_err().to_string();
+        assert!(err.contains(&format!("line {lines}")), "{err}");
+        assert!(err.contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_keys_report_both_lines() {
+        let mut text = scenario_to_text(&Scenario::paper_default());
+        text.push_str("qual.alpha 0.5\n");
+        let err = scenario_from_text(&text).unwrap_err().to_string();
+        assert!(err.contains("duplicate key `qual.alpha`"), "{err}");
+        assert!(err.contains("first at line"), "{err}");
+    }
+
+    #[test]
+    fn missing_keys_are_named() {
+        let text: String = scenario_to_text(&Scenario::paper_default())
+            .lines()
+            .filter(|l| !l.starts_with("qual.t_qual_k"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let err = scenario_from_text(&text).unwrap_err().to_string();
+        assert!(
+            err.contains("missing required key `qual.t_qual_k`"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn malformed_values_report_line_numbers() {
+        let text = scenario_to_text(&Scenario::paper_default());
+        let bad = text.replace("qual.alpha 0.48", "qual.alpha high");
+        let err = scenario_from_text(&bad).unwrap_err().to_string();
+        assert!(err.contains("must be a number"), "{err}");
+        assert!(err.contains("line "), "{err}");
+
+        let bad = text.replace("core.mshrs 12", "core.mshrs 12 13");
+        let err = scenario_from_text(&bad).unwrap_err().to_string();
+        assert!(err.contains("expects 1 value"), "{err}");
+    }
+
+    #[test]
+    fn unterminated_profile_block_is_an_error() {
+        let mut text = scenario_to_text(&Scenario::paper_default());
+        text.push_str("profile begin\nname dangling\nmix int-alu 1\n");
+        let err = scenario_from_text(&text).unwrap_err().to_string();
+        assert!(err.contains("without `profile end`"), "{err}");
+    }
+
+    #[test]
+    fn bad_inline_profile_points_at_block() {
+        let mut text = scenario_to_text(&Scenario::paper_default());
+        text.push_str("profile begin\nname broken\nmix warp-drive 1\nprofile end\n");
+        let err = scenario_from_text(&text).unwrap_err().to_string();
+        assert!(err.contains("inline profile starting at line"), "{err}");
+        assert!(err.contains("unknown op class"), "{err}");
+    }
+
+    #[test]
+    fn unknown_structure_and_workload_are_rejected() {
+        let text = scenario_to_text(&Scenario::paper_default());
+        let bad = text.replace("power.pmax fpu 11", "power.pmax gpu 11");
+        let err = scenario_from_text(&bad).unwrap_err().to_string();
+        assert!(err.contains("unknown structure `gpu`"), "{err}");
+
+        let bad = text.replace("workload gzip", "workload doom");
+        let err = scenario_from_text(&bad).unwrap_err().to_string();
+        assert!(err.contains("unknown built-in workload `doom`"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_pmax_and_arch_are_rejected() {
+        let mut text = scenario_to_text(&Scenario::paper_default());
+        text.push_str("power.pmax fpu 3\n");
+        let err = scenario_from_text(&text).unwrap_err().to_string();
+        assert!(err.contains("duplicate `power.pmax fpu`"), "{err}");
+
+        let mut text = scenario_to_text(&Scenario::paper_default());
+        text.push_str("arch 128 6 4\n");
+        let err = scenario_from_text(&text).unwrap_err().to_string();
+        assert!(err.contains("duplicate adaptation point"), "{err}");
+    }
+}

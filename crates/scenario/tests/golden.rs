@@ -1,0 +1,79 @@
+//! The checked-in example scenarios stay in sync with the code: every
+//! file parses and validates, and `paper.scn` *is* the built-in default.
+
+use std::path::PathBuf;
+
+use scenario::Scenario;
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/scenarios")
+}
+
+#[test]
+fn every_example_scenario_parses_and_validates() {
+    let dir = scenarios_dir();
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("examples/scenarios exists") {
+        let path = entry.expect("read dir entry").path();
+        if path.extension().is_none_or(|e| e != "scn") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("read scenario file");
+        let scn = Scenario::from_text(&text)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        // The on-disk form must also be reproducible from the parsed value
+        // (comments aside, the content round-trips).
+        let reparsed = Scenario::from_text(&scn.to_text()).expect("round-trip");
+        assert_eq!(
+            reparsed,
+            scn,
+            "{} round-trip changed the value",
+            path.display()
+        );
+        seen += 1;
+    }
+    assert!(
+        seen >= 3,
+        "expected the three golden scenarios, found {seen}"
+    );
+}
+
+/// `paper.scn` is not merely *similar* to [`Scenario::paper_default`] —
+/// it is the same value, byte-identically printable. This is what makes
+/// `ramp fit --scenario examples/scenarios/paper.scn` reproduce the
+/// no-scenario output exactly.
+#[test]
+fn paper_scn_is_the_built_in_default() {
+    let text = std::fs::read_to_string(scenarios_dir().join("paper.scn")).expect("read paper.scn");
+    let parsed = Scenario::from_text(&text).expect("paper.scn parses");
+    assert_eq!(parsed, Scenario::paper_default());
+    assert_eq!(
+        text,
+        Scenario::paper_default().to_text(),
+        "paper.scn drifted"
+    );
+}
+
+/// The two variant scenarios differ from the default only where they
+/// mean to: the package and the qualification point.
+#[test]
+fn variant_scenarios_are_deliberate_deltas() {
+    let dir = scenarios_dir();
+    let hot =
+        Scenario::from_text(&std::fs::read_to_string(dir.join("hot-lowcost.scn")).expect("read"))
+            .expect("hot-lowcost.scn parses");
+    assert_eq!(hot.name, "hot-lowcost");
+    let paper = Scenario::paper_default();
+    assert!(hot.thermal.r_sink_ambient > paper.thermal.r_sink_ambient);
+    assert!(hot.qualification.t_qual.0 < paper.qualification.t_qual.0);
+    assert_eq!(hot.core, paper.core);
+    assert_eq!(hot.workloads, paper.workloads);
+
+    let server = Scenario::from_text(
+        &std::fs::read_to_string(dir.join("server-overdesign.scn")).expect("read"),
+    )
+    .expect("server-overdesign.scn parses");
+    assert_eq!(server.name, "server-overdesign");
+    assert!(server.qualification.t_qual.0 > paper.qualification.t_qual.0);
+    assert_eq!(server.thermal, paper.thermal);
+}

@@ -324,7 +324,12 @@ fn solve_dense(mut a: [[f64; N_NODES]; N_NODES], mut b: [f64; N_NODES]) -> [f64;
     for col in 0..N_NODES {
         // Pivot.
         let pivot = (col..N_NODES)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite")
+            })
             .expect("non-empty range");
         a.swap(col, pivot);
         b.swap(col, pivot);

@@ -48,8 +48,14 @@ impl OpMix {
         if total <= 0.0 {
             return Err(SimError::invalid_config("op mix has zero total weight"));
         }
-        for f in &mut fractions {
-            *f /= total;
+        // Already-normalized weights (e.g. fractions re-read from a printed
+        // scenario or profile file) are kept bit-exact: dividing by a total
+        // within one ulp of 1.0 could perturb the last bit and break
+        // print → parse round-trips.
+        if (total - 1.0).abs() > 1e-9 {
+            for f in &mut fractions {
+                *f /= total;
+            }
         }
         Ok(OpMix { fractions })
     }

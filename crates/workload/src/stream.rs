@@ -198,7 +198,9 @@ impl SyntheticStream {
         } else {
             (self.phase_idx % self.profile.phases.len()) as u64
         };
-        let h = splitmix64(pc ^ self.bias_salt.rotate_left(17) ^ phase_salt.wrapping_mul(0xA24B_AED4_963E_E407));
+        let h = splitmix64(
+            pc ^ self.bias_salt.rotate_left(17) ^ phase_salt.wrapping_mul(0xA24B_AED4_963E_E407),
+        );
         let u = (h >> 11) as f64 / (1u64 << 53) as f64;
         let slot = self.cur_cum.iter().position(|&c| u <= c).unwrap_or(0);
         OpClass::ALL[slot]
@@ -293,7 +295,6 @@ impl SyntheticStream {
         }
     }
 }
-
 
 impl InstructionSource for SyntheticStream {
     fn next_op(&mut self) -> MicroOp {
@@ -436,8 +437,7 @@ mod tests {
         let n = 300_000;
         let ops = collect(app, 5, n);
         for class in OpClass::ALL {
-            let observed =
-                ops.iter().filter(|o| o.class == class).count() as f64 / n as f64;
+            let observed = ops.iter().filter(|o| o.class == class).count() as f64 / n as f64;
             let expected = profile.mix.fraction(class);
             // Class-by-PC layout plus loop concentration gives more variance
             // than i.i.d. sampling would; 0.03 absolute is still tight enough
@@ -500,10 +500,7 @@ mod tests {
     #[test]
     fn branch_taken_rate_is_plausible() {
         let ops = collect(App::MpgDec, 17, 200_000);
-        let branches: Vec<_> = ops
-            .iter()
-            .filter(|o| o.class == OpClass::Branch)
-            .collect();
+        let branches: Vec<_> = ops.iter().filter(|o| o.class == OpClass::Branch).collect();
         assert!(!branches.is_empty());
         let taken = branches.iter().filter(|o| o.taken).count() as f64;
         let rate = taken / branches.len() as f64;

@@ -56,12 +56,12 @@ pub fn profile_from_text(text: &str) -> Result<AppProfile, SimError> {
         }
         let mut parts = line.split_whitespace();
         let key = parts.next().expect("non-empty line has a first token");
-        let err = |msg: String| {
-            SimError::invalid_config(format!("line {}: {msg}", lineno + 1))
-        };
+        let err = |msg: String| SimError::invalid_config(format!("line {}: {msg}", lineno + 1));
         match key {
             "name" => {
-                let value = parts.next().ok_or_else(|| err("name needs a value".into()))?;
+                let value = parts
+                    .next()
+                    .ok_or_else(|| err("name needs a value".into()))?;
                 name = Some(value.to_owned());
             }
             "mix" => {
@@ -153,7 +153,9 @@ pub fn profile_from_text(text: &str) -> Result<AppProfile, SimError> {
 
     let name = name.ok_or_else(|| SimError::invalid_config("missing `name`"))?;
     if mix_weights.is_empty() {
-        return Err(SimError::invalid_config("at least one `mix` line is required"));
+        return Err(SimError::invalid_config(
+            "at least one `mix` line is required",
+        ));
     }
     let get = |key: &str, default: f64| scalars.get(key).copied().unwrap_or(default);
     let profile = AppProfile {
@@ -263,8 +265,7 @@ phase instructions=50000 working_set=2097152 spatial=0.97
         for app in App::ALL {
             let original = app.profile();
             let text = profile_to_text(&original);
-            let parsed = profile_from_text(&text)
-                .unwrap_or_else(|e| panic!("{app}: {e}\n{text}"));
+            let parsed = profile_from_text(&text).unwrap_or_else(|e| panic!("{app}: {e}\n{text}"));
             assert_eq!(parsed.name, original.name);
             assert_eq!(parsed.code_footprint, original.code_footprint);
             assert_eq!(parsed.data_working_set, original.data_working_set);
@@ -288,16 +289,24 @@ phase instructions=50000 working_set=2097152 spatial=0.97
             .unwrap_err()
             .to_string()
             .contains("unknown op class"));
-        assert!(profile_from_text("name x\nmix int-alu 1\nphase instructions=5 color=red")
-            .unwrap_err()
-            .to_string()
-            .contains("unknown phase key"));
+        assert!(
+            profile_from_text("name x\nmix int-alu 1\nphase instructions=5 color=red")
+                .unwrap_err()
+                .to_string()
+                .contains("unknown phase key")
+        );
     }
 
     #[test]
     fn rejects_missing_requireds_and_bad_numbers() {
-        assert!(profile_from_text("mix int-alu 1").unwrap_err().to_string().contains("name"));
-        assert!(profile_from_text("name x").unwrap_err().to_string().contains("mix"));
+        assert!(profile_from_text("mix int-alu 1")
+            .unwrap_err()
+            .to_string()
+            .contains("name"));
+        assert!(profile_from_text("name x")
+            .unwrap_err()
+            .to_string()
+            .contains("mix"));
         assert!(profile_from_text("name x\nmix int-alu abc").is_err());
         assert!(profile_from_text("name x\nmix int-alu 1\ndep_mean_int zero").is_err());
         // Validation still applies: a zero-length phase is rejected.

@@ -104,7 +104,10 @@ fn ops_are_well_formed() {
             if op.class == OpClass::Branch {
                 assert!(op.dest.is_none());
             }
-            if matches!(op.class, OpClass::IntAlu | OpClass::IntMul | OpClass::IntDiv) {
+            if matches!(
+                op.class,
+                OpClass::IntAlu | OpClass::IntMul | OpClass::IntDiv
+            ) {
                 assert_eq!(op.dest.expect("int ops write").class(), RegClass::Int);
             }
         }

@@ -4,22 +4,22 @@
 //! below the worst case, accept that hot workloads would exceed the
 //! lifetime budget, and rely on DRM to throttle exactly those cases. This
 //! example sweeps the qualification temperature (the paper's cost proxy)
-//! and prints the resulting cost/performance spectrum for a hot and a cool
-//! workload.
+//! over the paper scenario and prints the resulting cost/performance
+//! spectrum for a hot and a cool workload.
 //!
 //! ```sh
-//! cargo run --release -p drm --example commodity_underdesign
+//! cargo run --release -p scenario --example commodity_underdesign
 //! ```
 
-use drm::{EvalParams, Evaluator, Oracle, Strategy};
-use ramp::{FailureParams, QualificationPoint, ReliabilityModel};
-use sim_common::{Floorplan, Kelvin};
+use drm::{EvalParams, Strategy};
+use scenario::Scenario;
+use sim_common::Kelvin;
 use workload::App;
 
 fn main() -> Result<(), sim_common::SimError> {
-    let oracle = Oracle::new(Evaluator::ibm_65nm(EvalParams::quick())?);
+    let scn = Scenario::paper_default();
+    let oracle = scn.oracle_with(EvalParams::quick(), 0)?;
     let alpha_qual = oracle.suite_max_activity(&App::ALL)?;
-    let shares = Floorplan::r10000_65nm().area_shares();
 
     let hot = App::MpgDec;
     let cool = App::Twolf;
@@ -28,8 +28,15 @@ fn main() -> Result<(), sim_common::SimError> {
     println!();
     println!(
         "{:>10} {:>14} {:>16} {:>16}",
-        "T_qual(K)", "design cost", hot.name(), cool.name()
+        "T_qual(K)",
+        "design cost",
+        hot.name(),
+        cool.name()
     );
+    // A coarser DVS grid keeps the sweep fast: the scenario's range with a
+    // 0.5 GHz step instead of its native 0.25.
+    let candidates = scn.candidates(Strategy::ArchDvs, Some(0.5))?;
+    let base = (scn.base_arch(), scn.base_dvs());
     for (t_qual, cost) in [
         (405.0, "worst case"),
         (394.0, "app-oriented"),
@@ -38,15 +45,10 @@ fn main() -> Result<(), sim_common::SimError> {
         (352.0, "aggressive"),
         (340.0, "drastic"),
     ] {
-        let model = ReliabilityModel::qualify(
-            FailureParams::ramp_65nm(),
-            &QualificationPoint::at_temperature(Kelvin(t_qual), alpha_qual),
-            &shares,
-            4000.0,
-        )?;
+        let model = scn.model_at(Kelvin(t_qual), alpha_qual)?;
         let mut cells = Vec::new();
         for app in [hot, cool] {
-            let choice = oracle.best(app, Strategy::ArchDvs, &model, 0.5)?;
+            let choice = oracle.best_among(app, &candidates, base, &model)?;
             cells.push(format!(
                 "{:.2}x{}",
                 choice.relative_performance,

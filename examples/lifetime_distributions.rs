@@ -6,7 +6,7 @@
 //! and compares the series-system lifetime against the SOFR prediction.
 //!
 //! ```sh
-//! cargo run --release -p drm --example lifetime_distributions
+//! cargo run --release -p scenario --example lifetime_distributions
 //! ```
 
 use drm::{EvalParams, Evaluator};

@@ -1,43 +1,53 @@
 //! Quickstart: evaluate one workload on the base processor and report
 //! performance, power, temperature, and lifetime reliability.
 //!
+//! The whole stack builds from one [`Scenario`] — the same description
+//! `ramp --scenario <file>` loads from disk; here the built-in paper
+//! default is used directly.
+//!
 //! ```sh
-//! cargo run --release -p drm --example quickstart
+//! cargo run --release -p scenario --example quickstart
 //! ```
 
-use drm::{EvalParams, Evaluator};
-use ramp::{FailureParams, Mechanism, QualificationPoint, ReliabilityModel};
-use sim_common::{Floorplan, Kelvin, Structure};
-use sim_cpu::CoreConfig;
+use drm::EvalParams;
+use ramp::Mechanism;
+use scenario::Scenario;
+use sim_common::Structure;
 use workload::App;
 
 fn main() -> Result<(), sim_common::SimError> {
-    // 1. The full evaluation stack: synthetic workload → cycle-level
-    //    timing → activity-driven power → RC thermal network.
-    let evaluator = Evaluator::ibm_65nm(EvalParams::quick())?;
-    let app = App::Bzip2;
-    let evaluation = evaluator.evaluate(app, &CoreConfig::base())?;
+    // 1. One scenario describes the full experiment: processor, power and
+    //    thermal calibrations, floorplan, qualification, workload suite.
+    let scn = Scenario::paper_default();
 
-    println!("== {app} on the base 4 GHz / 1.0 V processor ==");
+    // 2. The evaluation stack it implies: synthetic workload →
+    //    cycle-level timing → activity-driven power → RC thermal network.
+    let evaluator = scn.evaluator_with(EvalParams::quick())?;
+    let app = App::Bzip2;
+    let evaluation = evaluator.evaluate(app, &scn.core)?;
+
+    println!(
+        "== {app} on the base {:.0} GHz / {:.1} V processor ==",
+        scn.core.frequency.to_ghz(),
+        scn.core.vdd.0
+    );
     println!("IPC                  {:.2}", evaluation.ipc);
     println!("Performance          {:.2} BIPS", evaluation.bips);
     println!("Average power        {:.1}", evaluation.average_power());
     println!("Peak temperature     {:.1}", evaluation.max_temperature());
     println!("Heat-sink temp       {:.1}", evaluation.sink_temperature);
 
-    // 2. Qualify a reliability model (RAMP, §3.7): 4000-FIT target
-    //    (≈30-year MTTF) at a chosen qualification temperature.
-    let model = ReliabilityModel::qualify(
-        FailureParams::ramp_65nm(),
-        &QualificationPoint::at_temperature(Kelvin(394.0), 0.48),
-        &Floorplan::r10000_65nm().area_shares(),
-        4000.0,
-    )?;
+    // 3. The reliability model the scenario is qualified against (RAMP,
+    //    §3.7): the 4000-FIT budget (≈30-year MTTF) at T_qual = 394 K.
+    let model = scn.model()?;
 
-    // 3. Score the run: application FIT per mechanism and structure.
+    // 4. Score the run: application FIT per mechanism and structure.
     let fit = evaluation.application_fit(&model);
     println!();
-    println!("== Lifetime reliability (T_qual = 394 K) ==");
+    println!(
+        "== Lifetime reliability (T_qual = {:.0} K) ==",
+        scn.qualification.t_qual.0
+    );
     for mechanism in Mechanism::ALL {
         println!(
             "{:18} {:8.0} FIT",
@@ -49,10 +59,14 @@ fn main() -> Result<(), sim_common::SimError> {
     println!("MTTF                 {}", fit.total().to_mttf());
     println!(
         "Meets 30-year std?   {}",
-        if fit.meets(model.target_fit()) { "yes" } else { "no" }
+        if fit.meets(model.target_fit()) {
+            "yes"
+        } else {
+            "no"
+        }
     );
 
-    // 4. Where does the wear concentrate?
+    // 5. Where does the wear concentrate?
     let (hottest, hottest_fit) = Structure::ALL
         .into_iter()
         .map(|s| (s, fit.structure_total(s)))

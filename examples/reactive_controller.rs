@@ -6,7 +6,7 @@
 //! when cool, spending it when hot.
 //!
 //! ```sh
-//! cargo run --release -p drm --example reactive_controller
+//! cargo run --release -p scenario --example reactive_controller
 //! ```
 
 use drm::{ControllerParams, ReactiveDrm};
@@ -48,8 +48,7 @@ fn main() -> Result<(), sim_common::SimError> {
         // A sparkline of the frequency trajectory.
         print!("freq trace: ");
         for chunk in trace.epochs.chunks(trace.epochs.len().div_ceil(30).max(1)) {
-            let mean: f64 =
-                chunk.iter().map(|e| e.ghz).sum::<f64>() / chunk.len() as f64;
+            let mean: f64 = chunk.iter().map(|e| e.ghz).sum::<f64>() / chunk.len() as f64;
             let glyph = match mean {
                 g if g < 3.0 => '_',
                 g if g < 3.5 => '.',

@@ -2,33 +2,35 @@
 //!
 //! High-end server processors are qualified at worst-case conditions, so
 //! most workloads run with substantial reliability headroom. DRM converts
-//! that headroom into performance: this example qualifies a processor at
-//! the worst-case observed temperature and lets the oracular DRM pick, per
+//! that headroom into performance: this example loads the checked-in
+//! `server-overdesign.scn` scenario file — a processor qualified at the
+//! worst-case observed temperature — and lets the oracular DRM pick, per
 //! application, the most aggressive DVS point that still meets the
 //! 4000-FIT lifetime target.
 //!
 //! ```sh
-//! cargo run --release -p drm --example server_overdesign
+//! cargo run --release -p scenario --example server_overdesign
 //! ```
 
-use drm::{EvalParams, Evaluator, Oracle, Strategy};
-use ramp::{FailureParams, QualificationPoint, ReliabilityModel};
-use sim_common::{Floorplan, Kelvin};
+use drm::{EvalParams, Strategy};
+use scenario::Scenario;
 use workload::App;
 
 fn main() -> Result<(), sim_common::SimError> {
-    let oracle = Oracle::new(Evaluator::ibm_65nm(EvalParams::quick())?);
+    // The scenario file is the experiment: same format, same loader as
+    // `ramp --scenario`.
+    let scn = Scenario::load(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/scenarios/server-overdesign.scn"
+    ))?;
+    let oracle = scn.oracle_with(EvalParams::quick(), 0)?;
 
-    // Worst-case qualification: the hottest temperature any application
-    // reaches on this chip, and the suite-maximum activity factor.
+    // Worst-case qualification: the scenario's T_qual is the hottest
+    // temperature any application reaches on this chip; the activity is
+    // the measured suite maximum.
     let alpha_qual = oracle.suite_max_activity(&App::ALL)?;
-    let t_worst = Kelvin(405.0);
-    let model = ReliabilityModel::qualify(
-        FailureParams::ramp_65nm(),
-        &QualificationPoint::at_temperature(t_worst, alpha_qual),
-        &Floorplan::r10000_65nm().area_shares(),
-        4000.0,
-    )?;
+    let t_worst = scn.qualification.t_qual;
+    let model = scn.model_at(t_worst, alpha_qual)?;
 
     println!("Over-designed server: T_qual = {t_worst:.0}, alpha_qual = {alpha_qual:.3}");
     println!("DRM (DVS) exploits the reliability margin of each workload:");
@@ -37,12 +39,14 @@ fn main() -> Result<(), sim_common::SimError> {
         "{:10} {:>10} {:>12} {:>10} {:>12}",
         "App", "base FIT", "DRM choice", "perf", "FIT after"
     );
+    let candidates = scn.candidates(Strategy::Dvs, None)?;
+    let base = (scn.base_arch(), scn.base_dvs());
     for app in App::ALL {
         let base_fit = {
-            let base = oracle.base_evaluation(app)?.clone();
-            base.application_fit(&model).total()
+            let ev = oracle.evaluation(app, base.0, base.1)?.clone();
+            ev.application_fit(&model).total()
         };
-        let choice = oracle.best(app, Strategy::Dvs, &model, 0.25)?;
+        let choice = oracle.best_among(app, &candidates, base, &model)?;
         println!(
             "{:10} {:>10.0} {:>9.2} GHz {:>9.2}x {:>12.0}",
             app.name(),

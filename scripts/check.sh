@@ -5,6 +5,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== formatting (rustfmt) =="
+cargo fmt --check
+
 echo "== build (release, offline) =="
 cargo build --release --offline
 
@@ -16,6 +19,9 @@ trace="$(mktemp -t ramp-check-XXXXXX.jsonl)"
 trap 'rm -f "$trace"' EXIT
 ./target/release/ramp fit --app gzip --tqual 394 --quick --trace "$trace" >/dev/null
 ./target/release/ramp report "$trace" --top 3
+
+echo "== scenario smoke: validate every checked-in scenario file =="
+./target/release/ramp scenario validate examples/scenarios/*.scn
 
 echo "== clippy (warnings are errors) =="
 cargo clippy --offline --all-targets -- -D warnings

@@ -88,7 +88,9 @@ fn budget_policy_changes_drm_outcomes() {
     )
     .unwrap();
     let a = oracle.best(App::MpgDec, Strategy::Dvs, &area, 0.5).unwrap();
-    let u = oracle.best(App::MpgDec, Strategy::Dvs, &uniform, 0.5).unwrap();
+    let u = oracle
+        .best(App::MpgDec, Strategy::Dvs, &uniform, 0.5)
+        .unwrap();
     assert!(
         (a.relative_performance - u.relative_performance).abs() > 1e-6
             || a.dvs != u.dvs
@@ -101,7 +103,11 @@ fn budget_policy_changes_drm_outcomes() {
 fn combined_controller_and_sensors_compose() {
     let params = ControllerParams {
         epoch_instructions: 10_000,
-        total_instructions: if cfg!(debug_assertions) { 100_000 } else { 300_000 },
+        total_instructions: if cfg!(debug_assertions) {
+            100_000
+        } else {
+            300_000
+        },
         thermal_limit: Some(Kelvin(390.0)),
         sensors: Some(SensorParams::thermal_diode()),
         ..ControllerParams::quick()

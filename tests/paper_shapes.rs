@@ -156,9 +156,7 @@ fn fig3_dvs_beats_arch_under_pressure_and_arch_never_exceeds_base() {
         let m = model(t);
         let arch = oracle.best(App::Bzip2, Strategy::Arch, &m, 0.5).unwrap();
         assert!(arch.relative_performance <= 1.0 + 1e-9);
-        let archdvs = oracle
-            .best(App::Bzip2, Strategy::ArchDvs, &m, 0.5)
-            .unwrap();
+        let archdvs = oracle.best(App::Bzip2, Strategy::ArchDvs, &m, 0.5).unwrap();
         assert!(
             archdvs.relative_performance >= arch.relative_performance - 1e-9,
             "ArchDVS lost to Arch at T_qual {t}"
@@ -190,8 +188,7 @@ fn fig4_neither_policy_subsumes_the_other() {
         "DRM at 350 K must exceed the thermal limit: peak {:?}",
         low.drm_peak_temperature
     );
-    let high = compare_drm_dtm(&oracle, App::Twolf, Kelvin(T_WORST), &model(T_WORST), 0.5)
-        .unwrap();
+    let high = compare_drm_dtm(&oracle, App::Twolf, Kelvin(T_WORST), &model(T_WORST), 0.5).unwrap();
     assert!(
         high.dtm_violates_reliability,
         "DTM at {T_WORST} K must exceed the FIT target: {:?}",

@@ -34,7 +34,10 @@ fn evaluations_are_worker_count_invariant() {
     let s4 = par.prefetch(&jobs).expect("parallel sweep");
     assert_eq!(s1.workers, 1);
     assert_eq!(s4.workers, 4);
-    assert_eq!(s1.evaluations, s4.evaluations, "same deduplicated job count");
+    assert_eq!(
+        s1.evaluations, s4.evaluations,
+        "same deduplicated job count"
+    );
     for &(app, arch, dvs) in &jobs {
         let a = seq.evaluation(app, arch, dvs).expect("cached");
         let b = par.evaluation(app, arch, dvs).expect("cached");

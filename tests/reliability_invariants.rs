@@ -7,9 +7,7 @@ use ramp::{
     FailureParams, Fit, FitTracker, Mechanism, QualificationPoint, ReliabilityModel,
     StructureConditions,
 };
-use sim_common::{
-    Floorplan, Hertz, Kelvin, Seconds, Structure, StructureMap, Volts, Xoshiro256pp,
-};
+use sim_common::{Floorplan, Hertz, Kelvin, Seconds, Structure, StructureMap, Volts, Xoshiro256pp};
 
 const CASES: usize = 64;
 
@@ -63,7 +61,10 @@ fn fit_monotone_in_temperature() {
         for mech in Mechanism::ALL {
             let lo = m.mechanism_fit(Structure::Fpu, mech, &conditions(t, 1.0, 4.0, alpha));
             let hi = m.mechanism_fit(Structure::Fpu, mech, &conditions(t + dt, 1.0, 4.0, alpha));
-            assert!(hi.value() >= lo.value(), "{mech} decreased: {lo} -> {hi} at T={t}");
+            assert!(
+                hi.value() >= lo.value(),
+                "{mech} decreased: {lo} -> {hi} at T={t}"
+            );
         }
     }
 }
@@ -85,7 +86,10 @@ fn fit_monotone_in_voltage() {
                     assert!(hi.value() >= lo.value(), "{mech} fell with voltage")
                 }
                 Mechanism::StressMigration | Mechanism::ThermalCycling => {
-                    assert!((hi.value() - lo.value()).abs() < 1e-9, "{mech} moved with voltage")
+                    assert!(
+                        (hi.value() - lo.value()).abs() < 1e-9,
+                        "{mech} moved with voltage"
+                    )
                 }
             }
         }
@@ -131,7 +135,11 @@ fn tracked_fit_is_a_weighted_mean() {
         tracker.record(&m, Seconds(w1), &c1);
         tracker.record(&m, Seconds(w2), &c2);
         let app = tracker.finish(&m);
-        for mech in [Mechanism::Electromigration, Mechanism::StressMigration, Mechanism::Tddb] {
+        for mech in [
+            Mechanism::Electromigration,
+            Mechanism::StressMigration,
+            Mechanism::Tddb,
+        ] {
             let f1: f64 = Structure::ALL
                 .into_iter()
                 .map(|s| m.mechanism_fit(s, mech, &c1[s]).value())
@@ -167,8 +175,12 @@ fn powered_fraction_scaling() {
             let p = m.mechanism_fit(Structure::IntAlu, mech, &part).value();
             assert!((p - frac * f).abs() < 1e-9 * f.max(1.0), "{mech}");
         }
-        let f = m.mechanism_fit(Structure::IntAlu, Mechanism::StressMigration, &full).value();
-        let p = m.mechanism_fit(Structure::IntAlu, Mechanism::StressMigration, &part).value();
+        let f = m
+            .mechanism_fit(Structure::IntAlu, Mechanism::StressMigration, &full)
+            .value();
+        let p = m
+            .mechanism_fit(Structure::IntAlu, Mechanism::StressMigration, &part)
+            .value();
         assert!((p - f).abs() < 1e-12 * f.max(1.0));
     }
 }

@@ -1,7 +1,9 @@
 //! Cross-crate integration tests: the full workload → timing → power →
 //! thermal → RAMP → DRM stack.
 
-use drm::{ArchPoint, ControllerParams, DvsPoint, EvalParams, Evaluator, Oracle, ReactiveDrm, Strategy};
+use drm::{
+    ArchPoint, ControllerParams, DvsPoint, EvalParams, Evaluator, Oracle, ReactiveDrm, Strategy,
+};
 use ramp::{FailureParams, Mechanism, QualificationPoint, ReliabilityModel};
 use sim_common::{Floorplan, Kelvin, Structure};
 use sim_cpu::CoreConfig;
@@ -37,7 +39,9 @@ fn model_at(t_qual: f64, alpha: f64) -> ReliabilityModel {
 #[test]
 fn full_stack_evaluation_end_to_end() {
     let evaluator = Evaluator::ibm_65nm(params()).unwrap();
-    let ev = evaluator.evaluate(App::Equake, &CoreConfig::base()).unwrap();
+    let ev = evaluator
+        .evaluate(App::Equake, &CoreConfig::base())
+        .unwrap();
     // Timing plausibility.
     assert!(ev.ipc > 0.3 && ev.ipc < 8.0);
     // Power plausibility (Table 2 band widened for short runs).
@@ -78,7 +82,9 @@ fn adaptation_plumbing_reaches_reliability() {
     .unwrap();
     let gated = evaluator.evaluate(App::Gzip, &gated_cfg).unwrap();
     let fpu_base = base.application_fit(&model).structure_total(Structure::Fpu);
-    let fpu_gated = gated.application_fit(&model).structure_total(Structure::Fpu);
+    let fpu_gated = gated
+        .application_fit(&model)
+        .structure_total(Structure::Fpu);
     assert!(
         fpu_gated < fpu_base,
         "gated {fpu_gated:?} !< base {fpu_base:?}"
@@ -110,7 +116,8 @@ fn runtime_dvs_switch_matches_static_configuration() {
     // off-chip latencies as one constructed at 3 GHz.
     use sim_cpu::Processor;
     use workload::SyntheticStream;
-    let slow = CoreConfig::base().with_dvs(sim_common::Hertz::from_ghz(3.0), sim_common::Volts(0.9));
+    let slow =
+        CoreConfig::base().with_dvs(sim_common::Hertz::from_ghz(3.0), sim_common::Volts(0.9));
     let mut switched = Processor::new(
         CoreConfig::base(),
         SyntheticStream::new(App::Gzip.profile(), 9),
