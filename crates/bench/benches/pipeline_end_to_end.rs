@@ -1,16 +1,16 @@
 //! Benchmarks of the full evaluation pipeline (workload → timing →
-//! power → thermal → RAMP), the oracular DRM search, and the parallel
-//! batch engine, at reduced simulation lengths. Uses the in-tree
-//! [`bench_suite::microbench`] harness (std-only, hermetic).
+//! power → thermal → RAMP), the oracular DRM search, the parallel batch
+//! engine, and the voltage-invariant timing reuse path, at reduced
+//! simulation lengths. Uses the in-tree [`bench_suite::microbench`]
+//! harness (std-only, hermetic) and writes a machine-readable
+//! `BENCH_pipeline.json` (see [`bench_suite::BenchReport`]) that
+//! `scripts/check.sh` validates — the perf-regression harness.
 
-use std::time::Duration;
-
-use bench_suite::{microbench, qualified_model};
+use bench_suite::{bench_min_time, bench_report_path, microbench, qualified_model, BenchReport};
 use drm::{ArchPoint, DvsPoint, EvalParams, Evaluator, Oracle, Strategy};
+use sim_common::{Hertz, Volts};
 use sim_cpu::CoreConfig;
 use workload::App;
-
-const MIN_TIME: Duration = Duration::from_millis(300);
 
 fn tiny_params() -> EvalParams {
     EvalParams {
@@ -23,27 +23,38 @@ fn tiny_params() -> EvalParams {
     }
 }
 
-fn bench_full_evaluation() {
+fn bench_full_evaluation(report: &mut BenchReport) {
     let evaluator = Evaluator::ibm_65nm(tiny_params()).expect("params");
-    microbench("evaluator/full_stack_20k_insts", MIN_TIME, || {
+    let per = microbench("evaluator/full_stack_20k_insts", bench_min_time(), || {
         evaluator
             .evaluate(App::Gzip, &CoreConfig::base())
             .expect("evaluation")
     });
+    report.f64("bench.full_stack_s", per);
+
+    // Per-stage wall times of one representative evaluation, straight
+    // from its `EvalStats` stage clock.
+    let ev = evaluator
+        .evaluate(App::Gzip, &CoreConfig::base())
+        .expect("evaluation");
+    for (stage, wall) in ev.stats.stages.iter() {
+        report.f64(&format!("stage.{stage}_s"), wall.as_secs_f64());
+    }
 }
 
-fn bench_fit_scoring() {
+fn bench_fit_scoring(report: &mut BenchReport) {
     let evaluator = Evaluator::ibm_65nm(tiny_params()).expect("params");
     let ev = evaluator
         .evaluate(App::Gzip, &CoreConfig::base())
         .expect("evaluation");
     let model = qualified_model(370.0, 0.4).expect("model");
-    microbench("evaluator/fit_scoring", MIN_TIME, || {
+    let per = microbench("evaluator/fit_scoring", bench_min_time(), || {
         ev.application_fit(std::hint::black_box(&model)).total()
     });
+    report.f64("bench.fit_scoring_s", per);
 }
 
-fn bench_oracle_search() {
+fn bench_oracle_search(report: &mut BenchReport) {
     let model = qualified_model(394.0, 0.4).expect("model");
     // One oracle reused: after the first iteration every evaluation is
     // cached, so this measures the pure search/scoring cost.
@@ -51,14 +62,15 @@ fn bench_oracle_search() {
     oracle
         .best(App::Twolf, Strategy::Dvs, &model, 0.5)
         .expect("warm the cache");
-    microbench("oracle/dvs_search_cached", MIN_TIME, || {
+    let per = microbench("oracle/dvs_search_cached", bench_min_time(), || {
         oracle
             .best(App::Twolf, Strategy::Dvs, &model, 0.5)
             .expect("search")
     });
+    report.f64("bench.dvs_search_cached_s", per);
 }
 
-fn bench_batch_engine() {
+fn bench_batch_engine(report: &mut BenchReport) {
     // Cold-cache sweep of the DVS grid for one app, sequential vs all
     // cores: the wall-clock ratio is the realized parallel speedup.
     let jobs: Vec<_> = (0..8)
@@ -71,43 +83,128 @@ fn bench_batch_engine() {
             )
         })
         .collect();
-    for (label, workers) in [
-        ("oracle/dvs_sweep_1_worker", 1),
-        ("oracle/dvs_sweep_all_cores", 0),
+    for (label, key, workers) in [
+        ("oracle/dvs_sweep_1_worker", "bench.dvs_sweep_1_worker_s", 1),
+        (
+            "oracle/dvs_sweep_all_cores",
+            "bench.dvs_sweep_all_cores_s",
+            0,
+        ),
     ] {
-        microbench(label, MIN_TIME, || {
+        let per = microbench(label, bench_min_time(), || {
             let oracle =
                 Oracle::with_workers(Evaluator::ibm_65nm(tiny_params()).expect("params"), workers);
             oracle.prefetch(&jobs).expect("sweep");
             oracle.evaluations_performed()
         });
+        report.f64(key, per);
     }
 }
 
-fn bench_observability_overhead() {
+/// The tentpole measurement: a DVS voltage grid (2 frequencies × 4
+/// voltages) evaluated naively — the scalar `Evaluator` path, which
+/// re-runs cycle-level timing for every point — versus through the batch
+/// engine's timing cache, which runs timing once per frequency. Both run
+/// single-worker so the ratio isolates the algorithmic reuse win from
+/// thread-level parallelism.
+fn bench_voltage_grid(report: &mut BenchReport) {
+    let arch = ArchPoint::most_aggressive();
+    let freqs = [3.0, 4.0];
+    let vdds = [0.85, 0.95, 1.05, 1.15];
+    let jobs: Vec<_> = freqs
+        .iter()
+        .flat_map(|&ghz| {
+            vdds.iter().map(move |&vdd| {
+                (
+                    App::Gzip,
+                    arch,
+                    DvsPoint {
+                        frequency: Hertz::from_ghz(ghz),
+                        vdd: Volts(vdd),
+                    },
+                )
+            })
+        })
+        .collect();
+    let configs: Vec<_> = jobs
+        .iter()
+        .map(|&(_, arch, dvs)| arch.apply(&CoreConfig::base(), dvs).expect("config"))
+        .collect();
+
+    let evaluator = Evaluator::ibm_65nm(tiny_params()).expect("params");
+    let naive = microbench("sweep/voltage_grid_naive", bench_min_time(), || {
+        for config in &configs {
+            std::hint::black_box(evaluator.evaluate(App::Gzip, config).expect("evaluation"));
+        }
+    });
+    let reused = microbench("sweep/voltage_grid_reused", bench_min_time(), || {
+        let oracle = Oracle::with_workers(Evaluator::ibm_65nm(tiny_params()).expect("params"), 1);
+        oracle.prefetch(&jobs).expect("sweep");
+    });
+
+    // One instrumented run for the cache-counter sanity numbers.
+    let oracle = Oracle::with_workers(Evaluator::ibm_65nm(tiny_params()).expect("params"), 1);
+    let summary = oracle.prefetch(&jobs).expect("sweep");
+    let timing = oracle.engine().timing_cache();
+    assert_eq!(
+        summary.timing_runs,
+        freqs.len() as u64,
+        "one timing run per frequency"
+    );
+    let speedup = if reused > 0.0 { naive / reused } else { 0.0 };
+    println!("sweep/voltage_grid_speedup                 {speedup:>10.2} x (naive/reused)");
+
+    report.f64("sweep.jobs", jobs.len() as f64);
+    report.f64("sweep.naive_s", naive);
+    report.f64("sweep.reused_s", reused);
+    report.f64("sweep.reuse_speedup", speedup);
+    report.f64(
+        "sweep.evals_per_s",
+        if reused > 0.0 {
+            jobs.len() as f64 / reused
+        } else {
+            0.0
+        },
+    );
+    report.u64("sweep.timing_runs", summary.timing_runs);
+    report.u64("sweep.timing_reuses", summary.timing_reuses);
+    report.f64(
+        "sweep.timing_hit_rate",
+        timing.hits() as f64 / (timing.hits() + timing.misses()) as f64,
+    );
+}
+
+fn bench_observability_overhead(report: &mut BenchReport) {
     // The disabled path (one relaxed atomic load per instrumentation
     // site) must stay within noise of the plain evaluation above; the
     // NullSink row bounds the cost of recording with dispatch enabled.
     let evaluator = Evaluator::ibm_65nm(tiny_params()).expect("params");
-    microbench("obs/disabled_full_stack", MIN_TIME, || {
+    let per = microbench("obs/disabled_full_stack", bench_min_time(), || {
         evaluator
             .evaluate(App::Gzip, &CoreConfig::base())
             .expect("evaluation")
     });
+    report.f64("bench.obs_disabled_s", per);
     sim_obs::install_sink(std::sync::Arc::new(sim_obs::NullSink::new()));
     sim_obs::set_enabled(true);
-    microbench("obs/null_sink_full_stack", MIN_TIME, || {
+    let per = microbench("obs/null_sink_full_stack", bench_min_time(), || {
         evaluator
             .evaluate(App::Gzip, &CoreConfig::base())
             .expect("evaluation")
     });
+    report.f64("bench.obs_null_sink_s", per);
     sim_obs::set_enabled(false);
 }
 
 fn main() {
-    bench_full_evaluation();
-    bench_fit_scoring();
-    bench_oracle_search();
-    bench_batch_engine();
-    bench_observability_overhead();
+    let mut report = BenchReport::new();
+    bench_full_evaluation(&mut report);
+    bench_fit_scoring(&mut report);
+    bench_oracle_search(&mut report);
+    bench_batch_engine(&mut report);
+    bench_voltage_grid(&mut report);
+    bench_observability_overhead(&mut report);
+    let path = bench_report_path();
+    report.write(&path).expect("write bench report");
+    println!("wrote {}", path.display());
 }

@@ -35,9 +35,11 @@
 //! | 345 K | the "average application" point | 366 K |
 //! | 325 K | drastic underdesign | 340 K |
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, Once};
 use std::time::{Duration, Instant};
+
+use sim_obs::json::{parse_object, JsonObject};
 
 use drm::{EvalParams, Oracle};
 use ramp::ReliabilityModel;
@@ -150,11 +152,15 @@ pub fn print_sweep_summary(oracle: &Oracle) {
             counter("drm.batch.busy_ns"),
         ) {
             // `drm.batch.evaluations` counts only cold jobs fanned out
-            // (the batch engine dedups warm keys into `warm_hits`).
+            // (the batch engine dedups warm keys into `warm_hits`), and
+            // `drm.batch.timing_runs` how many of those actually paid for
+            // a cycle-level timing simulation (the rest reused one).
+            let runs = counter("drm.batch.timing_runs").unwrap_or(evals);
             let wall_s = wall_ns as f64 / 1e9;
             println!(
-                "sweep: {} jobs | {evals} evals, {hits} cache hits | {:.1} evals/s | wall {:.2} s | speedup {:.2}x",
+                "sweep: {} jobs | {evals} evals, {hits} cache hits | timing {runs} runs, {} reused | {:.1} evals/s | wall {:.2} s | speedup {:.2}x",
                 oracle.workers(),
+                evals.saturating_sub(runs),
                 if wall_s > 0.0 { evals as f64 / wall_s } else { 0.0 },
                 wall_s,
                 if wall_ns > 0 { busy_ns as f64 / wall_ns as f64 } else { 1.0 },
@@ -252,8 +258,9 @@ where
 /// an external benchmarking crate, keeping the build hermetic).
 ///
 /// Runs `f` until at least `min_time` has elapsed (after one warmup
-/// call) and prints mean time per iteration.
-pub fn microbench<R>(name: &str, min_time: Duration, mut f: impl FnMut() -> R) {
+/// call), prints mean time per iteration, and returns it in seconds so
+/// drivers can fold the result into a [`BenchReport`].
+pub fn microbench<R>(name: &str, min_time: Duration, mut f: impl FnMut() -> R) -> f64 {
     let _ = std::hint::black_box(f());
     let start = Instant::now();
     let mut iters = 0u64;
@@ -272,6 +279,89 @@ pub fn microbench<R>(name: &str, min_time: Duration, mut f: impl FnMut() -> R) {
         (per * 1e9, "ns")
     };
     println!("{name:<40} {value:>10.2} {unit}/iter  ({iters} iters)");
+    per
+}
+
+/// Minimum sampling time per micro-benchmark: 300 ms normally, 40 ms
+/// under `RAMP_FAST` so CI can smoke-test the whole driver quickly.
+#[must_use]
+pub fn bench_min_time() -> Duration {
+    if std::env::var_os("RAMP_FAST").is_some() {
+        Duration::from_millis(40)
+    } else {
+        Duration::from_millis(300)
+    }
+}
+
+/// Version marker every `BENCH_pipeline.json` carries; CI greps for it.
+pub const BENCH_SCHEMA: &str = "ramp-bench-pipeline/1";
+
+/// Where the pipeline bench driver writes its machine-readable results:
+/// `RAMP_BENCH_OUT` when set, otherwise `BENCH_pipeline.json` at the
+/// repository root.
+#[must_use]
+pub fn bench_report_path() -> PathBuf {
+    match std::env::var_os("RAMP_BENCH_OUT") {
+        Some(p) if !p.is_empty() => PathBuf::from(p),
+        _ => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json"),
+    }
+}
+
+/// A machine-readable micro-benchmark report: one flat JSON object
+/// (dotted keys, no nesting) reusing the trace format's in-tree JSON
+/// builder, so the perf-regression harness stays dependency-free.
+///
+/// The object always carries `schema = "ramp-bench-pipeline/1"`; the
+/// writer re-parses its own output before touching the filesystem, so a
+/// malformed report fails the producing run, not the consuming one.
+#[derive(Debug)]
+pub struct BenchReport {
+    obj: JsonObject,
+}
+
+impl BenchReport {
+    /// Starts a report carrying the schema marker.
+    #[must_use]
+    pub fn new() -> BenchReport {
+        let mut obj = JsonObject::new();
+        obj.str("schema", BENCH_SCHEMA);
+        BenchReport { obj }
+    }
+
+    /// Records a float metric (seconds, rates, ratios).
+    pub fn f64(&mut self, key: &str, value: f64) {
+        self.obj.f64(key, value);
+    }
+
+    /// Records an integer metric (counts).
+    pub fn u64(&mut self, key: &str, value: u64) {
+        self.obj.u64(key, value);
+    }
+
+    /// Serializes, self-validates (the line must parse back as a flat
+    /// object with the right schema marker), and writes to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the serialized report does not round-trip through
+    /// [`parse_object`] or the file cannot be written.
+    pub fn write(self, path: &Path) -> std::io::Result<()> {
+        let line = self.obj.finish();
+        let ok = parse_object(&line).is_some_and(|p| p.get_str("schema") == Some(BENCH_SCHEMA));
+        if !ok {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "bench report failed self-validation",
+            ));
+        }
+        std::fs::write(path, line + "\n")
+    }
+}
+
+impl Default for BenchReport {
+    fn default() -> Self {
+        BenchReport::new()
+    }
 }
 
 #[cfg(test)]
@@ -298,6 +388,31 @@ mod tests {
     fn qualified_model_round_trips_target() {
         let m = qualified_model(T_AVERAGE_APP, 0.4).unwrap();
         assert_eq!(m.target_fit().value(), FIT_TARGET_STANDARD);
+    }
+
+    #[test]
+    fn bench_report_round_trips_and_validates() {
+        let mut r = BenchReport::new();
+        r.f64("sweep.naive_s", 0.25);
+        r.u64("sweep.timing_runs", 2);
+        let dir = std::env::temp_dir().join(format!("ramp-bench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_pipeline.json");
+        r.write(&path).unwrap();
+        let line = std::fs::read_to_string(&path).unwrap();
+        let parsed = parse_object(line.trim()).expect("valid flat JSON");
+        assert_eq!(parsed.get_str("schema"), Some(BENCH_SCHEMA));
+        assert_eq!(parsed.get_f64("sweep.naive_s"), Some(0.25));
+        assert_eq!(parsed.get_u64("sweep.timing_runs"), Some(2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_report_path_defaults_to_repo_root() {
+        if std::env::var_os("RAMP_BENCH_OUT").is_none() {
+            let p = bench_report_path();
+            assert!(p.ends_with("BENCH_pipeline.json"), "{}", p.display());
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use sim_common::{Hertz, SimError, Structure, Volts};
 
 /// Geometry of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -67,7 +67,7 @@ impl CacheConfig {
 
 /// Branch predictor configuration: bimodal agree predictor plus a return
 /// address stack (Table 1: "2KB bimodal agree, 32 entry RAS").
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BpredConfig {
     /// Number of 2-bit counters (2 KB ⇒ 8192 counters).
     pub counters: u32,
@@ -332,6 +332,76 @@ impl Default for CoreConfig {
     }
 }
 
+/// Everything about a [`CoreConfig`] that cycle-level timing can observe.
+///
+/// The processor model uses `vdd` only for validation — voltage feeds
+/// power and reliability, never cycle counts — so two configurations with
+/// equal timing keys produce bit-identical [`IntervalStats`] for the same
+/// instruction stream. That makes this the cache key for timing reuse
+/// across a DVS voltage grid: N voltages at one frequency share one key.
+///
+/// Float fields (frequency, off-chip nanosecond latencies) are keyed by
+/// their IEEE-754 bit patterns, so equality here is exactly "the timing
+/// model sees the same numbers", with no rounding-induced aliasing.
+///
+/// [`IntervalStats`]: crate::IntervalStats
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimingKey {
+    frequency_bits: u64,
+    fetch_width: u32,
+    retire_width: u32,
+    frontend_latency: u32,
+    mispredict_redirect: u32,
+    window_size: u32,
+    int_regs: u32,
+    fp_regs: u32,
+    mem_queue: u32,
+    int_alus: u32,
+    fpus: u32,
+    addr_gens: u32,
+    bpred: BpredConfig,
+    l1d: CacheConfig,
+    l1i: CacheConfig,
+    l2: CacheConfig,
+    l1d_ports: u32,
+    l1_hit_cycles: u32,
+    l2_hit_ns_bits: u64,
+    mem_ns_bits: u64,
+    mshrs: u32,
+    prefetch_next_line: bool,
+}
+
+impl CoreConfig {
+    /// The timing-relevant projection of this configuration: every field
+    /// except `vdd`. See [`TimingKey`].
+    pub fn timing_key(&self) -> TimingKey {
+        TimingKey {
+            frequency_bits: self.frequency.0.to_bits(),
+            fetch_width: self.fetch_width,
+            retire_width: self.retire_width,
+            frontend_latency: self.frontend_latency,
+            mispredict_redirect: self.mispredict_redirect,
+            window_size: self.window_size,
+            int_regs: self.int_regs,
+            fp_regs: self.fp_regs,
+            mem_queue: self.mem_queue,
+            int_alus: self.int_alus,
+            fpus: self.fpus,
+            addr_gens: self.addr_gens,
+            bpred: self.bpred,
+            l1d: self.l1d,
+            l1i: self.l1i,
+            l2: self.l2,
+            l1d_ports: self.l1d_ports,
+            l1_hit_cycles: self.l1_hit_cycles,
+            l2_hit_ns_bits: self.l2_hit_ns.to_bits(),
+            mem_ns_bits: self.mem_ns.to_bits(),
+            mshrs: self.mshrs,
+            prefetch_next_line: self.prefetch_next_line,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -471,5 +541,24 @@ mod tests {
         let mut c = CoreConfig::base();
         c.int_regs = 32;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn timing_key_ignores_vdd_only() {
+        let base = CoreConfig::base();
+        // Voltage changes at fixed frequency share a key...
+        let dvs = base.with_dvs(base.frequency, Volts(0.85));
+        assert_eq!(base.timing_key(), dvs.timing_key());
+        // ...while every timing-visible knob produces a distinct key.
+        let freq = base.with_dvs(Hertz::from_ghz(3.5), base.vdd);
+        assert_ne!(base.timing_key(), freq.timing_key());
+        let arch = base.with_adaptation(64, 4, 2).unwrap();
+        assert_ne!(base.timing_key(), arch.timing_key());
+        let mut mem = base.clone();
+        mem.mem_ns = 30.0;
+        assert_ne!(base.timing_key(), mem.timing_key());
+        let mut pf = base.clone();
+        pf.prefetch_next_line = true;
+        assert_ne!(base.timing_key(), pf.timing_key());
     }
 }

@@ -41,7 +41,9 @@ pub mod stats;
 
 pub use bpred::{Bpred, BpredStats};
 pub use cache::{Cache, CacheStats, DataAccess, Lookup, MemHierarchy, MemLatencies};
-pub use config::{BpredConfig, CacheConfig, CoreConfig, MAX_FPUS, MAX_INT_ALUS, MAX_WINDOW};
+pub use config::{
+    BpredConfig, CacheConfig, CoreConfig, TimingKey, MAX_FPUS, MAX_INT_ALUS, MAX_WINDOW,
+};
 pub use pipeline::Processor;
 pub use regfile::{PhysReg, RegFileStats, Rename};
 pub use stats::{ActivityCounters, IntervalStats, RunStats};

@@ -27,11 +27,11 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use sim_common::SimError;
-use sim_cpu::CoreConfig;
+use sim_cpu::{CoreConfig, TimingKey};
 use workload::App;
 
 use crate::dvs::DvsPoint;
-use crate::evaluator::{Evaluation, Evaluator};
+use crate::evaluator::{Evaluation, Evaluator, TimingRun};
 use crate::space::ArchPoint;
 
 /// Number of independently locked cache shards. Shard contention is the
@@ -74,6 +74,114 @@ impl EvalKey {
         let mut h = DefaultHasher::new();
         self.hash(&mut h);
         (h.finish() as usize) % SHARDS
+    }
+}
+
+/// Cache key for one cycle-level timing run: the workload plus the
+/// timing-relevant projection of the configuration.
+///
+/// Timing depends on a [`CoreConfig`] only through its
+/// [`timing_key`](CoreConfig::timing_key) — never the supply voltage —
+/// so every voltage of a DVS grid at one frequency maps to the same
+/// `TimingCacheKey` and shares one cached [`TimingRun`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimingCacheKey {
+    /// The workload.
+    pub app: App,
+    /// The timing-relevant configuration fields (everything except vdd).
+    pub key: TimingKey,
+}
+
+impl TimingCacheKey {
+    /// Builds the key for `app` on `config`.
+    #[must_use]
+    pub fn new(app: App, config: &CoreConfig) -> TimingCacheKey {
+        TimingCacheKey {
+            app,
+            key: config.timing_key(),
+        }
+    }
+
+    fn shard(&self) -> usize {
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        (h.finish() as usize) % SHARDS
+    }
+}
+
+/// A sharded, thread-safe cache of cycle-level timing runs, shared by
+/// every worker alongside the [`EvalCache`].
+///
+/// The timing stage dominates evaluation cost (cycle simulation vs. a
+/// handful of prefactored thermal solves), so serving it from here turns
+/// an N-voltage DVS grid into one timing run plus N cheap power/thermal
+/// passes.
+#[derive(Debug, Default)]
+pub struct TimingCache {
+    shards: [Mutex<HashMap<TimingCacheKey, Arc<TimingRun>>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TimingCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> TimingCache {
+        TimingCache::default()
+    }
+
+    /// Looks up `key`, counting a hit or a miss.
+    pub fn get(&self, key: &TimingCacheKey) -> Option<Arc<TimingRun>> {
+        let found = self.shards[key.shard()]
+            .lock()
+            .expect("timing cache shard lock poisoned")
+            .get(key)
+            .cloned();
+        match found {
+            Some(_) => {
+                sim_obs::counter!("drm.timing_cache.hit", 1);
+                self.hits.fetch_add(1, Ordering::Relaxed)
+            }
+            None => {
+                sim_obs::counter!("drm.timing_cache.miss", 1);
+                self.misses.fetch_add(1, Ordering::Relaxed)
+            }
+        };
+        found
+    }
+
+    /// Inserts a timing run, returning the cached [`Arc`]. First insert
+    /// wins on a race (timing is deterministic, so both are equal).
+    pub fn insert(&self, key: TimingCacheKey, run: TimingRun) -> Arc<TimingRun> {
+        self.shards[key.shard()]
+            .lock()
+            .expect("timing cache shard lock poisoned")
+            .entry(key)
+            .or_insert_with(|| Arc::new(run))
+            .clone()
+    }
+
+    /// Number of cached timing runs.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("timing cache shard lock poisoned").len())
+            .sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache — timing runs *not* re-simulated.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that required a fresh cycle simulation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
     }
 }
 
@@ -198,6 +306,11 @@ pub struct SweepSummary {
     pub evaluations: u64,
     /// Lookups served straight from the cache.
     pub cache_hits: u64,
+    /// Cycle-level timing simulations actually run (timing-cache misses).
+    pub timing_runs: u64,
+    /// Evaluations that reused a cached timing run instead of
+    /// re-simulating (the voltage-invariance dividend).
+    pub timing_reuses: u64,
     /// Wall time spent inside batch passes and cache-miss evaluations.
     pub wall: Duration,
     /// Summed single-evaluation wall time — the sequential-equivalent
@@ -232,10 +345,12 @@ impl fmt::Display for SweepSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "sweep: {} jobs | {} evals, {} cache hits | {:.1} evals/s | wall {:.2} s | speedup {:.2}x",
+            "sweep: {} jobs | {} evals, {} cache hits | timing {} runs, {} reused | {:.1} evals/s | wall {:.2} s | speedup {:.2}x",
             self.workers,
             self.evaluations,
             self.cache_hits,
+            self.timing_runs,
+            self.timing_reuses,
             self.evals_per_second(),
             self.wall.as_secs_f64(),
             self.speedup(),
@@ -260,6 +375,7 @@ pub struct BatchEngine {
     evaluator: Evaluator,
     base_config: CoreConfig,
     cache: Arc<EvalCache>,
+    timing: Arc<TimingCache>,
     workers: usize,
 }
 
@@ -277,6 +393,7 @@ impl BatchEngine {
             evaluator,
             base_config: CoreConfig::base(),
             cache: Arc::new(EvalCache::new()),
+            timing: Arc::new(TimingCache::new()),
             workers: if workers == 0 {
                 default_workers()
             } else {
@@ -309,6 +426,11 @@ impl BatchEngine {
         &self.cache
     }
 
+    /// The shared timing cache.
+    pub fn timing_cache(&self) -> &Arc<TimingCache> {
+        &self.timing
+    }
+
     /// The worker count used for batch passes.
     pub fn workers(&self) -> usize {
         self.workers
@@ -338,10 +460,32 @@ impl BatchEngine {
         if let Some(ev) = self.cache.get(&key) {
             return Ok(ev);
         }
+        let start = Instant::now();
         let config = self.config_for(arch, dvs)?;
-        let ev = self.evaluator.evaluate(app, &config)?;
-        self.cache.add_wall(ev.stats.wall());
+        let ev = self.evaluate_cold(&self.evaluator, app, &config)?;
+        self.cache.add_wall(start.elapsed());
         Ok(self.cache.insert(key, ev))
+    }
+
+    /// A cache-miss evaluation: serve the timing stage from the shared
+    /// timing cache (running and inserting it on a miss), then finish
+    /// the power/thermal passes. Bit-identical to
+    /// [`Evaluator::evaluate`], which re-simulates timing every call.
+    fn evaluate_cold(
+        &self,
+        evaluator: &Evaluator,
+        app: App,
+        config: &CoreConfig,
+    ) -> Result<Evaluation, SimError> {
+        let profile = app.profile();
+        let tkey = TimingCacheKey::new(app, config);
+        let timing = match self.timing.get(&tkey) {
+            Some(t) => t,
+            None => self
+                .timing
+                .insert(tkey, evaluator.timing_run(&profile, config)?),
+        };
+        evaluator.evaluate_with_timing(&profile, config, &timing)
     }
 
     /// Evaluates every job in `jobs` — deduplicated against each other
@@ -380,52 +524,95 @@ impl BatchEngine {
                 work.push((key, app, arch, dvs));
             }
         }
+        let cold = work.len() as u64;
 
-        let workers = self.workers.min(work.len()).max(1);
+        // Group the cold work by timing key: all members of a group
+        // (same app, same timing-relevant configuration — typically a
+        // voltage grid at one frequency) share one cycle-level timing
+        // run. One worker owns a whole group, so the pass performs
+        // exactly one timing run per group, whatever the worker count.
+        let mut group_index: HashMap<TimingCacheKey, usize> = HashMap::new();
+        let mut groups: Vec<Vec<(EvalKey, App, CoreConfig)>> = Vec::new();
+        for (key, app, arch, dvs) in work {
+            let config = self.config_for(arch, dvs)?;
+            let tkey = TimingCacheKey::new(app, &config);
+            let idx = *group_index.entry(tkey).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[idx].push((key, app, config));
+        }
+
+        let workers = self.workers.min(groups.len()).max(1);
         let next = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
         let first_error: Mutex<Option<SimError>> = Mutex::new(None);
         let busy_ns = AtomicU64::new(0);
+        let timing_runs = AtomicU64::new(0);
 
-        if !work.is_empty() {
+        if !groups.is_empty() {
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     let evaluator = self.evaluator.clone();
-                    let work = &work;
+                    let groups = &groups;
                     let next = &next;
                     let stop = &stop;
                     let first_error = &first_error;
                     let busy_ns = &busy_ns;
+                    let timing_runs = &timing_runs;
                     scope.spawn(move || {
                         let _worker_span = sim_obs::span!("drm.worker");
+                        let fail = |e: SimError| {
+                            stop.store(true, Ordering::Relaxed);
+                            first_error
+                                .lock()
+                                .expect("error slot lock poisoned")
+                                .get_or_insert(e);
+                        };
                         loop {
                             if stop.load(Ordering::Relaxed) {
                                 return;
                             }
                             let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(&(key, app, arch, dvs)) = work.get(i) else {
+                            let Some(group) = groups.get(i) else {
                                 return;
                             };
                             // Work remaining in the shared queue as this
-                            // worker claims a job.
-                            sim_obs::hist!("drm.queue.depth", (work.len() - i) as f64);
-                            let result = self
-                                .config_for(arch, dvs)
-                                .and_then(|config| evaluator.evaluate(app, &config));
-                            match result {
-                                Ok(ev) => {
-                                    busy_ns.fetch_add(
-                                        ev.stats.wall().as_nanos() as u64,
-                                        Ordering::Relaxed,
-                                    );
-                                    self.cache.insert(key, ev);
-                                }
-                                Err(e) => {
-                                    stop.store(true, Ordering::Relaxed);
-                                    first_error
-                                        .lock()
-                                        .expect("error slot lock poisoned")
-                                        .get_or_insert(e);
+                            // worker claims a group.
+                            sim_obs::hist!("drm.queue.depth", (groups.len() - i) as f64);
+                            let profile = group[0].1.profile();
+                            for (key, app, config) in group {
+                                // Every member does its own lookup so the
+                                // timing-cache hit/miss counters read as
+                                // reuses/runs; only this worker touches
+                                // the group's key, so the first member
+                                // misses (and simulates) and the rest hit.
+                                let tkey = TimingCacheKey::new(*app, config);
+                                let timing = match self.timing.get(&tkey) {
+                                    Some(t) => t,
+                                    None => match evaluator.timing_run(&profile, config) {
+                                        Ok(run) => {
+                                            timing_runs.fetch_add(1, Ordering::Relaxed);
+                                            self.timing.insert(tkey, run)
+                                        }
+                                        Err(e) => {
+                                            fail(e);
+                                            return;
+                                        }
+                                    },
+                                };
+                                match evaluator.evaluate_with_timing(&profile, config, &timing) {
+                                    Ok(ev) => {
+                                        busy_ns.fetch_add(
+                                            ev.stats.wall().as_nanos() as u64,
+                                            Ordering::Relaxed,
+                                        );
+                                        self.cache.insert(*key, ev);
+                                    }
+                                    Err(e) => {
+                                        fail(e);
+                                        return;
+                                    }
                                 }
                             }
                         }
@@ -440,25 +627,30 @@ impl BatchEngine {
         let wall = start.elapsed();
         self.cache.add_wall(wall);
         let busy = Duration::from_nanos(busy_ns.load(Ordering::Relaxed));
+        let timing_runs = timing_runs.load(Ordering::Relaxed);
         if sim_obs::enabled() {
             sim_obs::counter!("drm.batch.passes", 1);
-            sim_obs::counter!("drm.batch.evaluations", work.len() as u64);
+            sim_obs::counter!("drm.batch.evaluations", cold);
             sim_obs::counter!("drm.batch.warm_hits", warm_hits);
+            sim_obs::counter!("drm.batch.timing_runs", timing_runs);
             sim_obs::counter!("drm.batch.wall_ns", wall.as_nanos() as u64);
             sim_obs::counter!("drm.batch.busy_ns", busy.as_nanos() as u64);
         }
         sim_obs::log_debug!(
             "drm.batch",
-            "pass done: {} evaluation(s), {} warm hit(s), {} worker(s), {:.1} ms wall",
-            work.len(),
+            "pass done: {} evaluation(s), {} warm hit(s), {} timing run(s), {} worker(s), {:.1} ms wall",
+            cold,
             warm_hits,
+            timing_runs,
             workers,
             wall.as_secs_f64() * 1e3
         );
         Ok(SweepSummary {
             workers,
-            evaluations: work.len() as u64,
+            evaluations: cold,
             cache_hits: warm_hits,
+            timing_runs,
+            timing_reuses: cold - timing_runs,
             wall,
             busy,
         })
@@ -530,13 +722,42 @@ mod tests {
             workers: 4,
             evaluations: 10,
             cache_hits: 3,
+            timing_runs: 2,
+            timing_reuses: 8,
             wall: Duration::from_millis(500),
             busy: Duration::from_millis(1500),
         };
         let line = s.to_string();
         assert!(line.contains("4 jobs"), "{line}");
         assert!(line.contains("10 evals"), "{line}");
+        assert!(line.contains("timing 2 runs, 8 reused"), "{line}");
         assert!(line.contains("3.00x"), "{line}");
+    }
+
+    #[test]
+    fn voltage_grid_runs_timing_once_per_frequency() {
+        use sim_common::{Hertz, Volts};
+        let e = engine(4);
+        let arch = ArchPoint::most_aggressive();
+        let mut jobs = Vec::new();
+        for ghz in [3.0, 4.0] {
+            for vdd in [0.85, 0.95, 1.05, 1.15] {
+                jobs.push((
+                    App::Gzip,
+                    arch,
+                    DvsPoint {
+                        frequency: Hertz::from_ghz(ghz),
+                        vdd: Volts(vdd),
+                    },
+                ));
+            }
+        }
+        let summary = e.evaluate_all(&jobs).unwrap();
+        assert_eq!(summary.evaluations, 8);
+        assert_eq!(summary.timing_runs, 2, "one timing run per frequency");
+        assert_eq!(summary.timing_reuses, 6);
+        assert_eq!(e.timing_cache().len(), 2);
+        assert_eq!(e.timing_cache().misses(), 2);
     }
 
     #[test]

@@ -183,10 +183,21 @@ pub struct IntervalProfile {
     pub ipc: f64,
     /// Total power (dynamic + leakage).
     pub power: Watts,
-    /// Per-structure temperatures.
-    pub temperatures: StructureMap<Kelvin>,
     /// Per-structure operating conditions for the reliability model.
+    /// Temperatures live here too — see
+    /// [`temperatures`](IntervalProfile::temperatures).
     pub conditions: StructureMap<StructureConditions>,
+}
+
+impl IntervalProfile {
+    /// Per-structure temperatures, derived from [`conditions`]
+    /// (`conditions` carries the full operating point, so storing the
+    /// temperatures a second time would only duplicate state).
+    ///
+    /// [`conditions`]: IntervalProfile::conditions
+    pub fn temperatures(&self) -> StructureMap<Kelvin> {
+        StructureMap::from_fn(|s| self.conditions[s].temperature)
+    }
 }
 
 /// The complete profile of one (workload, configuration) pair.
@@ -230,8 +241,8 @@ impl Evaluation {
     pub fn max_temperature(&self) -> Kelvin {
         let mut max = Kelvin(f64::NEG_INFINITY);
         for iv in &self.intervals {
-            for (_, &t) in iv.temperatures.iter() {
-                max = max.max(t);
+            for (_, c) in iv.conditions.iter() {
+                max = max.max(c.temperature);
             }
         }
         max
@@ -259,6 +270,44 @@ impl Evaluation {
             .iter()
             .flat_map(|i| i.conditions.iter().map(|(_, c)| c.activity))
             .fold(0.0, f64::max)
+    }
+}
+
+/// The cycle-level timing stage of an evaluation, separated out so it can
+/// be cached and shared.
+///
+/// Timing depends on a [`CoreConfig`] only through its
+/// [`timing_key`](CoreConfig::timing_key) — voltage feeds power and
+/// reliability, never cycle counts — so one `TimingRun` can seed
+/// [`Evaluator::evaluate_with_timing`] for every voltage of a DVS grid at
+/// the same frequency, bit-identically to re-simulating each point.
+#[derive(Debug, Clone)]
+pub struct TimingRun {
+    intervals: Vec<IntervalStats>,
+    wall: Duration,
+}
+
+impl TimingRun {
+    /// Per-interval timing statistics.
+    pub fn intervals(&self) -> &[IntervalStats] {
+        &self.intervals
+    }
+
+    /// Whole-run IPC: identical arithmetic to `RunStats::ipc` over the
+    /// same intervals (total instructions over total cycles).
+    pub fn ipc(&self) -> f64 {
+        let cycles: u64 = self.intervals.iter().map(|iv| iv.cycles).sum();
+        if cycles == 0 {
+            0.0
+        } else {
+            self.intervals.iter().map(|iv| iv.instructions).sum::<u64>() as f64 / cycles as f64
+        }
+    }
+
+    /// Wall time of the cycle simulation that produced this run (carried
+    /// into [`EvalStats`] so reused timing still reports its true cost).
+    pub fn wall(&self) -> Duration {
+        self.wall
     }
 }
 
@@ -333,11 +382,62 @@ impl Evaluator {
     ) -> Result<Evaluation, SimError> {
         profile.validate()?;
         let _eval_span = sim_obs::span!("eval");
-        let mut stages = StageTimes::new();
-        let mut fixed_point = Histogram::new();
+        let timing = self.run_timing(profile, config)?;
+        self.finish_evaluation(profile, config, &timing)
+    }
 
+    /// Runs only the cycle-level timing stage for `profile` on `config`.
+    ///
+    /// The result depends on `config` only through
+    /// [`CoreConfig::timing_key`], so it can be cached and fed to
+    /// [`evaluate_with_timing`](Evaluator::evaluate_with_timing) for any
+    /// configuration sharing that key (any voltage at the same frequency
+    /// and microarchitecture).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the configuration or
+    /// profile is invalid.
+    pub fn timing_run(
+        &self,
+        profile: &AppProfile,
+        config: &CoreConfig,
+    ) -> Result<TimingRun, SimError> {
+        profile.validate()?;
+        self.run_timing(profile, config)
+    }
+
+    /// Evaluates `profile` on `config` reusing an already-computed timing
+    /// stage — the power/thermal passes of
+    /// [`evaluate_profile`](Evaluator::evaluate_profile) without the
+    /// cycle simulation. Bit-identical to a full evaluation when `timing`
+    /// came from a configuration with the same
+    /// [`timing_key`](CoreConfig::timing_key).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the configuration or
+    /// profile is invalid.
+    pub fn evaluate_with_timing(
+        &self,
+        profile: &AppProfile,
+        config: &CoreConfig,
+        timing: &TimingRun,
+    ) -> Result<Evaluation, SimError> {
+        profile.validate()?;
+        // The full path validates through `Processor::new`; the reuse
+        // path skips the processor, so validate explicitly.
+        config.validate()?;
+        let _eval_span = sim_obs::span!("eval");
+        self.finish_evaluation(profile, config, timing)
+    }
+
+    /// The timing stage: synthetic stream → prewarm → warmup → measured
+    /// cycle simulation. Opens the `eval.timing` span but not the outer
+    /// `eval` span, so callers control the nesting.
+    fn run_timing(&self, profile: &AppProfile, config: &CoreConfig) -> Result<TimingRun, SimError> {
         let start = Instant::now();
-        let timing_span = sim_obs::span!("eval.timing");
+        let _timing_span = sim_obs::span!("eval.timing");
         let stream = SyntheticStream::new(profile.clone(), self.params.seed);
         let mut cpu = Processor::new(config.clone(), stream)?;
 
@@ -354,9 +454,25 @@ impl Evaluator {
             self.params.measure_instructions,
             self.params.interval_instructions,
         );
-        let timing: Vec<IntervalStats> = run.intervals().to_vec();
-        drop(timing_span);
-        stages.record("eval.timing", start.elapsed());
+        Ok(TimingRun {
+            intervals: run.intervals().to_vec(),
+            wall: start.elapsed(),
+        })
+    }
+
+    /// The power/thermal stages (§6.3 passes 1 and 2) over a finished
+    /// timing run. Opens no `eval` span of its own — both public entry
+    /// points wrap it in one.
+    fn finish_evaluation(
+        &self,
+        profile: &AppProfile,
+        config: &CoreConfig,
+        timing_run: &TimingRun,
+    ) -> Result<Evaluation, SimError> {
+        let mut stages = StageTimes::new();
+        let mut fixed_point = Histogram::new();
+        stages.record("eval.timing", timing_run.wall);
+        let timing = &timing_run.intervals;
 
         // Pass 1 (§6.3): iterate average power ↔ sink temperature to find
         // the steady-state heat-sink operating point.
@@ -401,7 +517,18 @@ impl Evaluator {
         let thermal_span = sim_obs::span!("eval.thermal");
         let mut intervals = Vec::with_capacity(timing.len());
         let mut temps = StructureMap::splat(sink);
-        for iv in &timing {
+        // Hoisted out of the per-interval loop: when metrics are off this
+        // is the whole cost of instrumentation here, and when they are on
+        // the histogram names are formatted once per evaluation instead
+        // of once per structure per interval.
+        let obs_on = sim_obs::enabled();
+        let temp_metric_names: Option<Vec<String>> = obs_on.then(|| {
+            Structure::ALL
+                .into_iter()
+                .map(|s| format!("thermal.temp.{}", s.name()))
+                .collect()
+        });
+        for iv in timing {
             let mut breakdown = self.power.power(config, &iv.activity, &temps);
             for _ in 0..self.params.leakage_iterations {
                 let prev = temps;
@@ -409,7 +536,7 @@ impl Evaluator {
                     self.thermal
                         .steady_state_with_sink(&breakdown.per_structure(), sink),
                 );
-                if sim_obs::enabled() {
+                if obs_on {
                     let residual = Structure::ALL
                         .into_iter()
                         .map(|s| (temps[s].0 - prev[s].0).abs())
@@ -419,10 +546,10 @@ impl Evaluator {
                 breakdown = self.power.power(config, &iv.activity, &temps);
             }
             fixed_point.record(f64::from(self.params.leakage_iterations));
-            if sim_obs::enabled() {
+            if let Some(names) = &temp_metric_names {
                 // Per-structure temperature distributions over intervals.
                 for (s, t) in temps.iter() {
-                    sim_obs::hist!(format!("thermal.temp.{}", s.name()), t.0);
+                    sim_obs::hist!(names[s.index()], t.0);
                 }
             }
             let duration = Seconds(iv.cycles as f64 / config.frequency.0);
@@ -438,7 +565,6 @@ impl Evaluator {
                 instructions: iv.instructions,
                 ipc: iv.ipc(),
                 power: breakdown.total(),
-                temperatures: temps,
                 conditions,
             });
         }
@@ -456,15 +582,15 @@ impl Evaluator {
             "{} @ {:.2} GHz: IPC {:.3}, peak {:.1} K, {:.1} ms",
             profile.name,
             config.frequency.to_ghz(),
-            run.ipc(),
+            timing_run.ipc(),
             intervals
                 .iter()
-                .flat_map(|iv| iv.temperatures.iter().map(|(_, &t)| t.0))
+                .flat_map(|iv| iv.conditions.iter().map(|(_, c)| c.temperature.0))
                 .fold(0.0, f64::max),
             stats.wall().as_secs_f64() * 1e3
         );
 
-        let ipc = run.ipc();
+        let ipc = timing_run.ipc();
         Ok(Evaluation {
             workload: profile.name.clone(),
             config: config.clone(),
@@ -596,6 +722,51 @@ mod tests {
         let mut b = a.clone();
         b.stats = EvalStats::default();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn timing_reuse_is_bit_identical_across_a_voltage_grid() {
+        use sim_common::{Hertz, Volts};
+        let e = evaluator();
+        let profile = App::H263Enc.profile();
+        let freq = Hertz::from_ghz(3.5);
+        let base = CoreConfig::base();
+        let timing = e
+            .timing_run(&profile, &base.with_dvs(freq, Volts(1.0)))
+            .unwrap();
+        for vdd in [0.85, 0.95, 1.05, 1.15] {
+            let config = base.with_dvs(freq, Volts(vdd));
+            assert_eq!(
+                config.timing_key(),
+                base.with_dvs(freq, Volts(1.0)).timing_key()
+            );
+            let reused = e.evaluate_with_timing(&profile, &config, &timing).unwrap();
+            let fresh = e.evaluate_profile(&profile, &config).unwrap();
+            assert_eq!(reused, fresh, "vdd {vdd}");
+        }
+    }
+
+    #[test]
+    fn evaluate_with_timing_validates_config() {
+        let e = evaluator();
+        let profile = App::Gzip.profile();
+        let timing = e.timing_run(&profile, &CoreConfig::base()).unwrap();
+        let mut bad = CoreConfig::base();
+        bad.vdd = sim_common::Volts(0.0);
+        assert!(e.evaluate_with_timing(&profile, &bad, &timing).is_err());
+    }
+
+    #[test]
+    fn interval_temperatures_derive_from_conditions() {
+        let e = evaluator();
+        let ev = e.evaluate(App::Gzip, &CoreConfig::base()).unwrap();
+        for iv in &ev.intervals {
+            let temps = iv.temperatures();
+            for (s, c) in iv.conditions.iter() {
+                assert_eq!(temps[s], c.temperature);
+            }
+        }
+        assert!(ev.max_temperature() >= ev.intervals[0].temperatures()[Structure::Bpred]);
     }
 
     #[test]

@@ -68,11 +68,13 @@ pub mod scaling;
 pub mod sensors;
 pub mod space;
 
-pub use batch::{default_workers, BatchEngine, EvalCache, EvalKey, SweepSummary};
+pub use batch::{
+    default_workers, BatchEngine, EvalCache, EvalKey, SweepSummary, TimingCache, TimingCacheKey,
+};
 pub use controller::{ControlTrace, ControllerParams, ReactiveDrm};
 pub use dtm::{compare_drm_dtm, dtm_best_dvs, DrmDtmPoint, DtmChoice};
 pub use dvs::{frequency_grid, voltage_for_frequency, DvsPoint, DvsRange};
-pub use evaluator::{EvalParams, EvalStats, Evaluation, Evaluator, IntervalProfile};
+pub use evaluator::{EvalParams, EvalStats, Evaluation, Evaluator, IntervalProfile, TimingRun};
 pub use intra::{intra_app_best, IntraAppChoice};
 pub use mix::WorkloadMix;
 pub use oracle::{DrmChoice, Oracle};

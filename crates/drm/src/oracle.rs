@@ -102,10 +102,13 @@ impl Oracle {
     #[must_use]
     pub fn summary(&self) -> SweepSummary {
         let cache = self.engine.cache();
+        let timing = self.engine.timing_cache();
         SweepSummary {
             workers: self.engine.workers(),
             evaluations: cache.len() as u64,
             cache_hits: cache.hits(),
+            timing_runs: timing.misses(),
+            timing_reuses: timing.hits(),
             wall: cache.wall(),
             busy: cache.busy(),
         }

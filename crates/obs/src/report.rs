@@ -345,6 +345,49 @@ pub fn render(trace: &Trace, top_n: usize) -> String {
         }
     }
 
+    let reuse: Vec<(&str, Option<u64>, Option<u64>)> = vec![
+        (
+            "eval cache (hit/miss)",
+            trace.counter("drm.cache.hits"),
+            trace.counter("drm.cache.misses"),
+        ),
+        (
+            "timing cache (hit/miss)",
+            trace.counter("drm.timing_cache.hit"),
+            trace.counter("drm.timing_cache.miss"),
+        ),
+        (
+            "thermal LU (reused/solves)",
+            trace.counter("thermal.factor_reuse"),
+            trace.counter("thermal.solves"),
+        ),
+    ];
+    if reuse.iter().any(|(_, a, b)| a.is_some() || b.is_some()) {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "caches and reuse");
+        for (label, a, b) in reuse {
+            if a.is_none() && b.is_none() {
+                continue;
+            }
+            let a = a.unwrap_or(0);
+            let b = b.unwrap_or(0);
+            let denom = a + if label.starts_with("thermal") { 0 } else { b };
+            let rate = if label.starts_with("thermal") {
+                // Reused factorizations per solve.
+                if b == 0 {
+                    0.0
+                } else {
+                    a as f64 / b as f64 * 100.0
+                }
+            } else if denom == 0 {
+                0.0
+            } else {
+                a as f64 / denom as f64 * 100.0
+            };
+            let _ = writeln!(out, "  {label:<28} {a:>10} / {b:<10} {rate:>6.1}%");
+        }
+    }
+
     let fits: Vec<(&str, f64)> = trace
         .metrics
         .iter()
@@ -475,5 +518,27 @@ mod tests {
     fn render_handles_empty_trace() {
         let text = render(&Trace::default(), 5);
         assert!(text.contains("no spans"));
+        assert!(!text.contains("caches and reuse"));
+    }
+
+    #[test]
+    fn render_includes_cache_and_reuse_counters() {
+        let text = concat!(
+            "{\"type\":\"counter\",\"name\":\"drm.cache.hits\",\"value\":6}\n",
+            "{\"type\":\"counter\",\"name\":\"drm.cache.misses\",\"value\":2}\n",
+            "{\"type\":\"counter\",\"name\":\"drm.timing_cache.hit\",\"value\":3}\n",
+            "{\"type\":\"counter\",\"name\":\"drm.timing_cache.miss\",\"value\":1}\n",
+            "{\"type\":\"counter\",\"name\":\"thermal.solves\",\"value\":40}\n",
+            "{\"type\":\"counter\",\"name\":\"thermal.factor_reuse\",\"value\":40}\n",
+        );
+        let trace = parse_trace(text);
+        let out = render(&trace, 5);
+        assert!(out.contains("caches and reuse"), "{out}");
+        assert!(out.contains("eval cache (hit/miss)"), "{out}");
+        assert!(out.contains("timing cache (hit/miss)"), "{out}");
+        assert!(out.contains("thermal LU (reused/solves)"), "{out}");
+        // 6 hits of 8 lookups and 3 of 4; every solve reused a factor.
+        assert!(out.contains("75.0%"), "{out}");
+        assert!(out.contains("100.0%"), "{out}");
     }
 }

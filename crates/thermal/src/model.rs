@@ -119,6 +119,12 @@ const N_NODES: usize = N_BLOCKS + 2;
 
 /// The thermal network: floorplan geometry + package parameters compiled
 /// into a conductance matrix.
+///
+/// The steady-state system matrix `A` depends only on the network and on
+/// whether the sink row is pinned — the pinned sink *value* lives in the
+/// right-hand side — so both variants are LU-factored once at
+/// construction and every [`ThermalModel::solve_steady`] call reduces to
+/// a forward/backward substitution over the prefactored matrix.
 #[derive(Debug, Clone)]
 pub struct ThermalModel {
     params: ThermalParams,
@@ -129,6 +135,11 @@ pub struct ThermalModel {
     g_ambient: [f64; N_NODES],
     /// Heat capacity per node.
     capacity: [f64; N_NODES],
+    /// LU factors of the free-sink steady-state matrix.
+    lu_free: LuFactors,
+    /// LU factors of the pinned-sink steady-state matrix (sink row
+    /// replaced by the identity; the pin value enters through `b`).
+    lu_pinned: LuFactors,
 }
 
 impl ThermalModel {
@@ -172,12 +183,16 @@ impl ThermalModel {
         c[SPREADER] = params.c_spreader;
         c[SINK] = params.c_sink;
 
+        let free = assemble_steady_matrix(&g, &g_amb, false);
+        let pinned = assemble_steady_matrix(&g, &g_amb, true);
         Ok(ThermalModel {
             params,
             floorplan,
             conductance: g,
             g_ambient: g_amb,
             capacity: c,
+            lu_free: LuFactors::factor(free),
+            lu_pinned: LuFactors::factor(pinned),
         })
     }
 
@@ -238,38 +253,57 @@ impl ThermalModel {
         state.blocks()
     }
 
-    /// Full steady solve returning every node.
-    #[allow(clippy::needless_range_loop)] // dense numeric kernel: indices are clearest
+    fn steady_rhs(
+        &self,
+        power: &StructureMap<Watts>,
+        pinned_sink: Option<Kelvin>,
+    ) -> [f64; N_NODES] {
+        let p = self.power_vector(power);
+        let mut b = [0.0f64; N_NODES];
+        for i in 0..N_NODES {
+            b[i] = p[i] + self.g_ambient[i] * self.params.ambient.0;
+        }
+        if let Some(sink) = pinned_sink {
+            b[SINK] = sink.0;
+        }
+        b
+    }
+
+    /// Full steady solve returning every node, via the LU factors
+    /// computed at construction (bit-identical to
+    /// [`ThermalModel::solve_steady_unfactored`], which eliminates from
+    /// scratch — the factorization replays exactly the same pivoting and
+    /// arithmetic).
     pub fn solve_steady(
         &self,
         power: &StructureMap<Watts>,
         pinned_sink: Option<Kelvin>,
     ) -> ThermalState {
-        // Assemble G·T = P, where the diagonal carries the sum of all
-        // conductances leaving the node and off-diagonals are negative.
-        let p = self.power_vector(power);
-        let mut a = [[0.0f64; N_NODES]; N_NODES];
-        let mut b = [0.0f64; N_NODES];
-        for i in 0..N_NODES {
-            let mut diag = self.g_ambient[i];
-            for j in 0..N_NODES {
-                if i != j {
-                    let g = self.conductance[i][j];
-                    a[i][j] = -g;
-                    diag += g;
-                }
-            }
-            a[i][i] = diag;
-            b[i] = p[i] + self.g_ambient[i] * self.params.ambient.0;
+        let b = self.steady_rhs(power, pinned_sink);
+        let factors = if pinned_sink.is_some() {
+            &self.lu_pinned
+        } else {
+            &self.lu_free
+        };
+        let temps = factors.solve(b);
+        sim_obs::counter!("thermal.solves", 1);
+        sim_obs::counter!("thermal.factor_reuse", 1);
+        ThermalState {
+            temps: temps.to_vec(),
         }
-        if let Some(sink) = pinned_sink {
-            // Replace the sink row with T_sink = sink.
-            for j in 0..N_NODES {
-                a[SINK][j] = 0.0;
-            }
-            a[SINK][SINK] = 1.0;
-            b[SINK] = sink.0;
-        }
+    }
+
+    /// Reference steady solve that assembles `A` and runs Gaussian
+    /// elimination from scratch on every call — the pre-factorization
+    /// code path, kept as the ground truth the parity and property tests
+    /// compare [`ThermalModel::solve_steady`] against.
+    pub fn solve_steady_unfactored(
+        &self,
+        power: &StructureMap<Watts>,
+        pinned_sink: Option<Kelvin>,
+    ) -> ThermalState {
+        let a = assemble_steady_matrix(&self.conductance, &self.g_ambient, pinned_sink.is_some());
+        let b = self.steady_rhs(power, pinned_sink);
         let temps = solve_dense(a, b);
         sim_obs::counter!("thermal.solves", 1);
         ThermalState {
@@ -314,6 +348,121 @@ impl ThermalModel {
                 state.temps[i] += h * dq[i];
             }
         }
+    }
+}
+
+/// Assembles the steady-state system matrix `A` of `A·T = b`: the
+/// diagonal carries the sum of all conductances leaving the node and
+/// off-diagonals are negative. With `pinned`, the sink row is replaced
+/// by the identity so the right-hand side can pin its temperature.
+#[allow(clippy::needless_range_loop)] // dense numeric kernel: indices are clearest
+fn assemble_steady_matrix(
+    g: &[[f64; N_NODES]; N_NODES],
+    g_ambient: &[f64; N_NODES],
+    pinned: bool,
+) -> [[f64; N_NODES]; N_NODES] {
+    let mut a = [[0.0f64; N_NODES]; N_NODES];
+    for i in 0..N_NODES {
+        let mut diag = g_ambient[i];
+        for j in 0..N_NODES {
+            if i != j {
+                a[i][j] = -g[i][j];
+                diag += g[i][j];
+            }
+        }
+        a[i][i] = diag;
+    }
+    if pinned {
+        for j in 0..N_NODES {
+            a[SINK][j] = 0.0;
+        }
+        a[SINK][SINK] = 1.0;
+    }
+    a
+}
+
+/// An LU factorization (partial pivoting) of a steady-state matrix.
+///
+/// [`LuFactors::factor`] runs exactly the elimination [`solve_dense`]
+/// runs — same pivot selection, same multipliers, same update order —
+/// but records the multipliers in the zeroed lower triangle, and
+/// [`LuFactors::solve`] replays the right-hand-side updates in the same
+/// order, so `factor(a).solve(b)` is bit-identical to `solve_dense(a, b)`
+/// while amortizing the O(n³) elimination across every solve.
+#[derive(Debug, Clone)]
+struct LuFactors {
+    /// U in the upper triangle (diagonal included), the elimination
+    /// multipliers in the strict lower triangle.
+    lu: [[f64; N_NODES]; N_NODES],
+    /// Row swapped with `col` at pivot step `col`.
+    piv: [usize; N_NODES],
+}
+
+impl LuFactors {
+    #[allow(clippy::needless_range_loop)] // dense numeric kernel: indices are clearest
+    fn factor(mut a: [[f64; N_NODES]; N_NODES]) -> LuFactors {
+        let mut piv = [0usize; N_NODES];
+        for col in 0..N_NODES {
+            let pivot = (col..N_NODES)
+                .max_by(|&i, &j| {
+                    a[i][col]
+                        .abs()
+                        .partial_cmp(&a[j][col].abs())
+                        .expect("finite")
+                })
+                .expect("non-empty range");
+            // Swap only the active columns: the lower triangle holds
+            // multipliers from earlier steps, which must stay at the
+            // positions where the interleaved replay in `solve` applies
+            // them (a full-row swap would permute them a second time).
+            if pivot != col {
+                for k in col..N_NODES {
+                    let tmp = a[col][k];
+                    a[col][k] = a[pivot][k];
+                    a[pivot][k] = tmp;
+                }
+            }
+            piv[col] = pivot;
+            let diag = a[col][col];
+            assert!(
+                diag.abs() > 1e-30,
+                "singular thermal conductance matrix (disconnected node?)"
+            );
+            for row in (col + 1)..N_NODES {
+                let f = a[row][col] / diag;
+                if f != 0.0 {
+                    for k in col..N_NODES {
+                        a[row][k] -= f * a[col][k];
+                    }
+                }
+                // The eliminated slot is never read again; store the
+                // multiplier there for the solve-time replay.
+                a[row][col] = f;
+            }
+        }
+        LuFactors { lu: a, piv }
+    }
+
+    #[allow(clippy::needless_range_loop)] // dense numeric kernel: indices are clearest
+    fn solve(&self, mut b: [f64; N_NODES]) -> [f64; N_NODES] {
+        for col in 0..N_NODES {
+            b.swap(col, self.piv[col]);
+            for row in (col + 1)..N_NODES {
+                let f = self.lu[row][col];
+                if f != 0.0 {
+                    b[row] -= f * b[col];
+                }
+            }
+        }
+        let mut x = [0.0f64; N_NODES];
+        for row in (0..N_NODES).rev() {
+            let mut acc = b[row];
+            for k in (row + 1)..N_NODES {
+                acc -= self.lu[row][k] * x[k];
+            }
+            x[row] = acc / self.lu[row][row];
+        }
+        x
     }
 }
 
@@ -532,6 +681,18 @@ mod tests {
             (330.0..=360.0).contains(&max),
             "cool app peak {max:.1} K outside the calibration band"
         );
+    }
+
+    #[test]
+    fn prefactored_solve_is_bit_identical_to_fresh_elimination() {
+        let m = model();
+        let mut power = uniform_power(1.7);
+        power[Structure::Fpu] = Watts(7.3);
+        for pin in [None, Some(Kelvin(352.25))] {
+            let lu = m.solve_steady(&power, pin);
+            let ge = m.solve_steady_unfactored(&power, pin);
+            assert_eq!(lu, ge, "pin {pin:?}");
+        }
     }
 
     #[test]

@@ -115,6 +115,36 @@ fn transient_approaches_steady() {
     }
 }
 
+/// The prefactored LU solve matches a fresh Gaussian elimination to
+/// ≤ 1e-12 K for randomized power maps, with the sink both free and
+/// pinned at randomized temperatures. (A stricter bit-exact check on a
+/// fixed case lives in the unit tests; this guards the numerics across
+/// the whole input space.)
+#[test]
+fn lu_solve_matches_fresh_elimination() {
+    use sim_common::Kelvin;
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5007);
+    let m = ThermalModel::hotspot_65nm();
+    for case in 0..CASES {
+        let power = random_power(&mut rng);
+        let pin = if case % 2 == 0 {
+            None
+        } else {
+            Some(Kelvin(rng.gen_f64(320.0..400.0)))
+        };
+        let lu = m.solve_steady(&power, pin);
+        let ge = m.solve_steady_unfactored(&power, pin);
+        for s in Structure::ALL {
+            let d = (lu.block(s).0 - ge.block(s).0).abs();
+            assert!(d <= 1e-12, "{s}: LU vs GE differ by {d:e} K (pin {pin:?})");
+        }
+        let ds = (lu.sink().0 - ge.sink().0).abs();
+        assert!(ds <= 1e-12, "sink: LU vs GE differ by {ds:e} K");
+        let dp = (lu.spreader().0 - ge.spreader().0).abs();
+        assert!(dp <= 1e-12, "spreader: LU vs GE differ by {dp:e} K");
+    }
+}
+
 /// Pinning the sink decouples the absolute level: shifting the pin by
 /// ΔT shifts every block by exactly ΔT.
 #[test]

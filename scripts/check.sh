@@ -23,6 +23,15 @@ trap 'rm -f "$trace"' EXIT
 echo "== scenario smoke: validate every checked-in scenario file =="
 ./target/release/ramp scenario validate examples/scenarios/*.scn
 
+echo "== microbench smoke: pipeline bench emits a valid BENCH_pipeline.json =="
+rm -f BENCH_pipeline.json
+RAMP_FAST=1 cargo bench --offline -p bench-suite --bench pipeline_end_to_end
+[ -s BENCH_pipeline.json ] || { echo "error: BENCH_pipeline.json missing or empty" >&2; exit 1; }
+grep -q '"schema":"ramp-bench-pipeline/1"' BENCH_pipeline.json \
+  || { echo "error: BENCH_pipeline.json malformed (schema marker absent)" >&2; exit 1; }
+grep -q '"sweep.reuse_speedup":' BENCH_pipeline.json \
+  || { echo "error: BENCH_pipeline.json missing sweep metrics" >&2; exit 1; }
+
 echo "== clippy (warnings are errors) =="
 cargo clippy --offline --all-targets -- -D warnings
 

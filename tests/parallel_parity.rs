@@ -107,6 +107,71 @@ fn parity_holds_with_metrics_enabled() {
     sim_obs::set_enabled(false);
 }
 
+/// Timing reuse across a DVS voltage grid is a pure performance
+/// optimization: every evaluation matches the scalar path (a fresh
+/// `Evaluator` run that re-simulates timing for every point) bit for
+/// bit, with 1 worker and with 4 — and each engine performs exactly one
+/// cycle-level timing run per (app, arch, frequency), asserted via the
+/// timing-cache counters.
+#[test]
+fn voltage_grid_timing_reuse_is_bit_identical_to_scalar_path() {
+    use sim_common::{Hertz, Volts};
+
+    let apps = [App::MpgDec, App::Twolf];
+    let freqs = [3.0, 4.0];
+    let vdds = [0.85, 0.95, 1.05, 1.15];
+    let arch = ArchPoint::most_aggressive();
+    let mut jobs = Vec::new();
+    for app in apps {
+        for ghz in freqs {
+            for vdd in vdds {
+                jobs.push((
+                    app,
+                    arch,
+                    DvsPoint {
+                        frequency: Hertz::from_ghz(ghz),
+                        vdd: Volts(vdd),
+                    },
+                ));
+            }
+        }
+    }
+
+    let evaluator = Evaluator::ibm_65nm(EvalParams::quick()).expect("evaluator");
+    let seq = oracle(1);
+    let par = oracle(4);
+    let s1 = seq.prefetch(&jobs).expect("sequential sweep");
+    let s4 = par.prefetch(&jobs).expect("parallel sweep");
+
+    // One timing run per (app, arch, frequency), however many voltages
+    // and workers: 2 apps × 2 frequencies = 4 runs for 16 evaluations.
+    let groups = (apps.len() * freqs.len()) as u64;
+    for (label, oracle, summary) in [("1 worker", &seq, s1), ("4 workers", &par, s4)] {
+        assert_eq!(summary.evaluations, jobs.len() as u64, "{label}");
+        assert_eq!(summary.timing_runs, groups, "{label}");
+        assert_eq!(summary.timing_reuses, jobs.len() as u64 - groups, "{label}");
+        let timing = oracle.engine().timing_cache();
+        assert_eq!(timing.misses(), groups, "{label}: timing-cache misses");
+        assert_eq!(timing.len(), groups as usize, "{label}: cached runs");
+        assert_eq!(
+            timing.hits(),
+            jobs.len() as u64 - groups,
+            "{label}: timing-cache hits"
+        );
+    }
+
+    for &(app, arch, dvs) in &jobs {
+        let config = arch
+            .apply(&sim_cpu::CoreConfig::base(), dvs)
+            .expect("config");
+        let scalar = evaluator.evaluate(app, &config).expect("scalar evaluation");
+        let a = seq.evaluation(app, arch, dvs).expect("cached");
+        let b = par.evaluation(app, arch, dvs).expect("cached");
+        assert_eq!(*a, scalar, "{app} @ {:.2} V (1 worker)", dvs.vdd.0);
+        assert_eq!(*b, scalar, "{app} @ {:.2} V (4 workers)", dvs.vdd.0);
+    }
+}
+
 /// Re-running a sweep over an already-warm cache performs no new
 /// evaluations and only counts hits.
 #[test]
