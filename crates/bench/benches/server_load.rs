@@ -1,0 +1,177 @@
+//! Load generator for the evaluation server: measures request
+//! throughput and latency against an in-process `sim-server` instance at
+//! 1 and 8 concurrent clients, over a warm operating-point set so the
+//! numbers isolate the serving layer (protocol, queue, micro-batching)
+//! from simulation cost.
+//!
+//! The interesting claim on any machine — including a single core — is
+//! that concurrent clients beat one client: a lone client pays a full
+//! round trip (plus the batcher's linger window) per request, while
+//! overlapping requests ride the same batch pass. The report asserts
+//! `server.scaling > 1`.
+//!
+//! Writes a machine-readable `BENCH_server.json` (schema
+//! `ramp-bench-server/1`, flat keys) that `scripts/check.sh` validates.
+
+use std::time::Instant;
+
+use bench_suite::{server_bench_report_path, BenchReport, BENCH_SERVER_SCHEMA};
+use drm::EvalParams;
+use scenario::Scenario;
+use sim_server::{Client, Server, ServerConfig};
+
+fn tiny_params() -> EvalParams {
+    EvalParams {
+        warmup_instructions: 5_000,
+        measure_instructions: 20_000,
+        interval_instructions: 5_000,
+        seed: 3,
+        leakage_iterations: 2,
+        prewarm_bytes: 1 << 20,
+    }
+}
+
+/// The request mix: a small DVS grid across two applications. Twelve
+/// distinct points — enough to exercise the cache sharding and keep
+/// batches heterogeneous, few enough to warm quickly.
+fn request_lines() -> Vec<String> {
+    let mut lines = Vec::new();
+    for app in ["gzip", "twolf"] {
+        for half_ghz in 5..11 {
+            lines.push(format!(
+                "eval {app} freq={}",
+                (f64::from(half_ghz) * 0.5 * 1e9) as u64
+            ));
+        }
+    }
+    lines
+}
+
+/// Requests each client issues per measured phase.
+fn per_client_requests() -> usize {
+    if std::env::var_os("RAMP_FAST").is_some() {
+        150
+    } else {
+        600
+    }
+}
+
+/// One client's measured run: issues `count` requests round-robin over
+/// `lines`, returning each request's wall latency.
+fn drive_client(addr: std::net::SocketAddr, lines: &[String], count: usize) -> Vec<f64> {
+    let mut client = Client::connect(addr).expect("connect");
+    let mut latencies = Vec::with_capacity(count);
+    for i in 0..count {
+        let line = &lines[i % lines.len()];
+        let start = Instant::now();
+        let raw = client.request_raw(line).expect("request");
+        latencies.push(start.elapsed().as_secs_f64() * 1e3);
+        assert!(raw.starts_with("ok "), "{line}: {raw}");
+    }
+    latencies
+}
+
+/// A load phase at `clients` concurrency: returns (throughput in
+/// requests/s, sorted latencies in ms).
+fn run_phase(addr: std::net::SocketAddr, lines: &[String], clients: usize) -> (f64, Vec<f64>) {
+    let count = per_client_requests();
+    let start = Instant::now();
+    let mut latencies: Vec<f64> = if clients == 1 {
+        drive_client(addr, lines, count)
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| scope.spawn(|| drive_client(addr, lines, count)))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect()
+        })
+    };
+    let wall = start.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    ((clients * count) as f64 / wall, latencies)
+}
+
+/// A sorted sample's `q`-quantile (nearest-rank).
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn main() {
+    let config = ServerConfig {
+        eval: Some(tiny_params()),
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::start(Scenario::paper_default(), config, "127.0.0.1:0").expect("server start");
+    let addr = server.local_addr();
+    let lines = request_lines();
+
+    // Warm every point through one client so both measured phases run
+    // against the shared cache (transport + batching cost only), and the
+    // cold/warm split is attributable.
+    let warm_start = Instant::now();
+    drive_client(addr, &lines, lines.len());
+    println!(
+        "server/warmup                              {:>10.2} ms ({} points)",
+        warm_start.elapsed().as_secs_f64() * 1e3,
+        lines.len()
+    );
+
+    let (thr1, lat1) = run_phase(addr, &lines, 1);
+    println!("server/throughput_1_client                 {thr1:>10.0} req/s");
+    let (thr8, lat8) = run_phase(addr, &lines, 8);
+    println!("server/throughput_8_clients                {thr8:>10.0} req/s");
+    let scaling = thr8 / thr1;
+    println!("server/scaling_8c_over_1c                  {scaling:>10.2} x");
+    println!(
+        "server/latency_8c_p50_p99                  {:>10.2} / {:.2} ms",
+        quantile(&lat8, 0.50),
+        quantile(&lat8, 0.99)
+    );
+
+    let stats = server.stats();
+    let summary = server.sweep_summary();
+    server.shutdown();
+    server.join();
+
+    let lookups = summary.evaluations + summary.cache_hits;
+    let hit_rate = if lookups > 0 {
+        summary.cache_hits as f64 / lookups as f64
+    } else {
+        0.0
+    };
+    println!(
+        "server/batch_occupancy                     {:>10.2} req/batch",
+        stats.batch_occupancy()
+    );
+    println!("server/cache_hit_rate                      {hit_rate:>10.3}");
+
+    let mut report = BenchReport::with_schema(BENCH_SERVER_SCHEMA);
+    report.u64("server.points", lines.len() as u64);
+    report.u64("server.requests_per_client", per_client_requests() as u64);
+    report.f64("server.throughput_1c_rps", thr1);
+    report.f64("server.throughput_8c_rps", thr8);
+    report.f64("server.scaling", scaling);
+    report.f64("server.p50_ms_1c", quantile(&lat1, 0.50));
+    report.f64("server.p99_ms_1c", quantile(&lat1, 0.99));
+    report.f64("server.p50_ms_8c", quantile(&lat8, 0.50));
+    report.f64("server.p99_ms_8c", quantile(&lat8, 0.99));
+    report.f64("server.batch_occupancy", stats.batch_occupancy());
+    report.f64("server.cache_hit_rate", hit_rate);
+    report.u64("server.shed", stats.shed);
+    report.u64("server.evaluations", summary.evaluations);
+    let path = server_bench_report_path();
+    report.write(&path).expect("write bench report");
+    println!("wrote {}", path.display());
+
+    // The batching claim, enforced where the numbers are produced:
+    // overlapping clients must beat a lone client.
+    assert!(
+        scaling > 1.0,
+        "8-client throughput ({thr8:.0} req/s) did not exceed 1-client ({thr1:.0} req/s)"
+    );
+}

@@ -296,6 +296,9 @@ pub fn bench_min_time() -> Duration {
 /// Version marker every `BENCH_pipeline.json` carries; CI greps for it.
 pub const BENCH_SCHEMA: &str = "ramp-bench-pipeline/1";
 
+/// Version marker the server load-generator report carries.
+pub const BENCH_SERVER_SCHEMA: &str = "ramp-bench-server/1";
+
 /// Where the pipeline bench driver writes its machine-readable results:
 /// `RAMP_BENCH_OUT` when set, otherwise `BENCH_pipeline.json` at the
 /// repository root.
@@ -307,25 +310,48 @@ pub fn bench_report_path() -> PathBuf {
     }
 }
 
+/// Where the server load-generator bench writes its results:
+/// `RAMP_BENCH_OUT` when set, otherwise `BENCH_server.json` at the
+/// repository root.
+#[must_use]
+pub fn server_bench_report_path() -> PathBuf {
+    match std::env::var_os("RAMP_BENCH_OUT") {
+        Some(p) if !p.is_empty() => PathBuf::from(p),
+        _ => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_server.json"),
+    }
+}
+
 /// A machine-readable micro-benchmark report: one flat JSON object
 /// (dotted keys, no nesting) reusing the trace format's in-tree JSON
 /// builder, so the perf-regression harness stays dependency-free.
 ///
-/// The object always carries `schema = "ramp-bench-pipeline/1"`; the
-/// writer re-parses its own output before touching the filesystem, so a
-/// malformed report fails the producing run, not the consuming one.
+/// The object always carries a `schema` marker ([`BENCH_SCHEMA`] by
+/// default); the writer re-parses its own output before touching the
+/// filesystem, so a malformed report fails the producing run, not the
+/// consuming one.
 #[derive(Debug)]
 pub struct BenchReport {
     obj: JsonObject,
+    schema: String,
 }
 
 impl BenchReport {
-    /// Starts a report carrying the schema marker.
+    /// Starts a report carrying the default pipeline schema marker.
     #[must_use]
     pub fn new() -> BenchReport {
+        BenchReport::with_schema(BENCH_SCHEMA)
+    }
+
+    /// Starts a report carrying an explicit schema marker (e.g.
+    /// [`BENCH_SERVER_SCHEMA`] for the server load generator).
+    #[must_use]
+    pub fn with_schema(schema: &str) -> BenchReport {
         let mut obj = JsonObject::new();
-        obj.str("schema", BENCH_SCHEMA);
-        BenchReport { obj }
+        obj.str("schema", schema);
+        BenchReport {
+            obj,
+            schema: schema.to_owned(),
+        }
     }
 
     /// Records a float metric (seconds, rates, ratios).
@@ -347,7 +373,8 @@ impl BenchReport {
     /// [`parse_object`] or the file cannot be written.
     pub fn write(self, path: &Path) -> std::io::Result<()> {
         let line = self.obj.finish();
-        let ok = parse_object(&line).is_some_and(|p| p.get_str("schema") == Some(BENCH_SCHEMA));
+        let ok =
+            parse_object(&line).is_some_and(|p| p.get_str("schema") == Some(self.schema.as_str()));
         if !ok {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
@@ -404,6 +431,21 @@ mod tests {
         assert_eq!(parsed.get_str("schema"), Some(BENCH_SCHEMA));
         assert_eq!(parsed.get_f64("sweep.naive_s"), Some(0.25));
         assert_eq!(parsed.get_u64("sweep.timing_runs"), Some(2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn server_report_carries_its_own_schema() {
+        let mut r = BenchReport::with_schema(BENCH_SERVER_SCHEMA);
+        r.f64("server.throughput_8c_rps", 1234.5);
+        let dir = std::env::temp_dir().join(format!("ramp-bench-srv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_server.json");
+        r.write(&path).unwrap();
+        let line = std::fs::read_to_string(&path).unwrap();
+        let parsed = parse_object(line.trim()).expect("valid flat JSON");
+        assert_eq!(parsed.get_str("schema"), Some(BENCH_SERVER_SCHEMA));
+        assert_eq!(parsed.get_f64("server.throughput_8c_rps"), Some(1234.5));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -125,6 +125,39 @@ impl Args {
         }
     }
 
+    /// A positive integer option with a default: present-but-zero is an
+    /// explicit error instead of reaching queue/pool construction (which
+    /// would panic or silently reinterpret it downstream).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when present but unparsable
+    /// or zero.
+    pub fn positive_u64_or(&self, name: &str, default: u64) -> Result<u64, SimError> {
+        let value = self.u64_or(name, default)?;
+        if value == 0 {
+            return Err(SimError::invalid_config(format!(
+                "--{name} must be at least 1 (got 0)"
+            )));
+        }
+        Ok(value)
+    }
+
+    /// The `--jobs` worker count: unset means 0 (all cores downstream),
+    /// but an *explicit* `--jobs 0` is rejected — spell "all cores" by
+    /// omitting the option.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for `--jobs 0` or an
+    /// unparsable value.
+    pub fn jobs(&self) -> Result<usize, SimError> {
+        match self.get("jobs") {
+            None => Ok(0),
+            Some(_) => Ok(self.positive_u64_or("jobs", 1)? as usize),
+        }
+    }
+
     /// The workload named by `--app` (required).
     ///
     /// # Errors
@@ -269,6 +302,30 @@ mod tests {
         assert!(a.f64_or("n", 0.0).is_ok());
         let bad = parse(&["x", "--n", "abc"]).unwrap();
         assert!(bad.u64_or("n", 1).is_err());
+    }
+
+    #[test]
+    fn explicit_zero_jobs_is_rejected() {
+        // Unset --jobs means "all cores" (0 downstream)...
+        assert_eq!(parse(&["sweep"]).unwrap().jobs().unwrap(), 0);
+        // ...but an explicit 0 is a configuration error, caught at parse
+        // time instead of inside worker-pool construction.
+        let zero = parse(&["sweep", "--jobs", "0"]).unwrap();
+        let err = zero.jobs().unwrap_err();
+        assert!(err.to_string().contains("--jobs must be at least 1"));
+        assert_eq!(parse(&["sweep", "--jobs", "3"]).unwrap().jobs().unwrap(), 3);
+        assert!(parse(&["sweep", "--jobs", "-2"]).unwrap().jobs().is_err());
+    }
+
+    #[test]
+    fn positive_u64_rejects_zero_but_keeps_defaults() {
+        let a = parse(&["serve", "--queue-depth", "0"]).unwrap();
+        let err = a.positive_u64_or("queue-depth", 64).unwrap_err();
+        assert!(err.to_string().contains("--queue-depth must be at least 1"));
+        let unset = parse(&["serve"]).unwrap();
+        assert_eq!(unset.positive_u64_or("queue-depth", 64).unwrap(), 64);
+        let ok = parse(&["serve", "--queue-depth", "8"]).unwrap();
+        assert_eq!(ok.positive_u64_or("queue-depth", 64).unwrap(), 8);
     }
 
     #[test]

@@ -15,8 +15,11 @@ use ramp::{Mechanism, QualificationPoint, ReliabilityModel};
 use scenario::{Qualification, Scenario};
 use sim_common::{Kelvin, SimError, Structure};
 use sim_cpu::CoreConfig;
-use std::path::Path;
+use sim_server::{Client, Server, ServerConfig};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
 use workload::{App, AppProfile};
 
 use crate::args::Args;
@@ -75,6 +78,18 @@ pub fn print_help() {
     println!("              --app <name> [--tqual K]");
     println!("  scenario    work with scenario files (the text experiment format)");
     println!("              validate <file...> | print [<file>] | run <file> [--quick]");
+    println!("  serve       run the network evaluation service (ramp-serve/1)");
+    println!("              [--addr host:port] [--jobs N] [--queue-depth N]");
+    println!("              [--workers N] [--batch-max N] [--linger-ms N]");
+    println!("              [--stop-file <path>] [--quick]");
+    println!("  client      talk to a running server; prints the raw response");
+    println!("              [--addr host:port] ping | stats | shutdown");
+    println!("              | eval <app> [--ghz G] [--vdd V] [--window N] [--alus N]");
+    println!("                [--fpus N] [--use <scenario>]");
+    println!("              | fit <app> [eval opts] [--tqual K] [--alpha A] [--target FIT]");
+    println!("              | sweep <app> [--strategy arch|dvs|archdvs] [--step GHz]");
+    println!("                [--tqual K] [--alpha A] [--target FIT] [--use <scenario>]");
+    println!("              | upload <name> <file.scn> | raw <tokens...>");
     println!("  report      summarize a recorded trace: per-stage wall time,");
     println!("              hottest structures, reliability gauges");
     println!("              <trace.jsonl> [--top N]");
@@ -86,9 +101,10 @@ pub fn print_help() {
     println!("  --metrics             print the aggregated metric snapshot on exit");
     println!();
     println!("Add --quick to any simulation command for shorter runs.");
-    println!("--jobs N sets the batch engine's worker-thread count (0 or");
-    println!("unset = all cores); sweeps end with a one-line summary of the");
-    println!("parallel pass (evaluations, cache hits, evals/s, speedup).");
+    println!("--jobs N sets the batch engine's worker-thread count (unset =");
+    println!("all cores; an explicit 0 is rejected); sweeps end with a one-line");
+    println!("summary of the parallel pass (evaluations, cache hits, evals/s,");
+    println!("speedup).");
     println!("Set RAMP_LOG=off|error|warn|info|debug for diagnostics on stderr.");
 }
 
@@ -113,6 +129,8 @@ pub fn dispatch(args: &Args) -> Result<(), SimError> {
         "controller" => controller(args),
         "scaling" => scaling(args),
         "scenario" => scenario_cmd(args),
+        "serve" => serve_cmd(args),
+        "client" => client_cmd(args),
         "report" => report_cmd(args),
         other => Err(SimError::invalid_config(format!(
             "unknown command `{other}`; try `ramp help`"
@@ -202,10 +220,9 @@ fn eval_params(args: &Args, scn: &Scenario) -> EvalParams {
 }
 
 /// Builds the oracle over the scenario's stack, honouring `--jobs`
-/// (0 or absent = all cores).
+/// (absent = all cores; an explicit 0 is rejected at parse time).
 fn oracle_from(args: &Args, scn: &Scenario) -> Result<Oracle, SimError> {
-    let jobs = args.u64_or("jobs", 0)? as usize;
-    scn.oracle_with(eval_params(args, scn), jobs)
+    scn.oracle_with(eval_params(args, scn), args.jobs()?)
 }
 
 /// The processor to evaluate: the scenario's core with `--ghz`,
@@ -633,6 +650,163 @@ fn scenario_cmd(args: &Args) -> Result<(), SimError> {
             "unknown scenario action `{other}`; {usage}"
         ))),
     }
+}
+
+/// The address `ramp serve` binds and `ramp client` dials when `--addr`
+/// is not given.
+const DEFAULT_ADDR: &str = "127.0.0.1:4590";
+
+/// `ramp serve`: run the network evaluation service until a client sends
+/// `shutdown` or the stop-file appears, then print the traffic summary
+/// and the standard sweep line (so server-path evaluations show up in
+/// the same "timing N runs, M reused" accounting as local sweeps).
+fn serve_cmd(args: &Args) -> Result<(), SimError> {
+    args.expect_only(&[
+        "addr",
+        "jobs",
+        "queue-depth",
+        "workers",
+        "batch-max",
+        "linger-ms",
+        "stop-file",
+        "quick",
+    ])?;
+    let scn = scenario_from(args)?;
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        jobs: args.jobs()?,
+        queue_depth: args.positive_u64_or("queue-depth", defaults.queue_depth as u64)? as usize,
+        drain_workers: args.positive_u64_or("workers", defaults.drain_workers as u64)? as usize,
+        batch_max: args.positive_u64_or("batch-max", defaults.batch_max as u64)? as usize,
+        linger: Duration::from_millis(args.u64_or("linger-ms", 2)?),
+        stop_file: args.get("stop-file").map(PathBuf::from),
+        eval: args.flag("quick").then(EvalParams::quick),
+        ..defaults
+    };
+    let addr = args.get("addr").unwrap_or(DEFAULT_ADDR);
+    let server = Server::start(scn, config, addr)?;
+    println!(
+        "{} listening on {}",
+        sim_server::PROTOCOL_VERSION,
+        server.local_addr()
+    );
+    // Supervisors (and scripts/check.sh) poll stdout for the line above
+    // to learn the resolved ephemeral port — it must not sit in a buffer.
+    let _ = std::io::stdout().flush();
+    let state = Arc::clone(server.state());
+    let stats = server.join();
+    println!(
+        "server: {} connections | {} requests | {} shed | {} errors | {} batches ({:.1} req/batch)",
+        stats.connections,
+        stats.requests,
+        stats.shed,
+        stats.errors,
+        stats.batches,
+        stats.batch_occupancy(),
+    );
+    println!("{}", state.sweep_summary());
+    Ok(())
+}
+
+/// `ramp client`: one request against a running server; prints the raw
+/// response line and fails (non-zero exit) unless the server answered
+/// `ok`.
+fn client_cmd(args: &Args) -> Result<(), SimError> {
+    args.expect_options(&[
+        "addr", "ghz", "vdd", "window", "alus", "fpus", "tqual", "alpha", "target", "strategy",
+        "step", "use",
+    ])?;
+    let usage = "usage: ramp client [--addr host:port] ping | stats | shutdown \
+                 | eval <app> | fit <app> | sweep <app> | upload <name> <file.scn> \
+                 | raw <tokens...>";
+    let action = args
+        .positional(0)
+        .ok_or_else(|| SimError::invalid_config(usage))?;
+    let addr = args.get("addr").unwrap_or(DEFAULT_ADDR);
+    let mut client = Client::connect(addr)?;
+    let response = match action {
+        "ping" | "stats" | "shutdown" => {
+            args.expect_positionals(1)?;
+            client.request_raw(action)?
+        }
+        "raw" => {
+            let mut line = String::new();
+            let mut i = 1;
+            while let Some(token) = args.positional(i) {
+                if i > 1 {
+                    line.push(' ');
+                }
+                line.push_str(token);
+                i += 1;
+            }
+            if line.is_empty() {
+                return Err(SimError::invalid_config("raw needs the request tokens"));
+            }
+            client.request_raw(&line)?
+        }
+        "upload" => {
+            args.expect_positionals(3)?;
+            let name = args
+                .positional(1)
+                .ok_or_else(|| SimError::invalid_config("upload needs a scenario name"))?;
+            let path = args
+                .positional(2)
+                .ok_or_else(|| SimError::invalid_config("upload needs a scenario file"))?;
+            let text = std::fs::read_to_string(path).map_err(|e| {
+                SimError::invalid_config(format!("cannot read scenario `{path}`: {e}"))
+            })?;
+            client.upload_scenario(name, &text)?.raw
+        }
+        "eval" | "fit" | "sweep" => {
+            args.expect_positionals(2)?;
+            let request = build_request(args, action)?;
+            client.request_raw(&request)?
+        }
+        other => {
+            return Err(SimError::invalid_config(format!(
+                "unknown client action `{other}`; {usage}"
+            )))
+        }
+    };
+    println!("{response}");
+    if response.starts_with("ok") {
+        Ok(())
+    } else {
+        Err(SimError::invalid_config(
+            "server did not answer `ok` (response printed above)",
+        ))
+    }
+}
+
+/// Builds an `eval`/`fit`/`sweep` request line from the client options.
+fn build_request(args: &Args, verb: &str) -> Result<String, SimError> {
+    let app = args
+        .positional(1)
+        .ok_or_else(|| SimError::invalid_config(format!("client {verb} needs an application")))?;
+    let mut line = format!("{verb} {app}");
+    if args.get("ghz").is_some() {
+        let ghz = args.f64_or("ghz", 0.0)?;
+        line.push_str(&format!(" freq={}", ghz * 1e9));
+    }
+    for key in ["vdd", "tqual", "alpha", "target", "step"] {
+        // fit/sweep-only keys are forwarded as-is; the server's strict
+        // grammar rejects them on the wrong verb with a positioned error.
+        if args.get(key).is_some() {
+            line.push_str(&format!(" {key}={}", args.f64_or(key, 0.0)?));
+        }
+    }
+    for key in ["window", "alus", "fpus"] {
+        if args.get(key).is_some() {
+            line.push_str(&format!(" {key}={}", args.u64_or(key, 0)?));
+        }
+    }
+    if let Some(strategy) = args.get("strategy") {
+        line.push_str(&format!(" strategy={strategy}"));
+    }
+    if let Some(name) = args.get("use") {
+        line.push_str(&format!(" scenario={name}"));
+    }
+    Ok(line)
 }
 
 /// Runs a whole scenario: every workload in the suite on the scenario's

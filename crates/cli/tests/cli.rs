@@ -297,3 +297,39 @@ fn ramp_log_env_enables_stderr_diagnostics() {
         "RAMP_LOG=debug produced no diagnostics: {stderr}"
     );
 }
+
+#[test]
+fn explicit_zero_jobs_and_queue_depth_fail_at_parse_time() {
+    let (ok, _, stderr) = ramp(&["sweep", "--app", "gzip", "--jobs", "0", "--quick"]);
+    assert!(!ok);
+    assert!(stderr.contains("--jobs must be at least 1"), "{stderr}");
+
+    let (ok, _, stderr) = ramp(&["serve", "--addr", "127.0.0.1:0", "--queue-depth", "0"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--queue-depth must be at least 1"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn client_without_a_server_fails_cleanly() {
+    // Port 9 (discard) is unbound; the client must fail with a clear
+    // connection error, not hang or panic.
+    let (ok, _, stderr) = ramp(&["client", "--addr", "127.0.0.1:9", "ping"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot connect"), "{stderr}");
+
+    let (ok, _, stderr) = ramp(&["client"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage: ramp client"), "{stderr}");
+}
+
+#[test]
+fn serve_help_mentions_the_server_commands() {
+    let (ok, stdout, _) = ramp(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("serve"), "{stdout}");
+    assert!(stdout.contains("client"), "{stdout}");
+    assert!(stdout.contains("--queue-depth"), "{stdout}");
+}

@@ -388,6 +388,58 @@ pub fn render(trace: &Trace, top_n: usize) -> String {
         }
     }
 
+    // The serving layer's traffic summary, present when the trace came
+    // from `ramp serve`. Evaluation work done on behalf of clients still
+    // lands in the "caches and reuse" section above — the server shares
+    // the same engine counters — so this section only adds the
+    // network-facing view: traffic, shedding, batching, latency.
+    if let Some(requests) = trace.counter("server.requests") {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "server");
+        let _ = writeln!(out, "  {:<28} {requests:>10}", "requests (lines received)");
+        let counters = [
+            ("connections", "server.connections"),
+            ("shed (busy responses)", "server.shed"),
+            ("protocol errors", "server.protocol_errors"),
+        ];
+        for (label, name) in counters {
+            if let Some(v) = trace.counter(name) {
+                let _ = writeln!(out, "  {label:<28} {v:>10}");
+            }
+        }
+        if let Some(TraceMetricValue::HistSummary { count, sum, .. }) =
+            trace.metric("server.batch.size")
+        {
+            let occupancy = if *count == 0 {
+                0.0
+            } else {
+                sum / *count as f64
+            };
+            let _ = writeln!(
+                out,
+                "  {:<28} {count:>10} ({occupancy:.1} req/batch)",
+                "batches"
+            );
+        }
+        if let Some(TraceMetricValue::HistSummary {
+            count,
+            min,
+            max,
+            mean,
+            ..
+        }) = trace.metric("server.request.latency_ms")
+        {
+            let _ = writeln!(
+                out,
+                "  {:<28} {count:>10} (mean {mean:.2} ms, min {min:.2}, max {max:.2})",
+                "queued request latency"
+            );
+        }
+        if let Some(depth) = trace.gauge("server.queue.depth") {
+            let _ = writeln!(out, "  {:<28} {depth:>10.0}", "final queue depth");
+        }
+    }
+
     let fits: Vec<(&str, f64)> = trace
         .metrics
         .iter()
@@ -540,5 +592,33 @@ mod tests {
         // 6 hits of 8 lookups and 3 of 4; every solve reused a factor.
         assert!(out.contains("75.0%"), "{out}");
         assert!(out.contains("100.0%"), "{out}");
+    }
+
+    #[test]
+    fn render_includes_server_section_when_present() {
+        let text = concat!(
+            "{\"type\":\"counter\",\"name\":\"server.requests\",\"value\":12}\n",
+            "{\"type\":\"counter\",\"name\":\"server.connections\",\"value\":3}\n",
+            "{\"type\":\"counter\",\"name\":\"server.shed\",\"value\":1}\n",
+            "{\"type\":\"counter\",\"name\":\"server.protocol_errors\",\"value\":2}\n",
+            "{\"type\":\"gauge\",\"name\":\"server.queue.depth\",\"value\":0.0}\n",
+            "{\"type\":\"hist\",\"name\":\"server.batch.size\",",
+            "\"count\":4,\"sum\":10.0,\"min\":1.0,\"max\":4.0,\"mean\":2.5}\n",
+            "{\"type\":\"hist\",\"name\":\"server.request.latency_ms\",",
+            "\"count\":10,\"sum\":42.0,\"min\":1.5,\"max\":9.25,\"mean\":4.2}\n",
+        );
+        let trace = parse_trace(text);
+        let out = render(&trace, 5);
+        assert!(out.contains("server"), "{out}");
+        assert!(out.contains("requests (lines received)"), "{out}");
+        assert!(out.contains("shed (busy responses)"), "{out}");
+        assert!(out.contains("protocol errors"), "{out}");
+        // 10 batched requests over 4 batches.
+        assert!(out.contains("(2.5 req/batch)"), "{out}");
+        assert!(out.contains("mean 4.20 ms"), "{out}");
+        assert!(out.contains("final queue depth"), "{out}");
+        // A trace without server.requests gets no server section.
+        let plain = render(&parse_trace(""), 5);
+        assert!(!plain.contains("requests (lines received)"), "{plain}");
     }
 }

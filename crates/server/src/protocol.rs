@@ -1,0 +1,745 @@
+//! The `ramp-serve/1` wire protocol: one request line in, one response
+//! line out.
+//!
+//! Follows the repository's text-format idiom (`scenario::textfmt`,
+//! `workload::textfmt`): whitespace-separated tokens, strict validation —
+//! unknown keys, duplicate keys, and wrong arity are rejected, never
+//! ignored — and every error names the 1-based token position it was
+//! detected at, so `err 3: unknown key \`frq\`` points at the third token
+//! of the offending request.
+//!
+//! ```text
+//! C: eval gzip freq=4000000000 vdd=1.0
+//! S: ok eval app=gzip window=128 alus=6 fpus=4 freq_ghz=4 vdd=1 ipc=...
+//! C: eval gzip frq=1
+//! S: err 3: unknown key `frq` (allowed: freq, vdd, window, alus, fpus, scenario)
+//! ```
+//!
+//! Responses come in exactly three shapes, distinguished by their first
+//! token: `ok <kind> [key=value...]` for success, `busy <key=value...>`
+//! when admission control sheds the request (the queue is full — retry
+//! later), and `err <pos>: <message>` for malformed or failing requests.
+//! The server greets every connection with [`GREETING`] so clients can
+//! reject a version mismatch before sending anything.
+//!
+//! Floats are serialized with Rust's shortest-round-trip `Display`
+//! formatting (the same convention as the `.scn` format and the JSONL
+//! trace sink), so parsing a response recovers bit-identical values —
+//! which is what makes the socket-vs-direct parity tests exact.
+
+use std::fmt;
+
+use sim_common::SimError;
+
+/// Protocol name and revision. The first response line of every
+/// connection is [`GREETING`]; bump the revision when the grammar
+/// changes incompatibly.
+pub const PROTOCOL_VERSION: &str = "ramp-serve/1";
+
+/// The greeting the server writes on accept: `ok ramp-serve/1`.
+pub const GREETING: &str = "ok ramp-serve/1";
+
+/// Hard cap on one request line (bytes). A connection that exceeds it
+/// mid-line is answered with an error and closed — the stream cannot be
+/// resynchronized.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Hard cap on the line count of an inline-scenario upload.
+pub const MAX_SCENARIO_LINES: usize = 4096;
+
+/// Hard cap on `sleep ms=` (the load-testing primitive must not be able
+/// to park a worker for long).
+pub const MAX_SLEEP_MS: u64 = 10_000;
+
+/// A protocol-level error: what went wrong and the 1-based position of
+/// the request token it was detected at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// 1-based token position (1 = the verb).
+    pub pos: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ProtoError {
+    /// An error at token `pos`.
+    pub fn new(pos: usize, message: impl Into<String>) -> ProtoError {
+        ProtoError {
+            pos,
+            message: message.into(),
+        }
+    }
+
+    /// The wire form: `err <pos>: <message>`.
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        format!("err {}: {}", self.pos, self.message)
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_line())
+    }
+}
+
+/// A parsed value plus the 1-based position of the token that carried
+/// it, so semantic errors detected later (unknown application, frequency
+/// out of the DVS range) can still point at the offending token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned<T> {
+    /// The parsed value.
+    pub value: T,
+    /// 1-based token position in the request line.
+    pub pos: usize,
+}
+
+impl<T> Spanned<T> {
+    fn new(pos: usize, value: T) -> Spanned<T> {
+        Spanned { value, pos }
+    }
+}
+
+/// Operating-point overrides shared by `eval` and `fit`: absent keys
+/// default to the target scenario's base processor.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpPoint {
+    /// Clock frequency in Hz.
+    pub freq_hz: Option<Spanned<f64>>,
+    /// Supply voltage in volts.
+    pub vdd: Option<Spanned<f64>>,
+    /// Instruction-window size.
+    pub window: Option<Spanned<u32>>,
+    /// Integer ALU count.
+    pub alus: Option<Spanned<u32>>,
+    /// FPU count.
+    pub fpus: Option<Spanned<u32>>,
+}
+
+/// Qualification overrides shared by `fit` and `sweep`: absent keys
+/// default to the target scenario's qualification.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QualOverride {
+    /// Qualification temperature in kelvin.
+    pub tqual_k: Option<Spanned<f64>>,
+    /// Qualification activity factor.
+    pub alpha: Option<Spanned<f64>>,
+    /// Chip-wide FIT budget.
+    pub target_fit: Option<Spanned<f64>>,
+}
+
+/// `eval <app> [freq=<hz>] [vdd=<v>] [window=] [alus=] [fpus=] [scenario=<name>]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalRequest {
+    /// Workload name (resolved against the target scenario server-side).
+    pub app: Spanned<String>,
+    /// Uploaded scenario to evaluate against (default: the server's own).
+    pub scenario: Option<Spanned<String>>,
+    /// Operating-point overrides.
+    pub point: OpPoint,
+}
+
+/// `fit <app> [...eval keys...] [tqual=<K>] [alpha=<a>] [target=<fit>]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitRequest {
+    /// Workload name.
+    pub app: Spanned<String>,
+    /// Uploaded scenario to evaluate against.
+    pub scenario: Option<Spanned<String>>,
+    /// Operating-point overrides.
+    pub point: OpPoint,
+    /// Qualification overrides.
+    pub qual: QualOverride,
+}
+
+/// `sweep <app> [strategy=<arch|dvs|archdvs>] [step=<ghz>] [tqual=] [alpha=] [target=] [scenario=]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRequest {
+    /// Workload name.
+    pub app: Spanned<String>,
+    /// Uploaded scenario to evaluate against.
+    pub scenario: Option<Spanned<String>>,
+    /// Adaptation strategy (default `archdvs`).
+    pub strategy: Option<Spanned<String>>,
+    /// DVS grid step override in GHz.
+    pub step_ghz: Option<Spanned<f64>>,
+    /// Qualification overrides.
+    pub qual: QualOverride,
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `ping` — liveness check, answered inline.
+    Ping,
+    /// `stats` — server counters, answered inline.
+    Stats,
+    /// `shutdown` — drain in-flight work, then stop the server.
+    Shutdown,
+    /// `sleep ms=<n>` — park a worker (load-testing primitive).
+    Sleep {
+        /// Milliseconds to sleep, ≤ [`MAX_SLEEP_MS`].
+        ms: u64,
+    },
+    /// `scenario <name> <nlines>` — the next `nlines` raw lines are an
+    /// inline `.scn` upload, parsed with the `scenario` crate and
+    /// installed under `name` for later `scenario=<name>` requests.
+    Scenario {
+        /// Registry name the upload installs under.
+        name: Spanned<String>,
+        /// Number of raw payload lines that follow.
+        lines: usize,
+    },
+    /// Evaluate one operating point.
+    Eval(EvalRequest),
+    /// Evaluate and score against a qualification.
+    Fit(FitRequest),
+    /// Oracular DRM search over a strategy's candidate grid.
+    Sweep(SweepRequest),
+}
+
+/// The request verbs, for error messages.
+const VERBS: &str = "ping, stats, shutdown, sleep, scenario, eval, fit, sweep";
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns [`ProtoError`] with the 1-based token position for any
+/// violation of the grammar: unknown verbs or keys, duplicate keys,
+/// missing operands, unparsable values, trailing tokens.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let tokens: Vec<(usize, &str)> = line
+        .split_whitespace()
+        .enumerate()
+        .map(|(i, t)| (i + 1, t))
+        .collect();
+    let Some(&(_, verb)) = tokens.first() else {
+        return Err(ProtoError::new(1, "empty request"));
+    };
+    match verb {
+        "ping" => {
+            expect_end(&tokens, 1)?;
+            Ok(Request::Ping)
+        }
+        "stats" => {
+            expect_end(&tokens, 1)?;
+            Ok(Request::Stats)
+        }
+        "shutdown" => {
+            expect_end(&tokens, 1)?;
+            Ok(Request::Shutdown)
+        }
+        "sleep" => {
+            let keys = parse_keys(&tokens[1..], &["ms"])?;
+            let ms = require_key(&keys, "ms", 1)?;
+            let ms = parse_u64(ms)?;
+            if ms.value > MAX_SLEEP_MS {
+                return Err(ProtoError::new(
+                    ms.pos,
+                    format!("sleep ms must be at most {MAX_SLEEP_MS}"),
+                ));
+            }
+            expect_end(&tokens, 2)?;
+            Ok(Request::Sleep { ms: ms.value })
+        }
+        "scenario" => {
+            let name = operand(&tokens, 2, "scenario name")?;
+            let count = operand(&tokens, 3, "payload line count")?;
+            expect_end(&tokens, 3)?;
+            let lines: usize = count.value.parse().map_err(|_| {
+                ProtoError::new(
+                    count.pos,
+                    format!("expected a line count, got `{}`", count.value),
+                )
+            })?;
+            if lines == 0 || lines > MAX_SCENARIO_LINES {
+                return Err(ProtoError::new(
+                    count.pos,
+                    format!("line count must be in 1..={MAX_SCENARIO_LINES}"),
+                ));
+            }
+            Ok(Request::Scenario {
+                name: Spanned::new(name.pos, name.value.to_owned()),
+                lines,
+            })
+        }
+        "eval" => {
+            let app = app_operand(&tokens)?;
+            let keys = parse_keys(
+                &tokens[2..],
+                &["freq", "vdd", "window", "alus", "fpus", "scenario"],
+            )?;
+            Ok(Request::Eval(EvalRequest {
+                app,
+                scenario: get_str(&keys, "scenario"),
+                point: parse_point(&keys)?,
+            }))
+        }
+        "fit" => {
+            let app = app_operand(&tokens)?;
+            let keys = parse_keys(
+                &tokens[2..],
+                &[
+                    "freq", "vdd", "window", "alus", "fpus", "scenario", "tqual", "alpha", "target",
+                ],
+            )?;
+            Ok(Request::Fit(FitRequest {
+                app,
+                scenario: get_str(&keys, "scenario"),
+                point: parse_point(&keys)?,
+                qual: parse_qual(&keys)?,
+            }))
+        }
+        "sweep" => {
+            let app = app_operand(&tokens)?;
+            let keys = parse_keys(
+                &tokens[2..],
+                &["strategy", "step", "scenario", "tqual", "alpha", "target"],
+            )?;
+            let step_ghz = get_f64(&keys, "step")?;
+            if let Some(step) = &step_ghz {
+                if !step.value.is_finite() || step.value <= 0.0 {
+                    return Err(ProtoError::new(
+                        step.pos,
+                        "step must be a positive frequency step in GHz",
+                    ));
+                }
+            }
+            Ok(Request::Sweep(SweepRequest {
+                app,
+                scenario: get_str(&keys, "scenario"),
+                strategy: get_str(&keys, "strategy"),
+                step_ghz,
+                qual: parse_qual(&keys)?,
+            }))
+        }
+        other => Err(ProtoError::new(
+            1,
+            format!("unknown request `{other}` (known: {VERBS})"),
+        )),
+    }
+}
+
+/// A parsed `key=value` token.
+type KeyValue<'a> = (usize, &'a str, &'a str);
+
+fn expect_end(tokens: &[(usize, &str)], used: usize) -> Result<(), ProtoError> {
+    match tokens.get(used) {
+        Some(&(pos, t)) => Err(ProtoError::new(pos, format!("unexpected token `{t}`"))),
+        None => Ok(()),
+    }
+}
+
+fn operand<'a>(
+    tokens: &[(usize, &'a str)],
+    pos: usize,
+    what: &str,
+) -> Result<Spanned<&'a str>, ProtoError> {
+    match tokens.get(pos - 1) {
+        Some(&(p, t)) if !t.contains('=') => Ok(Spanned::new(p, t)),
+        _ => Err(ProtoError::new(pos, format!("missing {what}"))),
+    }
+}
+
+fn app_operand(tokens: &[(usize, &str)]) -> Result<Spanned<String>, ProtoError> {
+    let app = operand(tokens, 2, "application name")?;
+    Ok(Spanned::new(app.pos, app.value.to_owned()))
+}
+
+/// Parses the `key=value` tail of a request, rejecting bare tokens,
+/// unknown keys, and duplicates.
+fn parse_keys<'a>(
+    tokens: &[(usize, &'a str)],
+    allowed: &[&str],
+) -> Result<Vec<KeyValue<'a>>, ProtoError> {
+    let mut out: Vec<KeyValue<'a>> = Vec::with_capacity(tokens.len());
+    for &(pos, token) in tokens {
+        let Some((key, value)) = token.split_once('=') else {
+            return Err(ProtoError::new(
+                pos,
+                format!("expected key=value, got `{token}`"),
+            ));
+        };
+        if !allowed.contains(&key) {
+            return Err(ProtoError::new(
+                pos,
+                format!("unknown key `{key}` (allowed: {})", allowed.join(", ")),
+            ));
+        }
+        if out.iter().any(|&(_, k, _)| k == key) {
+            return Err(ProtoError::new(pos, format!("key `{key}` given twice")));
+        }
+        out.push((pos, key, value));
+    }
+    Ok(out)
+}
+
+fn require_key<'a>(
+    keys: &[KeyValue<'a>],
+    key: &str,
+    verb_pos: usize,
+) -> Result<Spanned<&'a str>, ProtoError> {
+    keys.iter()
+        .find(|&&(_, k, _)| k == key)
+        .map(|&(pos, _, v)| Spanned::new(pos, v))
+        .ok_or_else(|| ProtoError::new(verb_pos, format!("missing required key `{key}`")))
+}
+
+fn get_str(keys: &[KeyValue<'_>], key: &str) -> Option<Spanned<String>> {
+    keys.iter()
+        .find(|&&(_, k, _)| k == key)
+        .map(|&(pos, _, v)| Spanned::new(pos, v.to_owned()))
+}
+
+fn get_f64(keys: &[KeyValue<'_>], key: &str) -> Result<Option<Spanned<f64>>, ProtoError> {
+    match keys.iter().find(|&&(_, k, _)| k == key) {
+        None => Ok(None),
+        Some(&(pos, _, v)) => {
+            let parsed: f64 = v.parse().map_err(|_| {
+                ProtoError::new(pos, format!("key `{key}` expects a number, got `{v}`"))
+            })?;
+            if !parsed.is_finite() {
+                return Err(ProtoError::new(
+                    pos,
+                    format!("key `{key}` expects a finite number, got `{v}`"),
+                ));
+            }
+            Ok(Some(Spanned::new(pos, parsed)))
+        }
+    }
+}
+
+fn get_u32(keys: &[KeyValue<'_>], key: &str) -> Result<Option<Spanned<u32>>, ProtoError> {
+    match keys.iter().find(|&&(_, k, _)| k == key) {
+        None => Ok(None),
+        Some(&(pos, _, v)) => {
+            let parsed: u32 = v.parse().map_err(|_| {
+                ProtoError::new(pos, format!("key `{key}` expects an integer, got `{v}`"))
+            })?;
+            Ok(Some(Spanned::new(pos, parsed)))
+        }
+    }
+}
+
+fn parse_u64(s: Spanned<&str>) -> Result<Spanned<u64>, ProtoError> {
+    let v: u64 = s
+        .value
+        .parse()
+        .map_err(|_| ProtoError::new(s.pos, format!("expected an integer, got `{}`", s.value)))?;
+    Ok(Spanned::new(s.pos, v))
+}
+
+fn parse_point(keys: &[KeyValue<'_>]) -> Result<OpPoint, ProtoError> {
+    let freq_hz = get_f64(keys, "freq")?;
+    if let Some(f) = &freq_hz {
+        if f.value <= 0.0 {
+            return Err(ProtoError::new(f.pos, "freq must be a positive Hz value"));
+        }
+    }
+    let vdd = get_f64(keys, "vdd")?;
+    if let Some(v) = &vdd {
+        if v.value <= 0.0 {
+            return Err(ProtoError::new(v.pos, "vdd must be a positive voltage"));
+        }
+    }
+    Ok(OpPoint {
+        freq_hz,
+        vdd,
+        window: get_u32(keys, "window")?,
+        alus: get_u32(keys, "alus")?,
+        fpus: get_u32(keys, "fpus")?,
+    })
+}
+
+fn parse_qual(keys: &[KeyValue<'_>]) -> Result<QualOverride, ProtoError> {
+    Ok(QualOverride {
+        tqual_k: get_f64(keys, "tqual")?,
+        alpha: get_f64(keys, "alpha")?,
+        target_fit: get_f64(keys, "target")?,
+    })
+}
+
+/// Builds one `ok <kind> key=value...` response line. Floats use
+/// shortest-round-trip formatting, so clients recover exact bits.
+#[derive(Debug)]
+pub struct ResponseLine {
+    buf: String,
+}
+
+impl ResponseLine {
+    /// Starts an `ok <kind>` line.
+    #[must_use]
+    pub fn ok(kind: &str) -> ResponseLine {
+        ResponseLine {
+            buf: format!("ok {kind}"),
+        }
+    }
+
+    /// Appends ` key=value`. Values must be single tokens — the line
+    /// format has no quoting.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        debug_assert!(
+            !value.contains(char::is_whitespace) && !value.is_empty(),
+            "response value `{value}` is not a single token"
+        );
+        self.buf.push(' ');
+        self.buf.push_str(key);
+        self.buf.push('=');
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Appends a float field (shortest-round-trip formatting).
+    pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.str(key, &value.to_string())
+    }
+
+    /// Appends an integer field.
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.str(key, &value.to_string())
+    }
+
+    /// Appends a boolean field (`true`/`false`).
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.str(key, if value { "true" } else { "false" })
+    }
+
+    /// The finished line (no trailing newline).
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// The `busy` shed response, carrying the queue bound that was hit.
+#[must_use]
+pub fn busy_line(queue_depth: usize) -> String {
+    format!("busy queue_depth={queue_depth}")
+}
+
+/// The first token of a response line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// `ok ...` — the request succeeded.
+    Ok,
+    /// `busy ...` — admission control shed the request; retry later.
+    Busy,
+    /// `err <pos>: ...` — the request was malformed or failed.
+    Err,
+}
+
+/// A parsed response line (client side).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// Outcome class.
+    pub status: Status,
+    /// The response kind (`eval`, `fit`, ... for `ok` lines; empty for
+    /// `busy`/`err`).
+    pub kind: String,
+    /// `key=value` fields, in wire order.
+    pub fields: Vec<(String, String)>,
+    /// The raw line, for diagnostics and `err` messages.
+    pub raw: String,
+}
+
+impl Reply {
+    /// Parses a response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the line matches none of
+    /// the three response shapes.
+    pub fn parse(line: &str) -> Result<Reply, SimError> {
+        let raw = line.to_owned();
+        let mut tokens = line.split_whitespace();
+        let status = match tokens.next() {
+            Some("ok") => Status::Ok,
+            Some("busy") => Status::Busy,
+            Some("err") => Status::Err,
+            _ => {
+                return Err(SimError::invalid_config(format!(
+                    "malformed response line `{line}`"
+                )))
+            }
+        };
+        if status == Status::Err {
+            return Ok(Reply {
+                status,
+                kind: String::new(),
+                fields: Vec::new(),
+                raw,
+            });
+        }
+        let mut kind = String::new();
+        let mut fields = Vec::new();
+        for token in tokens {
+            match token.split_once('=') {
+                Some((k, v)) => fields.push((k.to_owned(), v.to_owned())),
+                None if kind.is_empty() && fields.is_empty() => kind = token.to_owned(),
+                None => {
+                    return Err(SimError::invalid_config(format!(
+                        "malformed response token `{token}` in `{line}`"
+                    )))
+                }
+            }
+        }
+        Ok(Reply {
+            status,
+            kind,
+            fields,
+            raw,
+        })
+    }
+
+    /// True for `ok` responses.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.status == Status::Ok
+    }
+
+    /// A field's raw value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A required float field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when absent or unparsable.
+    pub fn f64(&self, key: &str) -> Result<f64, SimError> {
+        self.get(key)
+            .ok_or_else(|| {
+                SimError::invalid_config(format!("response missing `{key}`: {}", self.raw))
+            })?
+            .parse()
+            .map_err(|_| SimError::invalid_config(format!("response field `{key}` is not a float")))
+    }
+
+    /// A required integer field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when absent or unparsable.
+    pub fn u64(&self, key: &str) -> Result<u64, SimError> {
+        self.get(key)
+            .ok_or_else(|| {
+                SimError::invalid_config(format!("response missing `{key}`: {}", self.raw))
+            })?
+            .parse()
+            .map_err(|_| {
+                SimError::invalid_config(format!("response field `{key}` is not an integer"))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_issue_example() {
+        let r = parse_request("eval gzip freq=4000000000 vdd=1.0").unwrap();
+        let Request::Eval(e) = r else {
+            panic!("not an eval")
+        };
+        assert_eq!(e.app.value, "gzip");
+        assert_eq!(e.app.pos, 2);
+        assert_eq!(e.point.freq_hz.as_ref().unwrap().value, 4e9);
+        assert_eq!(e.point.freq_hz.as_ref().unwrap().pos, 3);
+        assert_eq!(e.point.vdd.as_ref().unwrap().value, 1.0);
+        assert!(e.scenario.is_none());
+    }
+
+    #[test]
+    fn unknown_key_errors_carry_the_token_position() {
+        let e = parse_request("eval gzip frq=1").unwrap_err();
+        assert_eq!(e.pos, 3);
+        assert!(e.message.contains("unknown key `frq`"), "{e}");
+        assert!(e.to_line().starts_with("err 3: "), "{}", e.to_line());
+    }
+
+    #[test]
+    fn duplicate_and_bare_tokens_are_rejected() {
+        let e = parse_request("eval gzip freq=1e9 freq=2e9").unwrap_err();
+        assert_eq!(e.pos, 4);
+        assert!(e.message.contains("given twice"));
+        let e = parse_request("eval gzip 4ghz").unwrap_err();
+        assert_eq!(e.pos, 3);
+        assert!(e.message.contains("expected key=value"));
+    }
+
+    #[test]
+    fn arity_violations_are_positioned() {
+        assert_eq!(parse_request("").unwrap_err().pos, 1);
+        assert_eq!(parse_request("eval").unwrap_err().pos, 2);
+        assert_eq!(parse_request("ping now").unwrap_err().pos, 2);
+        assert_eq!(parse_request("scenario hot").unwrap_err().pos, 3);
+        let e = parse_request("bogus").unwrap_err();
+        assert_eq!(e.pos, 1);
+        assert!(e.message.contains("unknown request"));
+    }
+
+    #[test]
+    fn value_validation() {
+        assert!(parse_request("eval gzip freq=-1").is_err());
+        assert!(parse_request("eval gzip vdd=nan").is_err());
+        assert!(parse_request("sweep gzip step=0").is_err());
+        assert!(parse_request("sleep ms=999999").is_err());
+        assert!(parse_request("scenario x 0").is_err());
+        assert!(parse_request("scenario x 99999").is_err());
+        assert!(parse_request("sleep ms=5").is_ok());
+    }
+
+    #[test]
+    fn fit_and_sweep_accept_qualification_overrides() {
+        let Request::Fit(f) = parse_request("fit gzip tqual=394 alpha=0.48 target=4000").unwrap()
+        else {
+            panic!("not a fit")
+        };
+        assert_eq!(f.qual.tqual_k.unwrap().value, 394.0);
+        let Request::Sweep(s) = parse_request("sweep gzip strategy=dvs step=0.5").unwrap() else {
+            panic!("not a sweep")
+        };
+        assert_eq!(s.strategy.unwrap().value, "dvs");
+        assert_eq!(s.step_ghz.unwrap().value, 0.5);
+    }
+
+    #[test]
+    fn response_lines_round_trip_floats_bit_exactly() {
+        let value = 0.1_f64 + 0.2_f64; // not representable as a short decimal
+        let mut line = ResponseLine::ok("eval");
+        line.f64("ipc", value).u64("n", 7).bool("feasible", true);
+        let reply = Reply::parse(&line.finish()).unwrap();
+        assert_eq!(reply.status, Status::Ok);
+        assert_eq!(reply.kind, "eval");
+        assert_eq!(reply.f64("ipc").unwrap().to_bits(), value.to_bits());
+        assert_eq!(reply.u64("n").unwrap(), 7);
+        assert_eq!(reply.get("feasible"), Some("true"));
+    }
+
+    #[test]
+    fn busy_and_err_replies_parse() {
+        let b = Reply::parse(&busy_line(64)).unwrap();
+        assert_eq!(b.status, Status::Busy);
+        assert_eq!(b.u64("queue_depth").unwrap(), 64);
+        let e = Reply::parse("err 3: unknown key `frq`").unwrap();
+        assert_eq!(e.status, Status::Err);
+        assert!(e.raw.contains("unknown key"));
+        assert!(Reply::parse("??? what").is_err());
+    }
+
+    #[test]
+    fn scenario_upload_header_parses() {
+        let Request::Scenario { name, lines } = parse_request("scenario hot 42").unwrap() else {
+            panic!("not a scenario upload")
+        };
+        assert_eq!(name.value, "hot");
+        assert_eq!(lines, 42);
+    }
+}

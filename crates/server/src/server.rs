@@ -1,0 +1,1060 @@
+//! The evaluation server: accept loop, bounded request queue,
+//! micro-batching drain workers, and shutdown orchestration.
+//!
+//! One long-lived [`BatchEngine`] per installed scenario means the
+//! sharded `Arc<Evaluation>` cache and the voltage-invariant
+//! `TimingCache` are shared across *all* connections — the second client
+//! asking for a warm operating point pays one hash lookup, and a DVS
+//! grid requested by eight clients runs its cycle-level timing once.
+//!
+//! ## Request flow
+//!
+//! Connection threads parse and *resolve* requests (application lookup,
+//! DVS-range checks, reliability-model qualification) so protocol and
+//! semantic errors are answered immediately without touching the queue.
+//! Resolved work is `try_push`ed onto a bounded queue — a full queue is
+//! answered with `busy` (admission control sheds load; nothing blocks).
+//! Drain workers pop work and gather whatever else arrives inside a
+//! short linger window into one batch, then hand each scenario's share
+//! to its engine's `evaluate_all`, which deduplicates against the cache
+//! and shares timing runs across the batch. Micro-batching is what makes
+//! concurrent clients *faster* than one: a lone client pays a full
+//! round-trip per request, while overlapping requests ride the same
+//! batch pass.
+//!
+//! ## Shutdown
+//!
+//! A `shutdown` request, a [`ServerConfig::stop_file`] appearing on
+//! disk, or [`Server::shutdown`] sets the stop flag. The accept loop
+//! stops accepting and joins connection threads (they observe the flag
+//! at request boundaries via their read-timeout poll); then the queue is
+//! closed and the drain workers finish everything still queued before
+//! exiting — in-flight work is drained, never dropped.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use drm::{ArchPoint, BatchEngine, DvsPoint, EvalParams, Oracle, Strategy, SweepSummary};
+use ramp::{Mechanism, ReliabilityModel};
+use scenario::{Qualification, Scenario};
+use sim_common::{Hertz, Kelvin, SimError, Volts};
+use workload::App;
+
+use crate::protocol::{
+    busy_line, parse_request, EvalRequest, FitRequest, OpPoint, ProtoError, QualOverride, Request,
+    ResponseLine, SweepRequest, GREETING, MAX_LINE_BYTES,
+};
+use crate::queue::{BoundedQueue, PushError};
+
+/// Server tuning knobs. [`ServerConfig::default`] is sized for the CLI's
+/// `ramp serve` defaults; tests shrink the queue and timeouts.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Evaluation worker threads per engine (`0` = all cores).
+    pub jobs: usize,
+    /// Bounded queue capacity; a full queue sheds with `busy` (≥ 1).
+    pub queue_depth: usize,
+    /// Drain-worker threads pulling batches off the queue.
+    pub drain_workers: usize,
+    /// Largest batch one drain pass will gather.
+    pub batch_max: usize,
+    /// How long a drain pass lingers for more requests after the first.
+    pub linger: Duration,
+    /// Socket read timeout — also the poll interval at which idle
+    /// connections observe shutdown.
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// Connections idle longer than this are closed.
+    pub idle_timeout: Duration,
+    /// When this path appears on disk the server shuts down (for
+    /// supervisors that cannot speak the protocol).
+    pub stop_file: Option<PathBuf>,
+    /// Overrides every scenario's own [`EvalParams`] (e.g. the CLI's
+    /// `--quick`).
+    pub eval: Option<EvalParams>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            jobs: 0,
+            queue_depth: 64,
+            drain_workers: 2,
+            batch_max: 32,
+            linger: Duration::from_millis(2),
+            read_timeout: Duration::from_millis(200),
+            write_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(300),
+            stop_file: None,
+            eval: None,
+        }
+    }
+}
+
+/// A point-in-time snapshot of the server counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Request lines received (including inline-answered ones).
+    pub requests: u64,
+    /// Requests shed with `busy` by admission control.
+    pub shed: u64,
+    /// Malformed or failing requests answered with `err`.
+    pub errors: u64,
+    /// Batches drained off the queue.
+    pub batches: u64,
+    /// Queued requests processed through batches.
+    pub batched_requests: u64,
+}
+
+impl ServerStats {
+    /// Mean requests per drained batch (1.0 = no batching benefit).
+    #[must_use]
+    pub fn batch_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+}
+
+/// One installed scenario and its long-lived evaluation engine.
+pub struct EngineSlot {
+    /// The scenario evaluations run against.
+    pub scenario: Scenario,
+    /// The raw text the scenario was installed from (idempotency check
+    /// for repeated uploads).
+    pub text: String,
+    /// The engine owning this scenario's shared caches.
+    pub engine: BatchEngine,
+}
+
+impl EngineSlot {
+    fn new(
+        scenario: Scenario,
+        text: String,
+        eval: Option<EvalParams>,
+        jobs: usize,
+    ) -> Result<EngineSlot, SimError> {
+        scenario.validate()?;
+        let params = eval.unwrap_or(scenario.eval);
+        let engine = BatchEngine::with_workers(scenario.evaluator_with(params)?, jobs)
+            .with_base_config(scenario.core.clone());
+        Ok(EngineSlot {
+            scenario,
+            text,
+            engine,
+        })
+    }
+
+    /// The reliability model for a request's qualification overrides.
+    fn model_for(&self, qual: &QualOverride) -> Result<ReliabilityModel, SimError> {
+        let q = Qualification {
+            t_qual: qual
+                .tqual_k
+                .as_ref()
+                .map_or(self.scenario.qualification.t_qual, |t| Kelvin(t.value)),
+            alpha: qual
+                .alpha
+                .as_ref()
+                .map_or(self.scenario.qualification.alpha, |a| a.value),
+            target_fit: qual
+                .target_fit
+                .as_ref()
+                .map_or(self.scenario.qualification.target_fit, |f| f.value),
+        };
+        Scenario {
+            qualification: q,
+            ..self.scenario.clone()
+        }
+        .model()
+    }
+}
+
+/// Resolved, queueable work. Everything fallible-by-configuration
+/// happened on the connection thread; workers only evaluate.
+enum Job {
+    Eval {
+        slot: Arc<EngineSlot>,
+        app: App,
+        arch: ArchPoint,
+        dvs: DvsPoint,
+    },
+    Fit {
+        slot: Arc<EngineSlot>,
+        app: App,
+        arch: ArchPoint,
+        dvs: DvsPoint,
+        model: ReliabilityModel,
+    },
+    Sweep {
+        slot: Arc<EngineSlot>,
+        app: App,
+        strategy: Strategy,
+        candidates: Vec<(ArchPoint, DvsPoint)>,
+        model: ReliabilityModel,
+    },
+    Sleep {
+        ms: u64,
+    },
+}
+
+/// One queued request: the work plus its reply channel.
+struct QueuedRequest {
+    job: Job,
+    reply: mpsc::Sender<String>,
+    enqueued: Instant,
+}
+
+/// Shared server state: scenario registry, request queue, counters.
+pub struct ServerState {
+    config: ServerConfig,
+    /// Installed scenarios by registry name; the startup scenario is
+    /// registered under its own name.
+    registry: Mutex<HashMap<String, Arc<EngineSlot>>>,
+    default_slot: Arc<EngineSlot>,
+    queue: BoundedQueue<QueuedRequest>,
+    stop: AtomicBool,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    shed: AtomicU64,
+    errors: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+}
+
+impl ServerState {
+    /// True once shutdown has begun.
+    pub fn shutting_down(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    fn begin_shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Cumulative sweep statistics aggregated over every installed
+    /// scenario's engine — the same shape `Oracle::summary` reports, so
+    /// `ramp serve` prints the standard "timing N runs, M reused" line
+    /// at exit and `ramp report` sees the familiar cache counters.
+    pub fn sweep_summary(&self) -> SweepSummary {
+        let registry = self.registry.lock().expect("registry lock poisoned");
+        let mut summary = SweepSummary {
+            workers: self.default_slot.engine.workers(),
+            ..SweepSummary::default()
+        };
+        for slot in registry.values() {
+            let cache = slot.engine.cache();
+            let timing = slot.engine.timing_cache();
+            summary.evaluations += cache.len() as u64;
+            summary.cache_hits += cache.hits();
+            summary.timing_runs += timing.misses();
+            summary.timing_reuses += timing.hits();
+            summary.wall += cache.wall();
+            summary.busy += cache.busy();
+        }
+        summary
+    }
+
+    fn slot(&self, name: Option<&str>) -> Option<Arc<EngineSlot>> {
+        match name {
+            None => Some(Arc::clone(&self.default_slot)),
+            Some(name) => self
+                .registry
+                .lock()
+                .expect("registry lock poisoned")
+                .get(name)
+                .cloned(),
+        }
+    }
+
+    /// Installs an uploaded scenario under `name`. Re-uploading the
+    /// same text is idempotent; a different scenario under a taken name
+    /// is refused.
+    fn install(&self, name: &str, text: &str) -> Result<Arc<EngineSlot>, SimError> {
+        let scenario = Scenario::from_text(text)?;
+        let mut registry = self.registry.lock().expect("registry lock poisoned");
+        if let Some(existing) = registry.get(name) {
+            if existing.text == text {
+                return Ok(Arc::clone(existing));
+            }
+            return Err(SimError::invalid_config(format!(
+                "scenario `{name}` is already installed with different contents"
+            )));
+        }
+        let slot = Arc::new(EngineSlot::new(
+            scenario,
+            text.to_owned(),
+            self.config.eval,
+            self.config.jobs,
+        )?);
+        registry.insert(name.to_owned(), Arc::clone(&slot));
+        Ok(slot)
+    }
+}
+
+/// A running evaluation server. Dropping the handle does *not* stop the
+/// server — call [`Server::shutdown`] and [`Server::join`], or let a
+/// client `shutdown` request / the stop-file end it.
+pub struct Server {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop and drain workers over `scenario`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the scenario fails
+    /// validation or the address cannot be bound.
+    pub fn start(scenario: Scenario, config: ServerConfig, addr: &str) -> Result<Server, SimError> {
+        let slot = Arc::new(EngineSlot::new(
+            scenario.clone(),
+            scenario.to_text(),
+            config.eval,
+            config.jobs,
+        )?);
+        let mut registry = HashMap::new();
+        registry.insert(scenario.name.clone(), Arc::clone(&slot));
+
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| SimError::invalid_config(format!("cannot bind {addr}: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| SimError::invalid_config(format!("cannot read local addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| SimError::invalid_config(format!("cannot set nonblocking: {e}")))?;
+
+        let drain_workers = config.drain_workers.max(1);
+        let state = Arc::new(ServerState {
+            queue: BoundedQueue::new(config.queue_depth),
+            config,
+            registry: Mutex::new(registry),
+            default_slot: slot,
+            stop: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+        });
+
+        let mut workers = Vec::with_capacity(drain_workers);
+        for i in 0..drain_workers {
+            let state = Arc::clone(&state);
+            let handle = std::thread::Builder::new()
+                .name(format!("sim-server-worker-{i}"))
+                .spawn(move || worker_loop(&state))
+                .map_err(|e| SimError::invalid_config(format!("cannot spawn worker: {e}")))?;
+            workers.push(handle);
+        }
+
+        let accept = {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("sim-server-accept".to_owned())
+                .spawn(move || accept_loop(&state, listener))
+                .map_err(|e| SimError::invalid_config(format!("cannot spawn accept loop: {e}")))?
+        };
+
+        sim_obs::log_debug!("server", "listening on {local}");
+        Ok(Server {
+            state,
+            addr: local,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared server state (stats and sweep summary).
+    #[must_use]
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Current counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        self.state.stats()
+    }
+
+    /// Cumulative cache/timing statistics across all engines.
+    #[must_use]
+    pub fn sweep_summary(&self) -> SweepSummary {
+        self.state.sweep_summary()
+    }
+
+    /// Begins shutdown (idempotent): stop accepting, drain, exit.
+    pub fn shutdown(&self) {
+        self.state.begin_shutdown();
+    }
+
+    /// Waits for the server to finish (after a `shutdown` request, the
+    /// stop-file, or [`Server::shutdown`]) and returns the final stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a server thread panicked.
+    pub fn join(mut self) -> ServerStats {
+        if let Some(accept) = self.accept.take() {
+            accept.join().expect("accept thread panicked");
+        }
+        for worker in self.workers.drain(..) {
+            worker.join().expect("drain worker panicked");
+        }
+        self.state.stats()
+    }
+}
+
+/// Accepts connections until shutdown, then joins connection threads and
+/// closes the queue (the ordering that makes `join` drain cleanly).
+fn accept_loop(state: &Arc<ServerState>, listener: TcpListener) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !state.shutting_down() {
+        if let Some(stop_file) = &state.config.stop_file {
+            if stop_file.exists() {
+                sim_obs::log_debug!("server", "stop file present, shutting down");
+                state.begin_shutdown();
+                break;
+            }
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                state.connections.fetch_add(1, Ordering::Relaxed);
+                sim_obs::counter!("server.connections", 1);
+                let state = Arc::clone(state);
+                let handle = std::thread::Builder::new()
+                    .name("sim-server-conn".to_owned())
+                    .spawn(move || handle_connection(&state, stream))
+                    .expect("cannot spawn connection thread");
+                connections.push(handle);
+                // Reap finished connections so the handle list stays small.
+                connections.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+    drop(listener);
+    for handle in connections {
+        let _ = handle.join();
+    }
+    state.queue.close();
+}
+
+/// What one attempt to read a request line produced.
+enum ReadLine {
+    /// A complete line (delimiter stripped).
+    Line(String),
+    /// The peer closed the connection (or shutdown/idle ended it).
+    Closed,
+    /// The line exceeded [`MAX_LINE_BYTES`]; the stream cannot be
+    /// resynchronized.
+    Oversize,
+}
+
+/// Reads request lines off one connection, preserving partial data
+/// across read-timeout polls (the polls are what let idle connections
+/// observe shutdown).
+struct LineReader<'a> {
+    reader: BufReader<TcpStream>,
+    state: &'a Arc<ServerState>,
+    eof: bool,
+}
+
+impl LineReader<'_> {
+    fn next_line(&mut self) -> ReadLine {
+        if self.eof {
+            return ReadLine::Closed;
+        }
+        let mut buf: Vec<u8> = Vec::new();
+        let idle_started = Instant::now();
+        loop {
+            match self.reader.fill_buf() {
+                Ok([]) => {
+                    // EOF. A trailing unterminated line still counts.
+                    self.eof = true;
+                    return if buf.is_empty() {
+                        ReadLine::Closed
+                    } else {
+                        ReadLine::Line(String::from_utf8_lossy(&buf).into_owned())
+                    };
+                }
+                Ok(available) => {
+                    if let Some(i) = available.iter().position(|&b| b == b'\n') {
+                        buf.extend_from_slice(&available[..i]);
+                        self.reader.consume(i + 1);
+                        if buf.last() == Some(&b'\r') {
+                            buf.pop();
+                        }
+                        return ReadLine::Line(String::from_utf8_lossy(&buf).into_owned());
+                    }
+                    buf.extend_from_slice(available);
+                    let n = available.len();
+                    self.reader.consume(n);
+                    if buf.len() > MAX_LINE_BYTES {
+                        return ReadLine::Oversize;
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    if self.state.shutting_down()
+                        || idle_started.elapsed() >= self.state.config.idle_timeout
+                    {
+                        return ReadLine::Closed;
+                    }
+                }
+                Err(_) => return ReadLine::Closed,
+            }
+        }
+    }
+}
+
+/// Serves one connection: greeting, then a request/response loop.
+fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(state.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(state.config.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    if write_line(&mut writer, GREETING).is_err() {
+        return;
+    }
+    let mut reader = LineReader {
+        reader: BufReader::new(read_half),
+        state,
+        eof: false,
+    };
+    loop {
+        let line = match reader.next_line() {
+            ReadLine::Line(line) => line,
+            ReadLine::Closed => return,
+            ReadLine::Oversize => {
+                state.errors.fetch_add(1, Ordering::Relaxed);
+                let message =
+                    ProtoError::new(1, format!("request line exceeds {MAX_LINE_BYTES} bytes"));
+                let _ = write_line(&mut writer, &message.to_line());
+                return;
+            }
+        };
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        sim_obs::counter!("server.requests", 1);
+        let shutdown_after = matches!(parse_request(&line), Ok(Request::Shutdown));
+        let response = respond(state, &mut reader, &line);
+        if !response.starts_with("ok") {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            if response.starts_with("err") {
+                sim_obs::counter!("server.protocol_errors", 1);
+            }
+        }
+        if write_line(&mut writer, &response).is_err() {
+            return;
+        }
+        if shutdown_after {
+            state.begin_shutdown();
+            return;
+        }
+        if state.shutting_down() {
+            return;
+        }
+    }
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+/// Produces the response line for one request line. Inline verbs are
+/// answered here; evaluation work is resolved, queued, and awaited.
+fn respond(state: &Arc<ServerState>, reader: &mut LineReader<'_>, line: &str) -> String {
+    let request = match parse_request(line) {
+        Ok(request) => request,
+        Err(e) => return e.to_line(),
+    };
+    match request {
+        Request::Ping => "ok pong".to_owned(),
+        Request::Shutdown => "ok shutdown".to_owned(),
+        Request::Stats => stats_line(state),
+        Request::Scenario { name, lines } => {
+            let mut payload = String::new();
+            for _ in 0..lines {
+                match reader.next_line() {
+                    ReadLine::Line(line) => {
+                        payload.push_str(&line);
+                        payload.push('\n');
+                    }
+                    ReadLine::Closed | ReadLine::Oversize => {
+                        return ProtoError::new(3, "connection ended inside scenario payload")
+                            .to_line();
+                    }
+                }
+            }
+            match state.install(&name.value, &payload) {
+                Ok(slot) => {
+                    let mut ok = ResponseLine::ok("scenario");
+                    ok.str("name", &name.value)
+                        .u64("workloads", slot.scenario.workloads.len() as u64)
+                        .u64("arch_points", slot.scenario.arch_points.len() as u64);
+                    ok.finish()
+                }
+                Err(e) => ProtoError::new(name.pos, one_line(&e)).to_line(),
+            }
+        }
+        Request::Sleep { ms } => match enqueue(state, Job::Sleep { ms }) {
+            Ok(response) => response,
+            Err(response) => response,
+        },
+        Request::Eval(eval) => match resolve_eval(state, &eval) {
+            Ok(job) => enqueue(state, job).unwrap_or_else(|busy| busy),
+            Err(e) => e.to_line(),
+        },
+        Request::Fit(fit) => match resolve_fit(state, &fit) {
+            Ok(job) => enqueue(state, job).unwrap_or_else(|busy| busy),
+            Err(e) => e.to_line(),
+        },
+        Request::Sweep(sweep) => match resolve_sweep(state, &sweep) {
+            Ok(job) => enqueue(state, job).unwrap_or_else(|busy| busy),
+            Err(e) => e.to_line(),
+        },
+    }
+}
+
+/// Flattens an error to one response-safe line.
+fn one_line(e: &SimError) -> String {
+    e.to_string().replace('\n', "; ")
+}
+
+fn stats_line(state: &Arc<ServerState>) -> String {
+    let stats = state.stats();
+    let summary = state.sweep_summary();
+    let mut ok = ResponseLine::ok("stats");
+    ok.u64("connections", stats.connections)
+        .u64("requests", stats.requests)
+        .u64("shed", stats.shed)
+        .u64("errors", stats.errors)
+        .u64("batches", stats.batches)
+        .u64("batched_requests", stats.batched_requests)
+        .u64("queue_len", state.queue.len() as u64)
+        .u64("evaluations", summary.evaluations)
+        .u64("cache_hits", summary.cache_hits)
+        .u64("timing_runs", summary.timing_runs)
+        .u64("timing_reuses", summary.timing_reuses);
+    ok.finish()
+}
+
+/// Queues resolved work and waits for the worker's reply. `Err` carries
+/// the `busy` (or internal-error) response when the work never queued.
+fn enqueue(state: &Arc<ServerState>, job: Job) -> Result<String, String> {
+    let (tx, rx) = mpsc::channel();
+    let queued = QueuedRequest {
+        job,
+        reply: tx,
+        enqueued: Instant::now(),
+    };
+    match state.queue.try_push(queued) {
+        Ok(()) => {
+            sim_obs::gauge!("server.queue.depth", state.queue.len() as f64);
+        }
+        Err((PushError::Full, _)) => {
+            state.shed.fetch_add(1, Ordering::Relaxed);
+            sim_obs::counter!("server.shed", 1);
+            return Err(busy_line(state.queue.capacity()));
+        }
+        Err((PushError::Closed, _)) => {
+            return Err(ProtoError::new(1, "server is shutting down").to_line());
+        }
+    }
+    rx.recv()
+        .map_err(|_| ProtoError::new(1, "internal error: worker dropped the request").to_line())
+}
+
+/// Resolution helpers — connection-thread work that turns parsed
+/// requests into queueable jobs, reporting semantic errors at the
+/// offending token.
+fn resolve_slot(
+    state: &Arc<ServerState>,
+    scenario: Option<&crate::protocol::Spanned<String>>,
+) -> Result<Arc<EngineSlot>, ProtoError> {
+    match scenario {
+        None => Ok(state.slot(None).expect("default slot always present")),
+        Some(name) => state.slot(Some(&name.value)).ok_or_else(|| {
+            ProtoError::new(
+                name.pos,
+                format!("unknown scenario `{}` (upload it first)", name.value),
+            )
+        }),
+    }
+}
+
+fn resolve_app(
+    slot: &EngineSlot,
+    app: &crate::protocol::Spanned<String>,
+) -> Result<App, ProtoError> {
+    App::ALL
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(&app.value))
+        .ok_or_else(|| {
+            ProtoError::new(
+                app.pos,
+                format!(
+                    "unknown application `{}` (known: {})",
+                    app.value,
+                    App::ALL
+                        .iter()
+                        .map(|a| a.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            )
+        })
+        .and_then(|a| {
+            // The application must be in the scenario's suite, so server
+            // results always correspond to a reachable scenario run.
+            if slot
+                .scenario
+                .profiles()
+                .iter()
+                .any(|p| p.name.eq_ignore_ascii_case(a.name()))
+            {
+                Ok(a)
+            } else {
+                Err(ProtoError::new(
+                    app.pos,
+                    format!("application `{}` is not in the scenario's suite", app.value),
+                ))
+            }
+        })
+}
+
+/// Resolves the operating point: scenario defaults overridden per key.
+/// `freq` without `vdd` follows the scenario's V(f) line; `freq` with
+/// `vdd` is taken verbatim (off-grid points are allowed — the engine
+/// validates applicability).
+fn resolve_point(slot: &EngineSlot, point: &OpPoint) -> Result<(ArchPoint, DvsPoint), ProtoError> {
+    let mut arch = slot.scenario.base_arch();
+    if let Some(w) = &point.window {
+        arch.window = w.value;
+    }
+    if let Some(a) = &point.alus {
+        arch.alus = a.value;
+    }
+    if let Some(f) = &point.fpus {
+        arch.fpus = f.value;
+    }
+    let base = slot.scenario.base_dvs();
+    let dvs = match (&point.freq_hz, &point.vdd) {
+        (None, None) => base,
+        (Some(f), None) => slot
+            .scenario
+            .dvs
+            .at_ghz(f.value / 1e9)
+            .map_err(|e| ProtoError::new(f.pos, one_line(&e)))?,
+        (Some(f), Some(v)) => DvsPoint {
+            frequency: Hertz::from_ghz(f.value / 1e9),
+            vdd: Volts(v.value),
+        },
+        (None, Some(v)) => DvsPoint {
+            vdd: Volts(v.value),
+            ..base
+        },
+    };
+    // Validate applicability now so the error lands on this request, at
+    // a meaningful position, instead of surfacing from a batch later.
+    let pos = point
+        .window
+        .as_ref()
+        .map(|w| w.pos)
+        .or_else(|| point.alus.as_ref().map(|a| a.pos))
+        .or_else(|| point.fpus.as_ref().map(|f| f.pos))
+        .unwrap_or(1);
+    arch.apply(slot.engine.base_config(), dvs)
+        .map_err(|e| ProtoError::new(pos, one_line(&e)))?;
+    Ok((arch, dvs))
+}
+
+fn resolve_eval(state: &Arc<ServerState>, eval: &EvalRequest) -> Result<Job, ProtoError> {
+    let slot = resolve_slot(state, eval.scenario.as_ref())?;
+    let app = resolve_app(&slot, &eval.app)?;
+    let (arch, dvs) = resolve_point(&slot, &eval.point)?;
+    Ok(Job::Eval {
+        slot,
+        app,
+        arch,
+        dvs,
+    })
+}
+
+fn resolve_fit(state: &Arc<ServerState>, fit: &FitRequest) -> Result<Job, ProtoError> {
+    let slot = resolve_slot(state, fit.scenario.as_ref())?;
+    let app = resolve_app(&slot, &fit.app)?;
+    let (arch, dvs) = resolve_point(&slot, &fit.point)?;
+    let model = slot
+        .model_for(&fit.qual)
+        .map_err(|e| ProtoError::new(qual_pos(&fit.qual), one_line(&e)))?;
+    Ok(Job::Fit {
+        slot,
+        app,
+        arch,
+        dvs,
+        model,
+    })
+}
+
+fn resolve_sweep(state: &Arc<ServerState>, sweep: &SweepRequest) -> Result<Job, ProtoError> {
+    let slot = resolve_slot(state, sweep.scenario.as_ref())?;
+    let app = resolve_app(&slot, &sweep.app)?;
+    let strategy = match &sweep.strategy {
+        None => Strategy::ArchDvs,
+        Some(s) => match s.value.to_ascii_lowercase().as_str() {
+            "arch" => Strategy::Arch,
+            "dvs" => Strategy::Dvs,
+            "archdvs" => Strategy::ArchDvs,
+            other => {
+                return Err(ProtoError::new(
+                    s.pos,
+                    format!("unknown strategy `{other}` (arch, dvs, archdvs)"),
+                ))
+            }
+        },
+    };
+    let step = sweep.step_ghz.as_ref().map(|s| s.value);
+    let candidates = slot
+        .scenario
+        .candidates(strategy, step)
+        .map_err(|e| ProtoError::new(sweep.step_ghz.as_ref().map_or(1, |s| s.pos), one_line(&e)))?;
+    let model = slot
+        .model_for(&sweep.qual)
+        .map_err(|e| ProtoError::new(qual_pos(&sweep.qual), one_line(&e)))?;
+    Ok(Job::Sweep {
+        slot,
+        app,
+        strategy,
+        candidates,
+        model,
+    })
+}
+
+fn qual_pos(qual: &QualOverride) -> usize {
+    qual.tqual_k
+        .as_ref()
+        .map(|t| t.pos)
+        .or_else(|| qual.alpha.as_ref().map(|a| a.pos))
+        .or_else(|| qual.target_fit.as_ref().map(|f| f.pos))
+        .unwrap_or(1)
+}
+
+/// Drain-worker loop: pop one request, gather more inside the linger
+/// window, run each scenario's share through one `evaluate_all` pass,
+/// answer everyone.
+fn worker_loop(state: &Arc<ServerState>) {
+    loop {
+        let Some(first) = state.queue.pop_timeout(Duration::from_millis(50)) else {
+            if state.queue.is_closed() {
+                return;
+            }
+            continue;
+        };
+        let mut batch = vec![first];
+        let deadline = Instant::now() + state.config.linger;
+        while batch.len() < state.config.batch_max {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match state.queue.pop_timeout(deadline - now) {
+                Some(request) => batch.push(request),
+                None => break,
+            }
+        }
+        sim_obs::gauge!("server.queue.depth", state.queue.len() as f64);
+        process_batch(state, batch);
+    }
+}
+
+fn process_batch(state: &Arc<ServerState>, batch: Vec<QueuedRequest>) {
+    let _span = sim_obs::span!("server.batch");
+    state.batches.fetch_add(1, Ordering::Relaxed);
+    state
+        .batched_requests
+        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    sim_obs::hist!("server.batch.size", batch.len() as f64);
+
+    // One evaluate_all per engine covers every eval/fit in the batch:
+    // cross-request deduplication plus shared timing runs. Errors are
+    // ignored here — each request's own evaluation call below reports
+    // them per request.
+    type SlotJobs = (Arc<EngineSlot>, Vec<(App, ArchPoint, DvsPoint)>);
+    let mut grouped: HashMap<*const EngineSlot, SlotJobs> = HashMap::new();
+    for request in &batch {
+        if let Job::Eval {
+            slot,
+            app,
+            arch,
+            dvs,
+            ..
+        }
+        | Job::Fit {
+            slot,
+            app,
+            arch,
+            dvs,
+            ..
+        } = &request.job
+        {
+            grouped
+                .entry(Arc::as_ptr(slot))
+                .or_insert_with(|| (Arc::clone(slot), Vec::new()))
+                .1
+                .push((*app, *arch, *dvs));
+        }
+    }
+    for (_, (slot, jobs)) in grouped {
+        if jobs.len() > 1 {
+            let _ = slot.engine.evaluate_all(&jobs);
+        }
+    }
+
+    for request in batch {
+        let response = run_job(&request.job);
+        sim_obs::hist!(
+            "server.request.latency_ms",
+            request.enqueued.elapsed().as_secs_f64() * 1e3
+        );
+        // A vanished client is not an error; the work stays cached.
+        let _ = request.reply.send(response);
+    }
+}
+
+/// Executes one resolved job, producing its response line.
+fn run_job(job: &Job) -> String {
+    match job {
+        Job::Sleep { ms } => {
+            std::thread::sleep(Duration::from_millis(*ms));
+            let mut ok = ResponseLine::ok("slept");
+            ok.u64("ms", *ms);
+            ok.finish()
+        }
+        Job::Eval {
+            slot,
+            app,
+            arch,
+            dvs,
+        } => match slot.engine.evaluation(*app, *arch, *dvs) {
+            Ok(ev) => {
+                let mut ok = ResponseLine::ok("eval");
+                ok.str("app", app.name())
+                    .u64("window", u64::from(arch.window))
+                    .u64("alus", u64::from(arch.alus))
+                    .u64("fpus", u64::from(arch.fpus))
+                    .f64("freq_ghz", dvs.frequency.to_ghz())
+                    .f64("vdd", dvs.vdd.0)
+                    .f64("ipc", ev.ipc)
+                    .f64("bips", ev.bips)
+                    .f64("power_w", ev.average_power().0)
+                    .f64("tmax_k", ev.max_temperature().0)
+                    .f64("sink_k", ev.sink_temperature.0)
+                    .u64("intervals", ev.intervals.len() as u64);
+                ok.finish()
+            }
+            Err(e) => ProtoError::new(1, one_line(&e)).to_line(),
+        },
+        Job::Fit {
+            slot,
+            app,
+            arch,
+            dvs,
+            model,
+        } => match slot.engine.evaluation(*app, *arch, *dvs) {
+            Ok(ev) => {
+                let fit = ev.application_fit(model);
+                let total = fit.total();
+                let mut ok = ResponseLine::ok("fit");
+                ok.str("app", app.name())
+                    .f64("freq_ghz", dvs.frequency.to_ghz())
+                    .f64("vdd", dvs.vdd.0);
+                for mechanism in Mechanism::ALL {
+                    ok.f64(mechanism.name(), fit.mechanism_total(mechanism).value());
+                }
+                ok.f64("total", total.value())
+                    .f64("target", model.target_fit().value())
+                    .f64("mttf_h", total.to_mttf().0)
+                    .bool("feasible", fit.meets(model.target_fit()));
+                ok.finish()
+            }
+            Err(e) => ProtoError::new(1, one_line(&e)).to_line(),
+        },
+        Job::Sweep {
+            slot,
+            app,
+            strategy,
+            candidates,
+            model,
+        } => {
+            let oracle = Oracle::from_engine(slot.engine.clone());
+            let base = (slot.scenario.base_arch(), slot.scenario.base_dvs());
+            match oracle.best_among(*app, candidates, base, model) {
+                Ok(choice) => {
+                    let mut ok = ResponseLine::ok("sweep");
+                    ok.str("app", app.name())
+                        .str("strategy", strategy.name())
+                        .u64("candidates", candidates.len() as u64)
+                        .u64("window", u64::from(choice.arch.window))
+                        .u64("alus", u64::from(choice.arch.alus))
+                        .u64("fpus", u64::from(choice.arch.fpus))
+                        .f64("freq_ghz", choice.dvs.frequency.to_ghz())
+                        .f64("vdd", choice.dvs.vdd.0)
+                        .f64("relative_performance", choice.relative_performance)
+                        .f64("fit", choice.fit.value())
+                        .bool("feasible", choice.feasible);
+                    ok.finish()
+                }
+                Err(e) => ProtoError::new(1, one_line(&e)).to_line(),
+            }
+        }
+    }
+}

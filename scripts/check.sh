@@ -23,6 +23,33 @@ trap 'rm -f "$trace"' EXIT
 echo "== scenario smoke: validate every checked-in scenario file =="
 ./target/release/ramp scenario validate examples/scenarios/*.scn
 
+echo "== server smoke: serve on an ephemeral port, eval + malformed request, clean shutdown =="
+server_log="$(mktemp -t ramp-check-server-XXXXXX.log)"
+server_trace="$(mktemp -t ramp-check-server-XXXXXX.jsonl)"
+trap 'rm -f "$trace" "$server_log" "$server_trace"' EXIT
+./target/release/ramp serve --addr 127.0.0.1:0 --quick --trace "$server_trace" >"$server_log" &
+server_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/^ramp-serve\/1 listening on //p' "$server_log")"
+  [ -n "$addr" ] && break
+  kill -0 "$server_pid" 2>/dev/null || { echo "error: server exited early" >&2; cat "$server_log" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "error: server never reported its address" >&2; cat "$server_log" >&2; exit 1; }
+./target/release/ramp client --addr "$addr" eval gzip | grep -q '^ok eval' \
+  || { echo "error: server eval did not answer ok" >&2; exit 1; }
+# A malformed request must answer one err line (non-zero client exit) and
+# must not take the server down.
+malformed="$(./target/release/ramp client --addr "$addr" raw eval gzip frq=1 2>/dev/null || true)"
+echo "$malformed" | grep -q '^err ' \
+  || { echo "error: malformed request did not answer err: $malformed" >&2; exit 1; }
+./target/release/ramp client --addr "$addr" shutdown | grep -q '^ok shutdown' \
+  || { echo "error: shutdown did not answer ok" >&2; exit 1; }
+wait "$server_pid"
+./target/release/ramp report "$server_trace" --top 3 | grep -q 'requests (lines received)' \
+  || { echo "error: server trace lacks the report's server section" >&2; exit 1; }
+
 echo "== microbench smoke: pipeline bench emits a valid BENCH_pipeline.json =="
 rm -f BENCH_pipeline.json
 RAMP_FAST=1 cargo bench --offline -p bench-suite --bench pipeline_end_to_end
@@ -31,6 +58,15 @@ grep -q '"schema":"ramp-bench-pipeline/1"' BENCH_pipeline.json \
   || { echo "error: BENCH_pipeline.json malformed (schema marker absent)" >&2; exit 1; }
 grep -q '"sweep.reuse_speedup":' BENCH_pipeline.json \
   || { echo "error: BENCH_pipeline.json missing sweep metrics" >&2; exit 1; }
+
+echo "== load-generator smoke: server bench emits a valid BENCH_server.json =="
+rm -f BENCH_server.json
+RAMP_FAST=1 cargo bench --offline -p bench-suite --bench server_load
+[ -s BENCH_server.json ] || { echo "error: BENCH_server.json missing or empty" >&2; exit 1; }
+grep -q '"schema":"ramp-bench-server/1"' BENCH_server.json \
+  || { echo "error: BENCH_server.json malformed (schema marker absent)" >&2; exit 1; }
+grep -q '"server.throughput_8c_rps":' BENCH_server.json \
+  || { echo "error: BENCH_server.json missing throughput metrics" >&2; exit 1; }
 
 echo "== clippy (warnings are errors) =="
 cargo clippy --offline --all-targets -- -D warnings

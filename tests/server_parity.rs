@@ -1,0 +1,396 @@
+//! Server-vs-direct parity: the network service must be a pure
+//! transport. Every number a client reads off the wire — evaluations,
+//! FIT budgets, sweep decisions — must be bit-identical to calling the
+//! evaluator in-process, whatever the concurrency, and no byte sequence
+//! a client sends may take the server down.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use drm::{EvalParams, Evaluator};
+use ramp::Mechanism;
+use scenario::Scenario;
+use sim_common::Xoshiro256pp;
+use sim_server::{Client, Reply, Server, ServerConfig, Status};
+use workload::App;
+
+/// Evaluation lengths small enough that a full parity pass stays in CI
+/// budget on one core; parity is about bits, not simulation length.
+const TINY: EvalParams = EvalParams {
+    warmup_instructions: 5_000,
+    measure_instructions: 20_000,
+    interval_instructions: 5_000,
+    seed: 3,
+    leakage_iterations: 2,
+    prewarm_bytes: 1 << 20,
+};
+
+fn tiny_config() -> ServerConfig {
+    ServerConfig {
+        eval: Some(TINY),
+        ..ServerConfig::default()
+    }
+}
+
+fn start_server(config: ServerConfig) -> Server {
+    Server::start(Scenario::paper_default(), config, "127.0.0.1:0").expect("server start")
+}
+
+fn direct_evaluator() -> Evaluator {
+    Scenario::paper_default()
+        .evaluator_with(TINY)
+        .expect("evaluator")
+}
+
+/// The operating points parity is checked at: the scenario default, an
+/// on-grid DVS point, and an off-default architecture.
+const POINTS: &[&str] = &[
+    "eval gzip",
+    "eval gzip freq=3500000000",
+    "eval mpgdec window=64 alus=4 fpus=2",
+];
+
+/// `eval` responses over the socket carry exactly the bits the direct
+/// evaluator produces — shortest-round-trip float formatting on the wire
+/// must lose nothing.
+#[test]
+fn eval_matches_direct_evaluation_bit_for_bit() {
+    let server = start_server(tiny_config());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let scn = Scenario::paper_default();
+    let evaluator = direct_evaluator();
+
+    for line in POINTS {
+        let reply = client.request(line).expect("request");
+        assert!(reply.is_ok(), "{line}: {}", reply.raw);
+
+        // Reconstruct the direct in-process evaluation at the echoed
+        // operating point.
+        let app = App::ALL
+            .into_iter()
+            .find(|a| a.name() == reply.get("app").unwrap())
+            .expect("echoed app");
+        let mut arch = scn.base_arch();
+        arch.window = reply.u64("window").unwrap() as u32;
+        arch.alus = reply.u64("alus").unwrap() as u32;
+        arch.fpus = reply.u64("fpus").unwrap() as u32;
+        let dvs = if line.contains("freq=") {
+            scn.dvs.at_ghz(3.5).expect("grid point")
+        } else {
+            scn.base_dvs()
+        };
+        let config = arch.apply(&scn.core, dvs).expect("config");
+        let ev = evaluator.evaluate(app, &config).expect("direct evaluation");
+
+        for (key, direct) in [
+            ("ipc", ev.ipc),
+            ("bips", ev.bips),
+            ("power_w", ev.average_power().0),
+            ("tmax_k", ev.max_temperature().0),
+            ("sink_k", ev.sink_temperature.0),
+        ] {
+            let wire = reply.f64(key).expect(key);
+            assert_eq!(
+                wire.to_bits(),
+                direct.to_bits(),
+                "{line}: `{key}` differs (wire {wire}, direct {direct})"
+            );
+        }
+        assert_eq!(reply.u64("intervals").unwrap() as usize, ev.intervals.len());
+    }
+}
+
+/// `fit` responses — per-mechanism budgets, total, MTTF, feasibility —
+/// match the direct reliability-model application bit for bit.
+#[test]
+fn fit_matches_direct_model_application_bit_for_bit() {
+    let server = start_server(tiny_config());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let scn = Scenario::paper_default();
+    let model = scn.model().expect("model");
+    let evaluator = direct_evaluator();
+
+    let reply = client.request("fit twolf").expect("request");
+    assert!(reply.is_ok(), "{}", reply.raw);
+    let config = scn
+        .base_arch()
+        .apply(&scn.core, scn.base_dvs())
+        .expect("config");
+    let ev = evaluator
+        .evaluate(App::Twolf, &config)
+        .expect("direct evaluation");
+    let fit = ev.application_fit(&model);
+    for mechanism in Mechanism::ALL {
+        assert_eq!(
+            reply.f64(mechanism.name()).unwrap().to_bits(),
+            fit.mechanism_total(mechanism).value().to_bits(),
+            "{} budget differs",
+            mechanism.name()
+        );
+    }
+    assert_eq!(
+        reply.f64("total").unwrap().to_bits(),
+        fit.total().value().to_bits()
+    );
+    assert_eq!(
+        reply.f64("mttf_h").unwrap().to_bits(),
+        fit.total().to_mttf().0.to_bits()
+    );
+    assert_eq!(
+        reply.get("feasible").unwrap(),
+        if fit.meets(model.target_fit()) {
+            "true"
+        } else {
+            "false"
+        }
+    );
+}
+
+/// Four clients hammering the same points concurrently race the shared
+/// caches and the micro-batcher; everyone must read byte-identical
+/// responses, and a warm cache must absorb all of the duplicate work.
+#[test]
+fn concurrent_clients_get_identical_answers() {
+    let server = start_server(tiny_config());
+    let addr = server.local_addr();
+
+    fn one_client(addr: std::net::SocketAddr, n: usize) -> Vec<String> {
+        let mut client = Client::connect(addr).expect("connect");
+        POINTS
+            .iter()
+            .map(|line| {
+                let raw = client.request_raw(line).expect("request");
+                assert!(raw.starts_with("ok "), "client {n}: {raw}");
+                raw
+            })
+            .collect()
+    }
+
+    // Warm the shared cache with one sequential pass first: the eval
+    // cache computes misses without holding a lock, so a fully-cold
+    // concurrent start may legitimately evaluate a point twice. Against
+    // a warm cache the accounting below is exact.
+    let warm = one_client(addr, 0);
+    assert_eq!(server.sweep_summary().evaluations, POINTS.len() as u64);
+
+    let handles: Vec<_> = (1..5)
+        .map(|n| std::thread::spawn(move || one_client(addr, n)))
+        .collect();
+    for handle in handles {
+        let transcript = handle.join().expect("client thread");
+        assert_eq!(
+            transcript, warm,
+            "concurrent client diverged from the sequential pass"
+        );
+    }
+
+    // 4 clients × 3 points all served from the shared cache: no new
+    // evaluations, no new timing runs.
+    let summary = server.sweep_summary();
+    assert_eq!(summary.evaluations, POINTS.len() as u64);
+    assert_eq!(summary.timing_runs, POINTS.len() as u64);
+    assert!(summary.cache_hits >= 12, "expected ≥12 warm hits");
+    server.shutdown();
+    server.join();
+}
+
+/// A full queue answers `busy` (with the configured depth) instead of
+/// blocking, and the connection stays usable for later requests.
+#[test]
+fn full_queue_sheds_with_busy_and_recovers() {
+    let server = start_server(ServerConfig {
+        queue_depth: 1,
+        drain_workers: 1,
+        linger: Duration::ZERO,
+        eval: Some(TINY),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // Occupy the single drain worker with a long request, then park a
+    // second one in the single queue slot.
+    let sleeper = |ms: u64| {
+        std::thread::spawn(move || {
+            let mut c = Client::connect(addr).expect("connect");
+            let reply = c.request(&format!("sleep ms={ms}")).expect("sleep");
+            assert!(reply.is_ok(), "{}", reply.raw);
+        })
+    };
+    let t1 = sleeper(600);
+    std::thread::sleep(Duration::from_millis(150));
+    let t2 = sleeper(600);
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Worker busy + queue full: admission control sheds this request.
+    let mut shed = Client::connect(addr).expect("connect");
+    let reply = shed.request("sleep ms=1").expect("request");
+    assert_eq!(reply.status, Status::Busy, "{}", reply.raw);
+    assert_eq!(reply.u64("queue_depth").unwrap(), 1, "{}", reply.raw);
+
+    // The shed connection is not penalized: unqueued requests still
+    // answer immediately, and queued ones succeed once the jam clears.
+    shed.ping().expect("ping after busy");
+    t1.join().expect("sleeper 1");
+    t2.join().expect("sleeper 2");
+    let retry = shed.request("sleep ms=1").expect("retry");
+    assert!(retry.is_ok(), "{}", retry.raw);
+
+    assert_eq!(server.stats().shed, 1);
+    server.shutdown();
+    server.join();
+}
+
+/// 300 lines of seeded garbage — random tokens, stray `=`, binary-ish
+/// punctuation, oversized keys — each get exactly one `ok`/`err`/`busy`
+/// response and never kill the connection loop.
+#[test]
+fn protocol_fuzz_never_kills_the_connection() {
+    let server = start_server(tiny_config());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let mut rng = Xoshiro256pp::seed_from_u64(0x5eed);
+
+    const VOCAB: &[&str] = &[
+        "eval",
+        "fit",
+        "sweep",
+        "ping",
+        "stats",
+        "gzip",
+        "bogus",
+        "freq",
+        "vdd",
+        "window",
+        "alus",
+        "fpus",
+        "tqual",
+        "alpha",
+        "target",
+        "step",
+        "strategy",
+        "=",
+        "==",
+        "=1",
+        "0",
+        "-1",
+        "1e309",
+        "nan",
+        "3.5e9",
+        "0.95",
+        "∞",
+        "\t",
+        "freq=",
+        "=0.9",
+        "vdd=0.9",
+        "freq=4e9",
+        "key=a=b",
+        "scenario=nope",
+        ";",
+        "\"",
+        "\\",
+        "....",
+        "--",
+        "x",
+    ];
+    for i in 0..300 {
+        let n_tokens = (rng.next_u64() % 8) as usize;
+        let mut line = String::new();
+        for t in 0..n_tokens {
+            if t > 0 {
+                line.push(' ');
+            }
+            line.push_str(VOCAB[rng.next_u64() as usize % VOCAB.len()]);
+        }
+        // `shutdown`/`sleep`/`scenario` are real verbs with effects that
+        // would stall or end the fuzz loop; everything else goes through.
+        let verb = line.split_whitespace().next().unwrap_or("");
+        if ["shutdown", "sleep", "scenario"].contains(&verb) {
+            continue;
+        }
+        let raw = client
+            .request_raw(&line)
+            .unwrap_or_else(|e| panic!("line {i} `{line}` broke the connection: {e}"));
+        let reply = Reply::parse(&raw)
+            .unwrap_or_else(|e| panic!("line {i} `{line}` got unparsable reply `{raw}`: {e}"));
+        assert!(
+            matches!(reply.status, Status::Ok | Status::Err | Status::Busy),
+            "line {i}: {raw}"
+        );
+    }
+    // The connection and the server both survived the abuse.
+    client.ping().expect("ping after fuzzing");
+    assert_eq!(server.stats().connections, 1);
+}
+
+/// An uploaded scenario is a first-class engine: evaluating through it
+/// returns the same bits as the built-in default built from the same
+/// text, and re-uploading identical text is idempotent.
+#[test]
+fn scenario_upload_round_trips() {
+    let server = start_server(tiny_config());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let text = Scenario::paper_default().to_text();
+
+    let upload = client.upload_scenario("alt", &text).expect("upload");
+    assert!(upload.is_ok(), "{}", upload.raw);
+    let again = client.upload_scenario("alt", &text).expect("re-upload");
+    assert!(again.is_ok(), "idempotent re-upload: {}", again.raw);
+
+    let via_default = client.request_raw("eval gzip").expect("default eval");
+    let via_alt = client
+        .request_raw("eval gzip scenario=alt")
+        .expect("alt eval");
+    assert!(via_alt.starts_with("ok "), "{via_alt}");
+    assert_eq!(
+        via_default, via_alt,
+        "identical scenario text must evaluate to identical bytes"
+    );
+
+    let missing = client
+        .request("eval gzip scenario=ghost")
+        .expect("unknown scenario");
+    assert_eq!(missing.status, Status::Err, "{}", missing.raw);
+}
+
+/// `shutdown` drains in-flight work, the joined server reports its
+/// traffic, and the port stops accepting.
+#[test]
+fn shutdown_drains_and_closes_the_port() {
+    let server = start_server(tiny_config());
+    let addr = server.local_addr();
+
+    // Park a request in flight, then shut down from a second connection:
+    // the drain must answer the sleeper before the workers exit.
+    let sleeper = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("connect");
+        c.request("sleep ms=300").expect("drained reply")
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    let mut c = Client::connect(addr).expect("connect");
+    let reply = c.request("shutdown").expect("shutdown");
+    assert!(reply.is_ok(), "{}", reply.raw);
+
+    let drained = sleeper.join().expect("sleeper thread");
+    assert!(drained.is_ok(), "in-flight work dropped: {}", drained.raw);
+    let stats = server.join();
+    assert_eq!(stats.connections, 2);
+    assert!(stats.requests >= 2);
+
+    // The listener is gone: a fresh TCP connect (or its greeting) fails.
+    let refused = match TcpStream::connect_timeout(&addr, Duration::from_secs(2)) {
+        Err(_) => true,
+        // The OS may briefly accept into a dead backlog; no greeting ever
+        // arrives, so a read times out or returns EOF.
+        Ok(stream) => {
+            stream
+                .set_read_timeout(Some(Duration::from_millis(500)))
+                .unwrap();
+            let mut probe = stream;
+            probe.write_all(b"ping\n").ok();
+            let mut buf = [0u8; 64];
+            use std::io::Read as _;
+            !matches!(probe.read(&mut buf), Ok(n) if n > 0)
+        }
+    };
+    assert!(refused, "server kept answering after shutdown");
+}
