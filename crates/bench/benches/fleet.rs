@@ -1,0 +1,120 @@
+//! Fleet population-throughput bench: streams virtual dies with sampled
+//! process variation through one cached operating point and measures
+//! dies/second on a single worker, then at full parallelism.
+//!
+//! The interesting claims, enforced where the numbers are produced:
+//! the per-die fast path sustains ≥ 1e5 dies/s on ONE core (the die
+//! loop is closed-form — no per-die timing, thermal solve, or sort),
+//! and the whole population rides a single cycle-level timing run
+//! (`timing_runs ≪ dies` — the amortization that makes 10⁶-die fleets
+//! affordable at all).
+//!
+//! Writes a machine-readable `BENCH_fleet.json` (schema
+//! `ramp-bench-fleet/1`, flat keys) that `scripts/check.sh` validates.
+
+use bench_suite::{fleet_bench_report_path, BenchReport, BENCH_FLEET_SCHEMA};
+use drm::{run_fleet, BatchEngine, EvalParams, FleetConfig};
+use scenario::Scenario;
+use workload::App;
+
+fn tiny_params() -> EvalParams {
+    EvalParams {
+        warmup_instructions: 5_000,
+        measure_instructions: 20_000,
+        interval_instructions: 5_000,
+        seed: 3,
+        leakage_iterations: 2,
+        prewarm_bytes: 1 << 20,
+    }
+}
+
+/// Population size: large enough that the die loop dominates the (one)
+/// timing run behind it; `RAMP_FAST` shrinks it for CI smoke runs.
+fn dies() -> u64 {
+    if std::env::var_os("RAMP_FAST").is_some() {
+        100_000
+    } else {
+        1_000_000
+    }
+}
+
+fn main() {
+    let scn = Scenario::paper_default();
+    let model = scn.model().expect("model");
+    let config = FleetConfig {
+        dies: dies(),
+        ..scn.fleet
+    };
+    let engine = |workers: usize| {
+        BatchEngine::with_workers(
+            scn.evaluator_with(tiny_params()).expect("evaluator"),
+            workers,
+        )
+        .with_base_config(scn.core.clone())
+    };
+    let (app, arch, dvs) = (App::Twolf, scn.base_arch(), scn.base_dvs());
+
+    // Warm phase: a small fleet pays the single timing run and the
+    // thermal baseline, so the measured phases time the die loop alone.
+    let one = engine(1);
+    let warm = FleetConfig {
+        dies: 1_000,
+        ..config
+    };
+    run_fleet(&one, app, arch, dvs, &model, &warm).expect("warm fleet");
+
+    let serial = run_fleet(&one, app, arch, dvs, &model, &config).expect("serial fleet");
+    let serial_rate = serial.dies_per_second();
+    println!("fleet/dies_per_sec_1_worker                {serial_rate:>10.0} dies/s");
+
+    let wide = engine(0);
+    run_fleet(&wide, app, arch, dvs, &model, &warm).expect("warm fleet");
+    let parallel = run_fleet(&wide, app, arch, dvs, &model, &config).expect("parallel fleet");
+    let parallel_rate = parallel.dies_per_second();
+    println!(
+        "fleet/dies_per_sec_{}_workers               {parallel_rate:>10.0} dies/s",
+        parallel.workers
+    );
+    assert_eq!(
+        serial, parallel,
+        "fleet summary must be bit-identical at any worker count"
+    );
+    println!(
+        "fleet/population                           {:>10} dies ({} FIT-budget violations)",
+        serial.dies, serial.violations
+    );
+    println!(
+        "fleet/timing_runs                          {:>10} (amortized over the whole fleet)",
+        serial.timing_runs
+    );
+
+    let mut report = BenchReport::with_schema(BENCH_FLEET_SCHEMA);
+    report.u64("fleet.dies", serial.dies);
+    report.u64("fleet.violations", serial.violations);
+    report.f64("fleet.violation_fraction", serial.violation_fraction());
+    report.f64("fleet.dies_per_sec_1w", serial_rate);
+    report.f64("fleet.dies_per_sec_mw", parallel_rate);
+    report.u64("fleet.workers_mw", parallel.workers as u64);
+    report.u64("fleet.timing_runs", serial.timing_runs);
+    report.f64("fleet.fit_p50", serial.fit.p50);
+    report.f64("fleet.fit_p95", serial.fit.p95);
+    report.f64("fleet.life_p1_y", serial.lifetime_years.p1);
+    report.f64("fleet.life_p50_y", serial.lifetime_years.p50);
+    report.f64("fleet.rank_error", serial.rank_error);
+    let path = fleet_bench_report_path();
+    report.write(&path).expect("write bench report");
+    println!("wrote {}", path.display());
+
+    // The throughput claim on one core, and the amortization claim that
+    // justifies calling the fleet loop "cheap".
+    assert!(
+        serial_rate >= 1e5,
+        "single-worker fleet rate ({serial_rate:.0} dies/s) fell below 1e5 dies/s"
+    );
+    assert!(
+        serial.timing_runs * 100 <= serial.dies,
+        "timing runs ({}) are not ≪ dies ({})",
+        serial.timing_runs,
+        serial.dies
+    );
+}

@@ -18,6 +18,7 @@ use std::time::Instant;
 use bench_suite::{server_bench_report_path, BenchReport, BENCH_SERVER_SCHEMA};
 use drm::EvalParams;
 use scenario::Scenario;
+use sim_common::quantile::quantile_sorted;
 use sim_server::{Client, Server, ServerConfig};
 
 fn tiny_params() -> EvalParams {
@@ -94,12 +95,6 @@ fn run_phase(addr: std::net::SocketAddr, lines: &[String], clients: usize) -> (f
     ((clients * count) as f64 / wall, latencies)
 }
 
-/// A sorted sample's `q`-quantile (nearest-rank).
-fn quantile(sorted: &[f64], q: f64) -> f64 {
-    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
-    sorted[idx]
-}
-
 fn main() {
     let config = ServerConfig {
         eval: Some(tiny_params()),
@@ -129,8 +124,8 @@ fn main() {
     println!("server/scaling_8c_over_1c                  {scaling:>10.2} x");
     println!(
         "server/latency_8c_p50_p99                  {:>10.2} / {:.2} ms",
-        quantile(&lat8, 0.50),
-        quantile(&lat8, 0.99)
+        quantile_sorted(&lat8, 0.50),
+        quantile_sorted(&lat8, 0.99)
     );
 
     let stats = server.stats();
@@ -156,10 +151,10 @@ fn main() {
     report.f64("server.throughput_1c_rps", thr1);
     report.f64("server.throughput_8c_rps", thr8);
     report.f64("server.scaling", scaling);
-    report.f64("server.p50_ms_1c", quantile(&lat1, 0.50));
-    report.f64("server.p99_ms_1c", quantile(&lat1, 0.99));
-    report.f64("server.p50_ms_8c", quantile(&lat8, 0.50));
-    report.f64("server.p99_ms_8c", quantile(&lat8, 0.99));
+    report.f64("server.p50_ms_1c", quantile_sorted(&lat1, 0.50));
+    report.f64("server.p99_ms_1c", quantile_sorted(&lat1, 0.99));
+    report.f64("server.p50_ms_8c", quantile_sorted(&lat8, 0.50));
+    report.f64("server.p99_ms_8c", quantile_sorted(&lat8, 0.99));
     report.f64("server.batch_occupancy", stats.batch_occupancy());
     report.f64("server.cache_hit_rate", hit_rate);
     report.u64("server.shed", stats.shed);

@@ -299,6 +299,9 @@ pub const BENCH_SCHEMA: &str = "ramp-bench-pipeline/1";
 /// Version marker the server load-generator report carries.
 pub const BENCH_SERVER_SCHEMA: &str = "ramp-bench-server/1";
 
+/// Version marker the fleet population-throughput report carries.
+pub const BENCH_FLEET_SCHEMA: &str = "ramp-bench-fleet/1";
+
 /// Where the pipeline bench driver writes its machine-readable results:
 /// `RAMP_BENCH_OUT` when set, otherwise `BENCH_pipeline.json` at the
 /// repository root.
@@ -318,6 +321,17 @@ pub fn server_bench_report_path() -> PathBuf {
     match std::env::var_os("RAMP_BENCH_OUT") {
         Some(p) if !p.is_empty() => PathBuf::from(p),
         _ => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_server.json"),
+    }
+}
+
+/// Where the fleet population bench writes its results:
+/// `RAMP_BENCH_OUT` when set, otherwise `BENCH_fleet.json` at the
+/// repository root.
+#[must_use]
+pub fn fleet_bench_report_path() -> PathBuf {
+    match std::env::var_os("RAMP_BENCH_OUT") {
+        Some(p) if !p.is_empty() => PathBuf::from(p),
+        _ => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fleet.json"),
     }
 }
 

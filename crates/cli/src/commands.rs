@@ -9,7 +9,8 @@
 
 use drm::scaling::{required_qualification_temperature, scaling_study, TechnologyNode};
 use drm::{
-    intra_app_best, ControllerParams, EvalParams, Oracle, ReactiveDrm, SensorParams, Strategy,
+    intra_app_best, BatchEngine, ControllerParams, EvalParams, FleetConfig, Oracle, ReactiveDrm,
+    SensorParams, Strategy,
 };
 use ramp::{Mechanism, QualificationPoint, ReliabilityModel};
 use scenario::{Qualification, Scenario};
@@ -71,6 +72,11 @@ pub fn print_help() {
     println!("              and rank the operating points against a qualification");
     println!("              --app <name> [--tqual K] [--strategy arch|dvs|archdvs]");
     println!("              [--step GHz] [--jobs N] [--top N]");
+    println!("  fleet       population Monte Carlo: stream virtual dies with");
+    println!("              process variation through one operating point");
+    println!("              --app <name> [--dies N] [--seed N] [--shape B]");
+    println!("              [--tqual K] [--alpha A] [--target FIT] [--ghz G]");
+    println!("              [--window N] [--alus N] [--fpus N] [--jobs N] [--quick]");
     println!("  controller  reactive DRM run (optionally with a thermal limit");
     println!("              and realistic sensors)");
     println!("              --app <name> [--tqual K] [--tmax K] [--sensors] [--insts N]");
@@ -89,6 +95,7 @@ pub fn print_help() {
     println!("              | fit <app> [eval opts] [--tqual K] [--alpha A] [--target FIT]");
     println!("              | sweep <app> [--strategy arch|dvs|archdvs] [--step GHz]");
     println!("                [--tqual K] [--alpha A] [--target FIT] [--use <scenario>]");
+    println!("              | fleet <app> [eval opts] [--dies N] [--seed N] [--shape B]");
     println!("              | upload <name> <file.scn> | raw <tokens...>");
     println!("  report      summarize a recorded trace: per-stage wall time,");
     println!("              hottest structures, reliability gauges");
@@ -126,6 +133,7 @@ pub fn dispatch(args: &Args) -> Result<(), SimError> {
         "drm" => drm_cmd(args),
         "dtm" => dtm_cmd(args),
         "sweep" => sweep_cmd(args),
+        "fleet" => fleet_cmd(args),
         "controller" => controller(args),
         "scaling" => scaling(args),
         "scenario" => scenario_cmd(args),
@@ -517,6 +525,79 @@ fn sweep_cmd(args: &Args) -> Result<(), SimError> {
     Ok(())
 }
 
+/// `ramp fleet`: population Monte Carlo at one operating point — sample
+/// per-die process variation over the scenario's fleet configuration and
+/// report the percentile curves and the FIT-budget violation fraction.
+fn fleet_cmd(args: &Args) -> Result<(), SimError> {
+    args.expect_only(&[
+        "app", "dies", "seed", "shape", "tqual", "alpha", "target", "ghz", "window", "alus",
+        "fpus", "jobs", "quick",
+    ])?;
+    let scn = scenario_from(args)?;
+    let app = args.app()?;
+    let model = model_from(args, &scn)?;
+    let config = FleetConfig {
+        dies: args.u64_or("dies", scn.fleet.dies)?,
+        seed: args.u64_or("seed", scn.fleet.seed)?,
+        shape: args.f64_or("shape", scn.fleet.shape)?,
+        variation: scn.fleet.variation,
+    };
+    let base = scn.base_arch();
+    let dvs = match args.get("ghz") {
+        None => scn.base_dvs(),
+        Some(_) => scn.dvs.at_ghz(args.f64_or("ghz", 0.0)?)?,
+    };
+    let arch = drm::ArchPoint {
+        window: args.u64_or("window", u64::from(base.window))? as u32,
+        alus: args.u64_or("alus", u64::from(base.alus))? as u32,
+        fpus: args.u64_or("fpus", u64::from(base.fpus))? as u32,
+    };
+    let engine =
+        BatchEngine::with_workers(scn.evaluator_with(eval_params(args, &scn))?, args.jobs()?)
+            .with_base_config(scn.core.clone());
+    let summary = drm::run_fleet(&engine, app, arch, dvs, &model, &config)?;
+
+    let v = &config.variation;
+    println!(
+        "{app} fleet: {} dies on {arch} @ {:.2} GHz, T_qual {:.0} (target {:.0} FIT)",
+        summary.dies,
+        dvs.frequency.to_ghz(),
+        model.qualification().temperature.0,
+        summary.target_fit
+    );
+    println!(
+        "  variation      sigma leak {} / beta {} / ea {} / geom {}  (seed {}, shape {})",
+        v.sigma_leakage, v.sigma_beta, v.sigma_ea, v.sigma_geometry, config.seed, config.shape
+    );
+    let f = &summary.fit;
+    println!(
+        "  FIT            mean {:.0} | p5 {:.0} | p50 {:.0} | p95 {:.0} | max {:.0}",
+        f.mean, f.p5, f.p50, f.p95, f.max
+    );
+    let l = &summary.lifetime_years;
+    println!(
+        "  lifetime (y)   p1 {:.1} | p5 {:.1} | p50 {:.1} | p95 {:.1}",
+        l.p1, l.p5, l.p50, l.p95
+    );
+    println!(
+        "  violations     {} dies ({:.2}% over the {:.0} FIT budget)",
+        summary.violations,
+        100.0 * summary.violation_fraction(),
+        summary.target_fit
+    );
+    println!(
+        "  percentiles    sketch rank error <= {:.3}% of the population",
+        100.0 * summary.rank_error
+    );
+    println!(
+        "  throughput     {:.0}k dies/s on {} worker(s); {} cycle-level timing run(s)",
+        summary.dies_per_second() / 1e3,
+        summary.workers,
+        summary.timing_runs
+    );
+    Ok(())
+}
+
 fn controller(args: &Args) -> Result<(), SimError> {
     args.expect_only(&[
         "app", "tqual", "alpha", "target", "tmax", "sensors", "insts", "epoch", "quick",
@@ -714,11 +795,11 @@ fn serve_cmd(args: &Args) -> Result<(), SimError> {
 fn client_cmd(args: &Args) -> Result<(), SimError> {
     args.expect_options(&[
         "addr", "ghz", "vdd", "window", "alus", "fpus", "tqual", "alpha", "target", "strategy",
-        "step", "use",
+        "step", "use", "dies", "seed", "shape",
     ])?;
     let usage = "usage: ramp client [--addr host:port] ping | stats | shutdown \
-                 | eval <app> | fit <app> | sweep <app> | upload <name> <file.scn> \
-                 | raw <tokens...>";
+                 | eval <app> | fit <app> | sweep <app> | fleet <app> \
+                 | upload <name> <file.scn> | raw <tokens...>";
     let action = args
         .positional(0)
         .ok_or_else(|| SimError::invalid_config(usage))?;
@@ -757,7 +838,7 @@ fn client_cmd(args: &Args) -> Result<(), SimError> {
             })?;
             client.upload_scenario(name, &text)?.raw
         }
-        "eval" | "fit" | "sweep" => {
+        "eval" | "fit" | "sweep" | "fleet" => {
             args.expect_positionals(2)?;
             let request = build_request(args, action)?;
             client.request_raw(&request)?
@@ -788,14 +869,14 @@ fn build_request(args: &Args, verb: &str) -> Result<String, SimError> {
         let ghz = args.f64_or("ghz", 0.0)?;
         line.push_str(&format!(" freq={}", ghz * 1e9));
     }
-    for key in ["vdd", "tqual", "alpha", "target", "step"] {
-        // fit/sweep-only keys are forwarded as-is; the server's strict
+    for key in ["vdd", "tqual", "alpha", "target", "step", "shape"] {
+        // Verb-specific keys are forwarded as-is; the server's strict
         // grammar rejects them on the wrong verb with a positioned error.
         if args.get(key).is_some() {
             line.push_str(&format!(" {key}={}", args.f64_or(key, 0.0)?));
         }
     }
-    for key in ["window", "alus", "fpus"] {
+    for key in ["window", "alus", "fpus", "dies", "seed"] {
         if args.get(key).is_some() {
             line.push_str(&format!(" {key}={}", args.u64_or(key, 0)?));
         }

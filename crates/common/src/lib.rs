@@ -14,6 +14,10 @@
 //! * [`rng`] — deterministic in-tree pseudo-random generation
 //!   ([`splitmix64`], [`Xoshiro256pp`]) so seeded simulation streams never
 //!   depend on an external crate.
+//! * [`quantile`] — the one quantile convention every layer shares: an
+//!   exact interpolating [`quantile_sorted`] for in-memory samples and a
+//!   deterministic streaming [`QuantileSketch`] for fleet-scale
+//!   populations.
 //! * [`error`] — the common [`SimError`] type.
 //!
 //! # Examples
@@ -30,12 +34,14 @@
 
 pub mod error;
 pub mod floorplan;
+pub mod quantile;
 pub mod rng;
 pub mod structure;
 pub mod units;
 
 pub use error::SimError;
 pub use floorplan::{Block, Floorplan, Rect};
+pub use quantile::{quantile_sorted, QuantileSketch};
 pub use rng::{splitmix64, Xoshiro256pp};
 pub use structure::{Structure, StructureMap};
 pub use units::{Hertz, Kelvin, Seconds, SquareMillimeters, Volts, Watts};

@@ -20,6 +20,7 @@
 //!   life, so the series-system MTTF *rises* toward the weakest
 //!   component's scale instead of collapsing to the harmonic sum.
 
+use sim_common::quantile::quantile_sorted;
 use sim_common::Xoshiro256pp;
 use sim_common::{SimError, Structure};
 
@@ -79,15 +80,27 @@ pub struct Weibull {
 }
 
 impl Weibull {
+    /// The shape range the Lanczos [`gamma`] is validated over (as
+    /// `1 + 1/β`): outside it `gamma(1 + 1/β)` overflows to infinity for
+    /// tiny shapes, silently producing `scale = 0`.
+    pub const SHAPE_RANGE: (f64, f64) = (0.5, 10.0);
+
     /// Builds a Weibull with the given `shape` whose mean equals `mttf`
     /// (mean = η·Γ(1 + 1/β)).
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::InvalidConfig`] for non-positive shape or MTTF.
+    /// Returns [`SimError::InvalidConfig`] for non-positive MTTF or a
+    /// shape outside [`Weibull::SHAPE_RANGE`] — the range the Lanczos
+    /// gamma approximation is validated for. Shapes below it used to be
+    /// accepted and overflowed `gamma(1 + 1/β)` to infinity, yielding a
+    /// silent zero scale (every sampled lifetime 0).
     pub fn from_mttf(mttf: Mttf, shape: f64) -> Result<Weibull, SimError> {
-        if !(shape > 0.0 && shape.is_finite()) {
-            return Err(SimError::invalid_config("Weibull shape must be positive"));
+        let (lo, hi) = Weibull::SHAPE_RANGE;
+        if !(shape >= lo && shape <= hi) {
+            return Err(SimError::invalid_config(
+                "Weibull shape must lie in [0.5, 10] (validated gamma range)",
+            ));
         }
         if !(mttf.hours() > 0.0 && mttf.hours().is_finite()) {
             return Err(SimError::invalid_config("MTTF must be positive and finite"));
@@ -116,10 +129,14 @@ impl Weibull {
         (self.shape / self.scale) * (t / self.scale).powf(self.shape - 1.0)
     }
 
-    /// Samples one lifetime (inverse-CDF method).
+    /// Samples one lifetime (inverse-CDF method): draws `u` uniformly
+    /// from `[0, 1)` and inverts via `-(1-u).ln()`, so `1-u ∈ (0, 1]`
+    /// covers the full unit interval instead of the asymmetric
+    /// `[ε, 1)` domain clip the old sampler used. Sampled sequences
+    /// shift relative to pre-fix streams (see CHANGELOG).
     pub fn sample(&self, rng: &mut Xoshiro256pp) -> f64 {
-        let u: f64 = rng.gen_f64(f64::EPSILON..1.0);
-        self.scale * (-u.ln()).powf(1.0 / self.shape)
+        let u: f64 = rng.next_f64();
+        self.scale * (-(1.0 - u).ln()).powf(1.0 / self.shape)
     }
 }
 
@@ -227,11 +244,12 @@ impl SeriesSystem {
             .collect();
         lifetimes.sort_by(|a, b| a.partial_cmp(b).expect("finite lifetimes"));
         let mean = lifetimes.iter().sum::<f64>() / samples as f64;
-        let at = |q: f64| lifetimes[((samples as f64 - 1.0) * q) as usize];
+        // Shared interpolating quantile — the old in-place lookup
+        // truncated the rank index, biasing every percentile low.
         SeriesLifetime {
             mttf: Mttf(mean),
-            percentile_5: Mttf(at(0.05)),
-            median: Mttf(at(0.5)),
+            percentile_5: Mttf(quantile_sorted(&lifetimes, 0.05)),
+            median: Mttf(quantile_sorted(&lifetimes, 0.5)),
             samples,
         }
     }
@@ -394,6 +412,55 @@ mod tests {
         assert!(SeriesSystem::new(Vec::new()).is_err());
         assert!(Weibull::from_mttf(Mttf(0.0), 2.0).is_err());
         assert!(Weibull::from_mttf(Mttf(100.0), 0.0).is_err());
+    }
+
+    #[test]
+    fn rejects_shapes_outside_validated_gamma_range() {
+        // Regression: shape 0.01 used to overflow gamma(1 + 1/β) to
+        // infinity and silently produce scale = 0. It must error now.
+        assert!(Weibull::from_mttf(Mttf(100.0), 0.01).is_err());
+        assert!(Weibull::from_mttf(Mttf(100.0), 10.5).is_err());
+        // The endpoints of the validated range still construct cleanly.
+        for shape in [0.5, 10.0] {
+            let w = Weibull::from_mttf(Mttf(100.0), shape).unwrap();
+            assert!(w.scale.is_finite() && w.scale > 0.0, "shape {shape}");
+        }
+    }
+
+    #[test]
+    fn simulate_percentiles_interpolate_known_samples() {
+        // Pin the percentile convention: re-draw the exact lifetimes
+        // simulate() sees (same seed, same sampling order) and check its
+        // reported quantiles against the shared interpolating helper on
+        // that known sample set. The old truncating lookup floored the
+        // rank — e.g. the median of an even count picked the lower of
+        // the two middle elements instead of their mean.
+        let sys = example_system(2.0);
+        let samples = 64u32;
+        let seed = 11u64;
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut lifetimes: Vec<f64> = (0..samples)
+            .map(|_| {
+                sys.components()
+                    .iter()
+                    .map(|c| c.lifetime.sample(&mut rng))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        lifetimes.sort_by(f64::total_cmp);
+        let mc = sys.simulate(samples, seed);
+        let p5 = quantile_sorted(&lifetimes, 0.05);
+        let median = quantile_sorted(&lifetimes, 0.5);
+        assert_eq!(mc.percentile_5.hours().to_bits(), p5.to_bits());
+        assert_eq!(mc.median.hours().to_bits(), median.to_bits());
+        // With 64 samples the median must interpolate between ranks 31
+        // and 32 — the truncating convention would return rank 31 alone.
+        let floored = lifetimes[31];
+        assert!(mc.median.hours() > floored, "median no longer floors");
+        assert!(
+            (mc.median.hours() - 0.5 * (lifetimes[31] + lifetimes[32])).abs() < 1e-9,
+            "median is the mean of the middle pair"
+        );
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod controller;
 pub mod dtm;
 pub mod dvs;
 pub mod evaluator;
+pub mod fleet;
 pub mod intra;
 pub mod mix;
 pub mod oracle;
@@ -75,6 +76,7 @@ pub use controller::{ControlTrace, ControllerParams, ReactiveDrm};
 pub use dtm::{compare_drm_dtm, dtm_best_dvs, DrmDtmPoint, DtmChoice};
 pub use dvs::{frequency_grid, voltage_for_frequency, DvsPoint, DvsRange};
 pub use evaluator::{EvalParams, EvalStats, Evaluation, Evaluator, IntervalProfile, TimingRun};
+pub use fleet::{run_fleet, FleetConfig, FleetStats, FleetSummary, VariationParams};
 pub use intra::{intra_app_best, IntraAppChoice};
 pub use mix::WorkloadMix;
 pub use oracle::{DrmChoice, Oracle};

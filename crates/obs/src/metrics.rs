@@ -128,6 +128,14 @@ impl Histogram {
     /// Approximate quantile from the log₂ buckets: the upper bound of the
     /// bucket where the cumulative count crosses `q·count`. Exact enough
     /// for order-of-magnitude latency reporting.
+    ///
+    /// This is deliberately *not* the exact convention of
+    /// `sim_common::quantile::quantile_sorted` — a histogram only keeps
+    /// bucket counts, so the best it can do is an upper bound. The
+    /// invariant (tested below) is that the bucketed answer brackets the
+    /// exact quantile of the same samples from above, within one power
+    /// of two. Layers that still hold the raw samples use the shared
+    /// exact helper instead.
     #[must_use]
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
@@ -537,6 +545,39 @@ mod tests {
         let snap = snapshot();
         assert_eq!(counter_value(&snap, "m.test.epoch"), Some(1));
         reset();
+    }
+
+    #[test]
+    fn bucketed_quantile_brackets_exact_quantile() {
+        // Cross-check the histogram's bucketed convention against the
+        // shared exact helper on the same inserted values: the log₂
+        // bucket upper bound must sit at or above the exact quantile,
+        // and within one bucket (a factor of two) of it.
+        use sim_common::quantile::quantile_sorted;
+        use sim_common::Xoshiro256pp;
+
+        let mut rng = Xoshiro256pp::seed_from_u64(17);
+        let mut h = Histogram::new();
+        let mut vals = Vec::new();
+        for _ in 0..5_000 {
+            // Latency-like spread over several orders of magnitude.
+            let v = 10f64.powf(rng.next_f64() * 4.0 - 1.0);
+            h.record(v);
+            vals.push(v);
+        }
+        vals.sort_by(f64::total_cmp);
+        for q in [0.5, 0.99] {
+            let exact = quantile_sorted(&vals, q);
+            let bucketed = h.quantile(q);
+            assert!(
+                bucketed >= exact,
+                "q={q}: bucketed {bucketed} below exact {exact}"
+            );
+            assert!(
+                bucketed <= exact * 2.0,
+                "q={q}: bucketed {bucketed} beyond one bucket above exact {exact}"
+            );
+        }
     }
 
     #[test]

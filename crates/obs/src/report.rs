@@ -440,6 +440,43 @@ pub fn render(trace: &Trace, top_n: usize) -> String {
         }
     }
 
+    // The fleet population summary, present when the trace came from a
+    // `ramp fleet` run (or the server's `fleet` verb).
+    if let Some(dies) = trace.counter("fleet.dies") {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "fleet population");
+        let _ = writeln!(out, "  {:<28} {dies:>10}", "dies sampled");
+        if let Some(violations) = trace.counter("fleet.violations") {
+            let frac = trace.gauge("fleet.violation_fraction").unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "  {:<28} {violations:>10} ({:.2}% of the fleet)",
+                "FIT-budget violations",
+                frac * 100.0
+            );
+        }
+        if let (Some(p50), Some(p95)) = (trace.gauge("fleet.fit_p50"), trace.gauge("fleet.fit_p95"))
+        {
+            let _ = writeln!(out, "  {:<28} {p50:>10.0} / {p95:<10.0}", "FIT p50 / p95");
+        }
+        let life: Vec<(&str, Option<f64>)> = vec![
+            ("p1", trace.gauge("fleet.life_p1_y")),
+            ("p5", trace.gauge("fleet.life_p5_y")),
+            ("p50", trace.gauge("fleet.life_p50_y")),
+            ("p95", trace.gauge("fleet.life_p95_y")),
+        ];
+        if life.iter().any(|(_, v)| v.is_some()) {
+            let curve: Vec<String> = life
+                .iter()
+                .filter_map(|(q, v)| v.map(|v| format!("{q} {v:.1}")))
+                .collect();
+            let _ = writeln!(out, "  {:<28} {}", "lifetime years", curve.join(" | "));
+        }
+        if let Some(rate) = trace.gauge("fleet.dies_per_sec") {
+            let _ = writeln!(out, "  {:<28} {:>10.0}", "dies per second", rate);
+        }
+    }
+
     let fits: Vec<(&str, f64)> = trace
         .metrics
         .iter()
@@ -592,6 +629,36 @@ mod tests {
         // 6 hits of 8 lookups and 3 of 4; every solve reused a factor.
         assert!(out.contains("75.0%"), "{out}");
         assert!(out.contains("100.0%"), "{out}");
+    }
+
+    #[test]
+    fn render_includes_fleet_section_when_present() {
+        let text = concat!(
+            "{\"type\":\"counter\",\"name\":\"fleet.dies\",\"value\":100000}\n",
+            "{\"type\":\"counter\",\"name\":\"fleet.violations\",\"value\":1234}\n",
+            "{\"type\":\"gauge\",\"name\":\"fleet.violation_fraction\",\"value\":0.01234}\n",
+            "{\"type\":\"gauge\",\"name\":\"fleet.fit_p50\",\"value\":3100.0}\n",
+            "{\"type\":\"gauge\",\"name\":\"fleet.fit_p95\",\"value\":4400.0}\n",
+            "{\"type\":\"gauge\",\"name\":\"fleet.life_p1_y\",\"value\":11.5}\n",
+            "{\"type\":\"gauge\",\"name\":\"fleet.life_p5_y\",\"value\":14.25}\n",
+            "{\"type\":\"gauge\",\"name\":\"fleet.life_p50_y\",\"value\":24.0}\n",
+            "{\"type\":\"gauge\",\"name\":\"fleet.life_p95_y\",\"value\":39.5}\n",
+            "{\"type\":\"gauge\",\"name\":\"fleet.dies_per_sec\",\"value\":240000.0}\n",
+        );
+        let trace = parse_trace(text);
+        let out = render(&trace, 5);
+        assert!(out.contains("fleet population"), "{out}");
+        assert!(out.contains("dies sampled"), "{out}");
+        assert!(out.contains("(1.23% of the fleet)"), "{out}");
+        assert!(out.contains("3100"), "{out}");
+        assert!(
+            out.contains("p1 11.5 | p5 14.2 | p50 24.0 | p95 39.5"),
+            "{out}"
+        );
+        assert!(out.contains("dies per second"), "{out}");
+        // A trace without fleet.dies gets no fleet section.
+        let plain = render(&parse_trace(""), 5);
+        assert!(!plain.contains("fleet population"), "{plain}");
     }
 
     #[test]

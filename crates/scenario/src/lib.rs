@@ -44,7 +44,10 @@
 
 pub mod textfmt;
 
-use drm::{ArchPoint, BatchEngine, DvsPoint, DvsRange, EvalParams, Evaluator, Oracle, Strategy};
+use drm::{
+    ArchPoint, BatchEngine, DvsPoint, DvsRange, EvalParams, Evaluator, FleetConfig, Oracle,
+    Strategy,
+};
 use ramp::{FailureParams, QualificationPoint, ReliabilityModel, FIT_TARGET_STANDARD};
 use sim_common::{Floorplan, Kelvin, SimError};
 use sim_cpu::CoreConfig;
@@ -156,6 +159,9 @@ pub struct Scenario {
     pub arch_points: Vec<ArchPoint>,
     /// Simulation lengths and seeds.
     pub eval: EvalParams,
+    /// Fleet population Monte Carlo: die count, seed, wear-out shape and
+    /// die-to-die variation magnitudes.
+    pub fleet: FleetConfig,
 }
 
 impl Scenario {
@@ -181,6 +187,7 @@ impl Scenario {
             workloads: App::ALL.into_iter().map(WorkloadSpec::Builtin).collect(),
             arch_points: ArchPoint::ALL.to_vec(),
             eval: EvalParams::standard(),
+            fleet: FleetConfig::default(),
         }
     }
 
@@ -236,6 +243,7 @@ impl Scenario {
                 .map_err(|e| SimError::invalid_config(format!("adaptation point {p}: {e}")))?;
         }
         self.eval.validate()?;
+        self.fleet.validate()?;
         Ok(())
     }
 
@@ -536,6 +544,14 @@ mod tests {
 
         let mut s = Scenario::paper_default();
         s.qualification.alpha = 1.5;
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::paper_default();
+        s.fleet.dies = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::paper_default();
+        s.fleet.variation.sigma_ea = -0.1;
         assert!(s.validate().is_err());
     }
 

@@ -31,7 +31,7 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
-use drm::{ArchPoint, DvsRange, EvalParams};
+use drm::{ArchPoint, DvsRange, EvalParams, FleetConfig, VariationParams};
 use ramp::FailureParams;
 use sim_common::{
     Block, Floorplan, Hertz, Kelvin, Rect, SimError, Structure, StructureMap, Volts, Watts,
@@ -115,6 +115,13 @@ const SINGLETON_KEYS: &[&str] = &[
     "eval.seed",
     "eval.leakage_iterations",
     "eval.prewarm_bytes",
+    "fleet.dies",
+    "fleet.seed",
+    "fleet.shape",
+    "fleet.sigma_leakage",
+    "fleet.sigma_beta",
+    "fleet.sigma_ea",
+    "fleet.sigma_geometry",
 ];
 
 fn line_err(lineno: usize, msg: impl std::fmt::Display) -> SimError {
@@ -466,6 +473,18 @@ pub fn scenario_from_text(text: &str) -> Result<Scenario, SimError> {
         prewarm_bytes: req_u64(&mut s, "eval.prewarm_bytes")?,
     };
 
+    let fleet = FleetConfig {
+        dies: req_u64(&mut s, "fleet.dies")?,
+        seed: req_u64(&mut s, "fleet.seed")?,
+        shape: req_f64(&mut s, "fleet.shape")?,
+        variation: VariationParams {
+            sigma_leakage: req_f64(&mut s, "fleet.sigma_leakage")?,
+            sigma_beta: req_f64(&mut s, "fleet.sigma_beta")?,
+            sigma_ea: req_f64(&mut s, "fleet.sigma_ea")?,
+            sigma_geometry: req_f64(&mut s, "fleet.sigma_geometry")?,
+        },
+    };
+
     let mut arch_points = Vec::with_capacity(s.arch.len());
     for entry in s.arch.drain(..) {
         entry.expect_len("arch", 3)?;
@@ -496,6 +515,7 @@ pub fn scenario_from_text(text: &str) -> Result<Scenario, SimError> {
         workloads: std::mem::take(&mut s.workloads),
         arch_points,
         eval,
+        fleet,
     };
     scenario.validate()?;
     Ok(scenario)
@@ -621,6 +641,16 @@ pub fn scenario_to_text(scenario: &Scenario) -> String {
     let _ = writeln!(w, "eval.leakage_iterations {}", e.leakage_iterations);
     let _ = writeln!(w, "eval.prewarm_bytes {}", e.prewarm_bytes);
 
+    let fl = &scenario.fleet;
+    let _ = writeln!(w, "\n# Fleet population Monte Carlo");
+    let _ = writeln!(w, "fleet.dies {}", fl.dies);
+    let _ = writeln!(w, "fleet.seed {}", fl.seed);
+    let _ = writeln!(w, "fleet.shape {}", fl.shape);
+    let _ = writeln!(w, "fleet.sigma_leakage {}", fl.variation.sigma_leakage);
+    let _ = writeln!(w, "fleet.sigma_beta {}", fl.variation.sigma_beta);
+    let _ = writeln!(w, "fleet.sigma_ea {}", fl.variation.sigma_ea);
+    let _ = writeln!(w, "fleet.sigma_geometry {}", fl.variation.sigma_geometry);
+
     let _ = writeln!(w, "\n# DRM adaptation space: window alus fpus");
     for point in &scenario.arch_points {
         let _ = writeln!(w, "arch {} {} {}", point.window, point.alus, point.fpus);
@@ -654,6 +684,30 @@ mod tests {
         assert_eq!(reparsed, original);
         // And the canonical print is a fixed point.
         assert_eq!(scenario_to_text(&reparsed), text);
+    }
+
+    #[test]
+    fn fleet_section_round_trips_and_validates() {
+        let mut s = Scenario::paper_default();
+        s.fleet.dies = 2_000_000;
+        s.fleet.seed = 99;
+        s.fleet.shape = 3.5;
+        s.fleet.variation.sigma_leakage = 0.4;
+        let text = scenario_to_text(&s);
+        let reparsed = scenario_from_text(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(reparsed, s);
+
+        let bad = text.replace("fleet.shape 3.5", "fleet.shape 0.01");
+        let err = scenario_from_text(&bad).unwrap_err().to_string();
+        assert!(err.contains("fleet.shape"), "{err}");
+
+        let missing: String = text
+            .lines()
+            .filter(|l| !l.starts_with("fleet.dies"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let err = scenario_from_text(&missing).unwrap_err().to_string();
+        assert!(err.contains("missing required key `fleet.dies`"), "{err}");
     }
 
     #[test]

@@ -167,6 +167,25 @@ pub struct SweepRequest {
     pub qual: QualOverride,
 }
 
+/// `fleet <app> [...eval keys...] [tqual=] [alpha=] [target=] [dies=] [seed=] [shape=]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRequest {
+    /// Workload name.
+    pub app: Spanned<String>,
+    /// Uploaded scenario to evaluate against.
+    pub scenario: Option<Spanned<String>>,
+    /// Operating-point overrides.
+    pub point: OpPoint,
+    /// Qualification overrides.
+    pub qual: QualOverride,
+    /// Die-count override (default: the target scenario's `fleet.dies`).
+    pub dies: Option<Spanned<u64>>,
+    /// Fleet seed override.
+    pub seed: Option<Spanned<u64>>,
+    /// Weibull wear-out shape override.
+    pub shape: Option<Spanned<f64>>,
+}
+
 /// One parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -196,10 +215,12 @@ pub enum Request {
     Fit(FitRequest),
     /// Oracular DRM search over a strategy's candidate grid.
     Sweep(SweepRequest),
+    /// Population Monte Carlo over virtual dies at one operating point.
+    Fleet(FleetRequest),
 }
 
 /// The request verbs, for error messages.
-const VERBS: &str = "ping, stats, shutdown, sleep, scenario, eval, fit, sweep";
+const VERBS: &str = "ping, stats, shutdown, sleep, scenario, eval, fit, sweep, fleet";
 
 /// Parses one request line.
 ///
@@ -314,6 +335,31 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 qual: parse_qual(&keys)?,
             }))
         }
+        "fleet" => {
+            let app = app_operand(&tokens)?;
+            let keys = parse_keys(
+                &tokens[2..],
+                &[
+                    "freq", "vdd", "window", "alus", "fpus", "scenario", "tqual", "alpha",
+                    "target", "dies", "seed", "shape",
+                ],
+            )?;
+            let dies = get_u64(&keys, "dies")?;
+            if let Some(d) = &dies {
+                if d.value == 0 {
+                    return Err(ProtoError::new(d.pos, "dies must be positive"));
+                }
+            }
+            Ok(Request::Fleet(FleetRequest {
+                app,
+                scenario: get_str(&keys, "scenario"),
+                point: parse_point(&keys)?,
+                qual: parse_qual(&keys)?,
+                dies,
+                seed: get_u64(&keys, "seed")?,
+                shape: get_f64(&keys, "shape")?,
+            }))
+        }
         other => Err(ProtoError::new(
             1,
             format!("unknown request `{other}` (known: {VERBS})"),
@@ -415,6 +461,18 @@ fn get_u32(keys: &[KeyValue<'_>], key: &str) -> Result<Option<Spanned<u32>>, Pro
         None => Ok(None),
         Some(&(pos, _, v)) => {
             let parsed: u32 = v.parse().map_err(|_| {
+                ProtoError::new(pos, format!("key `{key}` expects an integer, got `{v}`"))
+            })?;
+            Ok(Some(Spanned::new(pos, parsed)))
+        }
+    }
+}
+
+fn get_u64(keys: &[KeyValue<'_>], key: &str) -> Result<Option<Spanned<u64>>, ProtoError> {
+    match keys.iter().find(|&&(_, k, _)| k == key) {
+        None => Ok(None),
+        Some(&(pos, _, v)) => {
+            let parsed: u64 = v.parse().map_err(|_| {
                 ProtoError::new(pos, format!("key `{key}` expects an integer, got `{v}`"))
             })?;
             Ok(Some(Spanned::new(pos, parsed)))
@@ -708,6 +766,32 @@ mod tests {
         };
         assert_eq!(s.strategy.unwrap().value, "dvs");
         assert_eq!(s.step_ghz.unwrap().value, 0.5);
+    }
+
+    #[test]
+    fn fleet_requests_parse_with_overrides() {
+        let Request::Fleet(f) =
+            parse_request("fleet gzip dies=50000 seed=7 shape=2.5 tqual=370 freq=3.5e9").unwrap()
+        else {
+            panic!("not a fleet")
+        };
+        assert_eq!(f.app.value, "gzip");
+        assert_eq!(f.dies.unwrap().value, 50_000);
+        assert_eq!(f.seed.unwrap().value, 7);
+        assert_eq!(f.shape.unwrap().value, 2.5);
+        assert_eq!(f.qual.tqual_k.unwrap().value, 370.0);
+        assert_eq!(f.point.freq_hz.unwrap().value, 3.5e9);
+
+        let Request::Fleet(bare) = parse_request("fleet twolf").unwrap() else {
+            panic!("not a fleet")
+        };
+        assert!(bare.dies.is_none() && bare.seed.is_none() && bare.shape.is_none());
+
+        let e = parse_request("fleet gzip dies=0").unwrap_err();
+        assert_eq!(e.pos, 3);
+        assert!(e.message.contains("dies must be positive"), "{e}");
+        assert!(parse_request("fleet gzip dies=many").is_err());
+        assert!(parse_request("fleet gzip strategy=dvs").is_err());
     }
 
     #[test]

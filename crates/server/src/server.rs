@@ -40,15 +40,17 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use drm::{ArchPoint, BatchEngine, DvsPoint, EvalParams, Oracle, Strategy, SweepSummary};
+use drm::{
+    ArchPoint, BatchEngine, DvsPoint, EvalParams, FleetConfig, Oracle, Strategy, SweepSummary,
+};
 use ramp::{Mechanism, ReliabilityModel};
 use scenario::{Qualification, Scenario};
 use sim_common::{Hertz, Kelvin, SimError, Volts};
 use workload::App;
 
 use crate::protocol::{
-    busy_line, parse_request, EvalRequest, FitRequest, OpPoint, ProtoError, QualOverride, Request,
-    ResponseLine, SweepRequest, GREETING, MAX_LINE_BYTES,
+    busy_line, parse_request, EvalRequest, FitRequest, FleetRequest, OpPoint, ProtoError,
+    QualOverride, Request, ResponseLine, SweepRequest, GREETING, MAX_LINE_BYTES,
 };
 use crate::queue::{BoundedQueue, PushError};
 
@@ -202,6 +204,14 @@ enum Job {
         strategy: Strategy,
         candidates: Vec<(ArchPoint, DvsPoint)>,
         model: ReliabilityModel,
+    },
+    Fleet {
+        slot: Arc<EngineSlot>,
+        app: App,
+        arch: ArchPoint,
+        dvs: DvsPoint,
+        model: ReliabilityModel,
+        config: FleetConfig,
     },
     Sleep {
         ms: u64,
@@ -661,6 +671,10 @@ fn respond(state: &Arc<ServerState>, reader: &mut LineReader<'_>, line: &str) ->
             Ok(job) => enqueue(state, job).unwrap_or_else(|busy| busy),
             Err(e) => e.to_line(),
         },
+        Request::Fleet(fleet) => match resolve_fleet(state, &fleet) {
+            Ok(job) => enqueue(state, job).unwrap_or_else(|busy| busy),
+            Err(e) => e.to_line(),
+        },
     }
 }
 
@@ -879,6 +893,48 @@ fn resolve_sweep(state: &Arc<ServerState>, sweep: &SweepRequest) -> Result<Job, 
     })
 }
 
+fn resolve_fleet(state: &Arc<ServerState>, fleet: &FleetRequest) -> Result<Job, ProtoError> {
+    let slot = resolve_slot(state, fleet.scenario.as_ref())?;
+    let app = resolve_app(&slot, &fleet.app)?;
+    let (arch, dvs) = resolve_point(&slot, &fleet.point)?;
+    let model = slot
+        .model_for(&fleet.qual)
+        .map_err(|e| ProtoError::new(qual_pos(&fleet.qual), one_line(&e)))?;
+    let config = FleetConfig {
+        dies: fleet
+            .dies
+            .as_ref()
+            .map_or(slot.scenario.fleet.dies, |d| d.value),
+        seed: fleet
+            .seed
+            .as_ref()
+            .map_or(slot.scenario.fleet.seed, |s| s.value),
+        shape: fleet
+            .shape
+            .as_ref()
+            .map_or(slot.scenario.fleet.shape, |s| s.value),
+        variation: slot.scenario.fleet.variation,
+    };
+    // Validate overrides now so the error lands on the offending token.
+    if let Err(e) = config.validate() {
+        let pos = fleet
+            .dies
+            .as_ref()
+            .map(|d| d.pos)
+            .or_else(|| fleet.shape.as_ref().map(|s| s.pos))
+            .unwrap_or(1);
+        return Err(ProtoError::new(pos, one_line(&e)));
+    }
+    Ok(Job::Fleet {
+        slot,
+        app,
+        arch,
+        dvs,
+        model,
+        config,
+    })
+}
+
 fn qual_pos(qual: &QualOverride) -> usize {
     qual.tqual_k
         .as_ref()
@@ -1056,5 +1112,33 @@ fn run_job(job: &Job) -> String {
                 Err(e) => ProtoError::new(1, one_line(&e)).to_line(),
             }
         }
+        Job::Fleet {
+            slot,
+            app,
+            arch,
+            dvs,
+            model,
+            config,
+        } => match drm::run_fleet(&slot.engine, *app, *arch, *dvs, model, config) {
+            Ok(summary) => {
+                let mut ok = ResponseLine::ok("fleet");
+                ok.str("app", app.name())
+                    .u64("dies", summary.dies)
+                    .u64("violations", summary.violations)
+                    .f64("violation_fraction", summary.violation_fraction())
+                    .f64("target", summary.target_fit)
+                    .f64("fit_mean", summary.fit.mean)
+                    .f64("fit_p50", summary.fit.p50)
+                    .f64("fit_p95", summary.fit.p95)
+                    .f64("life_mean_y", summary.lifetime_years.mean)
+                    .f64("life_p1_y", summary.lifetime_years.p1)
+                    .f64("life_p5_y", summary.lifetime_years.p5)
+                    .f64("life_p50_y", summary.lifetime_years.p50)
+                    .f64("life_p95_y", summary.lifetime_years.p95)
+                    .f64("rank_error", summary.rank_error);
+                ok.finish()
+            }
+            Err(e) => ProtoError::new(1, one_line(&e)).to_line(),
+        },
     }
 }

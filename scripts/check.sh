@@ -23,10 +23,18 @@ trap 'rm -f "$trace"' EXIT
 echo "== scenario smoke: validate every checked-in scenario file =="
 ./target/release/ramp scenario validate examples/scenarios/*.scn
 
+echo "== fleet smoke: sample a small population, summarize its trace =="
+fleet_trace="$(mktemp -t ramp-check-fleet-XXXXXX.jsonl)"
+trap 'rm -f "$trace" "$fleet_trace"' EXIT
+./target/release/ramp fleet --app twolf --dies 20000 --quick --trace "$fleet_trace" \
+  | grep -q 'dies' || { echo "error: ramp fleet printed no population summary" >&2; exit 1; }
+./target/release/ramp report "$fleet_trace" --top 3 | grep -q 'fleet population' \
+  || { echo "error: fleet trace lacks the report's fleet section" >&2; exit 1; }
+
 echo "== server smoke: serve on an ephemeral port, eval + malformed request, clean shutdown =="
 server_log="$(mktemp -t ramp-check-server-XXXXXX.log)"
 server_trace="$(mktemp -t ramp-check-server-XXXXXX.jsonl)"
-trap 'rm -f "$trace" "$server_log" "$server_trace"' EXIT
+trap 'rm -f "$trace" "$fleet_trace" "$server_log" "$server_trace"' EXIT
 ./target/release/ramp serve --addr 127.0.0.1:0 --quick --trace "$server_trace" >"$server_log" &
 server_pid=$!
 addr=""
@@ -67,6 +75,15 @@ grep -q '"schema":"ramp-bench-server/1"' BENCH_server.json \
   || { echo "error: BENCH_server.json malformed (schema marker absent)" >&2; exit 1; }
 grep -q '"server.throughput_8c_rps":' BENCH_server.json \
   || { echo "error: BENCH_server.json missing throughput metrics" >&2; exit 1; }
+
+echo "== fleet bench smoke: population bench emits a valid BENCH_fleet.json =="
+rm -f BENCH_fleet.json
+RAMP_FAST=1 cargo bench --offline -p bench-suite --bench fleet
+[ -s BENCH_fleet.json ] || { echo "error: BENCH_fleet.json missing or empty" >&2; exit 1; }
+grep -q '"schema":"ramp-bench-fleet/1"' BENCH_fleet.json \
+  || { echo "error: BENCH_fleet.json malformed (schema marker absent)" >&2; exit 1; }
+grep -q '"fleet.dies_per_sec_1w":' BENCH_fleet.json \
+  || { echo "error: BENCH_fleet.json missing throughput metrics" >&2; exit 1; }
 
 echo "== clippy (warnings are errors) =="
 cargo clippy --offline --all-targets -- -D warnings

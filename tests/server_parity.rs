@@ -8,7 +8,7 @@ use std::io::Write as _;
 use std::net::TcpStream;
 use std::time::Duration;
 
-use drm::{EvalParams, Evaluator};
+use drm::{run_fleet, BatchEngine, EvalParams, Evaluator, FleetConfig};
 use ramp::Mechanism;
 use scenario::Scenario;
 use sim_common::Xoshiro256pp;
@@ -145,6 +145,68 @@ fn fit_matches_direct_model_application_bit_for_bit() {
             "false"
         }
     );
+}
+
+/// `fleet` responses — population percentiles, violation counts, rank
+/// error — match an in-process `run_fleet` over the same die population
+/// bit for bit. The fleet RNG is seeded per die, so this also pins the
+/// wire format against any scheduling or formatting drift.
+#[test]
+fn fleet_matches_direct_population_bit_for_bit() {
+    let server = start_server(tiny_config());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let scn = Scenario::paper_default();
+    let model = scn.model().expect("model");
+
+    let reply = client
+        .request("fleet twolf dies=2000 seed=7")
+        .expect("request");
+    assert!(reply.is_ok(), "{}", reply.raw);
+
+    let engine =
+        BatchEngine::with_workers(direct_evaluator(), 1).with_base_config(scn.core.clone());
+    let config = FleetConfig {
+        dies: 2000,
+        seed: 7,
+        ..scn.fleet
+    };
+    let summary = run_fleet(
+        &engine,
+        App::Twolf,
+        scn.base_arch(),
+        scn.base_dvs(),
+        &model,
+        &config,
+    )
+    .expect("direct fleet");
+
+    assert_eq!(reply.u64("dies").unwrap(), summary.dies);
+    assert_eq!(reply.u64("violations").unwrap(), summary.violations);
+    for (key, direct) in [
+        ("violation_fraction", summary.violation_fraction()),
+        ("target", summary.target_fit),
+        ("fit_mean", summary.fit.mean),
+        ("fit_p50", summary.fit.p50),
+        ("fit_p95", summary.fit.p95),
+        ("life_mean_y", summary.lifetime_years.mean),
+        ("life_p1_y", summary.lifetime_years.p1),
+        ("life_p5_y", summary.lifetime_years.p5),
+        ("life_p50_y", summary.lifetime_years.p50),
+        ("life_p95_y", summary.lifetime_years.p95),
+        ("rank_error", summary.rank_error),
+    ] {
+        let wire = reply.f64(key).expect(key);
+        assert_eq!(
+            wire.to_bits(),
+            direct.to_bits(),
+            "`{key}` differs (wire {wire}, direct {direct})"
+        );
+    }
+
+    // Semantic errors land on the offending token, not the connection.
+    let bad = client.request("fleet twolf shape=0.01").expect("request");
+    assert_eq!(bad.status, Status::Err, "{}", bad.raw);
+    assert!(bad.raw.contains("fleet.shape"), "{}", bad.raw);
 }
 
 /// Four clients hammering the same points concurrently race the shared
