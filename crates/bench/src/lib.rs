@@ -120,6 +120,15 @@ pub fn init_observability() {
                 Err(e) => eprintln!("warning: cannot create RAMP_TRACE file: {e}"),
             }
         }
+        if let Some(path) = std::env::var_os("RAMP_TRACE_OUT") {
+            match sim_obs::TraceEventSink::create(Path::new(&path)) {
+                Ok(sink) => {
+                    sim_obs::install_sink(Arc::new(sink));
+                    enable = true;
+                }
+                Err(e) => eprintln!("warning: cannot create RAMP_TRACE_OUT file: {e}"),
+            }
+        }
         if std::env::var_os("RAMP_METRICS").is_some_and(|v| !v.is_empty()) {
             enable = true;
         }
@@ -302,6 +311,9 @@ pub const BENCH_SERVER_SCHEMA: &str = "ramp-bench-server/1";
 /// Version marker the fleet population-throughput report carries.
 pub const BENCH_FLEET_SCHEMA: &str = "ramp-bench-fleet/1";
 
+/// Version marker the telemetry-overhead report carries.
+pub const BENCH_OBS_SCHEMA: &str = "ramp-bench-obs/1";
+
 /// Where the pipeline bench driver writes its machine-readable results:
 /// `RAMP_BENCH_OUT` when set, otherwise `BENCH_pipeline.json` at the
 /// repository root.
@@ -332,6 +344,17 @@ pub fn fleet_bench_report_path() -> PathBuf {
     match std::env::var_os("RAMP_BENCH_OUT") {
         Some(p) if !p.is_empty() => PathBuf::from(p),
         _ => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fleet.json"),
+    }
+}
+
+/// Where the telemetry-overhead bench writes its results:
+/// `RAMP_BENCH_OUT` when set, otherwise `BENCH_obs.json` at the
+/// repository root.
+#[must_use]
+pub fn obs_bench_report_path() -> PathBuf {
+    match std::env::var_os("RAMP_BENCH_OUT") {
+        Some(p) if !p.is_empty() => PathBuf::from(p),
+        _ => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_obs.json"),
     }
 }
 

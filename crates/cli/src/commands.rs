@@ -16,7 +16,7 @@ use ramp::{Mechanism, QualificationPoint, ReliabilityModel};
 use scenario::{Qualification, Scenario};
 use sim_common::{Kelvin, SimError, Structure};
 use sim_cpu::CoreConfig;
-use sim_server::{Client, Server, ServerConfig};
+use sim_server::{Client, Reply, Server, ServerConfig, WATCH_FRAME_KIND};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -87,7 +87,8 @@ pub fn print_help() {
     println!("  serve       run the network evaluation service (ramp-serve/1)");
     println!("              [--addr host:port] [--jobs N] [--queue-depth N]");
     println!("              [--workers N] [--batch-max N] [--linger-ms N]");
-    println!("              [--stop-file <path>] [--quick]");
+    println!("              [--stop-file <path>] [--tick-ms N (0 = no telemetry)]");
+    println!("              [--quick]");
     println!("  client      talk to a running server; prints the raw response");
     println!("              [--addr host:port] ping | stats | shutdown");
     println!("              | eval <app> [--ghz G] [--vdd V] [--window N] [--alus N]");
@@ -97,8 +98,13 @@ pub fn print_help() {
     println!("                [--tqual K] [--alpha A] [--target FIT] [--use <scenario>]");
     println!("              | fleet <app> [eval opts] [--dies N] [--seed N] [--shape B]");
     println!("              | upload <name> <file.scn> | raw <tokens...>");
+    println!("              (`stats` also prints uptime/queue/batching lines)");
+    println!("  top         live dashboard over a server's `watch` stream:");
+    println!("              request rates, queue depth, latency quantiles, SLOs");
+    println!("              [--addr host:port] [--interval-ms N] [--frames N]");
+    println!("              [--once  (print one frame and exit)]");
     println!("  report      summarize a recorded trace: per-stage wall time,");
-    println!("              hottest structures, reliability gauges");
+    println!("              hottest structures, reliability gauges, SLO status");
     println!("              <trace.jsonl> [--top N]");
     println!();
     println!("GLOBAL OPTIONS (any command)");
@@ -106,6 +112,8 @@ pub fn print_help() {
     println!("                        of the built-in paper setup");
     println!("  --trace <path.jsonl>  record spans/metrics/logs to a JSONL trace");
     println!("  --metrics             print the aggregated metric snapshot on exit");
+    println!("  RAMP_TRACE_OUT=<path> export a Chrome/Perfetto trace-event JSON");
+    println!("                        file (open in about:tracing or ui.perfetto.dev)");
     println!();
     println!("Add --quick to any simulation command for shorter runs.");
     println!("--jobs N sets the batch engine's worker-thread count (unset =");
@@ -139,6 +147,7 @@ pub fn dispatch(args: &Args) -> Result<(), SimError> {
         "scenario" => scenario_cmd(args),
         "serve" => serve_cmd(args),
         "client" => client_cmd(args),
+        "top" => top_cmd(args),
         "report" => report_cmd(args),
         other => Err(SimError::invalid_config(format!(
             "unknown command `{other}`; try `ramp help`"
@@ -160,6 +169,15 @@ fn setup_observability(args: &Args) -> Result<(), SimError> {
         })?;
         sim_obs::install_sink(Arc::new(sink));
         enable = true;
+    }
+    if let Ok(path) = std::env::var("RAMP_TRACE_OUT") {
+        if !path.is_empty() {
+            let sink = sim_obs::TraceEventSink::create(Path::new(&path)).map_err(|e| {
+                SimError::invalid_config(format!("cannot create trace-event file `{path}`: {e}"))
+            })?;
+            sim_obs::install_sink(Arc::new(sink));
+            enable = true;
+        }
     }
     if args.flag("metrics") {
         enable = true;
@@ -750,10 +768,17 @@ fn serve_cmd(args: &Args) -> Result<(), SimError> {
         "batch-max",
         "linger-ms",
         "stop-file",
+        "tick-ms",
         "quick",
     ])?;
     let scn = scenario_from(args)?;
     let defaults = ServerConfig::default();
+    // `--tick-ms 0` disables the telemetry ticker (and with it `watch`
+    // quantiles and SLO evaluation); any other value is the ring period.
+    let telemetry_tick = match args.u64_or("tick-ms", 1_000)? {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    };
     let config = ServerConfig {
         jobs: args.jobs()?,
         queue_depth: args.positive_u64_or("queue-depth", defaults.queue_depth as u64)? as usize,
@@ -762,6 +787,7 @@ fn serve_cmd(args: &Args) -> Result<(), SimError> {
         linger: Duration::from_millis(args.u64_or("linger-ms", 2)?),
         stop_file: args.get("stop-file").map(PathBuf::from),
         eval: args.flag("quick").then(EvalParams::quick),
+        telemetry_tick,
         ..defaults
     };
     let addr = args.get("addr").unwrap_or(DEFAULT_ADDR);
@@ -851,12 +877,139 @@ fn client_cmd(args: &Args) -> Result<(), SimError> {
     };
     println!("{response}");
     if response.starts_with("ok") {
+        if action == "stats" {
+            if let Ok(reply) = Reply::parse(&response) {
+                print_stats_summary(&reply);
+            }
+        }
         Ok(())
     } else {
         Err(SimError::invalid_config(
             "server did not answer `ok` (response printed above)",
         ))
     }
+}
+
+/// Human-readable rendering of a `stats` reply, printed below the raw
+/// response line (which scripts keep parsing).
+fn print_stats_summary(reply: &Reply) {
+    let u64_of = |key: &str| reply.u64(key).unwrap_or(0);
+    if let Ok(uptime) = reply.f64("uptime_s") {
+        println!("  uptime        {uptime:.1} s");
+    }
+    println!(
+        "  requests      {} ({} errors, {} shed)",
+        u64_of("requests"),
+        u64_of("errors"),
+        u64_of("shed")
+    );
+    println!("  queue depth   {}", u64_of("queue_len"));
+    let batches = u64_of("batches");
+    let occupancy = if batches > 0 {
+        u64_of("batched_requests") as f64 / batches as f64
+    } else {
+        0.0
+    };
+    println!("  batching      {batches} batches, {occupancy:.2} req/batch");
+}
+
+/// `ramp top`: live dashboard over a running server's `watch` stream.
+/// Subscribes with the requested interval and redraws one screenful per
+/// frame; `--once` grabs a single frame and exits (for scripts), and
+/// `--frames N` stops after N frames.
+fn top_cmd(args: &Args) -> Result<(), SimError> {
+    args.expect_only(&["addr", "interval-ms", "frames", "once"])?;
+    let addr = args.get("addr").unwrap_or(DEFAULT_ADDR);
+    let once = args.flag("once");
+    let interval_ms = args.u64_or("interval-ms", if once { 50 } else { 1_000 })?;
+    let frames = if once { 1 } else { args.u64_or("frames", 0)? };
+    let mut client = Client::connect(addr)?;
+    client.send_line(&format!("watch interval_ms={interval_ms} frames={frames}"))?;
+    loop {
+        let reply = client.next_reply()?;
+        if !reply.is_ok() {
+            return Err(SimError::invalid_config(format!(
+                "server refused watch: {}",
+                reply.raw
+            )));
+        }
+        if reply.kind == "watch-end" {
+            if !once {
+                println!(
+                    "watch ended: {} frame(s), {} request(s) served since startup",
+                    reply.u64("frames")?,
+                    reply.u64("requests")?
+                );
+            }
+            return Ok(());
+        }
+        if reply.kind != WATCH_FRAME_KIND {
+            return Err(SimError::invalid_config(format!(
+                "unexpected watch reply `{}`",
+                reply.raw
+            )));
+        }
+        if !once {
+            // Redraw in place (clear + home) so the dashboard refreshes
+            // like `top` without pulling in a terminal library.
+            print!("\x1b[2J\x1b[H");
+        }
+        render_top_frame(addr, &reply)?;
+        let _ = std::io::stdout().flush();
+    }
+}
+
+/// One dashboard screenful from a `watch-frame/1` reply.
+fn render_top_frame(addr: &str, f: &Reply) -> Result<(), SimError> {
+    let interval_s = f.u64("interval_ms")? as f64 / 1e3;
+    let rate = |d: u64| {
+        if interval_s > 0.0 {
+            d as f64 / interval_s
+        } else {
+            0.0
+        }
+    };
+    println!(
+        "ramp top — {addr} | frame {} | uptime {:.1} s",
+        f.u64("seq")?,
+        f.f64("uptime_s")?
+    );
+    println!(
+        "  requests  {:>9} total {:>9.1}/s   errors {} (+{})   shed {} (+{})",
+        f.u64("requests")?,
+        rate(f.u64("d_requests")?),
+        f.u64("errors")?,
+        f.u64("d_errors")?,
+        f.u64("shed")?,
+        f.u64("d_shed")?
+    );
+    println!(
+        "  queue     {:>9} deep  {:>9.1} batches/s  {:.2} req/batch",
+        f.u64("queue_len")?,
+        rate(f.u64("d_batches")?),
+        f.f64("batch_occupancy")?
+    );
+    match (
+        f.get("latency_p50_ms"),
+        f.get("latency_p99_ms"),
+        f.get("latency_p999_ms"),
+    ) {
+        (Some(p50), Some(p99), Some(p999)) => {
+            println!("  latency   p50 {p50} ms | p99 {p99} ms | p999 {p999} ms  (windowed)");
+        }
+        _ => println!("  latency   (telemetry window still filling)"),
+    }
+    if f.get("slo_objectives").is_some() {
+        let objectives = f.u64("slo_objectives")?;
+        let violated = f.u64("slo_violated")?;
+        println!(
+            "  slo       {objectives} objective(s), {violated} violated{}",
+            if violated > 0 { "  !" } else { "" }
+        );
+    } else {
+        println!("  slo       (no objectives evaluated yet)");
+    }
+    Ok(())
 }
 
 /// Builds an `eval`/`fit`/`sweep` request line from the client options.

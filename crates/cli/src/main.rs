@@ -10,8 +10,9 @@
 //! ramp controller --app bzip2 --tqual 394 [--tmax 385] [--sensors] [--insts 600000]
 //! ramp scaling   --app gzip [--tqual 394] [--quick]
 //! ramp scenario  validate <file...> | print [<file>] | run <file> [--quick]
-//! ramp serve     [--addr 127.0.0.1:4590] [--jobs 4] [--queue-depth 64] [--quick]
+//! ramp serve     [--addr 127.0.0.1:4590] [--jobs 4] [--queue-depth 64] [--tick-ms 1000] [--quick]
 //! ramp client    [--addr 127.0.0.1:4590] ping | eval gzip [--ghz 4.0] | fit gzip | sweep gzip | raw <tokens...>
+//! ramp top       [--addr 127.0.0.1:4590] [--interval-ms 1000] [--frames 0] [--once]
 //! ramp report    <trace.jsonl> [--top 5]
 //! ```
 //!

@@ -552,7 +552,7 @@ impl BatchEngine {
 
         if !groups.is_empty() {
             std::thread::scope(|scope| {
-                for _ in 0..workers {
+                for w in 0..workers {
                     let evaluator = self.evaluator.clone();
                     let groups = &groups;
                     let next = &next;
@@ -560,63 +560,69 @@ impl BatchEngine {
                     let first_error = &first_error;
                     let busy_ns = &busy_ns;
                     let timing_runs = &timing_runs;
-                    scope.spawn(move || {
-                        let _worker_span = sim_obs::span!("drm.worker");
-                        let fail = |e: SimError| {
-                            stop.store(true, Ordering::Relaxed);
-                            first_error
-                                .lock()
-                                .expect("error slot lock poisoned")
-                                .get_or_insert(e);
-                        };
-                        loop {
-                            if stop.load(Ordering::Relaxed) {
-                                return;
-                            }
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(group) = groups.get(i) else {
-                                return;
+                    // Named threads give each worker its own lane in
+                    // trace-event exports (and readable panic messages).
+                    let builder = std::thread::Builder::new().name(format!("drm-worker-{w}"));
+                    builder
+                        .spawn_scoped(scope, move || {
+                            let _worker_span = sim_obs::span!("drm.worker");
+                            let fail = |e: SimError| {
+                                stop.store(true, Ordering::Relaxed);
+                                first_error
+                                    .lock()
+                                    .expect("error slot lock poisoned")
+                                    .get_or_insert(e);
                             };
-                            // Work remaining in the shared queue as this
-                            // worker claims a group.
-                            sim_obs::hist!("drm.queue.depth", (groups.len() - i) as f64);
-                            let profile = group[0].1.profile();
-                            for (key, app, config) in group {
-                                // Every member does its own lookup so the
-                                // timing-cache hit/miss counters read as
-                                // reuses/runs; only this worker touches
-                                // the group's key, so the first member
-                                // misses (and simulates) and the rest hit.
-                                let tkey = TimingCacheKey::new(*app, config);
-                                let timing = match self.timing.get(&tkey) {
-                                    Some(t) => t,
-                                    None => match evaluator.timing_run(&profile, config) {
-                                        Ok(run) => {
-                                            timing_runs.fetch_add(1, Ordering::Relaxed);
-                                            self.timing.insert(tkey, run)
+                            loop {
+                                if stop.load(Ordering::Relaxed) {
+                                    return;
+                                }
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(group) = groups.get(i) else {
+                                    return;
+                                };
+                                // Work remaining in the shared queue as this
+                                // worker claims a group.
+                                sim_obs::hist!("drm.queue.depth", (groups.len() - i) as f64);
+                                let profile = group[0].1.profile();
+                                for (key, app, config) in group {
+                                    // Every member does its own lookup so the
+                                    // timing-cache hit/miss counters read as
+                                    // reuses/runs; only this worker touches
+                                    // the group's key, so the first member
+                                    // misses (and simulates) and the rest hit.
+                                    let tkey = TimingCacheKey::new(*app, config);
+                                    let timing = match self.timing.get(&tkey) {
+                                        Some(t) => t,
+                                        None => match evaluator.timing_run(&profile, config) {
+                                            Ok(run) => {
+                                                timing_runs.fetch_add(1, Ordering::Relaxed);
+                                                self.timing.insert(tkey, run)
+                                            }
+                                            Err(e) => {
+                                                fail(e);
+                                                return;
+                                            }
+                                        },
+                                    };
+                                    match evaluator.evaluate_with_timing(&profile, config, &timing)
+                                    {
+                                        Ok(ev) => {
+                                            busy_ns.fetch_add(
+                                                ev.stats.wall().as_nanos() as u64,
+                                                Ordering::Relaxed,
+                                            );
+                                            self.cache.insert(*key, ev);
                                         }
                                         Err(e) => {
                                             fail(e);
                                             return;
                                         }
-                                    },
-                                };
-                                match evaluator.evaluate_with_timing(&profile, config, &timing) {
-                                    Ok(ev) => {
-                                        busy_ns.fetch_add(
-                                            ev.stats.wall().as_nanos() as u64,
-                                            Ordering::Relaxed,
-                                        );
-                                        self.cache.insert(*key, ev);
-                                    }
-                                    Err(e) => {
-                                        fail(e);
-                                        return;
                                     }
                                 }
                             }
-                        }
-                    });
+                        })
+                        .expect("spawn drm worker thread");
                 }
             });
         }

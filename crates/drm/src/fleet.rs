@@ -658,27 +658,32 @@ pub fn run_fleet(
         .max(1);
     let next = AtomicU64::new(0);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for w in 0..workers {
             let baseline = &baseline;
             let slots = &slots;
             let next = &next;
-            scope.spawn(move || {
-                let _worker_span = sim_obs::span!("drm.fleet.worker");
-                loop {
-                    let b = next.fetch_add(1, Ordering::Relaxed);
-                    if b >= batches {
-                        return;
+            // Named threads give each worker its own lane in trace-event
+            // exports (and readable panic messages).
+            let builder = std::thread::Builder::new().name(format!("fleet-worker-{w}"));
+            builder
+                .spawn_scoped(scope, move || {
+                    let _worker_span = sim_obs::span!("drm.fleet.worker");
+                    loop {
+                        let b = next.fetch_add(1, Ordering::Relaxed);
+                        if b >= batches {
+                            return;
+                        }
+                        let lo = b * DIE_BATCH;
+                        let hi = (lo + DIE_BATCH).min(dies);
+                        let mut part = FleetPartial::new();
+                        for die in lo..hi {
+                            part.record(&baseline.die(die), target_fit);
+                        }
+                        // Each batch index is claimed by exactly one worker.
+                        assert!(slots[b as usize].set(part).is_ok());
                     }
-                    let lo = b * DIE_BATCH;
-                    let hi = (lo + DIE_BATCH).min(dies);
-                    let mut part = FleetPartial::new();
-                    for die in lo..hi {
-                        part.record(&baseline.die(die), target_fit);
-                    }
-                    // Each batch index is claimed by exactly one worker.
-                    assert!(slots[b as usize].set(part).is_ok());
-                }
-            });
+                })
+                .expect("spawn fleet worker thread");
         }
     });
 

@@ -16,6 +16,13 @@
 //!   JSONL event writer ([`JsonlSink`]) for offline analysis with
 //!   [`report`], and a stderr logger ([`StderrSink`]) gated by `RAMP_LOG`.
 //!
+//! On top of the cumulative core sit the live-telemetry layers: a
+//! fixed-capacity ring of periodic snapshots sampled by a background
+//! ticker ([`window`]), SLO evaluation over that ring ([`slo`]), and a
+//! Chrome/Perfetto trace-event exporter ([`trace_event`],
+//! `RAMP_TRACE_OUT=<path.json>`). None of them touch the recording hot
+//! path — they only read snapshots.
+//!
 //! # Overhead contract
 //!
 //! When no sink is installed and recording is disabled (the default),
@@ -58,7 +65,10 @@ pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod sink;
+pub mod slo;
 pub mod span;
+pub mod trace_event;
+pub mod window;
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
@@ -67,7 +77,10 @@ use std::time::Instant;
 
 pub use metrics::{Histogram, Metric, MetricValue, StageTimes};
 pub use sink::{JsonlSink, LogEvent, MemorySink, NullSink, Sink, SpanEvent, StderrSink};
+pub use slo::{FitBurnObjective, SloObjective, SloSet, SloStatus};
 pub use span::SpanGuard;
+pub use trace_event::TraceEventSink;
+pub use window::{TickSnapshot, Ticker, WindowDelta, WindowRing};
 
 /// Master switch for span and metric recording.
 static ENABLED: AtomicBool = AtomicBool::new(false);

@@ -125,6 +125,37 @@ impl Histogram {
         self.max
     }
 
+    /// The histogram of samples recorded *after* `earlier` was captured,
+    /// assuming `earlier` is an older snapshot of this same cumulative
+    /// histogram. Counts, sums, and bucket occupancies subtract exactly
+    /// (cumulative snapshots are monotone per bucket); `min`/`max` are
+    /// not recoverable from two cumulative snapshots, so the delta keeps
+    /// the later snapshot's bounds — conservative for [`Histogram::quantile`],
+    /// which caps its answer at `max`. An empty delta (no new samples)
+    /// returns a pristine empty histogram.
+    #[must_use]
+    pub fn delta_from(&self, earlier: &Histogram) -> Histogram {
+        let count = self.count.saturating_sub(earlier.count);
+        if count == 0 {
+            return Histogram::new();
+        }
+        let mut d = Histogram {
+            count,
+            sum: self.sum - earlier.sum,
+            min: self.min,
+            max: self.max,
+            buckets: [0; BUCKETS],
+        };
+        for (b, (late, early)) in d
+            .buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(earlier.buckets.iter()))
+        {
+            *b = late.saturating_sub(*early);
+        }
+        d
+    }
+
     /// Approximate quantile from the log₂ buckets: the upper bound of the
     /// bucket where the cumulative count crosses `q·count`. Exact enough
     /// for order-of-magnitude latency reporting.
@@ -506,6 +537,32 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, all);
+    }
+
+    #[test]
+    fn histogram_delta_recovers_the_new_samples() {
+        let mut early = Histogram::new();
+        for v in [1.0, 2.0, 300.0] {
+            early.record(v);
+        }
+        let mut late = early.clone();
+        let mut fresh = Histogram::new();
+        for v in [0.5, 4.0, 4.5, 1000.0] {
+            late.record(v);
+            fresh.record(v);
+        }
+        let d = late.delta_from(&early);
+        assert_eq!(d.count(), fresh.count());
+        assert!((d.sum() - fresh.sum()).abs() < 1e-9);
+        assert_eq!(d.buckets, fresh.buckets);
+        // Quantiles over the delta use the same bucket upper bounds as a
+        // directly recorded histogram of the new samples (the delta's max
+        // is the cumulative max, which only matters past the last bucket).
+        assert_eq!(d.quantile(0.5), fresh.quantile(0.5));
+        // No new samples → pristine empty histogram.
+        let none = late.delta_from(&late);
+        assert_eq!(none, Histogram::new());
+        assert_eq!(none.quantile(0.99), 0.0);
     }
 
     #[test]

@@ -440,6 +440,53 @@ pub fn render(trace: &Trace, top_n: usize) -> String {
         }
     }
 
+    // Service-level objectives, present when a telemetry-enabled run
+    // published `slo.*` gauges (the server's SLO ticker, or any direct
+    // `SloSet::evaluate` caller). One row per objective; `slo.fit` is
+    // the FIT-budget burn objective and reports fractions, not ms.
+    let mut slo_names: Vec<&str> = trace
+        .metrics
+        .iter()
+        .filter_map(|m| {
+            m.name
+                .strip_prefix("slo.")
+                .and_then(|rest| rest.strip_suffix(".ok"))
+        })
+        .collect();
+    slo_names.sort_unstable();
+    slo_names.dedup();
+    if !slo_names.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "service-level objectives");
+        for name in slo_names {
+            let ok = trace.gauge(&format!("slo.{name}.ok")).unwrap_or(1.0) >= 0.5;
+            let remaining = trace
+                .gauge(&format!("slo.{name}.budget_remaining"))
+                .unwrap_or(0.0);
+            let detail = if name == "fit" {
+                let burn = trace.gauge("slo.fit.burn").unwrap_or(0.0);
+                let max = trace.gauge("slo.fit.max_burn").unwrap_or(0.0);
+                format!(
+                    "burn {:.1}% of the {:.0}% allowed",
+                    burn * 100.0,
+                    max * 100.0
+                )
+            } else {
+                let attained = trace
+                    .gauge(&format!("slo.{name}.attained_ms"))
+                    .unwrap_or(0.0);
+                let target = trace.gauge(&format!("slo.{name}.target_ms")).unwrap_or(0.0);
+                format!("attained {attained:.2} ms vs {target:.2} ms target")
+            };
+            let _ = writeln!(
+                out,
+                "  {name:<16} {:<9} {detail}, {:.0}% budget left",
+                if ok { "met" } else { "VIOLATED" },
+                remaining * 100.0
+            );
+        }
+    }
+
     // The fleet population summary, present when the trace came from a
     // `ramp fleet` run (or the server's `fleet` verb).
     if let Some(dies) = trace.counter("fleet.dies") {
@@ -659,6 +706,30 @@ mod tests {
         // A trace without fleet.dies gets no fleet section.
         let plain = render(&parse_trace(""), 5);
         assert!(!plain.contains("fleet population"), "{plain}");
+    }
+
+    #[test]
+    fn render_includes_slo_section_when_present() {
+        let text = concat!(
+            "{\"type\":\"gauge\",\"name\":\"slo.eval.attained_ms\",\"value\":4.5}\n",
+            "{\"type\":\"gauge\",\"name\":\"slo.eval.target_ms\",\"value\":50.0}\n",
+            "{\"type\":\"gauge\",\"name\":\"slo.eval.budget_remaining\",\"value\":0.91}\n",
+            "{\"type\":\"gauge\",\"name\":\"slo.eval.ok\",\"value\":1.0}\n",
+            "{\"type\":\"gauge\",\"name\":\"slo.fit.burn\",\"value\":0.8}\n",
+            "{\"type\":\"gauge\",\"name\":\"slo.fit.max_burn\",\"value\":0.5}\n",
+            "{\"type\":\"gauge\",\"name\":\"slo.fit.budget_remaining\",\"value\":-0.6}\n",
+            "{\"type\":\"gauge\",\"name\":\"slo.fit.ok\",\"value\":0.0}\n",
+        );
+        let trace = parse_trace(text);
+        let out = render(&trace, 5);
+        assert!(out.contains("service-level objectives"), "{out}");
+        assert!(out.contains("attained 4.50 ms vs 50.00 ms target"), "{out}");
+        assert!(out.contains("met"), "{out}");
+        assert!(out.contains("VIOLATED"), "{out}");
+        assert!(out.contains("burn 80.0% of the 50% allowed"), "{out}");
+        // No slo.* gauges, no section.
+        let plain = render(&parse_trace(""), 5);
+        assert!(!plain.contains("service-level objectives"), "{plain}");
     }
 
     #[test]

@@ -158,8 +158,14 @@ impl Sink for MemorySink {
     }
 }
 
-/// Writes diagnostics to stderr as `ramp[level] target: message`. Spans
-/// and metrics are ignored — this sink exists for `RAMP_LOG`.
+/// Writes diagnostics to stderr as
+/// `ramp[+<seconds>s][level] target: message`. Spans and metrics are
+/// ignored — this sink exists for `RAMP_LOG`.
+///
+/// The leading `+<seconds>` is monotonic time since the process epoch
+/// (millisecond resolution), so interleaved lines from concurrent
+/// threads carry a total order even though stderr itself preserves only
+/// per-write atomicity.
 #[derive(Debug, Default)]
 pub struct StderrSink;
 
@@ -171,9 +177,32 @@ impl StderrSink {
     }
 }
 
+/// Formats one `RAMP_LOG` stderr line with its monotonic elapsed-time
+/// prefix. Split out from the sink so the format is testable (and
+/// parseable by [`parse_log_elapsed`]).
+#[must_use]
+pub fn format_log_line(elapsed_ns: u64, event: &LogEvent) -> String {
+    format!(
+        "ramp[+{:.3}s][{}] {}: {}",
+        elapsed_ns as f64 / 1e9,
+        event.level,
+        event.target,
+        event.message
+    )
+}
+
+/// Parses the elapsed seconds back out of a [`format_log_line`] line;
+/// `None` when the line does not carry the prefix.
+#[must_use]
+pub fn parse_log_elapsed(line: &str) -> Option<f64> {
+    let rest = line.strip_prefix("ramp[+")?;
+    let (seconds, _) = rest.split_once("s][")?;
+    seconds.parse().ok()
+}
+
 impl Sink for StderrSink {
     fn on_log(&self, event: &LogEvent) {
-        eprintln!("ramp[{}] {}: {}", event.level, event.target, event.message);
+        eprintln!("{}", format_log_line(crate::since_epoch_ns(), event));
     }
 }
 
@@ -313,6 +342,28 @@ mod tests {
         sink.clear();
         assert!(sink.spans().is_empty());
         assert!(sink.metrics().is_empty());
+    }
+
+    #[test]
+    fn stderr_log_prefix_round_trips() {
+        let event = LogEvent {
+            level: Level::Info,
+            target: "drm.batch".to_owned(),
+            message: "evaluated 7 points".to_owned(),
+        };
+        let line = format_log_line(12_345_678_900, &event);
+        assert!(
+            line.ends_with("[info] drm.batch: evaluated 7 points"),
+            "{line}"
+        );
+        let secs = parse_log_elapsed(&line).expect("prefix parses");
+        assert!((secs - 12.346).abs() < 1e-9, "{secs}");
+        // Prefixes order lines across threads.
+        let earlier = format_log_line(1_000_000, &event);
+        assert!(parse_log_elapsed(&earlier).unwrap() < secs);
+        // Lines without the prefix refuse to parse.
+        assert_eq!(parse_log_elapsed("ramp[info] x: y"), None);
+        assert_eq!(parse_log_elapsed("unrelated"), None);
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! Service-level objectives evaluated over the window ring.
+//!
+//! Two objective kinds, matching what a serving scenario declares in its
+//! optional `[slo]` section:
+//!
+//! * **Latency objectives** ([`SloObjective`]): "quantile `q` of this
+//!   latency histogram stays below `target_ms`", evaluated over the
+//!   sliding window (so a burst ages out of the objective as the window
+//!   slides, instead of haunting a cumulative histogram forever).
+//! * **FIT-budget burn** ([`FitBurnObjective`]): "the consumed failure
+//!   budget (a `fit.total`-style gauge) stays below `max_burn` of the
+//!   qualified budget" — the paper's §3.7 FIT target treated as an error
+//!   budget that live traffic burns down.
+//!
+//! Each evaluation publishes `slo.*` gauges into the ordinary metric
+//! registry so SLO state flows through every existing surface: `flush`,
+//! JSONL traces, `ramp report`, and the server's `watch` frames.
+//!
+//! Published gauges per latency objective `<name>`:
+//!
+//! | gauge | meaning |
+//! |---|---|
+//! | `slo.<name>.attained_ms` | windowed quantile actually observed |
+//! | `slo.<name>.target_ms` | declared objective |
+//! | `slo.<name>.budget_remaining` | `1 − attained/target` (negative ⇒ violated) |
+//! | `slo.<name>.ok` | 1.0 when met (or no traffic), else 0.0 |
+//!
+//! And for the FIT objective: `slo.fit.burn` (fraction of the qualified
+//! budget consumed), `slo.fit.budget_remaining`, `slo.fit.ok`.
+
+use crate::metrics::gauge_set;
+use crate::window::{WindowDelta, WindowRing};
+
+/// One per-verb (or per-stage) latency objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloObjective {
+    /// Short label used in gauge names, e.g. the server verb (`eval`).
+    pub name: String,
+    /// The latency histogram to evaluate, e.g.
+    /// `server.request.latency_ms.eval`.
+    pub metric: String,
+    /// The objective quantile in `(0, 1)`, e.g. `0.99`.
+    pub quantile: f64,
+    /// The latency target in milliseconds.
+    pub target_ms: f64,
+}
+
+/// The FIT-budget burn objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitBurnObjective {
+    /// The gauge holding consumed FIT, e.g. `fit.total`.
+    pub metric: String,
+    /// The qualified chip-wide FIT budget.
+    pub budget_fit: f64,
+    /// Allowed burn as a fraction of the budget (1.0 = the whole budget).
+    pub max_burn: f64,
+}
+
+/// A set of objectives evaluated together each tick.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SloSet {
+    /// Latency objectives.
+    pub objectives: Vec<SloObjective>,
+    /// Optional FIT-budget burn objective.
+    pub fit_burn: Option<FitBurnObjective>,
+}
+
+/// The outcome of one objective at one evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// The objective's label (`fit` for the burn objective).
+    pub name: String,
+    /// Attained value: windowed quantile in ms, or burn fraction.
+    pub attained: f64,
+    /// The declared target (ms, or max burn fraction).
+    pub target: f64,
+    /// `1 − attained/target`; negative when violated.
+    pub budget_remaining: f64,
+    /// Samples inside the window (0 ⇒ vacuously met; always 1 for the
+    /// burn objective once the gauge exists).
+    pub samples: u64,
+    /// True when the objective is met (or unexercised).
+    pub ok: bool,
+}
+
+impl SloSet {
+    /// True when no objectives are declared.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.objectives.is_empty() && self.fit_burn.is_none()
+    }
+
+    /// Evaluates over the ring's current full window and publishes
+    /// `slo.*` gauges. Before the ring holds a window (fewer than two
+    /// ticks), publishes nothing and reports every latency objective as
+    /// unexercised.
+    pub fn evaluate(&self, ring: &WindowRing) -> Vec<SloStatus> {
+        match ring.window() {
+            Some(window) => self.evaluate_window(&window),
+            None => self
+                .objectives
+                .iter()
+                .map(|o| SloStatus {
+                    name: o.name.clone(),
+                    attained: 0.0,
+                    target: o.target_ms,
+                    budget_remaining: 1.0,
+                    samples: 0,
+                    ok: true,
+                })
+                .collect(),
+        }
+    }
+
+    /// Evaluates against one explicit window and publishes `slo.*`
+    /// gauges for every objective.
+    pub fn evaluate_window(&self, window: &WindowDelta) -> Vec<SloStatus> {
+        let mut out = Vec::with_capacity(self.objectives.len() + 1);
+        for o in &self.objectives {
+            let samples = window.histogram(&o.metric).map_or(0, |h| h.count());
+            let attained = window.quantile(&o.metric, o.quantile).unwrap_or(0.0);
+            let budget_remaining = if o.target_ms > 0.0 {
+                1.0 - attained / o.target_ms
+            } else {
+                0.0
+            };
+            let ok = samples == 0 || attained <= o.target_ms;
+            gauge_set(&format!("slo.{}.attained_ms", o.name), attained);
+            gauge_set(&format!("slo.{}.target_ms", o.name), o.target_ms);
+            gauge_set(
+                &format!("slo.{}.budget_remaining", o.name),
+                budget_remaining,
+            );
+            gauge_set(&format!("slo.{}.ok", o.name), if ok { 1.0 } else { 0.0 });
+            out.push(SloStatus {
+                name: o.name.clone(),
+                attained,
+                target: o.target_ms,
+                budget_remaining,
+                samples,
+                ok,
+            });
+        }
+        if let Some(fb) = &self.fit_burn {
+            let consumed = window.gauge(&fb.metric);
+            let burn = match consumed {
+                Some(fit) if fb.budget_fit > 0.0 => fit / fb.budget_fit,
+                _ => 0.0,
+            };
+            let budget_remaining = if fb.max_burn > 0.0 {
+                1.0 - burn / fb.max_burn
+            } else {
+                0.0
+            };
+            let ok = consumed.is_none() || burn <= fb.max_burn;
+            gauge_set("slo.fit.burn", burn);
+            gauge_set("slo.fit.max_burn", fb.max_burn);
+            gauge_set("slo.fit.budget_remaining", budget_remaining);
+            gauge_set("slo.fit.ok", if ok { 1.0 } else { 0.0 });
+            out.push(SloStatus {
+                name: "fit".to_owned(),
+                attained: burn,
+                target: fb.max_burn,
+                budget_remaining,
+                samples: u64::from(consumed.is_some()),
+                ok,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use crate::test_lock;
+    use crate::window::WindowRing;
+
+    fn latency_slo(target_ms: f64) -> SloSet {
+        SloSet {
+            objectives: vec![SloObjective {
+                name: "eval".to_owned(),
+                metric: "server.request.latency_ms.eval".to_owned(),
+                quantile: 0.99,
+                target_ms,
+            }],
+            fit_burn: None,
+        }
+    }
+
+    #[test]
+    fn met_and_violated_latency_objectives() {
+        let _guard = test_lock::hold();
+        crate::reset_for_tests();
+        let ring = WindowRing::new(4);
+        ring.tick();
+        for _ in 0..20 {
+            metrics::hist_record("server.request.latency_ms.eval", 3.0);
+        }
+        ring.tick();
+
+        // Generous target: met, budget left.
+        let met = latency_slo(1000.0).evaluate(&ring);
+        assert_eq!(met.len(), 1);
+        assert!(met[0].ok);
+        assert_eq!(met[0].samples, 20);
+        assert!(met[0].attained >= 3.0);
+        assert!(met[0].budget_remaining > 0.0);
+
+        // Impossible target: violated, negative budget.
+        let violated = latency_slo(0.001).evaluate(&ring);
+        assert!(!violated[0].ok);
+        assert!(violated[0].budget_remaining < 0.0);
+
+        // Gauges were published into the ordinary registry.
+        let snap = metrics::snapshot();
+        let gauge = |name: &str| {
+            snap.iter().find_map(|m| match m.value {
+                crate::MetricValue::Gauge(v) if m.name == name => Some(v),
+                _ => None,
+            })
+        };
+        assert_eq!(gauge("slo.eval.target_ms"), Some(0.001));
+        assert_eq!(gauge("slo.eval.ok"), Some(0.0));
+        assert!(gauge("slo.eval.attained_ms").unwrap() >= 3.0);
+        crate::reset_for_tests();
+    }
+
+    #[test]
+    fn quiet_window_is_vacuously_met() {
+        let _guard = test_lock::hold();
+        crate::reset_for_tests();
+        let ring = WindowRing::new(4);
+        ring.tick();
+        ring.tick();
+        let statuses = latency_slo(5.0).evaluate(&ring);
+        assert!(statuses[0].ok);
+        assert_eq!(statuses[0].samples, 0);
+        assert_eq!(statuses[0].budget_remaining, 1.0);
+        crate::reset_for_tests();
+    }
+
+    #[test]
+    fn fit_burn_tracks_the_budget() {
+        let _guard = test_lock::hold();
+        crate::reset_for_tests();
+        let slo = SloSet {
+            objectives: Vec::new(),
+            fit_burn: Some(FitBurnObjective {
+                metric: "fit.total".to_owned(),
+                budget_fit: 4000.0,
+                max_burn: 1.0,
+            }),
+        };
+        let ring = WindowRing::new(4);
+        ring.tick();
+        metrics::gauge_set("fit.total", 3000.0);
+        ring.tick();
+        let statuses = slo.evaluate(&ring);
+        assert_eq!(statuses.len(), 1);
+        assert!(statuses[0].ok);
+        assert!((statuses[0].attained - 0.75).abs() < 1e-12);
+        assert!((statuses[0].budget_remaining - 0.25).abs() < 1e-12);
+
+        metrics::gauge_set("fit.total", 5000.0);
+        ring.tick();
+        let statuses = slo.evaluate(&ring);
+        assert!(!statuses[0].ok, "burn beyond the budget must violate");
+        assert!(statuses[0].budget_remaining < 0.0);
+        crate::reset_for_tests();
+    }
+}

@@ -2,15 +2,24 @@
 //! must aggregate exactly, and histogram counts must match the number of
 //! recorded samples — no lost updates across shard merges.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use sim_obs::{MemorySink, MetricValue};
 
 const THREADS: usize = 8;
 const INCREMENTS: u64 = 10_000;
 
+/// The dispatcher, registry, and enable flag are process-global; tests
+/// that reset or reconfigure them must not overlap.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn hold_obs_lock() -> MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 #[test]
 fn concurrent_counter_increments_aggregate_exactly() {
+    let _guard = hold_obs_lock();
     sim_obs::reset_for_tests();
     let sink = Arc::new(MemorySink::new());
     sim_obs::install_sink(sink.clone());
@@ -73,6 +82,7 @@ fn concurrent_counter_increments_aggregate_exactly() {
 
 #[test]
 fn spans_from_many_threads_all_reach_the_sink() {
+    let _guard = hold_obs_lock();
     sim_obs::reset_for_tests();
     let sink = Arc::new(MemorySink::new());
     sim_obs::install_sink(sink.clone());
@@ -104,4 +114,55 @@ fn spans_from_many_threads_all_reach_the_sink() {
         assert_eq!(parent.thread, span.thread);
     }
     sim_obs::reset_for_tests();
+}
+
+/// Many threads hammering spans and metrics through one JSONL file sink:
+/// the flushed file must parse back line-perfect (no torn or interleaved
+/// writes) and account for every span and increment.
+#[test]
+fn concurrent_writers_keep_the_jsonl_file_line_valid() {
+    let _guard = hold_obs_lock();
+    sim_obs::reset_for_tests();
+    let path = std::env::temp_dir().join(format!(
+        "ramp-concurrent-jsonl-{}.jsonl",
+        std::process::id()
+    ));
+    let sink = sim_obs::JsonlSink::create(&path).expect("create jsonl file");
+    sim_obs::install_sink(Arc::new(sink));
+    sim_obs::set_enabled(true);
+
+    const SPANS: usize = 200;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                for i in 0..SPANS {
+                    let _span = sim_obs::span!("jsonl.conc");
+                    sim_obs::counter!("jsonl.lines", 1);
+                    sim_obs::hist!("jsonl.depth", (t * SPANS + i) as f64);
+                }
+            });
+        }
+    });
+    sim_obs::flush();
+    sim_obs::reset_for_tests();
+
+    let text = std::fs::read_to_string(&path).expect("read jsonl back");
+    std::fs::remove_file(&path).ok();
+    let trace = sim_obs::report::parse_trace(&text);
+    assert!(
+        trace.malformed.is_empty(),
+        "interleaved writers tore a line: first bad line {:?}",
+        trace.malformed.first()
+    );
+    let spans = trace
+        .spans
+        .iter()
+        .filter(|s| s.name == "jsonl.conc")
+        .count();
+    assert_eq!(spans, THREADS * SPANS, "every span must reach the file");
+    assert_eq!(
+        trace.counter("jsonl.lines"),
+        Some((THREADS * SPANS) as u64),
+        "every increment must aggregate into the flushed snapshot"
+    );
 }

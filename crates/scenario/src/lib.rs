@@ -93,6 +93,85 @@ impl Qualification {
     }
 }
 
+/// One per-verb latency objective of a scenario's optional `[slo]`
+/// section: "quantile `quantile` of the server's `verb` latency stays
+/// below `target_ms`", evaluated over the server's sliding telemetry
+/// window (`sim_obs` metric `server.request.latency_ms.<verb>`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloVerb {
+    /// The server verb the objective applies to (`eval`, `fit`, `sweep`,
+    /// `fleet`, `sleep`).
+    pub verb: String,
+    /// The objective quantile in `(0, 1)`, e.g. `0.99`.
+    pub quantile: f64,
+    /// The latency target in milliseconds.
+    pub target_ms: f64,
+}
+
+/// Service-level objectives a serving scenario declares. Absent in the
+/// paper default — `[slo]` lines are optional, and a scenario without
+/// them serializes without the section, bit-identically to before the
+/// section existed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SloPolicy {
+    /// Per-verb latency objectives.
+    pub verbs: Vec<SloVerb>,
+    /// Allowed burn of the qualified FIT budget as a fraction (1.0 = the
+    /// whole [`Qualification::target_fit`] budget), tracked against the
+    /// last reported `fit.total` gauge.
+    pub max_fit_burn: Option<f64>,
+}
+
+impl SloPolicy {
+    /// Validates the objectives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for an empty policy, a
+    /// duplicate verb, a quantile outside `(0, 1)`, or a non-positive
+    /// target.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.verbs.is_empty() && self.max_fit_burn.is_none() {
+            return Err(SimError::invalid_config(
+                "slo section declares no objectives (add `slo.verb` or `slo.fit_burn`)",
+            ));
+        }
+        for (i, v) in self.verbs.iter().enumerate() {
+            if v.verb.is_empty() || v.verb.split_whitespace().count() != 1 {
+                return Err(SimError::invalid_config(
+                    "slo verb must be a single non-empty token",
+                ));
+            }
+            if self.verbs[..i].iter().any(|prev| prev.verb == v.verb) {
+                return Err(SimError::invalid_config(format!(
+                    "duplicate slo objective for verb `{}`",
+                    v.verb
+                )));
+            }
+            if !(v.quantile > 0.0 && v.quantile < 1.0) {
+                return Err(SimError::invalid_config(format!(
+                    "slo quantile for `{}` must be in (0, 1)",
+                    v.verb
+                )));
+            }
+            if !v.target_ms.is_finite() || v.target_ms <= 0.0 {
+                return Err(SimError::invalid_config(format!(
+                    "slo target for `{}` must be a positive latency in ms",
+                    v.verb
+                )));
+            }
+        }
+        if let Some(burn) = self.max_fit_burn {
+            if !burn.is_finite() || burn <= 0.0 {
+                return Err(SimError::invalid_config(
+                    "slo.fit_burn must be a positive fraction of the FIT budget",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// One entry of a scenario's workload suite.
 // Inline profiles are ~240 bytes vs the Builtin discriminant, but a suite
 // holds at most a handful of config-time entries; boxing would only add
@@ -162,6 +241,8 @@ pub struct Scenario {
     /// Fleet population Monte Carlo: die count, seed, wear-out shape and
     /// die-to-die variation magnitudes.
     pub fleet: FleetConfig,
+    /// Optional service-level objectives for the evaluation server.
+    pub slo: Option<SloPolicy>,
 }
 
 impl Scenario {
@@ -188,6 +269,7 @@ impl Scenario {
             arch_points: ArchPoint::ALL.to_vec(),
             eval: EvalParams::standard(),
             fleet: FleetConfig::default(),
+            slo: None,
         }
     }
 
@@ -244,6 +326,9 @@ impl Scenario {
         }
         self.eval.validate()?;
         self.fleet.validate()?;
+        if let Some(slo) = &self.slo {
+            slo.validate()?;
+        }
         Ok(())
     }
 

@@ -25,8 +25,11 @@
 //! ```
 //!
 //! All scalar keys are required — a scenario file is a complete experiment
-//! record, not a patch. `ramp scenario print` emits the canonical form to
-//! start from.
+//! record, not a patch. The one exception is the optional `[slo]` section
+//! (`slo.verb <verb> <quantile> <target_ms>` lines plus `slo.fit_burn`),
+//! which declares service-level objectives for the evaluation server and
+//! may be omitted entirely. `ramp scenario print` emits the canonical
+//! form to start from.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -42,7 +45,7 @@ use sim_thermal::ThermalParams;
 use workload::textfmt::{profile_from_text, profile_to_text};
 use workload::App;
 
-use crate::{Qualification, Scenario, WorkloadSpec};
+use crate::{Qualification, Scenario, SloPolicy, SloVerb, WorkloadSpec};
 
 /// Every singleton `section.key` the format accepts, used to distinguish
 /// typos (unknown key) from omissions (missing key) in error messages.
@@ -122,7 +125,13 @@ const SINGLETON_KEYS: &[&str] = &[
     "fleet.sigma_beta",
     "fleet.sigma_ea",
     "fleet.sigma_geometry",
+    "slo.fit_burn",
 ];
+
+/// Singleton keys that may be omitted (every other singleton is
+/// required — a scenario file is a complete experiment record, but the
+/// `[slo]` section is an opt-in service-level add-on).
+const OPTIONAL_KEYS: &[&str] = &["slo.fit_burn"];
 
 fn line_err(lineno: usize, msg: impl std::fmt::Display) -> SimError {
     SimError::invalid_config(format!("line {}: {msg}", lineno + 1))
@@ -180,6 +189,7 @@ struct Scanned {
     pmax: Vec<Entry>,
     blocks: Vec<Entry>,
     arch: Vec<Entry>,
+    slo_verbs: Vec<Entry>,
     /// Workload suite in encounter order.
     workloads: Vec<WorkloadSpec>,
 }
@@ -189,6 +199,7 @@ fn scan(text: &str) -> Result<Scanned, SimError> {
     let mut pmax = Vec::new();
     let mut blocks = Vec::new();
     let mut arch = Vec::new();
+    let mut slo_verbs = Vec::new();
     let mut workloads = Vec::new();
 
     let mut lines = text.lines().enumerate();
@@ -248,6 +259,7 @@ fn scan(text: &str) -> Result<Scanned, SimError> {
             "power.pmax" => pmax.push(entry),
             "floorplan.block" => blocks.push(entry),
             "arch" => arch.push(entry),
+            "slo.verb" => slo_verbs.push(entry),
             _ => {
                 if !SINGLETON_KEYS.contains(&key) {
                     return Err(line_err(lineno, format!("unknown key `{key}`")));
@@ -267,6 +279,7 @@ fn scan(text: &str) -> Result<Scanned, SimError> {
         pmax,
         blocks,
         arch,
+        slo_verbs,
         workloads,
     })
 }
@@ -283,6 +296,18 @@ fn req(scanned: &mut Scanned, key: &str, arity: usize) -> Result<Entry, SimError
 
 fn req_f64(scanned: &mut Scanned, key: &str) -> Result<f64, SimError> {
     req(scanned, key, 1)?.f64_at(key, 0)
+}
+
+/// Removes an optional singleton key (see [`OPTIONAL_KEYS`]).
+fn opt_f64(scanned: &mut Scanned, key: &str) -> Result<Option<f64>, SimError> {
+    debug_assert!(OPTIONAL_KEYS.contains(&key), "`{key}` is required");
+    match scanned.singles.remove(key) {
+        None => Ok(None),
+        Some(entry) => {
+            entry.expect_len(key, 1)?;
+            Ok(Some(entry.f64_at(key, 0)?))
+        }
+    }
 }
 
 fn req_u64(scanned: &mut Scanned, key: &str) -> Result<u64, SimError> {
@@ -502,6 +527,25 @@ pub fn scenario_from_text(text: &str) -> Result<Scenario, SimError> {
         arch_points.push(point);
     }
 
+    let mut slo_verbs = Vec::with_capacity(s.slo_verbs.len());
+    for entry in s.slo_verbs.drain(..) {
+        entry.expect_len("slo.verb", 3)?;
+        slo_verbs.push(SloVerb {
+            verb: entry.values[0].clone(),
+            quantile: entry.f64_at("slo.verb", 1)?,
+            target_ms: entry.f64_at("slo.verb", 2)?,
+        });
+    }
+    let max_fit_burn = opt_f64(&mut s, "slo.fit_burn")?;
+    let slo = if slo_verbs.is_empty() && max_fit_burn.is_none() {
+        None
+    } else {
+        Some(SloPolicy {
+            verbs: slo_verbs,
+            max_fit_burn,
+        })
+    };
+
     debug_assert!(s.singles.is_empty(), "unknown keys rejected during scan");
     let scenario = Scenario {
         name,
@@ -516,6 +560,7 @@ pub fn scenario_from_text(text: &str) -> Result<Scenario, SimError> {
         arch_points,
         eval,
         fleet,
+        slo,
     };
     scenario.validate()?;
     Ok(scenario)
@@ -651,6 +696,16 @@ pub fn scenario_to_text(scenario: &Scenario) -> String {
     let _ = writeln!(w, "fleet.sigma_ea {}", fl.variation.sigma_ea);
     let _ = writeln!(w, "fleet.sigma_geometry {}", fl.variation.sigma_geometry);
 
+    if let Some(slo) = &scenario.slo {
+        let _ = writeln!(w, "\n# Service-level objectives: verb quantile target_ms");
+        for v in &slo.verbs {
+            let _ = writeln!(w, "slo.verb {} {} {}", v.verb, v.quantile, v.target_ms);
+        }
+        if let Some(burn) = slo.max_fit_burn {
+            let _ = writeln!(w, "slo.fit_burn {burn}");
+        }
+    }
+
     let _ = writeln!(w, "\n# DRM adaptation space: window alus fpus");
     for point in &scenario.arch_points {
         let _ = writeln!(w, "arch {} {} {}", point.window, point.alus, point.fpus);
@@ -708,6 +763,58 @@ mod tests {
             .collect();
         let err = scenario_from_text(&missing).unwrap_err().to_string();
         assert!(err.contains("missing required key `fleet.dies`"), "{err}");
+    }
+
+    #[test]
+    fn slo_section_round_trips_and_validates() {
+        use crate::{SloPolicy, SloVerb};
+        let mut s = Scenario::paper_default();
+        s.slo = Some(SloPolicy {
+            verbs: vec![
+                SloVerb {
+                    verb: "eval".to_owned(),
+                    quantile: 0.99,
+                    target_ms: 250.0,
+                },
+                SloVerb {
+                    verb: "fleet".to_owned(),
+                    quantile: 0.5,
+                    target_ms: 2000.0,
+                },
+            ],
+            max_fit_burn: Some(1.25),
+        });
+        let text = scenario_to_text(&s);
+        assert!(text.contains("slo.verb eval 0.99 250"), "{text}");
+        assert!(text.contains("slo.fit_burn 1.25"), "{text}");
+        let reparsed = scenario_from_text(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(reparsed, s);
+        assert_eq!(scenario_to_text(&reparsed), text);
+
+        // Bad objectives are rejected with the scenario's own messages.
+        let bad = text.replace("slo.verb eval 0.99 250", "slo.verb eval 1.5 250");
+        let err = scenario_from_text(&bad).unwrap_err().to_string();
+        assert!(err.contains("quantile"), "{err}");
+        let bad = text.replace("slo.fit_burn 1.25", "slo.fit_burn -1");
+        let err = scenario_from_text(&bad).unwrap_err().to_string();
+        assert!(err.contains("fit_burn"), "{err}");
+        let bad = text.replace(
+            "slo.verb fleet 0.5 2000",
+            "slo.verb eval 0.5 2000", // duplicate verb
+        );
+        let err = scenario_from_text(&bad).unwrap_err().to_string();
+        assert!(err.contains("duplicate slo objective"), "{err}");
+    }
+
+    #[test]
+    fn scenarios_without_slo_lines_have_no_slo_section() {
+        // The section is optional: the paper default prints no `slo.`
+        // lines and parses back to `slo: None` (the pre-section format is
+        // preserved bit-for-bit).
+        let text = scenario_to_text(&Scenario::paper_default());
+        assert!(!text.contains("slo."), "{text}");
+        let reparsed = scenario_from_text(&text).unwrap();
+        assert_eq!(reparsed.slo, None);
     }
 
     #[test]

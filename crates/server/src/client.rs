@@ -105,6 +105,34 @@ impl Client {
         Reply::parse(&response)
     }
 
+    /// Sends one request line *without* waiting for a response — the
+    /// entry point for streaming verbs (`watch`), whose responses arrive
+    /// as multiple lines read via [`Client::next_reply`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] on transport failure.
+    pub fn send_line(&mut self, line: &str) -> Result<(), SimError> {
+        debug_assert!(!line.contains('\n'), "request must be a single line");
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| SimError::invalid_config(format!("write failed: {e}")))
+    }
+
+    /// Reads and parses the next response line (streaming verbs deliver
+    /// several per request).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] on transport failure (which
+    /// includes the read timeout elapsing) or an unparsable line.
+    pub fn next_reply(&mut self) -> Result<Reply, SimError> {
+        let line = self.read_line()?;
+        Reply::parse(&line)
+    }
+
     /// Uploads a scenario text under `name` (the `scenario <name> <n>`
     /// header followed by the payload lines).
     ///

@@ -45,6 +45,8 @@ pub mod queue;
 pub mod server;
 
 pub use client::Client;
-pub use protocol::{parse_request, ProtoError, Reply, Request, Status, PROTOCOL_VERSION};
+pub use protocol::{
+    parse_request, ProtoError, Reply, Request, Status, PROTOCOL_VERSION, WATCH_FRAME_KIND,
+};
 pub use queue::{BoundedQueue, PushError};
-pub use server::{EngineSlot, Server, ServerConfig, ServerState, ServerStats};
+pub use server::{EngineSlot, Server, ServerConfig, ServerState, ServerStats, Telemetry};

@@ -51,6 +51,20 @@ pub const MAX_SCENARIO_LINES: usize = 4096;
 /// to park a worker for long).
 pub const MAX_SLEEP_MS: u64 = 10_000;
 
+/// Fastest `watch` frame interval a client may request.
+pub const MIN_WATCH_INTERVAL_MS: u64 = 10;
+
+/// Slowest `watch` frame interval a client may request.
+pub const MAX_WATCH_INTERVAL_MS: u64 = 60_000;
+
+/// The `watch` frame interval when the client names none.
+pub const DEFAULT_WATCH_INTERVAL_MS: u64 = 1_000;
+
+/// The versioned kind token of a `watch` telemetry frame:
+/// `ok watch-frame/1 seq=...`. Bump when the frame schema changes
+/// incompatibly.
+pub const WATCH_FRAME_KIND: &str = "watch-frame/1";
+
 /// A protocol-level error: what went wrong and the 1-based position of
 /// the request token it was detected at.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -209,6 +223,17 @@ pub enum Request {
         /// Number of raw payload lines that follow.
         lines: usize,
     },
+    /// `watch [interval_ms=<n>] [frames=<n>]` — stream telemetry frames
+    /// until `frames` have been sent (`0` = until the client disconnects
+    /// or the server shuts down). Answered with a `ok watch-frame/1`
+    /// line per interval and a final `ok watch-end`.
+    Watch {
+        /// Frame interval, clamped to
+        /// [`MIN_WATCH_INTERVAL_MS`]..=[`MAX_WATCH_INTERVAL_MS`].
+        interval_ms: u64,
+        /// Frame budget; `0` streams unbounded.
+        frames: u64,
+    },
     /// Evaluate one operating point.
     Eval(EvalRequest),
     /// Evaluate and score against a qualification.
@@ -220,7 +245,7 @@ pub enum Request {
 }
 
 /// The request verbs, for error messages.
-const VERBS: &str = "ping, stats, shutdown, sleep, scenario, eval, fit, sweep, fleet";
+const VERBS: &str = "ping, stats, watch, shutdown, sleep, scenario, eval, fit, sweep, fleet";
 
 /// Parses one request line.
 ///
@@ -250,6 +275,25 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         "shutdown" => {
             expect_end(&tokens, 1)?;
             Ok(Request::Shutdown)
+        }
+        "watch" => {
+            let keys = parse_keys(&tokens[1..], &["interval_ms", "frames"])?;
+            let interval = get_u64(&keys, "interval_ms")?;
+            if let Some(i) = &interval {
+                if i.value < MIN_WATCH_INTERVAL_MS || i.value > MAX_WATCH_INTERVAL_MS {
+                    return Err(ProtoError::new(
+                        i.pos,
+                        format!(
+                            "interval_ms must be in \
+                             {MIN_WATCH_INTERVAL_MS}..={MAX_WATCH_INTERVAL_MS}"
+                        ),
+                    ));
+                }
+            }
+            Ok(Request::Watch {
+                interval_ms: interval.map_or(DEFAULT_WATCH_INTERVAL_MS, |i| i.value),
+                frames: get_u64(&keys, "frames")?.map_or(0, |f| f.value),
+            })
         }
         "sleep" => {
             let keys = parse_keys(&tokens[1..], &["ms"])?;
@@ -792,6 +836,36 @@ mod tests {
         assert!(e.message.contains("dies must be positive"), "{e}");
         assert!(parse_request("fleet gzip dies=many").is_err());
         assert!(parse_request("fleet gzip strategy=dvs").is_err());
+    }
+
+    #[test]
+    fn watch_requests_parse_with_bounds() {
+        let Request::Watch {
+            interval_ms,
+            frames,
+        } = parse_request("watch").unwrap()
+        else {
+            panic!("not a watch")
+        };
+        assert_eq!(interval_ms, DEFAULT_WATCH_INTERVAL_MS);
+        assert_eq!(frames, 0, "default streams unbounded");
+
+        let Request::Watch {
+            interval_ms,
+            frames,
+        } = parse_request("watch interval_ms=50 frames=10").unwrap()
+        else {
+            panic!("not a watch")
+        };
+        assert_eq!(interval_ms, 50);
+        assert_eq!(frames, 10);
+
+        let e = parse_request("watch interval_ms=5").unwrap_err();
+        assert_eq!(e.pos, 2);
+        assert!(e.message.contains("interval_ms"), "{e}");
+        assert!(parse_request("watch interval_ms=99999999").is_err());
+        assert!(parse_request("watch now").is_err());
+        assert!(parse_request("watch frames=ten").is_err());
     }
 
     #[test]

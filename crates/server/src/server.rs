@@ -48,11 +48,18 @@ use scenario::{Qualification, Scenario};
 use sim_common::{Hertz, Kelvin, SimError, Volts};
 use workload::App;
 
+use sim_obs::{FitBurnObjective, SloObjective, SloSet, SloStatus, Ticker, WindowRing};
+
 use crate::protocol::{
     busy_line, parse_request, EvalRequest, FitRequest, FleetRequest, OpPoint, ProtoError,
-    QualOverride, Request, ResponseLine, SweepRequest, GREETING, MAX_LINE_BYTES,
+    QualOverride, Request, ResponseLine, SweepRequest, GREETING, MAX_LINE_BYTES, WATCH_FRAME_KIND,
 };
 use crate::queue::{BoundedQueue, PushError};
+
+/// Window-ring capacity in ticks: with the default 1 s telemetry tick
+/// this holds about a minute of history; at the fastest tick tests use
+/// (tens of ms) it still spans several seconds.
+const TELEMETRY_RING_TICKS: usize = 64;
 
 /// Server tuning knobs. [`ServerConfig::default`] is sized for the CLI's
 /// `ramp serve` defaults; tests shrink the queue and timeouts.
@@ -81,6 +88,11 @@ pub struct ServerConfig {
     /// Overrides every scenario's own [`EvalParams`] (e.g. the CLI's
     /// `--quick`).
     pub eval: Option<EvalParams>,
+    /// Telemetry tick: how often the window ring snapshots the metric
+    /// registry and the scenario's SLOs are re-evaluated. `None`
+    /// disables live telemetry (no ring, no ticker thread, no `slo.*`
+    /// gauges; `watch` frames then carry only the raw counters).
+    pub telemetry_tick: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -96,7 +108,59 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(300),
             stop_file: None,
             eval: None,
+            telemetry_tick: Some(Duration::from_secs(1)),
         }
+    }
+}
+
+/// Live-telemetry state shared by the ticker thread, `watch` streams,
+/// and `stats`: the window ring plus the scenario's SLO set and its most
+/// recent evaluation.
+pub struct Telemetry {
+    ring: Arc<WindowRing>,
+    slo: SloSet,
+    latest: Mutex<Vec<SloStatus>>,
+}
+
+impl Telemetry {
+    /// The window ring of periodic metric snapshots.
+    #[must_use]
+    pub fn ring(&self) -> &Arc<WindowRing> {
+        &self.ring
+    }
+
+    /// The SLO statuses from the most recent tick (empty before the
+    /// first tick or when the scenario declares no objectives).
+    #[must_use]
+    pub fn latest_slo(&self) -> Vec<SloStatus> {
+        self.latest.lock().expect("telemetry lock poisoned").clone()
+    }
+}
+
+/// Maps a scenario's optional `[slo]` section onto the observability
+/// crate's objective set: each verb objective binds to that verb's
+/// windowed latency histogram, and the FIT-burn objective tracks the
+/// `fit.total` gauge against the scenario's qualified budget.
+fn slo_set_for(scenario: &Scenario) -> SloSet {
+    let Some(policy) = &scenario.slo else {
+        return SloSet::default();
+    };
+    SloSet {
+        objectives: policy
+            .verbs
+            .iter()
+            .map(|v| SloObjective {
+                name: v.verb.clone(),
+                metric: format!("server.request.latency_ms.{}", v.verb),
+                quantile: v.quantile,
+                target_ms: v.target_ms,
+            })
+            .collect(),
+        fit_burn: policy.max_fit_burn.map(|max_burn| FitBurnObjective {
+            metric: "fit.total".to_owned(),
+            budget_fit: scenario.qualification.target_fit,
+            max_burn,
+        }),
     }
 }
 
@@ -233,6 +297,8 @@ pub struct ServerState {
     registry: Mutex<HashMap<String, Arc<EngineSlot>>>,
     default_slot: Arc<EngineSlot>,
     queue: BoundedQueue<QueuedRequest>,
+    telemetry: Option<Arc<Telemetry>>,
+    started: Instant,
     stop: AtomicBool,
     connections: AtomicU64,
     requests: AtomicU64,
@@ -250,6 +316,17 @@ impl ServerState {
 
     fn begin_shutdown(&self) {
         self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Time since the server started.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// The live-telemetry state, when the config enabled it.
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// Current counter snapshot.
@@ -332,6 +409,7 @@ pub struct Server {
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    ticker: Option<Ticker>,
 }
 
 impl Server {
@@ -361,12 +439,22 @@ impl Server {
             .set_nonblocking(true)
             .map_err(|e| SimError::invalid_config(format!("cannot set nonblocking: {e}")))?;
 
+        let telemetry = config.telemetry_tick.map(|_| {
+            Arc::new(Telemetry {
+                ring: Arc::new(WindowRing::new(TELEMETRY_RING_TICKS)),
+                slo: slo_set_for(&scenario),
+                latest: Mutex::new(Vec::new()),
+            })
+        });
+
         let drain_workers = config.drain_workers.max(1);
         let state = Arc::new(ServerState {
             queue: BoundedQueue::new(config.queue_depth),
             config,
             registry: Mutex::new(registry),
             default_slot: slot,
+            telemetry,
+            started: Instant::now(),
             stop: AtomicBool::new(false),
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
@@ -394,12 +482,29 @@ impl Server {
                 .map_err(|e| SimError::invalid_config(format!("cannot spawn accept loop: {e}")))?
         };
 
+        // The ticker periodically snapshots the metric registry into the
+        // ring and re-evaluates the scenario's SLOs, publishing `slo.*`
+        // gauges — the windowed view `watch`, `stats`, and `ramp top`
+        // read. The shard-local metric hot path is untouched: sampling
+        // happens entirely on this background thread.
+        let ticker = match (&state.telemetry, state.config.telemetry_tick) {
+            (Some(tel), Some(tick)) => {
+                let tel = Arc::clone(tel);
+                Some(Ticker::start(Arc::clone(&tel.ring), tick, move |ring| {
+                    let statuses = tel.slo.evaluate(ring);
+                    *tel.latest.lock().expect("telemetry lock poisoned") = statuses;
+                }))
+            }
+            _ => None,
+        };
+
         sim_obs::log_debug!("server", "listening on {local}");
         Ok(Server {
             state,
             addr: local,
             accept: Some(accept),
             workers,
+            ticker,
         })
     }
 
@@ -444,6 +549,9 @@ impl Server {
         }
         for worker in self.workers.drain(..) {
             worker.join().expect("drain worker panicked");
+        }
+        if let Some(ticker) = self.ticker.take() {
+            ticker.stop();
         }
         self.state.stats()
     }
@@ -592,7 +700,23 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
         };
         state.requests.fetch_add(1, Ordering::Relaxed);
         sim_obs::counter!("server.requests", 1);
-        let shutdown_after = matches!(parse_request(&line), Ok(Request::Shutdown));
+        let parsed = parse_request(&line);
+        let shutdown_after = matches!(parsed, Ok(Request::Shutdown));
+        if let Ok(Request::Watch {
+            interval_ms,
+            frames,
+        }) = parsed
+        {
+            // Streaming verb: frames go straight to the writer. A write
+            // failure is the client unsubscribing (disconnect), not an
+            // error; either way this connection is done with the stream.
+            sim_obs::counter!("server.watchers", 1);
+            if run_watch(state, &mut writer, interval_ms, frames).is_err() || state.shutting_down()
+            {
+                return;
+            }
+            continue;
+        }
         let response = respond(state, &mut reader, &line);
         if !response.starts_with("ok") {
             state.errors.fetch_add(1, Ordering::Relaxed);
@@ -655,6 +779,12 @@ fn respond(state: &Arc<ServerState>, reader: &mut LineReader<'_>, line: &str) ->
                 Err(e) => ProtoError::new(name.pos, one_line(&e)).to_line(),
             }
         }
+        Request::Watch { interval_ms, .. } => {
+            // `handle_connection` intercepts watch for streaming; a
+            // direct caller (tests) gets one immediate frame.
+            let stats = state.stats();
+            watch_frame(state, 1, interval_ms, &stats, &stats)
+        }
         Request::Sleep { ms } => match enqueue(state, Job::Sleep { ms }) {
             Ok(response) => response,
             Err(response) => response,
@@ -683,11 +813,105 @@ fn one_line(e: &SimError) -> String {
     e.to_string().replace('\n', "; ")
 }
 
+/// Streams `watch` frames every `interval_ms` until `frames` have been
+/// sent (0 = unbounded), the client disconnects (write failure), or the
+/// server shuts down. Each frame carries the cumulative counters *and*
+/// their deltas since the previous frame, so a client can integrate
+/// rates without keeping state; the closing `watch-end` line repeats the
+/// final totals.
+fn run_watch(
+    state: &Arc<ServerState>,
+    writer: &mut TcpStream,
+    interval_ms: u64,
+    frames: u64,
+) -> std::io::Result<()> {
+    let interval = Duration::from_millis(interval_ms);
+    let mut prev = state.stats();
+    let mut seq = 0u64;
+    loop {
+        // Sleep in short slices so shutdown interrupts long intervals.
+        let deadline = Instant::now() + interval;
+        while !state.shutting_down() {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            std::thread::sleep((deadline - now).min(Duration::from_millis(25)));
+        }
+        let now = state.stats();
+        if state.shutting_down() {
+            return write_line(writer, &watch_end(seq, &now));
+        }
+        seq += 1;
+        write_line(writer, &watch_frame(state, seq, interval_ms, &prev, &now))?;
+        prev = now;
+        if frames != 0 && seq >= frames {
+            return write_line(writer, &watch_end(seq, &now));
+        }
+    }
+}
+
+fn watch_end(frames: u64, stats: &ServerStats) -> String {
+    let mut ok = ResponseLine::ok("watch-end");
+    ok.u64("frames", frames).u64("requests", stats.requests);
+    ok.finish()
+}
+
+/// One telemetry frame: counters (cumulative + delta), queue state, and
+/// — when the telemetry ring holds a window — the windowed latency
+/// quantiles and the latest SLO tally.
+fn watch_frame(
+    state: &Arc<ServerState>,
+    seq: u64,
+    interval_ms: u64,
+    prev: &ServerStats,
+    now: &ServerStats,
+) -> String {
+    let mut ok = ResponseLine::ok(WATCH_FRAME_KIND);
+    ok.u64("seq", seq)
+        .u64("interval_ms", interval_ms)
+        .f64("uptime_s", state.uptime().as_secs_f64())
+        .u64("queue_len", state.queue.len() as u64);
+    for (key, cum, earlier) in [
+        ("requests", now.requests, prev.requests),
+        ("shed", now.shed, prev.shed),
+        ("errors", now.errors, prev.errors),
+        ("batches", now.batches, prev.batches),
+        (
+            "batched_requests",
+            now.batched_requests,
+            prev.batched_requests,
+        ),
+    ] {
+        ok.u64(key, cum);
+        ok.u64(&format!("d_{key}"), cum.saturating_sub(earlier));
+    }
+    ok.f64("batch_occupancy", now.batch_occupancy());
+    if let Some(tel) = &state.telemetry {
+        if let Some(window) = tel.ring.window() {
+            for (label, q) in [("p50", 0.5), ("p99", 0.99), ("p999", 0.999)] {
+                if let Some(ms) = window.quantile("server.request.latency_ms", q) {
+                    ok.f64(&format!("latency_{label}_ms"), ms);
+                }
+            }
+        }
+        let statuses = tel.latest_slo();
+        if !statuses.is_empty() {
+            ok.u64("slo_objectives", statuses.len() as u64).u64(
+                "slo_violated",
+                statuses.iter().filter(|s| !s.ok).count() as u64,
+            );
+        }
+    }
+    ok.finish()
+}
+
 fn stats_line(state: &Arc<ServerState>) -> String {
     let stats = state.stats();
     let summary = state.sweep_summary();
     let mut ok = ResponseLine::ok("stats");
-    ok.u64("connections", stats.connections)
+    ok.f64("uptime_s", state.uptime().as_secs_f64())
+        .u64("connections", stats.connections)
         .u64("requests", stats.requests)
         .u64("shed", stats.shed)
         .u64("errors", stats.errors)
@@ -1017,12 +1241,23 @@ fn process_batch(state: &Arc<ServerState>, batch: Vec<QueuedRequest>) {
 
     for request in batch {
         let response = run_job(&request.job);
-        sim_obs::hist!(
-            "server.request.latency_ms",
-            request.enqueued.elapsed().as_secs_f64() * 1e3
-        );
+        let latency_ms = request.enqueued.elapsed().as_secs_f64() * 1e3;
+        sim_obs::hist!("server.request.latency_ms", latency_ms);
+        sim_obs::hist!(verb_latency_metric(&request.job), latency_ms);
         // A vanished client is not an error; the work stays cached.
         let _ = request.reply.send(response);
+    }
+}
+
+/// The per-verb latency histogram recorded alongside the global one —
+/// the metric a scenario's `slo.verb` objectives bind to.
+fn verb_latency_metric(job: &Job) -> &'static str {
+    match job {
+        Job::Eval { .. } => "server.request.latency_ms.eval",
+        Job::Fit { .. } => "server.request.latency_ms.fit",
+        Job::Sweep { .. } => "server.request.latency_ms.sweep",
+        Job::Fleet { .. } => "server.request.latency_ms.fleet",
+        Job::Sleep { .. } => "server.request.latency_ms.sleep",
     }
 }
 

@@ -26,16 +26,23 @@ echo "== scenario smoke: validate every checked-in scenario file =="
 echo "== fleet smoke: sample a small population, summarize its trace =="
 fleet_trace="$(mktemp -t ramp-check-fleet-XXXXXX.jsonl)"
 trap 'rm -f "$trace" "$fleet_trace"' EXIT
-./target/release/ramp fleet --app twolf --dies 20000 --quick --trace "$fleet_trace" \
-  | grep -q 'dies' || { echo "error: ramp fleet printed no population summary" >&2; exit 1; }
-./target/release/ramp report "$fleet_trace" --top 3 | grep -q 'fleet population' \
+# Capture, then grep: `grep -q` on a live pipe exits at the first match
+# and the writer dies of EPIPE mid-summary.
+fleet_out="$(./target/release/ramp fleet --app twolf --dies 20000 --quick --trace "$fleet_trace")"
+echo "$fleet_out" | grep -q 'dies' \
+  || { echo "error: ramp fleet printed no population summary" >&2; exit 1; }
+fleet_report="$(./target/release/ramp report "$fleet_trace" --top 3)"
+echo "$fleet_report" | grep -q 'fleet population' \
   || { echo "error: fleet trace lacks the report's fleet section" >&2; exit 1; }
 
-echo "== server smoke: serve on an ephemeral port, eval + malformed request, clean shutdown =="
+echo "== server smoke: serve on an ephemeral port, eval + malformed request + top, clean shutdown =="
 server_log="$(mktemp -t ramp-check-server-XXXXXX.log)"
 server_trace="$(mktemp -t ramp-check-server-XXXXXX.jsonl)"
 trap 'rm -f "$trace" "$fleet_trace" "$server_log" "$server_trace"' EXIT
-./target/release/ramp serve --addr 127.0.0.1:0 --quick --trace "$server_trace" >"$server_log" &
+# The overdesign scenario carries an [slo] section, so the telemetry
+# ticker (100 ms here) publishes slo.* gauges into the server trace.
+./target/release/ramp serve --addr 127.0.0.1:0 --quick --tick-ms 100 \
+  --scenario examples/scenarios/server-overdesign.scn --trace "$server_trace" >"$server_log" &
 server_pid=$!
 addr=""
 for _ in $(seq 1 100); do
@@ -52,11 +59,19 @@ done
 malformed="$(./target/release/ramp client --addr "$addr" raw eval gzip frq=1 2>/dev/null || true)"
 echo "$malformed" | grep -q '^err ' \
   || { echo "error: malformed request did not answer err: $malformed" >&2; exit 1; }
+# One dashboard frame over the live watch stream.
+sleep 0.3
+top_out="$(./target/release/ramp top --addr "$addr" --once)"
+echo "$top_out" | grep -q 'requests' \
+  || { echo "error: ramp top --once printed no dashboard frame" >&2; exit 1; }
 ./target/release/ramp client --addr "$addr" shutdown | grep -q '^ok shutdown' \
   || { echo "error: shutdown did not answer ok" >&2; exit 1; }
 wait "$server_pid"
-./target/release/ramp report "$server_trace" --top 3 | grep -q 'requests (lines received)' \
+server_report="$(./target/release/ramp report "$server_trace" --top 3)"
+echo "$server_report" | grep -q 'requests (lines received)' \
   || { echo "error: server trace lacks the report's server section" >&2; exit 1; }
+echo "$server_report" | grep -q 'service-level objectives' \
+  || { echo "error: server trace lacks the report's SLO section" >&2; exit 1; }
 
 echo "== microbench smoke: pipeline bench emits a valid BENCH_pipeline.json =="
 rm -f BENCH_pipeline.json
@@ -84,6 +99,15 @@ grep -q '"schema":"ramp-bench-fleet/1"' BENCH_fleet.json \
   || { echo "error: BENCH_fleet.json malformed (schema marker absent)" >&2; exit 1; }
 grep -q '"fleet.dies_per_sec_1w":' BENCH_fleet.json \
   || { echo "error: BENCH_fleet.json missing throughput metrics" >&2; exit 1; }
+
+echo "== telemetry bench smoke: obs bench emits a valid BENCH_obs.json =="
+rm -f BENCH_obs.json
+RAMP_FAST=1 cargo bench --offline -p bench-suite --bench obs_telemetry
+[ -s BENCH_obs.json ] || { echo "error: BENCH_obs.json missing or empty" >&2; exit 1; }
+grep -q '"schema":"ramp-bench-obs/1"' BENCH_obs.json \
+  || { echo "error: BENCH_obs.json malformed (schema marker absent)" >&2; exit 1; }
+grep -q '"obs.telemetry_overhead_pct":' BENCH_obs.json \
+  || { echo "error: BENCH_obs.json missing overhead metrics" >&2; exit 1; }
 
 echo "== clippy (warnings are errors) =="
 cargo clippy --offline --all-targets -- -D warnings

@@ -3,16 +3,23 @@
 //! per-stage shares sum to 100% and (b) the FIT gauges in the trace
 //! reproduce `ApplicationFit::total()` bit-for-bit (within 1e-9).
 //!
-//! Written as a single test: the sim-obs dispatcher is process-global,
-//! and one linear scenario avoids cross-test interference.
+//! The sim-obs dispatcher is process-global, so every test here holds
+//! [`OBS_LOCK`] to serialize against the others.
 
-use drm::{EvalParams, Evaluator};
+use drm::{run_fleet, ArchPoint, BatchEngine, DvsPoint, EvalParams, Evaluator, FleetConfig};
 use ramp::{FailureParams, Mechanism, QualificationPoint, ReliabilityModel};
 use sim_common::{Floorplan, Kelvin, Structure};
 use sim_cpu::CoreConfig;
 use sim_obs::report;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use workload::App;
+
+/// Serializes tests that install global sinks / toggle global enable.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn hold_obs_lock() -> MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn model() -> ReliabilityModel {
     ReliabilityModel::qualify(
@@ -26,6 +33,7 @@ fn model() -> ReliabilityModel {
 
 #[test]
 fn trace_round_trip_reproduces_fit_and_stage_shares() {
+    let _guard = hold_obs_lock();
     sim_obs::reset_for_tests();
     let path = std::env::temp_dir().join(format!(
         "ramp-observability-test-{}.jsonl",
@@ -154,4 +162,77 @@ fn trace_round_trip_reproduces_fit_and_stage_shares() {
     assert!(rendered.contains("eval.timing"));
     assert!(rendered.contains("hottest structures"));
     assert!(rendered.contains("reliability (FIT)"));
+}
+
+/// A parallel fleet run exported through the trace-event sink gives each
+/// worker thread its own named lane: `fleet-worker-N` metadata events,
+/// one per worker, each lane carrying at least one `drm.fleet.worker`
+/// span.
+#[test]
+fn fleet_trace_event_export_names_a_lane_per_worker() {
+    let _guard = hold_obs_lock();
+    sim_obs::reset_for_tests();
+    let path = std::env::temp_dir().join(format!(
+        "ramp-fleet-trace-event-{}.json",
+        std::process::id()
+    ));
+    let sink = sim_obs::TraceEventSink::create(&path).expect("create trace-event file");
+    sim_obs::install_sink(Arc::new(sink));
+    sim_obs::set_enabled(true);
+
+    const WORKERS: usize = 4;
+    let engine = BatchEngine::with_workers(
+        Evaluator::ibm_65nm(EvalParams::quick()).expect("evaluator"),
+        WORKERS,
+    )
+    .with_base_config(CoreConfig::base());
+    let base = CoreConfig::base();
+    let arch = ArchPoint {
+        window: base.window_size,
+        alus: base.int_alus,
+        fpus: base.fpus,
+    };
+    let dvs = DvsPoint {
+        frequency: base.frequency,
+        vdd: base.vdd,
+    };
+    let config = FleetConfig {
+        // Enough batches (4096 dies each) that all four workers spawn.
+        dies: 4 * 4096,
+        ..FleetConfig::default()
+    };
+    let summary = run_fleet(&engine, App::Gzip, arch, dvs, &model(), &config).expect("fleet");
+    assert_eq!(summary.workers, WORKERS);
+    sim_obs::flush();
+    sim_obs::reset_for_tests();
+
+    let text = std::fs::read_to_string(&path).expect("read trace-event file");
+    std::fs::remove_file(&path).ok();
+
+    // One named lane per worker: the `thread_name` metadata events carry
+    // the spawn names, and each worker's lane opens its span.
+    let mut lane_names = Vec::new();
+    for line in text.lines().filter(|l| l.contains("\"thread_name\"")) {
+        if let Some(name) = line
+            .split("\"args\":{\"name\":\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+        {
+            lane_names.push(name.to_owned());
+        }
+    }
+    let worker_spans = text
+        .matches("\"ph\":\"B\",\"name\":\"drm.fleet.worker\"")
+        .count();
+    for w in 0..WORKERS {
+        let lane = format!("fleet-worker-{w}");
+        assert!(
+            lane_names.iter().any(|n| n == &lane),
+            "missing lane `{lane}` (lanes: {lane_names:?})"
+        );
+    }
+    assert!(
+        worker_spans >= WORKERS,
+        "expected at least one drm.fleet.worker span per worker, got {worker_spans}"
+    );
 }

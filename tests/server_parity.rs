@@ -6,13 +6,15 @@
 
 use std::io::Write as _;
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use drm::{run_fleet, BatchEngine, EvalParams, Evaluator, FleetConfig};
 use ramp::Mechanism;
 use scenario::Scenario;
 use sim_common::Xoshiro256pp;
-use sim_server::{Client, Reply, Server, ServerConfig, Status};
+use sim_server::{Client, Reply, Server, ServerConfig, Status, WATCH_FRAME_KIND};
 use workload::App;
 
 /// Evaluation lengths small enough that a full parity pass stays in CI
@@ -412,6 +414,155 @@ fn scenario_upload_round_trips() {
         .request("eval gzip scenario=ghost")
         .expect("unknown scenario");
     assert_eq!(missing.status, Status::Err, "{}", missing.raw);
+}
+
+/// `stats` reports wall-clock uptime (monotonically advancing) and the
+/// instantaneous queue depth alongside the traffic counters.
+#[test]
+fn stats_reports_uptime_and_queue_depth() {
+    let server = start_server(tiny_config());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let first = client.request("stats").expect("stats");
+    assert!(first.is_ok(), "{}", first.raw);
+    let t0 = first.f64("uptime_s").expect("uptime_s missing");
+    assert!(t0 >= 0.0, "{}", first.raw);
+    assert!(first.u64("queue_len").is_ok(), "{}", first.raw);
+    std::thread::sleep(Duration::from_millis(60));
+    let second = client.request("stats").expect("stats");
+    let t1 = second.f64("uptime_s").expect("uptime_s missing");
+    assert!(
+        t1 >= t0 + 0.05,
+        "uptime must advance monotonically ({t0} -> {t1})"
+    );
+}
+
+/// A 100 ms telemetry tick — window-ring snapshots, SLO evaluation,
+/// per-verb latency histograms — must not perturb one bit of what
+/// clients read off the wire: a ticking server and a telemetry-free
+/// server answer the same requests with identical bytes.
+#[test]
+fn telemetry_ticks_leave_responses_bit_identical() {
+    sim_obs::set_enabled(true);
+    let plain = start_server(ServerConfig {
+        telemetry_tick: None,
+        ..tiny_config()
+    });
+    let ticking = start_server(ServerConfig {
+        telemetry_tick: Some(Duration::from_millis(100)),
+        ..tiny_config()
+    });
+    let mut a = Client::connect(plain.local_addr()).expect("connect plain");
+    let mut b = Client::connect(ticking.local_addr()).expect("connect ticking");
+    for line in POINTS {
+        let ra = a.request_raw(line).expect("plain request");
+        // Let ticks land between (and during) the telemetered requests.
+        std::thread::sleep(Duration::from_millis(120));
+        let rb = b.request_raw(line).expect("ticking request");
+        assert!(rb.starts_with("ok "), "{rb}");
+        assert_eq!(ra, rb, "telemetry changed the wire bytes for `{line}`");
+    }
+    let telemetry = ticking.state().telemetry().expect("telemetry enabled");
+    assert!(
+        telemetry.ring().window().is_some(),
+        "no telemetry tick landed during the test"
+    );
+}
+
+/// `watch` streams consecutive frames whose per-counter deltas are
+/// exactly the differences of the cumulative totals they ride with —
+/// summed over the stream they reproduce the final totals — and the
+/// closing `watch-end` summary agrees.
+#[test]
+fn watch_frames_deltas_sum_to_totals() {
+    let server = start_server(tiny_config());
+    let addr = server.local_addr();
+
+    // Background traffic so the counters actually move mid-stream.
+    let stop = Arc::new(AtomicBool::new(false));
+    let traffic = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut c = Client::connect(addr).expect("traffic connect");
+            while !stop.load(Ordering::Relaxed) {
+                c.ping().expect("traffic ping");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        })
+    };
+
+    let mut watcher = Client::connect(addr).expect("watcher connect");
+    watcher
+        .send_line("watch interval_ms=50 frames=12")
+        .expect("subscribe");
+    let mut frames: Vec<Reply> = Vec::new();
+    let end = loop {
+        let reply = watcher.next_reply().expect("stream reply");
+        assert!(reply.is_ok(), "{}", reply.raw);
+        if reply.kind == "watch-end" {
+            break reply;
+        }
+        assert_eq!(reply.kind, WATCH_FRAME_KIND, "{}", reply.raw);
+        frames.push(reply);
+    };
+    stop.store(true, Ordering::Relaxed);
+    traffic.join().expect("traffic thread");
+
+    assert_eq!(frames.len(), 12, "subscription asked for exactly 12 frames");
+    assert_eq!(end.u64("frames").unwrap(), 12, "{}", end.raw);
+    for (i, frame) in frames.iter().enumerate() {
+        assert_eq!(frame.u64("seq").unwrap(), i as u64 + 1, "{}", frame.raw);
+    }
+    for pair in frames.windows(2) {
+        assert!(
+            pair[1].f64("uptime_s").unwrap() >= pair[0].f64("uptime_s").unwrap(),
+            "uptime went backwards"
+        );
+    }
+    for key in ["requests", "shed", "errors", "batches", "batched_requests"] {
+        let cum = |f: &Reply| {
+            f.u64(key)
+                .unwrap_or_else(|_| panic!("{key} missing: {}", f.raw))
+        };
+        let delta = |f: &Reply| {
+            f.u64(&format!("d_{key}"))
+                .unwrap_or_else(|_| panic!("d_{key} missing: {}", f.raw))
+        };
+        for pair in frames.windows(2) {
+            assert_eq!(
+                delta(&pair[1]),
+                cum(&pair[1]) - cum(&pair[0]),
+                "frame {} `{key}` delta is not the cumulative difference",
+                pair[1].u64("seq").unwrap()
+            );
+        }
+        // The deltas reconstruct the stream end-to-end: their sum is the
+        // final total minus the subscription-time baseline.
+        let baseline = cum(&frames[0]) - delta(&frames[0]);
+        let sum: u64 = frames.iter().map(delta).sum();
+        assert_eq!(
+            sum,
+            cum(frames.last().unwrap()) - baseline,
+            "`{key}` deltas do not sum to the total"
+        );
+    }
+    // Pings every 5 ms across 12 × 50 ms frames: traffic moved.
+    let first = frames.first().unwrap();
+    let last = frames.last().unwrap();
+    assert!(
+        last.u64("requests").unwrap() > first.u64("requests").unwrap(),
+        "counters never moved during the stream"
+    );
+    // The closing summary carries the final cumulative total.
+    assert!(
+        end.u64("requests").unwrap() >= last.u64("requests").unwrap(),
+        "{}",
+        end.raw
+    );
+
+    // The connection survives the stream: plain requests still work.
+    watcher.ping().expect("ping after watch");
+    server.shutdown();
+    server.join();
 }
 
 /// `shutdown` drains in-flight work, the joined server reports its
