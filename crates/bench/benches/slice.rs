@@ -1,0 +1,146 @@
+//! Sliced-evaluation speedup bench: one long trace (10× the standard
+//! measurement length), evaluated unsliced and then sliced over warm
+//! checkpoints at 1 and 4 workers.
+//!
+//! The interesting claims, enforced where the numbers are produced: the
+//! sliced runs — cold cut pass, warm resume at any worker count — fold
+//! back per-interval statistics **bit-identical** to the unsliced run,
+//! and the warm 4-worker resume beats the unsliced wall clock by more
+//! than 1.5× (the whole point of paying the cut pass once). The speedup
+//! gate needs hardware that can actually run 4 workers at once, so it is
+//! enforced only when ≥ 4 cores are available; the report always records
+//! the core count so a snapshot stays interpretable.
+//!
+//! Writes a machine-readable `BENCH_slice.json` (schema
+//! `ramp-bench-slice/1`, flat keys) that `scripts/check.sh` validates.
+
+use std::time::Instant;
+
+use bench_suite::{slice_bench_report_path, BenchReport, BENCH_SLICE_SCHEMA};
+use drm::{EvalParams, SliceParams};
+use scenario::Scenario;
+use workload::App;
+
+/// The long trace: 10× the standard measurement length, cut into 8
+/// slices. `RAMP_FAST` shrinks everything 10× for CI smoke runs while
+/// keeping the same slice count (so the parallel path is still
+/// exercised at 4 workers).
+fn long_params() -> (EvalParams, u64) {
+    let fast = std::env::var_os("RAMP_FAST").is_some();
+    let params = if fast {
+        EvalParams {
+            measure_instructions: 600_000,
+            interval_instructions: 15_000,
+            ..EvalParams::quick()
+        }
+    } else {
+        EvalParams {
+            measure_instructions: 6_000_000,
+            interval_instructions: 75_000,
+            ..EvalParams::standard()
+        }
+    };
+    let slice = params.measure_instructions / 8;
+    assert_eq!(slice % params.interval_instructions, 0, "slice alignment");
+    (params, slice)
+}
+
+fn main() {
+    let scn = Scenario::paper_default();
+    let (params, slice_instructions) = long_params();
+    let evaluator = scn.evaluator_with(params).expect("evaluator");
+    let profile = App::Gzip.profile();
+    let config = scn
+        .base_arch()
+        .apply(&scn.core, scn.base_dvs())
+        .expect("config");
+
+    let dir = std::env::temp_dir().join(format!("ramp-bench-slice-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let slice_at = |workers: usize| {
+        SliceParams::new(slice_instructions)
+            .with_dir(&dir)
+            .with_workers(workers)
+    };
+
+    // Unsliced baseline: the plain sequential timing run.
+    let t0 = Instant::now();
+    let plain = evaluator
+        .timing_run(&profile, &config)
+        .expect("unsliced run");
+    let unsliced_s = t0.elapsed().as_secs_f64();
+    println!(
+        "slice/unsliced                             {unsliced_s:>10.3} s  ({} intervals)",
+        plain.intervals().len()
+    );
+
+    // Cold cut pass: sequential, persists one checkpoint per slice.
+    let t0 = Instant::now();
+    let cold = evaluator
+        .timing_run_sliced(&profile, &config, &slice_at(1))
+        .expect("cut pass");
+    let cut_s = t0.elapsed().as_secs_f64();
+    println!("slice/cut_pass                             {cut_s:>10.3} s  (8 checkpoints)");
+    assert_eq!(
+        cold.intervals(),
+        plain.intervals(),
+        "cut pass diverged from the unsliced run"
+    );
+
+    // Warm resumes: the parallel continuation path the checkpoints buy.
+    let mut warm_s = [0.0f64; 2];
+    for (i, workers) in [1usize, 4].into_iter().enumerate() {
+        let t0 = Instant::now();
+        let sliced = evaluator
+            .timing_run_sliced(&profile, &config, &slice_at(workers))
+            .expect("warm resume");
+        warm_s[i] = t0.elapsed().as_secs_f64();
+        println!(
+            "slice/warm_resume_{workers}w                         {:>10.3} s",
+            warm_s[i]
+        );
+        assert_eq!(
+            sliced.intervals(),
+            plain.intervals(),
+            "warm resume at {workers} worker(s) diverged from the unsliced run"
+        );
+    }
+    let speedup = unsliced_s / warm_s[1];
+    println!("slice/speedup_4w                           {speedup:>10.2} x");
+
+    let bytes: u64 = std::fs::read_dir(&dir)
+        .expect("checkpoint dir")
+        .filter_map(|e| e.ok()?.metadata().ok().map(|m| m.len()))
+        .sum();
+    println!("slice/checkpoint_bytes                     {bytes:>10}");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut report = BenchReport::with_schema(BENCH_SLICE_SCHEMA);
+    report.u64("slice.cores", cores as u64);
+    report.u64("slice.measure_instructions", params.measure_instructions);
+    report.u64("slice.slice_instructions", slice_instructions);
+    report.u64("slice.slices", 8);
+    report.u64("slice.intervals", plain.intervals().len() as u64);
+    report.f64("slice.unsliced_s", unsliced_s);
+    report.f64("slice.cut_pass_s", cut_s);
+    report.f64("slice.warm_resume_1w_s", warm_s[0]);
+    report.f64("slice.warm_resume_4w_s", warm_s[1]);
+    report.f64("slice.speedup_4w", speedup);
+    report.u64("slice.checkpoint_bytes", bytes);
+    let path = slice_bench_report_path();
+    report.write(&path).expect("write bench report");
+    println!("wrote {}", path.display());
+
+    // The claim the whole subsystem exists for: warm sliced evaluation
+    // at 4 workers beats the sequential run by a clear margin. Only
+    // enforceable where 4 workers can actually run at once.
+    if cores >= 4 {
+        assert!(
+            speedup > 1.5,
+            "4-worker sliced speedup ({speedup:.2}x) fell below 1.5x"
+        );
+    } else {
+        println!("slice/speedup gate skipped: {cores} core(s) cannot run 4 workers in parallel");
+    }
+}

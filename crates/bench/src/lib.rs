@@ -314,6 +314,9 @@ pub const BENCH_FLEET_SCHEMA: &str = "ramp-bench-fleet/1";
 /// Version marker the telemetry-overhead report carries.
 pub const BENCH_OBS_SCHEMA: &str = "ramp-bench-obs/1";
 
+/// Version marker the sliced-evaluation speedup report carries.
+pub const BENCH_SLICE_SCHEMA: &str = "ramp-bench-slice/1";
+
 /// Where the pipeline bench driver writes its machine-readable results:
 /// `RAMP_BENCH_OUT` when set, otherwise `BENCH_pipeline.json` at the
 /// repository root.
@@ -355,6 +358,17 @@ pub fn obs_bench_report_path() -> PathBuf {
     match std::env::var_os("RAMP_BENCH_OUT") {
         Some(p) if !p.is_empty() => PathBuf::from(p),
         _ => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_obs.json"),
+    }
+}
+
+/// Where the sliced-evaluation bench writes its results:
+/// `RAMP_BENCH_OUT` when set, otherwise `BENCH_slice.json` at the
+/// repository root.
+#[must_use]
+pub fn slice_bench_report_path() -> PathBuf {
+    match std::env::var_os("RAMP_BENCH_OUT") {
+        Some(p) if !p.is_empty() => PathBuf::from(p),
+        _ => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_slice.json"),
     }
 }
 

@@ -9,8 +9,9 @@
 
 use drm::scaling::{required_qualification_temperature, scaling_study, TechnologyNode};
 use drm::{
-    intra_app_best, BatchEngine, ControllerParams, EvalParams, FleetConfig, Oracle, ReactiveDrm,
-    SensorParams, Strategy,
+    intra_app_best, slice_fingerprint, slice_lengths, BatchEngine, CheckpointStore,
+    ControllerParams, EvalParams, FleetConfig, Oracle, ReactiveDrm, SensorParams, SliceParams,
+    Strategy,
 };
 use ramp::{Mechanism, QualificationPoint, ReliabilityModel};
 use scenario::{Qualification, Scenario};
@@ -84,6 +85,11 @@ pub fn print_help() {
     println!("              --app <name> [--tqual K]");
     println!("  scenario    work with scenario files (the text experiment format)");
     println!("              validate <file...> | print [<file>] | run <file> [--quick]");
+    println!("  checkpoint  cut or inspect slice checkpoints (sliced evaluation)");
+    println!("              save [--app <name> | --profile <file>] [--slice N]");
+    println!("              [--dir <path>] [--ghz G] [--window N] [--alus N]");
+    println!("              [--fpus N] [--jobs N] [--quick]");
+    println!("              | info [--dir <path>]");
     println!("  serve       run the network evaluation service (ramp-serve/1)");
     println!("              [--addr host:port] [--jobs N] [--queue-depth N]");
     println!("              [--workers N] [--batch-max N] [--linger-ms N]");
@@ -145,6 +151,7 @@ pub fn dispatch(args: &Args) -> Result<(), SimError> {
         "controller" => controller(args),
         "scaling" => scaling(args),
         "scenario" => scenario_cmd(args),
+        "checkpoint" => checkpoint_cmd(args),
         "serve" => serve_cmd(args),
         "client" => client_cmd(args),
         "top" => top_cmd(args),
@@ -749,6 +756,123 @@ fn scenario_cmd(args: &Args) -> Result<(), SimError> {
             "unknown scenario action `{other}`; {usage}"
         ))),
     }
+}
+
+/// `ramp checkpoint <save|info>`: cut the slice checkpoints for an
+/// operating point, or summarize a checkpoint directory.
+fn checkpoint_cmd(args: &Args) -> Result<(), SimError> {
+    args.expect_options(&[
+        "app", "profile", "scenario", "slice", "dir", "ghz", "window", "alus", "fpus", "prefetch",
+        "jobs", "quick",
+    ])?;
+    let usage = "usage: ramp checkpoint save [--app <name> | --profile <file>] \
+                 [--slice N] [--dir <path>] | info [--dir <path>]";
+    let action = args
+        .positional(0)
+        .ok_or_else(|| SimError::invalid_config(usage))?;
+    args.expect_positionals(1)?;
+    match action {
+        "save" => checkpoint_save(args),
+        "info" => checkpoint_info(args),
+        other => Err(SimError::invalid_config(format!(
+            "unknown checkpoint action `{other}`; {usage}"
+        ))),
+    }
+}
+
+/// The checkpoint directory for `ramp checkpoint`: `--dir` wins over the
+/// scenario's `slice.checkpoint_dir`.
+fn checkpoint_dir_from<'a>(args: &'a Args, scn: &'a Scenario) -> Result<&'a str, SimError> {
+    args.get("dir")
+        .or_else(|| scn.slice.as_ref().and_then(|s| s.checkpoint_dir.as_deref()))
+        .ok_or_else(|| {
+            SimError::invalid_config(
+                "no checkpoint directory: give --dir <path> or a scenario whose \
+                 [slice] section sets slice.checkpoint_dir",
+            )
+        })
+}
+
+/// `ramp checkpoint save`: run the sequential cut pass for every
+/// requested workload, persisting one checkpoint per slice boundary.
+/// Re-running against a complete cut set is a cheap no-op resume.
+fn checkpoint_save(args: &Args) -> Result<(), SimError> {
+    let scn = scenario_from(args)?;
+    let params = eval_params(args, &scn);
+    let cfg = config_from(args, &scn)?;
+    let instructions = match args.get("slice") {
+        Some(_) => args.positive_u64_or("slice", 1)?,
+        None => scn.slice.as_ref().map(|s| s.instructions).ok_or_else(|| {
+            SimError::invalid_config(
+                "no slice length: give --slice N or a scenario with a [slice] section",
+            )
+        })?,
+    };
+    let dir = checkpoint_dir_from(args, &scn)?;
+    let workers = match args.jobs()? {
+        0 => drm::default_workers(),
+        n => n,
+    };
+    let slice = SliceParams::new(instructions)
+        .with_dir(dir)
+        .with_workers(workers);
+    let evaluator = scn.evaluator_with(params)?;
+    let store = CheckpointStore::new(dir)?;
+    let lens = slice_lengths(params.measure_instructions, instructions);
+    let fingerprint = slice_fingerprint(&cfg, &params, instructions);
+    for profile in workloads_from(args, &scn)? {
+        let run = evaluator.timing_run_sliced(&profile, &cfg, &slice)?;
+        let mut bytes = 0u64;
+        for k in 0..lens.len() {
+            let path = store.path(&profile.name, params.seed, fingerprint, k);
+            bytes += std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        }
+        println!(
+            "{}: {} slice(s) of {} instructions -> {dir} (fingerprint {fingerprint:016x})",
+            profile.name,
+            lens.len(),
+            instructions
+        );
+        println!(
+            "  {} checkpoint file(s), {bytes} bytes; {} intervals, IPC {:.3}",
+            lens.len(),
+            run.intervals().len(),
+            run.ipc()
+        );
+    }
+    Ok(())
+}
+
+/// `ramp checkpoint info`: parse and summarize every checkpoint in a
+/// directory.
+fn checkpoint_info(args: &Args) -> Result<(), SimError> {
+    let scn = scenario_from(args)?;
+    let dir = checkpoint_dir_from(args, &scn)?;
+    if !Path::new(dir).is_dir() {
+        return Err(SimError::invalid_config(format!(
+            "checkpoint directory `{dir}` does not exist"
+        )));
+    }
+    let store = CheckpointStore::new(dir)?;
+    let entries = store.list()?;
+    let mut bytes = 0u64;
+    for (path, _) in &entries {
+        bytes += std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    }
+    println!(
+        "checkpoints in {dir}: {} file(s), {bytes} bytes",
+        entries.len()
+    );
+    for (path, chk) in &entries {
+        println!(
+            "  {}  cut @ {} instructions (workload {}, seed {})",
+            path.file_name().and_then(|n| n.to_str()).unwrap_or("?"),
+            chk.instructions(),
+            chk.workload,
+            chk.seed
+        );
+    }
+    Ok(())
 }
 
 /// The address `ramp serve` binds and `ramp client` dials when `--addr`

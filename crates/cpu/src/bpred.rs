@@ -44,6 +44,18 @@ impl BpredStats {
     }
 }
 
+/// Warm predictor state captured at a slice boundary: the trained 2-bit
+/// counter table and the return-address stack. Statistics are *not* part of
+/// the state — checkpoints are cut at interval boundaries, where
+/// [`Bpred::take_stats`] has just zeroed them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BpredState {
+    /// Saturating 2-bit counters, one per table slot, each in `0..=3`.
+    pub counters: Vec<u8>,
+    /// Return-address stack, oldest entry first.
+    pub ras: Vec<u64>,
+}
+
 /// Bimodal branch predictor.
 ///
 /// # Examples
@@ -143,6 +155,41 @@ impl Bpred {
         } else {
             *c = c.saturating_sub(1);
         }
+    }
+
+    /// Captures the warm predictor state for a checkpoint.
+    #[must_use]
+    pub fn state(&self) -> BpredState {
+        BpredState {
+            counters: self.counters.clone(),
+            ras: self.ras.clone(),
+        }
+    }
+
+    /// Restores a captured [`BpredState`]. Statistics are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the state does not fit this predictor's geometry: a
+    /// counter-table size mismatch, a counter value above 3, or a RAS
+    /// deeper than the configured capacity.
+    pub fn restore_state(&mut self, state: &BpredState) {
+        assert_eq!(
+            state.counters.len(),
+            self.counters.len(),
+            "bpred counter table size mismatch"
+        );
+        assert!(
+            state.counters.iter().all(|&c| c <= STRONG_TAKEN),
+            "bpred counter value out of range"
+        );
+        assert!(
+            state.ras.len() <= self.ras_capacity,
+            "RAS deeper than capacity"
+        );
+        self.counters.copy_from_slice(&state.counters);
+        self.ras.clear();
+        self.ras.extend_from_slice(&state.ras);
     }
 
     /// Accumulated statistics.
@@ -265,6 +312,36 @@ mod tests {
     #[test]
     fn rate_with_no_updates_is_zero() {
         assert_eq!(BpredStats::default().mispredict_rate(), 0.0);
+    }
+
+    #[test]
+    fn state_round_trip_preserves_training() {
+        let mut p = bp();
+        for pc in (0..512u64).step_by(4) {
+            p.update(pc, pc % 3 == 0);
+        }
+        p.ras_push(0x100);
+        p.ras_push(0x200);
+        let state = p.state();
+        let mut restored = bp();
+        restored.restore_state(&state);
+        assert_eq!(restored.state(), state);
+        for pc in (0..512u64).step_by(4) {
+            assert_eq!(restored.peek(pc), p.peek(pc));
+        }
+        assert_eq!(restored.ras_pop(), Some(0x200));
+        assert_eq!(restored.stats().ras_pushes, 0, "stats stay untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "table size mismatch")]
+    fn restore_rejects_mismatched_table() {
+        let state = bp().state();
+        Bpred::new(BpredConfig {
+            counters: 128,
+            ras_entries: 32,
+        })
+        .restore_state(&state);
     }
 
     #[test]

@@ -49,6 +49,30 @@ struct Line {
     lru: u64,
 }
 
+/// One cache line's warm state, captured at a slice boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLineState {
+    /// Tag (line address divided by the set count).
+    pub tag: u64,
+    /// Line holds data.
+    pub valid: bool,
+    /// Line was written since fill.
+    pub dirty: bool,
+    /// LRU timestamp (value of the cache's access clock at last touch).
+    pub lru: u64,
+}
+
+/// Warm contents of one cache: every way of every set plus the LRU clock.
+/// Statistics are *not* part of the state — checkpoints are cut at interval
+/// boundaries, where [`Cache::take_stats`] has just zeroed them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheState {
+    /// All lines, set-major (the ways of set 0, then set 1, ...).
+    pub lines: Vec<CacheLineState>,
+    /// The access clock driving LRU timestamps.
+    pub clock: u64,
+}
+
 /// A write-back, write-allocate, true-LRU set-associative cache.
 ///
 /// State updates happen at lookup time (the standard "immediate state,
@@ -162,6 +186,51 @@ impl Cache {
     pub fn take_stats(&mut self) -> CacheStats {
         std::mem::take(&mut self.stats)
     }
+
+    /// Captures the warm cache contents for a checkpoint.
+    #[must_use]
+    pub fn state(&self) -> CacheState {
+        CacheState {
+            lines: self
+                .lines
+                .iter()
+                .map(|l| CacheLineState {
+                    tag: l.tag,
+                    valid: l.valid,
+                    dirty: l.dirty,
+                    lru: l.lru,
+                })
+                .collect(),
+            clock: self.clock,
+        }
+    }
+
+    /// Restores captured [`CacheState`] contents. Statistics are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the line count does not match this cache's geometry or
+    /// an LRU timestamp is ahead of the restored clock.
+    pub fn restore_state(&mut self, state: &CacheState) {
+        assert_eq!(
+            state.lines.len(),
+            self.lines.len(),
+            "cache line count mismatch"
+        );
+        assert!(
+            state.lines.iter().all(|l| l.lru <= state.clock),
+            "LRU timestamp ahead of the cache clock"
+        );
+        for (line, s) in self.lines.iter_mut().zip(&state.lines) {
+            *line = Line {
+                tag: s.tag,
+                valid: s.valid,
+                dirty: s.dirty,
+                lru: s.lru,
+            };
+        }
+        self.clock = state.clock;
+    }
 }
 
 /// Result of a data-side access through the hierarchy.
@@ -181,6 +250,35 @@ pub enum DataAccess {
 struct Mshr {
     line: u64,
     ready: u64,
+}
+
+/// One outstanding miss, captured at a slice boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrState {
+    /// Line address of the miss in flight.
+    pub line: u64,
+    /// Absolute cycle at which the fill completes.
+    pub ready: u64,
+}
+
+/// Warm state of the whole memory hierarchy: the three caches, the
+/// outstanding-miss registers, and the cumulative reference counters the
+/// power model reads. Latency parameters and the prefetch switch are *not*
+/// part of the state — they are re-derived from the core configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemHierarchyState {
+    /// L1 instruction cache contents.
+    pub l1i: CacheState,
+    /// L1 data cache contents.
+    pub l1d: CacheState,
+    /// Unified L2 contents.
+    pub l2: CacheState,
+    /// Outstanding misses, in allocation order.
+    pub mshrs: Vec<MshrState>,
+    /// Cumulative L2 accesses triggered by L1I misses.
+    pub l2_inst_refs: u64,
+    /// Cumulative next-line prefetches issued.
+    pub prefetches: u64,
 }
 
 /// Latency parameters of the hierarchy, in cycles at the current clock.
@@ -341,6 +439,51 @@ impl MemHierarchy {
     pub fn prefill_inst(&mut self, addr: u64) {
         let _ = self.l2.access(addr, false);
         let _ = self.l1i.access(addr, false);
+    }
+
+    /// Captures the warm hierarchy state for a checkpoint.
+    #[must_use]
+    pub fn state(&self) -> MemHierarchyState {
+        MemHierarchyState {
+            l1i: self.l1i.state(),
+            l1d: self.l1d.state(),
+            l2: self.l2.state(),
+            mshrs: self
+                .mshrs
+                .iter()
+                .map(|m| MshrState {
+                    line: m.line,
+                    ready: m.ready,
+                })
+                .collect(),
+            l2_inst_refs: self.l2_inst_refs,
+            prefetches: self.prefetches,
+        }
+    }
+
+    /// Restores a captured [`MemHierarchyState`]. Cache statistics are
+    /// untouched; latencies and the prefetch switch keep their configured
+    /// values.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a cache's geometry does not match or more MSHRs are
+    /// recorded than this hierarchy has.
+    pub fn restore_state(&mut self, state: &MemHierarchyState) {
+        assert!(
+            state.mshrs.len() <= self.mshr_capacity,
+            "more MSHRs than capacity"
+        );
+        self.l1i.restore_state(&state.l1i);
+        self.l1d.restore_state(&state.l1d);
+        self.l2.restore_state(&state.l2);
+        self.mshrs.clear();
+        self.mshrs.extend(state.mshrs.iter().map(|m| Mshr {
+            line: m.line,
+            ready: m.ready,
+        }));
+        self.l2_inst_refs = state.l2_inst_refs;
+        self.prefetches = state.prefetches;
     }
 }
 
@@ -517,6 +660,47 @@ mod tests {
         let _ = h.access_data(0, 0x1000, false);
         assert_eq!(h.prefetches, 0);
         assert!(!h.l1d.contains(0x1040));
+    }
+
+    #[test]
+    fn state_round_trip_resumes_identically() {
+        let mut h = hierarchy(4);
+        h.set_prefetch_next_line(true);
+        for (i, addr) in [0x1000u64, 0x2040, 0x1000, 0x9000].iter().enumerate() {
+            let _ = h.access_data(10 * i as u64, *addr, i % 2 == 1);
+        }
+        let _ = h.access_inst(50, 0x40);
+        // Slice boundaries zero the stats before the cut.
+        let _ = h.l1i.take_stats();
+        let _ = h.l1d.take_stats();
+        let _ = h.l2.take_stats();
+        let state = h.state();
+
+        let mut r = hierarchy(4);
+        r.set_prefetch_next_line(true);
+        r.restore_state(&state);
+        assert_eq!(r.state(), state);
+        // Both copies behave identically afterwards.
+        for now in [60u64, 70, 80] {
+            assert_eq!(
+                r.access_data(now, 0x1000 + 8 * now, false),
+                h.access_data(now, 0x1000 + 8 * now, false)
+            );
+        }
+        assert_eq!(r.l1d.stats(), h.l1d.stats());
+    }
+
+    #[test]
+    #[should_panic(expected = "line count mismatch")]
+    fn restore_rejects_wrong_geometry() {
+        let state = Cache::new(small()).unwrap().state();
+        let mut other = Cache::new(CacheConfig {
+            size_bytes: 2048,
+            assoc: 2,
+            line_bytes: 64,
+        })
+        .unwrap();
+        other.restore_state(&state);
     }
 
     #[test]

@@ -1,0 +1,1191 @@
+//! Serializable slice checkpoints: the complete warm state of a
+//! [`Processor`](crate::Processor) plus its synthetic instruction stream,
+//! in a strict plain-text format.
+//!
+//! Follows the `workload::textfmt` conventions: std-only, `#` comments,
+//! whitespace-separated tokens, unknown keys, duplicate keys, and wrong
+//! token counts are line-numbered errors. Printing then parsing is
+//! bit-exact (`parse(print(c)) == c`), so checkpoints can live on disk and
+//! cross the wire unchanged.
+//!
+//! A checkpoint is cut at an interval boundary, where every statistic has
+//! just been zeroed, so it carries *only* warm state: rename maps,
+//! predictor training, cache contents, in-flight window entries, and the
+//! absolute-cycle bookkeeping. All of it is integral — there is not a
+//! single float in the format — which is what makes bit-exactness trivial
+//! rather than delicate.
+//!
+//! Variable-length lists are count-prefixed (`key N v1 .. vN`); per-entry
+//! repeated lines (`window`, `fetchq`, `mshr`, `cache.*.line`) carry their
+//! declared counts in a companion singleton key, and the parser rejects any
+//! mismatch. Cache sections list only valid lines — an invalid line is
+//! always in its power-on state, so the omission is lossless.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use sim_common::SimError;
+use workload::{ArchReg, MicroOp, OpClass, RegClass, StreamState};
+
+use crate::bpred::BpredState;
+use crate::cache::{CacheLineState, CacheState, MemHierarchyState, MshrState};
+use crate::pipeline::{ExecPhase, FetchedState, PipelineState, WindowSlotState};
+use crate::regfile::{PhysReg, RenameClassState, RenameState};
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// A complete slice checkpoint: identity metadata plus the warm workload
+/// and pipeline state at one interval boundary.
+///
+/// The `fingerprint` binds the checkpoint to the timing configuration and
+/// evaluation parameters that produced it (the slice layer computes it from
+/// the core's `TimingKey` and the evaluation lengths); a consumer must
+/// refuse to resume from a checkpoint whose fingerprint does not match its
+/// own.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Workload (application/profile) name.
+    pub workload: String,
+    /// Stream seed the run was started with.
+    pub seed: u64,
+    /// Opaque binding to the producing timing configuration.
+    pub fingerprint: u64,
+    /// Synthetic-stream generator state at the cut.
+    pub stream: StreamState,
+    /// Warm pipeline state at the cut.
+    pub pipeline: PipelineState,
+}
+
+impl Checkpoint {
+    /// Instructions committed at the cut point.
+    pub fn instructions(&self) -> u64 {
+        self.pipeline.committed
+    }
+}
+
+/// Every singleton key the format accepts. All are required — a checkpoint
+/// is a complete machine state, not a patch.
+const SINGLETON_KEYS: &[&str] = &[
+    "checkpoint.version",
+    "checkpoint.workload",
+    "checkpoint.seed",
+    "checkpoint.fingerprint",
+    "stream.rng",
+    "stream.next_regs",
+    "stream.recent_int",
+    "stream.recent_fp",
+    "stream.pc",
+    "stream.loop_start",
+    "stream.emitted",
+    "stream.call_stack",
+    "stream.offsets",
+    "stream.phase",
+    "rename.int.map",
+    "rename.int.free",
+    "rename.int.ready",
+    "rename.fp.map",
+    "rename.fp.free",
+    "rename.fp.ready",
+    "bpred.counters",
+    "bpred.ras",
+    "mem.counts",
+    "mem.mshrs",
+    "cache.l1i.clock",
+    "cache.l1i.lines",
+    "cache.l1d.clock",
+    "cache.l1d.lines",
+    "cache.l2.clock",
+    "cache.l2.lines",
+    "pipe.now",
+    "pipe.seq_next",
+    "pipe.committed",
+    "pipe.last_commit_cycle",
+    "pipe.fetch_resume_at",
+    "pipe.blocking_branch",
+    "pipe.return_check",
+    "pipe.cur_fetch_line",
+    "pipe.int_free",
+    "pipe.fp_free",
+    "pipe.agen_free",
+    "pipe.pending",
+    "pipe.window",
+    "pipe.fetchq",
+];
+
+/// Keys that repeat once per entry, paired with the singleton that declares
+/// their count.
+const REPEATED_KEYS: &[(&str, &str)] = &[
+    ("mshr", "mem.mshrs"),
+    ("cache.l1i.line", "cache.l1i.lines"),
+    ("cache.l1d.line", "cache.l1d.lines"),
+    ("cache.l2.line", "cache.l2.lines"),
+    ("window", "pipe.window"),
+    ("fetchq", "pipe.fetchq"),
+];
+
+fn line_err(lineno: usize, msg: impl std::fmt::Display) -> SimError {
+    SimError::invalid_config(format!("line {}: {msg}", lineno + 1))
+}
+
+#[derive(Debug)]
+struct Entry {
+    lineno: usize,
+    values: Vec<String>,
+}
+
+impl Entry {
+    fn expect_len(&self, key: &str, n: usize) -> Result<(), SimError> {
+        if self.values.len() != n {
+            return Err(line_err(
+                self.lineno,
+                format!(
+                    "`{key}` expects {n} value{}, got {}",
+                    if n == 1 { "" } else { "s" },
+                    self.values.len()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn u64_at(&self, key: &str, idx: usize) -> Result<u64, SimError> {
+        self.values[idx].parse().map_err(|_| {
+            line_err(
+                self.lineno,
+                format!("`{key}` must be a non-negative integer"),
+            )
+        })
+    }
+
+    fn u16_at(&self, key: &str, idx: usize) -> Result<u16, SimError> {
+        self.values[idx].parse().map_err(|_| {
+            line_err(
+                self.lineno,
+                format!("`{key}` must be a 16-bit non-negative integer"),
+            )
+        })
+    }
+}
+
+struct Scanned {
+    singles: HashMap<String, Entry>,
+    repeated: HashMap<&'static str, Vec<Entry>>,
+}
+
+fn scan(text: &str) -> Result<Scanned, SimError> {
+    let mut singles: HashMap<String, Entry> = HashMap::new();
+    let mut repeated: HashMap<&'static str, Vec<Entry>> = HashMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let mut tokens = line.split_whitespace().map(str::to_owned);
+        let key = match tokens.next() {
+            Some(k) => k,
+            None => continue,
+        };
+        let entry = Entry {
+            lineno,
+            values: tokens.collect(),
+        };
+        if let Some((rep, _)) = REPEATED_KEYS.iter().find(|(k, _)| *k == key) {
+            repeated.entry(rep).or_default().push(entry);
+        } else if SINGLETON_KEYS.contains(&key.as_str()) {
+            if singles.insert(key.clone(), entry).is_some() {
+                return Err(line_err(lineno, format!("duplicate key `{key}`")));
+            }
+        } else {
+            return Err(line_err(lineno, format!("unknown key `{key}`")));
+        }
+    }
+    Ok(Scanned { singles, repeated })
+}
+
+fn req<'a>(scanned: &'a Scanned, key: &str) -> Result<&'a Entry, SimError> {
+    scanned
+        .singles
+        .get(key)
+        .ok_or_else(|| SimError::invalid_config(format!("missing key `{key}`")))
+}
+
+fn req_u64(scanned: &Scanned, key: &str) -> Result<u64, SimError> {
+    let e = req(scanned, key)?;
+    e.expect_len(key, 1)?;
+    e.u64_at(key, 0)
+}
+
+/// Parses a count-prefixed `key N v1 .. vN` list.
+fn req_list_u64(scanned: &Scanned, key: &str) -> Result<Vec<u64>, SimError> {
+    let e = req(scanned, key)?;
+    if e.values.is_empty() {
+        return Err(line_err(e.lineno, format!("`{key}` expects a count")));
+    }
+    let n = e.u64_at(key, 0)? as usize;
+    e.expect_len(key, n + 1)?;
+    (1..=n).map(|i| e.u64_at(key, i)).collect()
+}
+
+fn req_list_u16(scanned: &Scanned, key: &str) -> Result<Vec<u16>, SimError> {
+    let e = req(scanned, key)?;
+    if e.values.is_empty() {
+        return Err(line_err(e.lineno, format!("`{key}` expects a count")));
+    }
+    let n = e.u64_at(key, 0)? as usize;
+    e.expect_len(key, n + 1)?;
+    (1..=n).map(|i| e.u16_at(key, i)).collect()
+}
+
+/// Parses a `0`/`1` bit string token into ready bits.
+fn req_bits(scanned: &Scanned, key: &str) -> Result<Vec<bool>, SimError> {
+    let e = req(scanned, key)?;
+    e.expect_len(key, 1)?;
+    e.values[0]
+        .chars()
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            _ => Err(line_err(
+                e.lineno,
+                format!("`{key}` must be a string of 0/1 digits"),
+            )),
+        })
+        .collect()
+}
+
+fn bits_to_string(bits: &[bool]) -> String {
+    bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+fn list_to_string<T: std::fmt::Display>(values: &[T]) -> String {
+    let mut s = values.len().to_string();
+    for v in values {
+        let _ = write!(s, " {v}");
+    }
+    s
+}
+
+// --- token codecs for registers, ops, and optional fields ---------------
+
+fn phys_to_token(p: Option<PhysReg>) -> String {
+    match p {
+        None => "-".to_owned(),
+        Some(p) => match p.class {
+            RegClass::Int => format!("i{}", p.index),
+            RegClass::Fp => format!("f{}", p.index),
+        },
+    }
+}
+
+fn phys_from_token(lineno: usize, key: &str, tok: &str) -> Result<Option<PhysReg>, SimError> {
+    if tok == "-" {
+        return Ok(None);
+    }
+    let bad = || line_err(lineno, format!("`{key}`: bad physical register `{tok}`"));
+    let class = match tok.as_bytes().first() {
+        Some(b'i') => RegClass::Int,
+        Some(b'f') => RegClass::Fp,
+        _ => return Err(bad()),
+    };
+    let index: u16 = tok[1..].parse().map_err(|_| bad())?;
+    Ok(Some(PhysReg { class, index }))
+}
+
+fn arch_to_token(r: Option<ArchReg>) -> String {
+    match r {
+        None => "-".to_owned(),
+        Some(r) => r.to_string(), // "r5" / "f5"
+    }
+}
+
+fn arch_from_token(lineno: usize, key: &str, tok: &str) -> Result<Option<ArchReg>, SimError> {
+    if tok == "-" {
+        return Ok(None);
+    }
+    let bad = || {
+        line_err(
+            lineno,
+            format!("`{key}`: bad architectural register `{tok}`"),
+        )
+    };
+    let class = match tok.as_bytes().first() {
+        Some(b'r') => RegClass::Int,
+        Some(b'f') => RegClass::Fp,
+        _ => return Err(bad()),
+    };
+    let index: u16 = tok[1..].parse().map_err(|_| bad())?;
+    if index >= workload::ARCH_REGS_PER_CLASS {
+        return Err(bad());
+    }
+    Ok(Some(ArchReg::new(class, index)))
+}
+
+fn opt_u64_to_token(v: Option<u64>) -> String {
+    match v {
+        None => "-".to_owned(),
+        Some(v) => v.to_string(),
+    }
+}
+
+fn opt_u64_from_token(lineno: usize, key: &str, tok: &str) -> Result<Option<u64>, SimError> {
+    if tok == "-" {
+        return Ok(None);
+    }
+    tok.parse().map(Some).map_err(|_| {
+        line_err(
+            lineno,
+            format!("`{key}` must be a non-negative integer or `-`"),
+        )
+    })
+}
+
+/// Number of tokens a serialized [`MicroOp`] occupies.
+const OP_TOKENS: usize = 7;
+
+fn op_to_tokens(op: &MicroOp, out: &mut String) {
+    let _ = write!(
+        out,
+        "{} {} {} {} {} {} {}",
+        op.pc,
+        op.class,
+        arch_to_token(op.dest),
+        arch_to_token(op.srcs[0]),
+        arch_to_token(op.srcs[1]),
+        opt_u64_to_token(op.addr),
+        u8::from(op.taken),
+    );
+}
+
+fn op_from_tokens(lineno: usize, key: &str, toks: &[String]) -> Result<MicroOp, SimError> {
+    debug_assert_eq!(toks.len(), OP_TOKENS);
+    let pc: u64 = toks[0]
+        .parse()
+        .map_err(|_| line_err(lineno, format!("`{key}`: bad pc `{}`", toks[0])))?;
+    let class = OpClass::from_name(&toks[1])
+        .ok_or_else(|| line_err(lineno, format!("`{key}`: unknown op class `{}`", toks[1])))?;
+    let taken = match toks[6].as_str() {
+        "0" => false,
+        "1" => true,
+        other => {
+            return Err(line_err(
+                lineno,
+                format!("`{key}`: taken flag must be 0 or 1, got `{other}`"),
+            ))
+        }
+    };
+    Ok(MicroOp {
+        pc,
+        class,
+        dest: arch_from_token(lineno, key, &toks[2])?,
+        srcs: [
+            arch_from_token(lineno, key, &toks[3])?,
+            arch_from_token(lineno, key, &toks[4])?,
+        ],
+        addr: opt_u64_from_token(lineno, key, &toks[5])?,
+        taken,
+    })
+}
+
+fn phase_to_token(phase: ExecPhase) -> &'static str {
+    match phase {
+        ExecPhase::Waiting => "w",
+        ExecPhase::Issued => "i",
+        ExecPhase::Done => "d",
+    }
+}
+
+fn phase_from_token(lineno: usize, tok: &str) -> Result<ExecPhase, SimError> {
+    match tok {
+        "w" => Ok(ExecPhase::Waiting),
+        "i" => Ok(ExecPhase::Issued),
+        "d" => Ok(ExecPhase::Done),
+        other => Err(line_err(
+            lineno,
+            format!("`window`: execution phase must be w/i/d, got `{other}`"),
+        )),
+    }
+}
+
+// --- section codecs -----------------------------------------------------
+
+fn write_rename_class(out: &mut String, prefix: &str, class: &RenameClassState) {
+    let _ = writeln!(out, "rename.{prefix}.map {}", list_to_string(&class.map));
+    let _ = writeln!(out, "rename.{prefix}.free {}", list_to_string(&class.free));
+    let _ = writeln!(
+        out,
+        "rename.{prefix}.ready {}",
+        bits_to_string(&class.ready)
+    );
+}
+
+fn read_rename_class(scanned: &Scanned, prefix: &str) -> Result<RenameClassState, SimError> {
+    Ok(RenameClassState {
+        map: req_list_u16(scanned, &format!("rename.{prefix}.map"))?,
+        free: req_list_u16(scanned, &format!("rename.{prefix}.free"))?,
+        ready: req_bits(scanned, &format!("rename.{prefix}.ready"))?,
+    })
+}
+
+fn write_cache(out: &mut String, name: &str, cache: &CacheState) {
+    let _ = writeln!(out, "cache.{name}.clock {}", cache.clock);
+    let valid = cache.lines.iter().filter(|l| l.valid).count();
+    let _ = writeln!(out, "cache.{name}.lines {} {valid}", cache.lines.len());
+    for (idx, line) in cache.lines.iter().enumerate() {
+        if line.valid {
+            let _ = writeln!(
+                out,
+                "cache.{name}.line {idx} {} {} {}",
+                line.tag,
+                u8::from(line.dirty),
+                line.lru
+            );
+        }
+    }
+}
+
+fn read_cache(scanned: &Scanned, name: &str, entries: &[Entry]) -> Result<CacheState, SimError> {
+    let clock = req_u64(scanned, &format!("cache.{name}.clock"))?;
+    let counts_key = format!("cache.{name}.lines");
+    let e = req(scanned, &counts_key)?;
+    e.expect_len(&counts_key, 2)?;
+    let total = e.u64_at(&counts_key, 0)? as usize;
+    let valid = e.u64_at(&counts_key, 1)? as usize;
+    if entries.len() != valid {
+        return Err(SimError::invalid_config(format!(
+            "`{counts_key}` declares {valid} valid lines, found {}",
+            entries.len()
+        )));
+    }
+    let mut lines = vec![
+        CacheLineState {
+            tag: 0,
+            valid: false,
+            dirty: false,
+            lru: 0,
+        };
+        total
+    ];
+    let key = format!("cache.{name}.line");
+    for entry in entries {
+        entry.expect_len(&key, 4)?;
+        let idx = entry.u64_at(&key, 0)? as usize;
+        if idx >= total {
+            return Err(line_err(
+                entry.lineno,
+                format!("`{key}`: index {idx} out of range (cache has {total} lines)"),
+            ));
+        }
+        if lines[idx].valid {
+            return Err(line_err(
+                entry.lineno,
+                format!("`{key}`: duplicate line index {idx}"),
+            ));
+        }
+        let dirty = match entry.values[2].as_str() {
+            "0" => false,
+            "1" => true,
+            other => {
+                return Err(line_err(
+                    entry.lineno,
+                    format!("`{key}`: dirty flag must be 0 or 1, got `{other}`"),
+                ))
+            }
+        };
+        lines[idx] = CacheLineState {
+            tag: entry.u64_at(&key, 1)?,
+            valid: true,
+            dirty,
+            lru: entry.u64_at(&key, 3)?,
+        };
+    }
+    Ok(CacheState { lines, clock })
+}
+
+// --- printing -----------------------------------------------------------
+
+/// Serializes a checkpoint to the canonical text form.
+///
+/// # Panics
+///
+/// Panics when the workload name contains whitespace (names are single
+/// tokens in every text format of this stack).
+pub fn checkpoint_to_text(checkpoint: &Checkpoint) -> String {
+    assert!(
+        !checkpoint.workload.is_empty() && !checkpoint.workload.contains(char::is_whitespace),
+        "workload name must be a single non-empty token"
+    );
+    let mut out = String::new();
+    let s = &checkpoint.stream;
+    let p = &checkpoint.pipeline;
+
+    out.push_str("# pipeline slice checkpoint (print -> parse is bit-exact)\n");
+    let _ = writeln!(out, "checkpoint.version {CHECKPOINT_VERSION}");
+    let _ = writeln!(out, "checkpoint.workload {}", checkpoint.workload);
+    let _ = writeln!(out, "checkpoint.seed {}", checkpoint.seed);
+    let _ = writeln!(out, "checkpoint.fingerprint {}", checkpoint.fingerprint);
+
+    out.push_str("\n# synthetic stream generator state\n");
+    let _ = writeln!(
+        out,
+        "stream.rng {} {} {} {}",
+        s.rng[0], s.rng[1], s.rng[2], s.rng[3]
+    );
+    let _ = writeln!(out, "stream.next_regs {} {}", s.next_int_reg, s.next_fp_reg);
+    let _ = writeln!(out, "stream.recent_int {}", list_to_string(&s.recent_int));
+    let _ = writeln!(out, "stream.recent_fp {}", list_to_string(&s.recent_fp));
+    let _ = writeln!(out, "stream.pc {}", s.pc);
+    let _ = writeln!(out, "stream.loop_start {}", s.loop_start);
+    let _ = writeln!(out, "stream.emitted {}", s.emitted);
+    let _ = writeln!(out, "stream.call_stack {}", list_to_string(&s.call_stack));
+    let _ = writeln!(out, "stream.offsets {}", list_to_string(&s.stream_offsets));
+    let _ = writeln!(out, "stream.phase {} {}", s.phase_idx, s.phase_remaining);
+
+    out.push_str("\n# rename maps, free lists (stack order), ready bits\n");
+    write_rename_class(&mut out, "int", &p.rename.int);
+    write_rename_class(&mut out, "fp", &p.rename.fp);
+
+    out.push_str("\n# branch predictor: 2-bit counters (one digit each), RAS oldest first\n");
+    let digits: String = p
+        .bpred
+        .counters
+        .iter()
+        .map(|&c| char::from_digit(u32::from(c), 10).expect("counters are 0..=3"))
+        .collect();
+    let _ = writeln!(out, "bpred.counters {digits}");
+    let _ = writeln!(out, "bpred.ras {}", list_to_string(&p.bpred.ras));
+
+    out.push_str("\n# memory hierarchy: caches list valid lines as `index tag dirty lru`\n");
+    let _ = writeln!(
+        out,
+        "mem.counts {} {}",
+        p.mem.l2_inst_refs, p.mem.prefetches
+    );
+    let _ = writeln!(out, "mem.mshrs {}", p.mem.mshrs.len());
+    for m in &p.mem.mshrs {
+        let _ = writeln!(out, "mshr {} {}", m.line, m.ready);
+    }
+    write_cache(&mut out, "l1i", &p.mem.l1i);
+    write_cache(&mut out, "l1d", &p.mem.l1d);
+    write_cache(&mut out, "l2", &p.mem.l2);
+
+    out.push_str("\n# pipeline bookkeeping (absolute cycles)\n");
+    let _ = writeln!(out, "pipe.now {}", p.now);
+    let _ = writeln!(out, "pipe.seq_next {}", p.seq_next);
+    let _ = writeln!(out, "pipe.committed {}", p.committed);
+    let _ = writeln!(out, "pipe.last_commit_cycle {}", p.last_commit_cycle);
+    let _ = writeln!(out, "pipe.fetch_resume_at {}", p.fetch_resume_at);
+    let _ = writeln!(
+        out,
+        "pipe.blocking_branch {}",
+        opt_u64_to_token(p.blocking_branch)
+    );
+    let (rc_seq, rc_pc) = match p.return_check {
+        Some((seq, pc)) => (Some(seq), Some(pc)),
+        None => (None, None),
+    };
+    let _ = writeln!(
+        out,
+        "pipe.return_check {} {}",
+        opt_u64_to_token(rc_seq),
+        opt_u64_to_token(rc_pc)
+    );
+    let _ = writeln!(out, "pipe.cur_fetch_line {}", p.cur_fetch_line);
+    let _ = writeln!(out, "pipe.int_free {}", list_to_string(&p.int_free));
+    let _ = writeln!(out, "pipe.fp_free {}", list_to_string(&p.fp_free));
+    let _ = writeln!(out, "pipe.agen_free {}", list_to_string(&p.agen_free));
+    match &p.pending {
+        None => out.push_str("pipe.pending -\n"),
+        Some(op) => {
+            out.push_str("pipe.pending ");
+            op_to_tokens(op, &mut out);
+            out.push('\n');
+        }
+    }
+
+    out.push_str("\n# window: seq phase ready dest old_dest src0 src1 then the op\n");
+    let _ = writeln!(out, "pipe.window {}", p.window.len());
+    for slot in &p.window {
+        let _ = write!(
+            out,
+            "window {} {} {} {} {} {} {} ",
+            slot.seq,
+            phase_to_token(slot.phase),
+            slot.ready_cycle,
+            phys_to_token(slot.dest),
+            phys_to_token(slot.old_dest),
+            phys_to_token(slot.srcs[0]),
+            phys_to_token(slot.srcs[1]),
+        );
+        op_to_tokens(&slot.op, &mut out);
+        out.push('\n');
+    }
+    let _ = writeln!(out, "pipe.fetchq {}", p.fetch_queue.len());
+    for f in &p.fetch_queue {
+        let _ = write!(out, "fetchq {} {} ", f.seq, f.dispatch_at);
+        op_to_tokens(&f.op, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+// --- parsing ------------------------------------------------------------
+
+/// Parses the text form of a checkpoint.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] with a 1-based line number on
+/// unknown keys, duplicate keys, wrong token counts, malformed values, or
+/// count/entry mismatches, and on a missing key or unsupported version.
+pub fn checkpoint_from_text(text: &str) -> Result<Checkpoint, SimError> {
+    let scanned = scan(text)?;
+    let version = req_u64(&scanned, "checkpoint.version")?;
+    if version != CHECKPOINT_VERSION {
+        return Err(SimError::invalid_config(format!(
+            "unsupported checkpoint version {version} (expected {CHECKPOINT_VERSION})"
+        )));
+    }
+    let workload = {
+        let e = req(&scanned, "checkpoint.workload")?;
+        e.expect_len("checkpoint.workload", 1)?;
+        e.values[0].clone()
+    };
+    let seed = req_u64(&scanned, "checkpoint.seed")?;
+    let fingerprint = req_u64(&scanned, "checkpoint.fingerprint")?;
+
+    let stream = {
+        let rng_entry = req(&scanned, "stream.rng")?;
+        rng_entry.expect_len("stream.rng", 4)?;
+        let mut rng = [0u64; 4];
+        for (i, slot) in rng.iter_mut().enumerate() {
+            *slot = rng_entry.u64_at("stream.rng", i)?;
+        }
+        let regs = req(&scanned, "stream.next_regs")?;
+        regs.expect_len("stream.next_regs", 2)?;
+        let phase = req(&scanned, "stream.phase")?;
+        phase.expect_len("stream.phase", 2)?;
+        StreamState {
+            rng,
+            recent_int: req_list_u16(&scanned, "stream.recent_int")?,
+            recent_fp: req_list_u16(&scanned, "stream.recent_fp")?,
+            next_int_reg: regs.u16_at("stream.next_regs", 0)?,
+            next_fp_reg: regs.u16_at("stream.next_regs", 1)?,
+            pc: req_u64(&scanned, "stream.pc")?,
+            loop_start: req_u64(&scanned, "stream.loop_start")?,
+            emitted: req_u64(&scanned, "stream.emitted")?,
+            call_stack: req_list_u64(&scanned, "stream.call_stack")?,
+            stream_offsets: req_list_u64(&scanned, "stream.offsets")?,
+            phase_idx: phase.u64_at("stream.phase", 0)?,
+            phase_remaining: phase.u64_at("stream.phase", 1)?,
+        }
+    };
+
+    let rename = RenameState {
+        int: read_rename_class(&scanned, "int")?,
+        fp: read_rename_class(&scanned, "fp")?,
+    };
+
+    let bpred = {
+        let e = req(&scanned, "bpred.counters")?;
+        e.expect_len("bpred.counters", 1)?;
+        let counters: Vec<u8> = e.values[0]
+            .chars()
+            .map(|c| match c {
+                '0'..='3' => Ok(c as u8 - b'0'),
+                _ => Err(line_err(
+                    e.lineno,
+                    "`bpred.counters` must be a string of digits 0-3",
+                )),
+            })
+            .collect::<Result<_, _>>()?;
+        BpredState {
+            counters,
+            ras: req_list_u64(&scanned, "bpred.ras")?,
+        }
+    };
+
+    let empty = Vec::new();
+    let mem = {
+        let counts = req(&scanned, "mem.counts")?;
+        counts.expect_len("mem.counts", 2)?;
+        let mshr_count = req_u64(&scanned, "mem.mshrs")? as usize;
+        let mshr_entries = scanned.repeated.get("mshr").unwrap_or(&empty);
+        if mshr_entries.len() != mshr_count {
+            return Err(SimError::invalid_config(format!(
+                "`mem.mshrs` declares {mshr_count} entries, found {}",
+                mshr_entries.len()
+            )));
+        }
+        let mut mshrs = Vec::with_capacity(mshr_count);
+        for e in mshr_entries {
+            e.expect_len("mshr", 2)?;
+            mshrs.push(MshrState {
+                line: e.u64_at("mshr", 0)?,
+                ready: e.u64_at("mshr", 1)?,
+            });
+        }
+        MemHierarchyState {
+            l1i: read_cache(
+                &scanned,
+                "l1i",
+                scanned.repeated.get("cache.l1i.line").unwrap_or(&empty),
+            )?,
+            l1d: read_cache(
+                &scanned,
+                "l1d",
+                scanned.repeated.get("cache.l1d.line").unwrap_or(&empty),
+            )?,
+            l2: read_cache(
+                &scanned,
+                "l2",
+                scanned.repeated.get("cache.l2.line").unwrap_or(&empty),
+            )?,
+            mshrs,
+            l2_inst_refs: counts.u64_at("mem.counts", 0)?,
+            prefetches: counts.u64_at("mem.counts", 1)?,
+        }
+    };
+
+    let pending = {
+        let e = req(&scanned, "pipe.pending")?;
+        if e.values.len() == 1 && e.values[0] == "-" {
+            None
+        } else {
+            e.expect_len("pipe.pending", OP_TOKENS)?;
+            Some(op_from_tokens(e.lineno, "pipe.pending", &e.values)?)
+        }
+    };
+
+    let return_check = {
+        let e = req(&scanned, "pipe.return_check")?;
+        e.expect_len("pipe.return_check", 2)?;
+        let seq = opt_u64_from_token(e.lineno, "pipe.return_check", &e.values[0])?;
+        let pc = opt_u64_from_token(e.lineno, "pipe.return_check", &e.values[1])?;
+        match (seq, pc) {
+            (Some(seq), Some(pc)) => Some((seq, pc)),
+            (None, None) => None,
+            _ => {
+                return Err(line_err(
+                    e.lineno,
+                    "`pipe.return_check` needs both fields or both `-`",
+                ))
+            }
+        }
+    };
+
+    let window_count = req_u64(&scanned, "pipe.window")? as usize;
+    let window_entries = scanned.repeated.get("window").unwrap_or(&empty);
+    if window_entries.len() != window_count {
+        return Err(SimError::invalid_config(format!(
+            "`pipe.window` declares {window_count} entries, found {}",
+            window_entries.len()
+        )));
+    }
+    let mut window = Vec::with_capacity(window_count);
+    for e in window_entries {
+        e.expect_len("window", 7 + OP_TOKENS)?;
+        window.push(WindowSlotState {
+            seq: e.u64_at("window", 0)?,
+            phase: phase_from_token(e.lineno, &e.values[1])?,
+            ready_cycle: e.u64_at("window", 2)?,
+            dest: phys_from_token(e.lineno, "window", &e.values[3])?,
+            old_dest: phys_from_token(e.lineno, "window", &e.values[4])?,
+            srcs: [
+                phys_from_token(e.lineno, "window", &e.values[5])?,
+                phys_from_token(e.lineno, "window", &e.values[6])?,
+            ],
+            op: op_from_tokens(e.lineno, "window", &e.values[7..])?,
+        });
+    }
+
+    let fetchq_count = req_u64(&scanned, "pipe.fetchq")? as usize;
+    let fetchq_entries = scanned.repeated.get("fetchq").unwrap_or(&empty);
+    if fetchq_entries.len() != fetchq_count {
+        return Err(SimError::invalid_config(format!(
+            "`pipe.fetchq` declares {fetchq_count} entries, found {}",
+            fetchq_entries.len()
+        )));
+    }
+    let mut fetch_queue = Vec::with_capacity(fetchq_count);
+    for e in fetchq_entries {
+        e.expect_len("fetchq", 2 + OP_TOKENS)?;
+        fetch_queue.push(FetchedState {
+            seq: e.u64_at("fetchq", 0)?,
+            dispatch_at: e.u64_at("fetchq", 1)?,
+            op: op_from_tokens(e.lineno, "fetchq", &e.values[2..])?,
+        });
+    }
+
+    let pipeline = PipelineState {
+        rename,
+        bpred,
+        mem,
+        window,
+        fetch_queue,
+        pending,
+        now: req_u64(&scanned, "pipe.now")?,
+        seq_next: req_u64(&scanned, "pipe.seq_next")?,
+        committed: req_u64(&scanned, "pipe.committed")?,
+        last_commit_cycle: req_u64(&scanned, "pipe.last_commit_cycle")?,
+        fetch_resume_at: req_u64(&scanned, "pipe.fetch_resume_at")?,
+        blocking_branch: {
+            let e = req(&scanned, "pipe.blocking_branch")?;
+            e.expect_len("pipe.blocking_branch", 1)?;
+            opt_u64_from_token(e.lineno, "pipe.blocking_branch", &e.values[0])?
+        },
+        return_check,
+        cur_fetch_line: req_u64(&scanned, "pipe.cur_fetch_line")?,
+        int_free: req_list_u64(&scanned, "pipe.int_free")?,
+        fp_free: req_list_u64(&scanned, "pipe.fp_free")?,
+        agen_free: req_list_u64(&scanned, "pipe.agen_free")?,
+    };
+
+    Ok(Checkpoint {
+        workload,
+        seed,
+        fingerprint,
+        stream,
+        pipeline,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CoreConfig;
+    use crate::pipeline::Processor;
+    use sim_common::Xoshiro256pp;
+    use workload::{App, InstructionSource, SyntheticStream};
+
+    fn captured_checkpoint(app: App, seed: u64, instructions: u64) -> Checkpoint {
+        let mut cpu = Processor::new(
+            CoreConfig::base(),
+            SyntheticStream::new(app.profile(), seed),
+        )
+        .unwrap();
+        cpu.prewarm(0x1000_0000, 256 * 1024, 0, 16 * 1024);
+        cpu.run_instructions(instructions);
+        Checkpoint {
+            workload: cpu.source().name().to_owned(),
+            seed,
+            fingerprint: 0xC0FFEE,
+            stream: cpu.source().state(),
+            pipeline: cpu.state(),
+        }
+    }
+
+    #[test]
+    fn captured_state_round_trips_bit_exactly() {
+        for app in [App::Gzip, App::Art, App::MpgDec] {
+            let chk = captured_checkpoint(app, 7, 15_000);
+            let text = checkpoint_to_text(&chk);
+            let parsed = checkpoint_from_text(&text).unwrap();
+            assert_eq!(parsed, chk, "{app:?}: parse(print(c)) != c");
+            assert_eq!(
+                checkpoint_to_text(&parsed),
+                text,
+                "{app:?}: printing is not a fixed point"
+            );
+        }
+    }
+
+    /// Randomized micro-op with edge-case-heavy field choices.
+    fn random_op(rng: &mut Xoshiro256pp) -> MicroOp {
+        let class = OpClass::ALL[rng.gen_usize(0..OpClass::ALL.len())];
+        let reg = |rng: &mut Xoshiro256pp| {
+            if rng.gen_bool(0.3) {
+                None
+            } else {
+                Some(ArchReg::from_flat_index(rng.gen_usize(0..128)))
+            }
+        };
+        MicroOp {
+            pc: rng.next_u64() & 0xFFFF_FFFF,
+            class,
+            dest: reg(rng),
+            srcs: [reg(rng), reg(rng)],
+            addr: if class.is_mem() {
+                Some(rng.next_u64())
+            } else {
+                None
+            },
+            taken: rng.gen_bool(0.5),
+        }
+    }
+
+    fn random_cache(rng: &mut Xoshiro256pp, lines: usize) -> CacheState {
+        let clock = rng.gen_u64(1..1_000_000);
+        CacheState {
+            lines: (0..lines)
+                .map(|_| {
+                    if rng.gen_bool(0.4) {
+                        CacheLineState {
+                            tag: rng.next_u64() >> 20,
+                            valid: true,
+                            dirty: rng.gen_bool(0.5),
+                            lru: rng.gen_u64(0..clock + 1),
+                        }
+                    } else {
+                        CacheLineState {
+                            tag: 0,
+                            valid: false,
+                            dirty: false,
+                            lru: 0,
+                        }
+                    }
+                })
+                .collect(),
+            clock,
+        }
+    }
+
+    fn random_checkpoint(seed: u64) -> Checkpoint {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let phys = |rng: &mut Xoshiro256pp| {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(PhysReg {
+                    class: if rng.gen_bool(0.5) {
+                        RegClass::Int
+                    } else {
+                        RegClass::Fp
+                    },
+                    index: rng.gen_u64(0..192) as u16,
+                })
+            }
+        };
+        let rename_class = |rng: &mut Xoshiro256pp| RenameClassState {
+            map: (0..64).map(|_| rng.gen_u64(0..192) as u16).collect(),
+            free: (0..rng.gen_usize(0..128))
+                .map(|_| rng.gen_u64(0..192) as u16)
+                .collect(),
+            ready: (0..192).map(|_| rng.gen_bool(0.5)).collect(),
+        };
+        let window: Vec<WindowSlotState> = (0..rng.gen_usize(0..64))
+            .map(|i| WindowSlotState {
+                seq: i as u64,
+                op: random_op(&mut rng),
+                dest: phys(&mut rng),
+                old_dest: phys(&mut rng),
+                srcs: [phys(&mut rng), phys(&mut rng)],
+                phase: [ExecPhase::Waiting, ExecPhase::Issued, ExecPhase::Done]
+                    [rng.gen_usize(0..3)],
+                ready_cycle: rng.next_u64(),
+            })
+            .collect();
+        let fetch_queue: Vec<FetchedState> = (0..rng.gen_usize(0..32))
+            .map(|i| FetchedState {
+                seq: 1_000 + i as u64,
+                op: random_op(&mut rng),
+                dispatch_at: rng.next_u64(),
+            })
+            .collect();
+        let now = rng.next_u64();
+        Checkpoint {
+            workload: format!("fuzz-{seed}"),
+            seed,
+            fingerprint: rng.next_u64(),
+            stream: StreamState {
+                rng: [
+                    rng.next_u64(),
+                    rng.next_u64(),
+                    rng.next_u64(),
+                    rng.next_u64().max(1),
+                ],
+                recent_int: (0..rng.gen_usize(0..8))
+                    .map(|_| rng.gen_u64(0..64) as u16)
+                    .collect(),
+                recent_fp: (0..rng.gen_usize(0..8))
+                    .map(|_| 64 + rng.gen_u64(0..64) as u16)
+                    .collect(),
+                next_int_reg: rng.gen_u64(0..64) as u16,
+                next_fp_reg: rng.gen_u64(0..64) as u16,
+                pc: rng.next_u64(),
+                loop_start: rng.next_u64(),
+                emitted: rng.next_u64(),
+                call_stack: (0..rng.gen_usize(0..16)).map(|_| rng.next_u64()).collect(),
+                stream_offsets: (0..rng.gen_usize(1..6)).map(|_| rng.next_u64()).collect(),
+                phase_idx: rng.next_u64(),
+                phase_remaining: if rng.gen_bool(0.5) {
+                    u64::MAX
+                } else {
+                    rng.next_u64()
+                },
+            },
+            pipeline: PipelineState {
+                rename: RenameState {
+                    int: rename_class(&mut rng),
+                    fp: rename_class(&mut rng),
+                },
+                bpred: BpredState {
+                    counters: (0..256).map(|_| rng.gen_u64(0..4) as u8).collect(),
+                    ras: (0..rng.gen_usize(0..32)).map(|_| rng.next_u64()).collect(),
+                },
+                mem: MemHierarchyState {
+                    l1i: random_cache(&mut rng, 256),
+                    l1d: random_cache(&mut rng, 512),
+                    l2: random_cache(&mut rng, 1024),
+                    mshrs: (0..rng.gen_usize(0..12))
+                        .map(|_| MshrState {
+                            line: rng.next_u64(),
+                            ready: rng.next_u64(),
+                        })
+                        .collect(),
+                    l2_inst_refs: rng.next_u64(),
+                    prefetches: rng.next_u64(),
+                },
+                window,
+                fetch_queue,
+                pending: if rng.gen_bool(0.5) {
+                    Some(random_op(&mut rng))
+                } else {
+                    None
+                },
+                now,
+                seq_next: rng.next_u64(),
+                committed: rng.next_u64(),
+                last_commit_cycle: now,
+                fetch_resume_at: rng.next_u64(),
+                blocking_branch: if rng.gen_bool(0.5) {
+                    Some(rng.next_u64())
+                } else {
+                    None
+                },
+                return_check: if rng.gen_bool(0.5) {
+                    Some((rng.next_u64(), rng.next_u64()))
+                } else {
+                    None
+                },
+                cur_fetch_line: if rng.gen_bool(0.2) {
+                    u64::MAX
+                } else {
+                    rng.next_u64()
+                },
+                int_free: (0..6).map(|_| rng.next_u64()).collect(),
+                fp_free: (0..4).map(|_| rng.next_u64()).collect(),
+                agen_free: (0..2).map(|_| rng.next_u64()).collect(),
+            },
+        }
+    }
+
+    #[test]
+    fn randomized_states_round_trip_bit_exactly() {
+        // Property test over seeded random pipeline/cache/bpred states —
+        // the same idiom as the `.scn` round-trip tests, with the edge
+        // values (u64::MAX markers, empty lists, absent options) that a
+        // captured run rarely produces.
+        for seed in 0..40 {
+            let chk = random_checkpoint(seed);
+            let text = checkpoint_to_text(&chk);
+            let parsed = checkpoint_from_text(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(parsed, chk, "seed {seed}: parse(print(c)) != c");
+            assert_eq!(
+                checkpoint_to_text(&parsed),
+                text,
+                "seed {seed}: printing is not a fixed point"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_key_is_rejected_with_line_number() {
+        let mut text = checkpoint_to_text(&random_checkpoint(1));
+        text.push_str("pipe.warp_factor 9\n");
+        let err = checkpoint_from_text(&text).unwrap_err().to_string();
+        assert!(err.contains("unknown key `pipe.warp_factor`"), "{err}");
+        assert!(err.contains("line"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_key_is_rejected() {
+        let mut text = checkpoint_to_text(&random_checkpoint(2));
+        text.push_str("pipe.now 5\n");
+        let err = checkpoint_from_text(&text).unwrap_err().to_string();
+        assert!(err.contains("duplicate key `pipe.now`"), "{err}");
+    }
+
+    #[test]
+    fn wrong_arity_is_rejected() {
+        let text = checkpoint_to_text(&random_checkpoint(3));
+        let broken = text.replace("stream.phase ", "stream.phase 1 2 ");
+        let err = checkpoint_from_text(&broken).unwrap_err().to_string();
+        assert!(err.contains("`stream.phase` expects 2 values"), "{err}");
+    }
+
+    #[test]
+    fn count_mismatch_is_rejected() {
+        let chk = random_checkpoint(4);
+        let text = checkpoint_to_text(&chk);
+        let declared = format!("pipe.window {}", chk.pipeline.window.len());
+        let broken = text.replace(&declared, "pipe.window 99");
+        let err = checkpoint_from_text(&broken).unwrap_err().to_string();
+        assert!(err.contains("declares 99 entries"), "{err}");
+    }
+
+    #[test]
+    fn missing_key_is_rejected() {
+        let text: String = checkpoint_to_text(&random_checkpoint(5))
+            .lines()
+            .filter(|l| !l.starts_with("pipe.committed"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let err = checkpoint_from_text(&text).unwrap_err().to_string();
+        assert!(err.contains("missing key `pipe.committed`"), "{err}");
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let text = checkpoint_to_text(&random_checkpoint(6))
+            .replace("checkpoint.version 1", "checkpoint.version 2");
+        let err = checkpoint_from_text(&text).unwrap_err().to_string();
+        assert!(err.contains("unsupported checkpoint version 2"), "{err}");
+    }
+
+    #[test]
+    fn bad_counter_digit_is_rejected() {
+        let chk = random_checkpoint(7);
+        let digits: String = chk
+            .pipeline
+            .bpred
+            .counters
+            .iter()
+            .map(|&c| char::from_digit(u32::from(c), 10).unwrap())
+            .collect();
+        let text = checkpoint_to_text(&chk).replace(
+            &format!("bpred.counters {digits}"),
+            "bpred.counters 0123401",
+        );
+        let err = checkpoint_from_text(&text).unwrap_err().to_string();
+        assert!(err.contains("digits 0-3"), "{err}");
+    }
+
+    #[test]
+    fn restored_checkpoint_resumes_the_simulation() {
+        // End-to-end: capture -> print -> parse -> rebuild a processor ->
+        // identical continuation.
+        let seed = 99;
+        let mut cpu = Processor::new(
+            CoreConfig::base(),
+            SyntheticStream::new(App::Twolf.profile(), seed),
+        )
+        .unwrap();
+        cpu.run_instructions(12_000);
+        let chk = Checkpoint {
+            workload: cpu.source().name().to_owned(),
+            seed,
+            fingerprint: 1,
+            stream: cpu.source().state(),
+            pipeline: cpu.state(),
+        };
+        let parsed = checkpoint_from_text(&checkpoint_to_text(&chk)).unwrap();
+        let stream = SyntheticStream::restore(App::Twolf.profile(), parsed.seed, &parsed.stream);
+        let mut resumed = Processor::new(CoreConfig::base(), stream).unwrap();
+        resumed.restore_state(&parsed.pipeline);
+        assert_eq!(parsed.instructions(), 12_000);
+        let a = cpu.run_instructions(8_000);
+        let b = resumed.run_instructions(8_000);
+        assert_eq!(a, b);
+    }
+}

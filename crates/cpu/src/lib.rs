@@ -34,16 +34,21 @@
 
 pub mod bpred;
 pub mod cache;
+pub mod checkpoint;
 pub mod config;
 pub mod pipeline;
 pub mod regfile;
 pub mod stats;
 
-pub use bpred::{Bpred, BpredStats};
-pub use cache::{Cache, CacheStats, DataAccess, Lookup, MemHierarchy, MemLatencies};
+pub use bpred::{Bpred, BpredState, BpredStats};
+pub use cache::{
+    Cache, CacheLineState, CacheState, CacheStats, DataAccess, Lookup, MemHierarchy,
+    MemHierarchyState, MemLatencies, MshrState,
+};
+pub use checkpoint::{checkpoint_from_text, checkpoint_to_text, Checkpoint};
 pub use config::{
     BpredConfig, CacheConfig, CoreConfig, TimingKey, MAX_FPUS, MAX_INT_ALUS, MAX_WINDOW,
 };
-pub use pipeline::Processor;
-pub use regfile::{PhysReg, RegFileStats, Rename};
+pub use pipeline::{ExecPhase, FetchedState, PipelineState, Processor, WindowSlotState};
+pub use regfile::{PhysReg, RegFileStats, Rename, RenameClassState, RenameState};
 pub use stats::{ActivityCounters, IntervalStats, RunStats};

@@ -16,10 +16,10 @@ use std::collections::{HashMap, VecDeque};
 
 use workload::{InstructionSource, MicroOp, OpClass};
 
-use crate::bpred::Bpred;
-use crate::cache::{DataAccess, MemHierarchy, MemLatencies};
+use crate::bpred::{Bpred, BpredState};
+use crate::cache::{DataAccess, MemHierarchy, MemHierarchyState, MemLatencies};
 use crate::config::CoreConfig;
-use crate::regfile::{PhysReg, Rename};
+use crate::regfile::{PhysReg, Rename, RenameState};
 use crate::stats::{ActivityCounters, IntervalStats, RunStats};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +45,101 @@ struct Fetched {
     seq: u64,
     op: MicroOp,
     dispatch_at: u64,
+}
+
+/// Execution phase of one in-flight window entry, as captured in a
+/// checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPhase {
+    /// Dispatched; waiting for operands or a functional unit.
+    Waiting,
+    /// Issued; result arrives at `ready_cycle`.
+    Issued,
+    /// Completed; waiting to retire in order.
+    Done,
+}
+
+/// One instruction-window entry, as captured in a checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSlotState {
+    /// Fetch sequence number (program order).
+    pub seq: u64,
+    /// The decoded micro-op.
+    pub op: MicroOp,
+    /// Allocated destination physical register.
+    pub dest: Option<PhysReg>,
+    /// Previous mapping of the destination (released at commit).
+    pub old_dest: Option<PhysReg>,
+    /// Renamed source registers.
+    pub srcs: [Option<PhysReg>; 2],
+    /// Execution phase.
+    pub phase: ExecPhase,
+    /// Absolute cycle at which the result is (or was) available.
+    pub ready_cycle: u64,
+}
+
+/// One fetch-queue entry, as captured in a checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FetchedState {
+    /// Fetch sequence number.
+    pub seq: u64,
+    /// The fetched micro-op.
+    pub op: MicroOp,
+    /// Absolute cycle at which the op becomes eligible for dispatch.
+    pub dispatch_at: u64,
+}
+
+/// Complete warm microarchitectural state of a [`Processor`], captured at
+/// an interval boundary for slice checkpoints.
+///
+/// Everything that influences future timing is here: rename maps, predictor
+/// training, cache contents, in-flight window/fetch-queue entries, and the
+/// absolute-cycle bookkeeping (functional-unit busy times, MSHR completion
+/// times, fetch stall deadlines). Statistics are deliberately absent —
+/// checkpoints are cut at interval boundaries, where
+/// [`Processor::take_interval`] has just zeroed every counter, so a restored
+/// processor reproduces the remaining intervals bit for bit.
+///
+/// The instruction source is *not* part of this state; capture and restore
+/// it separately (the workload crate's `StreamState`) and hand the restored
+/// source to [`Processor::new`] before calling
+/// [`Processor::restore_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineState {
+    /// Rename maps, free lists, and ready bits.
+    pub rename: RenameState,
+    /// Branch predictor counters and RAS.
+    pub bpred: BpredState,
+    /// Cache contents and outstanding misses.
+    pub mem: MemHierarchyState,
+    /// Instruction window, oldest entry first.
+    pub window: Vec<WindowSlotState>,
+    /// Fetch queue, oldest entry first.
+    pub fetch_queue: Vec<FetchedState>,
+    /// An op held back by an I-cache miss or an unverified return.
+    pub pending: Option<MicroOp>,
+    /// Current absolute cycle.
+    pub now: u64,
+    /// Next fetch sequence number.
+    pub seq_next: u64,
+    /// Total instructions committed since construction.
+    pub committed: u64,
+    /// Cycle of the most recent commit (livelock backstop).
+    pub last_commit_cycle: u64,
+    /// Absolute cycle at which fetch may resume.
+    pub fetch_resume_at: u64,
+    /// Sequence number of an unresolved mispredicted branch, if any.
+    pub blocking_branch: Option<u64>,
+    /// A fetched return awaiting RAS verification: `(seq, predicted pc)`.
+    pub return_check: Option<(u64, u64)>,
+    /// I-cache line of the most recent fetch.
+    pub cur_fetch_line: u64,
+    /// Per-integer-unit busy-until cycles.
+    pub int_free: Vec<u64>,
+    /// Per-FP-unit busy-until cycles.
+    pub fp_free: Vec<u64>,
+    /// Per-address-generation-unit busy-until cycles.
+    pub agen_free: Vec<u64>,
 }
 
 /// Number of cycles without a commit after which the simulator declares a
@@ -642,6 +737,160 @@ impl<S: InstructionSource> Processor<S> {
         }
     }
 
+    /// Captures the complete warm state for a slice checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the processor sits exactly at an interval boundary
+    /// (immediately after [`Processor::run_instructions`] /
+    /// [`Processor::take_interval`], before any further stepping), which
+    /// guarantees every statistic is zero and nothing is lost at the cut.
+    #[must_use]
+    pub fn state(&self) -> PipelineState {
+        assert!(
+            self.now == self.interval_start_cycle
+                && self.committed == self.interval_start_committed,
+            "pipeline state must be captured at an interval boundary"
+        );
+        PipelineState {
+            rename: self.rename.state(),
+            bpred: self.bpred.state(),
+            mem: self.mem.state(),
+            window: self
+                .window
+                .iter()
+                .map(|s| WindowSlotState {
+                    seq: s.seq,
+                    op: s.op,
+                    dest: s.dest,
+                    old_dest: s.old_dest,
+                    srcs: s.srcs,
+                    phase: match s.state {
+                        SlotState::Waiting => ExecPhase::Waiting,
+                        SlotState::Issued => ExecPhase::Issued,
+                        SlotState::Done => ExecPhase::Done,
+                    },
+                    ready_cycle: s.ready_cycle,
+                })
+                .collect(),
+            fetch_queue: self
+                .fetch_queue
+                .iter()
+                .map(|f| FetchedState {
+                    seq: f.seq,
+                    op: f.op,
+                    dispatch_at: f.dispatch_at,
+                })
+                .collect(),
+            pending: self.pending,
+            now: self.now,
+            seq_next: self.seq_next,
+            committed: self.committed,
+            last_commit_cycle: self.last_commit_cycle,
+            fetch_resume_at: self.fetch_resume_at,
+            blocking_branch: self.blocking_branch,
+            return_check: self.return_check,
+            cur_fetch_line: self.cur_fetch_line,
+            int_free: self.int_free.clone(),
+            fp_free: self.fp_free.clone(),
+            agen_free: self.agen_free.clone(),
+        }
+    }
+
+    /// Restores a captured [`PipelineState`], resuming the simulation bit
+    /// for bit from the cut point. The instruction source must already have
+    /// been restored to the matching point (it is handed to
+    /// [`Processor::new`], which this call follows).
+    ///
+    /// Derived occupancy tracking (memory-queue count, published store
+    /// addresses) is recomputed from the restored window rather than
+    /// serialized. Statistics restart from zero, exactly as they stood at
+    /// the cut.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the state does not fit this processor's configuration
+    /// (structure sizes, functional-unit counts) — checkpoints are only
+    /// valid for the exact timing configuration that produced them.
+    pub fn restore_state(&mut self, state: &PipelineState) {
+        assert!(
+            state.window.len() <= self.config.window_size as usize,
+            "window larger than configured"
+        );
+        assert_eq!(
+            state.int_free.len(),
+            self.int_free.len(),
+            "integer unit count mismatch"
+        );
+        assert_eq!(
+            state.fp_free.len(),
+            self.fp_free.len(),
+            "FP unit count mismatch"
+        );
+        assert_eq!(
+            state.agen_free.len(),
+            self.agen_free.len(),
+            "address-generation unit count mismatch"
+        );
+        self.rename.restore_state(&state.rename);
+        self.bpred.restore_state(&state.bpred);
+        self.mem.restore_state(&state.mem);
+        self.window.clear();
+        self.window.extend(state.window.iter().map(|s| Slot {
+            seq: s.seq,
+            op: s.op,
+            dest: s.dest,
+            old_dest: s.old_dest,
+            srcs: s.srcs,
+            state: match s.phase {
+                ExecPhase::Waiting => SlotState::Waiting,
+                ExecPhase::Issued => SlotState::Issued,
+                ExecPhase::Done => SlotState::Done,
+            },
+            ready_cycle: s.ready_cycle,
+        }));
+        self.fetch_queue.clear();
+        self.fetch_queue
+            .extend(state.fetch_queue.iter().map(|f| Fetched {
+                seq: f.seq,
+                op: f.op,
+                dispatch_at: f.dispatch_at,
+            }));
+        self.pending = state.pending;
+        self.now = state.now;
+        self.seq_next = state.seq_next;
+        self.committed = state.committed;
+        self.last_commit_cycle = state.last_commit_cycle;
+        self.fetch_resume_at = state.fetch_resume_at;
+        self.blocking_branch = state.blocking_branch;
+        self.return_check = state.return_check;
+        self.cur_fetch_line = state.cur_fetch_line;
+        self.int_free.copy_from_slice(&state.int_free);
+        self.fp_free.copy_from_slice(&state.fp_free);
+        self.agen_free.copy_from_slice(&state.agen_free);
+        // Memory-queue occupancy and the published store addresses are a
+        // function of the window contents.
+        self.mem_in_window = self.window.iter().filter(|s| s.op.class.is_mem()).count() as u32;
+        self.store_addrs.clear();
+        for slot in &self.window {
+            if slot.op.class == OpClass::Store {
+                if let Some(addr) = slot.op.addr {
+                    *self.store_addrs.entry(addr >> 3).or_insert(0) += 1;
+                }
+            }
+        }
+        // The cut sits at an interval boundary: statistics restart at zero.
+        self.counters = ActivityCounters::default();
+        let _ = self.bpred.take_stats();
+        let _ = self.mem.l1i.take_stats();
+        let _ = self.mem.l1d.take_stats();
+        let _ = self.mem.l2.take_stats();
+        let _ = self.rename.take_stats();
+        self.interval_start_cycle = state.now;
+        self.interval_start_committed = state.committed;
+        self.commit_target = u64::MAX;
+    }
+
     /// Collects and resets the statistics accumulated since the previous
     /// interval boundary.
     pub fn take_interval(&mut self) -> IntervalStats {
@@ -826,6 +1075,46 @@ mod tests {
         assert_eq!(sa.cycles, sb.cycles);
         assert_eq!(sa.bpred, sb.bpred);
         assert_eq!(sa.l1d, sb.l1d);
+    }
+
+    #[test]
+    fn state_round_trip_resumes_bit_for_bit() {
+        let mut cpu = processor(App::Twolf, CoreConfig::base());
+        cpu.prewarm(0x1000_0000, 512 * 1024, 0, 24 * 1024);
+        cpu.run_instructions(20_000);
+        let cut = cpu.state();
+        let stream = SyntheticStream::restore(App::Twolf.profile(), 12345, &cpu.source().state());
+        let mut resumed = Processor::new(CoreConfig::base(), stream).unwrap();
+        resumed.restore_state(&cut);
+        assert_eq!(resumed.state(), cut, "capture is idempotent");
+        for _ in 0..3 {
+            let a = cpu.run_instructions(10_000);
+            let b = resumed.run_instructions(10_000);
+            assert_eq!(a, b, "restored pipeline must replay identically");
+        }
+        assert_eq!(resumed.now(), cpu.now());
+        assert_eq!(resumed.committed(), cpu.committed());
+    }
+
+    #[test]
+    #[should_panic(expected = "interval boundary")]
+    fn state_capture_mid_interval_is_rejected() {
+        let mut cpu = processor(App::Gzip, CoreConfig::base());
+        cpu.run_instructions(1_000);
+        cpu.step();
+        let _ = cpu.state();
+    }
+
+    #[test]
+    #[should_panic(expected = "unit count mismatch")]
+    fn restore_rejects_mismatched_configuration() {
+        let mut cpu = processor(App::Gzip, CoreConfig::base());
+        cpu.run_instructions(1_000);
+        let cut = cpu.state();
+        // Same window size, fewer integer units.
+        let small = CoreConfig::base().with_adaptation(128, 2, 1).unwrap();
+        let mut other = processor(App::Gzip, small);
+        other.restore_state(&cut);
     }
 
     #[test]

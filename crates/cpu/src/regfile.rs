@@ -22,6 +22,28 @@ pub struct RegFileStats {
     pub writes: u64,
 }
 
+/// Warm rename state for one register class, captured at a slice boundary.
+/// Statistics are *not* part of the state — checkpoints are cut at interval
+/// boundaries, where [`Rename::take_stats`] has just zeroed them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RenameClassState {
+    /// Architectural-to-physical map, indexed by architectural register.
+    pub map: Vec<u16>,
+    /// Free list, in stack order (last entry is popped next).
+    pub free: Vec<u16>,
+    /// Per-physical-register ready bits.
+    pub ready: Vec<bool>,
+}
+
+/// Warm rename state for both register classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RenameState {
+    /// Integer class state.
+    pub int: RenameClassState,
+    /// Floating-point class state.
+    pub fp: RenameClassState,
+}
+
 #[derive(Debug, Clone)]
 struct ClassState {
     map: Vec<u16>,
@@ -31,6 +53,40 @@ struct ClassState {
 }
 
 impl ClassState {
+    fn state(&self) -> RenameClassState {
+        RenameClassState {
+            map: self.map.clone(),
+            free: self.free.clone(),
+            ready: self.ready.clone(),
+        }
+    }
+
+    fn restore_state(&mut self, state: &RenameClassState) {
+        assert_eq!(state.map.len(), self.map.len(), "rename map size mismatch");
+        assert_eq!(
+            state.ready.len(),
+            self.ready.len(),
+            "physical register count mismatch"
+        );
+        let phys = self.ready.len();
+        assert!(
+            state
+                .map
+                .iter()
+                .chain(state.free.iter())
+                .all(|&p| (p as usize) < phys),
+            "physical register index out of range"
+        );
+        assert!(
+            state.free.len() <= phys,
+            "free list larger than the register file"
+        );
+        self.map.copy_from_slice(&state.map);
+        self.free.clear();
+        self.free.extend_from_slice(&state.free);
+        self.ready.copy_from_slice(&state.ready);
+    }
+
     fn new(phys_count: u32) -> ClassState {
         let arch = ARCH_REGS_PER_CLASS as usize;
         assert!(phys_count as usize >= arch);
@@ -157,6 +213,26 @@ impl Rename {
         self.class(class).stats
     }
 
+    /// Captures the warm rename state for a checkpoint.
+    #[must_use]
+    pub fn state(&self) -> RenameState {
+        RenameState {
+            int: self.int.state(),
+            fp: self.fp.state(),
+        }
+    }
+
+    /// Restores a captured [`RenameState`]. Statistics are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either class's state does not fit this rename stage's
+    /// register-file sizes, or references a physical register out of range.
+    pub fn restore_state(&mut self, state: &RenameState) {
+        self.int.restore_state(&state.int);
+        self.fp.restore_state(&state.fp);
+    }
+
     /// Returns and clears the port statistics for both files
     /// `(int, fp)`.
     pub fn take_stats(&mut self) -> (RegFileStats, RegFileStats) {
@@ -232,6 +308,32 @@ mod tests {
         assert_eq!(int.reads, 2);
         assert_eq!(fp.reads, 0);
         assert_eq!(rn.stats(RegClass::Int).reads, 0);
+    }
+
+    #[test]
+    fn state_round_trip_preserves_mappings() {
+        let mut rn = Rename::new(192, 192);
+        let (p1, _) = rn.alloc_dest(int_reg(3)).unwrap();
+        let (_, old) = rn.alloc_dest(int_reg(3)).unwrap();
+        rn.set_ready(p1);
+        rn.release(old);
+        let state = rn.state();
+        let mut restored = Rename::new(192, 192);
+        restored.restore_state(&state);
+        assert_eq!(restored.state(), state);
+        assert_eq!(restored.rename_src(int_reg(3)), rn.rename_src(int_reg(3)));
+        assert_eq!(
+            restored.free_count(RegClass::Int),
+            rn.free_count(RegClass::Int)
+        );
+        assert_eq!(restored.stats(RegClass::Int).writes, 0, "stats untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "register count mismatch")]
+    fn restore_rejects_mismatched_file_size() {
+        let state = Rename::new(192, 192).state();
+        Rename::new(128, 192).restore_state(&state);
     }
 
     #[test]

@@ -16,15 +16,20 @@
 //! 2. leakage power depends on temperature and temperature on power, so
 //!    each pass iterates the leakage/temperature fixed point.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
 use std::time::{Duration, Instant};
 
 use ramp::{ApplicationFit, ReliabilityModel, StructureConditions};
 use sim_common::{Kelvin, Seconds, SimError, Structure, StructureMap, Watts};
-use sim_cpu::{CoreConfig, IntervalStats, Processor};
+use sim_cpu::{Checkpoint, CoreConfig, IntervalStats, Processor};
 use sim_obs::{Histogram, StageTimes};
 use sim_power::PowerModel;
 use sim_thermal::ThermalModel;
 use workload::{App, AppProfile, SyntheticStream};
+
+use crate::slice::{slice_fingerprint, slice_lengths, CheckpointStore, SliceParams};
 
 /// Base address of the synthetic data segment (see `workload::stream`).
 const DATA_BASE: u64 = 0x1000_0000;
@@ -238,7 +243,15 @@ impl Evaluation {
     }
 
     /// Hottest structure temperature observed in any interval.
+    ///
+    /// An evaluation with no measured intervals has no interval
+    /// temperatures to take a maximum over; the heat-sink temperature —
+    /// the one temperature such an evaluation still carries — is
+    /// returned instead of an unphysical `-inf` sentinel.
     pub fn max_temperature(&self) -> Kelvin {
+        if self.intervals.is_empty() {
+            return self.sink_temperature;
+        }
         let mut max = Kelvin(f64::NEG_INFINITY);
         for iv in &self.intervals {
             for (_, c) in iv.conditions.iter() {
@@ -265,6 +278,9 @@ impl Evaluation {
 
     /// Highest activity factor of any structure in any interval (the
     /// paper's `α_qual` is the maximum across the application suite).
+    ///
+    /// An evaluation with no measured intervals reports `0.0`: nothing
+    /// ran, so nothing toggled.
     pub fn max_activity(&self) -> f64 {
         self.intervals
             .iter()
@@ -317,6 +333,7 @@ pub struct Evaluator {
     power: PowerModel,
     thermal: ThermalModel,
     params: EvalParams,
+    slice: Option<SliceParams>,
 }
 
 impl Evaluator {
@@ -336,6 +353,7 @@ impl Evaluator {
             power,
             thermal,
             params,
+            slice: None,
         })
     }
 
@@ -357,6 +375,27 @@ impl Evaluator {
     /// The simulation parameters.
     pub fn params(&self) -> &EvalParams {
         &self.params
+    }
+
+    /// Enables sliced timing: every timing run of this evaluator — and of
+    /// anything built on it (batch engine, oracle, server) — is cut into
+    /// checkpointed slices and, when a complete persisted cut set exists,
+    /// resumed in parallel. Results are bit-identical to the unsliced
+    /// path at any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when `slice` fails
+    /// [`SliceParams::validate`] against this evaluator's parameters.
+    pub fn with_slice(mut self, slice: SliceParams) -> Result<Evaluator, SimError> {
+        slice.validate(&self.params)?;
+        self.slice = Some(slice);
+        Ok(self)
+    }
+
+    /// The slice parameters, when sliced timing is enabled.
+    pub fn slice(&self) -> Option<&SliceParams> {
+        self.slice.as_ref()
     }
 
     /// Evaluates a paper workload on `config`.
@@ -432,10 +471,41 @@ impl Evaluator {
         self.finish_evaluation(profile, config, timing)
     }
 
+    /// Runs the timing stage sliced, regardless of whether this evaluator
+    /// was built [`with_slice`](Evaluator::with_slice): the measured run
+    /// is cut into `slice.instructions`-sized slices at interval
+    /// boundaries. When `slice.checkpoint_dir` holds a complete persisted
+    /// cut set for this (workload, seed, timing key) the slices are
+    /// restored and simulated in parallel on `slice.workers` threads;
+    /// otherwise a sequential cut pass runs the workload once, persisting
+    /// a checkpoint at every cut so later runs can resume in parallel.
+    ///
+    /// Either path returns a [`TimingRun`] bit-identical to
+    /// [`timing_run`](Evaluator::timing_run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the configuration,
+    /// profile, or slice shape is invalid, or when a checkpoint file is
+    /// present but corrupt or mismatched.
+    pub fn timing_run_sliced(
+        &self,
+        profile: &AppProfile,
+        config: &CoreConfig,
+        slice: &SliceParams,
+    ) -> Result<TimingRun, SimError> {
+        profile.validate()?;
+        self.run_timing_sliced(profile, config, slice)
+    }
+
     /// The timing stage: synthetic stream → prewarm → warmup → measured
     /// cycle simulation. Opens the `eval.timing` span but not the outer
-    /// `eval` span, so callers control the nesting.
+    /// `eval` span, so callers control the nesting. Dispatches to the
+    /// sliced path when the evaluator carries slice parameters.
     fn run_timing(&self, profile: &AppProfile, config: &CoreConfig) -> Result<TimingRun, SimError> {
+        if let Some(slice) = &self.slice {
+            return self.run_timing_sliced(profile, config, slice);
+        }
         let start = Instant::now();
         let _timing_span = sim_obs::span!("eval.timing");
         let stream = SyntheticStream::new(profile.clone(), self.params.seed);
@@ -458,6 +528,156 @@ impl Evaluator {
             intervals: run.intervals().to_vec(),
             wall: start.elapsed(),
         })
+    }
+
+    /// The sliced timing stage (see
+    /// [`timing_run_sliced`](Evaluator::timing_run_sliced)).
+    fn run_timing_sliced(
+        &self,
+        profile: &AppProfile,
+        config: &CoreConfig,
+        slice: &SliceParams,
+    ) -> Result<TimingRun, SimError> {
+        slice.validate(&self.params)?;
+        config.validate()?;
+        let start = Instant::now();
+        let _timing_span = sim_obs::span!("eval.timing");
+        let lens = slice_lengths(self.params.measure_instructions, slice.instructions);
+        let fingerprint = slice_fingerprint(config, &self.params, slice.instructions);
+        let store = match &slice.checkpoint_dir {
+            Some(dir) => Some(CheckpointStore::new(dir)?),
+            None => None,
+        };
+        if let Some(store) = &store {
+            if let Some(cuts) =
+                store.load_run(&profile.name, self.params.seed, fingerprint, lens.len())?
+            {
+                let intervals = self.run_slices(profile, config, &cuts, &lens, slice.workers)?;
+                return Ok(TimingRun {
+                    intervals,
+                    wall: start.elapsed(),
+                });
+            }
+        }
+        self.run_timing_cut(profile, config, &lens, fingerprint, store.as_ref(), start)
+    }
+
+    /// The sequential cut pass: one full-length run, persisting a
+    /// checkpoint at every slice boundary (cut `k` is the state *before*
+    /// slice `k`, i.e. after warmup plus `k` slices of measurement). The
+    /// per-interval statistics come out of the same `run_instructions`
+    /// call sequence the unsliced path makes, so the result is
+    /// bit-identical by construction.
+    fn run_timing_cut(
+        &self,
+        profile: &AppProfile,
+        config: &CoreConfig,
+        lens: &[u64],
+        fingerprint: u64,
+        store: Option<&CheckpointStore>,
+        start: Instant,
+    ) -> Result<TimingRun, SimError> {
+        let stream = SyntheticStream::new(profile.clone(), self.params.seed);
+        let mut cpu = Processor::new(config.clone(), stream)?;
+        let resident = profile.data_working_set.min(self.params.prewarm_bytes);
+        cpu.prewarm(DATA_BASE, resident, 0, profile.code_footprint);
+        if self.params.warmup_instructions > 0 {
+            let _ = cpu.run_instructions(self.params.warmup_instructions);
+        }
+        let mut intervals = Vec::with_capacity(
+            (self.params.measure_instructions / self.params.interval_instructions + 1) as usize,
+        );
+        for (k, &len) in lens.iter().enumerate() {
+            if let Some(store) = store {
+                let checkpoint = Checkpoint {
+                    workload: profile.name.clone(),
+                    seed: self.params.seed,
+                    fingerprint,
+                    stream: cpu.source().state(),
+                    pipeline: cpu.state(),
+                };
+                store.save(&checkpoint, k)?;
+            }
+            let mut remaining = len;
+            while remaining > 0 {
+                let n = remaining.min(self.params.interval_instructions);
+                intervals.push(cpu.run_instructions(n));
+                remaining -= n;
+            }
+        }
+        Ok(TimingRun {
+            intervals,
+            wall: start.elapsed(),
+        })
+    }
+
+    /// The parallel resume path: every slice restores its checkpoint and
+    /// simulates independently; per-slice interval statistics are folded
+    /// back in slice order.
+    fn run_slices(
+        &self,
+        profile: &AppProfile,
+        config: &CoreConfig,
+        cuts: &[Checkpoint],
+        lens: &[u64],
+        workers: usize,
+    ) -> Result<Vec<IntervalStats>, SimError> {
+        // A valid cut set partitions the measurement: cut k must sit at
+        // exactly warmup + k slices of committed instructions.
+        let mut expected = self.params.warmup_instructions;
+        for (k, cut) in cuts.iter().enumerate() {
+            if cut.instructions() != expected {
+                return Err(SimError::invalid_config(format!(
+                    "checkpoint {k} cut at {} instructions, expected {expected}",
+                    cut.instructions()
+                )));
+            }
+            expected += lens[k];
+        }
+        let seed = self.params.seed;
+        let interval = self.params.interval_instructions;
+        let count = cuts.len();
+        let workers = workers.max(1).min(count);
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel();
+        thread::scope(|scope| {
+            for w in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                thread::Builder::new()
+                    .name(format!("drm-slice-{w}"))
+                    .spawn_scoped(scope, move || loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= count {
+                            break;
+                        }
+                        let result =
+                            run_one_slice(profile, seed, config, &cuts[k], lens[k], interval);
+                        if tx.send((k, result)).is_err() {
+                            break;
+                        }
+                    })
+                    .expect("failed to spawn slice worker");
+            }
+        });
+        drop(tx);
+        let mut per_slice: Vec<Option<Vec<IntervalStats>>> = vec![None; count];
+        for (k, result) in rx {
+            per_slice[k] = Some(result?);
+        }
+        let mut intervals =
+            Vec::with_capacity((self.params.measure_instructions / interval + 1) as usize);
+        for (k, stats) in per_slice.into_iter().enumerate() {
+            match stats {
+                Some(stats) => intervals.extend(stats),
+                None => {
+                    return Err(SimError::invalid_config(format!(
+                        "slice {k} produced no result"
+                    )))
+                }
+            }
+        }
+        Ok(intervals)
     }
 
     /// The power/thermal stages (§6.3 passes 1 and 2) over a finished
@@ -601,6 +821,33 @@ impl Evaluator {
             stats,
         })
     }
+}
+
+/// Restores one checkpoint and simulates its slice, returning the slice's
+/// interval statistics. The restored processor replays exactly the
+/// `run_instructions` call sequence the sequential run makes over the same
+/// instructions (slice lengths are multiples of the interval length, so
+/// interval boundaries coincide), which is what makes slice parity
+/// bit-exact.
+fn run_one_slice(
+    profile: &AppProfile,
+    seed: u64,
+    config: &CoreConfig,
+    cut: &Checkpoint,
+    len: u64,
+    interval: u64,
+) -> Result<Vec<IntervalStats>, SimError> {
+    let stream = SyntheticStream::restore(profile.clone(), seed, &cut.stream);
+    let mut cpu = Processor::new(config.clone(), stream)?;
+    cpu.restore_state(&cut.pipeline);
+    let mut out = Vec::with_capacity((len / interval + 1) as usize);
+    let mut remaining = len;
+    while remaining > 0 {
+        let n = remaining.min(interval);
+        out.push(cpu.run_instructions(n));
+        remaining -= n;
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -788,6 +1035,100 @@ mod tests {
             assert!(iv.duration.0 > 0.0);
             assert_eq!(iv.instructions, e.params().interval_instructions);
         }
+    }
+
+    #[test]
+    fn empty_interval_sentinels() {
+        // Regression: an evaluation stripped of intervals used to report
+        // max_temperature() == -inf. The documented sentinels are the
+        // sink temperature and zero activity.
+        let e = evaluator();
+        let mut ev = e.evaluate(App::Gzip, &CoreConfig::base()).unwrap();
+        ev.intervals.clear();
+        assert_eq!(ev.max_temperature(), ev.sink_temperature);
+        assert!(ev.max_temperature().0.is_finite());
+        assert_eq!(ev.max_activity(), 0.0);
+        assert_eq!(ev.average_power(), Watts(0.0));
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ramp-slice-eval-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn sliced_timing_without_checkpoints_is_bit_identical() {
+        // No checkpoint directory: the cut pass still partitions the run
+        // into slices but persists nothing; parity must hold regardless.
+        let e = evaluator();
+        let sliced = e.clone().with_slice(SliceParams::new(30_000)).unwrap();
+        let plain = e.evaluate(App::Art, &CoreConfig::base()).unwrap();
+        let cut = sliced.evaluate(App::Art, &CoreConfig::base()).unwrap();
+        assert_eq!(plain, cut);
+    }
+
+    #[test]
+    fn sliced_resume_is_bit_identical_at_any_worker_count() {
+        let dir = temp_dir("resume");
+        let e = evaluator();
+        let plain = e.evaluate(App::MpgDec, &CoreConfig::base()).unwrap();
+        // First sliced run: no cut set yet → sequential cut pass that
+        // persists one checkpoint per slice (quick(): 120k/30k → 4).
+        let slice = SliceParams::new(30_000).with_dir(&dir);
+        let sliced = e.clone().with_slice(slice.clone()).unwrap();
+        let cut = sliced.evaluate(App::MpgDec, &CoreConfig::base()).unwrap();
+        assert_eq!(plain, cut);
+        let store = CheckpointStore::new(&dir).unwrap();
+        assert_eq!(store.list().unwrap().len(), 4);
+        // Later runs restore the cuts and fan the slices out in parallel.
+        for workers in [1, 4] {
+            let resumed = e
+                .clone()
+                .with_slice(slice.clone().with_workers(workers))
+                .unwrap()
+                .evaluate(App::MpgDec, &CoreConfig::base())
+                .unwrap();
+            assert_eq!(plain, resumed, "workers {workers}");
+        }
+        // The cut set survives a measurement-length change (shorter run,
+        // same slices) and keeps parity there too.
+        let mut short_params = *e.params();
+        short_params.measure_instructions = 60_000;
+        let short = Evaluator::ibm_65nm(short_params).unwrap();
+        let short_plain = short.evaluate(App::MpgDec, &CoreConfig::base()).unwrap();
+        let short_sliced = short
+            .clone()
+            .with_slice(slice.with_workers(2))
+            .unwrap()
+            .evaluate(App::MpgDec, &CoreConfig::base())
+            .unwrap();
+        assert_eq!(short_plain, short_sliced);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sliced_timing_run_matches_timing_run() {
+        let dir = temp_dir("timing");
+        let e = evaluator();
+        let profile = App::Gzip.profile();
+        let config = CoreConfig::base();
+        let plain = e.timing_run(&profile, &config).unwrap();
+        let slice = SliceParams::new(60_000).with_dir(&dir).with_workers(2);
+        // Cut pass, then resume pass.
+        let cut = e.timing_run_sliced(&profile, &config, &slice).unwrap();
+        let resumed = e.timing_run_sliced(&profile, &config, &slice).unwrap();
+        assert_eq!(plain.intervals(), cut.intervals());
+        assert_eq!(plain.intervals(), resumed.intervals());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn with_slice_rejects_unaligned_slices() {
+        // quick(): interval 30k — a 45k slice cannot cut on a boundary.
+        assert!(evaluator().with_slice(SliceParams::new(45_000)).is_err());
+        assert!(evaluator().with_slice(SliceParams::new(0)).is_err());
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub mod mix;
 pub mod oracle;
 pub mod scaling;
 pub mod sensors;
+pub mod slice;
 pub mod space;
 
 pub use batch::{
@@ -82,4 +83,5 @@ pub use mix::WorkloadMix;
 pub use oracle::{DrmChoice, Oracle};
 pub use scaling::{scaling_study, ScalingRow, TechnologyNode};
 pub use sensors::{SensorBank, SensorParams};
+pub use slice::{slice_fingerprint, slice_lengths, CheckpointStore, SliceParams};
 pub use space::{ArchPoint, Strategy};

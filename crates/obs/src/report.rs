@@ -388,6 +388,25 @@ pub fn render(trace: &Trace, top_n: usize) -> String {
         }
     }
 
+    // Slice-checkpoint reuse, present when a sliced evaluation ran with a
+    // checkpoint directory: cuts persist warm state, resumes read it back
+    // for the parallel slice path.
+    let cuts = trace.counter("slice.cut");
+    let resumes = trace.counter("slice.resume");
+    if cuts.is_some() || resumes.is_some() {
+        let cut = cuts.unwrap_or(0);
+        let resume = resumes.unwrap_or(0);
+        let bytes = trace.counter("slice.bytes").unwrap_or(0);
+        let _ = writeln!(out);
+        let _ = writeln!(out, "slices and checkpoints");
+        let _ = writeln!(
+            out,
+            "  {:<28} {cut:>10} / {resume:<10}",
+            "checkpoints (cut/resumed)"
+        );
+        let _ = writeln!(out, "  {:<28} {bytes:>10}", "checkpoint bytes moved");
+    }
+
     // The serving layer's traffic summary, present when the trace came
     // from `ramp serve`. Evaluation work done on behalf of clients still
     // lands in the "caches and reuse" section above — the server shares
@@ -676,6 +695,25 @@ mod tests {
         // 6 hits of 8 lookups and 3 of 4; every solve reused a factor.
         assert!(out.contains("75.0%"), "{out}");
         assert!(out.contains("100.0%"), "{out}");
+    }
+
+    #[test]
+    fn render_includes_slice_section_when_present() {
+        let text = concat!(
+            "{\"type\":\"counter\",\"name\":\"slice.cut\",\"value\":4}\n",
+            "{\"type\":\"counter\",\"name\":\"slice.resume\",\"value\":8}\n",
+            "{\"type\":\"counter\",\"name\":\"slice.bytes\",\"value\":123456}\n",
+        );
+        let trace = parse_trace(text);
+        let out = render(&trace, 5);
+        assert!(out.contains("slices and checkpoints"), "{out}");
+        assert!(out.contains("checkpoints (cut/resumed)"), "{out}");
+        assert!(out.contains("4"), "{out}");
+        assert!(out.contains("/ 8"), "{out}");
+        assert!(out.contains("123456"), "{out}");
+        // No slice.* counters, no section.
+        let plain = render(&parse_trace(""), 5);
+        assert!(!plain.contains("slices and checkpoints"), "{plain}");
     }
 
     #[test]

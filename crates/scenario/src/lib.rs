@@ -46,7 +46,7 @@ pub mod textfmt;
 
 use drm::{
     ArchPoint, BatchEngine, DvsPoint, DvsRange, EvalParams, Evaluator, FleetConfig, Oracle,
-    Strategy,
+    SliceParams, Strategy,
 };
 use ramp::{FailureParams, QualificationPoint, ReliabilityModel, FIT_TARGET_STANDARD};
 use sim_common::{Floorplan, Kelvin, SimError};
@@ -172,6 +172,57 @@ impl SloPolicy {
     }
 }
 
+/// Sliced-evaluation settings of a scenario's optional `[slice]` section:
+/// every timing run of the scenario's evaluators is cut into checkpointed
+/// slices (see `drm::slice`), bit-identically to the unsliced pipeline.
+/// Absent in the paper default — a scenario without the section
+/// serializes without `slice.` lines, bit-identically to before the
+/// section existed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SliceSpec {
+    /// Instructions per slice (`slice.instructions`); must be a positive
+    /// multiple of the evaluation's `interval_instructions`.
+    pub instructions: u64,
+    /// Directory persisted checkpoints live in
+    /// (`slice.checkpoint_dir`). Without it the run is still sliced but
+    /// nothing is persisted, so nothing can resume in parallel.
+    pub checkpoint_dir: Option<String>,
+}
+
+impl SliceSpec {
+    /// The [`SliceParams`] this spec resolves to, with `workers` threads
+    /// for the parallel resume path.
+    #[must_use]
+    pub fn params(&self, workers: usize) -> SliceParams {
+        let params = SliceParams::new(self.instructions).with_workers(workers);
+        match &self.checkpoint_dir {
+            Some(dir) => params.with_dir(dir),
+            None => params,
+        }
+    }
+
+    /// Validates the slice shape against the scenario's evaluation
+    /// lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the slice length is not a
+    /// positive multiple of the interval length, or the checkpoint
+    /// directory is not a single non-empty token (the text format is
+    /// whitespace-separated, so such a path could not round-trip).
+    pub fn validate(&self, eval: &EvalParams) -> Result<(), SimError> {
+        self.params(1).validate(eval)?;
+        if let Some(dir) = &self.checkpoint_dir {
+            if dir.is_empty() || dir.split_whitespace().count() != 1 {
+                return Err(SimError::invalid_config(
+                    "slice.checkpoint_dir must be a single non-empty token",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// One entry of a scenario's workload suite.
 // Inline profiles are ~240 bytes vs the Builtin discriminant, but a suite
 // holds at most a handful of config-time entries; boxing would only add
@@ -243,6 +294,8 @@ pub struct Scenario {
     pub fleet: FleetConfig,
     /// Optional service-level objectives for the evaluation server.
     pub slo: Option<SloPolicy>,
+    /// Optional sliced evaluation (checkpointed workload continuation).
+    pub slice: Option<SliceSpec>,
 }
 
 impl Scenario {
@@ -270,6 +323,7 @@ impl Scenario {
             eval: EvalParams::standard(),
             fleet: FleetConfig::default(),
             slo: None,
+            slice: None,
         }
     }
 
@@ -328,6 +382,9 @@ impl Scenario {
         self.fleet.validate()?;
         if let Some(slo) = &self.slo {
             slo.validate()?;
+        }
+        if let Some(slice) = &self.slice {
+            slice.validate(&self.eval)?;
         }
         Ok(())
     }
@@ -410,7 +467,15 @@ impl Scenario {
     /// Returns [`SimError::InvalidConfig`] when any layer's parameters are
     /// invalid.
     pub fn evaluator_with(&self, params: EvalParams) -> Result<Evaluator, SimError> {
-        Evaluator::new(self.power_model()?, self.thermal_model()?, params)
+        let evaluator = Evaluator::new(self.power_model()?, self.thermal_model()?, params)?;
+        match &self.slice {
+            // The scenario's `[slice]` section makes every evaluator —
+            // and everything built on one (batch engine, oracle, server
+            // verbs) — run sliced, with the default worker count for the
+            // parallel resume path.
+            Some(spec) => evaluator.with_slice(spec.params(drm::default_workers())),
+            None => Ok(evaluator),
+        }
     }
 
     /// The conditions the processor is qualified at: `T_qual` with the
@@ -638,6 +703,27 @@ mod tests {
         let mut s = Scenario::paper_default();
         s.fleet.variation.sigma_ea = -0.1;
         assert!(s.validate().is_err());
+
+        // Slice length must land on interval boundaries, and the
+        // checkpoint directory must survive tokenization.
+        let mut s = Scenario::paper_default();
+        s.slice = Some(SliceSpec {
+            instructions: 90_001,
+            checkpoint_dir: None,
+        });
+        assert!(s.validate().is_err());
+        let mut s = Scenario::paper_default();
+        s.slice = Some(SliceSpec {
+            instructions: 120_000,
+            checkpoint_dir: Some("two tokens".to_owned()),
+        });
+        assert!(s.validate().is_err());
+        let mut s = Scenario::paper_default();
+        s.slice = Some(SliceSpec {
+            instructions: 120_000,
+            checkpoint_dir: Some("checkpoints".to_owned()),
+        });
+        s.validate().unwrap();
     }
 
     #[test]

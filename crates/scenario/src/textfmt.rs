@@ -45,7 +45,7 @@ use sim_thermal::ThermalParams;
 use workload::textfmt::{profile_from_text, profile_to_text};
 use workload::App;
 
-use crate::{Qualification, Scenario, SloPolicy, SloVerb, WorkloadSpec};
+use crate::{Qualification, Scenario, SliceSpec, SloPolicy, SloVerb, WorkloadSpec};
 
 /// Every singleton `section.key` the format accepts, used to distinguish
 /// typos (unknown key) from omissions (missing key) in error messages.
@@ -126,12 +126,14 @@ const SINGLETON_KEYS: &[&str] = &[
     "fleet.sigma_ea",
     "fleet.sigma_geometry",
     "slo.fit_burn",
+    "slice.instructions",
+    "slice.checkpoint_dir",
 ];
 
 /// Singleton keys that may be omitted (every other singleton is
 /// required — a scenario file is a complete experiment record, but the
-/// `[slo]` section is an opt-in service-level add-on).
-const OPTIONAL_KEYS: &[&str] = &["slo.fit_burn"];
+/// `[slo]` and `[slice]` sections are opt-in add-ons).
+const OPTIONAL_KEYS: &[&str] = &["slo.fit_burn", "slice.instructions", "slice.checkpoint_dir"];
 
 fn line_err(lineno: usize, msg: impl std::fmt::Display) -> SimError {
     SimError::invalid_config(format!("line {}: {msg}", lineno + 1))
@@ -312,6 +314,30 @@ fn opt_f64(scanned: &mut Scanned, key: &str) -> Result<Option<f64>, SimError> {
 
 fn req_u64(scanned: &mut Scanned, key: &str) -> Result<u64, SimError> {
     req(scanned, key, 1)?.u64_at(key, 0)
+}
+
+/// Removes an optional singleton key (see [`OPTIONAL_KEYS`]).
+fn opt_u64(scanned: &mut Scanned, key: &str) -> Result<Option<u64>, SimError> {
+    debug_assert!(OPTIONAL_KEYS.contains(&key), "`{key}` is required");
+    match scanned.singles.remove(key) {
+        None => Ok(None),
+        Some(entry) => {
+            entry.expect_len(key, 1)?;
+            Ok(Some(entry.u64_at(key, 0)?))
+        }
+    }
+}
+
+/// Removes an optional single-token string key (see [`OPTIONAL_KEYS`]).
+fn opt_token(scanned: &mut Scanned, key: &str) -> Result<Option<String>, SimError> {
+    debug_assert!(OPTIONAL_KEYS.contains(&key), "`{key}` is required");
+    match scanned.singles.remove(key) {
+        None => Ok(None),
+        Some(entry) => {
+            entry.expect_len(key, 1)?;
+            Ok(Some(entry.values[0].clone()))
+        }
+    }
 }
 
 fn req_u32(scanned: &mut Scanned, key: &str) -> Result<u32, SimError> {
@@ -546,6 +572,21 @@ pub fn scenario_from_text(text: &str) -> Result<Scenario, SimError> {
         })
     };
 
+    let slice_instructions = opt_u64(&mut s, "slice.instructions")?;
+    let slice_dir = opt_token(&mut s, "slice.checkpoint_dir")?;
+    let slice = match (slice_instructions, slice_dir) {
+        (Some(instructions), checkpoint_dir) => Some(SliceSpec {
+            instructions,
+            checkpoint_dir,
+        }),
+        (None, Some(_)) => {
+            return Err(SimError::invalid_config(
+                "`slice.checkpoint_dir` requires `slice.instructions`",
+            ))
+        }
+        (None, None) => None,
+    };
+
     debug_assert!(s.singles.is_empty(), "unknown keys rejected during scan");
     let scenario = Scenario {
         name,
@@ -561,6 +602,7 @@ pub fn scenario_from_text(text: &str) -> Result<Scenario, SimError> {
         eval,
         fleet,
         slo,
+        slice,
     };
     scenario.validate()?;
     Ok(scenario)
@@ -685,6 +727,14 @@ pub fn scenario_to_text(scenario: &Scenario) -> String {
     let _ = writeln!(w, "eval.seed {}", e.seed);
     let _ = writeln!(w, "eval.leakage_iterations {}", e.leakage_iterations);
     let _ = writeln!(w, "eval.prewarm_bytes {}", e.prewarm_bytes);
+
+    if let Some(slice) = &scenario.slice {
+        let _ = writeln!(w, "\n# Sliced evaluation: checkpointed continuation");
+        let _ = writeln!(w, "slice.instructions {}", slice.instructions);
+        if let Some(dir) = &slice.checkpoint_dir {
+            let _ = writeln!(w, "slice.checkpoint_dir {dir}");
+        }
+    }
 
     let fl = &scenario.fleet;
     let _ = writeln!(w, "\n# Fleet population Monte Carlo");
@@ -815,6 +865,53 @@ mod tests {
         assert!(!text.contains("slo."), "{text}");
         let reparsed = scenario_from_text(&text).unwrap();
         assert_eq!(reparsed.slo, None);
+    }
+
+    #[test]
+    fn slice_section_round_trips_and_validates() {
+        let mut s = Scenario::paper_default();
+        // standard(): interval 60k — slice must be a multiple.
+        s.slice = Some(SliceSpec {
+            instructions: 120_000,
+            checkpoint_dir: Some("checkpoints/paper".to_owned()),
+        });
+        let text = scenario_to_text(&s);
+        assert!(text.contains("slice.instructions 120000"), "{text}");
+        assert!(
+            text.contains("slice.checkpoint_dir checkpoints/paper"),
+            "{text}"
+        );
+        let reparsed = scenario_from_text(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(reparsed, s);
+        assert_eq!(scenario_to_text(&reparsed), text);
+
+        // The directory is optional within the section...
+        s.slice = Some(SliceSpec {
+            instructions: 60_000,
+            checkpoint_dir: None,
+        });
+        let text = scenario_to_text(&s);
+        assert!(!text.contains("slice.checkpoint_dir"), "{text}");
+        assert_eq!(scenario_from_text(&text).unwrap(), s);
+
+        // ...but a directory alone is not a slice section.
+        let mut text = scenario_to_text(&Scenario::paper_default());
+        text.push_str("slice.checkpoint_dir lonely\n");
+        let err = scenario_from_text(&text).unwrap_err().to_string();
+        assert!(err.contains("requires `slice.instructions`"), "{err}");
+
+        // Unaligned slice lengths fail scenario validation.
+        let mut text = scenario_to_text(&Scenario::paper_default());
+        text.push_str("slice.instructions 90001\n");
+        let err = scenario_from_text(&text).unwrap_err().to_string();
+        assert!(err.contains("multiple of the interval"), "{err}");
+    }
+
+    #[test]
+    fn scenarios_without_slice_lines_have_no_slice_section() {
+        let text = scenario_to_text(&Scenario::paper_default());
+        assert!(!text.contains("slice."), "{text}");
+        assert_eq!(scenario_from_text(&text).unwrap().slice, None);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! bit-identically, and corrupted files must fail with line numbers.
 
 use drm::{ArchPoint, DvsRange, EvalParams};
-use scenario::{Qualification, Scenario, WorkloadSpec};
+use scenario::{Qualification, Scenario, SliceSpec, WorkloadSpec};
 use sim_common::{Hertz, Kelvin, Volts, Xoshiro256pp};
 use workload::{App, OpClass, OpMix};
 
@@ -79,6 +79,13 @@ fn random_scenario(rng: &mut Xoshiro256pp, i: usize) -> Scenario {
         leakage_iterations: rng.gen_usize(1..5) as u32,
         prewarm_bytes: rng.gen_u64(0..1 << 22),
     };
+    if rng.gen_bool(0.5) {
+        // A slice section: the length must be a multiple of the interval.
+        s.slice = Some(SliceSpec {
+            instructions: s.eval.interval_instructions * rng.gen_u64(1..5),
+            checkpoint_dir: rng.gen_bool(0.5).then(|| format!("ckpt/rand-{i}")),
+        });
+    }
     s
 }
 

@@ -33,7 +33,7 @@ pub mod trace;
 
 pub use op::{ArchReg, MicroOp, OpClass, RegClass, ARCH_REGS_PER_CLASS};
 pub use profile::{App, AppProfile, OpMix, PhaseSegment};
-pub use stream::SyntheticStream;
+pub use stream::{StreamState, SyntheticStream};
 pub use textfmt::{profile_from_text, profile_to_text};
 pub use trace::{RecordedTrace, TraceReplayer};
 

@@ -83,6 +83,12 @@ impl OpClass {
     pub fn is_unpipelined(self) -> bool {
         matches!(self, OpClass::IntDiv | OpClass::FpDiv)
     }
+
+    /// Parses the [`Display`](fmt::Display) name back to a class (the
+    /// inverse used by text formats: profiles, checkpoints).
+    pub fn from_name(name: &str) -> Option<OpClass> {
+        OpClass::ALL.into_iter().find(|c| c.to_string() == name)
+    }
 }
 
 impl fmt::Display for OpClass {
@@ -165,6 +171,20 @@ impl ArchReg {
     /// Useful for dense rename tables.
     pub fn flat_index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Rebuilds a register from its [`flat_index`](ArchReg::flat_index)
+    /// (the inverse used by checkpoint serialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat >= 2 * ARCH_REGS_PER_CLASS`.
+    pub fn from_flat_index(flat: usize) -> ArchReg {
+        assert!(
+            flat < 2 * ARCH_REGS_PER_CLASS as usize,
+            "flat register index {flat} out of range"
+        );
+        ArchReg(flat as u16)
     }
 }
 
@@ -249,6 +269,18 @@ mod tests {
                 assert_eq!(r.index(), idx);
             }
         }
+    }
+
+    #[test]
+    fn flat_index_and_name_round_trip() {
+        for flat in 0..2 * ARCH_REGS_PER_CLASS as usize {
+            let r = ArchReg::from_flat_index(flat);
+            assert_eq!(r.flat_index(), flat);
+        }
+        for class in OpClass::ALL {
+            assert_eq!(OpClass::from_name(&class.to_string()), Some(class));
+        }
+        assert_eq!(OpClass::from_name("warp-drive"), None);
     }
 
     #[test]

@@ -69,6 +69,43 @@ impl Drop for OpTally {
     }
 }
 
+/// The serializable warm state of a [`SyntheticStream`], captured at an
+/// instruction boundary by [`SyntheticStream::state`] and restored with
+/// [`SyntheticStream::restore`].
+///
+/// Every field is an integer, so a text encoding round-trips bit-exactly.
+/// The profile and seed are *not* part of the state — a checkpoint names
+/// them separately and the restore path re-derives everything they imply
+/// (branch-bias salt, phase parameters), which keeps the state minimal
+/// and impossible to desynchronize from its profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamState {
+    /// Raw xoshiro256++ generator state.
+    pub rng: [u64; 4],
+    /// Recent integer destination ring, oldest first (flat indices).
+    pub recent_int: Vec<u16>,
+    /// Recent floating-point destination ring, oldest first (flat indices).
+    pub recent_fp: Vec<u16>,
+    /// Next round-robin integer destination register.
+    pub next_int_reg: u16,
+    /// Next round-robin floating-point destination register.
+    pub next_fp_reg: u16,
+    /// Current program counter.
+    pub pc: u64,
+    /// Current loop back-edge target.
+    pub loop_start: u64,
+    /// Micro-ops emitted so far.
+    pub emitted: u64,
+    /// Return addresses of calls in flight, outermost first.
+    pub call_stack: Vec<u64>,
+    /// Sequential access-stream cursors into the data working set.
+    pub stream_offsets: Vec<u64>,
+    /// Current phase index (monotonic; wraps modulo the phase count).
+    pub phase_idx: u64,
+    /// Instructions left in the current phase (`u64::MAX` = phase-less).
+    pub phase_remaining: u64,
+}
+
 /// A deterministic, seeded instruction stream realizing an [`AppProfile`].
 ///
 /// The same `(profile, seed)` pair always generates the identical stream, so
@@ -162,6 +199,77 @@ impl SyntheticStream {
     /// Number of micro-ops emitted so far.
     pub fn emitted(&self) -> u64 {
         self.emitted
+    }
+
+    /// Captures the stream's warm state for checkpointing. Restoring it
+    /// with [`SyntheticStream::restore`] (same profile, same seed)
+    /// continues the generated sequence bit for bit.
+    #[must_use]
+    pub fn state(&self) -> StreamState {
+        let flat = |ring: &VecDeque<ArchReg>| ring.iter().map(|r| r.flat_index() as u16).collect();
+        StreamState {
+            rng: self.rng.state(),
+            recent_int: flat(&self.recent_int),
+            recent_fp: flat(&self.recent_fp),
+            next_int_reg: self.next_int_reg,
+            next_fp_reg: self.next_fp_reg,
+            pc: self.pc,
+            loop_start: self.loop_start,
+            emitted: self.emitted,
+            call_stack: self.call_stack.clone(),
+            stream_offsets: self.stream_offsets.clone(),
+            phase_idx: self.phase_idx as u64,
+            phase_remaining: self.phase_remaining,
+        }
+    }
+
+    /// Rebuilds a stream from a captured [`StreamState`]. `profile` and
+    /// `seed` must be the ones the original stream was constructed with —
+    /// the salt and phase parameters are re-derived from them, so a
+    /// mismatched pair silently produces a different stream (checkpoint
+    /// callers guard this with a fingerprint).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the state is inconsistent with the profile (ring or
+    /// cursor counts out of range), or the profile itself is invalid.
+    #[must_use]
+    pub fn restore(profile: AppProfile, seed: u64, state: &StreamState) -> SyntheticStream {
+        let mut s = SyntheticStream::new(profile, seed);
+        assert_eq!(
+            state.stream_offsets.len(),
+            s.stream_offsets.len(),
+            "stream cursor count does not match the profile's access_streams"
+        );
+        assert!(
+            state.recent_int.len() <= RING_DEPTH && state.recent_fp.len() <= RING_DEPTH,
+            "destination ring deeper than RING_DEPTH"
+        );
+        assert!(
+            state.call_stack.len() <= MAX_CALL_DEPTH,
+            "call stack deeper than MAX_CALL_DEPTH"
+        );
+        s.rng = Xoshiro256pp::from_state(state.rng);
+        let unflat = |flat: &[u16]| {
+            flat.iter()
+                .map(|&i| ArchReg::from_flat_index(i as usize))
+                .collect()
+        };
+        s.recent_int = unflat(&state.recent_int);
+        s.recent_fp = unflat(&state.recent_fp);
+        s.next_int_reg = state.next_int_reg;
+        s.next_fp_reg = state.next_fp_reg;
+        s.pc = state.pc;
+        s.loop_start = state.loop_start;
+        s.emitted = state.emitted;
+        s.call_stack = state.call_stack.clone();
+        s.stream_offsets = state.stream_offsets.clone();
+        // Re-derive the phase-dependent mix/working-set/stride parameters
+        // from the phase index, then overwrite the intra-phase position
+        // (`enter_phase` resets it to the segment length).
+        s.enter_phase(state.phase_idx as usize);
+        s.phase_remaining = state.phase_remaining;
+        s
     }
 
     fn enter_phase(&mut self, idx: usize) {
@@ -581,6 +689,32 @@ mod tests {
         assert_eq!(s.tally.counts.iter().sum::<u64>(), 10);
         let c = s.clone();
         assert_eq!(c.tally.counts.iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn restored_stream_continues_bit_for_bit() {
+        for app in [App::Twolf, App::MpgDec, App::Art] {
+            let mut original = SyntheticStream::new(app.profile(), 77);
+            // Stop mid-phase, mid-call, with warm rings and cursors.
+            for _ in 0..12_345 {
+                original.next_op();
+            }
+            let state = original.state();
+            let mut resumed = SyntheticStream::restore(app.profile(), 77, &state);
+            assert_eq!(resumed.emitted(), original.emitted());
+            for i in 0..50_000 {
+                assert_eq!(resumed.next_op(), original.next_op(), "{app} op {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "access_streams")]
+    fn restore_rejects_mismatched_cursor_count() {
+        let s = SyntheticStream::new(App::Twolf.profile(), 1);
+        let mut state = s.state();
+        state.stream_offsets.push(0);
+        let _ = SyntheticStream::restore(App::Twolf.profile(), 1, &state);
     }
 
     #[test]

@@ -73,6 +73,29 @@ echo "$server_report" | grep -q 'requests (lines received)' \
 echo "$server_report" | grep -q 'service-level objectives' \
   || { echo "error: server trace lacks the report's SLO section" >&2; exit 1; }
 
+echo "== checkpoint smoke: cut checkpoints, inspect them, run a sliced fit =="
+ckpt_dir="$(mktemp -d -t ramp-check-ckpt-XXXXXX)"
+slice_scn="$(mktemp -t ramp-check-slice-XXXXXX.scn)"
+trap 'rm -f "$trace" "$fleet_trace" "$server_log" "$server_trace" "$slice_scn"; rm -rf "$ckpt_dir"' EXIT
+# A slice-enabled scenario: the paper default plus a [slice] section
+# pointing at a scratch checkpoint directory.
+./target/release/ramp scenario print > "$slice_scn"
+printf 'slice.instructions 60000\nslice.checkpoint_dir %s\n' "$ckpt_dir" >> "$slice_scn"
+./target/release/ramp scenario validate "$slice_scn"
+# Capture, then grep (same EPIPE hazard as the fleet smoke above).
+save_out="$(./target/release/ramp checkpoint save --app gzip --quick --scenario "$slice_scn")"
+echo "$save_out" | grep -q 'checkpoint file' \
+  || { echo "error: ramp checkpoint save reported no checkpoints" >&2; exit 1; }
+info_out="$(./target/release/ramp checkpoint info --scenario "$slice_scn")"
+echo "$info_out" | grep -q 'file(s)' \
+  || { echo "error: ramp checkpoint info printed no summary" >&2; exit 1; }
+# Sliced evaluation is a pure performance vehicle: a fit through the
+# slice-enabled scenario must print byte-identical results.
+sliced_fit="$(./target/release/ramp fit --app gzip --quick --scenario "$slice_scn")"
+plain_fit="$(./target/release/ramp fit --app gzip --quick)"
+[ "$sliced_fit" = "$plain_fit" ] \
+  || { echo "error: sliced fit differs from unsliced fit" >&2; exit 1; }
+
 echo "== microbench smoke: pipeline bench emits a valid BENCH_pipeline.json =="
 rm -f BENCH_pipeline.json
 RAMP_FAST=1 cargo bench --offline -p bench-suite --bench pipeline_end_to_end
@@ -108,6 +131,15 @@ grep -q '"schema":"ramp-bench-obs/1"' BENCH_obs.json \
   || { echo "error: BENCH_obs.json malformed (schema marker absent)" >&2; exit 1; }
 grep -q '"obs.telemetry_overhead_pct":' BENCH_obs.json \
   || { echo "error: BENCH_obs.json missing overhead metrics" >&2; exit 1; }
+
+echo "== slice bench smoke: sliced-evaluation bench emits a valid BENCH_slice.json =="
+rm -f BENCH_slice.json
+RAMP_FAST=1 cargo bench --offline -p bench-suite --bench slice
+[ -s BENCH_slice.json ] || { echo "error: BENCH_slice.json missing or empty" >&2; exit 1; }
+grep -q '"schema":"ramp-bench-slice/1"' BENCH_slice.json \
+  || { echo "error: BENCH_slice.json malformed (schema marker absent)" >&2; exit 1; }
+grep -q '"slice.speedup_4w":' BENCH_slice.json \
+  || { echo "error: BENCH_slice.json missing speedup metrics" >&2; exit 1; }
 
 echo "== clippy (warnings are errors) =="
 cargo clippy --offline --all-targets -- -D warnings

@@ -172,6 +172,44 @@ fn voltage_grid_timing_reuse_is_bit_identical_to_scalar_path() {
     }
 }
 
+/// Sliced evaluation is a pure performance optimization: against an
+/// unsliced evaluator of the same operating point, a sliced one — cold
+/// (cut pass) or warm (parallel checkpoint resume), with 1 worker or 4 —
+/// produces a bit-identical [`drm::Evaluation`].
+#[test]
+fn sliced_evaluation_is_bit_identical_at_any_worker_count() {
+    use drm::SliceParams;
+
+    let params = EvalParams::quick();
+    let dir = std::env::temp_dir().join(format!("ramp-parity-slice-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = sim_cpu::CoreConfig::base();
+    let app = App::Gzip;
+    let want = Evaluator::ibm_65nm(params)
+        .expect("evaluator")
+        .evaluate(app, &config)
+        .expect("unsliced evaluation");
+    for workers in [1, 4] {
+        let sliced = Evaluator::ibm_65nm(params)
+            .expect("evaluator")
+            .with_slice(
+                SliceParams::new(params.interval_instructions)
+                    .with_dir(&dir)
+                    .with_workers(workers),
+            )
+            .expect("slice params");
+        // First pass at each worker count finds the checkpoints cut by
+        // the previous one (cold cut on the very first), so both the cut
+        // and the parallel-resume paths are exercised.
+        let got = sliced.evaluate(app, &config).expect("sliced evaluation");
+        assert_eq!(
+            got, want,
+            "sliced evaluation diverged at {workers} worker(s)"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Re-running a sweep over an already-warm cache performs no new
 /// evaluations and only counts hits.
 #[test]

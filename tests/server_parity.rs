@@ -103,6 +103,63 @@ fn eval_matches_direct_evaluation_bit_for_bit() {
     }
 }
 
+/// A slice-enabled scenario is a pure performance vehicle on the server
+/// too: with checkpoints pre-cut so the server's very first evaluation
+/// takes the parallel resume path, `eval` answers carry exactly the bits
+/// a direct *unsliced* evaluation produces.
+#[test]
+fn sliced_scenario_matches_direct_evaluation_bit_for_bit() {
+    use drm::SliceParams;
+
+    let dir = std::env::temp_dir().join(format!("ramp-server-slice-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let scn = Scenario::paper_default();
+    let config = scn
+        .base_arch()
+        .apply(&scn.core, scn.base_dvs())
+        .expect("config");
+
+    // Cut the checkpoints up front (sequential pass) so the server's
+    // engine resumes them in parallel on its first request.
+    let slice = SliceParams::new(2 * TINY.interval_instructions)
+        .with_dir(&dir)
+        .with_workers(2);
+    direct_evaluator()
+        .timing_run_sliced(&App::Gzip.profile(), &config, &slice)
+        .expect("cut pass");
+
+    let mut sliced_scn = Scenario::paper_default();
+    sliced_scn.eval = TINY;
+    sliced_scn.slice = Some(scenario::SliceSpec {
+        instructions: slice.instructions,
+        checkpoint_dir: Some(dir.to_string_lossy().into_owned()),
+    });
+    sliced_scn.validate().expect("slice-enabled scenario");
+    let server = Server::start(sliced_scn, tiny_config(), "127.0.0.1:0").expect("server start");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let ev = direct_evaluator()
+        .evaluate(App::Gzip, &config)
+        .expect("direct evaluation");
+    let reply = client.request("eval gzip").expect("request");
+    assert!(reply.is_ok(), "{}", reply.raw);
+    for (key, direct) in [
+        ("ipc", ev.ipc),
+        ("bips", ev.bips),
+        ("power_w", ev.average_power().0),
+        ("tmax_k", ev.max_temperature().0),
+        ("sink_k", ev.sink_temperature.0),
+    ] {
+        let wire = reply.f64(key).expect(key);
+        assert_eq!(
+            wire.to_bits(),
+            direct.to_bits(),
+            "sliced server `{key}` differs (wire {wire}, direct {direct})"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// `fit` responses — per-mechanism budgets, total, MTTF, feasibility —
 /// match the direct reliability-model application bit for bit.
 #[test]
