@@ -12,7 +12,7 @@
 //! Writes a machine-readable `BENCH_fleet.json` (schema
 //! `ramp-bench-fleet/1`, flat keys) that `scripts/check.sh` validates.
 
-use bench_suite::{fleet_bench_report_path, BenchReport, BENCH_FLEET_SCHEMA};
+use bench_suite::{BenchReport, BENCH_FLEET_SCHEMA};
 use drm::{run_fleet, BatchEngine, EvalParams, FleetConfig};
 use scenario::Scenario;
 use workload::App;
@@ -101,9 +101,7 @@ fn main() {
     report.f64("fleet.life_p1_y", serial.lifetime_years.p1);
     report.f64("fleet.life_p50_y", serial.lifetime_years.p50);
     report.f64("fleet.rank_error", serial.rank_error);
-    let path = fleet_bench_report_path();
-    report.write(&path).expect("write bench report");
-    println!("wrote {}", path.display());
+    report.emit("BENCH_fleet.json").expect("write bench report");
 
     // The throughput claim on one core, and the amortization claim that
     // justifies calling the fleet loop "cheap".

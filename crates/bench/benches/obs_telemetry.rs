@@ -12,9 +12,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bench_suite::{
-    bench_min_time, microbench, obs_bench_report_path, BenchReport, BENCH_OBS_SCHEMA,
-};
+use bench_suite::{bench_min_time, microbench, BenchReport, BENCH_OBS_SCHEMA};
 use drm::{EvalParams, Strategy};
 use scenario::Scenario;
 use sim_obs::{SloObjective, SloSet, Ticker, WindowRing};
@@ -143,9 +141,7 @@ fn main() {
     report.f64("obs.telemetry_overhead_pct", overhead_pct);
     report.f64("obs.frame_serialize_s", per_frame);
     report.f64("obs.frames_per_sec", frames_per_sec);
-    let path = obs_bench_report_path();
-    report.write(&path).expect("write bench report");
-    println!("wrote {}", path.display());
+    report.emit("BENCH_obs.json").expect("write bench report");
 
     // The two claims the telemetry layer is allowed to ship under.
     assert!(

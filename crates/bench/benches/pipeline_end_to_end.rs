@@ -6,7 +6,7 @@
 //! `BENCH_pipeline.json` (see [`bench_suite::BenchReport`]) that
 //! `scripts/check.sh` validates — the perf-regression harness.
 
-use bench_suite::{bench_min_time, bench_report_path, microbench, qualified_model, BenchReport};
+use bench_suite::{bench_min_time, microbench, qualified_model, BenchReport};
 use drm::{ArchPoint, DvsPoint, EvalParams, Evaluator, Oracle, Strategy};
 use sim_common::{Hertz, Volts};
 use sim_cpu::CoreConfig;
@@ -204,7 +204,7 @@ fn main() {
     bench_batch_engine(&mut report);
     bench_voltage_grid(&mut report);
     bench_observability_overhead(&mut report);
-    let path = bench_report_path();
-    report.write(&path).expect("write bench report");
-    println!("wrote {}", path.display());
+    report
+        .emit("BENCH_pipeline.json")
+        .expect("write bench report");
 }

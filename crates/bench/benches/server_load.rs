@@ -15,7 +15,7 @@
 
 use std::time::Instant;
 
-use bench_suite::{server_bench_report_path, BenchReport, BENCH_SERVER_SCHEMA};
+use bench_suite::{BenchReport, BENCH_SERVER_SCHEMA};
 use drm::EvalParams;
 use scenario::Scenario;
 use sim_common::quantile::quantile_sorted;
@@ -159,9 +159,9 @@ fn main() {
     report.f64("server.cache_hit_rate", hit_rate);
     report.u64("server.shed", stats.shed);
     report.u64("server.evaluations", summary.evaluations);
-    let path = server_bench_report_path();
-    report.write(&path).expect("write bench report");
-    println!("wrote {}", path.display());
+    report
+        .emit("BENCH_server.json")
+        .expect("write bench report");
 
     // The batching claim, enforced where the numbers are produced:
     // overlapping clients must beat a lone client.

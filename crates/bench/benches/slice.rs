@@ -16,7 +16,7 @@
 
 use std::time::Instant;
 
-use bench_suite::{slice_bench_report_path, BenchReport, BENCH_SLICE_SCHEMA};
+use bench_suite::{BenchReport, BENCH_SLICE_SCHEMA};
 use drm::{EvalParams, SliceParams};
 use scenario::Scenario;
 use workload::App;
@@ -128,9 +128,7 @@ fn main() {
     report.f64("slice.warm_resume_4w_s", warm_s[1]);
     report.f64("slice.speedup_4w", speedup);
     report.u64("slice.checkpoint_bytes", bytes);
-    let path = slice_bench_report_path();
-    report.write(&path).expect("write bench report");
-    println!("wrote {}", path.display());
+    report.emit("BENCH_slice.json").expect("write bench report");
 
     // The claim the whole subsystem exists for: warm sliced evaluation
     // at 4 workers beats the sequential run by a clear margin. Only

@@ -317,59 +317,27 @@ pub const BENCH_OBS_SCHEMA: &str = "ramp-bench-obs/1";
 /// Version marker the sliced-evaluation speedup report carries.
 pub const BENCH_SLICE_SCHEMA: &str = "ramp-bench-slice/1";
 
-/// Where the pipeline bench driver writes its machine-readable results:
-/// `RAMP_BENCH_OUT` when set, otherwise `BENCH_pipeline.json` at the
-/// repository root.
+/// Version marker the surrogate-search speedup report carries.
+pub const BENCH_SURROGATE_SCHEMA: &str = "ramp-bench-surrogate/1";
+
+/// Where a bench driver writes its machine-readable results:
+/// `RAMP_BENCH_OUT` when set, otherwise `file_name` (e.g.
+/// `BENCH_pipeline.json`) at the repository root. Every driver resolves
+/// its output through this one helper, so the environment override and
+/// the root-relative layout cannot drift between reports.
+#[must_use]
+pub fn bench_report_path_for(file_name: &str) -> PathBuf {
+    match std::env::var_os("RAMP_BENCH_OUT") {
+        Some(p) if !p.is_empty() => PathBuf::from(p),
+        _ => Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("../../{file_name}")),
+    }
+}
+
+/// Where the pipeline bench driver writes its results (see
+/// [`bench_report_path_for`]).
 #[must_use]
 pub fn bench_report_path() -> PathBuf {
-    match std::env::var_os("RAMP_BENCH_OUT") {
-        Some(p) if !p.is_empty() => PathBuf::from(p),
-        _ => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json"),
-    }
-}
-
-/// Where the server load-generator bench writes its results:
-/// `RAMP_BENCH_OUT` when set, otherwise `BENCH_server.json` at the
-/// repository root.
-#[must_use]
-pub fn server_bench_report_path() -> PathBuf {
-    match std::env::var_os("RAMP_BENCH_OUT") {
-        Some(p) if !p.is_empty() => PathBuf::from(p),
-        _ => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_server.json"),
-    }
-}
-
-/// Where the fleet population bench writes its results:
-/// `RAMP_BENCH_OUT` when set, otherwise `BENCH_fleet.json` at the
-/// repository root.
-#[must_use]
-pub fn fleet_bench_report_path() -> PathBuf {
-    match std::env::var_os("RAMP_BENCH_OUT") {
-        Some(p) if !p.is_empty() => PathBuf::from(p),
-        _ => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fleet.json"),
-    }
-}
-
-/// Where the telemetry-overhead bench writes its results:
-/// `RAMP_BENCH_OUT` when set, otherwise `BENCH_obs.json` at the
-/// repository root.
-#[must_use]
-pub fn obs_bench_report_path() -> PathBuf {
-    match std::env::var_os("RAMP_BENCH_OUT") {
-        Some(p) if !p.is_empty() => PathBuf::from(p),
-        _ => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_obs.json"),
-    }
-}
-
-/// Where the sliced-evaluation bench writes its results:
-/// `RAMP_BENCH_OUT` when set, otherwise `BENCH_slice.json` at the
-/// repository root.
-#[must_use]
-pub fn slice_bench_report_path() -> PathBuf {
-    match std::env::var_os("RAMP_BENCH_OUT") {
-        Some(p) if !p.is_empty() => PathBuf::from(p),
-        _ => Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_slice.json"),
-    }
+    bench_report_path_for("BENCH_pipeline.json")
 }
 
 /// A machine-readable micro-benchmark report: one flat JSON object
@@ -433,6 +401,20 @@ impl BenchReport {
             ));
         }
         std::fs::write(path, line + "\n")
+    }
+
+    /// Resolves the destination for `file_name` via
+    /// [`bench_report_path_for`], writes the self-validated report, and
+    /// prints where it landed — the shared tail every driver ends with.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BenchReport::write`] errors.
+    pub fn emit(self, file_name: &str) -> std::io::Result<PathBuf> {
+        let path = bench_report_path_for(file_name);
+        self.write(&path)?;
+        println!("wrote {}", path.display());
+        Ok(path)
     }
 }
 

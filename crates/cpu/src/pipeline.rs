@@ -442,6 +442,7 @@ impl<S: InstructionSource> Processor<S> {
                     }
                 }
             }
+            self.counters.class_commits[slot.op.class.index()] += 1;
             self.committed += 1;
             retired += 1;
         }

@@ -49,6 +49,18 @@ pub struct ActivityCounters {
     /// Cycles in which fetch was stalled (I-cache miss or unresolved
     /// mispredicted branch).
     pub cycles_fetch_stalled: u64,
+    /// Committed instructions per op class, indexed by
+    /// `workload::OpClass::index()` (the `OpClass::ALL` order). The
+    /// per-class breakdown feeds the DRM surrogate's calibrated cost
+    /// tables.
+    pub class_commits: [u64; 11],
+}
+
+impl ActivityCounters {
+    /// Total committed instructions across all op classes.
+    pub fn total_commits(&self) -> u64 {
+        self.class_commits.iter().sum()
+    }
 }
 
 /// Statistics for one measurement interval.

@@ -16,6 +16,7 @@ use workload::App;
 use crate::dvs::{frequency_grid, DvsPoint};
 use crate::oracle::Oracle;
 use crate::space::{ArchPoint, Strategy};
+use crate::surrogate::{promote_for_dtm, SurrogateScore};
 
 /// The frequency a DTM policy settles on for one application.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,16 +44,50 @@ pub fn dtm_best_dvs(
     dvs_step_ghz: f64,
 ) -> Result<DtmChoice, SimError> {
     let arch = ArchPoint::most_aggressive();
-    // Pre-evaluate the whole grid in one parallel batch pass.
-    let jobs: Vec<_> = frequency_grid(dvs_step_ghz)
-        .into_iter()
-        .map(|dvs| (app, arch, dvs))
-        .collect();
+    let grid = frequency_grid(dvs_step_ghz);
+    // Phase 1 (when the surrogate is enabled): score the grid
+    // analytically and keep only frequencies that could be the exact
+    // winner under the measured temperature error bound. The selection
+    // loop below runs over exact evaluations either way.
+    let (selected, verify): (Vec<DvsPoint>, Option<Vec<SurrogateScore>>) = match oracle.surrogate()
+    {
+        Some(surrogate) if !grid.is_empty() => {
+            let engine = oracle.engine();
+            let candidates: Vec<_> = grid.iter().map(|&d| (arch, d)).collect();
+            let base = (arch, DvsPoint::base());
+            let table = surrogate.table_for(engine, app, &candidates, base)?;
+            let bounds = surrogate.bounds(engine, app, &table, None)?;
+            let mut scores = Vec::with_capacity(grid.len());
+            for &dvs in &grid {
+                let config = arch.apply(engine.base_config(), dvs)?;
+                scores.push(table.score(engine.evaluator(), &config));
+            }
+            let promoted = if surrogate.prune_active() {
+                let freqs: Vec<_> = grid.iter().map(|d| d.frequency).collect();
+                promote_for_dtm(&scores, &freqs, t_max, &bounds, surrogate.k_floor())
+            } else {
+                (0..grid.len()).collect()
+            };
+            sim_obs::counter!("surrogate.promoted", promoted.len() as u64);
+            (
+                promoted.iter().map(|&i| grid[i]).collect(),
+                Some(promoted.into_iter().map(|i| scores[i].clone()).collect()),
+            )
+        }
+        _ => (grid, None),
+    };
+    // Pre-evaluate the (possibly pruned) grid in one parallel batch pass.
+    let jobs: Vec<_> = selected.iter().map(|&dvs| (app, arch, dvs)).collect();
     oracle.prefetch(&jobs)?;
     let mut best: Option<DtmChoice> = None;
     let mut coolest: Option<DtmChoice> = None;
-    for dvs in frequency_grid(dvs_step_ghz) {
+    for (k, &dvs) in selected.iter().enumerate() {
         let ev = oracle.evaluation(app, arch, dvs)?;
+        if let Some(scores) = &verify {
+            if let Some(surrogate) = oracle.surrogate() {
+                surrogate.record_verification(&scores[k], &ev, None);
+            }
+        }
         let peak = ev.max_temperature();
         let choice = DtmChoice {
             dvs,

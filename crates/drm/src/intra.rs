@@ -22,6 +22,7 @@ use crate::dvs::DvsPoint;
 use crate::evaluator::Evaluation;
 use crate::oracle::Oracle;
 use crate::space::{ArchPoint, Strategy};
+use crate::surrogate::{promote_for_intra, SurrogateScore};
 
 /// The per-interval schedule an intra-application oracle settles on.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,18 +89,51 @@ pub fn intra_app_best(
         .map(|iv| iv.duration.0)
         .sum();
 
+    // Phase 1 (when the surrogate is enabled): prune candidates another
+    // candidate dominates with certainty — faster *and* lower-FIT
+    // outside both error intervals at the whole-run level — before
+    // paying for their cycle-level tables.
+    let all = strategy.candidates(dvs_step_ghz);
+    let (chosen, verify): (Vec<(ArchPoint, DvsPoint)>, Option<Vec<SurrogateScore>>) =
+        match oracle.surrogate() {
+            Some(surrogate) if !all.is_empty() => {
+                let engine = oracle.engine();
+                let base = (ArchPoint::most_aggressive(), DvsPoint::base());
+                let table = surrogate.table_for(engine, app, &all, base)?;
+                let bounds = surrogate.bounds(engine, app, &table, Some(model))?;
+                let mut scores = Vec::with_capacity(all.len());
+                for &(arch, dvs) in &all {
+                    let config = arch.apply(engine.base_config(), dvs)?;
+                    scores.push(table.score(engine.evaluator(), &config));
+                }
+                let fits: Vec<Fit> = scores.iter().map(|s| s.fit(model)).collect();
+                let promoted = if surrogate.prune_active() {
+                    promote_for_intra(&scores, &fits, &bounds, surrogate.k_floor())
+                } else {
+                    (0..all.len()).collect()
+                };
+                sim_obs::counter!("surrogate.promoted", promoted.len() as u64);
+                (
+                    promoted.iter().map(|&i| all[i]).collect(),
+                    Some(promoted.into_iter().map(|i| scores[i].clone()).collect()),
+                )
+            }
+            _ => (all, None),
+        };
+
     // Pre-evaluate the candidate set in one parallel pass, then build
     // the per-candidate cost tables from cache hits.
-    let jobs: Vec<_> = strategy
-        .candidates(dvs_step_ghz)
-        .into_iter()
-        .map(|(arch, dvs)| (app, arch, dvs))
-        .collect();
+    let jobs: Vec<_> = chosen.iter().map(|&(arch, dvs)| (app, arch, dvs)).collect();
     oracle.prefetch(&jobs)?;
     let mut candidates = Vec::new();
     let mut n_intervals = usize::MAX;
-    for (arch, dvs) in strategy.candidates(dvs_step_ghz) {
+    for (k, &(arch, dvs)) in chosen.iter().enumerate() {
         let ev = oracle.evaluation(app, arch, dvs)?;
+        if let Some(scores) = &verify {
+            if let Some(surrogate) = oracle.surrogate() {
+                surrogate.record_verification(&scores[k], &ev, Some(model));
+            }
+        }
         n_intervals = n_intervals.min(ev.intervals.len());
         let time: Vec<f64> = ev.intervals.iter().map(|iv| iv.duration.0).collect();
         let fit: Vec<f64> = (0..ev.intervals.len())

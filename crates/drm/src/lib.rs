@@ -69,6 +69,7 @@ pub mod scaling;
 pub mod sensors;
 pub mod slice;
 pub mod space;
+pub mod surrogate;
 
 pub use batch::{
     default_workers, BatchEngine, EvalCache, EvalKey, SweepSummary, TimingCache, TimingCacheKey,
@@ -85,3 +86,4 @@ pub use scaling::{scaling_study, ScalingRow, TechnologyNode};
 pub use sensors::{SensorBank, SensorParams};
 pub use slice::{slice_fingerprint, slice_lengths, CheckpointStore, SliceParams};
 pub use space::{ArchPoint, Strategy};
+pub use surrogate::{AppTable, ErrorBounds, Surrogate, SurrogateParams, SurrogateScore};

@@ -25,6 +25,7 @@ use crate::batch::{BatchEngine, SweepSummary};
 use crate::dvs::DvsPoint;
 use crate::evaluator::{Evaluation, Evaluator};
 use crate::space::{ArchPoint, Strategy};
+use crate::surrogate::{self, promote_for_oracle, Surrogate, SurrogateParams};
 
 /// The configuration an oracular DRM run settles on for one application.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,6 +49,7 @@ pub struct DrmChoice {
 #[derive(Debug, Clone)]
 pub struct Oracle {
     engine: BatchEngine,
+    surrogate: Option<Arc<Surrogate>>,
 }
 
 impl Oracle {
@@ -58,6 +60,7 @@ impl Oracle {
     pub fn new(evaluator: Evaluator) -> Oracle {
         Oracle {
             engine: BatchEngine::new(evaluator),
+            surrogate: None,
         }
     }
 
@@ -67,6 +70,7 @@ impl Oracle {
     pub fn with_workers(evaluator: Evaluator, workers: usize) -> Oracle {
         Oracle {
             engine: BatchEngine::with_workers(evaluator, workers),
+            surrogate: None,
         }
     }
 
@@ -74,7 +78,39 @@ impl Oracle {
     /// (e.g. one whose base configuration comes from a scenario).
     #[must_use]
     pub fn from_engine(engine: BatchEngine) -> Oracle {
-        Oracle { engine }
+        Oracle {
+            engine,
+            surrogate: None,
+        }
+    }
+
+    /// Enables the two-phase surrogate search: candidate grids are first
+    /// scored by a calibrated analytical model and only the provable
+    /// frontier is promoted to cycle-level evaluation. Choices stay
+    /// bit-identical whenever the measured error bounds hold; off by
+    /// default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when `params` are invalid.
+    pub fn with_surrogate(mut self, params: SurrogateParams) -> Result<Oracle, SimError> {
+        self.surrogate = Some(Arc::new(Surrogate::new(params)?));
+        Ok(self)
+    }
+
+    /// Attaches an existing shared surrogate — e.g. a server slot's
+    /// long-lived instance, so calibrated tables and the error pool
+    /// persist across per-request oracles over the same engine.
+    #[must_use]
+    pub fn with_shared_surrogate(mut self, surrogate: Arc<Surrogate>) -> Oracle {
+        self.surrogate = Some(surrogate);
+        self
+    }
+
+    /// The surrogate, when the two-phase search is enabled. Clones of
+    /// this oracle share one surrogate (tables and error pool).
+    pub fn surrogate(&self) -> Option<&Arc<Surrogate>> {
+        self.surrogate.as_ref()
     }
 
     /// The evaluator in use.
@@ -246,16 +282,159 @@ impl Oracle {
         model: &ReliabilityModel,
     ) -> Result<DrmChoice, SimError> {
         let _span = sim_obs::span!("oracle.best");
+        if let Some(surrogate) = &self.surrogate {
+            return self.best_among_two_phase(surrogate, app, candidates, base, model);
+        }
         let mut jobs: Vec<_> = candidates.iter().map(|&(a, d)| (app, a, d)).collect();
         jobs.push((app, base.0, base.1));
         self.engine.evaluate_all(&jobs)?;
+        let promoted: Vec<usize> = (0..candidates.len()).collect();
+        self.select_exact(app, candidates, &promoted, base, model, None)
+    }
 
+    /// The surrogate-accelerated search: calibrate, score every
+    /// candidate analytically, promote the provable frontier, and
+    /// escalate it through the exact path in incumbent-pruned waves. The
+    /// final choice comes from exact `Evaluation`s, so it is
+    /// bit-identical to exhaustive search whenever the error bounds
+    /// hold.
+    ///
+    /// The FIT bound is inherently loose (FIT is exponentially sensitive
+    /// to temperature), so feasibility alone cannot prune much. Instead,
+    /// the best *exactly*-feasible anchor seeds an incumbent, the
+    /// frontier runs through the cycle-level path in
+    /// predicted-performance order, and every exact feasible result
+    /// raises the bar: a remaining candidate survives only while its
+    /// performance upper bound can still beat the incumbent. The
+    /// exhaustive winner performs at least as well as any exactly
+    /// feasible candidate, so pruned points provably cannot win.
+    fn best_among_two_phase(
+        &self,
+        surrogate: &Surrogate,
+        app: App,
+        candidates: &[(ArchPoint, DvsPoint)],
+        base: (ArchPoint, DvsPoint),
+        model: &ReliabilityModel,
+    ) -> Result<DrmChoice, SimError> {
+        let table = surrogate.table_for(&self.engine, app, candidates, base)?;
+        let bounds = surrogate.bounds(&self.engine, app, &table, Some(model))?;
+        let mut scores = Vec::with_capacity(candidates.len());
+        for &(arch, dvs) in candidates {
+            let config = arch.apply(self.engine.base_config(), dvs)?;
+            scores.push(table.score(self.engine.evaluator(), &config));
+        }
+        let fits: Vec<Fit> = scores.iter().map(|s| s.fit(model)).collect();
+        let target = model.target_fit();
+
+        if !surrogate.prune_active() {
+            // Warm-up: score (growing the error pool) but promote all.
+            let promoted: Vec<usize> = (0..candidates.len()).collect();
+            sim_obs::counter!("surrogate.promoted", promoted.len() as u64);
+            let mut jobs: Vec<_> = candidates.iter().map(|&(a, d)| (app, a, d)).collect();
+            jobs.push((app, base.0, base.1));
+            self.engine.evaluate_all(&jobs)?;
+            return self.select_exact(
+                app,
+                candidates,
+                &promoted,
+                base,
+                model,
+                Some((surrogate, &scores)),
+            );
+        }
+
+        // Interval pre-filter: everything that could win given the bounds.
+        let frontier = promote_for_oracle(&scores, &fits, target, &bounds, surrogate.k_floor());
+
+        // Seed the incumbent from the calibration anchors that are
+        // themselves candidates — their exact evaluations are already
+        // cached, so this is free. The exhaustive winner cannot perform
+        // worse than any exactly feasible candidate.
+        let mut promoted: Vec<usize> = Vec::new();
+        let mut incumbent = f64::NEG_INFINITY;
+        for &(a, d) in table.anchors() {
+            if let Some(i) = candidates.iter().position(|&c| c == (a, d)) {
+                if !promoted.contains(&i) {
+                    let ev = self.evaluation(app, a, d)?;
+                    if ev.application_fit(model).total() <= target {
+                        incumbent = incumbent.max(ev.bips);
+                    }
+                    promoted.push(i);
+                }
+            }
+        }
+
+        // Escalating exact waves over the frontier in predicted-
+        // performance order. Each wave is one parallel batch; each exact
+        // feasible result can raise the incumbent and shrink the queue.
+        let mut queue: Vec<usize> = frontier
+            .into_iter()
+            .filter(|i| !promoted.contains(i))
+            .collect();
+        queue.sort_by(|&a, &b| {
+            scores[b]
+                .bips
+                .partial_cmp(&scores[a].bips)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let wave_len = surrogate.k_floor().max(1);
+        while !queue.is_empty() {
+            queue.retain(|&i| surrogate::hi(scores[i].bips, bounds.perf) >= incumbent);
+            let wave: Vec<usize> = queue.drain(..wave_len.min(queue.len())).collect();
+            if wave.is_empty() {
+                break;
+            }
+            let jobs: Vec<_> = wave
+                .iter()
+                .map(|&i| (app, candidates[i].0, candidates[i].1))
+                .collect();
+            self.engine.evaluate_all(&jobs)?;
+            for &i in &wave {
+                let (a, d) = candidates[i];
+                let ev = self.evaluation(app, a, d)?;
+                if ev.application_fit(model).total() <= target {
+                    incumbent = incumbent.max(ev.bips);
+                }
+                promoted.push(i);
+            }
+        }
+        promoted.sort_unstable();
+        sim_obs::counter!("surrogate.promoted", promoted.len() as u64);
+        self.select_exact(
+            app,
+            candidates,
+            &promoted,
+            base,
+            model,
+            Some((surrogate, &scores)),
+        )
+    }
+
+    /// The exact selection loop over `promoted` (indices into
+    /// `candidates`, ascending, so original candidate order — and with
+    /// it tie-breaking — is preserved). With `verify` present, every
+    /// exact evaluation is compared against its surrogate prediction,
+    /// feeding the running error pool and histograms.
+    fn select_exact(
+        &self,
+        app: App,
+        candidates: &[(ArchPoint, DvsPoint)],
+        promoted: &[usize],
+        base: (ArchPoint, DvsPoint),
+        model: &ReliabilityModel,
+        verify: Option<(&Surrogate, &[crate::surrogate::SurrogateScore])>,
+    ) -> Result<DrmChoice, SimError> {
         let base_bips = self.evaluation(app, base.0, base.1)?.bips;
         let target = model.target_fit();
         let mut best_feasible: Option<DrmChoice> = None;
         let mut min_fit: Option<DrmChoice> = None;
-        for &(arch, dvs) in candidates {
+        for &i in promoted {
+            let (arch, dvs) = candidates[i];
             let ev = self.evaluation(app, arch, dvs)?;
+            if let Some((surrogate, scores)) = verify {
+                surrogate.record_verification(&scores[i], &ev, Some(model));
+            }
             let fit = ev.application_fit(model).total();
             let choice = DrmChoice {
                 arch,

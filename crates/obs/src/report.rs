@@ -388,6 +388,40 @@ pub fn render(trace: &Trace, top_n: usize) -> String {
         }
     }
 
+    // The two-phase surrogate search summary, present when a DRM search
+    // ran with the surrogate enabled: how many candidates the analytical
+    // first pass scored, how few survived to the cycle-level second
+    // pass, and how far the predictions strayed from the exact results.
+    if let Some(scored) = trace.counter("surrogate.score") {
+        let promoted = trace.counter("surrogate.promoted").unwrap_or(0);
+        let verified = trace.counter("surrogate.verified").unwrap_or(0);
+        let calibrations = trace.counter("surrogate.calibrations").unwrap_or(0);
+        let pruned_pct = if scored == 0 {
+            0.0
+        } else {
+            (1.0 - promoted as f64 / scored as f64) * 100.0
+        };
+        let _ = writeln!(out);
+        let _ = writeln!(out, "surrogate search");
+        let _ = writeln!(out, "  {:<28} {scored:>10}", "candidates scored");
+        let _ = writeln!(
+            out,
+            "  {:<28} {promoted:>10} ({pruned_pct:.1}% pruned)",
+            "promoted to exact"
+        );
+        let _ = writeln!(out, "  {:<28} {verified:>10}", "exact evals verified");
+        let _ = writeln!(out, "  {:<28} {calibrations:>10}", "calibration tables");
+        for (label, name) in [
+            ("rel error perf (mean/max)", "surrogate.error.rel_perf"),
+            ("rel error temp (mean/max)", "surrogate.error.rel_temp"),
+            ("rel error fit (mean/max)", "surrogate.error.rel_fit"),
+        ] {
+            if let Some(TraceMetricValue::HistSummary { mean, max, .. }) = trace.metric(name) {
+                let _ = writeln!(out, "  {label:<28} {mean:>10.4} / {max:<10.4}");
+            }
+        }
+    }
+
     // Slice-checkpoint reuse, present when a sliced evaluation ran with a
     // checkpoint directory: cuts persist warm state, resumes read it back
     // for the parallel slice path.
@@ -695,6 +729,37 @@ mod tests {
         // 6 hits of 8 lookups and 3 of 4; every solve reused a factor.
         assert!(out.contains("75.0%"), "{out}");
         assert!(out.contains("100.0%"), "{out}");
+    }
+
+    #[test]
+    fn render_includes_surrogate_section_when_present() {
+        let text = concat!(
+            "{\"type\":\"counter\",\"name\":\"surrogate.score\",\"value\":198}\n",
+            "{\"type\":\"counter\",\"name\":\"surrogate.promoted\",\"value\":9}\n",
+            "{\"type\":\"counter\",\"name\":\"surrogate.verified\",\"value\":9}\n",
+            "{\"type\":\"counter\",\"name\":\"surrogate.calibrations\",\"value\":1}\n",
+            "{\"type\":\"hist\",\"name\":\"surrogate.error.rel_perf\",",
+            "\"count\":9,\"sum\":0.18,\"min\":0.001,\"max\":0.05,\"mean\":0.02}\n",
+            "{\"type\":\"hist\",\"name\":\"surrogate.error.rel_fit\",",
+            "\"count\":9,\"sum\":0.36,\"min\":0.002,\"max\":0.09,\"mean\":0.04}\n",
+        );
+        let trace = parse_trace(text);
+        let out = render(&trace, 5);
+        assert!(out.contains("surrogate search"), "{out}");
+        assert!(out.contains("candidates scored"), "{out}");
+        assert!(out.contains("198"), "{out}");
+        // 9 promoted of 198 scored → 95.5% pruned.
+        assert!(out.contains("(95.5% pruned)"), "{out}");
+        assert!(out.contains("exact evals verified"), "{out}");
+        assert!(out.contains("calibration tables"), "{out}");
+        assert!(out.contains("rel error perf (mean/max)"), "{out}");
+        assert!(out.contains("0.0200 / 0.0500"), "{out}");
+        assert!(out.contains("rel error fit (mean/max)"), "{out}");
+        // The temp histogram was absent, so its row is too.
+        assert!(!out.contains("rel error temp"), "{out}");
+        // No surrogate.score counter, no section.
+        let plain = render(&parse_trace(""), 5);
+        assert!(!plain.contains("surrogate search"), "{plain}");
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod textfmt;
 
 use drm::{
     ArchPoint, BatchEngine, DvsPoint, DvsRange, EvalParams, Evaluator, FleetConfig, Oracle,
-    SliceParams, Strategy,
+    SliceParams, Strategy, SurrogateParams,
 };
 use ramp::{FailureParams, QualificationPoint, ReliabilityModel, FIT_TARGET_STANDARD};
 use sim_common::{Floorplan, Kelvin, SimError};
@@ -223,6 +223,55 @@ impl SliceSpec {
     }
 }
 
+/// Two-phase surrogate search settings of a scenario's optional
+/// `[surrogate]` section: DRM searches (oracle, DTM, intra-application)
+/// first score every candidate with a calibrated analytical model and
+/// promote only the provable frontier to cycle-level evaluation (see
+/// `drm::surrogate`). Absent in the paper default — a scenario without
+/// the section serializes without `surrogate.` lines, bit-identically to
+/// before the section existed, and searches run exhaustively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SurrogateSpec {
+    /// Master switch (`surrogate.enabled`); `false` keeps the section in
+    /// the file but runs every search exhaustively.
+    pub enabled: bool,
+    /// Conservative promotion floor (`surrogate.top_k`).
+    pub top_k: u32,
+    /// Applications that must be calibrated before pruning activates
+    /// (`surrogate.calibration_apps`).
+    pub calibration_apps: u32,
+}
+
+impl Default for SurrogateSpec {
+    fn default() -> SurrogateSpec {
+        SurrogateSpec {
+            enabled: true,
+            top_k: 8,
+            calibration_apps: 1,
+        }
+    }
+}
+
+impl SurrogateSpec {
+    /// The [`SurrogateParams`] this spec resolves to.
+    #[must_use]
+    pub fn params(&self) -> SurrogateParams {
+        SurrogateParams {
+            top_k: self.top_k as usize,
+            calibration_apps: self.calibration_apps as usize,
+        }
+    }
+
+    /// Validates the knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when a knob is zero.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.params().validate()
+    }
+}
+
 /// One entry of a scenario's workload suite.
 // Inline profiles are ~240 bytes vs the Builtin discriminant, but a suite
 // holds at most a handful of config-time entries; boxing would only add
@@ -296,6 +345,8 @@ pub struct Scenario {
     pub slo: Option<SloPolicy>,
     /// Optional sliced evaluation (checkpointed workload continuation).
     pub slice: Option<SliceSpec>,
+    /// Optional two-phase surrogate search for DRM verbs.
+    pub surrogate: Option<SurrogateSpec>,
 }
 
 impl Scenario {
@@ -324,6 +375,7 @@ impl Scenario {
             fleet: FleetConfig::default(),
             slo: None,
             slice: None,
+            surrogate: None,
         }
     }
 
@@ -385,6 +437,9 @@ impl Scenario {
         }
         if let Some(slice) = &self.slice {
             slice.validate(&self.eval)?;
+        }
+        if let Some(surrogate) = &self.surrogate {
+            surrogate.validate()?;
         }
         Ok(())
     }
@@ -534,7 +589,7 @@ impl Scenario {
     /// Returns [`SimError::InvalidConfig`] when any layer's parameters are
     /// invalid.
     pub fn oracle(&self, workers: usize) -> Result<Oracle, SimError> {
-        Ok(Oracle::from_engine(
+        self.attach_surrogate(Oracle::from_engine(
             BatchEngine::with_workers(self.evaluator()?, workers)
                 .with_base_config(self.core.clone()),
         ))
@@ -547,10 +602,19 @@ impl Scenario {
     /// Returns [`SimError::InvalidConfig`] when any layer's parameters are
     /// invalid.
     pub fn oracle_with(&self, params: EvalParams, workers: usize) -> Result<Oracle, SimError> {
-        Ok(Oracle::from_engine(
+        self.attach_surrogate(Oracle::from_engine(
             BatchEngine::with_workers(self.evaluator_with(params)?, workers)
                 .with_base_config(self.core.clone()),
         ))
+    }
+
+    /// Attaches the scenario's `[surrogate]` section, when present and
+    /// enabled, to a freshly built oracle.
+    fn attach_surrogate(&self, oracle: Oracle) -> Result<Oracle, SimError> {
+        match &self.surrogate {
+            Some(spec) if spec.enabled => oracle.with_surrogate(spec.params()),
+            _ => Ok(oracle),
+        }
     }
 
     /// The candidate set a DRM strategy may choose from under this
@@ -724,6 +788,43 @@ mod tests {
             checkpoint_dir: Some("checkpoints".to_owned()),
         });
         s.validate().unwrap();
+
+        // Surrogate budgets must be positive; a disabled section is
+        // still checked (it documents an experiment that can be
+        // re-enabled without edits elsewhere).
+        let mut s = Scenario::paper_default();
+        s.surrogate = Some(SurrogateSpec {
+            enabled: true,
+            top_k: 0,
+            calibration_apps: 1,
+        });
+        assert!(s.validate().is_err());
+        let mut s = Scenario::paper_default();
+        s.surrogate = Some(SurrogateSpec {
+            enabled: false,
+            top_k: 8,
+            calibration_apps: 0,
+        });
+        assert!(s.validate().is_err());
+        let mut s = Scenario::paper_default();
+        s.surrogate = Some(SurrogateSpec::default());
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn surrogate_spec_reaches_the_oracle() {
+        // `Scenario::oracle` honors the section: enabled → two-phase
+        // oracle; disabled or absent → the exact-only oracle.
+        let mut s = Scenario::paper_default();
+        s.eval = EvalParams::quick();
+        assert!(s.oracle(1).unwrap().surrogate().is_none());
+        s.surrogate = Some(SurrogateSpec::default());
+        assert!(s.oracle(1).unwrap().surrogate().is_some());
+        s.surrogate = Some(SurrogateSpec {
+            enabled: false,
+            ..SurrogateSpec::default()
+        });
+        assert!(s.oracle(1).unwrap().surrogate().is_none());
     }
 
     #[test]

@@ -45,7 +45,7 @@ use sim_thermal::ThermalParams;
 use workload::textfmt::{profile_from_text, profile_to_text};
 use workload::App;
 
-use crate::{Qualification, Scenario, SliceSpec, SloPolicy, SloVerb, WorkloadSpec};
+use crate::{Qualification, Scenario, SliceSpec, SloPolicy, SloVerb, SurrogateSpec, WorkloadSpec};
 
 /// Every singleton `section.key` the format accepts, used to distinguish
 /// typos (unknown key) from omissions (missing key) in error messages.
@@ -128,12 +128,22 @@ const SINGLETON_KEYS: &[&str] = &[
     "slo.fit_burn",
     "slice.instructions",
     "slice.checkpoint_dir",
+    "surrogate.enabled",
+    "surrogate.top_k",
+    "surrogate.calibration_apps",
 ];
 
 /// Singleton keys that may be omitted (every other singleton is
 /// required — a scenario file is a complete experiment record, but the
 /// `[slo]` and `[slice]` sections are opt-in add-ons).
-const OPTIONAL_KEYS: &[&str] = &["slo.fit_burn", "slice.instructions", "slice.checkpoint_dir"];
+const OPTIONAL_KEYS: &[&str] = &[
+    "slo.fit_burn",
+    "slice.instructions",
+    "slice.checkpoint_dir",
+    "surrogate.enabled",
+    "surrogate.top_k",
+    "surrogate.calibration_apps",
+];
 
 fn line_err(lineno: usize, msg: impl std::fmt::Display) -> SimError {
     SimError::invalid_config(format!("line {}: {msg}", lineno + 1))
@@ -336,6 +346,37 @@ fn opt_token(scanned: &mut Scanned, key: &str) -> Result<Option<String>, SimErro
         Some(entry) => {
             entry.expect_len(key, 1)?;
             Ok(Some(entry.values[0].clone()))
+        }
+    }
+}
+
+/// Removes an optional single-token `u32` key (see [`OPTIONAL_KEYS`]).
+fn opt_u32(scanned: &mut Scanned, key: &str) -> Result<Option<u32>, SimError> {
+    debug_assert!(OPTIONAL_KEYS.contains(&key), "`{key}` is required");
+    match scanned.singles.remove(key) {
+        None => Ok(None),
+        Some(entry) => {
+            entry.expect_len(key, 1)?;
+            Ok(Some(entry.u32_at(key, 0)?))
+        }
+    }
+}
+
+/// Removes an optional boolean key (see [`OPTIONAL_KEYS`]).
+fn opt_bool(scanned: &mut Scanned, key: &str) -> Result<Option<bool>, SimError> {
+    debug_assert!(OPTIONAL_KEYS.contains(&key), "`{key}` is required");
+    match scanned.singles.remove(key) {
+        None => Ok(None),
+        Some(entry) => {
+            entry.expect_len(key, 1)?;
+            match entry.values[0].as_str() {
+                "true" => Ok(Some(true)),
+                "false" => Ok(Some(false)),
+                other => Err(line_err(
+                    entry.lineno,
+                    format!("`{key}` must be `true` or `false`, got `{other}`"),
+                )),
+            }
         }
     }
 }
@@ -587,6 +628,33 @@ pub fn scenario_from_text(text: &str) -> Result<Scenario, SimError> {
         (None, None) => None,
     };
 
+    let surrogate_enabled = opt_bool(&mut s, "surrogate.enabled")?;
+    let surrogate_top_k = opt_u32(&mut s, "surrogate.top_k")?;
+    let surrogate_cal = opt_u32(&mut s, "surrogate.calibration_apps")?;
+    let surrogate = match surrogate_enabled {
+        Some(enabled) => {
+            let defaults = SurrogateSpec::default();
+            Some(SurrogateSpec {
+                enabled,
+                top_k: surrogate_top_k.unwrap_or(defaults.top_k),
+                calibration_apps: surrogate_cal.unwrap_or(defaults.calibration_apps),
+            })
+        }
+        None => {
+            for (key, present) in [
+                ("surrogate.top_k", surrogate_top_k.is_some()),
+                ("surrogate.calibration_apps", surrogate_cal.is_some()),
+            ] {
+                if present {
+                    return Err(SimError::invalid_config(format!(
+                        "`{key}` requires `surrogate.enabled`"
+                    )));
+                }
+            }
+            None
+        }
+    };
+
     debug_assert!(s.singles.is_empty(), "unknown keys rejected during scan");
     let scenario = Scenario {
         name,
@@ -603,6 +671,7 @@ pub fn scenario_from_text(text: &str) -> Result<Scenario, SimError> {
         fleet,
         slo,
         slice,
+        surrogate,
     };
     scenario.validate()?;
     Ok(scenario)
@@ -734,6 +803,17 @@ pub fn scenario_to_text(scenario: &Scenario) -> String {
         if let Some(dir) = &slice.checkpoint_dir {
             let _ = writeln!(w, "slice.checkpoint_dir {dir}");
         }
+    }
+
+    if let Some(surrogate) = &scenario.surrogate {
+        let _ = writeln!(w, "\n# Surrogate-accelerated DRM search");
+        let _ = writeln!(w, "surrogate.enabled {}", surrogate.enabled);
+        let _ = writeln!(w, "surrogate.top_k {}", surrogate.top_k);
+        let _ = writeln!(
+            w,
+            "surrogate.calibration_apps {}",
+            surrogate.calibration_apps
+        );
     }
 
     let fl = &scenario.fleet;
@@ -905,6 +985,63 @@ mod tests {
         text.push_str("slice.instructions 90001\n");
         let err = scenario_from_text(&text).unwrap_err().to_string();
         assert!(err.contains("multiple of the interval"), "{err}");
+    }
+
+    #[test]
+    fn surrogate_section_round_trips_and_validates() {
+        let mut s = Scenario::paper_default();
+        s.surrogate = Some(SurrogateSpec {
+            enabled: true,
+            top_k: 12,
+            calibration_apps: 2,
+        });
+        let text = scenario_to_text(&s);
+        assert!(text.contains("surrogate.enabled true"), "{text}");
+        assert!(text.contains("surrogate.top_k 12"), "{text}");
+        assert!(text.contains("surrogate.calibration_apps 2"), "{text}");
+        let reparsed = scenario_from_text(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(reparsed, s);
+        assert_eq!(scenario_to_text(&reparsed), text);
+
+        // A disabled section still round-trips (kill switch is recorded).
+        s.surrogate = Some(SurrogateSpec {
+            enabled: false,
+            ..SurrogateSpec::default()
+        });
+        let text = scenario_to_text(&s);
+        assert!(text.contains("surrogate.enabled false"), "{text}");
+        assert_eq!(scenario_from_text(&text).unwrap(), s);
+
+        // `enabled` alone picks up the defaults.
+        let mut text = scenario_to_text(&Scenario::paper_default());
+        text.push_str("surrogate.enabled true\n");
+        let reparsed = scenario_from_text(&text).unwrap();
+        assert_eq!(reparsed.surrogate, Some(SurrogateSpec::default()));
+
+        // A tuning key without `enabled` is not a section.
+        let mut text = scenario_to_text(&Scenario::paper_default());
+        text.push_str("surrogate.top_k 4\n");
+        let err = scenario_from_text(&text).unwrap_err().to_string();
+        assert!(err.contains("requires `surrogate.enabled`"), "{err}");
+
+        // Zero budgets fail scenario validation.
+        let mut text = scenario_to_text(&Scenario::paper_default());
+        text.push_str("surrogate.enabled true\nsurrogate.top_k 0\n");
+        let err = scenario_from_text(&text).unwrap_err().to_string();
+        assert!(err.contains("top_k"), "{err}");
+
+        // Non-boolean values are rejected with a line number.
+        let mut text = scenario_to_text(&Scenario::paper_default());
+        text.push_str("surrogate.enabled maybe\n");
+        let err = scenario_from_text(&text).unwrap_err().to_string();
+        assert!(err.contains("must be `true` or `false`"), "{err}");
+    }
+
+    #[test]
+    fn scenarios_without_surrogate_lines_have_no_surrogate_section() {
+        let text = scenario_to_text(&Scenario::paper_default());
+        assert!(!text.contains("surrogate."), "{text}");
+        assert_eq!(scenario_from_text(&text).unwrap().surrogate, None);
     }
 
     #[test]

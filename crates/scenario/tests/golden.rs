@@ -33,8 +33,8 @@ fn every_example_scenario_parses_and_validates() {
         seen += 1;
     }
     assert!(
-        seen >= 3,
-        "expected the three golden scenarios, found {seen}"
+        seen >= 4,
+        "expected the four golden scenarios, found {seen}"
     );
 }
 
@@ -76,4 +76,17 @@ fn variant_scenarios_are_deliberate_deltas() {
     assert_eq!(server.name, "server-overdesign");
     assert!(server.qualification.t_qual.0 > paper.qualification.t_qual.0);
     assert_eq!(server.thermal, paper.thermal);
+
+    // surrogate-search.scn is the paper default plus the `[surrogate]`
+    // section — the same experiment, searched in two phases.
+    let surrogate = Scenario::from_text(
+        &std::fs::read_to_string(dir.join("surrogate-search.scn")).expect("read"),
+    )
+    .expect("surrogate-search.scn parses");
+    assert_eq!(surrogate.name, "surrogate-search");
+    let spec = surrogate.surrogate.expect("surrogate section present");
+    assert!(spec.enabled);
+    assert_eq!(surrogate.core, paper.core);
+    assert_eq!(surrogate.workloads, paper.workloads);
+    assert_eq!(surrogate.qualification, paper.qualification);
 }

@@ -4,7 +4,7 @@
 //! bit-identically, and corrupted files must fail with line numbers.
 
 use drm::{ArchPoint, DvsRange, EvalParams};
-use scenario::{Qualification, Scenario, SliceSpec, WorkloadSpec};
+use scenario::{Qualification, Scenario, SliceSpec, SurrogateSpec, WorkloadSpec};
 use sim_common::{Hertz, Kelvin, Volts, Xoshiro256pp};
 use workload::{App, OpClass, OpMix};
 
@@ -84,6 +84,15 @@ fn random_scenario(rng: &mut Xoshiro256pp, i: usize) -> Scenario {
         s.slice = Some(SliceSpec {
             instructions: s.eval.interval_instructions * rng.gen_u64(1..5),
             checkpoint_dir: rng.gen_bool(0.5).then(|| format!("ckpt/rand-{i}")),
+        });
+    }
+    if rng.gen_bool(0.5) {
+        // A surrogate section, sometimes disabled (the kill switch must
+        // survive the round trip too).
+        s.surrogate = Some(SurrogateSpec {
+            enabled: rng.gen_bool(0.75),
+            top_k: rng.gen_usize(1..32) as u32,
+            calibration_apps: rng.gen_usize(1..4) as u32,
         });
     }
     s

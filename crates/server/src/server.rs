@@ -41,7 +41,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use drm::{
-    ArchPoint, BatchEngine, DvsPoint, EvalParams, FleetConfig, Oracle, Strategy, SweepSummary,
+    ArchPoint, BatchEngine, DvsPoint, EvalParams, FleetConfig, Oracle, Strategy, Surrogate,
+    SweepSummary,
 };
 use ramp::{Mechanism, ReliabilityModel};
 use scenario::{Qualification, Scenario};
@@ -202,6 +203,11 @@ pub struct EngineSlot {
     pub text: String,
     /// The engine owning this scenario's shared caches.
     pub engine: BatchEngine,
+    /// The long-lived surrogate when the scenario enables the two-phase
+    /// search: calibrated tables and the error pool persist across
+    /// requests, so the first `sweep` per application pays calibration
+    /// and later ones ride it.
+    pub surrogate: Option<Arc<Surrogate>>,
 }
 
 impl EngineSlot {
@@ -215,10 +221,15 @@ impl EngineSlot {
         let params = eval.unwrap_or(scenario.eval);
         let engine = BatchEngine::with_workers(scenario.evaluator_with(params)?, jobs)
             .with_base_config(scenario.core.clone());
+        let surrogate = match &scenario.surrogate {
+            Some(spec) if spec.enabled => Some(Arc::new(Surrogate::new(spec.params())?)),
+            _ => None,
+        };
         Ok(EngineSlot {
             scenario,
             text,
             engine,
+            surrogate,
         })
     }
 
@@ -1326,7 +1337,10 @@ fn run_job(job: &Job) -> String {
             candidates,
             model,
         } => {
-            let oracle = Oracle::from_engine(slot.engine.clone());
+            let mut oracle = Oracle::from_engine(slot.engine.clone());
+            if let Some(surrogate) = &slot.surrogate {
+                oracle = oracle.with_shared_surrogate(Arc::clone(surrogate));
+            }
             let base = (slot.scenario.base_arch(), slot.scenario.base_dvs());
             match oracle.best_among(*app, candidates, base, model) {
                 Ok(choice) => {

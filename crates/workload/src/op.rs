@@ -50,6 +50,24 @@ impl OpClass {
         OpClass::Return,
     ];
 
+    /// Position of this class in [`OpClass::ALL`] — the canonical dense
+    /// index used by per-class tables (commit counters, cost tables).
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::IntAlu => 0,
+            OpClass::IntMul => 1,
+            OpClass::IntDiv => 2,
+            OpClass::FpAdd => 3,
+            OpClass::FpMul => 4,
+            OpClass::FpDiv => 5,
+            OpClass::Load => 6,
+            OpClass::Store => 7,
+            OpClass::Branch => 8,
+            OpClass::Call => 9,
+            OpClass::Return => 10,
+        }
+    }
+
     /// True for instructions that change control flow.
     pub fn is_control(self) -> bool {
         matches!(self, OpClass::Branch | OpClass::Call | OpClass::Return)
@@ -268,6 +286,13 @@ mod tests {
                 assert_eq!(r.class(), class);
                 assert_eq!(r.index(), idx);
             }
+        }
+    }
+
+    #[test]
+    fn class_index_matches_all_order() {
+        for (i, class) in OpClass::ALL.into_iter().enumerate() {
+            assert_eq!(class.index(), i, "{class}");
         }
     }
 

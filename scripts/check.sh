@@ -96,6 +96,14 @@ plain_fit="$(./target/release/ramp fit --app gzip --quick)"
 [ "$sliced_fit" = "$plain_fit" ] \
   || { echo "error: sliced fit differs from unsliced fit" >&2; exit 1; }
 
+echo "== surrogate smoke: two-phase DRM choice matches exhaustive byte for byte =="
+# The surrogate-enabled scenario is the paper default plus a [surrogate]
+# section; the two-phase search must change nothing about the answer.
+surr_drm="$(./target/release/ramp drm --app gzip --strategy dvs --quick --scenario examples/scenarios/surrogate-search.scn)"
+plain_drm="$(./target/release/ramp drm --app gzip --strategy dvs --quick)"
+[ "$surr_drm" = "$plain_drm" ] \
+  || { echo "error: surrogate-enabled drm differs from exhaustive" >&2; exit 1; }
+
 echo "== microbench smoke: pipeline bench emits a valid BENCH_pipeline.json =="
 rm -f BENCH_pipeline.json
 RAMP_FAST=1 cargo bench --offline -p bench-suite --bench pipeline_end_to_end
@@ -140,6 +148,19 @@ grep -q '"schema":"ramp-bench-slice/1"' BENCH_slice.json \
   || { echo "error: BENCH_slice.json malformed (schema marker absent)" >&2; exit 1; }
 grep -q '"slice.speedup_4w":' BENCH_slice.json \
   || { echo "error: BENCH_slice.json missing speedup metrics" >&2; exit 1; }
+
+echo "== surrogate bench smoke: two-phase search bench emits a valid BENCH_surrogate.json =="
+# The bench itself asserts the two claims (bit-identical choices, ≥ 10×
+# speedup); the gates below pin the report format.
+rm -f BENCH_surrogate.json
+RAMP_FAST=1 cargo bench --offline -p bench-suite --bench surrogate
+[ -s BENCH_surrogate.json ] || { echo "error: BENCH_surrogate.json missing or empty" >&2; exit 1; }
+grep -q '"schema":"ramp-bench-surrogate/1"' BENCH_surrogate.json \
+  || { echo "error: BENCH_surrogate.json malformed (schema marker absent)" >&2; exit 1; }
+grep -q '"surrogate.speedup":' BENCH_surrogate.json \
+  || { echo "error: BENCH_surrogate.json missing speedup metrics" >&2; exit 1; }
+grep -q '"surrogate.identical_choices":1' BENCH_surrogate.json \
+  || { echo "error: BENCH_surrogate.json does not attest identical choices" >&2; exit 1; }
 
 echo "== clippy (warnings are errors) =="
 cargo clippy --offline --all-targets -- -D warnings

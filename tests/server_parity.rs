@@ -160,6 +160,74 @@ fn sliced_scenario_matches_direct_evaluation_bit_for_bit() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A surrogate-enabled scenario is a pure performance vehicle on the
+/// server too: a `sweep` routed through the uploaded scenario's
+/// two-phase search answers exactly the bits an exhaustive in-process
+/// search over the same grid produces.
+#[test]
+fn surrogate_sweep_matches_direct_exhaustive_search_bit_for_bit() {
+    use drm::{Oracle, Strategy};
+
+    let server = start_server(tiny_config());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let mut surr = Scenario::paper_default();
+    surr.name = "surrogate-on".to_owned();
+    surr.surrogate = Some(scenario::SurrogateSpec::default());
+    let upload = client
+        .upload_scenario("surr", &surr.to_text())
+        .expect("upload");
+    assert!(upload.is_ok(), "{}", upload.raw);
+
+    let reply = client
+        .request("sweep gzip strategy=dvs scenario=surr")
+        .expect("request");
+    assert!(reply.is_ok(), "{}", reply.raw);
+
+    // The exhaustive search the wire answer must reproduce: no
+    // surrogate, same engine parameters, same candidate grid.
+    let scn = Scenario::paper_default();
+    let model = scn.model().expect("model");
+    let engine =
+        BatchEngine::with_workers(direct_evaluator(), 1).with_base_config(scn.core.clone());
+    let candidates = scn.candidates(Strategy::Dvs, None).expect("grid");
+    let choice = Oracle::from_engine(engine)
+        .best_among(
+            App::Gzip,
+            &candidates,
+            (scn.base_arch(), scn.base_dvs()),
+            &model,
+        )
+        .expect("direct exhaustive search");
+
+    assert_eq!(reply.u64("window").unwrap() as u32, choice.arch.window);
+    assert_eq!(reply.u64("alus").unwrap() as u32, choice.arch.alus);
+    assert_eq!(reply.u64("fpus").unwrap() as u32, choice.arch.fpus);
+    assert_eq!(
+        reply.f64("freq_ghz").unwrap().to_bits(),
+        choice.dvs.frequency.to_ghz().to_bits()
+    );
+    assert_eq!(
+        reply.f64("vdd").unwrap().to_bits(),
+        choice.dvs.vdd.0.to_bits()
+    );
+    for (key, direct) in [
+        ("relative_performance", choice.relative_performance),
+        ("fit", choice.fit.value()),
+    ] {
+        let wire = reply.f64(key).expect(key);
+        assert_eq!(
+            wire.to_bits(),
+            direct.to_bits(),
+            "surrogate sweep `{key}` differs (wire {wire}, direct {direct})"
+        );
+    }
+    assert_eq!(
+        reply.get("feasible").unwrap(),
+        if choice.feasible { "true" } else { "false" }
+    );
+}
+
 /// `fit` responses — per-mechanism budgets, total, MTTF, feasibility —
 /// match the direct reliability-model application bit for bit.
 #[test]
