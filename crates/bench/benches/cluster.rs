@@ -1,0 +1,139 @@
+//! Scaling study for the distributed sweep fabric: the same cold
+//! candidate grid swept by one in-process engine, then by 2-shard and
+//! 4-shard coordinators, every engine pinned to one worker thread so
+//! the comparison isolates the fabric (routing, transport, folding)
+//! from batch-level parallelism.
+//!
+//! The honest claim depends on the host: shards are processes' worth of
+//! parallelism, so on a single-core container the fabric can only add
+//! transport overhead (scaling ≈ 1×, and that overhead staying small is
+//! the interesting number). On a ≥4-core host the 4-shard sweep must
+//! beat the direct engine by >1.5×, and the report asserts it there.
+//! Parity is asserted unconditionally: whatever the speed, the folded
+//! choice must carry exactly the direct bits.
+//!
+//! Writes a machine-readable `BENCH_cluster.json` (schema
+//! `ramp-bench-cluster/1`, flat keys) that `scripts/check.sh` validates.
+
+use std::time::Instant;
+
+use bench_suite::{BenchReport, BENCH_CLUSTER_SCHEMA};
+use drm::{DrmChoice, EvalParams, Oracle, Strategy};
+use scenario::{ClusterSpec, Scenario};
+use sim_cluster::Coordinator;
+use sim_server::ServerConfig;
+use workload::App;
+
+fn params() -> EvalParams {
+    let fast = std::env::var_os("RAMP_FAST").is_some();
+    EvalParams {
+        warmup_instructions: 5_000,
+        measure_instructions: if fast { 20_000 } else { 100_000 },
+        interval_instructions: 5_000,
+        seed: 3,
+        leakage_iterations: 2,
+        prewarm_bytes: 1 << 20,
+    }
+}
+
+const APP: App = App::Gzip;
+const STRATEGY: Strategy = Strategy::Dvs;
+
+/// Bits-level equality of two choices (f64 `==` would also accept
+/// -0.0/0.0 confusion; the fabric promises exact bits).
+fn same_bits(a: &DrmChoice, b: &DrmChoice) -> bool {
+    a.arch == b.arch
+        && a.dvs.frequency.0.to_bits() == b.dvs.frequency.0.to_bits()
+        && a.dvs.vdd.0.to_bits() == b.dvs.vdd.0.to_bits()
+        && a.relative_performance.to_bits() == b.relative_performance.to_bits()
+        && a.fit.value().to_bits() == b.fit.value().to_bits()
+        && a.feasible == b.feasible
+}
+
+fn main() {
+    let scn = Scenario::paper_default();
+    let model = scn.model().expect("model");
+    let candidates = scn.candidates(STRATEGY, None).expect("grid");
+    let base = (scn.base_arch(), scn.base_dvs());
+
+    // The single-process reference: one engine, one worker, cold caches.
+    let oracle = Oracle::from_engine(
+        drm::BatchEngine::with_workers(scn.evaluator_with(params()).expect("evaluator"), 1)
+            .with_base_config(scn.core.clone()),
+    );
+    let start = Instant::now();
+    let direct = oracle
+        .best_among(APP, &candidates, base, &model)
+        .expect("direct sweep");
+    let direct_s = start.elapsed().as_secs_f64();
+    println!(
+        "cluster/direct_sweep                       {:>10.2} ms ({} candidates)",
+        direct_s * 1e3,
+        candidates.len()
+    );
+
+    let worker_config = ServerConfig {
+        jobs: 1,
+        eval: Some(params()),
+        ..ServerConfig::default()
+    };
+    let mut walls = Vec::new();
+    let mut points = 0u64;
+    for shards in [2u32, 4] {
+        let mut clustered = Scenario::paper_default();
+        clustered.cluster = Some(ClusterSpec {
+            shards,
+            shard_addrs: Vec::new(),
+            store_dir: None,
+        });
+        let cluster = Coordinator::start(clustered, &worker_config).expect("coordinator");
+        let start = Instant::now();
+        let swept = cluster.sweep(APP, STRATEGY, None).expect("cluster sweep");
+        let wall = start.elapsed().as_secs_f64();
+        cluster.shutdown();
+        assert!(
+            same_bits(&swept.choice, &direct),
+            "{shards}-shard fold diverged from the direct sweep"
+        );
+        assert_eq!(swept.redispatched, 0, "healthy run must not re-dispatch");
+        points = swept.unique_points as u64;
+        println!(
+            "cluster/sweep_{shards}_shards                      {:>10.2} ms ({:.2}x direct)",
+            wall * 1e3,
+            direct_s / wall
+        );
+        walls.push(wall);
+    }
+    let scaling_2 = direct_s / walls[0];
+    let scaling_4 = direct_s / walls[1];
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(1);
+    println!("cluster/scaling_4_shards                   {scaling_4:>10.2} x ({cores} core(s))");
+
+    let mut report = BenchReport::with_schema(BENCH_CLUSTER_SCHEMA);
+    report.u64("cluster.candidates", candidates.len() as u64);
+    report.u64("cluster.unique_points", points);
+    report.u64("cluster.cores", cores as u64);
+    report.f64("cluster.direct_s", direct_s);
+    report.f64("cluster.wall_2_shards_s", walls[0]);
+    report.f64("cluster.wall_4_shards_s", walls[1]);
+    report.f64("cluster.scaling_2_shards", scaling_2);
+    report.f64("cluster.scaling_4_shards", scaling_4);
+    report.u64("cluster.parity", 1); // asserted above, per shard count
+    report
+        .emit("BENCH_cluster.json")
+        .expect("write bench report");
+
+    // The scaling claim needs the cores to exist: shards are processes'
+    // worth of parallelism, so a 1-core container can only interleave
+    // them. Assert only where the hardware can deliver.
+    if cores >= 4 {
+        assert!(
+            scaling_4 > 1.5,
+            "4-shard sweep scaled {scaling_4:.2}x on a {cores}-core host (need > 1.5x)"
+        );
+    } else {
+        println!("cluster/scaling gate skipped: {cores} core(s) < 4");
+    }
+}

@@ -320,6 +320,9 @@ pub const BENCH_SLICE_SCHEMA: &str = "ramp-bench-slice/1";
 /// Version marker the surrogate-search speedup report carries.
 pub const BENCH_SURROGATE_SCHEMA: &str = "ramp-bench-surrogate/1";
 
+/// Version marker the cluster sweep-fabric report carries.
+pub const BENCH_CLUSTER_SCHEMA: &str = "ramp-bench-cluster/1";
+
 /// Where a bench driver writes its machine-readable results:
 /// `RAMP_BENCH_OUT` when set, otherwise `file_name` (e.g.
 /// `BENCH_pipeline.json`) at the repository root. Every driver resolves

@@ -33,6 +33,7 @@ use workload::App;
 use crate::dvs::DvsPoint;
 use crate::evaluator::{Evaluation, Evaluator, TimingRun};
 use crate::space::ArchPoint;
+use crate::store::EvalStore;
 
 /// Number of independently locked cache shards. Shard contention is the
 /// only synchronization between workers, and evaluations take O(100 ms)
@@ -319,6 +320,24 @@ pub struct SweepSummary {
 }
 
 impl SweepSummary {
+    /// Folds another pass's summary into this one: counters add, wall
+    /// and busy times add, and the worker count takes the maximum.
+    ///
+    /// Folding per-unit summaries in a deterministic order (candidate
+    /// index, shard index) is how the cluster coordinator reassembles a
+    /// sweep bit-identical to the single-process pass: every counter is
+    /// an exact sum, so the fold order only matters for reproducibility
+    /// of the (diagnostic, nondeterministic) wall/busy durations.
+    pub fn merge(&mut self, other: &SweepSummary) {
+        self.workers = self.workers.max(other.workers);
+        self.evaluations += other.evaluations;
+        self.cache_hits += other.cache_hits;
+        self.timing_runs += other.timing_runs;
+        self.timing_reuses += other.timing_reuses;
+        self.wall += other.wall;
+        self.busy += other.busy;
+    }
+
     /// Evaluations per wall-clock second.
     #[must_use]
     pub fn evals_per_second(&self) -> f64 {
@@ -377,6 +396,7 @@ pub struct BatchEngine {
     cache: Arc<EvalCache>,
     timing: Arc<TimingCache>,
     workers: usize,
+    store: Option<Arc<EvalStore>>,
 }
 
 impl BatchEngine {
@@ -399,6 +419,7 @@ impl BatchEngine {
             } else {
                 workers
             },
+            store: None,
         }
     }
 
@@ -409,6 +430,42 @@ impl BatchEngine {
     pub fn with_base_config(mut self, base_config: CoreConfig) -> BatchEngine {
         self.base_config = base_config;
         self
+    }
+
+    /// Attaches a persistent evaluation store: every record loaded from
+    /// disk pre-warms the shared [`TimingCache`] (so already-stored
+    /// points cost zero timing runs), and every fresh timing run is
+    /// appended write-through. Call *after* [`with_base_config`]
+    /// (BatchEngine::with_base_config): records are reconstructed
+    /// against the engine's base configuration, and a record whose
+    /// adaptation point does not apply to it (a foreign store) is
+    /// skipped — the store is a cache, not a source of truth.
+    ///
+    /// [`with_base_config`]: BatchEngine::with_base_config
+    #[must_use]
+    pub fn with_store(mut self, store: EvalStore) -> BatchEngine {
+        let mut warmed = 0u64;
+        for rec in store.take_records() {
+            let Ok(config) = rec.key.arch.apply(&self.base_config, rec.dvs()) else {
+                continue;
+            };
+            self.timing
+                .insert(TimingCacheKey::new(rec.key.app, &config), rec.run);
+            warmed += 1;
+        }
+        sim_obs::counter!("drm.store.prewarmed", warmed);
+        sim_obs::log_debug!(
+            "drm.store",
+            "pre-warmed timing cache with {warmed} stored run(s) from {}",
+            store.path().display()
+        );
+        self.store = Some(Arc::new(store));
+        self
+    }
+
+    /// The attached evaluation store, if any.
+    pub fn store(&self) -> Option<&Arc<EvalStore>> {
+        self.store.as_ref()
     }
 
     /// The base configuration adaptation points are applied to.
@@ -462,28 +519,46 @@ impl BatchEngine {
         }
         let start = Instant::now();
         let config = self.config_for(arch, dvs)?;
-        let ev = self.evaluate_cold(&self.evaluator, app, &config)?;
+        let ev = self.evaluate_cold(&self.evaluator, key, &config)?;
         self.cache.add_wall(start.elapsed());
         Ok(self.cache.insert(key, ev))
     }
 
+    /// Write-through: appends a fresh timing run to the attached
+    /// evaluation store (no-op without one).
+    fn persist(&self, key: EvalKey, config: &CoreConfig, run: &TimingRun) -> Result<(), SimError> {
+        match &self.store {
+            Some(store) => store.append(
+                key,
+                config.frequency.0.to_bits(),
+                config.vdd.0.to_bits(),
+                run,
+            ),
+            None => Ok(()),
+        }
+    }
+
     /// A cache-miss evaluation: serve the timing stage from the shared
-    /// timing cache (running and inserting it on a miss), then finish
-    /// the power/thermal passes. Bit-identical to
+    /// timing cache (running, inserting, and persisting it on a miss),
+    /// then finish the power/thermal passes. Bit-identical to
     /// [`Evaluator::evaluate`], which re-simulates timing every call.
     fn evaluate_cold(
         &self,
         evaluator: &Evaluator,
-        app: App,
+        key: EvalKey,
         config: &CoreConfig,
     ) -> Result<Evaluation, SimError> {
-        let profile = app.profile();
-        let tkey = TimingCacheKey::new(app, config);
+        let profile = key.app.profile();
+        let tkey = TimingCacheKey::new(key.app, config);
         let timing = match self.timing.get(&tkey) {
             Some(t) => t,
-            None => self
-                .timing
-                .insert(tkey, evaluator.timing_run(&profile, config)?),
+            None => {
+                let run = self
+                    .timing
+                    .insert(tkey, evaluator.timing_run(&profile, config)?);
+                self.persist(key, config, &run)?;
+                run
+            }
         };
         evaluator.evaluate_with_timing(&profile, config, &timing)
     }
@@ -597,7 +672,12 @@ impl BatchEngine {
                                         None => match evaluator.timing_run(&profile, config) {
                                             Ok(run) => {
                                                 timing_runs.fetch_add(1, Ordering::Relaxed);
-                                                self.timing.insert(tkey, run)
+                                                let run = self.timing.insert(tkey, run);
+                                                if let Err(e) = self.persist(*key, config, &run) {
+                                                    fail(e);
+                                                    return;
+                                                }
+                                                run
                                             }
                                             Err(e) => {
                                                 fail(e);
@@ -769,5 +849,56 @@ mod tests {
     #[test]
     fn default_workers_is_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn summaries_merge_by_summing_counters() {
+        let mut acc = SweepSummary::default();
+        let unit = SweepSummary {
+            workers: 2,
+            evaluations: 3,
+            cache_hits: 1,
+            timing_runs: 1,
+            timing_reuses: 2,
+            wall: Duration::from_millis(10),
+            busy: Duration::from_millis(20),
+        };
+        acc.merge(&unit);
+        acc.merge(&unit);
+        assert_eq!(acc.workers, 2);
+        assert_eq!(acc.evaluations, 6);
+        assert_eq!(acc.cache_hits, 2);
+        assert_eq!(acc.timing_runs, 2);
+        assert_eq!(acc.timing_reuses, 4);
+        assert_eq!(acc.wall, Duration::from_millis(20));
+        assert_eq!(acc.busy, Duration::from_millis(40));
+    }
+
+    #[test]
+    fn store_prewarms_a_restarted_engine() {
+        use crate::store::EvalStore;
+        let dir = std::env::temp_dir().join(format!("ramp-batch-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seg.evalstore");
+        let job = (App::Gzip, ArchPoint::most_aggressive(), DvsPoint::base());
+
+        let first = engine(2).with_store(EvalStore::open(&path).unwrap());
+        let summary = first.evaluate_all(&[job]).unwrap();
+        assert_eq!(summary.timing_runs, 1, "cold store must simulate");
+        let reference = first.evaluation(job.0, job.1, job.2).unwrap();
+
+        // "Restart": a fresh engine with cold in-memory caches, attached
+        // to the now-populated store.
+        let restarted = engine(2).with_store(EvalStore::open(&path).unwrap());
+        assert_eq!(restarted.timing_cache().len(), 1);
+        let summary = restarted.evaluate_all(&[job]).unwrap();
+        assert_eq!(summary.evaluations, 1);
+        assert_eq!(summary.timing_runs, 0, "stored point must not re-simulate");
+        assert_eq!(summary.timing_reuses, 1);
+        let replayed = restarted.evaluation(job.0, job.1, job.2).unwrap();
+        assert_eq!(replayed.bips.to_bits(), reference.bips.to_bits());
+        assert_eq!(replayed.ipc.to_bits(), reference.ipc.to_bits());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -304,6 +304,14 @@ pub struct TimingRun {
 }
 
 impl TimingRun {
+    /// Reassembles a run from its parts — the deserialization entry
+    /// point for the persistent evaluation store, which reconstructs
+    /// runs bit-identically from disk records.
+    #[must_use]
+    pub fn from_parts(intervals: Vec<IntervalStats>, wall: Duration) -> TimingRun {
+        TimingRun { intervals, wall }
+    }
+
     /// Per-interval timing statistics.
     pub fn intervals(&self) -> &[IntervalStats] {
         &self.intervals

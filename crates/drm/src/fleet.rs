@@ -52,9 +52,10 @@ use crate::dvs::DvsPoint;
 use crate::evaluator::{Evaluation, Evaluator};
 use crate::space::ArchPoint;
 
-/// Dies per work batch. Fixed (never derived from the worker count) so
-/// partial aggregates fold in the same order at any parallelism.
-const DIE_BATCH: u64 = 4096;
+/// Dies per work batch. Fixed (never derived from the worker count — or
+/// the shard count) so partial aggregates fold in the same order at any
+/// parallelism, in-process or across a cluster.
+pub const DIE_BATCH: u64 = 4096;
 
 /// Iterations of the per-die leakage/temperature fixed point. The
 /// response is a small perturbation of an already-converged operating
@@ -581,7 +582,15 @@ impl<'a> FleetBaseline<'a> {
 }
 
 /// Streaming aggregate of one die batch (and, folded, of the fleet).
-struct FleetPartial {
+///
+/// Partials fold associatively with [`FleetPartial::merge`]; folding
+/// every batch of a run *in batch-index order* reproduces the
+/// single-process [`run_fleet`] aggregate bit-identically, which is the
+/// cluster layer's merge-determinism invariant. The accessors and
+/// [`FleetPartial::from_parts`] exist so a partial can cross a process
+/// boundary (sketches travel as their compact wire strings).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetPartial {
     fit: QuantileSketch,
     life_years: QuantileSketch,
     fit_sum: f64,
@@ -589,8 +598,16 @@ struct FleetPartial {
     violations: u64,
 }
 
+impl Default for FleetPartial {
+    fn default() -> Self {
+        FleetPartial::new()
+    }
+}
+
 impl FleetPartial {
-    fn new() -> FleetPartial {
+    /// An empty aggregate (the fold identity).
+    #[must_use]
+    pub fn new() -> FleetPartial {
         FleetPartial {
             fit: QuantileSketch::new(),
             life_years: QuantileSketch::new(),
@@ -598,6 +615,60 @@ impl FleetPartial {
             life_sum: 0.0,
             violations: 0,
         }
+    }
+
+    /// Reassembles a partial from its transported parts.
+    #[must_use]
+    pub fn from_parts(
+        fit: QuantileSketch,
+        life_years: QuantileSketch,
+        fit_sum: f64,
+        life_sum: f64,
+        violations: u64,
+    ) -> FleetPartial {
+        FleetPartial {
+            fit,
+            life_years,
+            fit_sum,
+            life_sum,
+            violations,
+        }
+    }
+
+    /// Dies aggregated so far.
+    #[must_use]
+    pub fn dies(&self) -> u64 {
+        self.fit.count()
+    }
+
+    /// The per-die total-FIT sketch.
+    #[must_use]
+    pub fn fit_sketch(&self) -> &QuantileSketch {
+        &self.fit
+    }
+
+    /// The per-die lifetime sketch, in years.
+    #[must_use]
+    pub fn life_sketch(&self) -> &QuantileSketch {
+        &self.life_years
+    }
+
+    /// Sum of per-die total FITs.
+    #[must_use]
+    pub fn fit_sum(&self) -> f64 {
+        self.fit_sum
+    }
+
+    /// Sum of per-die lifetimes, in years.
+    #[must_use]
+    pub fn life_sum(&self) -> f64 {
+        self.life_sum
+    }
+
+    /// Dies whose total FIT exceeds the budget.
+    #[must_use]
+    pub fn violations(&self) -> u64 {
+        self.violations
     }
 
     fn record(&mut self, outcome: &DieOutcome, target_fit: f64) {
@@ -612,13 +683,102 @@ impl FleetPartial {
         sim_obs::hist!("fleet.lifetime_years", years);
     }
 
-    fn merge(&mut self, other: &FleetPartial) {
+    /// Folds `other` into this aggregate. Associative and deterministic;
+    /// fold in batch-index order to match the single-process run.
+    pub fn merge(&mut self, other: &FleetPartial) {
         self.fit.merge(&other.fit);
         self.life_years.merge(&other.life_years);
         self.fit_sum += other.fit_sum;
         self.life_sum += other.life_sum;
         self.violations += other.violations;
     }
+}
+
+/// Computes one fleet work unit: batch `batch` (dies
+/// `batch·DIE_BATCH .. min((batch+1)·DIE_BATCH, dies)`) of the run
+/// described by `config`, exactly as a [`run_fleet`] worker would.
+/// Each die carries its own RNG substream, so the outcome depends only
+/// on (`config`, `batch`) — never on which process computes it.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] when the configuration, the
+/// operating point, or the baseline is invalid, or when `batch` is past
+/// the end of the run.
+pub fn fleet_partial(
+    engine: &BatchEngine,
+    app: App,
+    arch: ArchPoint,
+    dvs: DvsPoint,
+    model: &ReliabilityModel,
+    config: &FleetConfig,
+    batch: u64,
+) -> Result<FleetPartial, SimError> {
+    config.validate()?;
+    let batches = config.dies.div_ceil(DIE_BATCH);
+    if batch >= batches {
+        return Err(SimError::invalid_config(format!(
+            "fleet batch {batch} out of range: {} dies make {batches} batch(es)",
+            config.dies
+        )));
+    }
+    let ev = engine.evaluation(app, arch, dvs)?;
+    let baseline = FleetBaseline::new(engine.evaluator(), &ev, model, config)?;
+    let target_fit = model.target_fit().value();
+    let lo = batch * DIE_BATCH;
+    let hi = (lo + DIE_BATCH).min(config.dies);
+    let mut part = FleetPartial::new();
+    for die in lo..hi {
+        part.record(&baseline.die(die), target_fit);
+    }
+    Ok(part)
+}
+
+/// Finishes a fleet run from its folded aggregate: the summary math of
+/// [`run_fleet`] (rank-error bound, sketch statistics, violation count)
+/// applied to `acc`, with the diagnostic fields supplied by the caller.
+/// Folding every batch in order and summarizing here is bit-identical
+/// to the single-process run.
+///
+/// # Panics
+///
+/// Panics when `acc` is empty (statistics of zero dies are undefined).
+#[must_use]
+pub fn fleet_summarize(
+    acc: &FleetPartial,
+    target_fit: f64,
+    timing_runs: u64,
+    workers: usize,
+    wall: Duration,
+) -> FleetSummary {
+    let dies = acc.dies();
+    assert!(dies > 0, "cannot summarize an empty fleet");
+    let rank_error = (acc.fit.rank_error_bound() / dies as f64)
+        .max(acc.life_years.rank_error_bound() / dies as f64);
+    let summary = FleetSummary {
+        dies,
+        violations: acc.violations,
+        target_fit,
+        fit: FleetStats::from_sketch(&acc.fit, acc.fit_sum),
+        lifetime_years: FleetStats::from_sketch(&acc.life_years, acc.life_sum),
+        rank_error,
+        timing_runs,
+        workers,
+        wall,
+    };
+    if sim_obs::enabled() {
+        sim_obs::counter!("fleet.dies", dies);
+        sim_obs::counter!("fleet.violations", summary.violations);
+        sim_obs::gauge!("fleet.violation_fraction", summary.violation_fraction());
+        sim_obs::gauge!("fleet.fit_p50", summary.fit.p50);
+        sim_obs::gauge!("fleet.fit_p95", summary.fit.p95);
+        sim_obs::gauge!("fleet.life_p1_y", summary.lifetime_years.p1);
+        sim_obs::gauge!("fleet.life_p5_y", summary.lifetime_years.p5);
+        sim_obs::gauge!("fleet.life_p50_y", summary.lifetime_years.p50);
+        sim_obs::gauge!("fleet.life_p95_y", summary.lifetime_years.p95);
+        sim_obs::gauge!("fleet.dies_per_sec", summary.dies_per_second());
+    }
+    summary
 }
 
 /// Runs a fleet Monte Carlo at one operating point.
@@ -694,32 +854,13 @@ pub fn run_fleet(
     let wall = start.elapsed();
     debug_assert_eq!(acc.fit.count(), dies);
 
-    let rank_error = (acc.fit.rank_error_bound() / dies as f64)
-        .max(acc.life_years.rank_error_bound() / dies as f64);
-    let summary = FleetSummary {
-        dies,
-        violations: acc.violations,
+    let summary = fleet_summarize(
+        &acc,
         target_fit,
-        fit: FleetStats::from_sketch(&acc.fit, acc.fit_sum),
-        lifetime_years: FleetStats::from_sketch(&acc.life_years, acc.life_sum),
-        rank_error,
-        timing_runs: engine.timing_cache().misses(),
+        engine.timing_cache().misses(),
         workers,
         wall,
-    };
-
-    if sim_obs::enabled() {
-        sim_obs::counter!("fleet.dies", dies);
-        sim_obs::counter!("fleet.violations", summary.violations);
-        sim_obs::gauge!("fleet.violation_fraction", summary.violation_fraction());
-        sim_obs::gauge!("fleet.fit_p50", summary.fit.p50);
-        sim_obs::gauge!("fleet.fit_p95", summary.fit.p95);
-        sim_obs::gauge!("fleet.life_p1_y", summary.lifetime_years.p1);
-        sim_obs::gauge!("fleet.life_p5_y", summary.lifetime_years.p5);
-        sim_obs::gauge!("fleet.life_p50_y", summary.lifetime_years.p50);
-        sim_obs::gauge!("fleet.life_p95_y", summary.lifetime_years.p95);
-        sim_obs::gauge!("fleet.dies_per_sec", summary.dies_per_second());
-    }
+    );
     sim_obs::log_debug!(
         "drm.fleet",
         "{} dies in {:.1} ms ({:.0}k dies/s), {} worker(s)",
@@ -865,6 +1006,53 @@ mod tests {
         .unwrap();
         // One cycle-level timing run serves the whole population.
         assert_eq!(fleet.timing_runs, 1);
+    }
+
+    #[test]
+    fn partial_batches_fold_to_the_full_fleet() {
+        let m = model();
+        let cfg = small(10_000); // 3 batches, last one short
+        let point = (App::Gzip, ArchPoint::most_aggressive(), DvsPoint::base());
+        let direct = run_fleet(&engine(2), point.0, point.1, point.2, &m, &cfg).unwrap();
+
+        // Recompute batch by batch — the cluster path — and fold in
+        // batch-index order.
+        let e = engine(2);
+        let batches = cfg.dies.div_ceil(DIE_BATCH);
+        assert_eq!(batches, 3);
+        let mut acc = FleetPartial::new();
+        for b in 0..batches {
+            let part = fleet_partial(&e, point.0, point.1, point.2, &m, &cfg, b).unwrap();
+            // A partial survives a trip through its transported parts.
+            let rebuilt = FleetPartial::from_parts(
+                part.fit_sketch().clone(),
+                part.life_sketch().clone(),
+                part.fit_sum(),
+                part.life_sum(),
+                part.violations(),
+            );
+            assert_eq!(rebuilt, part);
+            acc.merge(&part);
+        }
+        let merged = fleet_summarize(
+            &acc,
+            m.target_fit().value(),
+            e.timing_cache().misses(),
+            e.workers(),
+            Duration::ZERO,
+        );
+        assert_eq!(direct, merged);
+        assert_eq!(direct.fit.p50.to_bits(), merged.fit.p50.to_bits());
+        assert_eq!(direct.fit.mean.to_bits(), merged.fit.mean.to_bits());
+        assert_eq!(
+            direct.lifetime_years.p95.to_bits(),
+            merged.lifetime_years.p95.to_bits()
+        );
+        assert_eq!(direct.violations, merged.violations);
+        // One timing run serves every batch.
+        assert_eq!(merged.timing_runs, 1);
+        // Past-the-end batches are rejected.
+        assert!(fleet_partial(&e, point.0, point.1, point.2, &m, &cfg, batches).is_err());
     }
 
     #[test]

@@ -69,6 +69,7 @@ pub mod scaling;
 pub mod sensors;
 pub mod slice;
 pub mod space;
+pub mod store;
 pub mod surrogate;
 
 pub use batch::{
@@ -78,12 +79,16 @@ pub use controller::{ControlTrace, ControllerParams, ReactiveDrm};
 pub use dtm::{compare_drm_dtm, dtm_best_dvs, DrmDtmPoint, DtmChoice};
 pub use dvs::{frequency_grid, voltage_for_frequency, DvsPoint, DvsRange};
 pub use evaluator::{EvalParams, EvalStats, Evaluation, Evaluator, IntervalProfile, TimingRun};
-pub use fleet::{run_fleet, FleetConfig, FleetStats, FleetSummary, VariationParams};
+pub use fleet::{
+    fleet_partial, fleet_summarize, run_fleet, FleetConfig, FleetPartial, FleetStats, FleetSummary,
+    VariationParams, DIE_BATCH,
+};
 pub use intra::{intra_app_best, IntraAppChoice};
 pub use mix::WorkloadMix;
 pub use oracle::{DrmChoice, Oracle};
 pub use scaling::{scaling_study, ScalingRow, TechnologyNode};
 pub use sensors::{SensorBank, SensorParams};
-pub use slice::{slice_fingerprint, slice_lengths, CheckpointStore, SliceParams};
+pub use slice::{fnv1a64, slice_fingerprint, slice_lengths, CheckpointStore, SliceParams};
 pub use space::{ArchPoint, Strategy};
+pub use store::{EvalStore, StoreRecord, STORE_EXTENSION, STORE_HEADER};
 pub use surrogate::{AppTable, ErrorBounds, Surrogate, SurrogateParams, SurrogateScore};

@@ -120,8 +120,10 @@ pub fn slice_lengths(total: u64, slice: u64) -> Vec<u64> {
 }
 
 /// FNV-1a over `bytes` (64-bit). Deterministic across runs and platforms,
-/// unlike the standard library's randomized default hasher.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// unlike the standard library's randomized default hasher — which is why
+/// the evaluation store's checksums and the cluster layer's work-unit
+/// routing use it too.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);

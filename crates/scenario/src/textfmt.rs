@@ -45,7 +45,10 @@ use sim_thermal::ThermalParams;
 use workload::textfmt::{profile_from_text, profile_to_text};
 use workload::App;
 
-use crate::{Qualification, Scenario, SliceSpec, SloPolicy, SloVerb, SurrogateSpec, WorkloadSpec};
+use crate::{
+    ClusterSpec, Qualification, Scenario, SliceSpec, SloPolicy, SloVerb, SurrogateSpec,
+    WorkloadSpec,
+};
 
 /// Every singleton `section.key` the format accepts, used to distinguish
 /// typos (unknown key) from omissions (missing key) in error messages.
@@ -131,6 +134,8 @@ const SINGLETON_KEYS: &[&str] = &[
     "surrogate.enabled",
     "surrogate.top_k",
     "surrogate.calibration_apps",
+    "cluster.shards",
+    "cluster.store_dir",
 ];
 
 /// Singleton keys that may be omitted (every other singleton is
@@ -143,6 +148,8 @@ const OPTIONAL_KEYS: &[&str] = &[
     "surrogate.enabled",
     "surrogate.top_k",
     "surrogate.calibration_apps",
+    "cluster.shards",
+    "cluster.store_dir",
 ];
 
 fn line_err(lineno: usize, msg: impl std::fmt::Display) -> SimError {
@@ -202,6 +209,7 @@ struct Scanned {
     blocks: Vec<Entry>,
     arch: Vec<Entry>,
     slo_verbs: Vec<Entry>,
+    cluster_addrs: Vec<Entry>,
     /// Workload suite in encounter order.
     workloads: Vec<WorkloadSpec>,
 }
@@ -212,6 +220,7 @@ fn scan(text: &str) -> Result<Scanned, SimError> {
     let mut blocks = Vec::new();
     let mut arch = Vec::new();
     let mut slo_verbs = Vec::new();
+    let mut cluster_addrs = Vec::new();
     let mut workloads = Vec::new();
 
     let mut lines = text.lines().enumerate();
@@ -272,6 +281,7 @@ fn scan(text: &str) -> Result<Scanned, SimError> {
             "floorplan.block" => blocks.push(entry),
             "arch" => arch.push(entry),
             "slo.verb" => slo_verbs.push(entry),
+            "cluster.addr" => cluster_addrs.push(entry),
             _ => {
                 if !SINGLETON_KEYS.contains(&key) {
                     return Err(line_err(lineno, format!("unknown key `{key}`")));
@@ -292,6 +302,7 @@ fn scan(text: &str) -> Result<Scanned, SimError> {
         blocks,
         arch,
         slo_verbs,
+        cluster_addrs,
         workloads,
     })
 }
@@ -655,6 +666,24 @@ pub fn scenario_from_text(text: &str) -> Result<Scenario, SimError> {
         }
     };
 
+    let cluster_shards = opt_u32(&mut s, "cluster.shards")?;
+    let cluster_store = opt_token(&mut s, "cluster.store_dir")?;
+    let mut cluster_addrs = Vec::with_capacity(s.cluster_addrs.len());
+    for entry in s.cluster_addrs.drain(..) {
+        entry.expect_len("cluster.addr", 1)?;
+        cluster_addrs.push(entry.values[0].clone());
+    }
+    let cluster = if cluster_shards.is_none() && cluster_addrs.is_empty() && cluster_store.is_none()
+    {
+        None
+    } else {
+        Some(ClusterSpec {
+            shards: cluster_shards.unwrap_or(0),
+            shard_addrs: cluster_addrs,
+            store_dir: cluster_store,
+        })
+    };
+
     debug_assert!(s.singles.is_empty(), "unknown keys rejected during scan");
     let scenario = Scenario {
         name,
@@ -672,6 +701,7 @@ pub fn scenario_from_text(text: &str) -> Result<Scenario, SimError> {
         slo,
         slice,
         surrogate,
+        cluster,
     };
     scenario.validate()?;
     Ok(scenario)
@@ -814,6 +844,19 @@ pub fn scenario_to_text(scenario: &Scenario) -> String {
             "surrogate.calibration_apps {}",
             surrogate.calibration_apps
         );
+    }
+
+    if let Some(cluster) = &scenario.cluster {
+        let _ = writeln!(w, "\n# Distributed sweep fabric");
+        if cluster.shards > 0 {
+            let _ = writeln!(w, "cluster.shards {}", cluster.shards);
+        }
+        for addr in &cluster.shard_addrs {
+            let _ = writeln!(w, "cluster.addr {addr}");
+        }
+        if let Some(dir) = &cluster.store_dir {
+            let _ = writeln!(w, "cluster.store_dir {dir}");
+        }
     }
 
     let fl = &scenario.fleet;
@@ -1035,6 +1078,54 @@ mod tests {
         text.push_str("surrogate.enabled maybe\n");
         let err = scenario_from_text(&text).unwrap_err().to_string();
         assert!(err.contains("must be `true` or `false`"), "{err}");
+    }
+
+    #[test]
+    fn cluster_section_round_trips_and_validates() {
+        let mut s = Scenario::paper_default();
+        s.cluster = Some(ClusterSpec {
+            shards: 4,
+            shard_addrs: Vec::new(),
+            store_dir: Some("evalstore/paper".to_owned()),
+        });
+        let text = scenario_to_text(&s);
+        assert!(text.contains("cluster.shards 4"), "{text}");
+        assert!(text.contains("cluster.store_dir evalstore/paper"), "{text}");
+        let reparsed = scenario_from_text(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(reparsed, s);
+        assert_eq!(scenario_to_text(&reparsed), text);
+
+        // External addresses instead of spawned shards.
+        s.cluster = Some(ClusterSpec {
+            shards: 0,
+            shard_addrs: vec!["127.0.0.1:7101".to_owned(), "127.0.0.1:7102".to_owned()],
+            store_dir: None,
+        });
+        let text = scenario_to_text(&s);
+        assert!(text.contains("cluster.addr 127.0.0.1:7101"), "{text}");
+        assert!(!text.contains("cluster.shards"), "{text}");
+        let reparsed = scenario_from_text(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(reparsed, s);
+        assert_eq!(reparsed.cluster.as_ref().unwrap().shard_count(), 2);
+
+        // Shards and addresses together fail scenario validation.
+        let mut text = scenario_to_text(&Scenario::paper_default());
+        text.push_str("cluster.shards 2\ncluster.addr 127.0.0.1:7101\n");
+        let err = scenario_from_text(&text).unwrap_err().to_string();
+        assert!(err.contains("mutually exclusive"), "{err}");
+
+        // A store directory alone declares no workers.
+        let mut text = scenario_to_text(&Scenario::paper_default());
+        text.push_str("cluster.store_dir lonely\n");
+        let err = scenario_from_text(&text).unwrap_err().to_string();
+        assert!(err.contains("declares no workers"), "{err}");
+    }
+
+    #[test]
+    fn scenarios_without_cluster_lines_have_no_cluster_section() {
+        let text = scenario_to_text(&Scenario::paper_default());
+        assert!(!text.contains("cluster."), "{text}");
+        assert_eq!(scenario_from_text(&text).unwrap().cluster, None);
     }
 
     #[test]

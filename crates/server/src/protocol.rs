@@ -200,6 +200,48 @@ pub struct FleetRequest {
     pub shape: Option<Spanned<f64>>,
 }
 
+/// `unit sweep <app> index=<i> [...eval keys...] [tqual=] [alpha=] [target=]`:
+/// one sweep work unit — a single fully specified candidate operating
+/// point, evaluated and fit-scored on this shard. The coordinator folds
+/// the per-unit results in candidate-index order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitSweepRequest {
+    /// Workload name.
+    pub app: Spanned<String>,
+    /// Uploaded scenario to evaluate against.
+    pub scenario: Option<Spanned<String>>,
+    /// Candidate index, echoed back for deterministic reassembly.
+    pub index: Spanned<u64>,
+    /// The candidate operating point (absent keys default to the
+    /// scenario's base processor).
+    pub point: OpPoint,
+    /// Qualification overrides.
+    pub qual: QualOverride,
+}
+
+/// `unit fleet <app> batch=<b> [...fleet keys...]`: one fleet work unit —
+/// a single fixed die batch, returned as a transportable partial
+/// aggregate (compact sketches + sums).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitFleetRequest {
+    /// Workload name.
+    pub app: Spanned<String>,
+    /// Uploaded scenario to evaluate against.
+    pub scenario: Option<Spanned<String>>,
+    /// Batch index, echoed back for deterministic reassembly.
+    pub batch: Spanned<u64>,
+    /// Operating-point overrides.
+    pub point: OpPoint,
+    /// Qualification overrides.
+    pub qual: QualOverride,
+    /// Die-count override.
+    pub dies: Option<Spanned<u64>>,
+    /// Fleet seed override.
+    pub seed: Option<Spanned<u64>>,
+    /// Weibull wear-out shape override.
+    pub shape: Option<Spanned<f64>>,
+}
+
 /// One parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -242,10 +284,31 @@ pub enum Request {
     Sweep(SweepRequest),
     /// Population Monte Carlo over virtual dies at one operating point.
     Fleet(FleetRequest),
+    /// One sweep work unit (cluster shard role).
+    UnitSweep(UnitSweepRequest),
+    /// One fleet die batch (cluster shard role).
+    UnitFleet(UnitFleetRequest),
+    /// `merge [scenario=<name>]` — this shard's cumulative evaluation
+    /// summary (cache sizes and hit/run counters), for coordinator-side
+    /// folding and `cluster status`.
+    Merge {
+        /// Uploaded scenario whose engine to summarize.
+        scenario: Option<Spanned<String>>,
+    },
+    /// `shard index=<i> shards=<n>` — the cluster-role handshake: the
+    /// coordinator announces which shard of how many this server is, so
+    /// stats and telemetry can attribute work.
+    Shard {
+        /// This shard's index, `< shards`.
+        index: Spanned<u64>,
+        /// Total shard count.
+        shards: Spanned<u64>,
+    },
 }
 
 /// The request verbs, for error messages.
-const VERBS: &str = "ping, stats, watch, shutdown, sleep, scenario, eval, fit, sweep, fleet";
+const VERBS: &str =
+    "ping, stats, watch, shutdown, sleep, scenario, eval, fit, sweep, fleet, unit, merge, shard";
 
 /// Parses one request line.
 ///
@@ -403,6 +466,86 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 seed: get_u64(&keys, "seed")?,
                 shape: get_f64(&keys, "shape")?,
             }))
+        }
+        "unit" => {
+            let form = operand(&tokens, 2, "unit form (sweep or fleet)")?;
+            match form.value {
+                "sweep" => {
+                    let app = operand(&tokens, 3, "application name")?;
+                    let app = Spanned::new(app.pos, app.value.to_owned());
+                    let keys = parse_keys(
+                        &tokens[3..],
+                        &[
+                            "index", "freq", "vdd", "window", "alus", "fpus", "scenario", "tqual",
+                            "alpha", "target",
+                        ],
+                    )?;
+                    let index = require_key(&keys, "index", 1)?;
+                    Ok(Request::UnitSweep(UnitSweepRequest {
+                        app,
+                        scenario: get_str(&keys, "scenario"),
+                        index: parse_u64(index)?,
+                        point: parse_point(&keys)?,
+                        qual: parse_qual(&keys)?,
+                    }))
+                }
+                "fleet" => {
+                    let app = operand(&tokens, 3, "application name")?;
+                    let app = Spanned::new(app.pos, app.value.to_owned());
+                    let keys = parse_keys(
+                        &tokens[3..],
+                        &[
+                            "batch", "freq", "vdd", "window", "alus", "fpus", "scenario", "tqual",
+                            "alpha", "target", "dies", "seed", "shape",
+                        ],
+                    )?;
+                    let batch = require_key(&keys, "batch", 1)?;
+                    let dies = get_u64(&keys, "dies")?;
+                    if let Some(d) = &dies {
+                        if d.value == 0 {
+                            return Err(ProtoError::new(d.pos, "dies must be positive"));
+                        }
+                    }
+                    Ok(Request::UnitFleet(UnitFleetRequest {
+                        app,
+                        scenario: get_str(&keys, "scenario"),
+                        batch: parse_u64(batch)?,
+                        point: parse_point(&keys)?,
+                        qual: parse_qual(&keys)?,
+                        dies,
+                        seed: get_u64(&keys, "seed")?,
+                        shape: get_f64(&keys, "shape")?,
+                    }))
+                }
+                other => Err(ProtoError::new(
+                    form.pos,
+                    format!("unknown unit form `{other}` (known: sweep, fleet)"),
+                )),
+            }
+        }
+        "merge" => {
+            let keys = parse_keys(&tokens[1..], &["scenario"])?;
+            Ok(Request::Merge {
+                scenario: get_str(&keys, "scenario"),
+            })
+        }
+        "shard" => {
+            let keys = parse_keys(&tokens[1..], &["index", "shards"])?;
+            let index = parse_u64(require_key(&keys, "index", 1)?)?;
+            let shards = parse_u64(require_key(&keys, "shards", 1)?)?;
+            if shards.value == 0 {
+                return Err(ProtoError::new(shards.pos, "shards must be positive"));
+            }
+            if index.value >= shards.value {
+                return Err(ProtoError::new(
+                    index.pos,
+                    format!(
+                        "shard index {} out of range 0..{}",
+                        index.value, shards.value
+                    ),
+                ));
+            }
+            Ok(Request::Shard { index, shards })
         }
         other => Err(ProtoError::new(
             1,
@@ -890,6 +1033,70 @@ mod tests {
         assert_eq!(e.status, Status::Err);
         assert!(e.raw.contains("unknown key"));
         assert!(Reply::parse("??? what").is_err());
+    }
+
+    #[test]
+    fn unit_requests_parse_both_forms() {
+        let Request::UnitSweep(u) =
+            parse_request("unit sweep gzip index=4 freq=3.5e9 vdd=1.1 window=64 alus=4 fpus=2")
+                .unwrap()
+        else {
+            panic!("not a unit sweep")
+        };
+        assert_eq!(u.app.value, "gzip");
+        assert_eq!(u.app.pos, 3);
+        assert_eq!(u.index.value, 4);
+        assert_eq!(u.point.freq_hz.unwrap().value, 3.5e9);
+        assert_eq!(u.point.window.unwrap().value, 64);
+
+        let Request::UnitFleet(u) =
+            parse_request("unit fleet twolf batch=2 dies=10000 seed=7 shape=2.2").unwrap()
+        else {
+            panic!("not a unit fleet")
+        };
+        assert_eq!(u.batch.value, 2);
+        assert_eq!(u.dies.unwrap().value, 10_000);
+        assert_eq!(u.seed.unwrap().value, 7);
+        assert_eq!(u.shape.unwrap().value, 2.2);
+
+        // index/batch are required; the form token is validated.
+        let e = parse_request("unit sweep gzip freq=3e9").unwrap_err();
+        assert!(e.message.contains("missing required key `index`"), "{e}");
+        let e = parse_request("unit fleet gzip seed=1").unwrap_err();
+        assert!(e.message.contains("missing required key `batch`"), "{e}");
+        let e = parse_request("unit frob gzip").unwrap_err();
+        assert_eq!(e.pos, 2);
+        assert!(e.message.contains("unknown unit form"), "{e}");
+        assert_eq!(parse_request("unit").unwrap_err().pos, 2);
+        assert_eq!(parse_request("unit sweep").unwrap_err().pos, 3);
+        assert!(parse_request("unit fleet gzip batch=0 dies=0").is_err());
+    }
+
+    #[test]
+    fn merge_and_shard_requests_parse() {
+        assert_eq!(
+            parse_request("merge").unwrap(),
+            Request::Merge { scenario: None }
+        );
+        let Request::Merge { scenario } = parse_request("merge scenario=hot").unwrap() else {
+            panic!("not a merge")
+        };
+        assert_eq!(scenario.unwrap().value, "hot");
+        assert!(parse_request("merge now").is_err());
+
+        let Request::Shard { index, shards } = parse_request("shard index=1 shards=4").unwrap()
+        else {
+            panic!("not a shard")
+        };
+        assert_eq!(index.value, 1);
+        assert_eq!(shards.value, 4);
+
+        let e = parse_request("shard index=4 shards=4").unwrap_err();
+        assert!(e.message.contains("out of range"), "{e}");
+        let e = parse_request("shard index=0 shards=0").unwrap_err();
+        assert!(e.message.contains("shards must be positive"), "{e}");
+        assert!(parse_request("shard index=0").is_err());
+        assert!(parse_request("shard shards=2").is_err());
     }
 
     #[test]
